@@ -1,0 +1,51 @@
+#include "bench/bench_util.h"
+
+namespace scalecheck {
+namespace bench {
+
+void RunFigure3Series(const BugSpec& spec, const std::vector<int>& scales,
+                      const char* figure_label) {
+  std::printf("%s — bug %s: %s\n", figure_label, spec.id.c_str(),
+              spec.description.c_str());
+  std::printf("calculator=%s placement=%s vnodes=%d workload=%s\n\n",
+              CalcVersionName(spec.calc_version), CalcPlacementName(spec.placement),
+              spec.vnodes_per_node, WorkloadKindName(spec.workload));
+
+  std::vector<std::string> header = {"#Nodes",   "Real",      "Colo",
+                                     "SC+PIL",   "PIL err",   "Colo err",
+                                     "memoDB",   "hit rate",  "wall(s)"};
+  std::vector<std::vector<std::string>> rows;
+
+  for (int n : scales) {
+    WallTimer timer;
+    ScaleCheckRunner runner(spec);
+    ScaleCheckResult r = runner.RunFull(n);
+    rows.push_back({
+        StrFormat("%d", n),
+        StrFormat("%.1fk", static_cast<double>(r.real.flaps) / 1000.0),
+        StrFormat("%.1fk", static_cast<double>(r.colo.flaps) / 1000.0),
+        StrFormat("%.1fk", static_cast<double>(r.replay.flaps) / 1000.0),
+        StrFormat("%.0f%%", r.replay_flap_error * 100.0),
+        StrFormat("%.0f%%", r.colo_flap_error * 100.0),
+        StrFormat("%llu", static_cast<unsigned long long>(r.memo.records)),
+        StrFormat("%.0f%%",
+                  r.replay.pil.replay_hits + r.replay.pil.replay_misses == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(r.replay.pil.replay_hits) /
+                            static_cast<double>(r.replay.pil.replay_hits +
+                                                r.replay.pil.replay_misses)),
+        StrFormat("%.1f", timer.Seconds()),
+    });
+    std::printf("  n=%-4d real: %s\n", n, r.real.Summary().c_str());
+    std::printf("         colo: %s\n", r.colo.Summary().c_str());
+    std::printf("         memo: %s\n", r.memoize.Summary().c_str());
+    std::printf("       replay: %s\n\n", r.replay.Summary().c_str());
+  }
+
+  std::printf("%s\n", RenderTable(header, rows).c_str());
+  std::printf("Paper shape check: flaps surface only at the largest scales; Colo is "
+              "far off Real at every scale; SC+PIL tracks Real.\n");
+}
+
+}  // namespace bench
+}  // namespace scalecheck

@@ -1,0 +1,62 @@
+// Shared helpers for the figure/table reproduction binaries.
+
+#ifndef SCALECHECK_BENCH_BENCH_UTIL_H_
+#define SCALECHECK_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/scalecheck/scale_check.h"
+
+namespace scalecheck {
+namespace bench {
+
+inline std::vector<int> DefaultScales() { return {32, 64, 128, 256}; }
+
+// Parses "--scales=32,64" style overrides (keeps benches fast in CI).
+inline std::vector<int> ScalesFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--scales=";
+    if (arg.rfind(prefix, 0) == 0) {
+      std::vector<int> scales;
+      std::string rest = arg.substr(prefix.size());
+      size_t pos = 0;
+      while (pos < rest.size()) {
+        size_t comma = rest.find(',', pos);
+        if (comma == std::string::npos) {
+          comma = rest.size();
+        }
+        scales.push_back(std::stoi(rest.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+      return scales;
+    }
+  }
+  return DefaultScales();
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Runs Real / Colo / Memoize+Replay for a bug at each scale and prints the
+// Figure 3 series ("#Flaps (x1000)" per mode) plus accuracy columns.
+void RunFigure3Series(const BugSpec& spec, const std::vector<int>& scales,
+                      const char* figure_label);
+
+}  // namespace bench
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_BENCH_BENCH_UTIL_H_

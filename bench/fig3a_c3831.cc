@@ -1,0 +1,16 @@
+// Reproduces Figure 3(a): bug C3831 (decommission).
+//
+// The y-axis is the total number of flaps observed cluster-wide while a node
+// is decommissioned, for real-scale deployment, basic colocation, and
+// PIL-infused scale-check, at N = 32..256. The paper's shape: no flapping up
+// to 128 nodes, a storm at 256; Colo wildly over-reports at smaller scales;
+// SC+PIL tracks Real.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace scalecheck;
+  bench::RunFigure3Series(C3831Spec(), bench::ScalesFromArgs(argc, argv),
+                          "Figure 3(a): #Flaps vs #Nodes, c3831 Decommission");
+  return 0;
+}

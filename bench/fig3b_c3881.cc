@@ -1,0 +1,15 @@
+// Reproduces Figure 3(b): bug C3881 (scale-out with virtual nodes).
+//
+// The C3831 fix is quadratic in ring entries; with P vnodes per node the
+// entry count is N*P and the calculation explodes at much smaller N than
+// C3831 did — the paper's flapping for this bug becomes visible already at
+// 128 nodes.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace scalecheck;
+  bench::RunFigure3Series(C3881Spec(), bench::ScalesFromArgs(argc, argv),
+                          "Figure 3(b): #Flaps vs #Nodes, c3881 Scale-Out (vnodes)");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces Figure 3(c): bug C5456 (scale-out under a coarse ring lock).
+//
+// The calculator itself is the fast vnode-aware generation; the symptom
+// comes from holding the ring-table lock across each (frequent) invocation,
+// which blocks gossip-state application. Note the much smaller flap counts
+// than Figure 3(a) — the paper's y-axis shrinks from 300k to 8k — and the
+// same "invisible at 128" onset.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace scalecheck;
+  bench::RunFigure3Series(C5456Spec(), bench::ScalesFromArgs(argc, argv),
+                          "Figure 3(c): #Flaps vs #Nodes, c5456 Scale-Out (ring lock)");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Microbenchmarks: wall-clock of the real calculator loop nests across ring
+// sizes, verifying that the implementations really exhibit their claimed
+// scale-dependence (the complexity classes behind Figure 3).
+
+#include <benchmark/benchmark.h>
+
+#include "src/ring/calculators.h"
+
+namespace scalecheck {
+namespace {
+
+CalcInput MakeInput(TokenRing* ring, int n, int p, int changes) {
+  ring->AddNode(0, GenerateTokens(0, p, 5));
+  for (NodeId id = 1; id < n; ++id) {
+    ring->AddNode(id, GenerateTokens(id, p, 5));
+  }
+  CalcInput input;
+  input.ring = ring;
+  input.rf = 3;
+  for (int c = 0; c < changes; ++c) {
+    NodeId id = n + c;
+    input.changes.push_back(
+        PendingChange{id, ChangeKind::kJoining, GenerateTokens(id, p, 5)});
+  }
+  return input;
+}
+
+void BM_Calculator(benchmark::State& state, CalcVersion version, int p) {
+  int n = static_cast<int>(state.range(0));
+  TokenRing ring;
+  CalcInput input = MakeInput(&ring, n, p, std::max(1, n / 8));
+  auto calc = MakeCalculator(version);
+  int64_t ops = 0;
+  for (auto _ : state) {
+    CalcResult result = calc->Execute(input);
+    ops = result.ops;
+    benchmark::DoNotOptimize(result.pending);
+  }
+  state.counters["ops"] = static_cast<double>(ops);
+  state.counters["ops_model"] = static_cast<double>(calc->ModelOps(input));
+  state.SetComplexityN(n);
+}
+
+BENCHMARK_CAPTURE(BM_Calculator, reference_p4, CalcVersion::kReference, 4)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_Calculator, v1_p1, CalcVersion::kV1PreC3831, 1)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_Calculator, v2_p1, CalcVersion::kV2C3831Fix, 1)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_Calculator, v2_p8, CalcVersion::kV2C3831Fix, 8)
+    ->RangeMultiplier(2)
+    ->Range(8, 32)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_Calculator, v3_p16, CalcVersion::kV3C3881Fix, 16)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_Calculator, bootstrap_p16, CalcVersion::kBootstrapC6127, 16)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity();
+
+}  // namespace
+}  // namespace scalecheck
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Reproduces the §8 colocation-limit experiment:
+//
+//   "Currently, on the 16-core 32-GB Nome machine, we can reach a maximum
+//    colocation factor of 512. When we tried colocating 600 nodes, we hit
+//    one of the following limitations: high CPU contention (>90%
+//    utilization), memory exhaustion (nodes receive out-of-memory exceptions
+//    and crash), or high event lateness (queuing delays from thread context
+//    switching)."
+//
+// and §6's scale-checkability comparison: one process per node (JVM-like
+// 70 MB overhead, per-node daemon threads) vs the paper's redesign (single
+// process, SEDA-like global event architecture). The per-process design dies
+// of memory exhaustion far below 512; the redesigned runtime reaches ~512
+// and then hits CPU/lateness walls — including the §6 space-oblivious
+// over-allocation variant as a third column.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/logging.h"
+
+namespace scalecheck {
+namespace {
+
+struct LimitRow {
+  double cpu = 0.0;
+  bool oom = false;
+  int crashed = 0;
+  VirtualDuration lateness_p99;
+  std::string verdict;
+};
+
+LimitRow Probe(int n, ExecModel exec_model, bool space_oblivious) {
+  ClusterConfig config;
+  config.initial_nodes = n;
+  config.vnodes_per_node = 1;
+  config.calc_version = CalcVersion::kV3C3881Fix;
+  config.calc_placement = CalcPlacement::kInlineGossipStage;
+  config.run_mode = RunMode::kColocated;
+  config.exec_model = exec_model;
+  config.space_oblivious_rebalance = space_oblivious;
+  config.seed = 1234;
+
+  WorkloadSpec wl;
+  // A small scale-out so the rebalance allocations (§6) actually happen.
+  wl.kind = WorkloadKind::kScaleOut;
+  wl.joining_nodes = std::max(1, n / 32);
+  wl.horizon = VirtualDuration::Seconds(120);
+  wl.transition = VirtualDuration::Seconds(20);
+
+  Cluster::Options options;
+  options.config = config;
+  options.workload = wl;
+  Cluster cluster(std::move(options));
+  RunResult r = cluster.Run();
+
+  LimitRow row;
+  row.cpu = r.max_cpu_utilization;
+  row.oom = r.oom;
+  row.crashed = r.crashed_nodes;
+  row.lateness_p99 = r.lateness_p99;
+  if (r.oom) {
+    row.verdict = StrFormat("OOM (%d crashed)", r.crashed_nodes);
+  } else if (r.max_cpu_utilization > 0.9) {
+    row.verdict = "CPU >90%";
+  } else if (r.lateness_p99 > VirtualDuration::Seconds(2)) {
+    row.verdict = "event lateness";
+  } else {
+    row.verdict = "OK";
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace scalecheck
+
+int main(int argc, char** argv) {
+  using namespace scalecheck;
+  SetLogLevel(LogLevel::kError);  // OOM crashes are the point, not noise
+  std::printf(
+      "Section 8: maximum colocation factor on one 16-core/32GB machine\n"
+      "(per-process vs SEDA-redesigned runtime vs space-oblivious rebalance)\n\n");
+
+  std::vector<std::string> header = {"N", "process/node", "SEDA redesign",
+                                     "SEDA + space-oblivious"};
+  std::vector<std::vector<std::string>> rows;
+  for (int n : {128, 256, 384, 448, 512, 640}) {
+    LimitRow process = Probe(n, ExecModel::kProcessPerNode, false);
+    LimitRow seda = Probe(n, ExecModel::kSedaSingleProcess, false);
+    LimitRow oblivious = Probe(n, ExecModel::kSedaSingleProcess, true);
+    auto cell = [](const LimitRow& row) {
+      return StrFormat("%s [cpu %.0f%%, p99 %s]", row.verdict.c_str(), row.cpu * 100,
+                       row.lateness_p99.ToString().c_str());
+    };
+    rows.push_back({StrFormat("%d", n), cell(process), cell(seda), cell(oblivious)});
+  }
+  std::printf("%s\n", RenderTable(header, rows).c_str());
+  std::printf("Expected: process-per-node exhausts 32GB well below 512 nodes; the\n"
+              "redesigned runtime reaches ~512 before hitting CPU/lateness walls;\n"
+              "space-oblivious allocation OOMs at a fraction of that.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces §4's argument against extrapolation (Vrisha-style [41]):
+// "bug symptoms might not appear in the small training scale, hence the
+// behaviors are hard to extrapolate accurately."
+//
+// We train on real-scale runs at 16..64 nodes and extrapolate two signals to
+// 256 nodes:
+//   - the SYMPTOM (flap count): identically zero at every training scale, so
+//     any extrapolation predicts zero — and misses the storm entirely;
+//   - the MECHANISM (offending-function duration): a clean power law that
+//     extrapolates to a red-flag duration — but §5 reminds us a long duration
+//     alone does not decide the bug (C5456's fix kept the computation), which
+//     is why the paper replays behaviour instead of extrapolating signals.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sfind/fitter.h"
+
+int main(int argc, char** argv) {
+  using namespace scalecheck;
+  BugSpec spec = C3831Spec();
+  ScaleCheckRunner runner(spec);
+
+  std::vector<int> training = {16, 32, 48, 64};
+  std::vector<std::pair<double, double>> flap_points;
+  std::vector<std::pair<double, double>> duration_points;
+
+  std::printf("Training runs (real scale):\n");
+  for (int n : training) {
+    RunResult r = runner.RunReal(n);
+    std::printf("  n=%-3d flaps=%-6lld calc_max=%.4fs\n", n,
+                static_cast<long long>(r.flaps), r.calc_duration_seconds.max());
+    flap_points.emplace_back(n, static_cast<double>(r.flaps));
+    duration_points.emplace_back(n, r.calc_duration_seconds.max());
+  }
+
+  ComplexityFit flap_fit = FitPowerLaw(flap_points);
+  ComplexityFit duration_fit = FitPowerLaw(duration_points);
+
+  std::printf("\nExtrapolations to N=256:\n");
+  std::printf("  symptom (flaps):    %s -> predicts %.1f flaps\n",
+              flap_fit.num_points < 2 ? "no usable signal (all zero)"
+                                      : flap_fit.Describe().c_str(),
+              flap_fit.num_points < 2 ? 0.0 : PredictOps(flap_fit, 256));
+  std::printf("  mechanism (calc t): %s -> predicts %.2fs per invocation\n",
+              duration_fit.Describe().c_str(), PredictOps(duration_fit, 256));
+
+  std::printf("\nGround truth at N=256 (real-scale run):\n");
+  RunResult truth = runner.RunReal(256);
+  std::printf("  flaps=%lld calc_max=%.2fs shed=%llu\n",
+              static_cast<long long>(truth.flaps), truth.calc_duration_seconds.max(),
+              static_cast<unsigned long long>(truth.stage_tasks_dropped));
+
+  std::printf("\nThe symptom extrapolation predicts ~0 flaps and is off by the whole\n"
+              "storm; the duration extrapolation red-flags correctly but cannot say\n"
+              "whether a 10s computation actually destabilizes THIS implementation —\n"
+              "which is exactly the gap scale-check replay fills (§4, §5).\n");
+  return 0;
+}

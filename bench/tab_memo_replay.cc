@@ -1,0 +1,59 @@
+// Reproduces the §8 memoization-vs-replay timing claims:
+//
+//   "for 256-node colocation, the memoization time for the bugs we
+//    reproduced takes between 7 to 125 minutes while the replay time is only
+//    between 4 to 15 minutes, similar to the real deployments"
+//
+// We report, per bug, the virtual duration of the one-time memoization run
+// (colocated, contended), the PIL replay, and the real-scale test. The shape
+// to check: memoize >> replay, and replay ~= real.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace scalecheck;
+  int n = 256;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--nodes=", 0) == 0) {
+      n = std::stoi(arg.substr(8));
+    }
+  }
+
+  std::printf("Section 8 table: memoization vs replay vs real time at %d-node scale\n\n",
+              n);
+  std::vector<std::string> header = {"bug",        "memoize",    "replay",
+                                     "real",       "replay/real", "memo/replay",
+                                     "memo DB",    "hit rate"};
+  std::vector<std::vector<std::string>> rows;
+
+  for (BugSpec spec : {C3831Spec(), C3881Spec(), C5456Spec()}) {
+    // Longer horizon than the figure benches so contended memoize runs can
+    // settle instead of being truncated (which would compress the ratios).
+    spec.horizon = VirtualDuration::Seconds(900);
+    ScaleCheckRunner runner(spec);
+    ScaleCheckResult r = runner.RunFull(n);
+    double lookups = static_cast<double>(r.replay.pil.replay_hits +
+                                         r.replay.pil.replay_misses);
+    rows.push_back({
+        spec.id,
+        r.memoize.test_duration.ToString(),
+        r.replay.test_duration.ToString(),
+        r.real.test_duration.ToString(),
+        StrFormat("%.2f", r.replay.test_duration.seconds() /
+                              std::max(1.0, r.real.test_duration.seconds())),
+        StrFormat("%.2f", r.memoize.test_duration.seconds() /
+                              std::max(1.0, r.replay.test_duration.seconds())),
+        StrFormat("%llu rec", static_cast<unsigned long long>(r.memo.records)),
+        StrFormat("%.0f%%", lookups == 0 ? 0.0
+                                         : 100.0 * static_cast<double>(
+                                                       r.replay.pil.replay_hits) /
+                                               lookups),
+    });
+  }
+  std::printf("%s\n", RenderTable(header, rows).c_str());
+  std::printf("Expected shape (paper): memoize/replay in the 2-10x range, replay/real ~1.\n");
+  return 0;
+}

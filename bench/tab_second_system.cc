@@ -1,0 +1,55 @@
+// §7 future work: "integrate the process to other distributed systems beyond
+// Cassandra". Scale-checks the HDFS-like master/worker substrate (src/dfs/):
+// the startup block-report storm — a member of the §4 footnote's
+// serialization class (53% of the studied bugs) — surfaces only past ~100
+// DataNodes, and the PIL-safe re-replication scan takes the PIL in replays.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/dfs/dfs.h"
+
+int main(int argc, char** argv) {
+  using namespace scalecheck;
+  std::printf("Second target system: HDFS-like startup block-report storm\n\n");
+
+  std::vector<std::string> header = {"#DataNodes", "mode",   "dead marks",
+                                     "re-regs",    "shed",   "scans",
+                                     "stable",     "NN util"};
+  std::vector<std::vector<std::string>> rows;
+  for (int n : bench::ScalesFromArgs(argc, argv)) {
+    DfsConfig config;
+    config.datanodes = n;
+
+    DfsResult real = RunDfsStartup(config, DfsMode::kRealScale);
+    DfsResult colo = RunDfsStartup(config, DfsMode::kColocated);
+    MemoStore store;
+    DfsResult memoize = RunDfsStartup(config, DfsMode::kMemoize, &store);
+    DfsResult replay = RunDfsStartup(config, DfsMode::kPilReplay, &store);
+    (void)memoize;
+
+    auto row = [&](const char* mode, const DfsResult& r) {
+      rows.push_back({StrFormat("%d", n), mode,
+                      StrFormat("%lld", static_cast<long long>(r.dead_marks)),
+                      StrFormat("%lld", static_cast<long long>(r.re_registrations)),
+                      StrFormat("%lld", static_cast<long long>(r.reports_shed)),
+                      StrFormat("%lld", static_cast<long long>(r.scans_run)),
+                      r.stabilized ? r.stabilize_time.ToString() : "NEVER",
+                      StrFormat("%.1f%%", r.namenode_utilization * 100)});
+    };
+    row("Real", real);
+    row("Colo", colo);
+    row("SC+PIL", replay);
+    std::printf("  n=%-4d real:   %s\n", n, real.Summary().c_str());
+    std::printf("         colo:   %s\n", colo.Summary().c_str());
+    std::printf("         replay: %s\n\n", replay.Summary().c_str());
+  }
+  std::printf("%s\n", RenderTable(header, rows).c_str());
+  std::printf(
+      "Expected: clean startup at <=64 DataNodes; dead-mark/re-registration storms\n"
+      "past ~128 (invisible in small-cluster testing); SC+PIL tracks Real. Unlike\n"
+      "the Cassandra bugs, the bottleneck here is ONE node's lock, so basic\n"
+      "colocation distorts less — this is the 53%% serialization class the paper\n"
+      "says PIL's program analysis must be 'slightly extended' for.\n");
+  return 0;
+}

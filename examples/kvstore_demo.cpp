@@ -1,0 +1,71 @@
+// User-visible impact: the quorum KV data path during a flap storm.
+//
+// §2: the C3831 instability "makes some data not reachable by the users" —
+// coordinators skip replicas their failure detector has convicted, so
+// operations die UNAVAILABLE even though every replica process is healthy.
+//
+// We run client load against a colocated 192-node cluster twice: once in
+// steady state, once while a decommission triggers the cubic pending-range
+// storm (basic colocation amplifies it at this scale, like a cheap test
+// box would). Compare the unavailable fractions.
+
+#include <cstdio>
+
+#include "src/cluster/cluster.h"
+#include "src/scalecheck/scale_check.h"
+
+using namespace scalecheck;
+
+namespace {
+
+RunResult RunWithLoad(WorkloadKind kind) {
+  BugSpec bug = C3831Spec();
+  ClusterConfig config = bug.MakeConfig(192, RunMode::kColocated, 1717);
+  config.enable_kv = true;
+
+  WorkloadSpec wl = bug.MakeWorkload(192);
+  wl.kind = kind;
+  wl.horizon = VirtualDuration::Seconds(240);
+
+  Cluster::Options options;
+  options.config = config;
+  options.workload = wl;
+  options.kv_ops_per_second = 150.0;
+  Cluster cluster(std::move(options));
+  return cluster.Run();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== data-path impact of a control-plane scalability bug ===\n\n");
+
+  std::printf("[1/2] steady state, 192 colocated nodes, 150 ops/s...\n");
+  RunResult steady = RunWithLoad(WorkloadKind::kSteadyState);
+  std::printf("[2/2] same cluster, decommission triggers the C3831 storm...\n\n");
+  RunResult storm = RunWithLoad(WorkloadKind::kDecommission);
+
+  auto report = [](const char* label, const RunResult& r) {
+    int64_t total = r.kv_ok + r.kv_unavailable + r.kv_timeout;
+    std::printf("%-14s ops=%-7lld ok=%-7lld unavailable=%-6lld timeout=%-5lld "
+                "p99=%-10s flaps=%lld\n",
+                label, static_cast<long long>(total), static_cast<long long>(r.kv_ok),
+                static_cast<long long>(r.kv_unavailable),
+                static_cast<long long>(r.kv_timeout),
+                r.kv_latency_p99.ToString().c_str(), static_cast<long long>(r.flaps));
+  };
+  report("steady:", steady);
+  report("decommission:", storm);
+
+  double steady_bad =
+      static_cast<double>(steady.kv_unavailable + steady.kv_timeout) /
+      std::max<int64_t>(1, steady.kv_ok + steady.kv_unavailable + steady.kv_timeout);
+  double storm_bad =
+      static_cast<double>(storm.kv_unavailable + storm.kv_timeout) /
+      std::max<int64_t>(1, storm.kv_ok + storm.kv_unavailable + storm.kv_timeout);
+  std::printf("\nfailed-operation fraction: steady %.2f%% vs storm %.2f%%\n",
+              steady_bad * 100.0, storm_bad * 100.0);
+  std::printf("Every replica stayed up the whole time — the outage is pure failure-\n"
+              "detector collateral from the scale-dependent computation.\n");
+  return 0;
+}

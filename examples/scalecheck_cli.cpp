@@ -1,0 +1,163 @@
+// scalecheck_cli: run any bug scenario / mode / scale from the command line.
+//
+//   scalecheck_cli --bug=C3831 --mode=real --nodes=64
+//   scalecheck_cli --bug=C5456 --mode=full --nodes=128 --seed=7
+//   scalecheck_cli --bug=C3881 --mode=colo --nodes=96 --trace
+//
+// Modes: real | colo | memoize | replay | full (real+colo+memoize+replay).
+// `memoize` writes /tmp/scalecheck_<bug>.memo; `replay` reads it — so a
+// developer can memoize once and replay as many times as debugging needs,
+// exactly the Figure 2 workflow.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/common/logging.h"
+#include "src/scalecheck/scale_check.h"
+
+using namespace scalecheck;
+
+namespace {
+
+struct CliOptions {
+  std::string bug = "C3831";
+  std::string mode = "full";
+  int nodes = 64;
+  uint64_t seed = 0x5ca1ec4ecULL;
+  bool trace = false;
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* bug = value_of("--bug=")) {
+      out->bug = bug;
+    } else if (const char* mode = value_of("--mode=")) {
+      out->mode = mode;
+    } else if (const char* nodes = value_of("--nodes=")) {
+      out->nodes = std::atoi(nodes);
+    } else if (const char* seed = value_of("--seed=")) {
+      out->seed = std::strtoull(seed, nullptr, 0);
+    } else if (arg == "--trace") {
+      out->trace = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return out->nodes >= 2;
+}
+
+bool FindBug(const std::string& id, BugSpec* out) {
+  for (const BugSpec& spec : {C3831Spec(), C3831FixedSpec(), C3881Spec(), C5456Spec(),
+                              C5456FixedSpec(), C6127Spec()}) {
+    if (spec.id == id) {
+      *out = spec;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Usage() {
+  std::printf(
+      "usage: scalecheck_cli [--bug=ID] [--mode=M] [--nodes=N] [--seed=S] [--trace]\n"
+      "  bugs:  C3831 C3831-fixed C3881 C5456 C5456-fixed C6127\n"
+      "  modes: real colo memoize replay full\n");
+}
+
+int RunOne(const BugSpec& spec, const CliOptions& cli, RunMode mode) {
+  std::string memo_path = "/tmp/scalecheck_" + spec.id + ".memo";
+  MemoStore store;
+  MemoStore* store_ptr = nullptr;
+  if (mode == RunMode::kMemoize) {
+    store_ptr = &store;
+  } else if (mode == RunMode::kPilReplay) {
+    if (!MemoStore::LoadFromFile(memo_path, &store)) {
+      std::fprintf(stderr, "no memo DB at %s — run --mode=memoize first\n",
+                   memo_path.c_str());
+      return 1;
+    }
+    std::printf("loaded memo DB: %zu records from %s\n", store.size(),
+                memo_path.c_str());
+    store_ptr = &store;
+  }
+
+  Cluster::Options options;
+  options.config = spec.MakeConfig(cli.nodes, mode, cli.seed);
+  options.workload = spec.MakeWorkload(cli.nodes);
+  options.memo_store = store_ptr;
+  options.enable_trace = cli.trace;
+  Cluster cluster(std::move(options));
+  RunResult result = cluster.Run();
+  std::printf("%s\n", result.Summary().c_str());
+
+  if (cli.trace) {
+    std::printf("\ntrace digest: %s (%llu events); last entries:\n%s",
+                cluster.trace()->ComputeDigest().ToHex().c_str(),
+                static_cast<unsigned long long>(cluster.trace()->total_events()),
+                cluster.trace()->DumpTail(15).c_str());
+  }
+  if (mode == RunMode::kMemoize) {
+    if (store.SaveToFile(memo_path)) {
+      std::printf("memo DB saved: %zu records -> %s\n", store.size(),
+                  memo_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not save memo DB to %s\n", memo_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kError);
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) {
+    Usage();
+    return 2;
+  }
+  BugSpec spec;
+  if (!FindBug(cli.bug, &spec)) {
+    std::fprintf(stderr, "unknown bug id '%s'\n", cli.bug.c_str());
+    Usage();
+    return 2;
+  }
+  std::printf("%s: %s\n", spec.id.c_str(), spec.description.c_str());
+
+  if (cli.mode == "real") {
+    return RunOne(spec, cli, RunMode::kRealScale);
+  }
+  if (cli.mode == "colo") {
+    return RunOne(spec, cli, RunMode::kColocated);
+  }
+  if (cli.mode == "memoize") {
+    return RunOne(spec, cli, RunMode::kMemoize);
+  }
+  if (cli.mode == "replay") {
+    return RunOne(spec, cli, RunMode::kPilReplay);
+  }
+  if (cli.mode == "full") {
+    ScaleCheckRunner runner(spec, cli.seed);
+    ScaleCheckResult full = runner.RunFull(cli.nodes);
+    std::printf("  real:    %s\n", full.real.Summary().c_str());
+    std::printf("  colo:    %s\n", full.colo.Summary().c_str());
+    std::printf("  memoize: %s\n", full.memoize.Summary().c_str());
+    std::printf("  replay:  %s\n", full.replay.Summary().c_str());
+    std::printf("PIL flap error vs real: %.0f%%; colo error: %.0f%%\n",
+                full.replay_flap_error * 100.0, full.colo_flap_error * 100.0);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown mode '%s'\n", cli.mode.c_str());
+  Usage();
+  return 2;
+}

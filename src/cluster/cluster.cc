@@ -1,0 +1,539 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace scalecheck {
+
+const char* RunModeName(RunMode mode) {
+  switch (mode) {
+    case RunMode::kRealScale:
+      return "Real";
+    case RunMode::kColocated:
+      return "Colo";
+    case RunMode::kMemoize:
+      return "Memoize";
+    case RunMode::kPilReplay:
+      return "SC+PIL";
+  }
+  return "?";
+}
+
+const char* CalcPlacementName(CalcPlacement placement) {
+  switch (placement) {
+    case CalcPlacement::kInlineGossipStage:
+      return "inline-gossip-stage";
+    case CalcPlacement::kSeparateThreadCoarseLock:
+      return "coarse-lock";
+    case CalcPlacement::kSeparateThreadClone:
+      return "clone-early-release";
+  }
+  return "?";
+}
+
+const char* ExecModelName(ExecModel model) {
+  switch (model) {
+    case ExecModel::kProcessPerNode:
+      return "process-per-node";
+    case ExecModel::kSedaSingleProcess:
+      return "seda-single-process";
+  }
+  return "?";
+}
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kSteadyState:
+      return "steady-state";
+    case WorkloadKind::kDecommission:
+      return "decommission";
+    case WorkloadKind::kScaleOut:
+      return "scale-out";
+    case WorkloadKind::kBootstrapFresh:
+      return "bootstrap-fresh";
+    case WorkloadKind::kFailover:
+      return "failover";
+    case WorkloadKind::kRebalance:
+      return "rebalance";
+  }
+  return "?";
+}
+
+std::string WorkloadSpec::Describe() const {
+  return StrFormat("%s(join=%d target=%d start=%s transition=%s horizon=%s)",
+                   WorkloadKindName(kind), joining_nodes, target,
+                   start_at.ToString().c_str(), transition.ToString().c_str(),
+                   horizon.ToString().c_str());
+}
+
+Cluster::Cluster(Options options) : options_(std::move(options)) {
+  BuildDeployment();
+}
+
+Cluster::~Cluster() {
+  // Nodes must die before machines/simulator (their threads deregister from
+  // the CPU model); vector order guarantees it because nodes_ is declared
+  // last among owning members... but be explicit:
+  nodes_.clear();
+}
+
+void Cluster::BuildDeployment() {
+  const ClusterConfig& cfg = options_.config;
+  const WorkloadSpec& wl = options_.workload;
+
+  initial_nodes_ = cfg.initial_nodes;
+  joining_nodes_ = wl.joining_nodes;
+  if (wl.kind == WorkloadKind::kBootstrapFresh) {
+    // Everyone bootstraps; "initial" nodes are fresh too.
+    joining_nodes_ = 0;
+  }
+  int total = initial_nodes_ + joining_nodes_;
+  CHECK_GT(total, 1);
+
+  sim_ = std::make_unique<Simulator>(cfg.seed);
+
+  // ---- Machines -----------------------------------------------------------
+  MachineSpec spec = cfg.machine_spec;
+  spec.ctx_switch_penalty = cfg.CtxSwitchPenalty();
+  int num_machines = 1;
+  int nodes_per_machine = total;
+  if (cfg.run_mode == RunMode::kRealScale) {
+    nodes_per_machine = cfg.nodes_per_machine_real;
+    num_machines = (total + nodes_per_machine - 1) / nodes_per_machine;
+  }
+  machines_ = std::make_unique<MachineSet>(sim_.get(), spec, num_machines);
+
+  // ---- Network --------------------------------------------------------------
+  network_ = std::make_unique<NetworkModel>(sim_.get(), options_.network,
+                                            Mix64(cfg.seed ^ 0x6e7209c4ULL));
+  network_->set_same_machine_fn([this](NodeId a, NodeId b) {
+    return machines_->SameMachine(a, b);
+  });
+  // ---- Calculators + PIL -----------------------------------------------------
+  calculator_ = MakeCalculator(cfg.calc_version);
+  bootstrap_calc_ = MakeCalculator(CalcVersion::kBootstrapC6127);
+  calc_function_ = registry_.Register(
+      calculator_->name(), calculator_->complexity(),
+      SideEffects{},  // pure: memoizable, no I/O, no messages, no locks inside
+      /*scale_dependent=*/true);
+  bootstrap_function_ =
+      registry_.Register(bootstrap_calc_->name(), bootstrap_calc_->complexity(),
+                         SideEffects{}, /*scale_dependent=*/true);
+  // Profiled-only functions: scale-dependent but NOT PIL-safe — handleSyn
+  // and applyStates send/receive gossip, the FD sweep reads the clock. sfind
+  // must report them as un-replaceable (§5's safety rule).
+  SideEffects network_effects;
+  network_effects.network_messages = true;
+  SideEffects clock_effects;
+  clock_effects.nondeterministic = true;
+  gossip_syn_function_ = registry_.Register(
+      "gossip.handleSynDigests", "O(N digests)", network_effects, true);
+  gossip_apply_function_ = registry_.Register(
+      "gossip.applyEndpointStates", "O(states applied)", network_effects, true);
+  fd_sweep_function_ = registry_.Register("failureDetector.interpretAll",
+                                          "O(N endpoints)", clock_effects, true);
+
+  PilMode pil_mode = PilMode::kDirect;
+  if (cfg.run_mode == RunMode::kMemoize) {
+    pil_mode = PilMode::kMemoize;
+    CHECK_NOTNULL(options_.memo_store) << "memoize mode needs a MemoStore";
+  } else if (cfg.run_mode == RunMode::kPilReplay) {
+    pil_mode = PilMode::kReplay;
+    CHECK_NOTNULL(options_.memo_store) << "replay mode needs a MemoStore";
+  }
+  pil_ = std::make_unique<PilBoundary>(sim_.get(), pil_mode, options_.memo_store,
+                                       spec.core_speed);
+
+  if (options_.shared_output_cache == nullptr) {
+    owned_output_cache_ = std::make_unique<CalcOutputCache>();
+  }
+  if (options_.enable_trace) {
+    trace_ = std::make_unique<TraceRecorder>();
+  }
+
+  // ---- Node environment -------------------------------------------------------
+  env_.sim = sim_.get();
+  env_.network = network_.get();
+  env_.flaps = &flaps_;
+  env_.pil = pil_.get();
+  env_.config = &options_.config;
+  env_.calculator = calculator_.get();
+  env_.bootstrap_calc = bootstrap_calc_.get();
+  env_.calc_function = calc_function_;
+  env_.bootstrap_function = bootstrap_function_;
+  env_.gossip_syn_function = gossip_syn_function_;
+  env_.gossip_apply_function = gossip_apply_function_;
+  env_.fd_sweep_function = fd_sweep_function_;
+  env_.output_cache = options_.shared_output_cache != nullptr
+                          ? options_.shared_output_cache
+                          : owned_output_cache_.get();
+  env_.trace = trace_.get();
+  env_.order_log = options_.record_order_log;
+  env_.record_order = cfg.run_mode == RunMode::kMemoize &&
+                      options_.record_order_log != nullptr;
+  env_.calc_durations = &calc_durations_;
+  env_.calc_invocations = &calc_invocations_;
+  env_.calc_executed_real = &calc_executed_real_;
+  env_.profile_hook = options_.profile_hook;
+
+  // ---- Nodes -------------------------------------------------------------------
+  Rng node_seeds(HashCombine(cfg.seed, 0xc1057e70ULL));
+  std::map<NodeId, std::vector<Token>> settled_members;
+  bool fresh = wl.kind == WorkloadKind::kBootstrapFresh;
+  if (!fresh) {
+    for (NodeId id = 0; id < initial_nodes_; ++id) {
+      settled_members[id] = GenerateTokens(id, cfg.vnodes_per_node, cfg.seed);
+    }
+  }
+
+  for (NodeId id = 0; id < total; ++id) {
+    Machine* machine = machines_->Place(id, nodes_per_machine);
+    auto node = std::make_unique<Node>(&env_, id, machine, node_seeds.Next());
+    nodes_.push_back(std::move(node));
+  }
+
+  // Wire OOM -> crash on every machine.
+  for (size_t i = 0; i < machines_->size(); ++i) {
+    machines_->at(i).memory().set_oom_handler([this](NodeId victim, int64_t bytes) {
+      SC_LOG(Warning) << "OOM: node " << victim << " allocating " << bytes;
+      if (victim >= 0 && static_cast<size_t>(victim) < nodes_.size() &&
+          !nodes_[static_cast<size_t>(victim)]->crashed()) {
+        ++crashed_nodes_;
+        nodes_[static_cast<size_t>(victim)]->Crash();
+      }
+    });
+  }
+
+  // Prime knowledge.
+  std::map<NodeId, std::vector<Token>> seed_members;
+  if (!fresh) {
+    for (NodeId id = 0; id < std::min(initial_nodes_, 3); ++id) {
+      seed_members[id] = settled_members[id];
+    }
+  }
+  for (NodeId id = 0; id < total; ++id) {
+    Node* node = nodes_[static_cast<size_t>(id)].get();
+    if (!fresh && id < initial_nodes_) {
+      node->PrimeSettled(settled_members);
+    } else if (!fresh) {
+      node->PrimeSeeds(seed_members);
+    }
+    if (cfg.run_mode == RunMode::kPilReplay && options_.replay_order_log != nullptr) {
+      node->EnableOrderEnforcement(options_.replay_order_log->SequenceOf(id));
+    }
+  }
+}
+
+void Cluster::ScheduleWorkload() {
+  const WorkloadSpec& wl = options_.workload;
+  const ClusterConfig& cfg = options_.config;
+
+  // Start settled nodes at t=0.
+  bool fresh = wl.kind == WorkloadKind::kBootstrapFresh;
+  if (!fresh) {
+    for (NodeId id = 0; id < initial_nodes_; ++id) {
+      nodes_[static_cast<size_t>(id)]->Start(/*as_joiner=*/false, wl.transition);
+    }
+  }
+
+  switch (wl.kind) {
+    case WorkloadKind::kSteadyState:
+      settled_ = true;
+      settle_time_ = VirtualTime::Zero();
+      break;
+
+    case WorkloadKind::kDecommission: {
+      CHECK_LT(wl.target, initial_nodes_);
+      NodeId target = wl.target;
+      VirtualDuration transition = wl.transition;
+      sim_->ScheduleAt(VirtualTime::Zero() + wl.start_at, [this, target, transition] {
+        nodes_[static_cast<size_t>(target)]->BeginDecommission(transition);
+      });
+      break;
+    }
+
+    case WorkloadKind::kScaleOut:
+    case WorkloadKind::kRebalance: {
+      VirtualDuration transition = wl.transition;
+      if (wl.kind == WorkloadKind::kRebalance) {
+        CHECK_LT(wl.target, initial_nodes_);
+        CHECK_GE(joining_nodes_, 1);
+        NodeId target = wl.target;
+        sim_->ScheduleAt(VirtualTime::Zero() + wl.start_at,
+                         [this, target, transition] {
+                           nodes_[static_cast<size_t>(target)]->BeginDecommission(
+                               transition);
+                         });
+      }
+      VirtualDuration join_start =
+          wl.kind == WorkloadKind::kRebalance
+              ? wl.start_at + wl.transition + VirtualDuration::Seconds(10)
+              : wl.start_at;
+      for (int j = 0; j < joining_nodes_; ++j) {
+        NodeId id = initial_nodes_ + j;
+        VirtualDuration at = join_start + wl.stagger * static_cast<int64_t>(j);
+        sim_->ScheduleAt(VirtualTime::Zero() + at, [this, id, transition] {
+          nodes_[static_cast<size_t>(id)]->Start(/*as_joiner=*/true, transition);
+        });
+      }
+      break;
+    }
+
+    case WorkloadKind::kBootstrapFresh: {
+      // Everyone is a fresh joiner knowing only the contact points (nodes
+      // 0..2), which are themselves bootstrapping.
+      std::vector<NodeId> contacts;
+      for (NodeId id = 0; id < std::min(initial_nodes_, 3); ++id) {
+        contacts.push_back(id);
+      }
+      VirtualDuration transition = wl.transition;
+      for (NodeId id = 0; id < initial_nodes_; ++id) {
+        Node* node = nodes_[static_cast<size_t>(id)].get();
+        node->PrimeContacts(contacts);
+        VirtualDuration at = wl.stagger * static_cast<int64_t>(id);
+        sim_->ScheduleAt(VirtualTime::Zero() + at, [node, transition] {
+          node->Start(/*as_joiner=*/true, transition);
+        });
+      }
+      break;
+    }
+
+    case WorkloadKind::kFailover: {
+      CHECK_LT(wl.target, initial_nodes_);
+      NodeId target = wl.target;
+      sim_->ScheduleAt(VirtualTime::Zero() + wl.start_at, [this, target] {
+        ++crashed_nodes_;
+        nodes_[static_cast<size_t>(target)]->Crash();
+      });
+      break;
+    }
+  }
+  (void)cfg;
+}
+
+bool Cluster::WorkloadSettled() const {
+  const WorkloadSpec& wl = options_.workload;
+  switch (wl.kind) {
+    case WorkloadKind::kSteadyState:
+      return true;
+
+    case WorkloadKind::kDecommission:
+      if (sim_->Now() < VirtualTime::Zero() + wl.start_at + wl.transition) {
+        return false;
+      }
+      for (const auto& node : nodes_) {
+        if (node->id() == wl.target || node->crashed()) {
+          continue;
+        }
+        if (node->ring().HasNode(wl.target) || !node->IsSettledView()) {
+          return false;
+        }
+      }
+      return true;
+
+    case WorkloadKind::kScaleOut:
+    case WorkloadKind::kRebalance:
+    case WorkloadKind::kBootstrapFresh: {
+      for (const auto& node : nodes_) {
+        if (node->crashed() ||
+            (wl.kind == WorkloadKind::kRebalance && node->id() == wl.target)) {
+          continue;
+        }
+        if (!node->IsSettledView()) {
+          return false;
+        }
+        // Every live node must be NORMAL in everyone's ring.
+        for (const auto& other : nodes_) {
+          if (other->crashed() ||
+              (wl.kind == WorkloadKind::kRebalance && other->id() == wl.target)) {
+            continue;
+          }
+          if (other->my_status() == StatusKind::kNormal &&
+              !node->ring().HasNode(other->id())) {
+            return false;
+          }
+        }
+      }
+      return true;
+    }
+
+    case WorkloadKind::kFailover: {
+      if (sim_->Now() < VirtualTime::Zero() + wl.start_at) {
+        return false;
+      }
+      for (const auto& node : nodes_) {
+        if (node->crashed()) {
+          continue;
+        }
+        if (node->gossiper().IsAlive(wl.target)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+RunResult Cluster::Run() {
+  ScheduleWorkload();
+  const WorkloadSpec& wl = options_.workload;
+  VirtualTime horizon = VirtualTime::Zero() + wl.horizon;
+
+  // KV client load: ops against random coordinators (70% reads).
+  std::unique_ptr<PeriodicTimer> kv_driver;
+  if (options_.kv_ops_per_second > 0.0) {
+    CHECK(options_.config.enable_kv) << "kv load needs config.enable_kv";
+    kv_rng_ = std::make_unique<Rng>(Mix64(options_.config.seed ^ 0x4b56ULL));
+    VirtualDuration period =
+        VirtualDuration::FromSecondsF(1.0 / options_.kv_ops_per_second);
+    kv_driver = std::make_unique<PeriodicTimer>(sim_.get(), period, [this] {
+      // Pick a running coordinator.
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        size_t idx = kv_rng_->PickIndex(nodes_.size());
+        Node* coordinator = nodes_[idx].get();
+        if (coordinator->crashed() || coordinator->kv() == nullptr ||
+            coordinator->my_status() != StatusKind::kNormal) {
+          continue;
+        }
+        uint64_t key = static_cast<uint64_t>(
+            kv_rng_->UniformInt(0, static_cast<int64_t>(options_.kv_key_space) - 1));
+        VirtualTime issued = sim_->Now();
+        auto done = [this, issued](KvOutcome outcome, const std::string&) {
+          switch (outcome) {
+            case KvOutcome::kOk:
+              ++kv_ok_;
+              kv_latency_.AddDuration(sim_->Now() - issued);
+              break;
+            case KvOutcome::kUnavailable:
+              ++kv_unavailable_;
+              break;
+            case KvOutcome::kTimeout:
+              ++kv_timeout_;
+              break;
+          }
+        };
+        if (kv_rng_->Bernoulli(0.3)) {
+          coordinator->kv()->Write(
+              key, std::string(static_cast<size_t>(options_.kv_value_bytes), 'v'),
+              done);
+        } else {
+          coordinator->kv()->Read(key, done);
+        }
+        return;
+      }
+    });
+    kv_driver->Start(VirtualDuration::Millis(10));
+  }
+
+  // Settlement polling.
+  VirtualTime stop_at = VirtualTime::Max();
+  auto checker = std::make_shared<PeriodicTimer>(
+      sim_.get(), VirtualDuration::Seconds(5), [this, &stop_at, horizon] {
+        if (!settled_ && WorkloadSettled()) {
+          settled_ = true;
+          settle_time_ = sim_->Now();
+          stop_at = std::min(horizon, sim_->Now() + options_.cooldown);
+        }
+        if (settled_ && sim_->Now() >= stop_at) {
+          sim_->RequestStop();
+        }
+      });
+  checker->Start(VirtualDuration::Seconds(5));
+
+  sim_->Run(horizon);
+  checker->Stop();
+
+  RunResult result;
+  CollectResult(&result);
+  return result;
+}
+
+void Cluster::CollectResult(RunResult* result) const {
+  const ClusterConfig& cfg = options_.config;
+  result->mode = cfg.run_mode;
+  result->num_nodes = static_cast<int>(nodes_.size());
+  result->vnodes_per_node = cfg.vnodes_per_node;
+
+  result->flaps = flaps_.total_flaps();
+  result->flapped_pairs = flaps_.flapped_pairs();
+
+  result->test_duration = sim_->Now() - VirtualTime::Zero();
+  result->settled = settled_;
+  result->settle_time = settled_ ? settle_time_ - VirtualTime::Zero()
+                                 : result->test_duration;
+
+  double max_util = 0.0;
+  int64_t peak_mem = 0;
+  bool oom = false;
+  VirtualDuration lateness_p99;
+  VirtualDuration lateness_max;
+  for (size_t i = 0; i < machines_->size(); ++i) {
+    Machine& m = const_cast<MachineSet*>(machines_.get())->at(i);
+    max_util = std::max(max_util, m.cpu().Utilization());
+    peak_mem += m.memory().peak_bytes();
+    oom = oom || m.memory().oom_observed();
+    lateness_p99 = std::max(lateness_p99, m.lateness().p99());
+    lateness_max = std::max(lateness_max, m.lateness().max());
+  }
+  result->max_cpu_utilization = max_util;
+  result->peak_memory_bytes = peak_mem;
+  result->oom = oom;
+  result->crashed_nodes = crashed_nodes_;
+  result->lateness_p99 = lateness_p99;
+  result->lateness_max = lateness_max;
+
+  result->calc_invocations = calc_invocations_;
+  result->calc_executed_real = calc_executed_real_;
+  result->calc_duration_seconds = calc_durations_;
+  RunningStat lock_holds;
+  uint64_t divergences = 0;
+  uint64_t enforced = 0;
+  uint64_t dropped = 0;
+  for (const auto& node : nodes_) {
+    lock_holds.Merge(node->ring_lock().hold_seconds());
+    divergences += node->order_divergences();
+    enforced += node->order_enforced();
+    dropped += node->stage_tasks_dropped();
+  }
+  result->stage_tasks_dropped = dropped;
+  result->calc_lock_hold_seconds = lock_holds;
+  result->order_divergences = divergences;
+  result->order_enforced = enforced;
+
+  result->pil = pil_->stats();
+  if (options_.memo_store != nullptr) {
+    result->memo = options_.memo_store->stats();
+  }
+  result->kv_ok = kv_ok_;
+  result->kv_unavailable = kv_unavailable_;
+  result->kv_timeout = kv_timeout_;
+  result->kv_latency_p99 = kv_latency_.PercentileDuration(99);
+
+  result->messages_sent = network_->messages_sent();
+  result->messages_delivered = network_->messages_delivered();
+  result->events_executed = sim_->events_executed();
+}
+
+std::string RunResult::Summary() const {
+  return StrFormat(
+      "%s N=%d P=%d: flaps=%lld pairs=%lld dur=%s settle=%s%s util=%.1f%% mem=%s "
+      "calcs=%lld (real=%lld, avg=%.3fs max=%.3fs) pil(hit=%llu miss=%llu) div=%llu "
+      "shed=%llu",
+      RunModeName(mode), num_nodes, vnodes_per_node, static_cast<long long>(flaps),
+      static_cast<long long>(flapped_pairs), test_duration.ToString().c_str(),
+      settle_time.ToString().c_str(), settled ? "" : "(!)",
+      max_cpu_utilization * 100.0, HumanBytes(peak_memory_bytes).c_str(),
+      static_cast<long long>(calc_invocations),
+      static_cast<long long>(calc_executed_real), calc_duration_seconds.mean(),
+      calc_duration_seconds.max(), static_cast<unsigned long long>(pil.replay_hits),
+      static_cast<unsigned long long>(pil.replay_misses),
+      static_cast<unsigned long long>(order_divergences),
+      static_cast<unsigned long long>(stage_tasks_dropped));
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,119 @@
+// Builds a deployment (simulator + machines + nodes), drives a workload, and
+// collects a RunResult. One Cluster = one run of Figure 3's inner loop.
+
+#ifndef SCALECHECK_SRC_CLUSTER_CLUSTER_H_
+#define SCALECHECK_SRC_CLUSTER_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/config.h"
+#include "src/cluster/node.h"
+#include "src/cluster/run_result.h"
+#include "src/cluster/workload.h"
+#include "src/gossip/flap_counter.h"
+#include "src/pil/boundary.h"
+#include "src/pil/function_registry.h"
+#include "src/pil/memo_store.h"
+#include "src/pil/order_log.h"
+#include "src/sim/machine.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace scalecheck {
+
+class Cluster {
+ public:
+  struct Options {
+    ClusterConfig config;
+    WorkloadSpec workload;
+    // kMemoize: records into these. kPilReplay: reads from them.
+    MemoStore* memo_store = nullptr;
+    OrderLog* record_order_log = nullptr;        // filled during memoization
+    const OrderLog* replay_order_log = nullptr;  // enforced during replay
+    // Optional cross-run calculator output cache (harness wall-clock only).
+    CalcOutputCache* shared_output_cache = nullptr;
+    // sfind profiling hook: (function, executed ops, ring entries).
+    std::function<void(PilFunctionId, int64_t, size_t)> profile_hook;
+    NetworkModel::Config network;
+    // Stop this long after the workload settles (flap recovery tail).
+    VirtualDuration cooldown = VirtualDuration::Seconds(40);
+    // Client load on the KV data path (requires config.enable_kv).
+    double kv_ops_per_second = 0.0;
+    int kv_value_bytes = 128;
+    uint64_t kv_key_space = 100000;
+    // Record an execution trace (determinism digests, debugging dumps).
+    bool enable_trace = false;
+  };
+
+  explicit Cluster(Options options);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Runs the workload to settle+cooldown (or the horizon) and reports.
+  RunResult Run();
+
+  // ---- Introspection (tests, examples) ------------------------------------
+  Simulator& sim() { return *sim_; }
+  Node* node(NodeId id) { return nodes_.at(static_cast<size_t>(id)).get(); }
+  size_t total_nodes() const { return nodes_.size(); }
+  const FlapCounter& flaps() const { return flaps_; }
+  const FunctionRegistry& registry() const { return registry_; }
+  MachineSet& machines() { return *machines_; }
+  // Non-null iff Options::enable_trace.
+  const TraceRecorder* trace() const { return trace_.get(); }
+  PilFunctionId calc_function() const { return calc_function_; }
+  PilFunctionId bootstrap_function() const { return bootstrap_function_; }
+  const PendingRangeCalculator* calculator() const { return calculator_.get(); }
+  const PendingRangeCalculator* bootstrap_calc() const { return bootstrap_calc_.get(); }
+
+ private:
+  void BuildDeployment();
+  void ScheduleWorkload();
+  bool WorkloadSettled() const;
+  void CollectResult(RunResult* result) const;
+
+  Options options_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<MachineSet> machines_;
+  std::unique_ptr<NetworkModel> network_;
+  FlapCounter flaps_;
+  FunctionRegistry registry_;
+  PilFunctionId calc_function_ = kInvalidPilFunction;
+  PilFunctionId bootstrap_function_ = kInvalidPilFunction;
+  PilFunctionId gossip_syn_function_ = kInvalidPilFunction;
+  PilFunctionId gossip_apply_function_ = kInvalidPilFunction;
+  PilFunctionId fd_sweep_function_ = kInvalidPilFunction;
+  std::unique_ptr<PendingRangeCalculator> calculator_;
+  std::unique_ptr<PendingRangeCalculator> bootstrap_calc_;
+  std::unique_ptr<PilBoundary> pil_;
+  std::unique_ptr<CalcOutputCache> owned_output_cache_;
+  std::unique_ptr<TraceRecorder> trace_;
+  Node::Env env_;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  int initial_nodes_ = 0;
+  int joining_nodes_ = 0;
+
+  // Metric sinks wired into Node::Env.
+  RunningStat calc_durations_;
+  int64_t calc_invocations_ = 0;
+  int64_t calc_executed_real_ = 0;
+
+  bool settled_ = false;
+  VirtualTime settle_time_;
+  int crashed_nodes_ = 0;
+
+  // KV load-driver aggregates.
+  std::unique_ptr<Rng> kv_rng_;
+  int64_t kv_ok_ = 0;
+  int64_t kv_unavailable_ = 0;
+  int64_t kv_timeout_ = 0;
+  LogHistogram kv_latency_{1e5, 1.5, 80};
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,717 @@
+#include "src/cluster/node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/gossip/messages.h"
+
+namespace scalecheck {
+
+const CalcOutputCache::Entry* CalcOutputCache::Find(CalcVersion version,
+                                                    const DigestValue& digest) const {
+  auto it = map_.find(Key{static_cast<int>(version), digest});
+  if (it == map_.end()) {
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void CalcOutputCache::Put(CalcVersion version, const DigestValue& digest, Entry entry) {
+  map_.emplace(Key{static_cast<int>(version), digest}, std::move(entry));
+}
+
+Node::Node(Env* env, NodeId id, Machine* machine, uint64_t seed)
+    : env_(env),
+      id_(id),
+      machine_(machine),
+      rng_(seed),
+      gossiper_(id, /*generation=*/1,
+                Gossiper::Callbacks{
+                    [this](NodeId ep, StatusKind o, StatusKind n) { OnStatusChange(ep, o, n); },
+                    [this](NodeId ep) { OnHeartbeat(ep); },
+                    [this](NodeId ep) { OnRestart(ep); },
+                }),
+      fd_(env->config->fd),
+      ring_lock_(env->sim, StrFormat("ring-lock/%d", id)),
+      gossip_task_(env->sim, machine, StrFormat("n%d/gossip-task", id)),
+      gossip_stage_(env->sim, machine, StrFormat("n%d/gossip-stage", id)) {
+  CHECK_NOTNULL(env);
+  CHECK_NOTNULL(machine);
+  if (env_->config->calc_placement != CalcPlacement::kInlineGossipStage) {
+    calc_thread_ = std::make_unique<SimThread>(env->sim, machine,
+                                               StrFormat("n%d/calc", id));
+  }
+  if (env_->config->enable_kv) {
+    kv_stage_ = std::make_unique<SimThread>(env->sim, machine,
+                                            StrFormat("n%d/kv-stage", id));
+    KvService::Deps deps;
+    deps.sim = env->sim;
+    deps.network = env->network;
+    deps.stage = kv_stage_.get();
+    deps.ring = &ring_;
+    deps.gossiper = &gossiper_;
+    deps.self = id_;
+    deps.replication_factor = env->config->replication_factor;
+    kv_ = std::make_unique<KvService>(deps);
+  }
+  unmonitored_[id_] = true;
+}
+
+Node::~Node() = default;
+
+void Node::PrimeSettled(const std::map<NodeId, std::vector<Token>>& members) {
+  CHECK(!started_);
+  auto self_it = members.find(id_);
+  CHECK(self_it != members.end()) << "settled node" << id_ << "not in member map";
+  my_tokens_ = self_it->second;
+
+  VersionedValue status;
+  status.status = StatusKind::kNormal;
+  status.tokens = my_tokens_;
+  gossiper_.SetLocalState(ApplicationStateKey::kStatus, status);
+
+  for (const auto& [peer, tokens] : members) {
+    ring_.AddNode(peer, tokens);
+    if (peer == id_) {
+      continue;
+    }
+    EndpointState state(/*generation=*/1);
+    VersionedValue peer_status;
+    peer_status.version = 1;
+    peer_status.status = StatusKind::kNormal;
+    peer_status.tokens = tokens;
+    state.Set(ApplicationStateKey::kStatus, peer_status);
+    gossiper_.AddKnownEndpoint(peer, state);
+    // Prime the failure detector so phi is meaningful from t=0.
+    fd_.Report(peer, env_->sim->Now());
+  }
+}
+
+void Node::PrimeSeeds(const std::map<NodeId, std::vector<Token>>& seed_members) {
+  CHECK(!started_);
+  for (const auto& [peer, tokens] : seed_members) {
+    if (peer == id_) {
+      continue;
+    }
+    EndpointState state(/*generation=*/1);
+    VersionedValue peer_status;
+    peer_status.version = 1;
+    peer_status.status = StatusKind::kNormal;
+    peer_status.tokens = tokens;
+    state.Set(ApplicationStateKey::kStatus, peer_status);
+    gossiper_.AddKnownEndpoint(peer, state);
+    // A fresh joiner has an established view of the seeds only.
+    if (!ring_.HasNode(peer)) {
+      ring_.AddNode(peer, tokens);
+    }
+  }
+}
+
+void Node::PrimeContacts(const std::vector<NodeId>& contacts) {
+  CHECK(!started_);
+  for (NodeId peer : contacts) {
+    if (peer == id_) {
+      continue;
+    }
+    // Generation 0: any real state the contact later advertises wins.
+    gossiper_.AddKnownEndpoint(peer, EndpointState(/*generation=*/0));
+  }
+}
+
+void Node::EnableOrderEnforcement(std::vector<MessageKey> sequence) {
+  enforcer_ = std::make_unique<OrderEnforcer>(
+      std::move(sequence), /*max_buffer=*/48,
+      [this](const Message& msg) { ProcessMessage(msg); });
+}
+
+void Node::Start(bool as_joiner, VirtualDuration transition) {
+  CHECK(!started_);
+  started_ = true;
+
+  machine_->memory().Allocate(id_, "runtime", env_->config->RuntimeOverheadBytes());
+  machine_->memory().Allocate(
+      id_, "endpoints",
+      static_cast<int64_t>(gossiper_.endpoints().size()) *
+          env_->config->endpoint_state_bytes);
+
+  env_->network->RegisterNode(id_, [this](const Message& msg) { OnMessage(msg); });
+
+  if (as_joiner) {
+    CHECK(my_tokens_.empty());
+    my_tokens_ = GenerateTokens(id_, env_->config->vnodes_per_node, env_->config->seed);
+    VersionedValue boot;
+    boot.status = StatusKind::kBootstrapping;
+    boot.tokens = my_tokens_;
+    gossiper_.SetLocalState(ApplicationStateKey::kStatus, boot);
+    AddPendingChange(PendingChange{id_, ChangeKind::kJoining, my_tokens_});
+    MarkRingDirty();
+
+    // BOOT -> NORMAL after the transition period.
+    env_->sim->ScheduleAfter(transition, [this] {
+      if (crashed_) {
+        return;
+      }
+      VersionedValue normal;
+      normal.status = StatusKind::kNormal;
+      normal.tokens = my_tokens_;
+      gossiper_.SetLocalState(ApplicationStateKey::kStatus, normal);
+      if (!ring_.HasNode(id_)) {
+        ring_.AddNode(id_, my_tokens_);
+      }
+      RemovePendingChange(id_);
+      MarkRingDirty();
+      MaybeScheduleRecalc();
+    });
+  }
+
+  // Desynchronize rounds across nodes, as real deployments are.
+  VirtualDuration phase = VirtualDuration::Nanos(static_cast<int64_t>(
+      rng_.UniformDouble() * static_cast<double>(env_->config->gossip_interval.nanos())));
+  gossip_timer_ = std::make_unique<PeriodicTimer>(
+      env_->sim, env_->config->gossip_interval, [this] { GossipRound(); });
+  gossip_timer_->Start(phase);
+}
+
+void Node::BeginDecommission(VirtualDuration transition) {
+  CHECK(started_);
+  VersionedValue leaving;
+  leaving.status = StatusKind::kLeaving;
+  leaving.tokens = my_tokens_;
+  gossiper_.SetLocalState(ApplicationStateKey::kStatus, leaving);
+  AddPendingChange(PendingChange{id_, ChangeKind::kLeaving, {}});
+  MarkRingDirty();
+  MaybeScheduleRecalc();
+
+  env_->sim->ScheduleAfter(transition, [this] {
+    if (crashed_) {
+      return;
+    }
+    VersionedValue left;
+    left.status = StatusKind::kLeft;
+    left.tokens = my_tokens_;
+    gossiper_.SetLocalState(ApplicationStateKey::kStatus, left);
+    if (ring_.HasNode(id_)) {
+      ring_.RemoveNode(id_);
+    }
+    RemovePendingChange(id_);
+    MarkRingDirty();
+    MaybeScheduleRecalc();
+  });
+  // Keep gossiping LEFT for a grace period so it disseminates, then stop.
+  env_->sim->ScheduleAfter(transition + VirtualDuration::Seconds(20), [this] {
+    if (crashed_) {
+      return;
+    }
+    gossip_timer_->Stop();
+    env_->network->UnregisterNode(id_);
+  });
+}
+
+void Node::Crash() {
+  if (crashed_) {
+    return;
+  }
+  crashed_ = true;
+  if (env_->trace != nullptr) {
+    env_->trace->Record(env_->sim->Now(), TraceKind::kNodeCrash, id_);
+  }
+  if (gossip_timer_ != nullptr) {
+    gossip_timer_->Stop();
+  }
+  env_->network->UnregisterNode(id_);
+  gossip_task_.Kill();
+  gossip_stage_.Kill();
+  if (calc_thread_ != nullptr) {
+    calc_thread_->Kill();
+  }
+  if (kv_stage_ != nullptr) {
+    kv_stage_->Kill();
+  }
+  machine_->memory().ReleaseAll(id_);
+}
+
+uint64_t Node::order_divergences() const {
+  return enforcer_ == nullptr ? 0 : enforcer_->divergences();
+}
+
+uint64_t Node::order_enforced() const {
+  return enforcer_ == nullptr ? 0 : enforcer_->enforced_in_order();
+}
+
+bool Node::IsSettledView() const {
+  return pending_changes_.empty() && !recalc_inflight_ && !ring_dirty_;
+}
+
+// ---- Gossip plumbing -------------------------------------------------------
+
+void Node::OnMessage(const Message& msg) {
+  if (crashed_) {
+    return;
+  }
+  if (enforcer_ != nullptr) {
+    enforcer_->Submit(msg);
+  } else {
+    ProcessMessage(msg);
+  }
+}
+
+void Node::ProcessMessage(const Message& msg) {
+  if (env_->record_order && env_->order_log != nullptr) {
+    // Stage jobs run FIFO, so enqueue order here IS processing order.
+    env_->order_log->Append(id_, MessageKey::Of(msg));
+  }
+  switch (msg.type) {
+    case kGossipSyn:
+      HandleSynMessage(msg);
+      break;
+    case kGossipAck:
+      HandleAckMessage(msg);
+      break;
+    case kGossipAck2:
+      HandleAck2Message(msg);
+      break;
+    case kKvWriteReq:
+    case kKvWriteResp:
+    case kKvReadReq:
+    case kKvReadResp:
+      if (kv_ != nullptr) {
+        kv_->HandleMessage(msg);
+      }
+      break;
+    default:
+      SC_LOG(Warning) << "node " << id_ << ": unknown message type " << msg.type;
+  }
+}
+
+void Node::GossipRound() {
+  if (crashed_) {
+    return;
+  }
+  VirtualTime intended = env_->sim->Now();
+
+  Job round("gossip.round");
+  round.IntendedAt(intended);
+  round
+      .Run([this] {
+        gossiper_.IncrementHeartbeat();
+      })
+      .Compute([this] {
+        return gossiper_.EstimateRoundWork(env_->config->gossip_costs);
+      })
+      .Run([this] {
+        std::vector<NodeId> live = gossiper_.LiveEndpoints();
+        if (live.empty()) {
+          return;
+        }
+        SendSyn(live[rng_.PickIndex(live.size())]);
+      });
+  gossip_task_.Enqueue(std::move(round));
+
+  FailureSweep();
+}
+
+void Node::FailureSweep() {
+  Job sweep("gossip.fd-sweep");
+  sweep
+      .Compute([this] {
+        return env_->config->fd_check_cost_per_endpoint *
+               static_cast<WorkUnits>(gossiper_.endpoints().size());
+      })
+      .Run([this] {
+        VirtualTime now = env_->sim->Now();
+        for (const auto& [ep, state] : gossiper_.endpoints()) {
+          if (unmonitored_.count(ep) > 0 || !gossiper_.IsAlive(ep)) {
+            continue;
+          }
+          if (fd_.Phi(ep, now) > fd_.config().threshold) {
+            gossiper_.MarkDead(ep);
+            env_->flaps->RecordDown(id_, ep, now);
+            if (env_->trace != nullptr) {
+              env_->trace->Record(now, TraceKind::kConviction, id_, ep);
+            }
+          }
+        }
+        if (env_->profile_hook) {
+          env_->profile_hook(env_->fd_sweep_function,
+                             env_->config->fd_check_cost_per_endpoint *
+                                 static_cast<int64_t>(gossiper_.endpoints().size()),
+                             gossiper_.endpoints().size());
+        }
+      });
+  gossip_task_.Enqueue(std::move(sweep));
+}
+
+void Node::SendSyn(NodeId peer) {
+  auto syn = std::make_shared<SynPayload>();
+  syn->digests = gossiper_.MakeSynDigests();
+  env_->network->Send(id_, peer, kGossipSyn, std::move(syn));
+}
+
+void Node::HandleSynMessage(const Message& msg) {
+  auto syn = std::static_pointer_cast<const SynPayload>(msg.payload);
+  NodeId peer = msg.from;
+  Job job("gossip.handle-syn");
+  if (!env_->config->gossip_stage_timeout.IsZero()) {
+    job.ExpiresAfter(env_->config->gossip_stage_timeout);
+  }
+  job.Compute([this, syn] {
+       return Gossiper::EstimateSynWork(*syn, env_->config->gossip_costs);
+     })
+      .Run([this, syn, peer] {
+        auto ack = std::make_shared<AckPayload>();
+        std::vector<GossipDigest> requests;
+        gossiper_.HandleSyn(syn->digests, &requests, &ack->states);
+        ack->requests = std::move(requests);
+        if (env_->profile_hook) {
+          env_->profile_hook(env_->gossip_syn_function,
+                             Gossiper::EstimateSynWork(*syn, env_->config->gossip_costs),
+                             gossiper_.endpoints().size());
+        }
+        env_->network->Send(id_, peer, kGossipAck, std::move(ack));
+      });
+  gossip_stage_.Enqueue(std::move(job));
+}
+
+void Node::HandleAckMessage(const Message& msg) {
+  auto ack = std::static_pointer_cast<const AckPayload>(msg.payload);
+  NodeId peer = msg.from;
+  Job job("gossip.handle-ack");
+  if (!env_->config->gossip_stage_timeout.IsZero()) {
+    job.ExpiresAfter(env_->config->gossip_stage_timeout);
+  }
+  job.Compute([this, ack] {
+    return Gossiper::EstimateAckWork(*ack, env_->config->gossip_costs);
+  });
+  if (UsesRingLock()) {
+    job.Lock(&ring_lock_);
+  }
+  job.Run([this, ack] {
+    gossiper_.ApplyStates(ack->states);
+    if (env_->profile_hook) {
+      env_->profile_hook(env_->gossip_apply_function,
+                         Gossiper::EstimateAckWork(*ack, env_->config->gossip_costs),
+                         gossiper_.endpoints().size());
+    }
+  });
+  if (UsesRingLock()) {
+    job.Unlock(&ring_lock_);
+  }
+  job.Run([this, ack, peer] {
+    auto ack2 = std::make_shared<Ack2Payload>();
+    ack2->states = gossiper_.StatesForRequests(ack->requests);
+    if (!ack2->states.empty()) {
+      env_->network->Send(id_, peer, kGossipAck2, std::move(ack2));
+    }
+    MaybeScheduleRecalc();
+  });
+  gossip_stage_.Enqueue(std::move(job));
+}
+
+void Node::HandleAck2Message(const Message& msg) {
+  auto ack2 = std::static_pointer_cast<const Ack2Payload>(msg.payload);
+  Job job("gossip.handle-ack2");
+  if (!env_->config->gossip_stage_timeout.IsZero()) {
+    job.ExpiresAfter(env_->config->gossip_stage_timeout);
+  }
+  job.Compute([this, ack2] {
+    return Gossiper::EstimateAck2Work(*ack2, env_->config->gossip_costs);
+  });
+  if (UsesRingLock()) {
+    job.Lock(&ring_lock_);
+  }
+  job.Run([this, ack2] { gossiper_.ApplyStates(ack2->states); });
+  if (UsesRingLock()) {
+    job.Unlock(&ring_lock_);
+  }
+  job.Run([this] { MaybeScheduleRecalc(); });
+  gossip_stage_.Enqueue(std::move(job));
+}
+
+// ---- Gossiper callbacks ------------------------------------------------------
+
+void Node::OnStatusChange(NodeId ep, StatusKind old_status, StatusKind new_status) {
+  if (env_->trace != nullptr) {
+    env_->trace->Record(env_->sim->Now(), TraceKind::kStatusChange, id_, ep,
+                        static_cast<int64_t>(new_status), StatusKindName(new_status));
+  }
+  switch (new_status) {
+    case StatusKind::kBootstrapping: {
+      const EndpointState* state = gossiper_.StateOf(ep);
+      CHECK_NOTNULL(state);
+      AddPendingChange(PendingChange{ep, ChangeKind::kJoining, state->Tokens()});
+      MarkRingDirty();
+      break;
+    }
+    case StatusKind::kNormal: {
+      const EndpointState* state = gossiper_.StateOf(ep);
+      CHECK_NOTNULL(state);
+      if (!ring_.HasNode(ep)) {
+        ring_.AddNode(ep, state->Tokens());
+      }
+      RemovePendingChange(ep);
+      MarkRingDirty();
+      break;
+    }
+    case StatusKind::kLeaving:
+      AddPendingChange(PendingChange{ep, ChangeKind::kLeaving, {}});
+      MarkRingDirty();
+      break;
+    case StatusKind::kLeft:
+    case StatusKind::kRemoved:
+      if (ring_.HasNode(ep)) {
+        ring_.RemoveNode(ep);
+      }
+      RemovePendingChange(ep);
+      // A properly departed node is no longer monitored; its silence is not
+      // a failure and must not produce flaps.
+      unmonitored_[ep] = true;
+      fd_.Forget(ep);
+      gossiper_.MarkDead(ep);
+      MarkRingDirty();
+      break;
+    case StatusKind::kUnknown:
+      break;
+  }
+}
+
+void Node::OnHeartbeat(NodeId ep) {
+  if (unmonitored_.count(ep) > 0) {
+    return;
+  }
+  fd_.Report(ep, env_->sim->Now());
+  if (!gossiper_.IsAlive(ep)) {
+    gossiper_.MarkAlive(ep);
+    env_->flaps->RecordUp(id_, ep, env_->sim->Now());
+    if (env_->trace != nullptr) {
+      env_->trace->Record(env_->sim->Now(), TraceKind::kRescue, id_, ep);
+    }
+  }
+  if (env_->config->recalc_trigger == RecalcTrigger::kAnyApplyOfPendingEndpoint &&
+      HasPendingChange(ep)) {
+    MarkRingDirty();
+  }
+}
+
+void Node::OnRestart(NodeId ep) {
+  // Treat a restarted peer as freshly alive.
+  if (!gossiper_.IsAlive(ep)) {
+    gossiper_.MarkAlive(ep);
+    env_->flaps->RecordUp(id_, ep, env_->sim->Now());
+  }
+}
+
+// ---- Ring / pending-range machinery -------------------------------------------
+
+void Node::AddPendingChange(PendingChange change) {
+  for (const PendingChange& existing : pending_changes_) {
+    if (existing.node == change.node && existing.kind == change.kind) {
+      return;
+    }
+  }
+  pending_changes_.push_back(std::move(change));
+  UpdatePartitionServiceMemory();
+}
+
+void Node::RemovePendingChange(NodeId ep) {
+  auto removed = std::remove_if(pending_changes_.begin(), pending_changes_.end(),
+                                [ep](const PendingChange& c) { return c.node == ep; });
+  if (removed != pending_changes_.end()) {
+    pending_changes_.erase(removed, pending_changes_.end());
+    UpdatePartitionServiceMemory();
+  }
+}
+
+bool Node::HasPendingChange(NodeId ep) const {
+  for (const PendingChange& c : pending_changes_) {
+    if (c.node == ep) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Node::UpdatePartitionServiceMemory() {
+  bool want = !pending_changes_.empty();
+  if (want == partition_services_allocated_) {
+    return;
+  }
+  if (want) {
+    // §6: the rebalance protocol allocates partition services up front. The
+    // space-oblivious variant allocates (N-1)*P of them; the fixed code P.
+    int64_t services =
+        env_->config->space_oblivious_rebalance
+            ? static_cast<int64_t>(gossiper_.endpoints().size() - 1) *
+                  env_->config->vnodes_per_node
+            : env_->config->vnodes_per_node;
+    partition_services_bytes_ = services * env_->config->partition_service_bytes;
+    machine_->memory().Allocate(id_, "partition-services", partition_services_bytes_);
+    partition_services_allocated_ = true;
+  } else {
+    machine_->memory().Release(id_, "partition-services", partition_services_bytes_);
+    partition_services_bytes_ = 0;
+    partition_services_allocated_ = false;
+  }
+}
+
+void Node::MarkRingDirty() { ring_dirty_ = true; }
+
+void Node::MaybeScheduleRecalc() {
+  if (crashed_ || !ring_dirty_ || recalc_inflight_) {
+    return;
+  }
+  if (pending_changes_.empty()) {
+    // Nothing in flight: the recalculation is trivial; skip it (the cheap
+    // path real code takes too).
+    ring_dirty_ = false;
+    pending_ranges_ = PendingRanges();
+    return;
+  }
+  recalc_inflight_ = true;
+  BuildRecalcJob();
+}
+
+void Node::BuildRecalcJob() {
+  struct RecalcState {
+    TokenRing ring_copy;
+    CalcInput input;
+    bool bootstrap_path = false;
+    bool digest_ready = false;
+    DigestValue digest;
+  };
+  auto state = std::make_shared<RecalcState>();
+
+  auto digest_fn = [state] {
+    if (!state->digest_ready) {
+      state->digest = state->input.ComputeDigest();
+      state->digest_ready = true;
+    }
+    return state->digest;
+  };
+  auto compute_fn = [this, state] {
+    return ComputeCalc(state->input, state->bootstrap_path);
+  };
+  auto apply_fn = [this](const std::vector<uint8_t>& output, bool from_memo) {
+    PendingRanges decoded;
+    if (!PendingRanges::Decode(output, &decoded)) {
+      SC_LOG(Error) << "node " << id_ << ": undecodable pending-range output";
+      return;
+    }
+    pending_ranges_ = std::move(decoded);
+  };
+
+  auto prepare = [this, state] {
+    ring_dirty_ = false;
+    ++*env_->calc_invocations;
+    if (env_->trace != nullptr) {
+      env_->trace->Record(env_->sim->Now(), TraceKind::kCalcStart, id_, kInvalidNode,
+                          static_cast<int64_t>(pending_changes_.size()));
+    }
+    state->bootstrap_path =
+        ring_.num_nodes() < static_cast<size_t>(env_->config->replication_factor);
+    state->input.changes = pending_changes_;
+    state->input.rf = env_->config->replication_factor;
+  };
+  auto finish = [this] {
+    recalc_inflight_ = false;
+    if (env_->trace != nullptr) {
+      env_->trace->Record(env_->sim->Now(), TraceKind::kCalcDone, id_, kInvalidNode,
+                          static_cast<int64_t>(pending_ranges_.size()));
+    }
+    MaybeScheduleRecalc();  // re-run if dirtied during the calculation
+  };
+
+  Job job("ring.recalc");
+  switch (env_->config->calc_placement) {
+    case CalcPlacement::kInlineGossipStage:
+      job.Run([prepare, state, this] {
+        prepare();
+        state->input.ring = &ring_;
+      });
+      break;
+    case CalcPlacement::kSeparateThreadCoarseLock:
+      // The C5456 bug: the whole calculation (or its PIL sleep) happens with
+      // the ring lock held.
+      job.Lock(&ring_lock_);
+      job.Run([prepare, state, this] {
+        prepare();
+        state->input.ring = &ring_;
+      });
+      break;
+    case CalcPlacement::kSeparateThreadClone:
+      // The C5456 fix: clone under the lock, release, then compute.
+      job.Lock(&ring_lock_);
+      job.Compute([this] { return static_cast<WorkUnits>(ring_.num_entries()) * 6; });
+      job.Run([prepare, state, this] {
+        prepare();
+        state->ring_copy = ring_.Clone();
+        state->input.ring = &state->ring_copy;
+      });
+      job.Unlock(&ring_lock_);
+      break;
+  }
+
+  // The PIL boundary itself. The function id must distinguish the two code
+  // paths (they memoize separately).
+  PilFunctionId main_id = env_->calc_function;
+  PilFunctionId boot_id = env_->bootstrap_function;
+  // We cannot know the path before prepare() runs, so wrap the boundary with
+  // the main id and fold the path into the digest: same effect, stable keys.
+  auto path_digest_fn = [digest_fn, state, boot_id, main_id] {
+    DigestValue d = digest_fn();
+    d.lo = HashCombine(d.lo, state->bootstrap_path ? boot_id : main_id);
+    return d;
+  };
+  env_->pil->Apply(&job, main_id, path_digest_fn, compute_fn, apply_fn);
+
+  if (env_->config->calc_placement == CalcPlacement::kSeparateThreadCoarseLock) {
+    job.Unlock(&ring_lock_);
+  }
+  job.Run(finish);
+  CalcThread()->Enqueue(std::move(job));
+}
+
+PilBoundary::ComputeOutput Node::ComputeCalc(const CalcInput& input,
+                                             bool bootstrap_path) {
+  PendingRangeCalculator* calc =
+      bootstrap_path ? env_->bootstrap_calc : env_->calculator;
+  DigestValue digest = input.ComputeDigest();
+
+  PilBoundary::ComputeOutput out;
+  const CalcOutputCache::Entry* cached =
+      env_->output_cache == nullptr ? nullptr
+                                    : env_->output_cache->Find(calc->version(), digest);
+  int64_t ops = 0;
+  bool executed = false;
+  if (cached != nullptr) {
+    out.output = cached->output;
+    out.work = cached->work;
+    ops = cached->ops;
+    executed = cached->executed;
+  } else {
+    PendingRangeCalculator::RunOutcome outcome =
+        calc->Run(input, env_->config->execute_threshold_ops);
+    out.output = outcome.pending.Encode();
+    out.work = outcome.work;
+    ops = outcome.ops;
+    executed = outcome.executed;
+    if (env_->output_cache != nullptr) {
+      env_->output_cache->Put(calc->version(), digest,
+                              CalcOutputCache::Entry{out.output, out.work, ops, executed});
+    }
+  }
+  if (executed) {
+    ++*env_->calc_executed_real;
+  }
+  env_->calc_durations->Add(env_->pil->WorkToDuration(out.work).seconds());
+  if (env_->profile_hook) {
+    env_->profile_hook(bootstrap_path ? env_->bootstrap_function : env_->calc_function,
+                       ops, input.ring->num_entries());
+  }
+  return out;
+}
+
+}  // namespace scalecheck

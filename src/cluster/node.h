@@ -1,0 +1,235 @@
+// A simulated Cassandra-like node.
+//
+// Thread structure mirrors the real system (and the paper's observation that
+// each node runs "at most 2 busy cores (e.g., gossiper and gossip-processing
+// threads)"):
+//
+//   gossip_task_thread   every second: heartbeat++, SYN to a random live
+//                        peer, failure-detector sweep (convictions happen
+//                        here, so a node keeps convicting even when its
+//                        processing stage is starved — as in Cassandra).
+//   gossip_stage_thread  processes SYN/ACK/ACK2, applies endpoint states,
+//                        maintains the local ring view; in the C3831/C3881
+//                        era also runs the pending-range calculation INLINE,
+//                        which is the whole disaster.
+//   calc_thread          (C5456-era placements) runs the calculation off the
+//                        stage, synchronizing via the ring-table SimMutex.
+//
+// The pending-range calculation crosses the PIL boundary: depending on the
+// run mode it executes (real/colocated/memoize) or sleeps (replay).
+
+#ifndef SCALECHECK_SRC_CLUSTER_NODE_H_
+#define SCALECHECK_SRC_CLUSTER_NODE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/cluster/config.h"
+#include "src/cluster/workload.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/gossip/failure_detector.h"
+#include "src/gossip/flap_counter.h"
+#include "src/gossip/gossiper.h"
+#include "src/kv/kv_service.h"
+#include "src/pil/boundary.h"
+#include "src/pil/order_log.h"
+#include "src/ring/calculators.h"
+#include "src/sim/machine.h"
+#include "src/sim/network.h"
+#include "src/sim/thread.h"
+#include "src/sim/trace.h"
+
+namespace scalecheck {
+
+// Process-level cache of calculator outputs keyed by input digest. A harness
+// optimization, not a semantic one: the calculators are pure functions, and
+// hundreds of nodes redundantly computing identical inputs is precisely the
+// redundancy the paper's PIL exploits. Virtual-time cost is still charged per
+// invocation; only host wall-clock is saved.
+class CalcOutputCache {
+ public:
+  struct Entry {
+    std::vector<uint8_t> output;
+    WorkUnits work = 0;
+    int64_t ops = 0;
+    bool executed = false;
+  };
+
+  const Entry* Find(CalcVersion version, const DigestValue& digest) const;
+  void Put(CalcVersion version, const DigestValue& digest, Entry entry);
+  uint64_t hits() const { return hits_; }
+  size_t size() const { return map_.size(); }
+
+ private:
+  struct Key {
+    int version;
+    DigestValue digest;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return DigestValueHash()(k.digest) ^ static_cast<size_t>(k.version * 1099511);
+    }
+  };
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  mutable uint64_t hits_ = 0;
+};
+
+class Node {
+ public:
+  // Shared environment owned by the Cluster.
+  struct Env {
+    Simulator* sim = nullptr;
+    NetworkModel* network = nullptr;
+    FlapCounter* flaps = nullptr;
+    PilBoundary* pil = nullptr;
+    const ClusterConfig* config = nullptr;
+    PendingRangeCalculator* calculator = nullptr;      // configured generation
+    PendingRangeCalculator* bootstrap_calc = nullptr;  // C6127 fresh path
+    PilFunctionId calc_function = kInvalidPilFunction;
+    PilFunctionId bootstrap_function = kInvalidPilFunction;
+    // Profiled but NOT PIL-replaceable (side effects / nondeterminism);
+    // these are the linear serialization class of §4's footnote.
+    PilFunctionId gossip_syn_function = kInvalidPilFunction;
+    PilFunctionId gossip_apply_function = kInvalidPilFunction;
+    PilFunctionId fd_sweep_function = kInvalidPilFunction;
+    CalcOutputCache* output_cache = nullptr;
+    // Memoization runs record processing order here.
+    OrderLog* order_log = nullptr;
+    bool record_order = false;
+    // Optional execution trace (determinism digests, debug dumps).
+    TraceRecorder* trace = nullptr;
+
+    // Metric sinks (owned by Cluster).
+    RunningStat* calc_durations = nullptr;
+    int64_t* calc_invocations = nullptr;
+    int64_t* calc_executed_real = nullptr;
+    // sfind hook: (function, executed ops, ring entries at invocation).
+    std::function<void(PilFunctionId, int64_t, size_t)> profile_hook = nullptr;
+  };
+
+  Node(Env* env, NodeId id, Machine* machine, uint64_t seed);
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+
+  // ---- Pre-start configuration -------------------------------------------
+
+  // Installs knowledge of a settled cluster: all members NORMAL with their
+  // tokens, ring populated, failure-detector windows primed.
+  void PrimeSettled(const std::map<NodeId, std::vector<Token>>& members);
+  // For joiners: the only peers known at start.
+  void PrimeSeeds(const std::map<NodeId, std::vector<Token>>& seed_members);
+  // For fresh bootstrap: bare contact addresses with no known state (the
+  // contacts themselves are bootstrapping too).
+  void PrimeContacts(const std::vector<NodeId>& contacts);
+  // Replay mode: enforce this recorded processing order.
+  void EnableOrderEnforcement(std::vector<MessageKey> sequence);
+
+  // ---- Lifecycle -----------------------------------------------------------
+
+  // Registers with the network and starts periodic gossip. A joiner
+  // announces BOOT with its tokens and turns NORMAL after `transition`.
+  void Start(bool as_joiner, VirtualDuration transition);
+  // Announces LEAVING now and LEFT after `transition`.
+  void BeginDecommission(VirtualDuration transition);
+  // Hard crash: threads die, network unregisters, locks stay taken.
+  void Crash();
+  bool crashed() const { return crashed_; }
+
+  // ---- Introspection -------------------------------------------------------
+
+  const TokenRing& ring() const { return ring_; }
+  const Gossiper& gossiper() const { return gossiper_; }
+  const PendingRanges& pending_ranges() const { return pending_ranges_; }
+  const std::vector<PendingChange>& pending_changes() const { return pending_changes_; }
+  bool recalc_inflight() const { return recalc_inflight_; }
+  const SimMutex& ring_lock() const { return ring_lock_; }
+  uint64_t order_divergences() const;
+  uint64_t order_enforced() const;
+  // Non-null iff config.enable_kv.
+  KvService* kv() { return kv_.get(); }
+  // Gossip-processing tasks shed for staleness (stage overload signature).
+  uint64_t stage_tasks_dropped() const { return gossip_stage_.jobs_dropped(); }
+  std::vector<Token> my_tokens() const { return my_tokens_; }
+  Machine* machine() const { return machine_; }
+  StatusKind my_status() const { return gossiper_.LocalState().Status(); }
+  bool IsSettledView() const;  // no pending changes, no recalc in flight
+
+ private:
+  // ---- Gossip plumbing -----------------------------------------------------
+  void OnMessage(const Message& msg);
+  void ProcessMessage(const Message& msg);
+  void GossipRound();
+  void FailureSweep();
+  void SendSyn(NodeId peer);
+  void HandleSynMessage(const Message& msg);
+  void HandleAckMessage(const Message& msg);
+  void HandleAck2Message(const Message& msg);
+
+  // ---- Gossiper callbacks --------------------------------------------------
+  void OnStatusChange(NodeId ep, StatusKind old_status, StatusKind new_status);
+  void OnHeartbeat(NodeId ep);
+  void OnRestart(NodeId ep);
+
+  // ---- Ring / pending-range machinery ---------------------------------------
+  void AddPendingChange(PendingChange change);
+  void RemovePendingChange(NodeId ep);
+  bool HasPendingChange(NodeId ep) const;
+  void MarkRingDirty();
+  void MaybeScheduleRecalc();
+  void BuildRecalcJob();
+  // The PIL compute closure (consults the output cache; real-vs-model).
+  PilBoundary::ComputeOutput ComputeCalc(const CalcInput& input, bool bootstrap_path);
+  void UpdatePartitionServiceMemory();
+
+  bool UsesRingLock() const {
+    return env_->config->calc_placement != CalcPlacement::kInlineGossipStage;
+  }
+  SimThread* CalcThread() {
+    return env_->config->calc_placement == CalcPlacement::kInlineGossipStage
+               ? &gossip_stage_
+               : calc_thread_.get();
+  }
+
+  Env* env_;
+  NodeId id_;
+  Machine* machine_;
+  Rng rng_;
+
+  Gossiper gossiper_;
+  PhiAccrualFailureDetector fd_;
+  TokenRing ring_;
+  SimMutex ring_lock_;
+
+  SimThread gossip_task_;
+  SimThread gossip_stage_;
+  std::unique_ptr<SimThread> calc_thread_;
+  std::unique_ptr<SimThread> kv_stage_;
+  std::unique_ptr<KvService> kv_;
+  std::unique_ptr<PeriodicTimer> gossip_timer_;
+
+  std::vector<Token> my_tokens_;
+  std::vector<PendingChange> pending_changes_;
+  PendingRanges pending_ranges_;
+  bool ring_dirty_ = false;
+  bool recalc_inflight_ = false;
+  bool partition_services_allocated_ = false;
+  int64_t partition_services_bytes_ = 0;
+
+  // Endpoints we do not failure-monitor (ourselves, LEFT nodes).
+  std::map<NodeId, bool> unmonitored_;
+
+  std::unique_ptr<OrderEnforcer> enforcer_;
+  bool started_ = false;
+  bool crashed_ = false;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_CLUSTER_NODE_H_

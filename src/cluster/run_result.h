@@ -1,0 +1,71 @@
+// Per-run metrics, the raw material of every table and figure.
+
+#ifndef SCALECHECK_SRC_CLUSTER_RUN_RESULT_H_
+#define SCALECHECK_SRC_CLUSTER_RUN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/cluster/config.h"
+#include "src/pil/boundary.h"
+#include "src/pil/memo_store.h"
+
+namespace scalecheck {
+
+struct RunResult {
+  // Configuration echoes.
+  RunMode mode = RunMode::kRealScale;
+  int num_nodes = 0;
+  int vnodes_per_node = 1;
+
+  // ---- Figure 3 ---------------------------------------------------------
+  int64_t flaps = 0;          // total alive->dead transitions cluster-wide
+  int64_t flapped_pairs = 0;  // distinct (observer, subject) pairs
+
+  // ---- Timing (Figure 1 / §8 table) --------------------------------------
+  VirtualDuration test_duration;    // virtual time the run occupied
+  VirtualDuration settle_time;      // when the workload transition completed
+  bool settled = false;
+
+  // ---- Colocation limits (§8) ---------------------------------------------
+  double max_cpu_utilization = 0.0;
+  int64_t peak_memory_bytes = 0;
+  bool oom = false;
+  int crashed_nodes = 0;
+  VirtualDuration lateness_p99;
+  VirtualDuration lateness_max;
+
+  // ---- Offending-function behaviour (§3's 0.001–4 s observation) ----------
+  int64_t calc_invocations = 0;
+  int64_t calc_executed_real = 0;  // real loop nest vs modelled cost
+  RunningStat calc_duration_seconds;
+  RunningStat calc_lock_hold_seconds;  // ring-lock hold times (C5456)
+
+  // ---- PIL accuracy metrics ------------------------------------------------
+  PilBoundary::Stats pil;
+  MemoStore::Stats memo;
+  uint64_t order_divergences = 0;
+  uint64_t order_enforced = 0;
+
+  // ---- Data-path user impact (when the KV load driver runs) -----------------
+  int64_t kv_ok = 0;
+  int64_t kv_unavailable = 0;
+  int64_t kv_timeout = 0;
+  VirtualDuration kv_latency_p99;
+
+  // ---- Traffic / engine ----------------------------------------------------
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  // Gossip-stage tasks shed for staleness cluster-wide — the overload
+  // signature that accompanies (and amplifies) flap storms.
+  uint64_t stage_tasks_dropped = 0;
+  uint64_t events_executed = 0;
+
+  std::string Summary() const;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_CLUSTER_RUN_RESULT_H_

@@ -1,0 +1,76 @@
+// Fatal-assertion macros in the style of Google's CHECK family.
+//
+// CHECK* macros are always on; DCHECK* compile away in NDEBUG builds. A failed
+// check prints the condition, file:line, and an optional streamed message, then
+// aborts. Simulator invariants (time monotonicity, conservation of work) are
+// enforced with these rather than exceptions.
+
+#ifndef SCALECHECK_SRC_COMMON_CHECK_H_
+#define SCALECHECK_SRC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace scalecheck {
+namespace internal {
+
+// Accumulates a failure message and aborts on destruction.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace scalecheck
+
+#define SCALECHECK_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+
+#define CHECK(cond)                 \
+  if (SCALECHECK_PREDICT_TRUE(cond)) { \
+  } else /* NOLINT */               \
+    ::scalecheck::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_NE(a, b) CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_LT(a, b) CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_GT(a, b) CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_NOTNULL(p) CHECK((p) != nullptr)
+
+#ifdef NDEBUG
+#define DCHECK(cond) CHECK(true || (cond))
+#define DCHECK_EQ(a, b) DCHECK((a) == (b))
+#define DCHECK_NE(a, b) DCHECK((a) != (b))
+#define DCHECK_LT(a, b) DCHECK((a) < (b))
+#define DCHECK_LE(a, b) DCHECK((a) <= (b))
+#define DCHECK_GT(a, b) DCHECK((a) > (b))
+#define DCHECK_GE(a, b) DCHECK((a) >= (b))
+#else
+#define DCHECK(cond) CHECK(cond)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_NE(a, b) CHECK_NE(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#endif
+
+#endif  // SCALECHECK_SRC_COMMON_CHECK_H_

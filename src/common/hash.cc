@@ -1,0 +1,107 @@
+#include "src/common/hash.h"
+
+#include <cstring>
+
+#include "src/common/strings.h"
+
+namespace scalecheck {
+
+namespace {
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+// A second, independent offset basis for the hi stream (digits of pi).
+constexpr uint64_t kFnvOffset2 = 0x243f6a8885a308d3ULL;
+
+inline uint64_t FnvStep(uint64_t h, uint8_t byte) {
+  return (h ^ byte) * kFnvPrime;
+}
+}  // namespace
+
+uint64_t Fnv1a64(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = kFnvOffset;
+  for (size_t i = 0; i < len; ++i) {
+    h = FnvStep(h, p[i]);
+  }
+  return h;
+}
+
+uint64_t Fnv1a64(std::string_view s) { return Fnv1a64(s.data(), s.size()); }
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+std::string DigestValue::ToHex() const {
+  return StrFormat("%016llx%016llx", static_cast<unsigned long long>(hi),
+                   static_cast<unsigned long long>(lo));
+}
+
+Digest::Digest() : lo_(kFnvOffset), hi_(kFnvOffset2) {}
+
+void Digest::Absorb(uint8_t tag, const void* data, size_t len) {
+  lo_ = FnvStep(lo_, tag);
+  hi_ = FnvStep(hi_, static_cast<uint8_t>(tag ^ 0xff));
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    lo_ = FnvStep(lo_, p[i]);
+    hi_ = FnvStep(hi_, static_cast<uint8_t>(p[i] ^ 0x5a));
+  }
+}
+
+Digest& Digest::AddBytes(const void* data, size_t len) {
+  uint64_t n = len;
+  Absorb(1, &n, sizeof(n));
+  Absorb(2, data, len);
+  return *this;
+}
+
+Digest& Digest::Add(int64_t v) {
+  Absorb(3, &v, sizeof(v));
+  return *this;
+}
+
+Digest& Digest::Add(uint64_t v) {
+  Absorb(4, &v, sizeof(v));
+  return *this;
+}
+
+Digest& Digest::Add(double v) {
+  // Normalize -0.0 to 0.0 so semantically equal inputs hash equal.
+  if (v == 0.0) {
+    v = 0.0;
+  }
+  Absorb(5, &v, sizeof(v));
+  return *this;
+}
+
+Digest& Digest::Add(bool v) {
+  uint8_t b = v ? 1 : 0;
+  Absorb(6, &b, sizeof(b));
+  return *this;
+}
+
+Digest& Digest::Add(std::string_view s) {
+  uint64_t n = s.size();
+  Absorb(7, &n, sizeof(n));
+  Absorb(8, s.data(), s.size());
+  return *this;
+}
+
+DigestValue Digest::Finish() const {
+  DigestValue v;
+  v.lo = Mix64(lo_);
+  v.hi = Mix64(hi_ ^ lo_);
+  return v;
+}
+
+}  // namespace scalecheck

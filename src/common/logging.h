@@ -1,0 +1,52 @@
+// Minimal leveled logger. Logging is off by default (benchmarks and tests stay
+// quiet); examples enable kInfo. The logger is process-global and not
+// thread-safe by design: the simulator is single-threaded.
+
+#ifndef SCALECHECK_SRC_COMMON_LOGGING_H_
+#define SCALECHECK_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace scalecheck {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Returns/sets the minimum level that is emitted to stderr.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) {
+      stream_ << v;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace scalecheck
+
+#define SC_LOG(level)                                                        \
+  ::scalecheck::internal::LogMessage(::scalecheck::LogLevel::k##level, __FILE__, \
+                                     __LINE__)
+
+#endif  // SCALECHECK_SRC_COMMON_LOGGING_H_

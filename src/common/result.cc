@@ -1,0 +1,32 @@
+#include "src/common/result.h"
+
+#include "src/common/strings.h"
+
+namespace scalecheck {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kCorruptData:
+      return "CORRUPT_DATA";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+  }
+  return "?";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  return StrFormat("%s: %s", StatusCodeName(code_), message_.c_str());
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,105 @@
+// Lightweight Status / Result<T> error handling.
+//
+// The simulator core uses CHECKs for programming errors (invariants that
+// cannot fail in a correct build); Status/Result is for *expected* failures —
+// I/O, parsing, lookups against user-supplied inputs — where the caller must
+// handle the error. No exceptions cross API boundaries in this codebase.
+
+#ifndef SCALECHECK_SRC_COMMON_RESULT_H_
+#define SCALECHECK_SRC_COMMON_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIoError = 3,
+  kCorruptData = 4,
+  kFailedPrecondition = 5,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status CorruptData(std::string msg) {
+    return Status(StatusCode::kCorruptData, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+  bool operator==(const Status& o) const {
+    return code_ == o.code_ && message_ == o.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value or a non-OK status. Accessing value() on an error aborts (it is a
+// programming error to skip the check).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {phantom_check();}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CHECK(ok()) << "value() on error result:" << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CHECK(ok()) << "value() on error result:" << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CHECK(ok()) << "value() on error result:" << status_.ToString();
+    return std::move(*value_);
+  }
+
+  // Returns the value or `fallback` on error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  void phantom_check() {
+    CHECK(!status_.ok()) << "Result constructed from OK status without a value";
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_COMMON_RESULT_H_

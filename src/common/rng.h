@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in the simulator flows through Rng instances that
+// are seeded from the experiment seed, so a run is exactly reproducible from
+// (code, config, seed). The engine is xoshiro256** seeded via SplitMix64;
+// std::mt19937 is avoided because its stream is not guaranteed identical
+// across library versions for all distributions.
+
+#ifndef SCALECHECK_SRC_COMMON_RNG_H_
+#define SCALECHECK_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+// Stateless seed mixer; also used to derive independent child seeds.
+uint64_t SplitMix64(uint64_t* state);
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Next raw 64 random bits.
+  uint64_t Next();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  // True with probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  // Picks a uniformly random element index; requires non-empty size.
+  size_t PickIndex(size_t size) {
+    CHECK_GT(size, 0u);
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(size) - 1));
+  }
+
+  // Derives an independent child generator (e.g. one per node).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_COMMON_RNG_H_

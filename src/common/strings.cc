@@ -1,0 +1,134 @@
+#include "src/common/strings.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace scalecheck {
+
+std::string StrFormatV(const char* fmt, va_list args) {
+  va_list copy;
+  va_copy(copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  CHECK_GE(needed, 0) << "bad format string";
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::string out = StrFormatV(fmt, args);
+  va_end(args);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string RenderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size());
+  for (size_t c = 0; c < header.size(); ++c) {
+    widths[c] = header[c].size();
+  }
+  for (const auto& row : rows) {
+    CHECK_EQ(row.size(), header.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t c = 0; c < header.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "+";
+  }
+  sep += "\n";
+  std::string out = sep + render_row(header) + sep;
+  for (const auto& row : rows) {
+    out += render_row(row);
+  }
+  out += sep;
+  return out;
+}
+
+std::string HumanCount(double value) {
+  const char* suffix = "";
+  double v = value;
+  if (v >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    suffix = "k";
+  }
+  return StrFormat("%.3g%s", v, suffix);
+}
+
+std::string HumanBytes(int64_t bytes) {
+  double v = static_cast<double>(bytes);
+  const char* suffix = "B";
+  if (v >= 1024.0 * 1024 * 1024) {
+    v /= 1024.0 * 1024 * 1024;
+    suffix = "GiB";
+  } else if (v >= 1024.0 * 1024) {
+    v /= 1024.0 * 1024;
+    suffix = "MiB";
+  } else if (v >= 1024.0) {
+    v /= 1024.0;
+    suffix = "KiB";
+  }
+  return StrFormat("%.2f%s", v, suffix);
+}
+
+std::string VirtualDuration::ToString() const {
+  int64_t abs_ns = ns_ < 0 ? -ns_ : ns_;
+  const char* sign = ns_ < 0 ? "-" : "";
+  if (abs_ns >= 60LL * 1000000000) {
+    return StrFormat("%s%.2fmin", sign, static_cast<double>(abs_ns) / 60e9);
+  }
+  if (abs_ns >= 1000000000) {
+    return StrFormat("%s%.3fs", sign, static_cast<double>(abs_ns) / 1e9);
+  }
+  if (abs_ns >= 1000000) {
+    return StrFormat("%s%.3fms", sign, static_cast<double>(abs_ns) / 1e6);
+  }
+  if (abs_ns >= 1000) {
+    return StrFormat("%s%.3fus", sign, static_cast<double>(abs_ns) / 1e3);
+  }
+  return StrFormat("%s%ldns", sign, static_cast<long>(abs_ns));
+}
+
+std::string VirtualTime::ToString() const {
+  return StrFormat("t=%.6fs", seconds());
+}
+
+std::ostream& operator<<(std::ostream& os, VirtualDuration d) {
+  return os << d.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, VirtualTime t) {
+  return os << t.ToString();
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,31 @@
+// Small string utilities: printf-style formatting into std::string, joining,
+// and table rendering used by bench/report binaries.
+
+#ifndef SCALECHECK_SRC_COMMON_STRINGS_H_
+#define SCALECHECK_SRC_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace scalecheck {
+
+// snprintf into a std::string. GCC 12 lacks <format>, so this is the
+// formatting workhorse for reports and logs.
+[[gnu::format(printf, 1, 2)]] std::string StrFormat(const char* fmt, ...);
+std::string StrFormatV(const char* fmt, va_list args);
+
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+// Renders rows as a fixed-width ASCII table with a header row; every row must
+// have the same number of columns as the header.
+std::string RenderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows);
+
+// Human-readable quantities used in reports.
+std::string HumanCount(double value);  // e.g. 12.3k, 4.5M
+std::string HumanBytes(int64_t bytes);
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_COMMON_STRINGS_H_

@@ -1,0 +1,139 @@
+// Strong types shared across the ScaleCheck codebase.
+//
+// All simulated time is *virtual* time: a signed 64-bit count of nanoseconds
+// since the start of a simulation run. Wrapping time and durations in distinct
+// types prevents the classic simulator bug of mixing instants with intervals.
+
+#ifndef SCALECHECK_SRC_COMMON_TYPES_H_
+#define SCALECHECK_SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <type_traits>
+
+namespace scalecheck {
+
+// A span of virtual time. Negative durations are representable (useful for
+// lateness deltas) but most APIs require non-negative values.
+class VirtualDuration {
+ public:
+  constexpr VirtualDuration() : ns_(0) {}
+
+  static constexpr VirtualDuration Nanos(int64_t n) { return VirtualDuration(n); }
+  static constexpr VirtualDuration Micros(int64_t n) { return VirtualDuration(n * 1000); }
+  static constexpr VirtualDuration Millis(int64_t n) { return VirtualDuration(n * 1000000); }
+  static constexpr VirtualDuration Seconds(int64_t n) { return VirtualDuration(n * 1000000000); }
+  static constexpr VirtualDuration Minutes(int64_t n) { return Seconds(n * 60); }
+  static VirtualDuration FromSecondsF(double s) {
+    return VirtualDuration(static_cast<int64_t>(s * 1e9));
+  }
+  static constexpr VirtualDuration Max() {
+    return VirtualDuration(std::numeric_limits<int64_t>::max());
+  }
+  static constexpr VirtualDuration Zero() { return VirtualDuration(0); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr int64_t micros() const { return ns_ / 1000; }
+  constexpr int64_t millis() const { return ns_ / 1000000; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double minutes() const { return seconds() / 60.0; }
+
+  constexpr bool IsZero() const { return ns_ == 0; }
+  constexpr bool IsNegative() const { return ns_ < 0; }
+
+  constexpr VirtualDuration operator+(VirtualDuration o) const {
+    return VirtualDuration(ns_ + o.ns_);
+  }
+  constexpr VirtualDuration operator-(VirtualDuration o) const {
+    return VirtualDuration(ns_ - o.ns_);
+  }
+  // Integral scaling stays exact; floating-point scaling rounds toward zero.
+  // The template keeps `duration * 4` unambiguous against the double
+  // overload.
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  constexpr VirtualDuration operator*(T k) const {
+    return VirtualDuration(ns_ * static_cast<int64_t>(k));
+  }
+  VirtualDuration operator*(double k) const {
+    return VirtualDuration(static_cast<int64_t>(static_cast<double>(ns_) * k));
+  }
+  constexpr VirtualDuration operator/(int64_t k) const { return VirtualDuration(ns_ / k); }
+  constexpr double operator/(VirtualDuration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr VirtualDuration operator-() const { return VirtualDuration(-ns_); }
+  VirtualDuration& operator+=(VirtualDuration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  VirtualDuration& operator-=(VirtualDuration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const VirtualDuration&) const = default;
+
+  // Renders as a human-friendly string, e.g. "1.500s", "250ms", "3.2us".
+  std::string ToString() const;
+
+ private:
+  constexpr explicit VirtualDuration(int64_t ns) : ns_(ns) {}
+  int64_t ns_;
+};
+
+// An instant in virtual time.
+class VirtualTime {
+ public:
+  constexpr VirtualTime() : ns_(0) {}
+
+  static constexpr VirtualTime FromNanos(int64_t n) { return VirtualTime(n); }
+  static constexpr VirtualTime Zero() { return VirtualTime(0); }
+  static constexpr VirtualTime Max() {
+    return VirtualTime(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr VirtualTime operator+(VirtualDuration d) const {
+    return VirtualTime(ns_ + d.nanos());
+  }
+  constexpr VirtualTime operator-(VirtualDuration d) const {
+    return VirtualTime(ns_ - d.nanos());
+  }
+  constexpr VirtualDuration operator-(VirtualTime o) const {
+    return VirtualDuration::Nanos(ns_ - o.ns_);
+  }
+  VirtualTime& operator+=(VirtualDuration d) {
+    ns_ += d.nanos();
+    return *this;
+  }
+
+  constexpr auto operator<=>(const VirtualTime&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  constexpr explicit VirtualTime(int64_t ns) : ns_(ns) {}
+  int64_t ns_;
+};
+
+std::ostream& operator<<(std::ostream& os, VirtualDuration d);
+std::ostream& operator<<(std::ostream& os, VirtualTime t);
+
+// Identifies a node (logical process) in the cluster under test.
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+// Identifies a simulated machine that hosts one or more nodes.
+using MachineId = int32_t;
+
+// Abstract CPU work, in units of "one cheap inner-loop operation". The CPU
+// model converts work to virtual time via a core speed in units/second.
+using WorkUnits = int64_t;
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_COMMON_TYPES_H_

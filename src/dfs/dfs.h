@@ -1,0 +1,106 @@
+// A second scale-check target (§7 future work: "integrate the process to
+// other distributed systems beyond Cassandra"): an HDFS-like master/worker
+// filesystem.
+//
+// The system: one NameNode serializes all metadata work on its namespace
+// lock (modelled faithfully as a single handler thread — HDFS's global
+// FSNamesystem lock); N DataNodes send heartbeats every few seconds and full
+// block reports periodically and at registration.
+//
+// The scalability bug (the HDFS-BR/REGISTER class from the §2 study — the
+// *serialization* family that is 53% of the paper's bugs): at cluster
+// startup every DataNode registers and ships a full block report. Report
+// processing is O(blocks) under the lock; heartbeats queue behind reports;
+// when a DataNode goes unheard past the expiry interval the NameNode marks
+// it dead — which queues an O(blocks·N) re-replication scan (more lock time)
+// and the "dead" DataNode eventually re-registers with ANOTHER full report.
+// Past a scale threshold the feedback loop keeps the NameNode saturated for
+// the whole run; below it, startup is uneventful — a textbook scalability
+// bug invisible in small-cluster testing.
+//
+// Scale-check applies exactly as for Cassandra: the re-replication scan is
+// PIL-safe (a pure function of the block map) and takes the PIL in replays;
+// report processing holds the lock and sheds when stale, so the PIL sleep
+// reproduces the serialization behaviour without the colocation CPU skew.
+
+#ifndef SCALECHECK_SRC_DFS_DFS_H_
+#define SCALECHECK_SRC_DFS_DFS_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/pil/boundary.h"
+#include "src/sim/machine.h"
+#include "src/sim/network.h"
+#include "src/sim/thread.h"
+
+namespace scalecheck {
+
+enum DfsMessageType : int {
+  kDfsRegister = 30,
+  kDfsHeartbeat = 31,
+  kDfsBlockReport = 32,
+  kDfsRegisterAck = 33,
+};
+
+struct DfsConfig {
+  int datanodes = 64;
+  int64_t blocks_per_node = 200000;
+  VirtualDuration heartbeat_interval = VirtualDuration::Seconds(3);
+  // NameNode marks a DataNode dead after this much heartbeat silence.
+  VirtualDuration expiry_interval = VirtualDuration::Seconds(30);
+  VirtualDuration report_interval = VirtualDuration::Seconds(120);
+  // Startup jitter across DataNodes.
+  VirtualDuration start_stagger = VirtualDuration::Millis(150);
+  // NameNode handler shedding: queued work older than this is dropped
+  // (HDFS's RPC queue timeouts).
+  VirtualDuration handler_timeout = VirtualDuration::Seconds(8);
+
+  // Work-unit costs (calibrated like the Cassandra substrate's op costs).
+  WorkUnits heartbeat_cost = 4000;
+  WorkUnits per_block_report_cost = 1500;    // O(blocks) under the lock
+  // Re-replication scan: per (block, candidate target) — O(blocks * N).
+  WorkUnits per_block_per_node_scan_cost = 4;
+
+  VirtualDuration horizon = VirtualDuration::Seconds(300);
+  uint64_t seed = 0xdf5;
+};
+
+struct DfsResult {
+  int datanodes = 0;
+  int64_t dead_marks = 0;        // the "flap" analogue: live DNs marked dead
+  int64_t re_registrations = 0;  // storm feedback signal
+  int64_t reports_processed = 0;
+  int64_t reports_shed = 0;
+  int64_t scans_run = 0;
+  RunningStat scan_seconds;
+  bool stabilized = false;            // all DNs alive & quiet at the end
+  VirtualDuration stabilize_time;     // when the cluster last became stable
+  VirtualDuration test_duration;
+  double namenode_utilization = 0.0;
+  PilBoundary::Stats pil;
+
+  std::string Summary() const;
+};
+
+// Deployment modes mirror the Cassandra harness.
+enum class DfsMode : int {
+  kRealScale = 0,  // NameNode and each DataNode on dedicated machines
+  kColocated = 1,  // everything on one 16-core machine
+  kMemoize = 2,
+  kPilReplay = 3,
+};
+
+const char* DfsModeName(DfsMode mode);
+
+// Runs the startup-storm workload and reports. For kMemoize/kPilReplay pass
+// the store to fill/read.
+DfsResult RunDfsStartup(const DfsConfig& config, DfsMode mode,
+                        MemoStore* memo = nullptr);
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_DFS_DFS_H_

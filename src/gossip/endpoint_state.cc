@@ -1,0 +1,85 @@
+#include "src/gossip/endpoint_state.h"
+
+#include <algorithm>
+
+namespace scalecheck {
+
+const char* StatusKindName(StatusKind kind) {
+  switch (kind) {
+    case StatusKind::kUnknown:
+      return "UNKNOWN";
+    case StatusKind::kBootstrapping:
+      return "BOOT";
+    case StatusKind::kNormal:
+      return "NORMAL";
+    case StatusKind::kLeaving:
+      return "LEAVING";
+    case StatusKind::kLeft:
+      return "LEFT";
+    case StatusKind::kRemoved:
+      return "REMOVED";
+  }
+  return "?";
+}
+
+void VersionedValue::AddToDigest(Digest* d) const {
+  d->Add(version);
+  d->Add(static_cast<int64_t>(status));
+  d->Add(load);
+  d->AddRange(tokens);
+}
+
+void HeartbeatState::AddToDigest(Digest* d) const {
+  d->Add(generation);
+  d->Add(version);
+}
+
+int64_t EndpointState::MaxVersion() const {
+  int64_t v = heartbeat_.version;
+  for (const auto& [key, value] : app_states_) {
+    v = std::max(v, value.version);
+  }
+  return v;
+}
+
+const VersionedValue* EndpointState::Get(ApplicationStateKey key) const {
+  auto it = app_states_.find(key);
+  return it == app_states_.end() ? nullptr : &it->second;
+}
+
+void EndpointState::Set(ApplicationStateKey key, VersionedValue value) {
+  app_states_[key] = std::move(value);
+}
+
+StatusKind EndpointState::Status() const {
+  const VersionedValue* v = Get(ApplicationStateKey::kStatus);
+  return v == nullptr ? StatusKind::kUnknown : v->status;
+}
+
+std::vector<Token> EndpointState::Tokens() const {
+  const VersionedValue* v = Get(ApplicationStateKey::kStatus);
+  if (v != nullptr && !v->tokens.empty()) {
+    return v->tokens;
+  }
+  v = Get(ApplicationStateKey::kTokens);
+  return v == nullptr ? std::vector<Token>{} : v->tokens;
+}
+
+size_t EndpointState::WireSize() const {
+  size_t size = 16;  // heartbeat
+  for (const auto& [key, value] : app_states_) {
+    size += 24 + value.tokens.size() * 8;
+  }
+  return size;
+}
+
+void EndpointState::AddToDigest(Digest* d) const {
+  heartbeat_.AddToDigest(d);
+  d->Add(static_cast<uint64_t>(app_states_.size()));
+  for (const auto& [key, value] : app_states_) {
+    d->Add(static_cast<int64_t>(key));
+    value.AddToDigest(d);
+  }
+}
+
+}  // namespace scalecheck

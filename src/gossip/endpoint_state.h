@@ -1,0 +1,103 @@
+// Gossip endpoint state, Cassandra-style.
+//
+// Every node maintains a map from peer endpoint to EndpointState. An
+// EndpointState is a heartbeat (generation = boot epoch, version = counter
+// incremented every gossip round) plus a set of versioned application states
+// (STATUS, TOKENS, LOAD). Anti-entropy exchanges ship the states whose
+// versions the peer has not seen. Ring-membership changes (BOOT / LEAVING /
+// LEFT) ride on the STATUS application state — which is why the
+// pending-range calculation is triggered from the gossip stage, and why an
+// expensive calculation starves gossip processing (bugs C3831..C6127).
+
+#ifndef SCALECHECK_SRC_GOSSIP_ENDPOINT_STATE_H_
+#define SCALECHECK_SRC_GOSSIP_ENDPOINT_STATE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/types.h"
+
+namespace scalecheck {
+
+// Ring position token (consistent-hashing position on [0, 2^64)).
+using Token = uint64_t;
+
+enum class ApplicationStateKey : int {
+  kStatus = 0,
+  kTokens = 1,
+  kLoad = 2,
+};
+
+enum class StatusKind : int {
+  kUnknown = 0,
+  kBootstrapping = 1,  // joining: pending token claims
+  kNormal = 2,         // settled member
+  kLeaving = 3,        // decommission announced
+  kLeft = 4,           // decommission complete
+  kRemoved = 5,        // forcibly removed
+};
+
+const char* StatusKindName(StatusKind kind);
+
+// One versioned application state value. Tokens ride along for STATUS and
+// TOKENS states (Cassandra packs them into the value string; we keep them
+// typed).
+struct VersionedValue {
+  int64_t version = 0;
+  StatusKind status = StatusKind::kUnknown;  // meaningful for kStatus
+  double load = 0.0;                         // meaningful for kLoad
+  std::vector<Token> tokens;                 // meaningful for kStatus/kTokens
+
+  void AddToDigest(Digest* d) const;
+};
+
+struct HeartbeatState {
+  int64_t generation = 0;  // node boot epoch; higher = restarted instance
+  int64_t version = 0;     // incremented every gossip round
+
+  void AddToDigest(Digest* d) const;
+};
+
+class EndpointState {
+ public:
+  EndpointState() = default;
+  explicit EndpointState(int64_t generation) { heartbeat_.generation = generation; }
+
+  const HeartbeatState& heartbeat() const { return heartbeat_; }
+  HeartbeatState& mutable_heartbeat() { return heartbeat_; }
+
+  // Highest version carried by this state (heartbeat or any app state); this
+  // is what gossip digests advertise.
+  int64_t MaxVersion() const;
+
+  const VersionedValue* Get(ApplicationStateKey key) const;
+  void Set(ApplicationStateKey key, VersionedValue value);
+  const std::map<ApplicationStateKey, VersionedValue>& app_states() const {
+    return app_states_;
+  }
+
+  // Convenience: current STATUS kind (kUnknown if absent).
+  StatusKind Status() const;
+  // Tokens from the STATUS (falling back to TOKENS) state.
+  std::vector<Token> Tokens() const;
+
+  // Approximate serialized size for network accounting.
+  size_t WireSize() const;
+
+  void AddToDigest(Digest* d) const;
+
+ private:
+  HeartbeatState heartbeat_;
+  std::map<ApplicationStateKey, VersionedValue> app_states_;
+};
+
+// Ordered map: deterministic iteration is load-bearing for reproducibility.
+using EndpointStateMap = std::map<NodeId, EndpointState>;
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_GOSSIP_ENDPOINT_STATE_H_

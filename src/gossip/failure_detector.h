@@ -1,0 +1,88 @@
+// The phi accrual failure detector (Hayashibara et al., SRDS'04), as adopted
+// by Cassandra for its scalability properties [29 in the paper].
+//
+// For each monitored endpoint we keep a sliding window of heartbeat
+// inter-arrival intervals. Under the exponential-arrival simplification that
+// Cassandra uses, the suspicion level is
+//
+//     phi(t_now) = (t_now - t_last) / mean_interval * log10(e)
+//
+// and an endpoint is convicted when phi exceeds a threshold (Cassandra
+// default: 8). The paper's §3 observation is crucial here: the *detector* is
+// provably scalable, but its input — heartbeat dissemination — degrades when
+// gossip stages are starved by scale-dependent computation. The detector then
+// faithfully reports flaps. The bug is global, not in this class.
+
+#ifndef SCALECHECK_SRC_GOSSIP_FAILURE_DETECTOR_H_
+#define SCALECHECK_SRC_GOSSIP_FAILURE_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "src/common/types.h"
+
+namespace scalecheck {
+
+class ArrivalWindow {
+ public:
+  ArrivalWindow(size_t max_samples, VirtualDuration initial_interval);
+
+  // Records a heartbeat arrival.
+  void Add(VirtualTime now);
+
+  // Suspicion level at `now`; 0.0 before any arrival.
+  double Phi(VirtualTime now) const;
+
+  double MeanIntervalSeconds() const;
+  VirtualTime last_arrival() const { return last_; }
+  bool has_arrivals() const { return has_arrival_; }
+  size_t sample_count() const { return intervals_.size(); }
+
+ private:
+  size_t max_samples_;
+  std::deque<double> intervals_;  // seconds
+  double sum_ = 0.0;
+  VirtualTime last_;
+  bool has_arrival_ = false;
+};
+
+class PhiAccrualFailureDetector {
+ public:
+  struct Config {
+    double threshold = 8.0;
+    size_t window_size = 1000;
+    // Priming interval for a fresh window (Cassandra primes with a bootstrap
+    // interval so brand-new peers are not instantly convicted).
+    VirtualDuration initial_interval = VirtualDuration::Seconds(1);
+    // Arrivals closer than this are ignored (version churn within one round).
+    VirtualDuration min_interval = VirtualDuration::Millis(10);
+  };
+
+  explicit PhiAccrualFailureDetector(const Config& config) : config_(config) {}
+
+  // Heartbeat progress observed for `endpoint`.
+  void Report(NodeId endpoint, VirtualTime now);
+
+  // Current suspicion level (0.0 for unknown endpoints).
+  double Phi(NodeId endpoint, VirtualTime now) const;
+
+  // phi(now) > threshold?
+  bool IsConvicted(NodeId endpoint, VirtualTime now) const;
+
+  // Forgets an endpoint (decommissioned / removed).
+  void Forget(NodeId endpoint);
+
+  bool IsMonitoring(NodeId endpoint) const {
+    return windows_.find(endpoint) != windows_.end();
+  }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::map<NodeId, ArrivalWindow> windows_;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_GOSSIP_FAILURE_DETECTOR_H_

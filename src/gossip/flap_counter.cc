@@ -1,0 +1,38 @@
+#include "src/gossip/flap_counter.h"
+
+namespace scalecheck {
+
+void FlapCounter::RecordDown(NodeId observer, NodeId subject, VirtualTime when) {
+  PairKey key{observer, subject};
+  ++total_flaps_;
+  ++per_pair_[key];
+  ++by_observer_[observer];
+  ++timeline_[when.nanos() / VirtualDuration::Seconds(10).nanos()];
+  down_since_[key] = when;
+}
+
+void FlapCounter::RecordUp(NodeId observer, NodeId subject, VirtualTime when) {
+  PairKey key{observer, subject};
+  auto it = down_since_.find(key);
+  if (it == down_since_.end()) {
+    return;  // initial state was already up, or Reset() intervened
+  }
+  downtime_seconds_.Add((when - it->second).seconds());
+  down_since_.erase(it);
+}
+
+int64_t FlapCounter::FlapsByObserver(NodeId observer) const {
+  auto it = by_observer_.find(observer);
+  return it == by_observer_.end() ? 0 : it->second;
+}
+
+void FlapCounter::Reset() {
+  total_flaps_ = 0;
+  per_pair_.clear();
+  down_since_.clear();
+  by_observer_.clear();
+  timeline_.clear();
+  downtime_seconds_ = RunningStat();
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,59 @@
+// Cluster-wide flap accounting — the paper's headline metric.
+//
+// §2: "A 'flap' is when a node X marks a peer node Y as down (and soon marks
+// Y as alive again)." Figure 3 plots the total number of alive-to-dead
+// transitions observed across the whole cluster during a protocol test. We
+// count every alive->dead transition at conviction time; recoveries are
+// tracked separately so reports can show flap durations.
+
+#ifndef SCALECHECK_SRC_GOSSIP_FLAP_COUNTER_H_
+#define SCALECHECK_SRC_GOSSIP_FLAP_COUNTER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+
+namespace scalecheck {
+
+class FlapCounter {
+ public:
+  // Observer X convicted subject Y (alive -> dead).
+  void RecordDown(NodeId observer, NodeId subject, VirtualTime when);
+
+  // Observer X saw subject Y come back (dead -> alive).
+  void RecordUp(NodeId observer, NodeId subject, VirtualTime when);
+
+  // Total alive->dead transitions cluster-wide (the Figure 3 y-axis).
+  int64_t total_flaps() const { return total_flaps_; }
+
+  int64_t FlapsByObserver(NodeId observer) const;
+  // Distinct (observer, subject) pairs that flapped at least once.
+  int64_t flapped_pairs() const { return static_cast<int64_t>(per_pair_.size()); }
+  // Down-time distribution (seconds) over completed flaps.
+  const RunningStat& downtime_seconds() const { return downtime_seconds_; }
+  // Per-10-second-bucket flap counts, for time-series reports.
+  const std::map<int64_t, int64_t>& timeline() const { return timeline_; }
+
+  void Reset();
+
+ private:
+  struct PairKey {
+    NodeId observer;
+    NodeId subject;
+    auto operator<=>(const PairKey&) const = default;
+  };
+
+  int64_t total_flaps_ = 0;
+  std::map<PairKey, int64_t> per_pair_;
+  std::map<PairKey, VirtualTime> down_since_;
+  std::map<NodeId, int64_t> by_observer_;
+  std::map<int64_t, int64_t> timeline_;  // 10 s bucket index -> flaps
+  RunningStat downtime_seconds_;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_GOSSIP_FLAP_COUNTER_H_

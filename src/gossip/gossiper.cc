@@ -1,0 +1,244 @@
+#include "src/gossip/gossiper.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+Gossiper::Gossiper(NodeId self, int64_t generation, Callbacks callbacks)
+    : self_(self), callbacks_(std::move(callbacks)) {
+  endpoints_.emplace(self_, EndpointState(generation));
+}
+
+void Gossiper::IncrementHeartbeat() {
+  endpoints_.at(self_).mutable_heartbeat().version = NextVersion();
+}
+
+void Gossiper::SetLocalState(ApplicationStateKey key, VersionedValue value) {
+  value.version = NextVersion();
+  endpoints_.at(self_).Set(key, std::move(value));
+}
+
+const EndpointState& Gossiper::LocalState() const { return endpoints_.at(self_); }
+
+void Gossiper::AddKnownEndpoint(NodeId ep, const EndpointState& state) {
+  if (ep == self_) {
+    return;
+  }
+  endpoints_[ep] = state;
+  alive_[ep] = true;
+}
+
+void Gossiper::RemoveEndpoint(NodeId ep) {
+  endpoints_.erase(ep);
+  alive_.erase(ep);
+}
+
+const EndpointState* Gossiper::StateOf(NodeId ep) const {
+  auto it = endpoints_.find(ep);
+  return it == endpoints_.end() ? nullptr : &it->second;
+}
+
+void Gossiper::MarkAlive(NodeId ep) { alive_[ep] = true; }
+void Gossiper::MarkDead(NodeId ep) { alive_[ep] = false; }
+
+bool Gossiper::IsAlive(NodeId ep) const {
+  auto it = alive_.find(ep);
+  return it != alive_.end() && it->second;
+}
+
+std::vector<NodeId> Gossiper::LiveEndpoints() const {
+  std::vector<NodeId> out;
+  for (const auto& [ep, alive] : alive_) {
+    if (alive && ep != self_) {
+      out.push_back(ep);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> Gossiper::AllEndpoints() const {
+  std::vector<NodeId> out;
+  for (const auto& [ep, state] : endpoints_) {
+    if (ep != self_) {
+      out.push_back(ep);
+    }
+  }
+  return out;
+}
+
+std::vector<GossipDigest> Gossiper::MakeSynDigests() const {
+  std::vector<GossipDigest> digests;
+  digests.reserve(endpoints_.size());
+  for (const auto& [ep, state] : endpoints_) {
+    digests.push_back(GossipDigest{ep, state.heartbeat().generation, state.MaxVersion()});
+  }
+  return digests;
+}
+
+void Gossiper::HandleSyn(const std::vector<GossipDigest>& digests,
+                         std::vector<GossipDigest>* out_requests,
+                         EndpointStateMap* out_send) {
+  ++syn_handled_;
+  CHECK_NOTNULL(out_requests);
+  CHECK_NOTNULL(out_send);
+  std::map<NodeId, bool> seen;
+  for (const GossipDigest& digest : digests) {
+    seen[digest.endpoint] = true;
+    auto it = endpoints_.find(digest.endpoint);
+    if (it == endpoints_.end()) {
+      // Unknown to us: request everything.
+      out_requests->push_back(GossipDigest{digest.endpoint, 0, 0});
+      continue;
+    }
+    const EndpointState& local = it->second;
+    if (digest.generation > local.heartbeat().generation) {
+      out_requests->push_back(GossipDigest{digest.endpoint, 0, 0});
+    } else if (digest.generation < local.heartbeat().generation) {
+      out_send->emplace(digest.endpoint, local);
+    } else if (digest.max_version > local.MaxVersion()) {
+      out_requests->push_back(
+          GossipDigest{digest.endpoint, local.heartbeat().generation, local.MaxVersion()});
+    } else if (digest.max_version < local.MaxVersion()) {
+      out_send->emplace(digest.endpoint, DeltaAfter(local, digest.max_version));
+    }
+    // Equal generation and version: nothing to exchange.
+  }
+  // Endpoints we know that the sender did not mention at all.
+  for (const auto& [ep, state] : endpoints_) {
+    if (!seen.count(ep)) {
+      out_send->emplace(ep, state);
+    }
+  }
+}
+
+EndpointStateMap Gossiper::StatesForRequests(
+    const std::vector<GossipDigest>& requests) const {
+  EndpointStateMap out;
+  for (const GossipDigest& req : requests) {
+    auto it = endpoints_.find(req.endpoint);
+    if (it == endpoints_.end()) {
+      continue;
+    }
+    if (req.generation == it->second.heartbeat().generation && req.max_version > 0) {
+      out.emplace(req.endpoint, DeltaAfter(it->second, req.max_version));
+    } else {
+      out.emplace(req.endpoint, it->second);
+    }
+  }
+  return out;
+}
+
+EndpointState Gossiper::DeltaAfter(const EndpointState& state, int64_t after_version) {
+  EndpointState delta(state.heartbeat().generation);
+  delta.mutable_heartbeat() = state.heartbeat();
+  for (const auto& [key, value] : state.app_states()) {
+    if (value.version > after_version) {
+      delta.Set(key, value);
+    }
+  }
+  return delta;
+}
+
+void Gossiper::ApplyStates(const EndpointStateMap& states) {
+  for (const auto& [ep, remote] : states) {
+    ApplyOne(ep, remote);
+  }
+}
+
+void Gossiper::ApplyOne(NodeId ep, const EndpointState& remote) {
+  if (ep == self_) {
+    return;  // we are the authority on our own state
+  }
+  auto it = endpoints_.find(ep);
+  if (it == endpoints_.end()) {
+    // Newly discovered endpoint.
+    endpoints_[ep] = remote;
+    alive_[ep] = true;
+    ++states_applied_;
+    if (callbacks_.on_heartbeat) {
+      callbacks_.on_heartbeat(ep);
+    }
+    if (remote.Status() != StatusKind::kUnknown && callbacks_.on_status_change) {
+      callbacks_.on_status_change(ep, StatusKind::kUnknown, remote.Status());
+    }
+    return;
+  }
+
+  EndpointState& local = it->second;
+  if (remote.heartbeat().generation < local.heartbeat().generation) {
+    return;  // stale information
+  }
+  if (remote.heartbeat().generation > local.heartbeat().generation) {
+    // Peer restarted: replace wholesale.
+    StatusKind old_status = local.Status();
+    local = remote;
+    ++states_applied_;
+    if (callbacks_.on_restart) {
+      callbacks_.on_restart(ep);
+    }
+    if (callbacks_.on_heartbeat) {
+      callbacks_.on_heartbeat(ep);
+    }
+    if (local.Status() != old_status && callbacks_.on_status_change) {
+      callbacks_.on_status_change(ep, old_status, local.Status());
+    }
+    return;
+  }
+
+  // Same generation: merge by version.
+  bool heartbeat_advanced = false;
+  if (remote.heartbeat().version > local.heartbeat().version) {
+    local.mutable_heartbeat().version = remote.heartbeat().version;
+    heartbeat_advanced = true;
+  }
+  for (const auto& [key, value] : remote.app_states()) {
+    const VersionedValue* existing = local.Get(key);
+    if (existing != nullptr && existing->version >= value.version) {
+      continue;
+    }
+    StatusKind old_status = local.Status();
+    local.Set(key, value);
+    ++states_applied_;
+    if (key == ApplicationStateKey::kStatus && callbacks_.on_status_change &&
+        value.status != old_status) {
+      callbacks_.on_status_change(ep, old_status, value.status);
+    }
+  }
+  if (heartbeat_advanced && callbacks_.on_heartbeat) {
+    callbacks_.on_heartbeat(ep);
+  }
+}
+
+WorkUnits Gossiper::EstimateSynWork(const SynPayload& syn, const WorkCosts& costs) {
+  return costs.base + costs.per_digest * static_cast<WorkUnits>(syn.digests.size());
+}
+
+namespace {
+WorkUnits StatesWork(const EndpointStateMap& states, const Gossiper::WorkCosts& costs) {
+  WorkUnits work = 0;
+  for (const auto& [ep, state] : states) {
+    work += costs.per_state;
+    for (const auto& [key, value] : state.app_states()) {
+      work += costs.per_token * static_cast<WorkUnits>(value.tokens.size());
+    }
+  }
+  return work;
+}
+}  // namespace
+
+WorkUnits Gossiper::EstimateAckWork(const AckPayload& ack, const WorkCosts& costs) {
+  return costs.base + costs.per_digest * static_cast<WorkUnits>(ack.requests.size()) +
+         StatesWork(ack.states, costs);
+}
+
+WorkUnits Gossiper::EstimateAck2Work(const Ack2Payload& ack2, const WorkCosts& costs) {
+  return costs.base + StatesWork(ack2.states, costs);
+}
+
+WorkUnits Gossiper::EstimateRoundWork(const WorkCosts& costs) const {
+  return costs.base + costs.per_digest * static_cast<WorkUnits>(endpoints_.size());
+}
+
+}  // namespace scalecheck

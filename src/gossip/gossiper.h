@@ -1,0 +1,119 @@
+// The gossip protocol state machine (Cassandra-style anti-entropy).
+//
+// Gossiper is deliberately transport- and thread-free: it consumes digests
+// and states and produces digests and states, so it can be unit-tested
+// exhaustively. The cluster::Node wires it to SimThreads and the
+// NetworkModel, and charges the CPU work this class *estimates* (instrumented
+// per-item costs) to the receiving stage thread.
+
+#ifndef SCALECHECK_SRC_GOSSIP_GOSSIPER_H_
+#define SCALECHECK_SRC_GOSSIP_GOSSIPER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/gossip/endpoint_state.h"
+#include "src/gossip/messages.h"
+
+namespace scalecheck {
+
+class Gossiper {
+ public:
+  struct Callbacks {
+    // STATUS application state changed for an endpoint (BOOT/LEAVING/LEFT...).
+    std::function<void(NodeId ep, StatusKind old_status, StatusKind new_status)>
+        on_status_change = nullptr;
+    // Heartbeat progressed for a live-monitored endpoint (drives the FD).
+    std::function<void(NodeId ep)> on_heartbeat = nullptr;
+    // Endpoint rebooted (generation bump).
+    std::function<void(NodeId ep)> on_restart = nullptr;
+  };
+
+  // Per-item CPU costs (work units) used by the Estimate* functions. These
+  // are the O(N) per-round serialization costs that §4's footnote attributes
+  // 53% of scalability bugs to; they are charged for real.
+  struct WorkCosts {
+    WorkUnits per_digest = 60;
+    WorkUnits per_state = 400;
+    WorkUnits per_token = 4;
+    WorkUnits base = 500;
+  };
+
+  Gossiper(NodeId self, int64_t generation, Callbacks callbacks);
+
+  NodeId self() const { return self_; }
+
+  // ---- Local state management -------------------------------------------
+
+  // Bumps the local heartbeat version (start of every gossip round).
+  void IncrementHeartbeat();
+
+  // Sets a local application state at the next version.
+  void SetLocalState(ApplicationStateKey key, VersionedValue value);
+
+  const EndpointState& LocalState() const;
+
+  // Seeds knowledge of a peer (cluster bootstrap or handshake).
+  void AddKnownEndpoint(NodeId ep, const EndpointState& state);
+  void RemoveEndpoint(NodeId ep);
+
+  const EndpointStateMap& endpoints() const { return endpoints_; }
+  const EndpointState* StateOf(NodeId ep) const;
+
+  // ---- Liveness view ------------------------------------------------------
+
+  void MarkAlive(NodeId ep);
+  void MarkDead(NodeId ep);
+  bool IsAlive(NodeId ep) const;
+  std::vector<NodeId> LiveEndpoints() const;  // excludes self
+  std::vector<NodeId> AllEndpoints() const;   // excludes self
+
+  // ---- Protocol steps -----------------------------------------------------
+
+  // Builds the SYN digest list (shuffled order does not matter; we keep
+  // deterministic map order).
+  std::vector<GossipDigest> MakeSynDigests() const;
+
+  // Receiver side of SYN: splits into (digests we want, states they want).
+  void HandleSyn(const std::vector<GossipDigest>& digests,
+                 std::vector<GossipDigest>* out_requests,
+                 EndpointStateMap* out_send);
+
+  // Builds the states requested by a digest list (ACK/ACK2 construction).
+  EndpointStateMap StatesForRequests(const std::vector<GossipDigest>& requests) const;
+
+  // Applies remote states (ACK/ACK2 receipt), firing callbacks.
+  void ApplyStates(const EndpointStateMap& states);
+
+  // ---- Work estimation ----------------------------------------------------
+
+  static WorkUnits EstimateSynWork(const SynPayload& syn, const WorkCosts& costs);
+  static WorkUnits EstimateAckWork(const AckPayload& ack, const WorkCosts& costs);
+  static WorkUnits EstimateAck2Work(const Ack2Payload& ack2, const WorkCosts& costs);
+  WorkUnits EstimateRoundWork(const WorkCosts& costs) const;
+
+  // ---- Introspection ------------------------------------------------------
+
+  uint64_t states_applied() const { return states_applied_; }
+  uint64_t syn_handled() const { return syn_handled_; }
+
+ private:
+  void ApplyOne(NodeId ep, const EndpointState& remote);
+  // Copies `state` keeping only content newer than `after_version`.
+  static EndpointState DeltaAfter(const EndpointState& state, int64_t after_version);
+
+  int64_t NextVersion() { return ++version_counter_; }
+
+  NodeId self_;
+  Callbacks callbacks_;
+  int64_t version_counter_ = 0;
+  EndpointStateMap endpoints_;  // includes self_
+  std::map<NodeId, bool> alive_;
+  uint64_t states_applied_ = 0;
+  uint64_t syn_handled_ = 0;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_GOSSIP_GOSSIPER_H_

@@ -1,0 +1,70 @@
+// Gossip wire messages: the Cassandra-style three-way anti-entropy exchange.
+//
+//   X -> Y  SYN : digests of everything X knows (endpoint, generation,
+//                 max version)
+//   Y -> X  ACK : states Y has that X is missing, plus digests of what Y
+//                 wants from X
+//   X -> Y  ACK2: the states Y requested
+//
+// Payload objects are immutable after send (shared_ptr<const>), so a payload
+// can be delivered to a node that processes it much later without copying.
+
+#ifndef SCALECHECK_SRC_GOSSIP_MESSAGES_H_
+#define SCALECHECK_SRC_GOSSIP_MESSAGES_H_
+
+#include <vector>
+
+#include "src/gossip/endpoint_state.h"
+#include "src/sim/network.h"
+
+namespace scalecheck {
+
+// Message::type discriminators for gossip traffic.
+enum GossipMessageType : int {
+  kGossipSyn = 1,
+  kGossipAck = 2,
+  kGossipAck2 = 3,
+};
+
+struct GossipDigest {
+  NodeId endpoint = kInvalidNode;
+  int64_t generation = 0;
+  int64_t max_version = 0;
+};
+
+struct SynPayload : public Payload {
+  std::vector<GossipDigest> digests;
+
+  size_t SizeBytes() const override { return 16 + digests.size() * 20; }
+};
+
+struct AckPayload : public Payload {
+  // States the receiver is missing (sender is ahead).
+  EndpointStateMap states;
+  // Digests the sender wants full states for (receiver is ahead).
+  std::vector<GossipDigest> requests;
+
+  size_t SizeBytes() const override {
+    size_t size = 16 + requests.size() * 20;
+    for (const auto& [node, state] : states) {
+      size += 8 + state.WireSize();
+    }
+    return size;
+  }
+};
+
+struct Ack2Payload : public Payload {
+  EndpointStateMap states;
+
+  size_t SizeBytes() const override {
+    size_t size = 16;
+    for (const auto& [node, state] : states) {
+      size += 8 + state.WireSize();
+    }
+    return size;
+  }
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_GOSSIP_MESSAGES_H_

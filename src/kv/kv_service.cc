@@ -1,0 +1,205 @@
+#include "src/kv/kv_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+KvService::KvService(Deps deps) : deps_(deps) {
+  CHECK_NOTNULL(deps_.sim);
+  CHECK_NOTNULL(deps_.network);
+  CHECK_NOTNULL(deps_.stage);
+  CHECK_NOTNULL(deps_.ring);
+  CHECK_NOTNULL(deps_.gossiper);
+}
+
+void KvService::Write(uint64_t key, std::string value, DoneFn done) {
+  StartOp(/*is_write=*/true, key, std::move(value), std::move(done));
+}
+
+void KvService::Read(uint64_t key, DoneFn done) {
+  StartOp(/*is_write=*/false, key, "", std::move(done));
+}
+
+void KvService::StartOp(bool is_write, uint64_t key, std::string value, DoneFn done) {
+  if (deps_.ring->num_entries() == 0) {
+    ++stats_.unavailable;
+    done(KvOutcome::kUnavailable, "");
+    return;
+  }
+  std::vector<NodeId> replicas =
+      deps_.ring->NaturalEndpointsForKey(key, deps_.replication_factor);
+  std::vector<NodeId> live;
+  for (NodeId replica : replicas) {
+    if (replica == deps_.self || deps_.gossiper->IsAlive(replica)) {
+      live.push_back(replica);
+    }
+  }
+  if (static_cast<int>(live.size()) < Quorum()) {
+    // The §2 user impact: replicas convicted by the flapping failure
+    // detector are skipped, so the operation cannot reach quorum.
+    ++stats_.unavailable;
+    done(KvOutcome::kUnavailable, "");
+    return;
+  }
+
+  uint64_t op_id = next_op_++;
+  InFlight& op = inflight_[op_id];
+  op.is_write = is_write;
+  op.needed = Quorum();
+  op.outstanding = static_cast<int>(live.size());
+  op.started = deps_.sim->Now();
+  op.done = std::move(done);
+  op.timeout_event = deps_.sim->ScheduleAfter(deps_.timeout, [this, op_id] {
+    auto it = inflight_.find(op_id);
+    if (it == inflight_.end()) {
+      return;
+    }
+    it->second.timeout_event = kInvalidEvent;
+    Finish(op_id, KvOutcome::kTimeout, "");
+  });
+
+  int64_t timestamp = ++clock_counter_;
+  for (NodeId replica : live) {
+    auto req = std::make_shared<KvRequestPayload>();
+    req->op_id = op_id;
+    req->key = key;
+    req->value = value;
+    req->timestamp = timestamp;
+    if (replica == deps_.self) {
+      // Local replica: apply on our own stage without the network hop.
+      Message self_msg;
+      self_msg.from = deps_.self;
+      self_msg.to = deps_.self;
+      self_msg.type = is_write ? kKvWriteReq : kKvReadReq;
+      self_msg.payload = req;
+      HandleMessage(self_msg);
+    } else {
+      deps_.network->Send(deps_.self, replica, is_write ? kKvWriteReq : kKvReadReq,
+                          std::move(req));
+    }
+  }
+}
+
+void KvService::HandleMessage(const Message& msg) {
+  switch (msg.type) {
+    case kKvWriteReq: {
+      auto req = std::static_pointer_cast<const KvRequestPayload>(msg.payload);
+      NodeId coordinator = msg.from;
+      Job job("kv.write-replica");
+      auto work = std::make_shared<WorkUnits>(0);
+      job.Run([this, req, work] {
+           *work = storage_.Put(req->key, req->value, req->timestamp);
+         })
+          .Compute([work] { return *work; })
+          .Run([this, req, coordinator] {
+            auto resp = std::make_shared<KvResponsePayload>();
+            resp->op_id = req->op_id;
+            resp->ack = true;
+            if (coordinator == deps_.self) {
+              Message self_msg;
+              self_msg.from = deps_.self;
+              self_msg.to = deps_.self;
+              self_msg.type = kKvWriteResp;
+              self_msg.payload = resp;
+              HandleMessage(self_msg);
+            } else {
+              deps_.network->Send(deps_.self, coordinator, kKvWriteResp,
+                                  std::move(resp));
+            }
+          });
+      deps_.stage->Enqueue(std::move(job));
+      break;
+    }
+    case kKvReadReq: {
+      auto req = std::static_pointer_cast<const KvRequestPayload>(msg.payload);
+      NodeId coordinator = msg.from;
+      Job job("kv.read-replica");
+      auto work = std::make_shared<WorkUnits>(0);
+      auto value = std::make_shared<std::optional<std::string>>();
+      auto version = std::make_shared<int64_t>(0);
+      job.Run([this, req, work, value, version] {
+           *value = storage_.Get(req->key, &*work);
+           *version = storage_.TimestampOf(req->key);
+         })
+          .Compute([work] { return *work; })
+          .Run([this, req, coordinator, value, version] {
+            auto resp = std::make_shared<KvResponsePayload>();
+            resp->op_id = req->op_id;
+            resp->ack = true;
+            resp->found = value->has_value();
+            resp->timestamp = *version;
+            resp->value = value->value_or("");
+            if (coordinator == deps_.self) {
+              Message self_msg;
+              self_msg.from = deps_.self;
+              self_msg.to = deps_.self;
+              self_msg.type = kKvReadResp;
+              self_msg.payload = resp;
+              HandleMessage(self_msg);
+            } else {
+              deps_.network->Send(deps_.self, coordinator, kKvReadResp,
+                                  std::move(resp));
+            }
+          });
+      deps_.stage->Enqueue(std::move(job));
+      break;
+    }
+    case kKvWriteResp:
+    case kKvReadResp: {
+      auto resp = std::static_pointer_cast<const KvResponsePayload>(msg.payload);
+      auto it = inflight_.find(resp->op_id);
+      if (it == inflight_.end()) {
+        return;  // already finished (timeout or quorum)
+      }
+      InFlight& op = it->second;
+      --op.outstanding;
+      if (resp->ack) {
+        ++op.acks;
+        // Quorum read resolution: the newest version wins (last-write-wins
+        // by coordinator timestamp, as the write path orders them).
+        if (resp->found && resp->timestamp > op.read_timestamp) {
+          op.read_timestamp = resp->timestamp;
+          op.read_value = resp->value;
+        }
+      }
+      if (op.acks >= op.needed) {
+        Finish(resp->op_id, KvOutcome::kOk, op.read_value);
+      } else if (op.outstanding == 0) {
+        Finish(resp->op_id, KvOutcome::kTimeout, "");
+      }
+      break;
+    }
+    default:
+      CHECK(false) << "not a KV message type" << msg.type;
+  }
+}
+
+void KvService::Finish(uint64_t op_id, KvOutcome outcome, std::string value) {
+  auto it = inflight_.find(op_id);
+  CHECK(it != inflight_.end());
+  InFlight op = std::move(it->second);
+  inflight_.erase(it);
+  if (op.timeout_event != kInvalidEvent) {
+    deps_.sim->Cancel(op.timeout_event);
+  }
+  switch (outcome) {
+    case KvOutcome::kOk:
+      ++stats_.ok;
+      stats_.latency.AddDuration(deps_.sim->Now() - op.started);
+      break;
+    case KvOutcome::kUnavailable:
+      ++stats_.unavailable;
+      break;
+    case KvOutcome::kTimeout:
+      ++stats_.timeout;
+      break;
+  }
+  if (op.done) {
+    op.done(outcome, std::move(value));
+  }
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,134 @@
+// The quorum data path riding on the ring.
+//
+// Each node can act as a coordinator: replicas of a key are the ring's
+// natural endpoints; the coordinator sends the operation to the replicas it
+// believes ALIVE and waits for a quorum of acks. This is where scalability
+// bugs become user-visible (§2: "many live nodes are declared as dead,
+// making some data not reachable by the users"): during a flap storm the
+// coordinator's liveness view collapses and operations fail UNAVAILABLE even
+// though every replica is actually up.
+
+#ifndef SCALECHECK_SRC_KV_KV_SERVICE_H_
+#define SCALECHECK_SRC_KV_KV_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/gossip/gossiper.h"
+#include "src/kv/storage_engine.h"
+#include "src/ring/token_ring.h"
+#include "src/sim/network.h"
+#include "src/sim/thread.h"
+
+namespace scalecheck {
+
+enum KvMessageType : int {
+  kKvWriteReq = 10,
+  kKvWriteResp = 11,
+  kKvReadReq = 12,
+  kKvReadResp = 13,
+};
+
+struct KvRequestPayload : public Payload {
+  uint64_t op_id = 0;
+  uint64_t key = 0;
+  std::string value;  // writes only
+  int64_t timestamp = 0;
+
+  size_t SizeBytes() const override { return 48 + value.size(); }
+};
+
+struct KvResponsePayload : public Payload {
+  uint64_t op_id = 0;
+  // The replica processed the request (counts toward quorum). A read of an
+  // absent key still acks — quorum agreement on "not found" is a successful
+  // read.
+  bool ack = false;
+  bool found = false;     // reads: replica had a value
+  int64_t timestamp = 0;  // reads: version of the returned value
+  std::string value;      // reads only
+
+  size_t SizeBytes() const override { return 24 + value.size(); }
+};
+
+enum class KvOutcome : int {
+  kOk = 0,
+  kUnavailable = 1,  // fewer live replicas than quorum at submission
+  kTimeout = 2,      // quorum not reached in time
+};
+
+struct KvStats {
+  int64_t ok = 0;
+  int64_t unavailable = 0;
+  int64_t timeout = 0;
+  LogHistogram latency{/*base=*/1e5, /*growth=*/1.5, /*num_buckets=*/80};
+
+  int64_t total() const { return ok + unavailable + timeout; }
+  double UnavailableFraction() const {
+    return total() == 0 ? 0.0
+                        : static_cast<double>(unavailable + timeout) /
+                              static_cast<double>(total());
+  }
+};
+
+// One per node. The owning Node routes kKv* messages here and exposes the
+// coordinator API. All callbacks run on the node's kv stage thread.
+class KvService {
+ public:
+  struct Deps {
+    Simulator* sim = nullptr;
+    NetworkModel* network = nullptr;
+    SimThread* stage = nullptr;         // the node's kv stage
+    const TokenRing* ring = nullptr;    // the node's ring view
+    const Gossiper* gossiper = nullptr; // liveness view
+    NodeId self = kInvalidNode;
+    int replication_factor = 3;
+    VirtualDuration timeout = VirtualDuration::Seconds(2);
+  };
+
+  explicit KvService(Deps deps);
+
+  using DoneFn = std::function<void(KvOutcome, std::string value)>;
+
+  // Coordinator API (client entry points).
+  void Write(uint64_t key, std::string value, DoneFn done);
+  void Read(uint64_t key, DoneFn done);
+
+  // Replica + response plumbing, called by the Node's message handler.
+  void HandleMessage(const Message& msg);
+
+  StorageEngine& storage() { return storage_; }
+  const KvStats& stats() const { return stats_; }
+
+ private:
+  struct InFlight {
+    bool is_write = false;
+    int acks = 0;
+    int needed = 0;
+    int outstanding = 0;
+    std::string read_value;
+    int64_t read_timestamp = -1;  // newest replica version seen so far
+    VirtualTime started;
+    DoneFn done;
+    EventId timeout_event = kInvalidEvent;
+  };
+
+  void StartOp(bool is_write, uint64_t key, std::string value, DoneFn done);
+  void Finish(uint64_t op_id, KvOutcome outcome, std::string value);
+  int Quorum() const { return deps_.replication_factor / 2 + 1; }
+
+  Deps deps_;
+  StorageEngine storage_;
+  KvStats stats_;
+  std::unordered_map<uint64_t, InFlight> inflight_;
+  uint64_t next_op_ = 1;
+  int64_t clock_counter_ = 0;  // write timestamps (coordinator-local)
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_KV_KV_SERVICE_H_

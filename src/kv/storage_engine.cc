@@ -1,0 +1,124 @@
+#include "src/kv/storage_engine.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+WorkUnits StorageEngine::Put(uint64_t key, std::string value, int64_t timestamp) {
+  // Costs depend on the SIZE of the data, not its content — which is exactly
+  // why data-space emulation preserves behaviour (§4).
+  WorkUnits work = 1500 + static_cast<WorkUnits>(value.size());
+  size_t value_size = value.size();
+  if (config_.emulate_data_space) {
+    value.clear();  // "compressed to zero byte on disk (but the size is recorded)"
+  }
+  auto it = memtable_.find(key);
+  if (it == memtable_.end()) {
+    bytes_ += static_cast<int64_t>(value.size()) + 48;
+    ++total_entries_;
+    memtable_.emplace(key, Entry{std::move(value), value_size, timestamp});
+  } else if (timestamp >= it->second.timestamp) {
+    bytes_ += static_cast<int64_t>(value.size()) -
+              static_cast<int64_t>(it->second.value.size());
+    it->second = Entry{std::move(value), value_size, timestamp};
+  }
+  if (memtable_.size() >= config_.memtable_limit) {
+    Flush();
+    work += static_cast<WorkUnits>(config_.memtable_limit) * 40;
+  }
+  return work;
+}
+
+std::optional<std::string> StorageEngine::Get(uint64_t key, WorkUnits* work) const {
+  CHECK_NOTNULL(work);
+  *work = 2000;
+  const Entry* found_entry = nullptr;
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    found_entry = &it->second;
+  } else {
+    // Newest run first.
+    for (auto run = runs_.rbegin(); run != runs_.rend() && found_entry == nullptr;
+         ++run) {
+      *work += 200;  // bloom/index probe stand-in
+      auto found = std::lower_bound(
+          run->begin(), run->end(), key,
+          [](const std::pair<uint64_t, Entry>& e, uint64_t k) { return e.first < k; });
+      if (found != run->end() && found->first == key) {
+        found_entry = &found->second;
+      }
+    }
+  }
+  if (found_entry == nullptr) {
+    return std::nullopt;
+  }
+  *work += static_cast<WorkUnits>(found_entry->value_size) / 4;
+  if (config_.emulate_data_space) {
+    // Synthesize content of the recorded size.
+    return std::string(found_entry->value_size, 'x');
+  }
+  return found_entry->value;
+}
+
+int64_t StorageEngine::TimestampOf(uint64_t key) const {
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    return it->second.timestamp;
+  }
+  for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
+    auto found = std::lower_bound(
+        run->begin(), run->end(), key,
+        [](const std::pair<uint64_t, Entry>& e, uint64_t k) { return e.first < k; });
+    if (found != run->end() && found->first == key) {
+      return found->second.timestamp;
+    }
+  }
+  return 0;
+}
+
+void StorageEngine::Flush() {
+  Run run;
+  run.reserve(memtable_.size());
+  for (auto& [key, entry] : memtable_) {
+    run.emplace_back(key, std::move(entry));
+  }
+  memtable_.clear();
+  runs_.push_back(std::move(run));
+  ++flushes_;
+  MaybeCompact();
+}
+
+void StorageEngine::MaybeCompact() {
+  if (runs_.size() < config_.compaction_fanin) {
+    return;
+  }
+  // Merge all runs, newest value per key wins.
+  std::map<uint64_t, Entry> merged;
+  for (Run& run : runs_) {
+    for (auto& [key, entry] : run) {
+      auto it = merged.find(key);
+      if (it == merged.end() || entry.timestamp >= it->second.timestamp) {
+        merged[key] = std::move(entry);
+      }
+    }
+  }
+  Run combined;
+  combined.reserve(merged.size());
+  int64_t entries = 0;
+  for (auto& [key, entry] : merged) {
+    combined.emplace_back(key, std::move(entry));
+    ++entries;
+  }
+  runs_.clear();
+  runs_.push_back(std::move(combined));
+  total_entries_ = entries + static_cast<int64_t>(memtable_.size());
+  ++compactions_;
+}
+
+int64_t StorageEngine::ApproxBytes() const {
+  return bytes_ + static_cast<int64_t>(runs_.size()) * 1024;
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,81 @@
+// A small LSM-flavoured storage engine: an in-memory memtable that flushes
+// into immutable sorted runs. Deliberately simple — the scalability bugs
+// under study live in the control plane — but real enough that the data path
+// examples exercise actual storage state, and that per-node memory
+// accounting has something to charge.
+//
+// Data-space emulation (§4's Exalt [34], whose insight PIL generalizes):
+// with `emulate_data_space` set, user data is "compressed to zero bytes"
+// — only sizes and timestamps are retained, and reads synthesize content of
+// the recorded size. "How data is processed is not affected by the content
+// of the data being written, but only by its size": CPU costs and all
+// control-flow stay identical while the colocation memory footprint of the
+// data path collapses.
+
+#ifndef SCALECHECK_SRC_KV_STORAGE_ENGINE_H_
+#define SCALECHECK_SRC_KV_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace scalecheck {
+
+class StorageEngine {
+ public:
+  struct Config {
+    // Memtable flush threshold (entries).
+    size_t memtable_limit = 4096;
+    // Background compaction triggers at this many runs.
+    size_t compaction_fanin = 4;
+    // Exalt-style zero-byte data emulation (sizes recorded, content dropped).
+    bool emulate_data_space = false;
+  };
+
+  StorageEngine() : StorageEngine(Config{}) {}
+  explicit StorageEngine(Config config) : config_(config) {}
+
+  // Returns the CPU work units the operation cost (charged by the caller).
+  WorkUnits Put(uint64_t key, std::string value, int64_t timestamp);
+  // Latest value by timestamp, searching memtable then runs newest-first.
+  std::optional<std::string> Get(uint64_t key, WorkUnits* work) const;
+  // Timestamp of the stored version (0 if absent). Used by quorum reads to
+  // resolve the newest replica value.
+  int64_t TimestampOf(uint64_t key) const;
+
+  size_t memtable_entries() const { return memtable_.size(); }
+  size_t num_runs() const { return runs_.size(); }
+  int64_t total_entries() const { return total_entries_; }
+  uint64_t flushes() const { return flushes_; }
+  uint64_t compactions() const { return compactions_; }
+
+  // Approximate heap bytes, for the machine memory model.
+  int64_t ApproxBytes() const;
+
+ private:
+  struct Entry {
+    std::string value;      // empty when emulating data space
+    size_t value_size = 0;  // always the true size
+    int64_t timestamp = 0;
+  };
+  using Run = std::vector<std::pair<uint64_t, Entry>>;  // sorted by key
+
+  void Flush();
+  void MaybeCompact();
+
+  Config config_;
+  std::map<uint64_t, Entry> memtable_;
+  std::vector<Run> runs_;  // newest last
+  int64_t total_entries_ = 0;
+  int64_t bytes_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_KV_STORAGE_ENGINE_H_

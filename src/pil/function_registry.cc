@@ -1,0 +1,37 @@
+#include "src/pil/function_registry.h"
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+PilFunctionId FunctionRegistry::Register(const std::string& name,
+                                         const std::string& complexity,
+                                         SideEffects effects, bool scale_dependent) {
+  CHECK(FindByName(name) == nullptr) << "duplicate PIL function" << name;
+  PilFunctionInfo info;
+  info.id = static_cast<PilFunctionId>(functions_.size() + 1);
+  info.name = name;
+  info.complexity = complexity;
+  info.effects = effects;
+  info.scale_dependent = scale_dependent;
+  functions_.push_back(std::move(info));
+  return functions_.back().id;
+}
+
+const PilFunctionInfo* FunctionRegistry::Find(PilFunctionId id) const {
+  if (id == kInvalidPilFunction || id > functions_.size()) {
+    return nullptr;
+  }
+  return &functions_[id - 1];
+}
+
+const PilFunctionInfo* FunctionRegistry::FindByName(const std::string& name) const {
+  for (const PilFunctionInfo& info : functions_) {
+    if (info.name == name) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,69 @@
+// Registry of functions that can cross the PIL boundary, with their
+// PIL-safety metadata.
+//
+// §5: "a PIL-safe function must have a memoizable output (a deterministic
+// output on a given input) and not have any side effects such as disk I/Os,
+// network messages, and blocking mechanisms such as locks." Each registered
+// function declares its observed effects; IsPilSafe() applies the paper's
+// rule. The sfind module combines this with its complexity fits to decide
+// which functions are both *safe* and *offending* — only those take the PIL.
+
+#ifndef SCALECHECK_SRC_PIL_FUNCTION_REGISTRY_H_
+#define SCALECHECK_SRC_PIL_FUNCTION_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace scalecheck {
+
+using PilFunctionId = uint32_t;
+inline constexpr PilFunctionId kInvalidPilFunction = 0;
+
+// Side effects a function may perform; any of these breaks PIL safety
+// (acquiring a lock *around* the call is fine — the boundary preserves it —
+// but taking locks, doing I/O or messaging *inside* the replaced region is
+// not, since a sleep would not reproduce them).
+struct SideEffects {
+  bool disk_io = false;
+  bool network_messages = false;
+  bool acquires_locks = false;
+  bool nondeterministic = false;  // reads clocks/RNG -> output not memoizable
+
+  bool Any() const {
+    return disk_io || network_messages || acquires_locks || nondeterministic;
+  }
+};
+
+struct PilFunctionInfo {
+  PilFunctionId id = kInvalidPilFunction;
+  std::string name;
+  std::string complexity;  // human-readable, for reports
+  SideEffects effects;
+  // Set by the @scaledep annotation flow (Figure 2-a): the function iterates
+  // scale-dependent data structures.
+  bool scale_dependent = false;
+
+  // The paper's PIL-safety rule.
+  bool IsPilSafe() const { return !effects.Any(); }
+};
+
+class FunctionRegistry {
+ public:
+  // Registers a function; names must be unique. Returns its id.
+  PilFunctionId Register(const std::string& name, const std::string& complexity,
+                         SideEffects effects, bool scale_dependent);
+
+  const PilFunctionInfo* Find(PilFunctionId id) const;
+  const PilFunctionInfo* FindByName(const std::string& name) const;
+  const std::vector<PilFunctionInfo>& functions() const { return functions_; }
+
+ private:
+  std::vector<PilFunctionInfo> functions_;  // index = id - 1
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_PIL_FUNCTION_REGISTRY_H_

@@ -1,0 +1,178 @@
+#include "src/pil/memo_store.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+void MemoStore::Put(PilFunctionId function, const DigestValue& input,
+                    MemoRecord record) {
+  Key key{function, input};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    if (it->second.output == record.output) {
+      ++stats_.duplicate_puts;
+    } else {
+      ++stats_.determinism_violations;
+    }
+    return;
+  }
+  record.sequence = next_sequence_++;
+  output_bytes_ += static_cast<int64_t>(record.output.size());
+  map_.emplace(key, std::move(record));
+  ++stats_.records;
+}
+
+const MemoRecord* MemoStore::Lookup(PilFunctionId function, const DigestValue& input) {
+  ++stats_.lookups;
+  auto it = map_.find(Key{function, input});
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second;
+}
+
+const MemoRecord* MemoStore::Peek(PilFunctionId function,
+                                  const DigestValue& input) const {
+  auto it = map_.find(Key{function, input});
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+namespace {
+constexpr uint64_t kMagic = 0x5343504d454d4f31ULL;  // "SCPMEMO1"
+
+template <typename T>
+void PutRaw(std::vector<uint8_t>* out, T v) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+bool GetRaw(const std::vector<uint8_t>& in, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > in.size()) {
+    return false;
+  }
+  std::memcpy(v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+}  // namespace
+
+std::vector<uint8_t> MemoStore::Serialize() const {
+  std::vector<uint8_t> out;
+  PutRaw(&out, kMagic);
+  PutRaw<uint64_t>(&out, map_.size());
+  for (const auto& [key, record] : map_) {
+    PutRaw<uint32_t>(&out, key.function);
+    PutRaw<uint64_t>(&out, key.input.lo);
+    PutRaw<uint64_t>(&out, key.input.hi);
+    PutRaw<int64_t>(&out, record.cpu_duration.nanos());
+    PutRaw<int64_t>(&out, record.work);
+    PutRaw<uint64_t>(&out, record.sequence);
+    PutRaw<uint64_t>(&out, record.output.size());
+    out.insert(out.end(), record.output.begin(), record.output.end());
+  }
+  return out;
+}
+
+bool MemoStore::Deserialize(const std::vector<uint8_t>& bytes, MemoStore* out) {
+  CHECK_NOTNULL(out);
+  *out = MemoStore();
+  size_t pos = 0;
+  uint64_t magic = 0;
+  uint64_t count = 0;
+  if (!GetRaw(bytes, &pos, &magic) || magic != kMagic || !GetRaw(bytes, &pos, &count)) {
+    return false;
+  }
+  uint64_t max_sequence = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    Key key{0, {}};
+    MemoRecord record;
+    int64_t duration_ns = 0;
+    uint64_t output_size = 0;
+    if (!GetRaw(bytes, &pos, &key.function) || !GetRaw(bytes, &pos, &key.input.lo) ||
+        !GetRaw(bytes, &pos, &key.input.hi) || !GetRaw(bytes, &pos, &duration_ns) ||
+        !GetRaw(bytes, &pos, &record.work) || !GetRaw(bytes, &pos, &record.sequence) ||
+        !GetRaw(bytes, &pos, &output_size)) {
+      return false;
+    }
+    if (pos + output_size > bytes.size()) {
+      return false;
+    }
+    record.cpu_duration = VirtualDuration::Nanos(duration_ns);
+    record.output.assign(bytes.begin() + static_cast<ptrdiff_t>(pos),
+                         bytes.begin() + static_cast<ptrdiff_t>(pos + output_size));
+    pos += output_size;
+    max_sequence = std::max(max_sequence, record.sequence);
+    out->output_bytes_ += static_cast<int64_t>(record.output.size());
+    out->map_.emplace(key, std::move(record));
+  }
+  out->stats_.records = out->map_.size();
+  out->next_sequence_ = max_sequence + 1;
+  return pos == bytes.size();
+}
+
+bool MemoStore::SaveToFile(const std::string& path) const {
+  std::vector<uint8_t> bytes = Serialize();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  return written == bytes.size();
+}
+
+bool MemoStore::LoadFromFile(const std::string& path, MemoStore* out) {
+  Result<MemoStore> loaded = Load(path);
+  if (!loaded.ok()) {
+    return false;
+  }
+  *out = std::move(loaded).value();
+  return true;
+}
+
+Status MemoStore::Save(const std::string& path) const {
+  std::vector<uint8_t> bytes = Serialize();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<MemoStore> MemoStore::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("no memo DB at " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot stat " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) {
+    return Status::IoError("short read from " + path);
+  }
+  MemoStore store;
+  if (!Deserialize(bytes, &store)) {
+    return Status::CorruptData("unparseable memo DB: " + path);
+  }
+  return store;
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,132 @@
+#include "src/pil/order_log.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/hash.h"
+
+namespace scalecheck {
+
+namespace {
+uint64_t HashKey(const MessageKey& key) {
+  uint64_t h = HashCombine(static_cast<uint64_t>(static_cast<uint32_t>(key.from)),
+                           static_cast<uint64_t>(key.type));
+  return HashCombine(h, key.pair_seq);
+}
+}  // namespace
+
+void OrderLog::Append(NodeId node, const MessageKey& key) {
+  by_node_[node].push_back(key);
+}
+
+const std::vector<MessageKey>& OrderLog::SequenceOf(NodeId node) const {
+  static const std::vector<MessageKey> kEmpty;
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? kEmpty : it->second;
+}
+
+size_t OrderLog::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& [node, seq] : by_node_) {
+    total += seq.size();
+  }
+  return total;
+}
+
+OrderEnforcer::OrderEnforcer(std::vector<MessageKey> log_sequence, size_t max_buffer,
+                             ReleaseFn release)
+    : sequence_(std::move(log_sequence)),
+      max_buffer_(max_buffer),
+      release_(std::move(release)) {
+  CHECK(release_ != nullptr);
+  CHECK_GT(max_buffer_, 0u);
+  for (size_t i = 0; i < sequence_.size(); ++i) {
+    // Keys are unique per node: (from, type, pair_seq) never repeats. Keep
+    // the first position if a duplicate somehow appears.
+    key_index_.emplace(HashKey(sequence_[i]), i);
+  }
+}
+
+bool OrderEnforcer::InLog(const MessageKey& key) const {
+  return key_index_.find(HashKey(key)) != key_index_.end();
+}
+
+void OrderEnforcer::Submit(const Message& msg) {
+  MessageKey key = MessageKey::Of(msg);
+  auto it = key_index_.find(HashKey(key));
+  if (it == key_index_.end()) {
+    // Never seen in the memoization run: no ordering constraint.
+    release_(msg);
+    return;
+  }
+  size_t pos = it->second;
+  if (pos < cursor_) {
+    // The log already moved past this message (it was force-skipped).
+    ++divergences_;
+    release_(msg);
+    return;
+  }
+  if (pos == cursor_) {
+    ++enforced_;
+    ++cursor_;
+    release_(msg);
+    Drain();
+    return;
+  }
+  // Arrived early: hold it back, like the paper's deterministic replayer.
+  buffer_.push_back(msg);
+  if (buffer_.size() > max_buffer_) {
+    // The expected message is not coming (replay divergence); force the
+    // oldest buffered message through and move the cursor past it.
+    Message oldest = std::move(buffer_.front());
+    buffer_.pop_front();
+    ++divergences_;
+    auto oldest_it = key_index_.find(HashKey(MessageKey::Of(oldest)));
+    if (oldest_it != key_index_.end() && oldest_it->second >= cursor_) {
+      cursor_ = oldest_it->second + 1;
+    }
+    release_(oldest);
+    Drain();
+  }
+}
+
+void OrderEnforcer::Drain() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = buffer_.begin(); it != buffer_.end(); ++it) {
+      auto idx = key_index_.find(HashKey(MessageKey::Of(*it)));
+      CHECK(idx != key_index_.end());
+      if (idx->second == cursor_) {
+        Message msg = std::move(*it);
+        buffer_.erase(it);
+        ++enforced_;
+        ++cursor_;
+        release_(msg);
+        progressed = true;
+        break;  // iterators invalidated; rescan
+      }
+      if (idx->second < cursor_) {
+        // The cursor was forced past this message (overflow skip); it can
+        // never match again — release it out of order rather than leak it.
+        Message msg = std::move(*it);
+        buffer_.erase(it);
+        ++divergences_;
+        release_(msg);
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+void OrderEnforcer::Flush() {
+  while (!buffer_.empty()) {
+    Message msg = std::move(buffer_.front());
+    buffer_.pop_front();
+    ++divergences_;
+    release_(msg);
+  }
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,95 @@
+// Order determinism (§5, "Memoizing PIL-replaced functions").
+//
+// The input/output pairs in the memoization DB depend on the precise order of
+// message arrivals; covering all orderings would need "(N^NP)^2" pairs. The
+// paper instead records the message-processing order of the memoization run
+// and enforces it during replay, so only the observed pairs are needed.
+//
+// OrderLog records, per node, the sequence of processed message keys (from,
+// type, per-pair send sequence). OrderEnforcer buffers out-of-order arrivals
+// during replay and releases them in recorded order. Replays are not
+// guaranteed to regenerate the identical message stream (timing differs once
+// sleeps replace computation), so the enforcer degrades gracefully: messages
+// never mentioned in the log pass straight through, and a bounded buffer
+// forces progress while counting divergences as an accuracy metric.
+
+#ifndef SCALECHECK_SRC_PIL_ORDER_LOG_H_
+#define SCALECHECK_SRC_PIL_ORDER_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/network.h"
+
+namespace scalecheck {
+
+struct MessageKey {
+  NodeId from = kInvalidNode;
+  int type = 0;
+  uint64_t pair_seq = 0;
+
+  static MessageKey Of(const Message& msg) {
+    return MessageKey{msg.from, msg.type, msg.pair_seq};
+  }
+  bool operator==(const MessageKey&) const = default;
+  auto operator<=>(const MessageKey&) const = default;
+};
+
+class OrderLog {
+ public:
+  // Memoization run: appends the key of a message as it is *processed*.
+  void Append(NodeId node, const MessageKey& key);
+
+  const std::vector<MessageKey>& SequenceOf(NodeId node) const;
+  size_t TotalEntries() const;
+  bool empty() const { return by_node_.empty(); }
+
+ private:
+  std::map<NodeId, std::vector<MessageKey>> by_node_;
+};
+
+// Per-node replay-side enforcement. Wraps the node's message-processing
+// entry point: Submit() either releases messages (in recorded order when
+// possible) via the release callback, or buffers them.
+class OrderEnforcer {
+ public:
+  using ReleaseFn = std::function<void(const Message&)>;
+
+  // `log_sequence` may be empty (no enforcement: pass-through).
+  OrderEnforcer(std::vector<MessageKey> log_sequence, size_t max_buffer,
+                ReleaseFn release);
+
+  // Offers an arriving message. Releases zero or more messages synchronously.
+  void Submit(const Message& msg);
+
+  // Flushes everything buffered (end of run / enforcement abandoned).
+  void Flush();
+
+  uint64_t divergences() const { return divergences_; }
+  uint64_t enforced_in_order() const { return enforced_; }
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  // Releases buffered messages matching the expected cursor; advances past
+  // log entries that will never arrive (not buffered, not expected).
+  void Drain();
+  bool InLog(const MessageKey& key) const;
+
+  std::vector<MessageKey> sequence_;
+  std::unordered_map<uint64_t, size_t> key_index_;  // hashed key -> seq pos
+  size_t cursor_ = 0;
+  size_t max_buffer_;
+  ReleaseFn release_;
+  std::deque<Message> buffer_;
+  uint64_t divergences_ = 0;
+  uint64_t enforced_ = 0;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_PIL_ORDER_LOG_H_

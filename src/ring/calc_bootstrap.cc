@@ -1,0 +1,136 @@
+// The C6127 fresh-bootstrap path.
+//
+// When a large cluster bootstraps from scratch — no established ring, every
+// node simultaneously BOOT — execution takes a different code path that
+// constructs the ring table from nothing, with linear scans instead of the
+// indexed lookups the incremental path enjoys: inserts scan the growing
+// table, and every replica lookup scans for the successor. O(E^2) per
+// invocation with E = M*P entries. §2: "if customers bootstrap a large
+// cluster (e.g. 500+ nodes) from scratch ... the execution traverses a
+// different code path" — the poster child for path-dependent scalability
+// bugs that sfind must report reachability conditions for.
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/ring/calc_internal.h"
+
+namespace scalecheck {
+namespace {
+
+using calc_internal::ClockwiseDistance;
+
+// Successor lookup by linear scan (no binary search on the fresh table).
+std::vector<NodeId> NaturalEndpointsLinear(const std::vector<RingEntry>& entries,
+                                           Token key, int rf, int64_t* ops) {
+  // Find the owner index by scanning every entry for the minimal clockwise
+  // distance.
+  std::vector<NodeId> replicas;
+  if (entries.empty()) {
+    return replicas;
+  }
+  size_t best_idx = 0;
+  uint64_t best = UINT64_MAX;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    ++*ops;
+    uint64_t d = ClockwiseDistance(key, entries[i].token);
+    if (d < best) {
+      best = d;
+      best_idx = i;
+    }
+  }
+  for (size_t walked = 0; walked < entries.size(); ++walked) {
+    NodeId owner = entries[(best_idx + walked) % entries.size()].owner;
+    ++*ops;
+    if (std::find(replicas.begin(), replicas.end(), owner) == replicas.end()) {
+      replicas.push_back(owner);
+      if (replicas.size() == static_cast<size_t>(rf)) {
+        break;
+      }
+    }
+  }
+  return replicas;
+}
+
+class BootstrapCalculator : public PendingRangeCalculator {
+ public:
+  CalcVersion version() const override { return CalcVersion::kBootstrapC6127; }
+  const char* name() const override { return "freshRingConstruction/C6127"; }
+  const char* complexity() const override { return "O(E^2), E = M*P fresh entries"; }
+
+  CalcResult Execute(const CalcInput& input) const override {
+    CHECK_NOTNULL(input.ring);
+    CalcResult result;
+    const TokenRing& current = *input.ring;
+
+    // Fresh table construction: sorted-insert each token with a linear scan
+    // of the growing table.
+    std::vector<RingEntry> fresh;
+    for (const RingEntry& e : current.entries()) {
+      result.ops += static_cast<int64_t>(fresh.size()) / 2 + 1;
+      fresh.push_back(e);
+    }
+    std::sort(fresh.begin(), fresh.end(),
+              [](const RingEntry& a, const RingEntry& b) { return a.token < b.token; });
+    for (const PendingChange& change : input.changes) {
+      if (change.kind == ChangeKind::kLeaving) {
+        // Leaving during fresh bootstrap: drop its entries with a full scan.
+        result.ops += static_cast<int64_t>(fresh.size());
+        fresh.erase(std::remove_if(fresh.begin(), fresh.end(),
+                                   [&](const RingEntry& e) {
+                                     return e.owner == change.node;
+                                   }),
+                    fresh.end());
+        continue;
+      }
+      for (Token t : change.tokens) {
+        auto it = fresh.begin();
+        while (it != fresh.end() && it->token < t) {
+          ++it;
+          ++result.ops;  // the linear insert scan
+        }
+        fresh.insert(it, RingEntry{t, change.node});
+      }
+    }
+
+    // One endpoints pass over the fresh table, linear successor lookups.
+    for (size_t i = 0; i < fresh.size(); ++i) {
+      Token key = fresh[i].token;
+      std::vector<NodeId> fr = NaturalEndpointsLinear(fresh, key, input.rf, &result.ops);
+      std::vector<NodeId> cr = current.NaturalEndpointsForKey(key, input.rf);
+      result.ops += 8;
+      for (NodeId target : fr) {
+        if (std::find(cr.begin(), cr.end(), target) == cr.end()) {
+          size_t prev = (i + fresh.size() - 1) % fresh.size();
+          result.pending.Add(KeyRange{fresh[prev].token, fresh[i].token}, target);
+        }
+      }
+    }
+    result.pending.Normalize();
+    return result;
+  }
+
+  int64_t ModelOps(const CalcInput& input) const override {
+    int64_t ec = static_cast<int64_t>(input.ring->num_entries());
+    int64_t added = 0;
+    for (const PendingChange& change : input.changes) {
+      if (change.kind == ChangeKind::kJoining) {
+        added += static_cast<int64_t>(change.tokens.size());
+      }
+    }
+    int64_t ef = ec + added;
+    // Construction (~E^2/4 average insert scans on the added part) + the
+    // E^2-ish endpoints pass.
+    return ec / 2 + ec + added * (ec + added / 2) / 2 + ef * (ef + input.rf + 8);
+  }
+
+  WorkUnits op_cost() const override { return 90; }
+};
+
+}  // namespace
+
+std::unique_ptr<PendingRangeCalculator> MakeBootstrapCalculator() {
+  return std::make_unique<BootstrapCalculator>();
+}
+
+}  // namespace scalecheck

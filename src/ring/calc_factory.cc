@@ -1,0 +1,23 @@
+#include "src/common/check.h"
+#include "src/ring/calc_internal.h"
+
+namespace scalecheck {
+
+std::unique_ptr<PendingRangeCalculator> MakeCalculator(CalcVersion version) {
+  switch (version) {
+    case CalcVersion::kReference:
+      return MakeReferenceCalculator();
+    case CalcVersion::kV1PreC3831:
+      return MakeV1Calculator();
+    case CalcVersion::kV2C3831Fix:
+      return MakeV2Calculator();
+    case CalcVersion::kV3C3881Fix:
+      return MakeV3Calculator();
+    case CalcVersion::kBootstrapC6127:
+      return MakeBootstrapCalculator();
+  }
+  CHECK(false) << "unknown calculator version";
+  return nullptr;
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,37 @@
+// Internal helpers shared by the calculator implementations. Not part of the
+// public API.
+
+#ifndef SCALECHECK_SRC_RING_CALC_INTERNAL_H_
+#define SCALECHECK_SRC_RING_CALC_INTERNAL_H_
+
+#include <memory>
+
+#include "src/ring/calculators.h"
+
+namespace scalecheck {
+
+std::unique_ptr<PendingRangeCalculator> MakeReferenceCalculator();
+std::unique_ptr<PendingRangeCalculator> MakeV1Calculator();
+std::unique_ptr<PendingRangeCalculator> MakeV2Calculator();
+std::unique_ptr<PendingRangeCalculator> MakeV3Calculator();
+std::unique_ptr<PendingRangeCalculator> MakeBootstrapCalculator();
+
+namespace calc_internal {
+
+inline int64_t Log2Ceil(size_t n) {
+  int64_t bits = 1;
+  while ((size_t{1} << bits) < n) {
+    ++bits;
+  }
+  return bits;
+}
+
+// Clockwise distance from `key` to `token` on the wrapping ring. The owner
+// of a key is the token at minimal clockwise distance (ties impossible:
+// tokens are distinct).
+inline uint64_t ClockwiseDistance(Token key, Token token) { return token - key; }
+
+}  // namespace calc_internal
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_RING_CALC_INTERNAL_H_

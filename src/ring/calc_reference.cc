@@ -1,0 +1,110 @@
+// Reference pending-range calculator: the efficient oracle every buggy
+// generation must agree with.
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/ring/calc_internal.h"
+#include "src/ring/calculators.h"
+
+namespace scalecheck {
+
+using calc_internal::Log2Ceil;
+
+CalcResult ComputeReferencePendingRanges(const CalcInput& input) {
+  CHECK_NOTNULL(input.ring);
+  CalcResult result;
+  TokenRing future = input.BuildFutureRing();
+  result.ops += static_cast<int64_t>(future.num_entries());  // construction
+
+  const TokenRing& current = *input.ring;
+  int64_t per_lookup =
+      Log2Ceil(std::max<size_t>(2, future.num_entries())) + input.rf;
+  for (size_t i = 0; i < future.num_entries(); ++i) {
+    Token key = future.entries()[i].token;
+    std::vector<NodeId> fr = future.NaturalEndpointsForKey(key, input.rf);
+    std::vector<NodeId> cr = current.NaturalEndpointsForKey(key, input.rf);
+    result.ops += 2 * per_lookup + static_cast<int64_t>(fr.size() * cr.size());
+    for (NodeId target : fr) {
+      bool already = false;
+      for (NodeId existing : cr) {
+        if (existing == target) {
+          already = true;
+          break;
+        }
+      }
+      if (!already) {
+        result.pending.Add(future.RangeOfEntry(i), target);
+      }
+    }
+  }
+  result.pending.Normalize();
+  return result;
+}
+
+namespace {
+
+class ReferenceCalculator : public PendingRangeCalculator {
+ public:
+  CalcVersion version() const override { return CalcVersion::kReference; }
+  const char* name() const override { return "reference"; }
+  const char* complexity() const override { return "O(M + E*(log E + rf))"; }
+
+  CalcResult Execute(const CalcInput& input) const override {
+    return ComputeReferencePendingRanges(input);
+  }
+
+  int64_t ModelOps(const CalcInput& input) const override {
+    TokenRing future = input.BuildFutureRing();
+    size_t entries = future.num_entries();
+    int64_t per_lookup = Log2Ceil(std::max<size_t>(2, entries)) + input.rf;
+    return static_cast<int64_t>(entries) * (2 * per_lookup + input.rf * input.rf) +
+           static_cast<int64_t>(entries);
+  }
+
+  WorkUnits op_cost() const override { return 40; }
+};
+
+}  // namespace
+
+PendingRangeCalculator::RunOutcome PendingRangeCalculator::Run(
+    const CalcInput& input, int64_t execute_threshold_ops) const {
+  RunOutcome outcome;
+  int64_t predicted = ModelOps(input);
+  if (predicted <= execute_threshold_ops) {
+    CalcResult r = Execute(input);
+    outcome.pending = std::move(r.pending);
+    outcome.ops = r.ops;
+    outcome.work = r.ops * op_cost();
+    outcome.executed = true;
+  } else {
+    CalcResult r = ComputeReferencePendingRanges(input);
+    outcome.pending = std::move(r.pending);
+    outcome.ops = predicted;
+    outcome.work = predicted * op_cost();
+    outcome.executed = false;
+  }
+  return outcome;
+}
+
+const char* CalcVersionName(CalcVersion version) {
+  switch (version) {
+    case CalcVersion::kReference:
+      return "reference";
+    case CalcVersion::kV1PreC3831:
+      return "v1-pre-C3831";
+    case CalcVersion::kV2C3831Fix:
+      return "v2-C3831-fix";
+    case CalcVersion::kV3C3881Fix:
+      return "v3-C3881-fix";
+    case CalcVersion::kBootstrapC6127:
+      return "bootstrap-C6127";
+  }
+  return "?";
+}
+
+std::unique_ptr<PendingRangeCalculator> MakeReferenceCalculator() {
+  return std::make_unique<ReferenceCalculator>();
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,115 @@
+// Generation 1: the pre-C3831 pending-range calculation.
+//
+// Faithful to the bug's structure: the whole pending-range map is recomputed
+// from scratch *for every in-flight change*, and natural endpoints are found
+// by, for each candidate node, scanning every ring entry to find that node's
+// closest clockwise token, then ordering nodes by distance. With E ring
+// entries and n nodes that is O(M * E * (n*E + n log n)) — the cubic
+// scale-dependence (P=1 ⇒ E=n=N ⇒ O(M*N^3)) whose symptoms only surface past
+// ~200 nodes (Figure 3a).
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/ring/calc_internal.h"
+
+namespace scalecheck {
+namespace {
+
+using calc_internal::ClockwiseDistance;
+using calc_internal::Log2Ceil;
+
+// Natural endpoints via the quadratic per-node scan. Counts ops into *ops.
+std::vector<NodeId> NaturalEndpointsQuadratic(const TokenRing& ring, Token key, int rf,
+                                              int64_t* ops) {
+  std::vector<std::pair<uint64_t, NodeId>> distances;
+  std::vector<NodeId> nodes = ring.Nodes();
+  distances.reserve(nodes.size());
+  for (NodeId node : nodes) {
+    uint64_t best = UINT64_MAX;
+    // The faithful inefficiency: scan EVERY entry instead of this node's own
+    // token list.
+    for (const RingEntry& entry : ring.entries()) {
+      ++*ops;
+      if (entry.owner != node) {
+        continue;
+      }
+      best = std::min(best, ClockwiseDistance(key, entry.token));
+    }
+    if (best != UINT64_MAX) {
+      distances.emplace_back(best, node);
+    }
+  }
+  std::sort(distances.begin(), distances.end());
+  *ops += static_cast<int64_t>(distances.size()) *
+          Log2Ceil(std::max<size_t>(2, distances.size()));
+  std::vector<NodeId> replicas;
+  for (size_t i = 0; i < distances.size() && i < static_cast<size_t>(rf); ++i) {
+    replicas.push_back(distances[i].second);
+  }
+  return replicas;
+}
+
+class V1Calculator : public PendingRangeCalculator {
+ public:
+  CalcVersion version() const override { return CalcVersion::kV1PreC3831; }
+  const char* name() const override { return "calculatePendingRanges/v1"; }
+  const char* complexity() const override { return "O(M * E * (n*E + n log n))"; }
+
+  CalcResult Execute(const CalcInput& input) const override {
+    CHECK_NOTNULL(input.ring);
+    CalcResult result;
+    const TokenRing& current = *input.ring;
+    // For every change, throw away previous work and recompute everything —
+    // only the final iteration's result survives. (All iterations compute
+    // the same thing: the future ring already includes all changes.)
+    for (size_t m = 0; m < input.changes.size(); ++m) {
+      TokenRing future = input.BuildFutureRing();
+      result.ops += static_cast<int64_t>(future.num_entries());
+      result.pending = PendingRanges();
+      for (size_t i = 0; i < future.num_entries(); ++i) {
+        Token key = future.entries()[i].token;
+        std::vector<NodeId> fr =
+            NaturalEndpointsQuadratic(future, key, input.rf, &result.ops);
+        std::vector<NodeId> cr =
+            NaturalEndpointsQuadratic(current, key, input.rf, &result.ops);
+        for (NodeId target : fr) {
+          if (std::find(cr.begin(), cr.end(), target) == cr.end()) {
+            result.pending.Add(future.RangeOfEntry(i), target);
+          }
+        }
+      }
+    }
+    result.pending.Normalize();
+    return result;
+  }
+
+  int64_t ModelOps(const CalcInput& input) const override {
+    // Mirror Execute()'s counting exactly.
+    const TokenRing& current = *input.ring;
+    TokenRing future = input.BuildFutureRing();
+    int64_t ef = static_cast<int64_t>(future.num_entries());
+    int64_t ec = static_cast<int64_t>(current.num_entries());
+    int64_t nf = static_cast<int64_t>(future.num_nodes());
+    int64_t nc = static_cast<int64_t>(current.num_nodes());
+    int64_t m = static_cast<int64_t>(input.changes.size());
+    int64_t per_key = nf * ef + nf * Log2Ceil(std::max<size_t>(2, future.num_nodes())) +
+                      nc * ec + nc * Log2Ceil(std::max<size_t>(2, current.num_nodes()));
+    return m * (ef + ef * per_key);
+  }
+
+  // Calibrated (see DESIGN.md §7): one abstract op stands for a handful of
+  // JVM-era TreeMultimap operations. At this cost the offending function
+  // takes ~25ms at N=32, ~1.3s at N=128 and ~11s at N=256 — past the phi=8
+  // conviction horizon only at the largest scale, which is what makes the
+  // C3831 symptom invisible in sub-200-node testing.
+  WorkUnits op_cost() const override { return 360; }
+};
+
+}  // namespace
+
+std::unique_ptr<PendingRangeCalculator> MakeV1Calculator() {
+  return std::make_unique<V1Calculator>();
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,100 @@
+// Generation 2: the C3831 fix.
+//
+// Natural endpoints are now found by materializing (distance, owner) for all
+// ring entries and sorting once — O(E log E) per key instead of O(n*E). Still
+// recomputed for every future range and for every in-flight change:
+// O(M * E^2 * log E). With one token per node this shipped fine; the moment
+// virtual nodes multiplied E by P=256 (CASSANDRA-3881), the quadratic term
+// exploded again — "the fix above did not scale as N becomes N*P" (§2,
+// Figure 3b).
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/ring/calc_internal.h"
+
+namespace scalecheck {
+namespace {
+
+using calc_internal::ClockwiseDistance;
+using calc_internal::Log2Ceil;
+
+std::vector<NodeId> NaturalEndpointsBySorting(const TokenRing& ring, Token key, int rf,
+                                              int64_t* ops) {
+  std::vector<std::pair<uint64_t, NodeId>> by_distance;
+  by_distance.reserve(ring.num_entries());
+  for (const RingEntry& entry : ring.entries()) {
+    ++*ops;
+    by_distance.emplace_back(ClockwiseDistance(key, entry.token), entry.owner);
+  }
+  std::sort(by_distance.begin(), by_distance.end());
+  *ops += static_cast<int64_t>(by_distance.size()) *
+          Log2Ceil(std::max<size_t>(2, by_distance.size()));
+  std::vector<NodeId> replicas;
+  for (const auto& [distance, owner] : by_distance) {
+    if (std::find(replicas.begin(), replicas.end(), owner) == replicas.end()) {
+      replicas.push_back(owner);
+      if (replicas.size() == static_cast<size_t>(rf)) {
+        break;
+      }
+    }
+  }
+  return replicas;
+}
+
+class V2Calculator : public PendingRangeCalculator {
+ public:
+  CalcVersion version() const override { return CalcVersion::kV2C3831Fix; }
+  const char* name() const override { return "calculatePendingRanges/v2"; }
+  const char* complexity() const override { return "O(M * E^2 * log E)"; }
+
+  CalcResult Execute(const CalcInput& input) const override {
+    CHECK_NOTNULL(input.ring);
+    CalcResult result;
+    const TokenRing& current = *input.ring;
+    for (size_t m = 0; m < input.changes.size(); ++m) {
+      TokenRing future = input.BuildFutureRing();
+      result.ops += static_cast<int64_t>(future.num_entries());
+      result.pending = PendingRanges();
+      for (size_t i = 0; i < future.num_entries(); ++i) {
+        Token key = future.entries()[i].token;
+        std::vector<NodeId> fr =
+            NaturalEndpointsBySorting(future, key, input.rf, &result.ops);
+        std::vector<NodeId> cr =
+            NaturalEndpointsBySorting(current, key, input.rf, &result.ops);
+        for (NodeId target : fr) {
+          if (std::find(cr.begin(), cr.end(), target) == cr.end()) {
+            result.pending.Add(future.RangeOfEntry(i), target);
+          }
+        }
+      }
+    }
+    result.pending.Normalize();
+    return result;
+  }
+
+  int64_t ModelOps(const CalcInput& input) const override {
+    const TokenRing& current = *input.ring;
+    TokenRing future = input.BuildFutureRing();
+    int64_t ef = static_cast<int64_t>(future.num_entries());
+    int64_t ec = static_cast<int64_t>(current.num_entries());
+    int64_t m = static_cast<int64_t>(input.changes.size());
+    int64_t per_key = ef + ef * Log2Ceil(std::max<size_t>(2, future.num_entries())) +
+                      ec + ec * Log2Ceil(std::max<size_t>(2, current.num_entries()));
+    return m * (ef + ef * per_key);
+  }
+
+  // Calibrated (DESIGN.md §7): with P=8 vnodes the offending duration is
+  // ~0.2s at N=64, ~3s at N=128 and ~25s at N=256 per in-flight change set —
+  // the C3881 symptom onset moves down to ~128 nodes, exactly Figure 3(b)'s
+  // story.
+  WorkUnits op_cost() const override { return 40; }
+};
+
+}  // namespace
+
+std::unique_ptr<PendingRangeCalculator> MakeV2Calculator() {
+  return std::make_unique<V2Calculator>();
+}
+
+}  // namespace scalecheck

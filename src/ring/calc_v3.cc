@@ -1,0 +1,157 @@
+// Generation 3: the C3881 redesign (vnode-aware).
+//
+// Only ranges whose replica walk can possibly cross a changed token are
+// re-evaluated: for every changed token we walk *backward* in both rings
+// until rf+1 distinct owners have been seen and mark the passed entries as
+// candidates; each candidate is then checked exactly like the reference. Per
+// invocation the dominant cost is no longer the per-range recomputation but
+// the ring clone/rebuild performed under the ring-table lock — O(E log E) —
+// which is precisely what bug C5456 is about: cheap math, long lock hold,
+// frequent invocation, starved gossip stage (Figure 3c).
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/ring/calc_internal.h"
+
+namespace scalecheck {
+namespace {
+
+using calc_internal::Log2Ceil;
+
+// Walks backward from `start_index` collecting entry tokens until
+// `distinct_owners` distinct owners have been seen (or the ring is
+// exhausted). Counts each step as one op.
+void CollectBackwardCandidates(const TokenRing& ring, size_t start_index,
+                               int distinct_owners, std::set<Token>* candidates,
+                               int64_t* ops) {
+  if (ring.num_entries() == 0) {
+    return;
+  }
+  std::vector<NodeId> owners_seen;
+  size_t n = ring.num_entries();
+  for (size_t walked = 0; walked < n; ++walked) {
+    size_t idx = (start_index + n - (walked % n)) % n;
+    const RingEntry& entry = ring.entries()[idx];
+    ++*ops;
+    candidates->insert(entry.token);
+    if (std::find(owners_seen.begin(), owners_seen.end(), entry.owner) ==
+        owners_seen.end()) {
+      owners_seen.push_back(entry.owner);
+      if (owners_seen.size() >= static_cast<size_t>(distinct_owners)) {
+        return;
+      }
+    }
+  }
+}
+
+class V3Calculator : public PendingRangeCalculator {
+ public:
+  CalcVersion version() const override { return CalcVersion::kV3C3881Fix; }
+  const char* name() const override { return "calculatePendingRanges/v3"; }
+  const char* complexity() const override {
+    return "O(E log E + M * P * rf * (log E + rf))";
+  }
+
+  CalcResult Execute(const CalcInput& input) const override {
+    CHECK_NOTNULL(input.ring);
+    CalcResult result;
+    const TokenRing& current = *input.ring;
+
+    // C5456-era faithfulness: the token metadata is cloned and rebuilt once
+    // PER IN-FLIGHT CHANGE, all of it under the ring lock. With hundreds of
+    // simultaneously bootstrapping nodes this M * E log E term is what keeps
+    // the lock hot even though the per-range math is cheap.
+    TokenRing future;
+    for (size_t m = 0; m < std::max<size_t>(1, input.changes.size()); ++m) {
+      future = input.BuildFutureRing();
+      result.ops += static_cast<int64_t>(future.num_entries()) *
+                    Log2Ceil(std::max<size_t>(2, future.num_entries()));
+    }
+
+    std::set<Token> candidates;
+    for (const PendingChange& change : input.changes) {
+      std::vector<Token> changed_tokens;
+      if (change.kind == ChangeKind::kJoining) {
+        changed_tokens = change.tokens;
+      } else if (current.HasNode(change.node)) {
+        changed_tokens = current.TokensOf(change.node);
+      }
+      for (Token t : changed_tokens) {
+        if (future.num_entries() > 0) {
+          CollectBackwardCandidates(future, future.OwnerIndex(t), input.rf + 1,
+                                    &candidates, &result.ops);
+        }
+        if (current.num_entries() > 0) {
+          CollectBackwardCandidates(current, current.OwnerIndex(t), input.rf + 1,
+                                    &candidates, &result.ops);
+        }
+      }
+    }
+
+    int64_t per_lookup =
+        Log2Ceil(std::max<size_t>(2, future.num_entries())) + input.rf;
+    std::set<size_t> evaluated;
+    for (Token key : candidates) {
+      if (future.num_entries() == 0) {
+        break;
+      }
+      size_t i = future.OwnerIndex(key);
+      if (!evaluated.insert(i).second) {
+        continue;
+      }
+      Token entry_token = future.entries()[i].token;
+      std::vector<NodeId> fr = future.NaturalEndpointsForKey(entry_token, input.rf);
+      std::vector<NodeId> cr = current.NaturalEndpointsForKey(entry_token, input.rf);
+      result.ops += 2 * per_lookup;
+      for (NodeId target : fr) {
+        if (std::find(cr.begin(), cr.end(), target) == cr.end()) {
+          result.pending.Add(future.RangeOfEntry(i), target);
+        }
+      }
+    }
+    result.pending.Normalize();
+    return result;
+  }
+
+  int64_t ModelOps(const CalcInput& input) const override {
+    const TokenRing& current = *input.ring;
+    int64_t ec = static_cast<int64_t>(current.num_entries());
+    int64_t changed_tokens = 0;
+    int64_t leaving_tokens = 0;
+    int64_t joining_tokens = 0;
+    for (const PendingChange& change : input.changes) {
+      if (change.kind == ChangeKind::kJoining) {
+        joining_tokens += static_cast<int64_t>(change.tokens.size());
+      } else if (current.HasNode(change.node)) {
+        leaving_tokens += static_cast<int64_t>(current.TokensOf(change.node).size());
+      }
+    }
+    changed_tokens = joining_tokens + leaving_tokens;
+    int64_t ef = std::max<int64_t>(1, ec - leaving_tokens + joining_tokens);
+    int64_t log_e = Log2Ceil(std::max<size_t>(2, static_cast<size_t>(ef)));
+    int64_t num_changes =
+        std::max<int64_t>(1, static_cast<int64_t>(input.changes.size()));
+    // Per-change clone (the dominant E log E term), backward walks (~rf+1
+    // distinct-owner steps, both rings, capped by ring size), and candidate
+    // evaluations (deduplicated: at most ef future entries).
+    int64_t walk_len = std::min<int64_t>(2 * (input.rf + 1), ef);
+    int64_t walks = changed_tokens * 2 * walk_len;
+    int64_t evals = std::min<int64_t>(changed_tokens * (input.rf + 2), ef);
+    return num_changes * ef * log_e + walks + evals * 2 * (log_e + input.rf);
+  }
+
+  // Calibrated (DESIGN.md §7): ~0.4s per invocation at N=128 (P=16, 32
+  // joiners) and ~1.8s at N=256 — cheap math, but invoked about once per
+  // second per node with the ring lock held throughout.
+  WorkUnits op_cost() const override { return 400; }
+};
+
+}  // namespace
+
+std::unique_ptr<PendingRangeCalculator> MakeV3Calculator() {
+  return std::make_unique<V3Calculator>();
+}
+
+}  // namespace scalecheck

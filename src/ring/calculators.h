@@ -1,0 +1,101 @@
+// The pending-range calculator generations.
+//
+// Four historical implementations of the same pure function (see
+// pending_ranges.h for the semantics), reproducing the cost evolution that §2
+// of the paper narrates:
+//
+//   kV1PreC3831     the original: for every future range, natural endpoints
+//                   are recomputed with a full per-node ring scan —
+//                   O(M * E^2 * n) where E = ring entries (N*P) and n =
+//                   nodes; with P=1 this is the paper's cubic blowup
+//                   (decommission flapping at 200+ nodes).
+//   kV2C3831Fix     the C3831 fix: sort-based natural endpoints,
+//                   O(M * E^2 * log E). Fine with P=1; with vnodes E = N*P
+//                   and the quadratic term explodes again — bug C3881.
+//   kV3C3881Fix     the C3881 redesign: only ranges adjacent to changed
+//                   tokens are recomputed, but each invocation still clones
+//                   and scans the ring under the ring lock —
+//                   O(E log E + M * P * rf * log E). Cheap per call, yet bug
+//                   C5456 shows the *lock hold* under frequent invocation
+//                   still stalls gossip.
+//   kBootstrapC6127 the fresh-bootstrap path (only exercised when a cluster
+//                   starts from scratch): ring construction with linear
+//                   scans, O(M * E^2) — bug C6127.
+//
+// Every implementation must produce output identical to kReference; the bugs
+// are about time, never about wrong results. Execute() runs the real loop
+// nest and counts abstract ops; ModelOps() predicts that count in closed form
+// (unit tests pin them together). Run() executes for real below a size
+// threshold and otherwise uses the reference output with modelled cost — the
+// paper's own PIL insight applied to our harness (DESIGN.md §2).
+
+#ifndef SCALECHECK_SRC_RING_CALCULATORS_H_
+#define SCALECHECK_SRC_RING_CALCULATORS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/types.h"
+#include "src/ring/pending_ranges.h"
+
+namespace scalecheck {
+
+enum class CalcVersion : int {
+  kReference = 0,
+  kV1PreC3831 = 1,
+  kV2C3831Fix = 2,
+  kV3C3881Fix = 3,
+  kBootstrapC6127 = 4,
+};
+
+const char* CalcVersionName(CalcVersion version);
+
+class PendingRangeCalculator {
+ public:
+  virtual ~PendingRangeCalculator() = default;
+
+  virtual CalcVersion version() const = 0;
+  virtual const char* name() const = 0;
+  // Human-readable complexity, for reports (E = N*P ring entries).
+  virtual const char* complexity() const = 0;
+
+  // Runs the real loop nest: real data structures, real (redundant) scans,
+  // counted ops, correct output.
+  virtual CalcResult Execute(const CalcInput& input) const = 0;
+
+  // Closed-form prediction of Execute()'s op count.
+  virtual int64_t ModelOps(const CalcInput& input) const = 0;
+
+  // Work units charged per abstract op. Calibrated so that offending-function
+  // durations at the paper's scales span its observed 0.001–4s range (§3);
+  // one op stands for a handful of JVM-era collection operations.
+  virtual WorkUnits op_cost() const = 0;
+
+  WorkUnits ModelWork(const CalcInput& input) const {
+    return ModelOps(input) * op_cost();
+  }
+
+  struct RunOutcome {
+    PendingRanges pending;
+    WorkUnits work = 0;  // to charge to the CPU model
+    int64_t ops = 0;
+    bool executed = false;  // true: real loop nest ran; false: modelled
+  };
+
+  // Executes for real when the predicted op count is at most
+  // `execute_threshold_ops`; otherwise computes the (identical) output via
+  // the reference algorithm and charges ModelWork(). The default threshold
+  // keeps harness wall-clock sane at 256-node scales.
+  RunOutcome Run(const CalcInput& input,
+                 int64_t execute_threshold_ops = 2'000'000) const;
+};
+
+// Factory for all generations (including kReference).
+std::unique_ptr<PendingRangeCalculator> MakeCalculator(CalcVersion version);
+
+// The reference algorithm, exposed for direct use (output oracle).
+CalcResult ComputeReferencePendingRanges(const CalcInput& input);
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_RING_CALCULATORS_H_

@@ -1,0 +1,117 @@
+#include "src/ring/pending_ranges.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+void PendingRanges::Add(KeyRange range, NodeId target) {
+  items_.push_back(PendingRange{range, target});
+}
+
+void PendingRanges::Normalize() {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+}
+
+DigestValue PendingRanges::ComputeDigest() const {
+  Digest d;
+  d.Add(static_cast<uint64_t>(items_.size()));
+  for (const PendingRange& p : items_) {
+    d.Add(static_cast<uint64_t>(p.range.start));
+    d.Add(static_cast<uint64_t>(p.range.end));
+    d.Add(static_cast<int64_t>(p.target));
+  }
+  return d.Finish();
+}
+
+namespace {
+template <typename T>
+void PutRaw(std::vector<uint8_t>* out, T v) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+bool GetRaw(const std::vector<uint8_t>& in, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > in.size()) {
+    return false;
+  }
+  std::memcpy(v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+}  // namespace
+
+std::vector<uint8_t> PendingRanges::Encode() const {
+  std::vector<uint8_t> out;
+  out.reserve(8 + items_.size() * 20);
+  PutRaw<uint64_t>(&out, items_.size());
+  for (const PendingRange& p : items_) {
+    PutRaw<uint64_t>(&out, p.range.start);
+    PutRaw<uint64_t>(&out, p.range.end);
+    PutRaw<int32_t>(&out, p.target);
+  }
+  return out;
+}
+
+bool PendingRanges::Decode(const std::vector<uint8_t>& bytes, PendingRanges* out) {
+  CHECK_NOTNULL(out);
+  out->items_.clear();
+  size_t pos = 0;
+  uint64_t count = 0;
+  if (!GetRaw(bytes, &pos, &count)) {
+    return false;
+  }
+  out->items_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PendingRange p;
+    if (!GetRaw(bytes, &pos, &p.range.start) || !GetRaw(bytes, &pos, &p.range.end) ||
+        !GetRaw(bytes, &pos, &p.target)) {
+      return false;
+    }
+    out->items_.push_back(p);
+  }
+  return pos == bytes.size();
+}
+
+DigestValue CalcInput::ComputeDigest() const {
+  CHECK_NOTNULL(ring);
+  Digest d;
+  DigestValue ring_digest = ring->ComputeDigest();
+  d.Add(ring_digest.lo);
+  d.Add(ring_digest.hi);
+  d.Add(static_cast<int64_t>(rf));
+  d.Add(static_cast<uint64_t>(changes.size()));
+  for (const PendingChange& c : changes) {
+    d.Add(static_cast<int64_t>(c.node));
+    d.Add(static_cast<int64_t>(c.kind));
+    d.AddRange(c.tokens);
+  }
+  return d.Finish();
+}
+
+TokenRing CalcInput::BuildFutureRing() const {
+  CHECK_NOTNULL(ring);
+  TokenRing future = ring->Clone();
+  for (const PendingChange& c : changes) {
+    switch (c.kind) {
+      case ChangeKind::kLeaving:
+        if (future.HasNode(c.node)) {
+          future.RemoveNode(c.node);
+        }
+        break;
+      case ChangeKind::kJoining:
+        CHECK(!c.tokens.empty()) << "joining node" << c.node << "without tokens";
+        if (!future.HasNode(c.node)) {
+          future.AddNode(c.node, c.tokens);
+        }
+        break;
+    }
+  }
+  return future;
+}
+
+}  // namespace scalecheck

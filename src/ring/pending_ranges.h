@@ -1,0 +1,101 @@
+// Pending-range calculation: types shared by all calculator generations.
+//
+// When nodes join (BOOT) or leave (LEAVING) the ring, every member must work
+// out which key ranges will gain new replicas — the "pending ranges" that
+// writes must additionally be sent to during the transition. The semantics
+// used by every calculator in this library (so that all generations produce
+// identical output and differ only in cost):
+//
+//   future ring  = current ring - leaving nodes' tokens + joining nodes'
+//                  tokens
+//   for each entry e of the future ring, with key range R(e):
+//     pending(R(e)) = FutureReplicas(e.token) \ CurrentReplicas(e.token)
+//
+// This is a simplification of Cassandra's calculatePendingRanges (which also
+// tracks per-range leaving sources), but it preserves exactly what matters
+// for the paper: the output is a deterministic pure function of (ring,
+// changes, rf) — i.e. PIL-safe — and the historical implementations realize
+// it with wildly different scale-dependent cost.
+
+#ifndef SCALECHECK_SRC_RING_PENDING_RANGES_H_
+#define SCALECHECK_SRC_RING_PENDING_RANGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/types.h"
+#include "src/ring/token_ring.h"
+
+namespace scalecheck {
+
+enum class ChangeKind : int {
+  kJoining = 0,  // BOOT: node claims `tokens`
+  kLeaving = 1,  // LEAVING: node will give up its current tokens
+};
+
+struct PendingChange {
+  NodeId node = kInvalidNode;
+  ChangeKind kind = ChangeKind::kJoining;
+  // Tokens being claimed (kJoining). Empty for kLeaving — the node's current
+  // tokens are read from the ring.
+  std::vector<Token> tokens;
+
+  bool operator==(const PendingChange&) const = default;
+};
+
+struct PendingRange {
+  KeyRange range;
+  NodeId target = kInvalidNode;  // node gaining replica responsibility
+
+  bool operator==(const PendingRange&) const = default;
+  auto operator<=>(const PendingRange&) const = default;
+};
+
+// The calculator output: sorted, deduplicated, digestible, serializable.
+class PendingRanges {
+ public:
+  void Add(KeyRange range, NodeId target);
+  // Sorts + dedupes; must be called before comparing/serializing.
+  void Normalize();
+
+  const std::vector<PendingRange>& items() const { return items_; }
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  DigestValue ComputeDigest() const;
+
+  // Binary codec (used by the PIL memoization store).
+  std::vector<uint8_t> Encode() const;
+  static bool Decode(const std::vector<uint8_t>& bytes, PendingRanges* out);
+
+  bool operator==(const PendingRanges&) const = default;
+
+ private:
+  std::vector<PendingRange> items_;
+};
+
+// Calculator input. `ring` is the current ring; `changes` the in-flight
+// membership changes; `rf` the replication factor.
+struct CalcInput {
+  const TokenRing* ring = nullptr;
+  std::vector<PendingChange> changes;
+  int rf = 3;
+
+  // Content digest of the input — the PIL memoization key.
+  DigestValue ComputeDigest() const;
+  // Builds the future ring (shared by all calculator generations).
+  TokenRing BuildFutureRing() const;
+};
+
+struct CalcResult {
+  PendingRanges pending;
+  // Abstract operation count of the *executed* loop nest (before the
+  // per-generation op-cost multiplier turns it into WorkUnits).
+  int64_t ops = 0;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_RING_PENDING_RANGES_H_

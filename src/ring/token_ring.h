@@ -1,0 +1,89 @@
+// The consistent-hashing token ring (Cassandra's TokenMetadata).
+//
+// Each node owns P tokens (P=1 without virtual nodes, P=256 in vnode-era
+// Cassandra). The ring is the scale-dependent data structure of this paper:
+// every one of the studied pending-range bugs is a loop nest over it. Keys in
+// (predecessor_token, token] belong to the owner of `token`; the replica set
+// of a key is the first RF distinct owners met walking clockwise.
+
+#ifndef SCALECHECK_SRC_RING_TOKEN_RING_H_
+#define SCALECHECK_SRC_RING_TOKEN_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/types.h"
+#include "src/gossip/endpoint_state.h"  // Token
+
+namespace scalecheck {
+
+struct RingEntry {
+  Token token = 0;
+  NodeId owner = kInvalidNode;
+
+  bool operator==(const RingEntry&) const = default;
+};
+
+// A key range (start, end], wrapping at 2^64.
+struct KeyRange {
+  Token start = 0;
+  Token end = 0;
+
+  bool Contains(Token key) const;
+  bool operator==(const KeyRange&) const = default;
+  auto operator<=>(const KeyRange&) const = default;
+};
+
+class TokenRing {
+ public:
+  TokenRing() = default;
+
+  // Adds a node with its tokens. Tokens must be distinct ring-wide.
+  void AddNode(NodeId node, const std::vector<Token>& tokens);
+  void RemoveNode(NodeId node);
+  bool HasNode(NodeId node) const { return tokens_by_node_.count(node) > 0; }
+
+  size_t num_entries() const { return entries_.size(); }
+  size_t num_nodes() const { return tokens_by_node_.size(); }
+  const std::vector<RingEntry>& entries() const { return entries_; }
+  const std::vector<Token>& TokensOf(NodeId node) const;
+  std::vector<NodeId> Nodes() const;
+
+  // Index of the entry owning `key` (first token >= key, wrapping).
+  // Requires a non-empty ring.
+  size_t OwnerIndex(Token key) const;
+  NodeId OwnerOf(Token key) const { return entries_[OwnerIndex(key)].owner; }
+
+  // First `rf` distinct owners walking clockwise from the owner of `key`.
+  // Returns fewer if the ring has fewer distinct nodes.
+  std::vector<NodeId> NaturalEndpointsForKey(Token key, int rf) const;
+
+  // The key range ending at entries()[i].token.
+  KeyRange RangeOfEntry(size_t i) const;
+
+  // Content digest (order-independent across insertion histories: entries
+  // are kept sorted).
+  DigestValue ComputeDigest() const;
+
+  TokenRing Clone() const { return *this; }
+
+  // Approximate heap footprint, for the memory model.
+  int64_t ApproxBytes() const {
+    return static_cast<int64_t>(entries_.size()) * 48 +
+           static_cast<int64_t>(tokens_by_node_.size()) * 64;
+  }
+
+ private:
+  std::vector<RingEntry> entries_;  // sorted by token
+  std::map<NodeId, std::vector<Token>> tokens_by_node_;
+};
+
+// Deterministically generates `count` pseudo-random distinct tokens for a
+// node; the same (node, count, seed) always yields the same tokens.
+std::vector<Token> GenerateTokens(NodeId node, int count, uint64_t seed);
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_RING_TOKEN_RING_H_

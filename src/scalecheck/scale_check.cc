@@ -1,0 +1,164 @@
+#include "src/scalecheck/scale_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+ClusterConfig BugSpec::MakeConfig(int n, RunMode mode, uint64_t seed) const {
+  ClusterConfig cfg;
+  cfg.initial_nodes = n;
+  cfg.vnodes_per_node = vnodes_per_node;
+  cfg.calc_version = calc_version;
+  cfg.calc_placement = placement;
+  cfg.run_mode = mode;
+  cfg.seed = seed;
+  return cfg;
+}
+
+WorkloadSpec BugSpec::MakeWorkload(int n) const {
+  WorkloadSpec wl;
+  wl.kind = workload;
+  wl.horizon = horizon;
+  switch (workload) {
+    case WorkloadKind::kDecommission:
+      wl.target = n / 2;
+      // Decommission streams the leaver's data before it announces LEFT; at
+      // hundreds of nodes that takes minutes, so the LEAVING window (during
+      // which every state apply re-triggers the pending-range calculation)
+      // is long.
+      wl.transition = VirtualDuration::Seconds(90);
+      break;
+    case WorkloadKind::kScaleOut:
+      wl.joining_nodes = std::max(1, static_cast<int>(n * join_fraction));
+      break;
+    case WorkloadKind::kRebalance:
+      wl.target = n / 2;
+      wl.joining_nodes = 1;
+      break;
+    case WorkloadKind::kFailover:
+      wl.target = n / 2;
+      break;
+    case WorkloadKind::kBootstrapFresh:
+    case WorkloadKind::kSteadyState:
+      break;
+  }
+  return wl;
+}
+
+BugSpec C3831Spec() {
+  BugSpec spec;
+  spec.id = "C3831";
+  spec.description =
+      "decommission triggers cubic pending-range recalculation on the gossip stage";
+  spec.calc_version = CalcVersion::kV1PreC3831;
+  spec.placement = CalcPlacement::kInlineGossipStage;
+  spec.vnodes_per_node = 1;
+  spec.workload = WorkloadKind::kDecommission;
+  return spec;
+}
+
+BugSpec C3831FixedSpec() {
+  BugSpec spec = C3831Spec();
+  spec.id = "C3831-fixed";
+  spec.description = "the C3831 fix: sort-based endpoints, no vnodes";
+  spec.calc_version = CalcVersion::kV2C3831Fix;
+  return spec;
+}
+
+BugSpec C3881Spec() {
+  BugSpec spec;
+  spec.id = "C3881";
+  spec.description =
+      "scale-out with vnodes: the C3831 fix explodes again as N becomes N*P";
+  spec.calc_version = CalcVersion::kV2C3831Fix;
+  spec.placement = CalcPlacement::kInlineGossipStage;
+  spec.vnodes_per_node = 8;
+  spec.workload = WorkloadKind::kScaleOut;
+  return spec;
+}
+
+BugSpec C5456Spec() {
+  BugSpec spec;
+  spec.id = "C5456";
+  spec.description =
+      "scale-out: fast vnode-aware calculator, but the coarse ring lock starves gossip";
+  spec.calc_version = CalcVersion::kV3C3881Fix;
+  spec.placement = CalcPlacement::kSeparateThreadCoarseLock;
+  spec.vnodes_per_node = 16;
+  spec.workload = WorkloadKind::kScaleOut;
+  return spec;
+}
+
+BugSpec C5456FixedSpec() {
+  BugSpec spec = C5456Spec();
+  spec.id = "C5456-fixed";
+  spec.description = "the C5456 fix: clone the ring, release the lock early";
+  spec.placement = CalcPlacement::kSeparateThreadClone;
+  return spec;
+}
+
+BugSpec C6127Spec() {
+  BugSpec spec;
+  spec.id = "C6127";
+  spec.description =
+      "fresh bootstrap exercises the O(M*N^2) ring-construction path (vnodes)";
+  spec.calc_version = CalcVersion::kV3C3881Fix;
+  spec.placement = CalcPlacement::kInlineGossipStage;
+  spec.vnodes_per_node = 16;
+  spec.workload = WorkloadKind::kBootstrapFresh;
+  return spec;
+}
+
+double RelativeFlapError(int64_t observed, int64_t reference) {
+  double ref = static_cast<double>(std::max<int64_t>(reference, 1));
+  return std::abs(static_cast<double>(observed) - static_cast<double>(reference)) / ref;
+}
+
+RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed,
+                    MemoStore* memo, OrderLog* record_log, const OrderLog* replay_log,
+                    CalcOutputCache* cache) {
+  Cluster::Options options;
+  options.config = spec.MakeConfig(n, mode, seed);
+  options.workload = spec.MakeWorkload(n);
+  options.memo_store = memo;
+  options.record_order_log = record_log;
+  options.replay_order_log = replay_log;
+  options.shared_output_cache = cache;
+  Cluster cluster(std::move(options));
+  return cluster.Run();
+}
+
+ScaleCheckRunner::ScaleCheckRunner(BugSpec spec, uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {}
+
+RunResult ScaleCheckRunner::RunReal(int n) {
+  return RunSingle(spec_, n, RunMode::kRealScale, seed_, nullptr, nullptr, nullptr,
+                   &cache_);
+}
+
+RunResult ScaleCheckRunner::RunColo(int n) {
+  return RunSingle(spec_, n, RunMode::kColocated, seed_, nullptr, nullptr, nullptr,
+                   &cache_);
+}
+
+ScaleCheckResult ScaleCheckRunner::RunFull(int n) {
+  ScaleCheckResult result;
+  result.real = RunReal(n);
+  result.colo = RunColo(n);
+
+  MemoStore store;
+  OrderLog order_log;
+  result.memoize = RunSingle(spec_, n, RunMode::kMemoize, seed_, &store,
+                             enforce_order_ ? &order_log : nullptr, nullptr, &cache_);
+  result.replay = RunSingle(spec_, n, RunMode::kPilReplay, seed_, &store, nullptr,
+                            enforce_order_ ? &order_log : nullptr, &cache_);
+  result.memo = store.stats();
+  result.replay_flap_error = RelativeFlapError(result.replay.flaps, result.real.flaps);
+  result.colo_flap_error = RelativeFlapError(result.colo.flaps, result.real.flaps);
+  return result;
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,96 @@
+// The top-level scale-check API (Figure 2's flow, minus the program-analysis
+// steps which live in src/sfind/).
+//
+// A BugSpec is a reproducible scalability-bug scenario: which calculator
+// generation, which threading/locking placement, how many vnodes, and which
+// protocol workload triggers it. RunSingle deploys it at a scale in one of
+// the paper's modes; ScaleCheckRunner::RunFull runs the whole comparison
+// (Real / Colo / Memoize / PIL replay) that Figure 3 plots.
+
+#ifndef SCALECHECK_SRC_SCALECHECK_SCALE_CHECK_H_
+#define SCALECHECK_SRC_SCALECHECK_SCALE_CHECK_H_
+
+#include <memory>
+#include <string>
+
+#include "src/cluster/cluster.h"
+
+namespace scalecheck {
+
+struct BugSpec {
+  std::string id;           // e.g. "C3831"
+  std::string description;  // one line for reports
+  CalcVersion calc_version = CalcVersion::kV1PreC3831;
+  CalcPlacement placement = CalcPlacement::kInlineGossipStage;
+  int vnodes_per_node = 1;
+  WorkloadKind workload = WorkloadKind::kDecommission;
+  // Scale-out size as a fraction of N (the "+25%" rescale).
+  double join_fraction = 0.25;
+  VirtualDuration horizon = VirtualDuration::Seconds(420);
+
+  // Materializes configuration for a deployment of n initial nodes.
+  ClusterConfig MakeConfig(int n, RunMode mode, uint64_t seed) const;
+  WorkloadSpec MakeWorkload(int n) const;
+};
+
+// The §2 bug catalog as runnable scenarios.
+BugSpec C3831Spec();  // decommission, O(N^3)-era calculator
+BugSpec C3881Spec();  // scale-out with vnodes on the C3831 fix
+BugSpec C5456Spec();  // scale-out, fast calculator but coarse ring lock
+BugSpec C6127Spec();  // fresh bootstrap, the path-dependent O(M*N^2)
+// Fixed counterparts (ablations: the patch makes the symptom vanish).
+BugSpec C3831FixedSpec();
+BugSpec C5456FixedSpec();
+
+struct ScaleCheckResult {
+  RunResult real;
+  RunResult colo;
+  RunResult memoize;
+  RunResult replay;
+  MemoStore::Stats memo;
+  // Relative flap-count error vs real-scale testing (the accuracy claim).
+  double replay_flap_error = 0.0;
+  double colo_flap_error = 0.0;
+};
+
+// Runs one deployment. For kMemoize pass empty store+log to fill; for
+// kPilReplay pass the filled ones.
+RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed,
+                    MemoStore* memo = nullptr, OrderLog* record_log = nullptr,
+                    const OrderLog* replay_log = nullptr,
+                    CalcOutputCache* cache = nullptr);
+
+class ScaleCheckRunner {
+ public:
+  explicit ScaleCheckRunner(BugSpec spec, uint64_t seed = 0x5ca1ec4ecULL);
+
+  const BugSpec& spec() const { return spec_; }
+
+  // Enables recording + enforcing message-processing order between the
+  // memoization run and the replay (§5's "order determinism"). Off by
+  // default: our memoization keys are content digests of the ring state, so
+  // replays hit the memo DB without pinning arrival order, and enforcement
+  // buffering distorts gossip timing. Enable to study the trade-off (the
+  // accuracy tests cover both settings).
+  void set_enforce_order(bool enforce) { enforce_order_ = enforce; }
+
+  RunResult RunReal(int n);
+  RunResult RunColo(int n);
+  // Memoize once + replay once; returns everything (Figure 3's three lines
+  // plus the memoization run itself, which §8 reports timing for).
+  ScaleCheckResult RunFull(int n);
+
+ private:
+  BugSpec spec_;
+  uint64_t seed_;
+  bool enforce_order_ = false;
+  // Calculator outputs recur across modes and scales; sharing the cache
+  // keeps harness wall-clock down (see DESIGN.md §2).
+  CalcOutputCache cache_;
+};
+
+double RelativeFlapError(int64_t observed, int64_t reference);
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_SCALECHECK_SCALE_CHECK_H_

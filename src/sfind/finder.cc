@@ -1,0 +1,161 @@
+#include "src/sfind/finder.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace scalecheck {
+
+const char* ScaleClassName(ScaleClass c) {
+  switch (c) {
+    case ScaleClass::kOffendingSuperlinear:
+      return "OFFENDING (superlinear)";
+    case ScaleClass::kLinearScaleDependent:
+      return "linear scale-dependent";
+    case ScaleClass::kScaleIndependent:
+      return "scale-independent";
+  }
+  return "?";
+}
+
+OffendingFunctionFinder::OffendingFunctionFinder(SfindOptions options)
+    : options_(std::move(options)) {
+  CHECK_GE(options_.scales.size(), 2u) << "need >= 2 scales to fit exponents";
+}
+
+void OffendingFunctionFinder::ProfileOne(WorkloadKind workload, int scale) {
+  ClusterConfig config;
+  config.initial_nodes = scale;
+  config.vnodes_per_node = options_.vnodes_per_node;
+  config.calc_version = options_.calc_version;
+  config.calc_placement = options_.placement;
+  config.run_mode = RunMode::kRealScale;
+  config.seed = options_.seed + static_cast<uint64_t>(scale) * 131;
+  // Profile runs must execute the real loop nests to count real ops.
+  config.execute_threshold_ops = INT64_MAX;
+
+  WorkloadSpec wl;
+  wl.kind = workload;
+  wl.target = scale / 2;
+  wl.joining_nodes =
+      workload == WorkloadKind::kScaleOut ? std::max(1, scale / 4) : 0;
+  if (workload == WorkloadKind::kRebalance) {
+    wl.joining_nodes = 1;
+  }
+  wl.horizon = VirtualDuration::Seconds(240);
+
+  WorkProfile local;
+  Cluster::Options opts;
+  opts.config = config;
+  opts.workload = wl;
+  opts.profile_hook = [&local, scale](PilFunctionId fn, int64_t ops, size_t entries) {
+    local.Record(fn, scale, ops);
+  };
+  Cluster cluster(std::move(opts));
+  cluster.Run();
+
+  // Translate per-cluster function ids into stable names.
+  for (const auto& [fn, by_scale] : local.cells()) {
+    const PilFunctionInfo* info = cluster.registry().Find(fn);
+    CHECK_NOTNULL(info);
+    infos_[info->name] = *info;
+    if (fn == cluster.calc_function()) {
+      op_cost_[info->name] = static_cast<double>(cluster.calculator()->op_cost());
+    } else if (fn == cluster.bootstrap_function()) {
+      op_cost_[info->name] = static_cast<double>(cluster.bootstrap_calc()->op_cost());
+    } else if (op_cost_.find(info->name) == op_cost_.end()) {
+      op_cost_[info->name] = 1.0;  // gossip-style hooks report work units
+    }
+    for (const auto& [s, cell] : by_scale) {
+      WorkProfile::Cell& merged = cells_[info->name][s];
+      merged.invocations += cell.invocations;
+      merged.total_ops += cell.total_ops;
+      merged.max_ops = std::max(merged.max_ops, cell.max_ops);
+    }
+    reached_by_[info->name].insert(WorkloadKindName(workload));
+  }
+}
+
+std::vector<OffenderReport> OffendingFunctionFinder::Run() {
+  for (WorkloadKind workload : options_.workloads) {
+    for (int scale : options_.scales) {
+      ProfileOne(workload, scale);
+    }
+  }
+
+  std::vector<OffenderReport> reports;
+  for (const auto& [name, by_scale] : cells_) {
+    OffenderReport report;
+    report.name = name;
+    const PilFunctionInfo& info = infos_.at(name);
+    report.claimed_complexity = info.complexity;
+    report.effects = info.effects;
+    report.pil_safe = info.IsPilSafe();
+
+    std::vector<std::pair<double, double>> max_points;
+    std::vector<std::pair<double, double>> total_points;
+    for (const auto& [scale, cell] : by_scale) {
+      max_points.emplace_back(static_cast<double>(scale),
+                              static_cast<double>(cell.max_ops));
+      total_points.emplace_back(static_cast<double>(scale),
+                                static_cast<double>(cell.total_ops));
+    }
+    report.fit = FitPowerLaw(max_points);
+    report.total_fit = FitPowerLaw(total_points);
+    if (report.fit.IsSuperlinear()) {
+      report.scale_class = ScaleClass::kOffendingSuperlinear;
+    } else if (report.fit.IsLinearScaleDependent()) {
+      report.scale_class = ScaleClass::kLinearScaleDependent;
+    } else {
+      report.scale_class = ScaleClass::kScaleIndependent;
+    }
+    for (const std::string& w : reached_by_.at(name)) {
+      report.reached_by.push_back(w);
+    }
+    double cost = op_cost_.at(name);
+    report.predicted_seconds_at_target =
+        PredictOps(report.fit, static_cast<double>(options_.target_scale)) * cost /
+        options_.core_speed;
+    reports.push_back(std::move(report));
+  }
+
+  std::sort(reports.begin(), reports.end(),
+            [](const OffenderReport& a, const OffenderReport& b) {
+              return a.fit.exponent > b.fit.exponent;
+            });
+  return reports;
+}
+
+std::string OffendingFunctionFinder::RenderReport(
+    const std::vector<OffenderReport>& reports, int target_scale) {
+  std::vector<std::string> header = {"function",  "class",      "fitted",
+                                     "claimed",   "PIL-safe",   "verdict",
+                                     "reached by", StrFormat("t@N=%d", target_scale)};
+  std::vector<std::vector<std::string>> rows;
+  for (const OffenderReport& r : reports) {
+    std::string effects;
+    if (r.effects.network_messages) {
+      effects = " (sends messages)";
+    } else if (r.effects.nondeterministic) {
+      effects = " (nondeterministic)";
+    } else if (r.effects.disk_io) {
+      effects = " (disk I/O)";
+    } else if (r.effects.acquires_locks) {
+      effects = " (locks)";
+    }
+    rows.push_back({
+        r.name,
+        ScaleClassName(r.scale_class),
+        StrFormat("n^%.2f R2=%.2f", r.fit.exponent, r.fit.r_squared),
+        r.claimed_complexity,
+        std::string(r.pil_safe ? "yes" : "NO") + effects,
+        r.TakeThePil() ? "TAKE THE PIL" : "-",
+        Join(r.reached_by, ","),
+        StrFormat("%.3fs", r.predicted_seconds_at_target),
+    });
+  }
+  return RenderTable(header, rows);
+}
+
+}  // namespace scalecheck

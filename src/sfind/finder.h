@@ -1,0 +1,99 @@
+// The offending-function finder (Figure 2, steps a-b).
+//
+// The paper proposes a program analysis that, starting from @scaledep
+// annotations on scale-dependent data structures, finds the loops that
+// iterate them, reports the offending functions and the paths (workloads)
+// that reach them, and checks PIL safety. This implementation realizes the
+// same report dynamically (ScaleCheck FAST'19 "SFind" style): it runs the
+// instrumented system at several small scales, fits per-function operation
+// counts against cluster size, and classifies:
+//
+//   superlinear (k >= 1.5)  the offending functions — candidates for PIL
+//   linear (0.5 <= k < 1.5) the O(N) serialization class (the other 53%)
+//   flat (k < 0.5)          scale-independent
+//
+// Reachability matters (§5: the C6127 loop is only exercised when a cluster
+// bootstraps from scratch), so each candidate workload is profiled
+// separately and the report lists which workloads reach which function.
+
+#ifndef SCALECHECK_SRC_SFIND_FINDER_H_
+#define SCALECHECK_SRC_SFIND_FINDER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/sfind/fitter.h"
+#include "src/sfind/profile.h"
+
+namespace scalecheck {
+
+enum class ScaleClass : int {
+  kOffendingSuperlinear = 0,
+  kLinearScaleDependent = 1,
+  kScaleIndependent = 2,
+};
+
+const char* ScaleClassName(ScaleClass c);
+
+struct OffenderReport {
+  std::string name;
+  std::string claimed_complexity;
+  SideEffects effects;
+  bool pil_safe = false;
+  ComplexityFit fit;          // max ops per invocation vs node count
+  ComplexityFit total_fit;    // total ops per run vs node count
+  ScaleClass scale_class = ScaleClass::kScaleIndependent;
+  std::vector<std::string> reached_by;  // workload names that exercised it
+  // Predicted single-invocation duration at a target scale (seconds on one
+  // core) — the red-flag column.
+  double predicted_seconds_at_target = 0.0;
+
+  // The verdict: offending AND PIL-safe functions take the PIL (§5).
+  bool TakeThePil() const {
+    return scale_class == ScaleClass::kOffendingSuperlinear && pil_safe;
+  }
+};
+
+struct SfindOptions {
+  CalcVersion calc_version = CalcVersion::kV1PreC3831;
+  CalcPlacement placement = CalcPlacement::kInlineGossipStage;
+  int vnodes_per_node = 1;
+  std::vector<int> scales = {8, 12, 16, 24};
+  std::vector<WorkloadKind> workloads = {WorkloadKind::kDecommission,
+                                         WorkloadKind::kScaleOut,
+                                         WorkloadKind::kBootstrapFresh};
+  // Scale at which to extrapolate the duration red flag.
+  int target_scale = 256;
+  double core_speed = 1e9;
+  uint64_t seed = 0xf17d5eedULL;
+};
+
+class OffendingFunctionFinder {
+ public:
+  explicit OffendingFunctionFinder(SfindOptions options);
+
+  // Runs every (workload, scale) profile and produces per-function reports,
+  // most offending first.
+  std::vector<OffenderReport> Run();
+
+  static std::string RenderReport(const std::vector<OffenderReport>& reports,
+                                  int target_scale);
+
+ private:
+  void ProfileOne(WorkloadKind workload, int scale);
+
+  SfindOptions options_;
+  // Keyed by function *name* (ids are per-cluster).
+  std::map<std::string, std::map<int, WorkProfile::Cell>> cells_;
+  std::map<std::string, std::set<std::string>> reached_by_;
+  std::map<std::string, PilFunctionInfo> infos_;
+  // Work-unit cost per op, captured per function for duration prediction.
+  std::map<std::string, double> op_cost_;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_SFIND_FINDER_H_

@@ -1,0 +1,59 @@
+#include "src/sfind/fitter.h"
+
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace scalecheck {
+
+ComplexityFit FitPowerLaw(const std::vector<std::pair<double, double>>& points) {
+  ComplexityFit fit;
+  std::vector<std::pair<double, double>> logs;
+  for (const auto& [x, y] : points) {
+    if (x > 0.0 && y > 0.0) {
+      logs.emplace_back(std::log(x), std::log(y));
+    }
+  }
+  fit.num_points = static_cast<int>(logs.size());
+  if (logs.size() < 2) {
+    return fit;
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& [lx, ly] : logs) {
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  double n = static_cast<double>(logs.size());
+  double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    return fit;  // all scales identical: no slope information
+  }
+  double slope = (n * sxy - sx * sy) / denom;
+  double intercept = (sy - slope * sx) / n;
+  fit.exponent = slope;
+  fit.coefficient = std::exp(intercept);
+
+  // R^2 in log space.
+  double mean_y = sy / n;
+  double ss_tot = 0, ss_res = 0;
+  for (const auto& [lx, ly] : logs) {
+    double pred = intercept + slope * lx;
+    ss_res += (ly - pred) * (ly - pred);
+    ss_tot += (ly - mean_y) * (ly - mean_y);
+  }
+  fit.r_squared = ss_tot < 1e-12 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+double PredictOps(const ComplexityFit& fit, double n) {
+  return fit.coefficient * std::pow(n, fit.exponent);
+}
+
+std::string ComplexityFit::Describe() const {
+  return StrFormat("ops ~ %.3g * n^%.2f (R^2=%.3f, %d scales)", coefficient, exponent,
+                   r_squared, num_points);
+}
+
+}  // namespace scalecheck

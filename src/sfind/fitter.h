@@ -1,0 +1,42 @@
+// Complexity fitting: log-log least squares over (scale, ops) observations.
+//
+// The finder profiles instrumented functions at several small scales and
+// fits ops ≈ c * n^k. A function is *offending* when its fitted exponent is
+// clearly superlinear — the paper's scale-dependent loops (§5). Linear fits
+// flag the O(N) serialization class that the §4 footnote attributes the
+// other 53% of scalability bugs to.
+
+#ifndef SCALECHECK_SRC_SFIND_FITTER_H_
+#define SCALECHECK_SRC_SFIND_FITTER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scalecheck {
+
+struct ComplexityFit {
+  double exponent = 0.0;     // k in ops ≈ c * n^k
+  double coefficient = 0.0;  // c
+  double r_squared = 0.0;
+  int num_points = 0;
+
+  // Classification thresholds.
+  bool IsSuperlinear() const { return exponent >= 1.5; }
+  bool IsLinearScaleDependent() const { return exponent >= 0.5 && exponent < 1.5; }
+  bool IsScaleIndependent() const { return exponent < 0.5; }
+
+  std::string Describe() const;  // e.g. "ops ~ 2.1 * n^2.97 (R^2=0.999)"
+};
+
+// Fits a power law through (scale, ops) points; requires >= 2 distinct
+// scales with positive values. Points with non-positive coordinates are
+// dropped.
+ComplexityFit FitPowerLaw(const std::vector<std::pair<double, double>>& points);
+
+// Predicted ops at scale n under the fit.
+double PredictOps(const ComplexityFit& fit, double n);
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_SFIND_FITTER_H_

@@ -1,0 +1,46 @@
+// Work profiles: per-function operation counts observed at each test scale.
+
+#ifndef SCALECHECK_SRC_SFIND_PROFILE_H_
+#define SCALECHECK_SRC_SFIND_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/pil/function_registry.h"
+
+namespace scalecheck {
+
+class WorkProfile {
+ public:
+  struct Cell {
+    int64_t invocations = 0;
+    int64_t total_ops = 0;
+    int64_t max_ops = 0;
+  };
+
+  void Record(PilFunctionId function, int scale, int64_t ops) {
+    Cell& cell = cells_[function][scale];
+    ++cell.invocations;
+    cell.total_ops += ops;
+    cell.max_ops = std::max(cell.max_ops, ops);
+  }
+
+  // function -> scale -> cell.
+  const std::map<PilFunctionId, std::map<int, Cell>>& cells() const { return cells_; }
+
+  const Cell* Find(PilFunctionId function, int scale) const {
+    auto fn = cells_.find(function);
+    if (fn == cells_.end()) {
+      return nullptr;
+    }
+    auto sc = fn->second.find(scale);
+    return sc == fn->second.end() ? nullptr : &sc->second;
+  }
+
+ private:
+  std::map<PilFunctionId, std::map<int, Cell>> cells_;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_SFIND_PROFILE_H_

@@ -1,0 +1,152 @@
+#include "src/sim/cpu_model.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+CpuModel::CpuModel(Simulator* sim, const Config& config)
+    : sim_(sim), config_(config), last_settle_(sim->Now()) {
+  CHECK_NOTNULL(sim);
+  CHECK_GT(config.cores, 0.0);
+  CHECK_GT(config.speed, 0.0);
+  CHECK_GE(config.ctx_switch_penalty, 0.0);
+}
+
+CpuModel::~CpuModel() {
+  if (pending_event_ != kInvalidEvent) {
+    sim_->Cancel(pending_event_);
+  }
+}
+
+double CpuModel::RatePerTask(int active) const {
+  if (active <= 0) {
+    return 0.0;
+  }
+  double a = static_cast<double>(active);
+  double share = std::min(1.0, config_.cores / a);
+  double oversub = std::max(0.0, (a - config_.cores) / config_.cores);
+  return config_.speed * share / (1.0 + config_.ctx_switch_penalty * oversub);
+}
+
+void CpuModel::Settle() {
+  VirtualTime now = sim_->Now();
+  CHECK_GE(now, last_settle_);
+  double dt = (now - last_settle_).seconds();
+  if (dt > 0.0 && !tasks_.empty()) {
+    int active = active_count();
+    service_ += dt * RatePerTask(active);
+    busy_core_work_ +=
+        dt * std::min(static_cast<double>(active), config_.cores) * config_.speed;
+  }
+  last_settle_ = now;
+}
+
+double CpuModel::busy_core_seconds() const { return busy_core_work_ / config_.speed; }
+
+double CpuModel::Utilization() const {
+  double elapsed = sim_->Now().seconds();
+  if (elapsed <= 0.0) {
+    return 0.0;
+  }
+  // Note: busy_core_work_ only counts time already settled; an in-progress
+  // quiet period contributes zero anyway, and in-progress busy periods are
+  // settled on every state change, so the error is bounded by the current
+  // inter-event gap.
+  return busy_core_work_ / (config_.speed * config_.cores * elapsed);
+}
+
+double CpuModel::CurrentStretch() const {
+  int active = active_count();
+  if (active == 0) {
+    return 1.0;
+  }
+  return config_.speed / RatePerTask(active);
+}
+
+CpuModel::TaskId CpuModel::StartTask(WorkUnits work, std::function<void()> on_complete) {
+  CHECK_GE(work, 0);
+  Settle();
+  TaskId id = next_id_++;
+  double target = service_ + static_cast<double>(work);
+  tasks_.emplace(id, Task{target, std::move(on_complete)});
+  by_target_.emplace(target, id);
+  peak_active_ = std::max(peak_active_, active_count());
+  Reschedule();
+  return id;
+}
+
+bool CpuModel::CancelTask(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return false;
+  }
+  Settle();
+  auto range = by_target_.equal_range(it->second.target_service);
+  for (auto t = range.first; t != range.second; ++t) {
+    if (t->second == id) {
+      by_target_.erase(t);
+      break;
+    }
+  }
+  tasks_.erase(it);
+  Reschedule();
+  return true;
+}
+
+void CpuModel::Reschedule() {
+  if (pending_event_ != kInvalidEvent) {
+    sim_->Cancel(pending_event_);
+    pending_event_ = kInvalidEvent;
+  }
+  if (tasks_.empty()) {
+    return;
+  }
+  double min_target = by_target_.begin()->first;
+  double rate = RatePerTask(active_count());
+  CHECK_GT(rate, 0.0);
+  double remaining = std::max(0.0, min_target - service_);
+  double dt_seconds = remaining / rate;
+  VirtualDuration dt = VirtualDuration::FromSecondsF(dt_seconds);
+  // Floating-point drift can leave `remaining` just above the completion
+  // epsilon while dt rounds down to zero nanoseconds — which would spin the
+  // event loop forever at the same instant. One nanosecond of service always
+  // makes progress.
+  if (dt.nanos() < 1) {
+    dt = VirtualDuration::Nanos(1);
+  }
+  pending_event_ = sim_->ScheduleAfter(dt, [this] { OnCompletionEvent(); });
+}
+
+void CpuModel::OnCompletionEvent() {
+  pending_event_ = kInvalidEvent;
+  Settle();
+  // Absolute + relative tolerance for floating-point drift between the
+  // scheduled completion instant and the settled service clock.
+  double eps = 1e-6 + 1e-9 * service_;
+  std::vector<std::function<void()>> done;
+  while (!by_target_.empty() && by_target_.begin()->first <= service_ + eps) {
+    TaskId id = by_target_.begin()->second;
+    by_target_.erase(by_target_.begin());
+    auto it = tasks_.find(id);
+    CHECK(it != tasks_.end());
+    done.push_back(std::move(it->second.on_complete));
+    tasks_.erase(it);
+  }
+  if (done.empty()) {
+    // Fired fractionally early due to rounding; re-arm.
+    Reschedule();
+    return;
+  }
+  Reschedule();
+  for (auto& fn : done) {
+    if (fn) {
+      fn();
+    }
+  }
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,114 @@
+// Fluid processor-sharing CPU model.
+//
+// Each simulated machine has C cores running at `speed` work-units/second.
+// Compute bursts (one per busy thread) are serviced processor-sharing style:
+// with A active bursts, each receives
+//
+//     rate(A) = speed * min(1, C/A) / (1 + p * max(0, (A - C) / C))
+//
+// where p is the context-switch penalty. When A <= C every burst owns a core
+// (this is the "real-scale" regime: nodes on dedicated machines never
+// contend). When A > C, bursts share cores *and* pay a context-switching
+// degradation that grows with over-subscription — this is what makes basic
+// colocation both slow and increasingly inefficient (§6 of the paper), and
+// what PIL avoids by replacing computation with zero-CPU sleeps.
+//
+// Implementation: because all bursts share one rate, we track a global
+// "service clock" S with dS/dt = rate(A). A burst that starts when the clock
+// is S0 with w work units completes when S reaches S0 + w. Completions are a
+// sorted set of target service values, so every state change is O(log A).
+
+#ifndef SCALECHECK_SRC_SIM_CPU_MODEL_H_
+#define SCALECHECK_SRC_SIM_CPU_MODEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "src/common/types.h"
+#include "src/sim/simulator.h"
+
+namespace scalecheck {
+
+class CpuModel {
+ public:
+  struct Config {
+    double cores = 16.0;
+    // Work units per second per core. 1e9 means one unit ~ 1 ns of compute.
+    double speed = 1e9;
+    // Context-switch penalty once over-subscribed; 0 disables.
+    double ctx_switch_penalty = 0.03;
+  };
+
+  using TaskId = uint64_t;
+
+  CpuModel(Simulator* sim, const Config& config);
+  ~CpuModel();
+  CpuModel(const CpuModel&) = delete;
+  CpuModel& operator=(const CpuModel&) = delete;
+
+  // Starts a compute burst of `work` units; `on_complete` fires when the
+  // burst finishes. Zero-work bursts complete on the next event dispatch.
+  TaskId StartTask(WorkUnits work, std::function<void()> on_complete);
+
+  // Cancels an in-flight burst (node crash injection). Returns false if the
+  // burst already completed.
+  bool CancelTask(TaskId id);
+
+  int active_count() const { return static_cast<int>(tasks_.size()); }
+  int peak_active() const { return peak_active_; }
+
+  // Total core-seconds of *occupancy* so far: min(active, cores) integrated
+  // over time. Equals the useful work delivered when the context-switch
+  // penalty is zero; exceeds it when oversubscribed (cores burn occupancy
+  // switching).
+  double busy_core_seconds() const;
+
+  // Utilization over [0, now]: busy core-time / (cores * elapsed).
+  double Utilization() const;
+
+  // Instantaneous stretch factor: how much longer a burst takes now compared
+  // to a dedicated core (1.0 when uncontended).
+  double CurrentStretch() const;
+
+  const Config& config() const { return config_; }
+  uint64_t tasks_started() const { return next_id_ - 1; }
+
+ private:
+  struct Task {
+    double target_service = 0.0;  // service clock value at completion
+    std::function<void()> on_complete;
+  };
+
+  // Advances the service clock to Now().
+  void Settle();
+  // Per-task service rate given the current active count.
+  double RatePerTask(int active) const;
+  // Re-arms the completion event for the earliest target.
+  void Reschedule();
+  // Fires due completions.
+  void OnCompletionEvent();
+
+  Simulator* sim_;
+  Config config_;
+
+  double service_ = 0.0;           // work units delivered per task so far
+  VirtualTime last_settle_;        // last time service_ was updated
+  double busy_core_work_ = 0.0;    // integral of min(A, C) * speed over time
+
+  std::unordered_map<TaskId, Task> tasks_;
+  // target service -> task id (multimap: equal targets allowed, ordered by
+  // insertion through id for determinism).
+  std::multimap<double, TaskId> by_target_;
+
+  EventId pending_event_ = kInvalidEvent;
+  TaskId next_id_ = 1;
+  int peak_active_ = 0;
+  bool in_completion_ = false;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_SIM_CPU_MODEL_H_

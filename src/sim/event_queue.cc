@@ -1,0 +1,61 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+EventId EventQueue::Schedule(VirtualTime t, std::function<void()> fn) {
+  EventId id = next_id_++;
+  heap_.push(Entry{t, id, std::move(fn)});
+  pending_.insert(id);
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  // Only events still pending can be cancelled; ids that already fired (or
+  // were already cancelled) are no longer in pending_.
+  if (pending_.erase(id) == 0) {
+    return false;
+  }
+  cancelled_.insert(id);
+  CHECK_GT(live_count_, 0u);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::DropCancelledTop() {
+  while (!heap_.empty()) {
+    auto found = cancelled_.find(heap_.top().id);
+    if (found == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(found);
+    heap_.pop();
+  }
+}
+
+VirtualTime EventQueue::NextTime() {
+  DropCancelledTop();
+  CHECK(!heap_.empty()) << "NextTime on empty queue";
+  return heap_.top().time;
+}
+
+std::function<void()> EventQueue::Pop(VirtualTime* t) {
+  DropCancelledTop();
+  CHECK(!heap_.empty()) << "Pop on empty queue";
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because we pop immediately and never compare on fn.
+  auto& entry = const_cast<Entry&>(heap_.top());
+  *t = entry.time;
+  std::function<void()> fn = std::move(entry.fn);
+  pending_.erase(entry.id);
+  heap_.pop();
+  CHECK_GT(live_count_, 0u);
+  --live_count_;
+  return fn;
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,76 @@
+// The simulator's pending-event set.
+//
+// Events are ordered by (time, sequence). The sequence number is a global
+// monotonically increasing counter assigned at scheduling time, which makes
+// event ordering — and therefore the whole simulation — fully deterministic
+// even when many events share a timestamp.
+
+#ifndef SCALECHECK_SRC_SIM_EVENT_QUEUE_H_
+#define SCALECHECK_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace scalecheck {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules fn at time t. Returns an id usable with Cancel().
+  EventId Schedule(VirtualTime t, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if the event already fired or was
+  // already cancelled. Cancellation is O(1); cancelled entries are dropped
+  // lazily when popped.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  // Time of the earliest live event. Requires !empty().
+  VirtualTime NextTime();
+
+  // Pops and returns the earliest live event's callback. Requires !empty().
+  // Sets *t to the event's timestamp.
+  std::function<void()> Pop(VirtualTime* t);
+
+  uint64_t total_scheduled() const { return next_id_ - 1; }
+
+ private:
+  struct Entry {
+    VirtualTime time;
+    EventId id = kInvalidEvent;
+    std::function<void()> fn;
+
+    // Min-heap: later times (or equal time with larger id) sort lower.
+    bool operator<(const Entry& o) const {
+      if (time != o.time) {
+        return time > o.time;
+      }
+      return id > o.id;
+    }
+  };
+
+  void DropCancelledTop();
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_set<EventId> pending_;
+  std::unordered_set<EventId> cancelled_;
+  size_t live_count_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,45 @@
+// Event-lateness tracking.
+//
+// §8 lists "high event lateness (queuing delays from thread context
+// switching)" as one of the three colocation limits. A periodic activity (a
+// gossip round, a failure-detector sweep) is *late* when it actually starts
+// executing after its intended instant. We record the distribution of
+// (actual_start - intended) across all tracked activities on a machine.
+
+#ifndef SCALECHECK_SRC_SIM_LATENESS_H_
+#define SCALECHECK_SRC_SIM_LATENESS_H_
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+
+namespace scalecheck {
+
+class LatenessTracker {
+ public:
+  LatenessTracker() : histogram_(/*base=*/1e5, /*growth=*/1.6, /*num_buckets=*/72) {}
+
+  void Record(VirtualTime intended, VirtualTime actual) {
+    VirtualDuration late = actual - intended;
+    if (late.IsNegative()) {
+      late = VirtualDuration::Zero();
+    }
+    histogram_.AddDuration(late);
+  }
+
+  VirtualDuration p50() const { return histogram_.PercentileDuration(50); }
+  VirtualDuration p99() const { return histogram_.PercentileDuration(99); }
+  VirtualDuration max() const {
+    return VirtualDuration::Nanos(static_cast<int64_t>(histogram_.max_value()));
+  }
+  VirtualDuration mean() const {
+    return VirtualDuration::Nanos(static_cast<int64_t>(histogram_.mean()));
+  }
+  int64_t count() const { return histogram_.count(); }
+
+ private:
+  LogHistogram histogram_;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_SIM_LATENESS_H_

@@ -1,0 +1,23 @@
+#include "src/sim/machine.h"
+
+#include <algorithm>
+
+namespace scalecheck {
+
+double MachineSet::MaxUtilization() const {
+  double max_util = 0.0;
+  for (const auto& m : machines_) {
+    max_util = std::max(max_util, m->cpu().Utilization());
+  }
+  return max_util;
+}
+
+int64_t MachineSet::TotalPeakMemory() const {
+  int64_t total = 0;
+  for (const auto& m : machines_) {
+    total += m->memory().peak_bytes();
+  }
+  return total;
+}
+
+}  // namespace scalecheck

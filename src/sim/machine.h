@@ -1,0 +1,105 @@
+// Simulated machines and machine sets.
+//
+// A Machine bundles the CPU, memory, and lateness models for one physical
+// host. A MachineSet maps nodes onto machines and is how the run modes differ:
+//   - real-scale testing: many machines, a few nodes each (the paper packed 8
+//     nodes per 16-core Nome machine, each node using <= 2 busy cores);
+//   - colocation / memoization / PIL replay: a single machine hosting all N.
+
+#ifndef SCALECHECK_SRC_SIM_MACHINE_H_
+#define SCALECHECK_SRC_SIM_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/sim/cpu_model.h"
+#include "src/sim/lateness.h"
+#include "src/sim/memory_model.h"
+#include "src/sim/simulator.h"
+
+namespace scalecheck {
+
+struct MachineSpec {
+  double cores = 16.0;
+  double core_speed = 1e9;  // work units / second / core
+  double ctx_switch_penalty = 0.03;
+  int64_t memory_bytes = 32LL * 1024 * 1024 * 1024;
+
+  // The paper's Nome testbed machine: 16-core Opteron, 32 GB DRAM.
+  static MachineSpec Nome() { return MachineSpec{}; }
+};
+
+class Machine {
+ public:
+  Machine(Simulator* sim, MachineId id, const MachineSpec& spec)
+      : id_(id),
+        spec_(spec),
+        cpu_(sim, CpuModel::Config{spec.cores, spec.core_speed, spec.ctx_switch_penalty}),
+        memory_(MemoryModel::Config{spec.memory_bytes}) {}
+
+  MachineId id() const { return id_; }
+  const MachineSpec& spec() const { return spec_; }
+  CpuModel& cpu() { return cpu_; }
+  MemoryModel& memory() { return memory_; }
+  LatenessTracker& lateness() { return lateness_; }
+  const LatenessTracker& lateness() const { return lateness_; }
+
+ private:
+  MachineId id_;
+  MachineSpec spec_;
+  CpuModel cpu_;
+  MemoryModel memory_;
+  LatenessTracker lateness_;
+};
+
+// Owns the machines of a deployment and the node -> machine placement.
+class MachineSet {
+ public:
+  MachineSet(Simulator* sim, const MachineSpec& spec, int num_machines)
+      : spec_(spec) {
+    CHECK_GT(num_machines, 0);
+    machines_.reserve(static_cast<size_t>(num_machines));
+    for (int i = 0; i < num_machines; ++i) {
+      machines_.push_back(std::make_unique<Machine>(sim, i, spec));
+    }
+  }
+
+  // Places a node on a machine round-robin with `nodes_per_machine` slots.
+  // Returns the machine hosting it.
+  Machine* Place(NodeId node, int nodes_per_machine) {
+    CHECK_GT(nodes_per_machine, 0);
+    size_t idx = static_cast<size_t>(node / nodes_per_machine) % machines_.size();
+    placement_[node] = machines_[idx].get();
+    return machines_[idx].get();
+  }
+
+  Machine* MachineOf(NodeId node) const {
+    auto it = placement_.find(node);
+    CHECK(it != placement_.end()) << "unplaced node" << node;
+    return it->second;
+  }
+
+  bool SameMachine(NodeId a, NodeId b) const {
+    return MachineOf(a)->id() == MachineOf(b)->id();
+  }
+
+  size_t size() const { return machines_.size(); }
+  Machine& at(size_t i) { return *machines_.at(i); }
+  const MachineSpec& spec() const { return spec_; }
+
+  // Aggregates across machines (useful when every node is on machine 0).
+  double MaxUtilization() const;
+  int64_t TotalPeakMemory() const;
+
+ private:
+  MachineSpec spec_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::unordered_map<NodeId, Machine*> placement_;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_SIM_MACHINE_H_

@@ -1,0 +1,61 @@
+#include "src/sim/memory_model.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+bool MemoryModel::Allocate(NodeId node, const std::string& tag, int64_t bytes) {
+  CHECK_GE(bytes, 0);
+  used_ += bytes;
+  by_node_[node][tag] += bytes;
+  peak_ = std::max(peak_, used_);
+  if (used_ > config_.capacity_bytes) {
+    oom_observed_ = true;
+    if (oom_handler_) {
+      oom_handler_(node, bytes);
+    }
+    return false;
+  }
+  return true;
+}
+
+void MemoryModel::Release(NodeId node, const std::string& tag, int64_t bytes) {
+  CHECK_GE(bytes, 0);
+  auto node_it = by_node_.find(node);
+  CHECK(node_it != by_node_.end()) << "release for unknown node" << node;
+  auto tag_it = node_it->second.find(tag);
+  CHECK(tag_it != node_it->second.end()) << "release for unknown tag" << tag;
+  CHECK_GE(tag_it->second, bytes) << "over-release on tag" << tag;
+  tag_it->second -= bytes;
+  used_ -= bytes;
+  if (tag_it->second == 0) {
+    node_it->second.erase(tag_it);
+  }
+}
+
+void MemoryModel::ReleaseAll(NodeId node) {
+  auto it = by_node_.find(node);
+  if (it == by_node_.end()) {
+    return;
+  }
+  for (const auto& [tag, bytes] : it->second) {
+    used_ -= bytes;
+  }
+  by_node_.erase(it);
+}
+
+int64_t MemoryModel::NodeUsage(NodeId node) const {
+  auto it = by_node_.find(node);
+  if (it == by_node_.end()) {
+    return 0;
+  }
+  int64_t total = 0;
+  for (const auto& [tag, bytes] : it->second) {
+    total += bytes;
+  }
+  return total;
+}
+
+}  // namespace scalecheck

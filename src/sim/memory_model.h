@@ -1,0 +1,65 @@
+// Machine memory accounting.
+//
+// §6 of the paper observes that colocation hits memory exhaustion before CPU
+// saturation when per-process runtime overhead (~70 MB for a JVM) and
+// space-oblivious allocations (the rebalance protocol's (N-1)*P*1.3MB
+// over-allocation) are multiplied by the colocation factor. This model tracks
+// tagged allocations per node against a machine capacity and reports OOM
+// through a callback so the cluster can crash the offending node — exactly the
+// "nodes receive out-of-memory exceptions and crash" symptom from §8.
+
+#ifndef SCALECHECK_SRC_SIM_MEMORY_MODEL_H_
+#define SCALECHECK_SRC_SIM_MEMORY_MODEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/types.h"
+
+namespace scalecheck {
+
+class MemoryModel {
+ public:
+  struct Config {
+    int64_t capacity_bytes = 32LL * 1024 * 1024 * 1024;  // 32 GB, the Nome machine
+  };
+
+  // Called with the node whose allocation crossed the capacity line.
+  using OomHandler = std::function<void(NodeId, int64_t attempted_bytes)>;
+
+  explicit MemoryModel(const Config& config) : config_(config) {}
+
+  void set_oom_handler(OomHandler handler) { oom_handler_ = std::move(handler); }
+
+  // Charges `bytes` to (node, tag). If the machine total would exceed
+  // capacity, the allocation is still recorded (the process dies with the
+  // memory committed), the OOM handler fires, and false is returned.
+  bool Allocate(NodeId node, const std::string& tag, int64_t bytes);
+
+  // Releases a previous allocation; releasing more than allocated is a bug.
+  void Release(NodeId node, const std::string& tag, int64_t bytes);
+
+  // Releases everything owned by a node (process exit).
+  void ReleaseAll(NodeId node);
+
+  int64_t used_bytes() const { return used_; }
+  int64_t peak_bytes() const { return peak_; }
+  int64_t capacity_bytes() const { return config_.capacity_bytes; }
+  int64_t NodeUsage(NodeId node) const;
+  bool oom_observed() const { return oom_observed_; }
+
+ private:
+  Config config_;
+  OomHandler oom_handler_;
+  int64_t used_ = 0;
+  int64_t peak_ = 0;
+  bool oom_observed_ = false;
+  // node -> tag -> bytes
+  std::unordered_map<NodeId, std::unordered_map<std::string, int64_t>> by_node_;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_SIM_MEMORY_MODEL_H_

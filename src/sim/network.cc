@@ -1,0 +1,73 @@
+#include "src/sim/network.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+NetworkModel::NetworkModel(Simulator* sim, const Config& config, uint64_t seed)
+    : sim_(sim), config_(config), rng_(seed) {
+  CHECK_NOTNULL(sim);
+  CHECK_GE(config.loss_probability, 0.0);
+  CHECK_LE(config.loss_probability, 1.0);
+}
+
+void NetworkModel::RegisterNode(NodeId node, Handler handler) {
+  CHECK(handler != nullptr);
+  handlers_[node] = std::move(handler);
+}
+
+void NetworkModel::UnregisterNode(NodeId node) { handlers_.erase(node); }
+
+VirtualDuration NetworkModel::SampleLatency(NodeId from, NodeId to) {
+  bool local = same_machine_ && same_machine_(from, to);
+  if (local) {
+    return config_.loopback_latency;
+  }
+  double jitter_s = rng_.Exponential(config_.jitter_mean.seconds());
+  return config_.base_latency + VirtualDuration::FromSecondsF(jitter_s);
+}
+
+uint64_t NetworkModel::Send(NodeId from, NodeId to, int type,
+                            std::shared_ptr<const Payload> payload) {
+  CHECK(payload != nullptr);
+  ++sent_;
+  bytes_ += payload->SizeBytes();
+  if (config_.loss_probability > 0.0 && rng_.Bernoulli(config_.loss_probability)) {
+    ++dropped_;
+    return 0;
+  }
+  uint64_t pair_key = (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+                      static_cast<uint32_t>(to);
+  Message msg;
+  msg.id = next_id_++;
+  msg.from = from;
+  msg.to = to;
+  msg.type = type;
+  msg.pair_seq = ++pair_seq_[pair_key][type];
+  msg.payload = std::move(payload);
+  msg.sent_at = sim_->Now();
+
+  VirtualTime deliver_at = sim_->Now() + SampleLatency(from, to);
+  // FIFO per sender->receiver pair: never deliver before an earlier message
+  // on the same pair.
+  auto it = last_delivery_.find(pair_key);
+  if (it != last_delivery_.end() && deliver_at <= it->second) {
+    deliver_at = it->second + VirtualDuration::Nanos(1);
+  }
+  last_delivery_[pair_key] = deliver_at;
+
+  sim_->ScheduleAt(deliver_at, [this, msg = std::move(msg)] {
+    auto handler_it = handlers_.find(msg.to);
+    if (handler_it == handlers_.end()) {
+      ++dropped_;  // receiver crashed or decommissioned
+      return;
+    }
+    ++delivered_;
+    handler_it->second(msg);
+  });
+  return msg.id;
+}
+
+}  // namespace scalecheck

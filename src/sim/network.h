@@ -1,0 +1,96 @@
+// Message transport between simulated nodes.
+//
+// Latency: messages between nodes on the same machine take the loopback
+// latency; cross-machine messages take base + exponential jitter. Delivery is
+// FIFO per (sender, receiver) pair, matching TCP connection semantics.
+// Bandwidth is deliberately not modelled: the paper's bottlenecks are CPU,
+// memory, and context switching, and gossip messages are small.
+//
+// Message *processing* cost is charged by the receiving node's stage thread,
+// not here; the network only delays and (optionally) drops.
+
+#ifndef SCALECHECK_SRC_SIM_NETWORK_H_
+#define SCALECHECK_SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/sim/simulator.h"
+
+namespace scalecheck {
+
+// Base class for message payloads; modules derive their own payload types.
+struct Payload {
+  virtual ~Payload() = default;
+  // Approximate wire size, for traffic statistics.
+  virtual size_t SizeBytes() const { return 64; }
+};
+
+struct Message {
+  uint64_t id = 0;  // globally unique, deterministic (assigned at send)
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  int type = 0;  // application-defined discriminator
+  // Per-(from, to, type) send counter. Stable across runs that send the same
+  // logical message stream — the key the PIL order log records and enforces.
+  uint64_t pair_seq = 0;
+  std::shared_ptr<const Payload> payload;
+  VirtualTime sent_at;
+};
+
+class NetworkModel {
+ public:
+  struct Config {
+    VirtualDuration loopback_latency = VirtualDuration::Micros(50);
+    VirtualDuration base_latency = VirtualDuration::Micros(500);
+    // Mean of the exponential jitter added to cross-machine messages.
+    VirtualDuration jitter_mean = VirtualDuration::Micros(200);
+    double loss_probability = 0.0;
+  };
+
+  using Handler = std::function<void(const Message&)>;
+  // Returns true when the two nodes share a physical machine.
+  using SameMachineFn = std::function<bool(NodeId, NodeId)>;
+
+  NetworkModel(Simulator* sim, const Config& config, uint64_t seed);
+
+  void set_same_machine_fn(SameMachineFn fn) { same_machine_ = std::move(fn); }
+
+  void RegisterNode(NodeId node, Handler handler);
+  // Messages to an unregistered node are dropped (crashed process).
+  void UnregisterNode(NodeId node);
+
+  // Sends a message; returns its id (0 if dropped at send time).
+  uint64_t Send(NodeId from, NodeId to, int type, std::shared_ptr<const Payload> payload);
+
+  uint64_t messages_sent() const { return sent_; }
+  uint64_t messages_delivered() const { return delivered_; }
+  uint64_t messages_dropped() const { return dropped_; }
+  uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  VirtualDuration SampleLatency(NodeId from, NodeId to);
+
+  Simulator* sim_;
+  Config config_;
+  Rng rng_;
+  SameMachineFn same_machine_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  // (from << 32 | to) -> last delivery time, for per-pair FIFO.
+  std::unordered_map<uint64_t, VirtualTime> last_delivery_;
+  // (from << 32 | to) -> per-type send counters.
+  std::unordered_map<uint64_t, std::unordered_map<int, uint64_t>> pair_seq_;
+  uint64_t next_id_ = 1;
+  uint64_t sent_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_SIM_NETWORK_H_

@@ -1,0 +1,82 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+Simulator::Simulator(uint64_t seed) : now_(VirtualTime::Zero()), rng_(seed) {}
+
+EventId Simulator::ScheduleAt(VirtualTime t, std::function<void()> fn) {
+  CHECK_GE(t, now_) << "scheduling into the past";
+  return queue_.Schedule(t, std::move(fn));
+}
+
+EventId Simulator::ScheduleAfter(VirtualDuration d, std::function<void()> fn) {
+  CHECK(!d.IsNegative()) << "negative delay" << d.ToString();
+  return queue_.Schedule(now_ + d, std::move(fn));
+}
+
+uint64_t Simulator::Run(VirtualTime until) {
+  CHECK(!running_) << "reentrant Run()";
+  running_ = true;
+  stop_requested_ = false;
+  uint64_t executed = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    VirtualTime next = queue_.NextTime();
+    if (next > until) {
+      break;
+    }
+    VirtualTime t;
+    std::function<void()> fn = queue_.Pop(&t);
+    CHECK_GE(t, now_) << "time went backwards";
+    now_ = t;
+    fn();
+    ++executed;
+    ++events_executed_;
+  }
+  // If we stopped because the horizon was reached, advance the clock to the
+  // horizon so callers observe a full window.
+  if ((queue_.empty() || queue_.NextTime() > until) && until != VirtualTime::Max() &&
+      now_ < until) {
+    now_ = until;
+  }
+  running_ = false;
+  return executed;
+}
+
+PeriodicTimer::PeriodicTimer(Simulator* sim, VirtualDuration period,
+                             std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  CHECK_NOTNULL(sim_);
+  CHECK_GT(period.nanos(), 0);
+}
+
+PeriodicTimer::~PeriodicTimer() { Stop(); }
+
+void PeriodicTimer::Start(VirtualDuration initial_delay) {
+  Stop();
+  armed_ = true;
+  pending_ = sim_->ScheduleAfter(initial_delay, [this] { Fire(); });
+}
+
+void PeriodicTimer::Stop() {
+  if (pending_ != kInvalidEvent) {
+    sim_->Cancel(pending_);
+    pending_ = kInvalidEvent;
+  }
+  armed_ = false;
+}
+
+void PeriodicTimer::Fire() {
+  pending_ = kInvalidEvent;
+  if (!armed_) {
+    return;
+  }
+  // Re-arm before invoking so fn may Stop() the timer.
+  pending_ = sim_->ScheduleAfter(period_, [this] { Fire(); });
+  fn_();
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,47 @@
+#include "src/sim/sync.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+void SimMutex::Acquire(std::function<void()> granted) {
+  if (!locked_) {
+    Grant(std::move(granted), sim_->Now());
+    return;
+  }
+  waiters_.push_back(Waiter{std::move(granted), sim_->Now()});
+}
+
+void SimMutex::Grant(std::function<void()> granted, VirtualTime enqueued) {
+  CHECK(!locked_);
+  locked_ = true;
+  acquired_at_ = sim_->Now();
+  wait_seconds_.Add((sim_->Now() - enqueued).seconds());
+  granted();
+}
+
+void SimMutex::Release() {
+  CHECK(locked_) << "release of unheld mutex" << name_;
+  hold_seconds_.Add((sim_->Now() - acquired_at_).seconds());
+  locked_ = false;
+  if (waiters_.empty()) {
+    return;
+  }
+  Waiter next = std::move(waiters_.front());
+  waiters_.pop_front();
+  // Grant through the event queue so deep lock-convoy chains do not recurse.
+  sim_->ScheduleAfter(VirtualDuration::Zero(),
+                      [this, next = std::move(next)]() mutable {
+                        if (locked_) {
+                          // Someone acquired in between (barged); requeue at
+                          // the front to preserve FIFO fairness.
+                          waiters_.push_front(std::move(next));
+                          return;
+                        }
+                        Grant(std::move(next.granted), next.enqueued);
+                      });
+}
+
+}  // namespace scalecheck

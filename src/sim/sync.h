@@ -1,0 +1,63 @@
+// Virtual-time synchronization primitives.
+//
+// SimMutex models an in-process lock between a node's simulated threads. It
+// exists because bug C5456 is *about* a lock: the pending-range calculation
+// held a coarse-grained ring-table lock long enough to stall gossip
+// processing, re-creating flapping even after the computation itself was
+// optimized. Hold-time and wait-time statistics feed the experiment reports.
+
+#ifndef SCALECHECK_SRC_SIM_SYNC_H_
+#define SCALECHECK_SRC_SIM_SYNC_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/sim/simulator.h"
+
+namespace scalecheck {
+
+class SimMutex {
+ public:
+  SimMutex(Simulator* sim, std::string name)
+      : sim_(sim), name_(std::move(name)) {}
+  SimMutex(const SimMutex&) = delete;
+  SimMutex& operator=(const SimMutex&) = delete;
+
+  // Requests the lock; `granted` runs (synchronously if the lock is free,
+  // otherwise later in FIFO order) once the caller holds it.
+  void Acquire(std::function<void()> granted);
+
+  // Releases the lock; the next waiter (if any) is granted via a zero-delay
+  // event so grant chains cannot grow the native stack.
+  void Release();
+
+  bool locked() const { return locked_; }
+  size_t waiters() const { return waiters_.size(); }
+  const std::string& name() const { return name_; }
+
+  const RunningStat& hold_seconds() const { return hold_seconds_; }
+  const RunningStat& wait_seconds() const { return wait_seconds_; }
+
+ private:
+  struct Waiter {
+    std::function<void()> granted;
+    VirtualTime enqueued;
+  };
+
+  void Grant(std::function<void()> granted, VirtualTime enqueued);
+
+  Simulator* sim_;
+  std::string name_;
+  bool locked_ = false;
+  VirtualTime acquired_at_;
+  std::deque<Waiter> waiters_;
+  RunningStat hold_seconds_;
+  RunningStat wait_seconds_;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_SIM_SYNC_H_

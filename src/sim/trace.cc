@@ -1,0 +1,79 @@
+#include "src/sim/trace.h"
+
+#include "src/common/strings.h"
+
+namespace scalecheck {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kMessageSent:
+      return "send";
+    case TraceKind::kMessageDelivered:
+      return "recv";
+    case TraceKind::kStatusChange:
+      return "status";
+    case TraceKind::kConviction:
+      return "convict";
+    case TraceKind::kRescue:
+      return "rescue";
+    case TraceKind::kCalcStart:
+      return "calc-start";
+    case TraceKind::kCalcDone:
+      return "calc-done";
+    case TraceKind::kNodeCrash:
+      return "crash";
+    case TraceKind::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+std::string TraceEntry::ToString() const {
+  std::string out = StrFormat("%-12s %-10s n%d", time.ToString().c_str(),
+                              TraceKindName(kind), node);
+  if (peer != kInvalidNode) {
+    out += StrFormat(" -> n%d", peer);
+  }
+  if (detail != 0) {
+    out += StrFormat(" [%lld]", static_cast<long long>(detail));
+  }
+  if (!note.empty()) {
+    out += " " + note;
+  }
+  return out;
+}
+
+void TraceRecorder::Record(VirtualTime time, TraceKind kind, NodeId node, NodeId peer,
+                           int64_t detail, std::string note) {
+  digest_.Add(time.nanos());
+  digest_.Add(static_cast<int64_t>(kind));
+  digest_.Add(static_cast<int64_t>(node));
+  digest_.Add(static_cast<int64_t>(peer));
+  digest_.Add(detail);
+  ++total_;
+  tail_.push_back(TraceEntry{time, kind, node, peer, detail, std::move(note)});
+  if (tail_.size() > tail_capacity_) {
+    tail_.pop_front();
+  }
+}
+
+std::vector<TraceEntry> TraceRecorder::Tail() const {
+  return std::vector<TraceEntry>(tail_.begin(), tail_.end());
+}
+
+std::string TraceRecorder::DumpTail(size_t n) const {
+  std::string out;
+  size_t start = tail_.size() > n ? tail_.size() - n : 0;
+  for (size_t i = start; i < tail_.size(); ++i) {
+    out += tail_[i].ToString() + "\n";
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  tail_.clear();
+  digest_ = Digest();
+  total_ = 0;
+}
+
+}  // namespace scalecheck

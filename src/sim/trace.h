@@ -1,0 +1,78 @@
+// Execution tracing.
+//
+// Two purposes, both from Figure 2's workflow:
+//  - determinism checking: a run's trace digest is a content hash over every
+//    recorded event; two runs with equal configuration must produce equal
+//    digests (the property the whole memoize/replay scheme leans on);
+//  - debugging: step f© — "the developers can add more logs to debug the
+//    code ... and replay again". The recorder keeps a bounded tail of
+//    human-readable entries that examples/tests can dump.
+
+#ifndef SCALECHECK_SRC_SIM_TRACE_H_
+#define SCALECHECK_SRC_SIM_TRACE_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/types.h"
+
+namespace scalecheck {
+
+enum class TraceKind : int {
+  kMessageSent = 0,
+  kMessageDelivered = 1,
+  kStatusChange = 2,
+  kConviction = 3,
+  kRescue = 4,
+  kCalcStart = 5,
+  kCalcDone = 6,
+  kNodeCrash = 7,
+  kCustom = 8,
+};
+
+const char* TraceKindName(TraceKind kind);
+
+struct TraceEntry {
+  VirtualTime time;
+  TraceKind kind = TraceKind::kCustom;
+  NodeId node = kInvalidNode;
+  NodeId peer = kInvalidNode;
+  int64_t detail = 0;
+  std::string note;  // only kept for the bounded tail
+
+  std::string ToString() const;
+};
+
+class TraceRecorder {
+ public:
+  // `tail_capacity`: how many full entries to keep for dumping; the digest
+  // always covers every recorded event regardless.
+  explicit TraceRecorder(size_t tail_capacity = 4096)
+      : tail_capacity_(tail_capacity) {}
+
+  void Record(VirtualTime time, TraceKind kind, NodeId node, NodeId peer = kInvalidNode,
+              int64_t detail = 0, std::string note = "");
+
+  // Content hash of the full event stream so far.
+  DigestValue ComputeDigest() const { return digest_.Finish(); }
+  uint64_t total_events() const { return total_; }
+
+  // The retained tail, oldest first.
+  std::vector<TraceEntry> Tail() const;
+  // Renders the last `n` entries.
+  std::string DumpTail(size_t n = 50) const;
+
+  void Clear();
+
+ private:
+  size_t tail_capacity_;
+  std::deque<TraceEntry> tail_;
+  Digest digest_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_SIM_TRACE_H_

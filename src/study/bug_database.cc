@@ -1,0 +1,277 @@
+#include "src/study/bug_database.h"
+
+#include <algorithm>
+
+namespace scalecheck {
+
+const char* StudySystemName(StudySystem system) {
+  switch (system) {
+    case StudySystem::kCassandra:
+      return "Cassandra";
+    case StudySystem::kCouchbase:
+      return "Couchbase";
+    case StudySystem::kHadoop:
+      return "Hadoop";
+    case StudySystem::kHBase:
+      return "HBase";
+    case StudySystem::kHdfs:
+      return "HDFS";
+    case StudySystem::kRiak:
+      return "Riak";
+    case StudySystem::kVoldemort:
+      return "Voldemort";
+  }
+  return "?";
+}
+
+const char* RootCauseClassName(RootCauseClass c) {
+  switch (c) {
+    case RootCauseClass::kScaleDependentComputation:
+      return "scale-dependent CPU computation";
+    case RootCauseClass::kSerializedOnOperations:
+      return "unexpected serialization of O(N) operations";
+  }
+  return "?";
+}
+
+const char* ProtocolPathName(ProtocolPath p) {
+  switch (p) {
+    case ProtocolPath::kBootstrap:
+      return "bootstrap";
+    case ProtocolPath::kScaleOut:
+      return "scale-out";
+    case ProtocolPath::kDecommission:
+      return "decommission";
+    case ProtocolPath::kRebalance:
+      return "rebalance";
+    case ProtocolPath::kFailover:
+      return "failover";
+    case ProtocolPath::kDataPath:
+      return "data path";
+  }
+  return "?";
+}
+
+namespace {
+
+using S = StudySystem;
+using R = RootCauseClass;
+using P = ProtocolPath;
+constexpr R kCpu = R::kScaleDependentComputation;
+constexpr R kSer = R::kSerializedOnOperations;
+
+std::vector<StudyBug> BuildAll() {
+  std::vector<StudyBug> bugs = {
+      // ---- Cassandra (9) — the §2 lineage, six named by the paper ----------
+      {"CASSANDRA-3831", S::kCassandra, P::kDecommission, kCpu, 200,
+       "flapping: live nodes declared dead, data unreachable",
+       "O(M*N^3*log^3 N) pending-range calculation", 1, false},
+      {"CASSANDRA-3881", S::kCassandra, P::kScaleOut, kCpu, 128,
+       "flapping returns with vnodes: N becomes N*P",
+       "O(M*N^2*log^2 N) with N*P entries", 1, false},
+      {"CASSANDRA-5456", S::kCassandra, P::kScaleOut, kSer, 200,
+       "gossip stops: ring lock held across the calculation",
+       "coarse-grained lock serializes gossip behind O(E log E) clones", 2, false},
+      {"CASSANDRA-6127", S::kCassandra, P::kBootstrap, kCpu, 500,
+       "fresh 500+-node bootstrap: vnodes don't scale",
+       "O(M*N^2) fresh ring construction, path-dependent", 5, false},
+      {"CASSANDRA-6345", S::kCassandra, P::kRebalance, kSer, 256,
+       "ring-table churn floods gossip during topology changes",
+       "O(N) ring snapshots per gossip round", 1, false},
+      {"CASSANDRA-6409", S::kCassandra, P::kFailover, kCpu, 300,
+       "failure detector starved by topology recalculation",
+       "repeated O(N^2) recomputation on conviction", 1, false},
+      {"CASSANDRA-GOSSIP-A", S::kCassandra, P::kScaleOut, kSer, 500,
+       "gossip backlog at 500+ nodes (Gossip 2.0 motivation)",
+       "per-round O(N) digests serialized on one stage", 1, true},
+      {"CASSANDRA-GOSSIP-B", S::kCassandra, P::kBootstrap, kCpu, 700,
+       "minutes-long pauses while many nodes join",
+       "O(N*P log NP) per join event, invoked per gossip apply", 2, true},
+      {"CASSANDRA-GOSSIP-C", S::kCassandra, P::kDataPath, kSer, 400,
+       "request latency spikes during rescale",
+       "pending-range lookups serialized behind ring mutations", 1, true},
+
+      // ---- Couchbase (5) ----------------------------------------------------
+      {"COUCHBASE-REBAL-1", S::kCouchbase, P::kRebalance, kCpu, 100,
+       "rebalance plan computation freezes the orchestrator",
+       "O(N^2 * vbuckets) move planning", 1, true},
+      {"COUCHBASE-REBAL-2", S::kCouchbase, P::kRebalance, kSer, 120,
+       "rebalance stalls: vbucket moves serialized on one supervisor",
+       "O(N) supervised moves, one at a time", 1, true},
+      {"COUCHBASE-VIEW-1", S::kCouchbase, P::kDataPath, kCpu, 80,
+       "view index rebuild time grows superlinearly with cluster size",
+       "O(N^2) partition map recomputation", 1, true},
+      {"COUCHBASE-FO-1", S::kCouchbase, P::kFailover, kSer, 150,
+       "auto-failover delayed minutes on large clusters",
+       "O(N) health checks on a single timer thread", 0, true},
+      {"COUCHBASE-BOOT-1", S::kCouchbase, P::kBootstrap, kSer, 100,
+       "cluster warmup serializes per-node handshakes",
+       "O(N) joins through one coordinator", 1, true},
+
+      // ---- Hadoop (2) --------------------------------------------------------
+      {"HADOOP-RM-1", S::kHadoop, P::kScaleOut, kCpu, 2000,
+       "ResourceManager scheduling pause at thousands of NodeManagers",
+       "O(N^2) node-heartbeat matching in the scheduler loop", 1, true},
+      {"HADOOP-RM-2", S::kHadoop, P::kFailover, kSer, 1500,
+       "RM failover replays node registrations serially",
+       "O(N) re-registrations through one dispatcher", 1, true},
+
+      // ---- HBase (9) ----------------------------------------------------------
+      {"HBASE-ASSIGN-1", S::kHBase, P::kFailover, kCpu, 200,
+       "master region reassignment storm after regionserver death",
+       "O(regions * N) assignment plan recomputation", 1, true},
+      {"HBASE-ASSIGN-2", S::kHBase, P::kScaleOut, kSer, 300,
+       "bulk assignment serialized through one ZK queue",
+       "O(regions) ZooKeeper round-trips", 1, true},
+      {"HBASE-META-1", S::kHBase, P::kDataPath, kSer, 250,
+       "META region hotspot as cluster grows",
+       "O(N) clients serialize on one META server", 2, true},
+      {"HBASE-BALANCER-1", S::kHBase, P::kRebalance, kCpu, 400,
+       "balancer run time explodes with cluster size",
+       "O(N^2 * regions) cost evaluation per balancing round", 1, true},
+      {"HBASE-LOG-1", S::kHBase, P::kFailover, kSer, 100,
+       "log splitting after failure serialized on few workers",
+       "O(logs) split tasks, coordinator-bound", 1, true},
+      {"HBASE-BOOT-1", S::kHBase, P::kBootstrap, kCpu, 500,
+       "cluster startup scans all region states quadratically",
+       "O(regions * N) startup reconciliation", 1, true},
+      {"HBASE-ZK-1", S::kHBase, P::kScaleOut, kSer, 700,
+       "ZooKeeper watch storms as regionservers multiply",
+       "O(N) watch re-registrations per event", 0, true},
+      {"HBASE-HEARTBEAT-1", S::kHBase, P::kDataPath, kSer, 600,
+       "master heartbeat processing saturates a core",
+       "O(N * regions-per-beat) bookkeeping", 1, true},
+      {"HBASE-REPL-1", S::kHBase, P::kDataPath, kSer, 300,
+       "replication queue transfer after failure is serial",
+       "O(queues) single-threaded recovery", 1, true},
+
+      // ---- HDFS (11) -------------------------------------------------------------
+      {"HDFS-BR-1", S::kHdfs, P::kBootstrap, kCpu, 1000,
+       "namenode startup block-report storm",
+       "O(blocks * N) initial block map construction", 2, true},
+      {"HDFS-BR-2", S::kHdfs, P::kScaleOut, kSer, 800,
+       "full block reports serialized under the namespace lock",
+       "O(blocks) processing, one report at a time", 1, true},
+      {"HDFS-DECOM-1", S::kHdfs, P::kDecommission, kCpu, 500,
+       "decommission scan iterates every block of every node",
+       "O(blocks * N) replication checks per scan", 1, true},
+      {"HDFS-HEARTBEAT-1", S::kHdfs, P::kDataPath, kSer, 2000,
+       "heartbeat processing under the global FSNamesystem lock",
+       "O(N) heartbeats serialized per interval", 1, true},
+      {"HDFS-REPL-1", S::kHdfs, P::kFailover, kCpu, 700,
+       "re-replication planning after rack failure is quadratic",
+       "O(under-replicated * N) target selection", 1, true},
+      {"HDFS-INVALIDATE-1", S::kHdfs, P::kDecommission, kSer, 400,
+       "block invalidation queues drain serially",
+       "O(blocks) invalidations through one monitor thread", 0, true},
+      {"HDFS-LEASE-1", S::kHdfs, P::kFailover, kSer, 900,
+       "lease recovery storm after client-heavy failover",
+       "O(leases) recovered under one lock", 1, true},
+      {"HDFS-SNAPSHOT-1", S::kHdfs, P::kDataPath, kCpu, 300,
+       "snapshot diff computation grows with namespace and cluster",
+       "O(inodes * snapshots) diff walks", 1, true},
+      {"HDFS-BALANCER-1", S::kHdfs, P::kRebalance, kCpu, 600,
+       "balancer iteration time superlinear in datanode count",
+       "O(N^2) source/target pairing", 1, true},
+      {"HDFS-REGISTER-1", S::kHdfs, P::kBootstrap, kSer, 1500,
+       "datanode re-registration stampede serialized",
+       "O(N) registrations through one RPC handler pool", 1, true},
+      {"HDFS-EDITLOG-1", S::kHdfs, P::kDataPath, kSer, 1000,
+       "edit-log sync becomes the cluster-wide serialization point",
+       "O(ops) fsync-bound journal", 1, true},
+
+      // ---- Riak (1) -----------------------------------------------------------------
+      {"RIAK-RING-1", S::kRiak, P::kScaleOut, kCpu, 200,
+       "ring gossip convergence stalls on large rings",
+       "O(ring-size^2) ring reconciliation", 1, true},
+
+      // ---- Voldemort (1) ---------------------------------------------------------------
+      {"VOLDEMORT-REBAL-1", S::kVoldemort, P::kRebalance, kCpu, 150,
+       "rebalance plan generation takes hours",
+       "O(N^2 * partitions) move computation", 2, true},
+  };
+  return bugs;
+}
+
+}  // namespace
+
+const std::vector<StudyBug>& BugDatabase::All() {
+  static const std::vector<StudyBug>* bugs = new std::vector<StudyBug>(BuildAll());
+  return *bugs;
+}
+
+std::vector<StudyBug> BugDatabase::BySystem(StudySystem system) {
+  std::vector<StudyBug> out;
+  for (const StudyBug& bug : All()) {
+    if (bug.system == system) {
+      out.push_back(bug);
+    }
+  }
+  return out;
+}
+
+std::vector<StudyBug> BugDatabase::ByRootCause(RootCauseClass c) {
+  std::vector<StudyBug> out;
+  for (const StudyBug& bug : All()) {
+    if (bug.root_cause == c) {
+      out.push_back(bug);
+    }
+  }
+  return out;
+}
+
+std::vector<StudyBug> BugDatabase::ByProtocol(ProtocolPath p) {
+  std::vector<StudyBug> out;
+  for (const StudyBug& bug : All()) {
+    if (bug.protocol == p) {
+      out.push_back(bug);
+    }
+  }
+  return out;
+}
+
+std::map<StudySystem, int> BugDatabase::CountBySystem() {
+  std::map<StudySystem, int> counts;
+  for (const StudyBug& bug : All()) {
+    ++counts[bug.system];
+  }
+  return counts;
+}
+
+double BugDatabase::AverageFixMonths() {
+  double total = 0;
+  for (const StudyBug& bug : All()) {
+    total += bug.fix_months;
+  }
+  return total / static_cast<double>(All().size());
+}
+
+int BugDatabase::MaxFixMonths() {
+  int max_months = 0;
+  for (const StudyBug& bug : All()) {
+    max_months = std::max(max_months, bug.fix_months);
+  }
+  return max_months;
+}
+
+double BugDatabase::CpuComputationFraction() {
+  int cpu = 0;
+  for (const StudyBug& bug : All()) {
+    if (bug.root_cause == RootCauseClass::kScaleDependentComputation) {
+      ++cpu;
+    }
+  }
+  return static_cast<double>(cpu) / static_cast<double>(All().size());
+}
+
+double BugDatabase::FractionRequiringScale(int nodes) {
+  int above = 0;
+  for (const StudyBug& bug : All()) {
+    if (bug.symptom_scale > nodes) {
+      ++above;
+    }
+  }
+  return static_cast<double>(above) / static_cast<double>(All().size());
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/dfs/dfs.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(NamesTest, RunModes) {
+  EXPECT_STREQ(RunModeName(RunMode::kRealScale), "Real");
+  EXPECT_STREQ(RunModeName(RunMode::kColocated), "Colo");
+  EXPECT_STREQ(RunModeName(RunMode::kMemoize), "Memoize");
+  EXPECT_STREQ(RunModeName(RunMode::kPilReplay), "SC+PIL");
+}
+
+TEST(NamesTest, CalcPlacements) {
+  EXPECT_STREQ(CalcPlacementName(CalcPlacement::kInlineGossipStage),
+               "inline-gossip-stage");
+  EXPECT_STREQ(CalcPlacementName(CalcPlacement::kSeparateThreadCoarseLock),
+               "coarse-lock");
+  EXPECT_STREQ(CalcPlacementName(CalcPlacement::kSeparateThreadClone),
+               "clone-early-release");
+}
+
+TEST(NamesTest, ExecModels) {
+  EXPECT_STREQ(ExecModelName(ExecModel::kProcessPerNode), "process-per-node");
+  EXPECT_STREQ(ExecModelName(ExecModel::kSedaSingleProcess), "seda-single-process");
+}
+
+TEST(NamesTest, Workloads) {
+  EXPECT_STREQ(WorkloadKindName(WorkloadKind::kSteadyState), "steady-state");
+  EXPECT_STREQ(WorkloadKindName(WorkloadKind::kDecommission), "decommission");
+  EXPECT_STREQ(WorkloadKindName(WorkloadKind::kScaleOut), "scale-out");
+  EXPECT_STREQ(WorkloadKindName(WorkloadKind::kBootstrapFresh), "bootstrap-fresh");
+  EXPECT_STREQ(WorkloadKindName(WorkloadKind::kFailover), "failover");
+  EXPECT_STREQ(WorkloadKindName(WorkloadKind::kRebalance), "rebalance");
+}
+
+TEST(NamesTest, CalcVersions) {
+  EXPECT_STREQ(CalcVersionName(CalcVersion::kReference), "reference");
+  EXPECT_STREQ(CalcVersionName(CalcVersion::kV1PreC3831), "v1-pre-C3831");
+  EXPECT_STREQ(CalcVersionName(CalcVersion::kV2C3831Fix), "v2-C3831-fix");
+  EXPECT_STREQ(CalcVersionName(CalcVersion::kV3C3881Fix), "v3-C3881-fix");
+  EXPECT_STREQ(CalcVersionName(CalcVersion::kBootstrapC6127), "bootstrap-C6127");
+}
+
+TEST(NamesTest, WorkloadDescribeMentionsEverything) {
+  WorkloadSpec wl;
+  wl.kind = WorkloadKind::kScaleOut;
+  wl.joining_nodes = 16;
+  std::string desc = wl.Describe();
+  EXPECT_NE(desc.find("scale-out"), std::string::npos);
+  EXPECT_NE(desc.find("join=16"), std::string::npos);
+}
+
+TEST(NamesTest, ConfigHelpers) {
+  ClusterConfig config;
+  config.exec_model = ExecModel::kProcessPerNode;
+  EXPECT_EQ(config.RuntimeOverheadBytes(), 70LL * 1024 * 1024);
+  config.exec_model = ExecModel::kSedaSingleProcess;
+  EXPECT_EQ(config.RuntimeOverheadBytes(), 5LL * 1024 * 1024);
+  EXPECT_LT(config.CtxSwitchPenalty(), config.machine_spec.ctx_switch_penalty);
+}
+
+TEST(NamesTest, RunResultSummaryIsInformative) {
+  RunResult r;
+  r.mode = RunMode::kPilReplay;
+  r.num_nodes = 64;
+  r.flaps = 1234;
+  std::string summary = r.Summary();
+  EXPECT_NE(summary.find("SC+PIL"), std::string::npos);
+  EXPECT_NE(summary.find("N=64"), std::string::npos);
+  EXPECT_NE(summary.find("flaps=1234"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/common/hash.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(Fnv1a, KnownProperties) {
+  EXPECT_EQ(Fnv1a64("", 0), 0xcbf29ce484222325ULL);  // offset basis
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+  EXPECT_EQ(Fnv1a64("hello"), Fnv1a64(std::string_view("hello")));
+}
+
+TEST(Mix64, BijectiveSmoke) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    outputs.insert(Mix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(HashCombineFn, OrderMatters) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(DigestTest, DeterministicAcrossInstances) {
+  Digest a;
+  a.Add(int64_t{42}).Add(3.14).Add(std::string_view("ring")).Add(true);
+  Digest b;
+  b.Add(int64_t{42}).Add(3.14).Add(std::string_view("ring")).Add(true);
+  EXPECT_EQ(a.Finish(), b.Finish());
+}
+
+TEST(DigestTest, TypeTagsDistinguishValues) {
+  Digest signed_d;
+  signed_d.Add(int64_t{1});
+  Digest unsigned_d;
+  unsigned_d.Add(uint64_t{1});
+  EXPECT_NE(signed_d.Finish(), unsigned_d.Finish());
+}
+
+TEST(DigestTest, OrderSensitive) {
+  Digest ab;
+  ab.Add(int64_t{1}).Add(int64_t{2});
+  Digest ba;
+  ba.Add(int64_t{2}).Add(int64_t{1});
+  EXPECT_NE(ab.Finish(), ba.Finish());
+}
+
+TEST(DigestTest, StringBoundariesMatter) {
+  // ("ab", "c") must differ from ("a", "bc").
+  Digest x;
+  x.Add(std::string_view("ab")).Add(std::string_view("c"));
+  Digest y;
+  y.Add(std::string_view("a")).Add(std::string_view("bc"));
+  EXPECT_NE(x.Finish(), y.Finish());
+}
+
+TEST(DigestTest, NegativeZeroNormalized) {
+  Digest pos;
+  pos.Add(0.0);
+  Digest neg;
+  neg.Add(-0.0);
+  EXPECT_EQ(pos.Finish(), neg.Finish());
+}
+
+TEST(DigestTest, RangeIncludesLength) {
+  Digest one;
+  one.AddRange(std::vector<uint64_t>{7});
+  Digest two;
+  two.AddRange(std::vector<uint64_t>{7, 7});
+  EXPECT_NE(one.Finish(), two.Finish());
+}
+
+TEST(DigestTest, CollisionSmoke) {
+  // 100k distinct inputs, no collisions expected from a 128-bit digest.
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (int64_t i = 0; i < 100000; ++i) {
+    Digest d;
+    d.Add(i).Add(i * 31);
+    DigestValue v = d.Finish();
+    EXPECT_TRUE(seen.emplace(v.lo, v.hi).second) << "collision at " << i;
+  }
+}
+
+TEST(DigestValueTest, HexRendering) {
+  DigestValue v{0x1234, 0xabcd};
+  EXPECT_EQ(v.ToHex(), "000000000000abcd0000000000001234");
+}
+
+TEST(DigestValueTest, HashUsableInMaps) {
+  DigestValueHash h;
+  DigestValue a{1, 2};
+  DigestValue b{1, 3};
+  EXPECT_NE(h(a), h(b));
+}
+
+}  // namespace
+}  // namespace scalecheck

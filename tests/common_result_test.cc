@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "src/common/result.h"
+#include "src/pil/memo_store.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllFactoriesProduceTheirCode) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::CorruptData("").code(), StatusCode::kCorruptData);
+  EXPECT_EQ(Status::FailedPrecondition("").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IoError("disk gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOnErrorDies) {
+  Result<int> r(Status::NotFound("x"));
+  EXPECT_DEATH(r.value(), "value\\(\\) on error");
+}
+
+TEST(ResultTest, OkStatusWithoutValueDies) {
+  EXPECT_DEATH(Result<int>(Status::Ok()), "without a value");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string(1000, 'a'));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved.size(), 1000u);
+}
+
+TEST(MemoStoreStatusApi, SaveLoadRoundTrip) {
+  MemoStore store;
+  MemoRecord rec;
+  rec.output = {1, 2};
+  rec.cpu_duration = VirtualDuration::Millis(3);
+  store.Put(1, DigestValue{9, 9}, std::move(rec));
+  const char* path = "/tmp/scalecheck_result_api.memo";
+  ASSERT_TRUE(store.Save(path).ok());
+  Result<MemoStore> loaded = MemoStore::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().size(), 1u);
+  std::remove(path);
+}
+
+TEST(MemoStoreStatusApi, LoadMissingFileIsNotFound) {
+  Result<MemoStore> r = MemoStore::Load("/nonexistent/nope.memo");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MemoStoreStatusApi, LoadCorruptFileIsCorruptData) {
+  const char* path = "/tmp/scalecheck_corrupt.memo";
+  std::FILE* f = std::fopen(path, "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a memo db", f);
+  std::fclose(f);
+  Result<MemoStore> r = MemoStore::Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+  std::remove(path);
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "src/common/types.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(VirtualDuration, FactoriesAndAccessors) {
+  EXPECT_EQ(VirtualDuration::Nanos(5).nanos(), 5);
+  EXPECT_EQ(VirtualDuration::Micros(3).nanos(), 3000);
+  EXPECT_EQ(VirtualDuration::Millis(2).nanos(), 2000000);
+  EXPECT_EQ(VirtualDuration::Seconds(1).nanos(), 1000000000);
+  EXPECT_EQ(VirtualDuration::Minutes(1).nanos(), 60000000000LL);
+  EXPECT_DOUBLE_EQ(VirtualDuration::Seconds(2).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(VirtualDuration::Minutes(3).minutes(), 3.0);
+}
+
+TEST(VirtualDuration, Arithmetic) {
+  VirtualDuration a = VirtualDuration::Seconds(2);
+  VirtualDuration b = VirtualDuration::Millis(500);
+  EXPECT_EQ((a + b).millis(), 2500);
+  EXPECT_EQ((a - b).millis(), 1500);
+  EXPECT_EQ((b * 4).seconds(), 2.0);
+  EXPECT_EQ((a / 2).millis(), 1000);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  EXPECT_TRUE((b - a).IsNegative());
+  EXPECT_EQ((-b).millis(), -500);
+}
+
+TEST(VirtualDuration, FromSecondsFRoundTrips) {
+  VirtualDuration d = VirtualDuration::FromSecondsF(1.5);
+  EXPECT_EQ(d.millis(), 1500);
+  EXPECT_EQ(VirtualDuration::FromSecondsF(0.0).nanos(), 0);
+}
+
+TEST(VirtualDuration, Comparisons) {
+  EXPECT_LT(VirtualDuration::Millis(1), VirtualDuration::Millis(2));
+  EXPECT_EQ(VirtualDuration::Seconds(1), VirtualDuration::Millis(1000));
+  EXPECT_TRUE(VirtualDuration::Zero().IsZero());
+}
+
+TEST(VirtualDuration, ToStringPicksUnits) {
+  EXPECT_EQ(VirtualDuration::Nanos(12).ToString(), "12ns");
+  EXPECT_EQ(VirtualDuration::Micros(3).ToString(), "3.000us");
+  EXPECT_EQ(VirtualDuration::Millis(7).ToString(), "7.000ms");
+  EXPECT_EQ(VirtualDuration::Seconds(2).ToString(), "2.000s");
+  EXPECT_EQ(VirtualDuration::Minutes(2).ToString(), "2.00min");
+  EXPECT_EQ((-VirtualDuration::Millis(7)).ToString(), "-7.000ms");
+}
+
+TEST(VirtualTime, Arithmetic) {
+  VirtualTime t = VirtualTime::Zero() + VirtualDuration::Seconds(10);
+  EXPECT_EQ(t.nanos(), 10000000000LL);
+  VirtualTime u = t + VirtualDuration::Seconds(5);
+  EXPECT_EQ((u - t).seconds(), 5.0);
+  EXPECT_LT(t, u);
+  EXPECT_EQ((t - VirtualDuration::Seconds(10)), VirtualTime::Zero());
+}
+
+TEST(VirtualTime, MaxIsLargest) {
+  EXPECT_LT(VirtualTime::Zero() + VirtualDuration::Minutes(100000), VirtualTime::Max());
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,94 @@
+// The second scale-check target (src/dfs/): startup behaviour, the storm
+// threshold, and PIL application to the re-replication scan.
+
+#include <gtest/gtest.h>
+
+#include "src/dfs/dfs.h"
+
+namespace scalecheck {
+namespace {
+
+DfsConfig SmallConfig(int n) {
+  DfsConfig config;
+  config.datanodes = n;
+  config.horizon = VirtualDuration::Seconds(200);
+  return config;
+}
+
+TEST(DfsTest, SmallClusterStartsCleanly) {
+  DfsResult r = RunDfsStartup(SmallConfig(16), DfsMode::kRealScale);
+  EXPECT_TRUE(r.stabilized) << r.Summary();
+  EXPECT_EQ(r.dead_marks, 0);
+  EXPECT_EQ(r.re_registrations, 0);
+  EXPECT_EQ(r.reports_processed, 16);  // one initial report per DataNode
+  EXPECT_EQ(r.scans_run, 0);
+}
+
+TEST(DfsTest, DeterministicAcrossRuns) {
+  DfsResult a = RunDfsStartup(SmallConfig(24), DfsMode::kRealScale);
+  DfsResult b = RunDfsStartup(SmallConfig(24), DfsMode::kRealScale);
+  EXPECT_EQ(a.dead_marks, b.dead_marks);
+  EXPECT_EQ(a.reports_processed, b.reports_processed);
+  EXPECT_EQ(a.test_duration.nanos(), b.test_duration.nanos());
+}
+
+TEST(DfsTest, ReportBacklogStarvesHeartbeatsAtScale) {
+  // Same configuration, growing N: heartbeat shedding appears once the
+  // serialized report backlog exceeds the handler timeout, and dead marks
+  // once it exceeds the expiry interval.
+  DfsResult small = RunDfsStartup(SmallConfig(16), DfsMode::kRealScale);
+  DfsResult medium = RunDfsStartup(SmallConfig(64), DfsMode::kRealScale);
+  DfsResult large = RunDfsStartup(SmallConfig(192), DfsMode::kRealScale);
+  EXPECT_EQ(small.reports_shed, 0);
+  EXPECT_GT(medium.reports_shed, 0);  // shedding, but no expiries yet
+  EXPECT_EQ(medium.dead_marks, 0);
+  EXPECT_GT(large.dead_marks, 50) << large.Summary();  // the storm
+  EXPECT_GT(large.re_registrations, 10);
+  EXPECT_FALSE(large.stabilized);
+}
+
+TEST(DfsTest, ScansTakeThePilInReplay) {
+  // Use the storm configuration so scans actually run.
+  DfsConfig config = SmallConfig(192);
+  MemoStore store;
+  DfsResult memoized = RunDfsStartup(config, DfsMode::kMemoize, &store);
+  ASSERT_GT(memoized.scans_run, 0) << memoized.Summary();
+  EXPECT_GT(store.size(), 0u);
+  EXPECT_GT(memoized.pil.memoized_runs, 0u);
+
+  DfsResult replay = RunDfsStartup(config, DfsMode::kPilReplay, &store);
+  EXPECT_GT(replay.pil.replay_hits + replay.pil.replay_misses, 0u);
+  EXPECT_EQ(replay.pil.direct_runs, 0u);
+  // Replay reproduces the storm verdict.
+  EXPECT_EQ(replay.stabilized, memoized.stabilized);
+  EXPECT_GT(replay.dead_marks, 50);
+}
+
+TEST(DfsTest, ReplayTracksRealScale) {
+  DfsConfig config = SmallConfig(96);
+  DfsResult real = RunDfsStartup(config, DfsMode::kRealScale);
+  MemoStore store;
+  RunDfsStartup(config, DfsMode::kMemoize, &store);
+  DfsResult replay = RunDfsStartup(config, DfsMode::kPilReplay, &store);
+  EXPECT_EQ(replay.stabilized, real.stabilized);
+  EXPECT_EQ(replay.dead_marks, real.dead_marks);
+}
+
+TEST(DfsTest, PeriodicReportsContinueAfterStartup) {
+  DfsConfig config = SmallConfig(8);
+  config.report_interval = VirtualDuration::Seconds(7);
+  config.horizon = VirtualDuration::Seconds(200);
+  DfsResult r = RunDfsStartup(config, DfsMode::kRealScale);
+  // Initial 8 + periodic re-reports until stabilization stopped the run.
+  EXPECT_GT(r.reports_processed, 8);
+}
+
+TEST(DfsTest, ModeNamesResolve) {
+  EXPECT_STREQ(DfsModeName(DfsMode::kRealScale), "Real");
+  EXPECT_STREQ(DfsModeName(DfsMode::kColocated), "Colo");
+  EXPECT_STREQ(DfsModeName(DfsMode::kMemoize), "Memoize");
+  EXPECT_STREQ(DfsModeName(DfsMode::kPilReplay), "SC+PIL");
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "src/gossip/endpoint_state.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(EndpointStateTest, MaxVersionCoversHeartbeatAndAppStates) {
+  EndpointState state(1);
+  state.mutable_heartbeat().version = 5;
+  EXPECT_EQ(state.MaxVersion(), 5);
+  VersionedValue status;
+  status.version = 9;
+  status.status = StatusKind::kNormal;
+  state.Set(ApplicationStateKey::kStatus, status);
+  EXPECT_EQ(state.MaxVersion(), 9);
+  state.mutable_heartbeat().version = 12;
+  EXPECT_EQ(state.MaxVersion(), 12);
+}
+
+TEST(EndpointStateTest, StatusAccessors) {
+  EndpointState state(1);
+  EXPECT_EQ(state.Status(), StatusKind::kUnknown);
+  EXPECT_TRUE(state.Tokens().empty());
+  VersionedValue status;
+  status.status = StatusKind::kLeaving;
+  status.tokens = {10, 20};
+  state.Set(ApplicationStateKey::kStatus, status);
+  EXPECT_EQ(state.Status(), StatusKind::kLeaving);
+  EXPECT_EQ(state.Tokens(), (std::vector<Token>{10, 20}));
+}
+
+TEST(EndpointStateTest, TokensFallBackToTokensState) {
+  EndpointState state(1);
+  VersionedValue tokens;
+  tokens.tokens = {7};
+  state.Set(ApplicationStateKey::kTokens, tokens);
+  EXPECT_EQ(state.Tokens(), std::vector<Token>{7});
+}
+
+TEST(EndpointStateTest, GetReturnsNullForMissingKeys) {
+  EndpointState state(1);
+  EXPECT_EQ(state.Get(ApplicationStateKey::kLoad), nullptr);
+  VersionedValue load;
+  load.load = 0.7;
+  state.Set(ApplicationStateKey::kLoad, load);
+  ASSERT_NE(state.Get(ApplicationStateKey::kLoad), nullptr);
+  EXPECT_DOUBLE_EQ(state.Get(ApplicationStateKey::kLoad)->load, 0.7);
+}
+
+TEST(EndpointStateTest, WireSizeGrowsWithContent) {
+  EndpointState bare(1);
+  EndpointState rich(1);
+  VersionedValue status;
+  status.status = StatusKind::kNormal;
+  status.tokens.assign(100, 1);
+  rich.Set(ApplicationStateKey::kStatus, status);
+  EXPECT_GT(rich.WireSize(), bare.WireSize() + 100 * 8 - 1);
+}
+
+TEST(EndpointStateTest, DigestReflectsAllFields) {
+  auto digest_of = [](int64_t gen, int64_t hb, StatusKind s) {
+    EndpointState state(gen);
+    state.mutable_heartbeat().version = hb;
+    VersionedValue status;
+    status.version = 1;
+    status.status = s;
+    state.Set(ApplicationStateKey::kStatus, status);
+    Digest d;
+    state.AddToDigest(&d);
+    return d.Finish();
+  };
+  DigestValue base = digest_of(1, 1, StatusKind::kNormal);
+  EXPECT_NE(digest_of(2, 1, StatusKind::kNormal), base);
+  EXPECT_NE(digest_of(1, 2, StatusKind::kNormal), base);
+  EXPECT_NE(digest_of(1, 1, StatusKind::kLeaving), base);
+  EXPECT_EQ(digest_of(1, 1, StatusKind::kNormal), base);
+}
+
+TEST(StatusKindNames, AllDistinct) {
+  EXPECT_STREQ(StatusKindName(StatusKind::kBootstrapping), "BOOT");
+  EXPECT_STREQ(StatusKindName(StatusKind::kNormal), "NORMAL");
+  EXPECT_STREQ(StatusKindName(StatusKind::kLeaving), "LEAVING");
+  EXPECT_STREQ(StatusKindName(StatusKind::kLeft), "LEFT");
+  EXPECT_STREQ(StatusKindName(StatusKind::kRemoved), "REMOVED");
+}
+
+}  // namespace
+}  // namespace scalecheck

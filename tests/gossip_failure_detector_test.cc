@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "src/gossip/failure_detector.h"
+
+namespace scalecheck {
+namespace {
+
+VirtualTime At(double s) {
+  return VirtualTime::Zero() + VirtualDuration::FromSecondsF(s);
+}
+
+PhiAccrualFailureDetector MakeFd(double threshold = 8.0) {
+  PhiAccrualFailureDetector::Config cfg;
+  cfg.threshold = threshold;
+  return PhiAccrualFailureDetector(cfg);
+}
+
+TEST(ArrivalWindow, PhiZeroBeforeArrivals) {
+  ArrivalWindow w(100, VirtualDuration::Seconds(1));
+  EXPECT_DOUBLE_EQ(w.Phi(At(100)), 0.0);
+  EXPECT_FALSE(w.has_arrivals());
+}
+
+TEST(ArrivalWindow, PhiGrowsMonotonicallyInSilence) {
+  ArrivalWindow w(100, VirtualDuration::Seconds(1));
+  w.Add(At(0));
+  w.Add(At(1));
+  double last = 0;
+  for (int s = 2; s < 40; ++s) {
+    double phi = w.Phi(At(s));
+    EXPECT_GT(phi, last);
+    last = phi;
+  }
+}
+
+TEST(ArrivalWindow, PhiResetsOnArrival) {
+  ArrivalWindow w(100, VirtualDuration::Seconds(1));
+  w.Add(At(0));
+  w.Add(At(1));
+  double before = w.Phi(At(20));
+  w.Add(At(20));
+  EXPECT_LT(w.Phi(At(20.5)), before);
+}
+
+TEST(ArrivalWindow, KnownPhiValue) {
+  // Mean interval primed at exactly 1s: phi(t) = 0.4343 * elapsed.
+  ArrivalWindow w(100, VirtualDuration::Seconds(1));
+  w.Add(At(0));
+  w.Add(At(1));  // interval sample: 1s, window mean stays 1s
+  EXPECT_NEAR(w.Phi(At(1 + 10)), 4.343, 0.01);
+  EXPECT_NEAR(w.MeanIntervalSeconds(), 1.0, 1e-9);
+}
+
+TEST(ArrivalWindow, WindowAdaptsToSlowerIntervals) {
+  ArrivalWindow w(4, VirtualDuration::Seconds(1));
+  double t = 0;
+  for (int i = 0; i < 20; ++i) {
+    t += 5.0;  // consistently slow heartbeats
+    w.Add(At(t));
+  }
+  EXPECT_NEAR(w.MeanIntervalSeconds(), 5.0, 1e-9);
+  // 10s of silence is only 2 mean intervals now: low suspicion.
+  EXPECT_LT(w.Phi(At(t + 10)), 1.0);
+}
+
+TEST(PhiAccrualFd, ConvictsAfterLongSilence) {
+  PhiAccrualFailureDetector fd = MakeFd();
+  fd.Report(7, At(0));
+  fd.Report(7, At(1));
+  fd.Report(7, At(2));
+  EXPECT_FALSE(fd.IsConvicted(7, At(5)));
+  // phi crosses 8 at elapsed ~ 8/0.4343 ~ 18.4 mean intervals.
+  EXPECT_TRUE(fd.IsConvicted(7, At(2 + 20)));
+}
+
+TEST(PhiAccrualFd, UnknownEndpointNeverConvicted) {
+  PhiAccrualFailureDetector fd = MakeFd();
+  EXPECT_DOUBLE_EQ(fd.Phi(42, At(1000)), 0.0);
+  EXPECT_FALSE(fd.IsConvicted(42, At(1000)));
+  EXPECT_FALSE(fd.IsMonitoring(42));
+}
+
+TEST(PhiAccrualFd, ForgetStopsMonitoring) {
+  PhiAccrualFailureDetector fd = MakeFd();
+  fd.Report(7, At(0));
+  EXPECT_TRUE(fd.IsMonitoring(7));
+  fd.Forget(7);
+  EXPECT_FALSE(fd.IsMonitoring(7));
+  EXPECT_DOUBLE_EQ(fd.Phi(7, At(50)), 0.0);
+}
+
+TEST(PhiAccrualFd, DuplicateReportsWithinMinIntervalIgnored) {
+  PhiAccrualFailureDetector fd = MakeFd();
+  fd.Report(7, At(0));
+  fd.Report(7, At(1));
+  double phi_before = fd.Phi(7, At(3));
+  // A burst of reports 1ms apart must not poison the window mean.
+  fd.Report(7, At(3));
+  fd.Report(7, At(3.001));
+  fd.Report(7, At(3.002));
+  EXPECT_GT(fd.Phi(7, At(6)), phi_before * 0.5);
+}
+
+class PhiThresholdTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PhiThresholdTest, ConvictionTimeScalesWithThreshold) {
+  double threshold = GetParam();
+  PhiAccrualFailureDetector::Config cfg;
+  cfg.threshold = threshold;
+  PhiAccrualFailureDetector fd(cfg);
+  fd.Report(1, At(0));
+  fd.Report(1, At(1));
+  // Mean interval 1s: conviction at elapsed = threshold / 0.4343.
+  double conviction_elapsed = threshold / 0.4342944819032518;
+  EXPECT_FALSE(fd.IsConvicted(1, At(1 + conviction_elapsed * 0.95)));
+  EXPECT_TRUE(fd.IsConvicted(1, At(1 + conviction_elapsed * 1.05)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, PhiThresholdTest,
+                         ::testing::Values(2.0, 5.0, 8.0, 12.0, 16.0));
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "src/gossip/flap_counter.h"
+
+namespace scalecheck {
+namespace {
+
+VirtualTime At(int64_t s) { return VirtualTime::Zero() + VirtualDuration::Seconds(s); }
+
+TEST(FlapCounterTest, CountsDownTransitions) {
+  FlapCounter fc;
+  fc.RecordDown(1, 2, At(10));
+  fc.RecordDown(1, 3, At(11));
+  fc.RecordDown(2, 3, At(12));
+  EXPECT_EQ(fc.total_flaps(), 3);
+  EXPECT_EQ(fc.flapped_pairs(), 3);
+  EXPECT_EQ(fc.FlapsByObserver(1), 2);
+  EXPECT_EQ(fc.FlapsByObserver(2), 1);
+  EXPECT_EQ(fc.FlapsByObserver(9), 0);
+}
+
+TEST(FlapCounterTest, RepeatedFlapsOnSamePairAccumulate) {
+  FlapCounter fc;
+  fc.RecordDown(1, 2, At(10));
+  fc.RecordUp(1, 2, At(15));
+  fc.RecordDown(1, 2, At(20));
+  EXPECT_EQ(fc.total_flaps(), 2);
+  EXPECT_EQ(fc.flapped_pairs(), 1);
+}
+
+TEST(FlapCounterTest, DowntimeMeasuredBetweenDownAndUp) {
+  FlapCounter fc;
+  fc.RecordDown(1, 2, At(10));
+  fc.RecordUp(1, 2, At(17));
+  EXPECT_EQ(fc.downtime_seconds().count(), 1);
+  EXPECT_DOUBLE_EQ(fc.downtime_seconds().mean(), 7.0);
+}
+
+TEST(FlapCounterTest, UpWithoutDownIsIgnored) {
+  FlapCounter fc;
+  fc.RecordUp(1, 2, At(5));
+  EXPECT_EQ(fc.total_flaps(), 0);
+  EXPECT_EQ(fc.downtime_seconds().count(), 0);
+}
+
+TEST(FlapCounterTest, TimelineBucketsBy10Seconds) {
+  FlapCounter fc;
+  fc.RecordDown(1, 2, At(5));    // bucket 0
+  fc.RecordDown(1, 3, At(15));   // bucket 1
+  fc.RecordDown(2, 3, At(17));   // bucket 1
+  ASSERT_EQ(fc.timeline().size(), 2u);
+  EXPECT_EQ(fc.timeline().at(0), 1);
+  EXPECT_EQ(fc.timeline().at(1), 2);
+}
+
+TEST(FlapCounterTest, ResetClearsEverything) {
+  FlapCounter fc;
+  fc.RecordDown(1, 2, At(5));
+  fc.Reset();
+  EXPECT_EQ(fc.total_flaps(), 0);
+  EXPECT_EQ(fc.flapped_pairs(), 0);
+  EXPECT_TRUE(fc.timeline().empty());
+}
+
+}  // namespace
+}  // namespace scalecheck

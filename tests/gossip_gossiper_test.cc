@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/gossip/gossiper.h"
+
+namespace scalecheck {
+namespace {
+
+// Runs a full SYN/ACK/ACK2 exchange from `a` to `b` (a initiates).
+void Exchange(Gossiper* a, Gossiper* b) {
+  std::vector<GossipDigest> syn = a->MakeSynDigests();
+  std::vector<GossipDigest> requests;
+  EndpointStateMap ack_states;
+  b->HandleSyn(syn, &requests, &ack_states);
+  a->ApplyStates(ack_states);                                  // ACK receipt
+  EndpointStateMap ack2_states = a->StatesForRequests(requests);
+  b->ApplyStates(ack2_states);                                 // ACK2 receipt
+}
+
+VersionedValue NormalStatus(std::vector<Token> tokens) {
+  VersionedValue v;
+  v.status = StatusKind::kNormal;
+  v.tokens = std::move(tokens);
+  return v;
+}
+
+TEST(GossiperTest, HeartbeatVersionsIncrease) {
+  Gossiper g(1, 1, {});
+  int64_t v0 = g.LocalState().heartbeat().version;
+  g.IncrementHeartbeat();
+  g.IncrementHeartbeat();
+  EXPECT_GT(g.LocalState().heartbeat().version, v0);
+  EXPECT_EQ(g.LocalState().MaxVersion(), g.LocalState().heartbeat().version);
+}
+
+TEST(GossiperTest, TwoNodeExchangeConverges) {
+  Gossiper a(1, 1, {});
+  Gossiper b(2, 1, {});
+  a.SetLocalState(ApplicationStateKey::kStatus, NormalStatus({100}));
+  b.SetLocalState(ApplicationStateKey::kStatus, NormalStatus({200}));
+  a.AddKnownEndpoint(2, EndpointState(0));  // knows address only
+  Exchange(&a, &b);
+  // After one full exchange both know both (a learns b via ACK, b learns a
+  // via ACK2 request).
+  ASSERT_NE(a.StateOf(2), nullptr);
+  ASSERT_NE(b.StateOf(1), nullptr);
+  EXPECT_EQ(a.StateOf(2)->Status(), StatusKind::kNormal);
+  EXPECT_EQ(b.StateOf(1)->Tokens(), std::vector<Token>{100});
+}
+
+TEST(GossiperTest, DeltasOnlyCarryNewVersions) {
+  Gossiper a(1, 1, {});
+  Gossiper b(2, 1, {});
+  a.SetLocalState(ApplicationStateKey::kStatus, NormalStatus({100}));
+  b.SetLocalState(ApplicationStateKey::kStatus, NormalStatus({200}));
+  a.AddKnownEndpoint(2, EndpointState(0));
+  Exchange(&a, &b);
+  Exchange(&a, &b);
+
+  // Now only a's heartbeat advances; the next ACK for a must not re-ship the
+  // STATUS app state.
+  a.IncrementHeartbeat();
+  std::vector<GossipDigest> syn = a.MakeSynDigests();
+  std::vector<GossipDigest> requests;
+  EndpointStateMap send;
+  b.HandleSyn(syn, &requests, &send);
+  ASSERT_EQ(requests.size(), 1u);  // b wants a's delta
+  EXPECT_EQ(requests[0].endpoint, 1);
+  EndpointStateMap delta = a.StatesForRequests(requests);
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_TRUE(delta.at(1).app_states().empty());  // heartbeat only
+}
+
+TEST(GossiperTest, StatusChangeCallbackFires) {
+  std::vector<std::pair<NodeId, StatusKind>> changes;
+  Gossiper::Callbacks callbacks;
+  callbacks.on_status_change = [&](NodeId ep, StatusKind, StatusKind now) {
+    changes.emplace_back(ep, now);
+  };
+  Gossiper a(1, 1, callbacks);
+
+  Gossiper b(2, 1, {});
+  b.SetLocalState(ApplicationStateKey::kStatus, NormalStatus({200}));
+  EndpointStateMap states;
+  states.emplace(2, b.LocalState());
+  a.ApplyStates(states);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].first, 2);
+  EXPECT_EQ(changes[0].second, StatusKind::kNormal);
+
+  // Same state again: no duplicate callback (version not newer).
+  a.ApplyStates(states);
+  EXPECT_EQ(changes.size(), 1u);
+
+  // Status upgrade to LEAVING.
+  VersionedValue leaving;
+  leaving.status = StatusKind::kLeaving;
+  b.SetLocalState(ApplicationStateKey::kStatus, leaving);
+  EndpointStateMap states2;
+  states2.emplace(2, b.LocalState());
+  a.ApplyStates(states2);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[1].second, StatusKind::kLeaving);
+}
+
+TEST(GossiperTest, HeartbeatCallbackOnlyOnAdvance) {
+  int heartbeats = 0;
+  Gossiper::Callbacks callbacks;
+  callbacks.on_heartbeat = [&](NodeId) { ++heartbeats; };
+  Gossiper a(1, 1, callbacks);
+  Gossiper b(2, 1, {});
+  b.IncrementHeartbeat();
+  EndpointStateMap states;
+  states.emplace(2, b.LocalState());
+  a.ApplyStates(states);  // discovery
+  EXPECT_EQ(heartbeats, 1);
+  a.ApplyStates(states);  // same version: no callback
+  EXPECT_EQ(heartbeats, 1);
+  b.IncrementHeartbeat();
+  EndpointStateMap newer;
+  newer.emplace(2, b.LocalState());
+  a.ApplyStates(newer);
+  EXPECT_EQ(heartbeats, 2);
+}
+
+TEST(GossiperTest, RestartReplacesState) {
+  int restarts = 0;
+  Gossiper::Callbacks callbacks;
+  callbacks.on_restart = [&](NodeId) { ++restarts; };
+  Gossiper a(1, 1, callbacks);
+
+  EndpointState old_instance(/*generation=*/1);
+  old_instance.mutable_heartbeat().version = 50;
+  EndpointStateMap states;
+  states.emplace(2, old_instance);
+  a.ApplyStates(states);
+
+  EndpointState new_instance(/*generation=*/2);  // rebooted
+  new_instance.mutable_heartbeat().version = 1;
+  EndpointStateMap states2;
+  states2.emplace(2, new_instance);
+  a.ApplyStates(states2);
+  EXPECT_EQ(restarts, 1);
+  EXPECT_EQ(a.StateOf(2)->heartbeat().generation, 2);
+  EXPECT_EQ(a.StateOf(2)->heartbeat().version, 1);
+}
+
+TEST(GossiperTest, StaleGenerationIgnored) {
+  Gossiper a(1, 1, {});
+  EndpointState fresh(/*generation=*/5);
+  fresh.mutable_heartbeat().version = 10;
+  EndpointStateMap states;
+  states.emplace(2, fresh);
+  a.ApplyStates(states);
+
+  EndpointState stale(/*generation=*/3);
+  stale.mutable_heartbeat().version = 99;
+  EndpointStateMap stale_states;
+  stale_states.emplace(2, stale);
+  a.ApplyStates(stale_states);
+  EXPECT_EQ(a.StateOf(2)->heartbeat().generation, 5);
+  EXPECT_EQ(a.StateOf(2)->heartbeat().version, 10);
+}
+
+TEST(GossiperTest, SelfStateNeverOverwrittenByGossip) {
+  Gossiper a(1, 1, {});
+  a.IncrementHeartbeat();
+  int64_t my_version = a.LocalState().heartbeat().version;
+  EndpointState impostor(/*generation=*/99);
+  impostor.mutable_heartbeat().version = 1000;
+  EndpointStateMap states;
+  states.emplace(1, impostor);
+  a.ApplyStates(states);
+  EXPECT_EQ(a.LocalState().heartbeat().generation, 1);
+  EXPECT_EQ(a.LocalState().heartbeat().version, my_version);
+}
+
+TEST(GossiperTest, UnknownEndpointsInSynAreSentBack) {
+  Gossiper a(1, 1, {});
+  Gossiper b(2, 1, {});
+  b.AddKnownEndpoint(3, EndpointState(1));  // b knows a third node
+  std::vector<GossipDigest> syn = a.MakeSynDigests();  // mentions only 1
+  std::vector<GossipDigest> requests;
+  EndpointStateMap send;
+  b.HandleSyn(syn, &requests, &send);
+  // b must push its knowledge of 2 (itself) and 3.
+  EXPECT_EQ(send.count(2), 1u);
+  EXPECT_EQ(send.count(3), 1u);
+  // and request node 1's state, unknown to b.
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].endpoint, 1);
+}
+
+TEST(GossiperTest, EpidemicConvergenceAcrossFiveNodes) {
+  // Ring of gossipers; repeated random-ish exchanges must converge all maps.
+  std::vector<std::unique_ptr<Gossiper>> nodes;
+  for (NodeId id = 0; id < 5; ++id) {
+    nodes.push_back(std::make_unique<Gossiper>(id, 1, Gossiper::Callbacks{}));
+    nodes.back()->SetLocalState(ApplicationStateKey::kStatus,
+                                NormalStatus({static_cast<Token>(id * 1000)}));
+  }
+  // Everyone knows only node 0 initially.
+  for (NodeId id = 1; id < 5; ++id) {
+    nodes[static_cast<size_t>(id)]->AddKnownEndpoint(0, EndpointState(0));
+  }
+  for (int round = 0; round < 6; ++round) {
+    for (NodeId id = 0; id < 5; ++id) {
+      nodes[static_cast<size_t>(id)]->IncrementHeartbeat();
+      std::vector<NodeId> peers = nodes[static_cast<size_t>(id)]->LiveEndpoints();
+      if (peers.empty()) {
+        continue;
+      }
+      NodeId peer = peers[static_cast<size_t>(round) % peers.size()];
+      Exchange(nodes[static_cast<size_t>(id)].get(),
+               nodes[static_cast<size_t>(peer)].get());
+    }
+  }
+  for (NodeId id = 0; id < 5; ++id) {
+    EXPECT_EQ(nodes[static_cast<size_t>(id)]->endpoints().size(), 5u)
+        << "node " << id << " did not converge";
+  }
+}
+
+TEST(GossiperTest, WorkEstimatesScaleWithPayload) {
+  Gossiper::WorkCosts costs;
+  SynPayload small_syn;
+  small_syn.digests.resize(2);
+  SynPayload big_syn;
+  big_syn.digests.resize(200);
+  EXPECT_LT(Gossiper::EstimateSynWork(small_syn, costs),
+            Gossiper::EstimateSynWork(big_syn, costs));
+
+  AckPayload ack;
+  ack.states.emplace(1, EndpointState(1));
+  WorkUnits one = Gossiper::EstimateAckWork(ack, costs);
+  ack.states.emplace(2, EndpointState(1));
+  EXPECT_GT(Gossiper::EstimateAckWork(ack, costs), one);
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,81 @@
+// Exalt-style data-space emulation (§4): identical behaviour, collapsed
+// footprint.
+
+#include <gtest/gtest.h>
+
+#include "src/kv/storage_engine.h"
+
+namespace scalecheck {
+namespace {
+
+StorageEngine::Config Emulated() {
+  StorageEngine::Config cfg;
+  cfg.emulate_data_space = true;
+  return cfg;
+}
+
+TEST(DataSpaceEmulation, SizesSurviveContentDoesNot) {
+  StorageEngine engine(Emulated());
+  engine.Put(1, std::string(5000, 'z'), 1);
+  WorkUnits work = 0;
+  auto value = engine.Get(1, &work);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->size(), 5000u);        // size preserved
+  EXPECT_EQ((*value)[0], 'x');            // content synthesized
+}
+
+TEST(DataSpaceEmulation, CpuCostsIdenticalToRealStorage) {
+  // "How data is processed is not affected by the content of the data being
+  // written, but only by its size" — the charged work must match exactly.
+  StorageEngine real;
+  StorageEngine emulated(Emulated());
+  std::string value(1234, 'q');
+  WorkUnits real_put = real.Put(1, value, 1);
+  WorkUnits emu_put = emulated.Put(1, value, 1);
+  EXPECT_EQ(real_put, emu_put);
+  WorkUnits real_get = 0, emu_get = 0;
+  real.Get(1, &real_get);
+  emulated.Get(1, &emu_get);
+  EXPECT_EQ(real_get, emu_get);
+}
+
+TEST(DataSpaceEmulation, FootprintCollapses) {
+  StorageEngine real;
+  StorageEngine emulated(Emulated());
+  for (uint64_t k = 0; k < 100; ++k) {
+    std::string value(10000, 'd');
+    real.Put(k, value, 1);
+    emulated.Put(k, value, 1);
+  }
+  EXPECT_GT(real.ApproxBytes(), 100 * 10000);
+  EXPECT_LT(emulated.ApproxBytes(), real.ApproxBytes() / 50);
+}
+
+TEST(DataSpaceEmulation, TimestampsAndOverwritesStillWork) {
+  StorageEngine engine(Emulated());
+  engine.Put(1, std::string(100, 'a'), 5);
+  engine.Put(1, std::string(999, 'b'), 6);  // newer, bigger
+  engine.Put(1, std::string(5, 'c'), 2);    // stale, ignored
+  WorkUnits work;
+  EXPECT_EQ(engine.Get(1, &work)->size(), 999u);
+}
+
+TEST(DataSpaceEmulation, SurvivesFlushAndCompaction) {
+  StorageEngine::Config cfg = Emulated();
+  cfg.memtable_limit = 4;
+  cfg.compaction_fanin = 2;
+  StorageEngine engine(cfg);
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t k = 0; k < 4; ++k) {
+      engine.Put(k, std::string(100 * (static_cast<size_t>(round) + 1), 'e'),
+                 round + 1);
+    }
+  }
+  WorkUnits work;
+  auto value = engine.Get(2, &work);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->size(), 400u);  // newest round's size
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "src/kv/storage_engine.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(StorageEngineTest, PutThenGet) {
+  StorageEngine engine;
+  engine.Put(42, "hello", 1);
+  WorkUnits work = 0;
+  auto value = engine.Get(42, &work);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "hello");
+  EXPECT_GT(work, 0);
+}
+
+TEST(StorageEngineTest, MissingKeyReturnsNullopt) {
+  StorageEngine engine;
+  WorkUnits work = 0;
+  EXPECT_FALSE(engine.Get(42, &work).has_value());
+}
+
+TEST(StorageEngineTest, NewerTimestampWins) {
+  StorageEngine engine;
+  engine.Put(1, "old", 5);
+  engine.Put(1, "new", 6);
+  WorkUnits work;
+  EXPECT_EQ(*engine.Get(1, &work), "new");
+  // Stale write is ignored.
+  engine.Put(1, "stale", 2);
+  EXPECT_EQ(*engine.Get(1, &work), "new");
+}
+
+TEST(StorageEngineTest, FlushMovesMemtableToRun) {
+  StorageEngine::Config cfg;
+  cfg.memtable_limit = 8;
+  StorageEngine engine(cfg);
+  for (uint64_t k = 0; k < 8; ++k) {
+    engine.Put(k, "v", 1);
+  }
+  EXPECT_EQ(engine.flushes(), 1u);
+  EXPECT_EQ(engine.memtable_entries(), 0u);
+  EXPECT_EQ(engine.num_runs(), 1u);
+  WorkUnits work;
+  EXPECT_TRUE(engine.Get(3, &work).has_value());  // found in the run
+}
+
+TEST(StorageEngineTest, CompactionMergesRuns) {
+  StorageEngine::Config cfg;
+  cfg.memtable_limit = 4;
+  cfg.compaction_fanin = 3;
+  StorageEngine engine(cfg);
+  // Write the same keys repeatedly so compaction must pick newest versions.
+  int64_t ts = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t k = 0; k < 4; ++k) {
+      engine.Put(k, "v" + std::to_string(round), ++ts);
+    }
+  }
+  EXPECT_GE(engine.compactions(), 1u);
+  EXPECT_EQ(engine.num_runs(), 1u);
+  WorkUnits work;
+  EXPECT_EQ(*engine.Get(2, &work), "v2");  // newest round survives
+}
+
+TEST(StorageEngineTest, MemtableShadowsOlderRuns) {
+  StorageEngine::Config cfg;
+  cfg.memtable_limit = 4;
+  StorageEngine engine(cfg);
+  for (uint64_t k = 0; k < 4; ++k) {
+    engine.Put(k, "flushed", 1);
+  }
+  engine.Put(2, "fresh", 2);
+  WorkUnits work;
+  EXPECT_EQ(*engine.Get(2, &work), "fresh");
+  EXPECT_EQ(*engine.Get(3, &work), "flushed");
+}
+
+TEST(StorageEngineTest, BytesTrackGrowth) {
+  StorageEngine engine;
+  int64_t before = engine.ApproxBytes();
+  engine.Put(1, std::string(1000, 'x'), 1);
+  EXPECT_GT(engine.ApproxBytes(), before + 900);
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,79 @@
+// Coverage for smaller API surfaces: gossiper membership management, the
+// sfind work profile, and result summaries.
+
+#include <gtest/gtest.h>
+
+#include "src/dfs/dfs.h"
+#include "src/gossip/gossiper.h"
+#include "src/sfind/profile.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(GossiperMembership, RemoveEndpointForgetsState) {
+  Gossiper g(1, 1, {});
+  g.AddKnownEndpoint(2, EndpointState(1));
+  g.AddKnownEndpoint(3, EndpointState(1));
+  EXPECT_EQ(g.AllEndpoints().size(), 2u);
+  g.RemoveEndpoint(2);
+  EXPECT_EQ(g.AllEndpoints(), std::vector<NodeId>{3});
+  EXPECT_EQ(g.StateOf(2), nullptr);
+  EXPECT_FALSE(g.IsAlive(2));
+}
+
+TEST(GossiperMembership, LiveEndpointsTracksMarks) {
+  Gossiper g(1, 1, {});
+  g.AddKnownEndpoint(2, EndpointState(1));
+  g.AddKnownEndpoint(3, EndpointState(1));
+  EXPECT_EQ(g.LiveEndpoints().size(), 2u);
+  g.MarkDead(2);
+  EXPECT_EQ(g.LiveEndpoints(), std::vector<NodeId>{3});
+  g.MarkAlive(2);
+  EXPECT_EQ(g.LiveEndpoints().size(), 2u);
+  // Self never appears.
+  for (NodeId ep : g.LiveEndpoints()) {
+    EXPECT_NE(ep, 1);
+  }
+}
+
+TEST(GossiperMembership, DigestsCoverAllKnownEndpoints) {
+  Gossiper g(1, 1, {});
+  g.AddKnownEndpoint(5, EndpointState(1));
+  std::vector<GossipDigest> digests = g.MakeSynDigests();
+  ASSERT_EQ(digests.size(), 2u);  // self + peer
+  EXPECT_EQ(digests[0].endpoint, 1);
+  EXPECT_EQ(digests[1].endpoint, 5);
+}
+
+TEST(WorkProfileTest, RecordsAndAggregates) {
+  WorkProfile profile;
+  profile.Record(1, 8, 100);
+  profile.Record(1, 8, 300);
+  profile.Record(1, 16, 900);
+  profile.Record(2, 8, 50);
+
+  const WorkProfile::Cell* cell = profile.Find(1, 8);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->invocations, 2);
+  EXPECT_EQ(cell->total_ops, 400);
+  EXPECT_EQ(cell->max_ops, 300);
+  EXPECT_EQ(profile.Find(1, 99), nullptr);
+  EXPECT_EQ(profile.Find(9, 8), nullptr);
+  EXPECT_EQ(profile.cells().size(), 2u);
+}
+
+TEST(DfsResultTest, SummaryMentionsKeyFields) {
+  DfsResult r;
+  r.datanodes = 42;
+  r.dead_marks = 7;
+  r.stabilized = true;
+  std::string summary = r.Summary();
+  EXPECT_NE(summary.find("N=42"), std::string::npos);
+  EXPECT_NE(summary.find("dead_marks=7"), std::string::npos);
+  // Unstable runs get flagged.
+  r.stabilized = false;
+  EXPECT_NE(r.Summary().find("(!)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,158 @@
+// PIL boundary semantics: the same invocation under direct, memoize, and
+// replay modes must apply identical outputs, while the CPU/sleep behaviour
+// differs exactly as the paper prescribes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/pil/boundary.h"
+
+namespace scalecheck {
+namespace {
+
+class BoundaryFixture : public ::testing::Test {
+ protected:
+  BoundaryFixture() : sim_(1) {
+    MachineSpec spec;
+    spec.cores = 1.0;
+    spec.ctx_switch_penalty = 0.0;
+    machine_ = std::make_unique<Machine>(&sim_, 0, spec);
+    thread_ = std::make_unique<SimThread>(&sim_, machine_.get(), "t");
+  }
+
+  // A fake offending function: input -> (bytes, work).
+  static PilBoundary::ComputeOutput Compute() {
+    PilBoundary::ComputeOutput out;
+    out.output = {0xaa, 0xbb};
+    out.work = 1'000'000'000;  // 1s at 1e9 units/s
+    return out;
+  }
+
+  static DigestValue Input() { return DigestValue{123, 456}; }
+
+  void RunBoundary(PilBoundary* boundary, std::vector<uint8_t>* applied,
+                   bool* from_memo) {
+    Job job("f");
+    boundary->Apply(
+        &job, /*function=*/1, [] { return Input(); }, [] { return Compute(); },
+        [applied, from_memo](const std::vector<uint8_t>& output, bool memo) {
+          *applied = output;
+          *from_memo = memo;
+        });
+    thread_->Enqueue(std::move(job));
+    sim_.RunUntilIdle();
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<SimThread> thread_;
+};
+
+TEST_F(BoundaryFixture, DirectModeChargesCpu) {
+  PilBoundary boundary(&sim_, PilMode::kDirect, nullptr, 1e9);
+  std::vector<uint8_t> applied;
+  bool from_memo = true;
+  RunBoundary(&boundary, &applied, &from_memo);
+  EXPECT_EQ(applied, (std::vector<uint8_t>{0xaa, 0xbb}));
+  EXPECT_FALSE(from_memo);
+  EXPECT_NEAR(sim_.Now().seconds(), 1.0, 1e-6);
+  EXPECT_NEAR(machine_->cpu().busy_core_seconds(), 1.0, 1e-6);  // real CPU
+  EXPECT_EQ(boundary.stats().direct_runs, 1u);
+}
+
+TEST_F(BoundaryFixture, MemoizeModeRecordsUncontendedDuration) {
+  MemoStore store;
+  PilBoundary boundary(&sim_, PilMode::kMemoize, &store, 1e9);
+  std::vector<uint8_t> applied;
+  bool from_memo = true;
+  // Add CPU contention: another 1s burst shares the core, so the boundary's
+  // wall time doubles — but the RECORDED duration must stay 1s (CPU time).
+  machine_->cpu().StartTask(1'000'000'000, [] {});
+  RunBoundary(&boundary, &applied, &from_memo);
+  EXPECT_FALSE(from_memo);
+  EXPECT_GT(sim_.Now().seconds(), 1.5);  // contended wall time
+  const MemoRecord* rec = store.Peek(1, DigestValue{123, 456});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_NEAR(rec->cpu_duration.seconds(), 1.0, 1e-6);  // in-situ CPU time
+  EXPECT_EQ(rec->output, (std::vector<uint8_t>{0xaa, 0xbb}));
+  EXPECT_EQ(boundary.stats().memoized_runs, 1u);
+}
+
+TEST_F(BoundaryFixture, ReplayHitSleepsWithoutCpu) {
+  MemoStore store;
+  MemoRecord rec;
+  rec.output = {0xcc};
+  rec.cpu_duration = VirtualDuration::Seconds(2);
+  rec.work = 2'000'000'000;
+  store.Put(1, DigestValue{123, 456}, std::move(rec));
+
+  PilBoundary boundary(&sim_, PilMode::kReplay, &store, 1e9);
+  std::vector<uint8_t> applied;
+  bool from_memo = false;
+  RunBoundary(&boundary, &applied, &from_memo);
+  EXPECT_TRUE(from_memo);
+  EXPECT_EQ(applied, std::vector<uint8_t>{0xcc});  // memoized output wins
+  EXPECT_NEAR(sim_.Now().seconds(), 2.0, 1e-6);    // slept the recorded time
+  EXPECT_DOUBLE_EQ(machine_->cpu().busy_core_seconds(), 0.0);  // ZERO cpu
+  EXPECT_EQ(boundary.stats().replay_hits, 1u);
+}
+
+TEST_F(BoundaryFixture, ReplayMissFallsBackComputesAndExtendsStore) {
+  MemoStore store;  // empty: guaranteed miss
+  PilBoundary boundary(&sim_, PilMode::kReplay, &store, 1e9);
+  std::vector<uint8_t> applied;
+  bool from_memo = true;
+  RunBoundary(&boundary, &applied, &from_memo);
+  EXPECT_FALSE(from_memo);
+  EXPECT_EQ(applied, (std::vector<uint8_t>{0xaa, 0xbb}));  // computed output
+  EXPECT_NEAR(sim_.Now().seconds(), 1.0, 1e-6);            // slept model time
+  EXPECT_DOUBLE_EQ(machine_->cpu().busy_core_seconds(), 0.0);  // still no CPU
+  EXPECT_EQ(boundary.stats().replay_misses, 1u);
+  // Iterative memoization: the miss extended the DB.
+  EXPECT_NE(store.Peek(1, DigestValue{123, 456}), nullptr);
+}
+
+TEST_F(BoundaryFixture, ReplayPreservesLockHolding) {
+  // The C5456 structure: lock around the boundary. A replay sleep must hold
+  // the lock exactly as the computation did.
+  MemoStore store;
+  MemoRecord rec;
+  rec.output = {1};
+  rec.cpu_duration = VirtualDuration::Seconds(1);
+  store.Put(1, DigestValue{123, 456}, std::move(rec));
+  PilBoundary boundary(&sim_, PilMode::kReplay, &store, 1e9);
+
+  SimMutex mutex(&sim_, "ring");
+  double other_acquired_at = -1;
+
+  Job job("calc");
+  job.Lock(&mutex);
+  boundary.Apply(
+      &job, 1, [] { return Input(); }, [] { return Compute(); },
+      [](const std::vector<uint8_t>&, bool) {});
+  job.Unlock(&mutex);
+  thread_->Enqueue(std::move(job));
+
+  SimThread other(&sim_, machine_.get(), "other");
+  Job waiter("gossip-apply");
+  waiter.Lock(&mutex).Run([&] { other_acquired_at = sim_.Now().seconds(); }).Unlock(&mutex);
+  other.Enqueue(std::move(waiter));
+
+  sim_.RunUntilIdle();
+  EXPECT_NEAR(other_acquired_at, 1.0, 1e-6);  // blocked behind the sleep
+}
+
+TEST_F(BoundaryFixture, WorkToDurationUsesCoreSpeed) {
+  PilBoundary boundary(&sim_, PilMode::kDirect, nullptr, 2e9);
+  EXPECT_NEAR(boundary.WorkToDuration(1'000'000'000).seconds(), 0.5, 1e-9);
+}
+
+TEST(PilModeNames, AllNamed) {
+  EXPECT_STREQ(PilModeName(PilMode::kDirect), "direct");
+  EXPECT_STREQ(PilModeName(PilMode::kMemoize), "memoize");
+  EXPECT_STREQ(PilModeName(PilMode::kReplay), "replay");
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "src/pil/function_registry.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(FunctionRegistryTest, RegisterAssignsSequentialIds) {
+  FunctionRegistry registry;
+  PilFunctionId a = registry.Register("calc", "O(N^3)", SideEffects{}, true);
+  PilFunctionId b = registry.Register("gossip", "O(N)", SideEffects{}, true);
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(registry.functions().size(), 2u);
+}
+
+TEST(FunctionRegistryTest, FindByIdAndName) {
+  FunctionRegistry registry;
+  PilFunctionId id = registry.Register("calc", "O(N^3)", SideEffects{}, true);
+  const PilFunctionInfo* by_id = registry.Find(id);
+  ASSERT_NE(by_id, nullptr);
+  EXPECT_EQ(by_id->name, "calc");
+  const PilFunctionInfo* by_name = registry.FindByName("calc");
+  ASSERT_NE(by_name, nullptr);
+  EXPECT_EQ(by_name->id, id);
+  EXPECT_EQ(registry.Find(99), nullptr);
+  EXPECT_EQ(registry.Find(kInvalidPilFunction), nullptr);
+  EXPECT_EQ(registry.FindByName("nope"), nullptr);
+}
+
+TEST(FunctionRegistryTest, DuplicateNameDies) {
+  FunctionRegistry registry;
+  registry.Register("calc", "", SideEffects{}, true);
+  EXPECT_DEATH(registry.Register("calc", "", SideEffects{}, false), "duplicate");
+}
+
+TEST(PilSafetyRule, PureFunctionIsSafe) {
+  PilFunctionInfo info;
+  info.effects = SideEffects{};
+  EXPECT_TRUE(info.IsPilSafe());
+}
+
+TEST(PilSafetyRule, AnySideEffectBreaksSafety) {
+  // §5's rule: disk I/O, network messages, locks, or nondeterminism each
+  // individually disqualify a function from taking the PIL.
+  for (int effect = 0; effect < 4; ++effect) {
+    SideEffects e;
+    e.disk_io = effect == 0;
+    e.network_messages = effect == 1;
+    e.acquires_locks = effect == 2;
+    e.nondeterministic = effect == 3;
+    PilFunctionInfo info;
+    info.effects = e;
+    EXPECT_FALSE(info.IsPilSafe()) << "effect " << effect;
+    EXPECT_TRUE(e.Any());
+  }
+}
+
+}  // namespace
+}  // namespace scalecheck

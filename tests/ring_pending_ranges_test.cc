@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "src/ring/pending_ranges.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(PendingRangesTest, NormalizeSortsAndDedupes) {
+  PendingRanges pr;
+  pr.Add(KeyRange{30, 40}, 2);
+  pr.Add(KeyRange{10, 20}, 1);
+  pr.Add(KeyRange{30, 40}, 2);  // duplicate
+  pr.Normalize();
+  ASSERT_EQ(pr.size(), 2u);
+  EXPECT_EQ(pr.items()[0].range.start, 10u);
+  EXPECT_EQ(pr.items()[1].range.start, 30u);
+}
+
+TEST(PendingRangesTest, CodecRoundTrips) {
+  PendingRanges pr;
+  pr.Add(KeyRange{1, 2}, 7);
+  pr.Add(KeyRange{0xffffffffffffff00ULL, 5}, 9);  // wrapping range survives
+  pr.Normalize();
+  std::vector<uint8_t> bytes = pr.Encode();
+  PendingRanges decoded;
+  ASSERT_TRUE(PendingRanges::Decode(bytes, &decoded));
+  EXPECT_EQ(decoded, pr);
+  EXPECT_EQ(decoded.ComputeDigest(), pr.ComputeDigest());
+}
+
+TEST(PendingRangesTest, EmptyCodec) {
+  PendingRanges pr;
+  PendingRanges decoded;
+  ASSERT_TRUE(PendingRanges::Decode(pr.Encode(), &decoded));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(PendingRangesTest, DecodeRejectsGarbage) {
+  PendingRanges out;
+  EXPECT_FALSE(PendingRanges::Decode({1, 2, 3}, &out));
+  // Truncated payload: count says 1 item but bytes end early.
+  PendingRanges one;
+  one.Add(KeyRange{1, 2}, 3);
+  std::vector<uint8_t> bytes = one.Encode();
+  bytes.pop_back();
+  EXPECT_FALSE(PendingRanges::Decode(bytes, &out));
+  // Trailing junk is rejected too.
+  bytes = one.Encode();
+  bytes.push_back(0);
+  EXPECT_FALSE(PendingRanges::Decode(bytes, &out));
+}
+
+TEST(PendingRangesTest, DigestDiffersByTarget) {
+  PendingRanges a;
+  a.Add(KeyRange{1, 2}, 3);
+  PendingRanges b;
+  b.Add(KeyRange{1, 2}, 4);
+  EXPECT_NE(a.ComputeDigest(), b.ComputeDigest());
+}
+
+TEST(BuildFutureRingTest, AppliesJoinsAndLeaves) {
+  TokenRing ring;
+  ring.AddNode(1, {100});
+  ring.AddNode(2, {200});
+  CalcInput input;
+  input.ring = &ring;
+  input.changes.push_back(PendingChange{1, ChangeKind::kLeaving, {}});
+  input.changes.push_back(PendingChange{3, ChangeKind::kJoining, {300}});
+  TokenRing future = input.BuildFutureRing();
+  EXPECT_FALSE(future.HasNode(1));
+  EXPECT_TRUE(future.HasNode(2));
+  EXPECT_TRUE(future.HasNode(3));
+  EXPECT_EQ(future.num_entries(), 2u);
+  // The original ring is untouched.
+  EXPECT_TRUE(ring.HasNode(1));
+}
+
+TEST(BuildFutureRingTest, DuplicateJoinIsIdempotent) {
+  TokenRing ring;
+  ring.AddNode(1, {100});
+  CalcInput input;
+  input.ring = &ring;
+  input.changes.push_back(PendingChange{3, ChangeKind::kJoining, {300}});
+  input.changes.push_back(PendingChange{3, ChangeKind::kJoining, {300}});
+  TokenRing future = input.BuildFutureRing();
+  EXPECT_EQ(future.num_entries(), 2u);
+}
+
+}  // namespace
+}  // namespace scalecheck

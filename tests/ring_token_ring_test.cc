@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/ring/token_ring.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(KeyRangeTest, ContainsRespectsHalfOpenInterval) {
+  KeyRange r{100, 200};
+  EXPECT_FALSE(r.Contains(100));  // (start, end]
+  EXPECT_TRUE(r.Contains(101));
+  EXPECT_TRUE(r.Contains(200));
+  EXPECT_FALSE(r.Contains(201));
+}
+
+TEST(KeyRangeTest, WrappingRange) {
+  KeyRange r{static_cast<Token>(-100), 50};  // wraps past 0
+  EXPECT_TRUE(r.Contains(10));
+  EXPECT_TRUE(r.Contains(static_cast<Token>(-50)));
+  EXPECT_FALSE(r.Contains(100));
+  EXPECT_TRUE(r.Contains(50));
+}
+
+TEST(TokenRingTest, AddAndRemoveMaintainSortedEntries) {
+  TokenRing ring;
+  ring.AddNode(1, {500, 100});
+  ring.AddNode(2, {300});
+  ASSERT_EQ(ring.num_entries(), 3u);
+  EXPECT_EQ(ring.entries()[0].token, 100u);
+  EXPECT_EQ(ring.entries()[1].token, 300u);
+  EXPECT_EQ(ring.entries()[2].token, 500u);
+  ring.RemoveNode(1);
+  ASSERT_EQ(ring.num_entries(), 1u);
+  EXPECT_EQ(ring.entries()[0].owner, 2);
+  EXPECT_FALSE(ring.HasNode(1));
+}
+
+TEST(TokenRingTest, OwnerIndexCeilingSemanticsWithWrap) {
+  TokenRing ring;
+  ring.AddNode(1, {100});
+  ring.AddNode(2, {300});
+  EXPECT_EQ(ring.OwnerOf(50), 1);    // first token >= 50
+  EXPECT_EQ(ring.OwnerOf(100), 1);   // exact hit
+  EXPECT_EQ(ring.OwnerOf(101), 2);
+  EXPECT_EQ(ring.OwnerOf(300), 2);
+  EXPECT_EQ(ring.OwnerOf(301), 1);   // wraps to the first token
+}
+
+TEST(TokenRingTest, NaturalEndpointsDistinctOwnersClockwise) {
+  TokenRing ring;
+  ring.AddNode(1, {100, 400});
+  ring.AddNode(2, {200});
+  ring.AddNode(3, {300});
+  // Key 150 -> owner of 200 is node 2, then 300 (node 3), then 400 (node 1).
+  std::vector<NodeId> eps = ring.NaturalEndpointsForKey(150, 3);
+  EXPECT_EQ(eps, (std::vector<NodeId>{2, 3, 1}));
+  // Vnodes: duplicate owners are skipped.
+  std::vector<NodeId> two = ring.NaturalEndpointsForKey(350, 2);
+  EXPECT_EQ(two, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(TokenRingTest, NaturalEndpointsFewerNodesThanRf) {
+  TokenRing ring;
+  ring.AddNode(1, {100});
+  ring.AddNode(2, {200});
+  std::vector<NodeId> eps = ring.NaturalEndpointsForKey(0, 5);
+  EXPECT_EQ(eps.size(), 2u);
+}
+
+TEST(TokenRingTest, EmptyRingReturnsNoEndpoints) {
+  TokenRing ring;
+  EXPECT_TRUE(ring.NaturalEndpointsForKey(1, 3).empty());
+}
+
+TEST(TokenRingTest, DigestChangesWithContent) {
+  TokenRing a;
+  a.AddNode(1, {100});
+  TokenRing b;
+  b.AddNode(1, {100});
+  EXPECT_EQ(a.ComputeDigest(), b.ComputeDigest());
+  b.AddNode(2, {200});
+  EXPECT_NE(a.ComputeDigest(), b.ComputeDigest());
+}
+
+TEST(TokenRingTest, DigestIndependentOfInsertionOrder) {
+  TokenRing a;
+  a.AddNode(1, {100});
+  a.AddNode(2, {200});
+  TokenRing b;
+  b.AddNode(2, {200});
+  b.AddNode(1, {100});
+  EXPECT_EQ(a.ComputeDigest(), b.ComputeDigest());
+}
+
+TEST(TokenRingTest, CloneIsDeepCopy) {
+  TokenRing a;
+  a.AddNode(1, {100});
+  TokenRing b = a.Clone();
+  b.AddNode(2, {200});
+  EXPECT_EQ(a.num_entries(), 1u);
+  EXPECT_EQ(b.num_entries(), 2u);
+}
+
+TEST(TokenRingTest, DuplicateNodeDies) {
+  TokenRing ring;
+  ring.AddNode(1, {100});
+  EXPECT_DEATH(ring.AddNode(1, {200}), "already in ring");
+  EXPECT_DEATH(ring.RemoveNode(9), "not in ring");
+}
+
+TEST(GenerateTokensTest, DeterministicAndDistinct) {
+  std::vector<Token> a = GenerateTokens(5, 16, 99);
+  std::vector<Token> b = GenerateTokens(5, 16, 99);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 16u);
+  std::set<Token> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), 16u);
+  EXPECT_NE(GenerateTokens(6, 16, 99), a);
+  EXPECT_NE(GenerateTokens(5, 16, 100), a);
+}
+
+// Property: the ranges of all entries partition the key space — every key
+// belongs to exactly one entry's range, and that entry is OwnerIndex(key).
+class RingPartitionTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RingPartitionTest, RangesPartitionKeySpace) {
+  auto [n, p] = GetParam();
+  TokenRing ring;
+  for (NodeId id = 0; id < n; ++id) {
+    ring.AddNode(id, GenerateTokens(id, p, 1234));
+  }
+  Rng rng(42);
+  for (int trial = 0; trial < 300; ++trial) {
+    Token key = rng.Next();
+    size_t covering = 0;
+    size_t covering_index = 0;
+    for (size_t i = 0; i < ring.num_entries(); ++i) {
+      if (ring.RangeOfEntry(i).Contains(key)) {
+        ++covering;
+        covering_index = i;
+      }
+    }
+    ASSERT_EQ(covering, 1u) << "key " << key << " covered by " << covering << " ranges";
+    EXPECT_EQ(covering_index, ring.OwnerIndex(key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, RingPartitionTest,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(2, 1),
+                                           std::make_tuple(5, 1),
+                                           std::make_tuple(5, 8),
+                                           std::make_tuple(16, 4),
+                                           std::make_tuple(32, 16)));
+
+}  // namespace
+}  // namespace scalecheck

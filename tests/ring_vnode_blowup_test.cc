@@ -1,0 +1,67 @@
+// The C3881 mechanism as a property: the SAME calculator that is fine with
+// one token per node explodes when vnodes multiply the entry count — "the
+// fix above did not scale as N becomes N*P" (§2).
+
+#include <gtest/gtest.h>
+
+#include "src/ring/calculators.h"
+
+namespace scalecheck {
+namespace {
+
+int64_t V2OpsAt(int n, int p) {
+  TokenRing ring;
+  for (NodeId id = 0; id < n; ++id) {
+    ring.AddNode(id, GenerateTokens(id, p, 3));
+  }
+  CalcInput input;
+  input.ring = &ring;
+  input.rf = 3;
+  input.changes.push_back(
+      PendingChange{n, ChangeKind::kJoining, GenerateTokens(n, p, 3)});
+  return MakeCalculator(CalcVersion::kV2C3831Fix)->ModelOps(input);
+}
+
+TEST(VnodeBlowup, VnodesMultiplyV2CostQuadratically) {
+  int64_t p1 = V2OpsAt(64, 1);
+  int64_t p8 = V2OpsAt(64, 8);
+  int64_t p32 = V2OpsAt(64, 32);
+  // E grows 8x and 32x; the quadratic term must grow ~64x and ~1000x
+  // (slightly more with the log factor).
+  EXPECT_GT(p8, p1 * 50);
+  EXPECT_GT(p32, p1 * 700);
+}
+
+TEST(VnodeBlowup, VnodesAtSmallNMatchPlainLargeN) {
+  // The bug's arithmetic: 32 nodes x 8 vnodes ~ 256 plain entries. The V2
+  // cost is driven by E, so these must be within a small factor.
+  int64_t vnodes = V2OpsAt(32, 8);
+  int64_t plain = V2OpsAt(256, 1);
+  double ratio = static_cast<double>(vnodes) / static_cast<double>(plain);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(VnodeBlowup, V3IsVnodeAware) {
+  // The C3881 fix: V3's cost grows ~linearly in E, not quadratically.
+  auto v3_ops = [](int n, int p) {
+    TokenRing ring;
+    for (NodeId id = 0; id < n; ++id) {
+      ring.AddNode(id, GenerateTokens(id, p, 3));
+    }
+    CalcInput input;
+    input.ring = &ring;
+    input.rf = 3;
+    input.changes.push_back(
+        PendingChange{n, ChangeKind::kJoining, GenerateTokens(n, p, 3)});
+    return MakeCalculator(CalcVersion::kV3C3881Fix)->ModelOps(input);
+  };
+  int64_t p1 = v3_ops(64, 1);
+  int64_t p32 = v3_ops(64, 32);
+  // E grew 32x; V3 should grow ~32-80x (E log E plus per-token walks), far
+  // from V2's ~1000x.
+  EXPECT_LT(p32, p1 * 150);
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,128 @@
+// The scale-check pipeline invariants (Figure 2) at test-friendly scales.
+
+#include <gtest/gtest.h>
+
+#include "src/scalecheck/scale_check.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(BugSpecTest, CatalogIsConsistent) {
+  for (const BugSpec& spec :
+       {C3831Spec(), C3831FixedSpec(), C3881Spec(), C5456Spec(), C5456FixedSpec(),
+        C6127Spec()}) {
+    EXPECT_FALSE(spec.id.empty());
+    EXPECT_FALSE(spec.description.empty());
+    ClusterConfig cfg = spec.MakeConfig(32, RunMode::kColocated, 1);
+    EXPECT_EQ(cfg.initial_nodes, 32);
+    EXPECT_EQ(cfg.run_mode, RunMode::kColocated);
+    EXPECT_EQ(cfg.calc_version, spec.calc_version);
+    WorkloadSpec wl = spec.MakeWorkload(32);
+    EXPECT_EQ(wl.kind, spec.workload);
+  }
+  EXPECT_EQ(C3881Spec().MakeWorkload(64).joining_nodes, 16);  // +25%
+}
+
+TEST(RelativeFlapErrorTest, Definition) {
+  EXPECT_DOUBLE_EQ(RelativeFlapError(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeFlapError(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeFlapError(150, 100), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeFlapError(50, 100), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeFlapError(5, 0), 5.0);  // reference clamped to 1
+}
+
+TEST(PipelineTest, MemoizeRunBehavesLikeColo) {
+  // Recording must not perturb behaviour: the memoization run IS the basic
+  // colocation run plus recording.
+  BugSpec spec = C3831Spec();
+  ScaleCheckRunner runner(spec, 7);
+  RunResult colo = runner.RunColo(12);
+  MemoStore store;
+  RunResult memoize = RunSingle(spec, 12, RunMode::kMemoize, 7, &store);
+  EXPECT_EQ(memoize.flaps, colo.flaps);
+  EXPECT_EQ(memoize.messages_sent, colo.messages_sent);
+  EXPECT_EQ(memoize.test_duration.nanos(), colo.test_duration.nanos());
+  EXPECT_GT(store.size(), 0u);
+}
+
+TEST(PipelineTest, ReplayTimingMatchesRealAtQuietScales) {
+  // At scales where nothing flaps, PIL replay must track the real-scale run
+  // closely in duration and calc count.
+  BugSpec spec = C3831Spec();
+  ScaleCheckRunner runner(spec, 7);
+  ScaleCheckResult full = runner.RunFull(12);
+  EXPECT_EQ(full.real.flaps, 0);
+  EXPECT_EQ(full.replay.flaps, 0);
+  EXPECT_TRUE(full.replay.settled);
+  double ratio = full.replay.test_duration.seconds() / full.real.test_duration.seconds();
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(PipelineTest, ReplayUsesZeroCpuForCalcs) {
+  BugSpec spec = C3831Spec();
+  ScaleCheckRunner runner(spec, 7);
+  ScaleCheckResult full = runner.RunFull(12);
+  // All pending-range invocations served from the DB or fallback sleeps.
+  EXPECT_EQ(full.replay.pil.direct_runs, 0u);
+  EXPECT_EQ(full.replay.pil.memoized_runs, 0u);
+  EXPECT_GT(full.replay.pil.replay_hits, 0u);
+  // CPU utilization far below the memoize run's.
+  EXPECT_LT(full.replay.max_cpu_utilization, full.memoize.max_cpu_utilization);
+}
+
+TEST(PipelineTest, MemoRecordsAreDeterministicallyKeyed) {
+  // Two memoization runs with the same seed produce identical stores.
+  BugSpec spec = C3831Spec();
+  MemoStore a, b;
+  RunSingle(spec, 10, RunMode::kMemoize, 5, &a);
+  RunSingle(spec, 10, RunMode::kMemoize, 5, &b);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.Serialize().size(), b.Serialize().size());
+  EXPECT_EQ(a.stats().determinism_violations, 0u);
+  EXPECT_EQ(b.stats().determinism_violations, 0u);
+}
+
+TEST(PipelineTest, ReplayFromPersistedStoreWorks) {
+  BugSpec spec = C3831Spec();
+  MemoStore store;
+  RunSingle(spec, 10, RunMode::kMemoize, 5, &store);
+  std::vector<uint8_t> bytes = store.Serialize();
+  MemoStore reloaded;
+  ASSERT_TRUE(MemoStore::Deserialize(bytes, &reloaded));
+  RunResult replay = RunSingle(spec, 10, RunMode::kPilReplay, 5, &reloaded);
+  EXPECT_TRUE(replay.settled);
+  EXPECT_GT(replay.pil.replay_hits, 0u);
+}
+
+TEST(PipelineTest, OrderEnforcedReplayStillSettles) {
+  BugSpec spec = C3831Spec();
+  ScaleCheckRunner runner(spec, 7);
+  runner.set_enforce_order(true);
+  ScaleCheckResult full = runner.RunFull(10);
+  EXPECT_TRUE(full.replay.settled) << full.replay.Summary();
+  EXPECT_GT(full.replay.order_enforced, 0u);
+}
+
+TEST(PipelineTest, FixedSpecsProduceNoSymptom) {
+  // Ablation: the patched configurations stay quiet where the buggy ones
+  // would flap (here both are quiet at 12 nodes; the bench shows 256).
+  ScaleCheckRunner fixed_runner(C5456FixedSpec(), 7);
+  RunResult fixed = fixed_runner.RunReal(12);
+  EXPECT_EQ(fixed.flaps, 0);
+  EXPECT_TRUE(fixed.settled);
+  // The clone placement holds the lock far shorter than the coarse one.
+  ScaleCheckRunner coarse_runner(C5456Spec(), 7);
+  RunResult coarse = coarse_runner.RunReal(12);
+  EXPECT_LT(fixed.calc_lock_hold_seconds.max(),
+            coarse.calc_lock_hold_seconds.max());
+}
+
+TEST(PipelineTest, BootstrapSpecExercisesFreshPath) {
+  RunResult r = RunSingle(C6127Spec(), 10, RunMode::kRealScale, 7);
+  EXPECT_TRUE(r.settled);
+  EXPECT_GT(r.calc_invocations, 0);
+}
+
+}  // namespace
+}  // namespace scalecheck

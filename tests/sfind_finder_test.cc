@@ -1,0 +1,97 @@
+// End-to-end finder behaviour: fitted classes, PIL-safety verdicts, and the
+// C6127 path-dependence result.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/sfind/finder.h"
+
+namespace scalecheck {
+namespace {
+
+std::map<std::string, OffenderReport> RunFinder(SfindOptions options) {
+  OffendingFunctionFinder finder(options);
+  std::map<std::string, OffenderReport> by_name;
+  for (OffenderReport& r : finder.Run()) {
+    by_name.emplace(r.name, std::move(r));
+  }
+  return by_name;
+}
+
+class FinderFixture : public ::testing::Test {
+ protected:
+  static const std::map<std::string, OffenderReport>& Reports() {
+    static const auto* reports = [] {
+      SfindOptions options;
+      options.calc_version = CalcVersion::kV1PreC3831;
+      options.scales = {8, 12, 16, 24};
+      return new std::map<std::string, OffenderReport>(RunFinder(options));
+    }();
+    return *reports;
+  }
+};
+
+TEST_F(FinderFixture, V1CalculatorFlaggedOffendingAndPilSafe) {
+  const auto& reports = Reports();
+  auto it = reports.find("calculatePendingRanges/v1");
+  ASSERT_NE(it, reports.end());
+  const OffenderReport& r = it->second;
+  EXPECT_EQ(r.scale_class, ScaleClass::kOffendingSuperlinear);
+  EXPECT_GT(r.fit.exponent, 2.5);  // cubic-with-M fits ~3-4
+  EXPECT_GT(r.fit.r_squared, 0.9);
+  EXPECT_TRUE(r.pil_safe);
+  EXPECT_TRUE(r.TakeThePil());
+  EXPECT_GT(r.predicted_seconds_at_target, 1.0);  // the red flag at N=256
+}
+
+TEST_F(FinderFixture, GossipFunctionsLinearAndUnsafe) {
+  const auto& reports = Reports();
+  for (const char* name : {"gossip.handleSynDigests", "gossip.applyEndpointStates"}) {
+    auto it = reports.find(name);
+    ASSERT_NE(it, reports.end()) << name;
+    EXPECT_NE(it->second.scale_class, ScaleClass::kOffendingSuperlinear) << name;
+    EXPECT_FALSE(it->second.pil_safe) << name;
+    EXPECT_TRUE(it->second.effects.network_messages) << name;
+    EXPECT_FALSE(it->second.TakeThePil()) << name;
+  }
+}
+
+TEST_F(FinderFixture, FailureDetectorSweepNotMemoizable) {
+  const auto& reports = Reports();
+  auto it = reports.find("failureDetector.interpretAll");
+  ASSERT_NE(it, reports.end());
+  EXPECT_TRUE(it->second.effects.nondeterministic);
+  EXPECT_FALSE(it->second.TakeThePil());
+}
+
+TEST_F(FinderFixture, BootstrapPathReachedOnlyByFreshBootstrap) {
+  const auto& reports = Reports();
+  auto it = reports.find("freshRingConstruction/C6127");
+  ASSERT_NE(it, reports.end());
+  EXPECT_EQ(it->second.reached_by,
+            std::vector<std::string>{"bootstrap-fresh"});
+  // The regular calculator is reached by every workload.
+  auto calc = reports.find("calculatePendingRanges/v1");
+  ASSERT_NE(calc, reports.end());
+  EXPECT_EQ(calc->second.reached_by.size(), 3u);
+}
+
+TEST_F(FinderFixture, ReportRenders) {
+  std::vector<OffenderReport> list;
+  for (const auto& [name, r] : Reports()) {
+    list.push_back(r);
+  }
+  std::string rendered = OffendingFunctionFinder::RenderReport(list, 256);
+  EXPECT_NE(rendered.find("TAKE THE PIL"), std::string::npos);
+  EXPECT_NE(rendered.find("calculatePendingRanges/v1"), std::string::npos);
+}
+
+TEST(FinderOptions, RequiresTwoScales) {
+  SfindOptions options;
+  options.scales = {8};
+  EXPECT_DEATH(OffendingFunctionFinder finder(options), "2 scales");
+}
+
+}  // namespace
+}  // namespace scalecheck

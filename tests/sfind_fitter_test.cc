@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sfind/fitter.h"
+
+namespace scalecheck {
+namespace {
+
+std::vector<std::pair<double, double>> PowerLawPoints(double c, double k) {
+  std::vector<std::pair<double, double>> points;
+  for (double n : {8.0, 16.0, 32.0, 64.0}) {
+    points.emplace_back(n, c * std::pow(n, k));
+  }
+  return points;
+}
+
+TEST(FitPowerLawTest, RecoversExactExponents) {
+  for (double k : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+    ComplexityFit fit = FitPowerLaw(PowerLawPoints(5.0, k));
+    EXPECT_NEAR(fit.exponent, k, 1e-9) << "k=" << k;
+    EXPECT_NEAR(fit.coefficient, 5.0, 1e-6);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+    EXPECT_EQ(fit.num_points, 4);
+  }
+}
+
+TEST(FitPowerLawTest, ToleratesNoise) {
+  auto points = PowerLawPoints(2.0, 3.0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    points[i].second *= (i % 2 == 0) ? 1.15 : 0.87;
+  }
+  ComplexityFit fit = FitPowerLaw(points);
+  EXPECT_NEAR(fit.exponent, 3.0, 0.25);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(FitPowerLawTest, ClassificationThresholds) {
+  EXPECT_TRUE(FitPowerLaw(PowerLawPoints(1, 3.0)).IsSuperlinear());
+  EXPECT_TRUE(FitPowerLaw(PowerLawPoints(1, 1.6)).IsSuperlinear());
+  EXPECT_TRUE(FitPowerLaw(PowerLawPoints(1, 1.0)).IsLinearScaleDependent());
+  EXPECT_TRUE(FitPowerLaw(PowerLawPoints(1, 0.0)).IsScaleIndependent());
+}
+
+TEST(FitPowerLawTest, DegenerateInputs) {
+  EXPECT_EQ(FitPowerLaw({}).num_points, 0);
+  EXPECT_EQ(FitPowerLaw({{8, 100}}).num_points, 1);
+  EXPECT_DOUBLE_EQ(FitPowerLaw({{8, 100}}).exponent, 0.0);
+  // Identical scales carry no slope information.
+  ComplexityFit same = FitPowerLaw({{8, 100}, {8, 200}});
+  EXPECT_DOUBLE_EQ(same.exponent, 0.0);
+  // Non-positive points are dropped.
+  ComplexityFit filtered = FitPowerLaw({{8, 0}, {16, 100}, {32, 400}});
+  EXPECT_EQ(filtered.num_points, 2);
+  EXPECT_NEAR(filtered.exponent, 2.0, 1e-9);
+}
+
+TEST(PredictOpsTest, ExtrapolatesFit) {
+  ComplexityFit fit = FitPowerLaw(PowerLawPoints(2.0, 2.0));
+  EXPECT_NEAR(PredictOps(fit, 100), 2.0 * 100 * 100, 1e-3);
+}
+
+TEST(ComplexityFitTest, DescribeMentionsExponent) {
+  ComplexityFit fit = FitPowerLaw(PowerLawPoints(1.0, 2.0));
+  EXPECT_NE(fit.Describe().find("n^2.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/cpu_model.h"
+
+namespace scalecheck {
+namespace {
+
+CpuModel::Config OneCore() {
+  CpuModel::Config cfg;
+  cfg.cores = 1.0;
+  cfg.speed = 1e9;
+  cfg.ctx_switch_penalty = 0.0;
+  return cfg;
+}
+
+TEST(CpuModelTest, SingleTaskTakesWorkOverSpeed) {
+  Simulator sim(1);
+  CpuModel cpu(&sim, OneCore());
+  bool done = false;
+  cpu.StartTask(2'000'000'000, [&] { done = true; });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(sim.Now().seconds(), 2.0, 1e-6);
+}
+
+TEST(CpuModelTest, ProcessorSharingDoublesDuration) {
+  Simulator sim(1);
+  CpuModel cpu(&sim, OneCore());
+  std::vector<double> finish;
+  cpu.StartTask(1'000'000'000, [&] { finish.push_back(sim.Now().seconds()); });
+  cpu.StartTask(1'000'000'000, [&] { finish.push_back(sim.Now().seconds()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(finish.size(), 2u);
+  // Two equal 1s tasks sharing one core both finish at ~2s.
+  EXPECT_NEAR(finish[0], 2.0, 1e-6);
+  EXPECT_NEAR(finish[1], 2.0, 1e-6);
+}
+
+TEST(CpuModelTest, UnequalTasksFinishInWorkOrder) {
+  Simulator sim(1);
+  CpuModel cpu(&sim, OneCore());
+  std::vector<std::pair<int, double>> finish;
+  cpu.StartTask(500'000'000, [&] { finish.emplace_back(1, sim.Now().seconds()); });
+  cpu.StartTask(1'000'000'000, [&] { finish.emplace_back(2, sim.Now().seconds()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(finish.size(), 2u);
+  EXPECT_EQ(finish[0].first, 1);
+  // Short task: shares until it has 0.5e9 service => finishes at 1.0s.
+  EXPECT_NEAR(finish[0].second, 1.0, 1e-6);
+  // Long task: 0.5e9 served at t=1, remaining 0.5e9 alone => 1.5s.
+  EXPECT_NEAR(finish[1].second, 1.5, 1e-6);
+}
+
+TEST(CpuModelTest, MultipleCoresRunInParallel) {
+  Simulator sim(1);
+  CpuModel::Config cfg = OneCore();
+  cfg.cores = 4.0;
+  CpuModel cpu(&sim, cfg);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    cpu.StartTask(1'000'000'000, [&] { ++done; });
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(done, 4);
+  EXPECT_NEAR(sim.Now().seconds(), 1.0, 1e-6);  // no contention
+}
+
+TEST(CpuModelTest, ContextSwitchPenaltySlowsOversubscription) {
+  Simulator sim(1);
+  CpuModel::Config cfg = OneCore();
+  cfg.ctx_switch_penalty = 0.5;
+  CpuModel cpu(&sim, cfg);
+  // 3 tasks on 1 core: oversubscription (3-1)/1 = 2, divisor 1 + 0.5*2 = 2.
+  for (int i = 0; i < 3; ++i) {
+    cpu.StartTask(1'000'000'000, [] {});
+  }
+  sim.RunUntilIdle();
+  // Without penalty: 3s. With divisor 2: 6s.
+  EXPECT_NEAR(sim.Now().seconds(), 6.0, 1e-5);
+}
+
+TEST(CpuModelTest, CurrentStretchReflectsLoad) {
+  Simulator sim(1);
+  CpuModel cpu(&sim, OneCore());
+  EXPECT_DOUBLE_EQ(cpu.CurrentStretch(), 1.0);
+  cpu.StartTask(1'000'000'000, [] {});
+  EXPECT_DOUBLE_EQ(cpu.CurrentStretch(), 1.0);
+  cpu.StartTask(1'000'000'000, [] {});
+  EXPECT_DOUBLE_EQ(cpu.CurrentStretch(), 2.0);
+  sim.RunUntilIdle();
+}
+
+TEST(CpuModelTest, CancelPreventsCompletion) {
+  Simulator sim(1);
+  CpuModel cpu(&sim, OneCore());
+  bool done = false;
+  CpuModel::TaskId id = cpu.StartTask(1'000'000'000, [&] { done = true; });
+  EXPECT_TRUE(cpu.CancelTask(id));
+  EXPECT_FALSE(cpu.CancelTask(id));
+  sim.RunUntilIdle();
+  EXPECT_FALSE(done);
+  EXPECT_EQ(cpu.active_count(), 0);
+}
+
+TEST(CpuModelTest, CancelSpeedsUpRemainingTask) {
+  Simulator sim(1);
+  CpuModel cpu(&sim, OneCore());
+  double finish = 0;
+  cpu.StartTask(1'000'000'000, [&] { finish = sim.Now().seconds(); });
+  CpuModel::TaskId hog = cpu.StartTask(10'000'000'000, [] {});
+  sim.ScheduleAfter(VirtualDuration::Seconds(1), [&] { cpu.CancelTask(hog); });
+  sim.RunUntilIdle();
+  // Shares for 1s (0.5e9 done), then alone for 0.5s => 1.5s.
+  EXPECT_NEAR(finish, 1.5, 1e-5);
+}
+
+TEST(CpuModelTest, ZeroWorkCompletesImmediately) {
+  Simulator sim(1);
+  CpuModel cpu(&sim, OneCore());
+  bool done = false;
+  cpu.StartTask(0, [&] { done = true; });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_LE(sim.Now().seconds(), 1e-6);
+}
+
+TEST(CpuModelTest, UtilizationAccountsBusyTime) {
+  Simulator sim(1);
+  CpuModel::Config cfg = OneCore();
+  cfg.cores = 2.0;
+  CpuModel cpu(&sim, cfg);
+  cpu.StartTask(1'000'000'000, [] {});  // 1s on one of two cores
+  sim.RunUntilIdle();
+  sim.ScheduleAfter(VirtualDuration::Seconds(1), [] {});  // idle second
+  sim.RunUntilIdle();
+  // 1 core-second busy over 2 cores * 2 seconds = 25%.
+  EXPECT_NEAR(cpu.Utilization(), 0.25, 1e-6);
+}
+
+TEST(CpuModelTest, ConservationOfWork) {
+  Simulator sim(1);
+  CpuModel cpu(&sim, OneCore());
+  const WorkUnits kTotal = 3'700'000'000;
+  int done = 0;
+  cpu.StartTask(kTotal / 4, [&] { ++done; });
+  cpu.StartTask(kTotal / 4, [&] { ++done; });
+  cpu.StartTask(kTotal / 2, [&] { ++done; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(done, 3);
+  // One core, no penalty: total duration == total work / speed.
+  EXPECT_NEAR(sim.Now().seconds(), static_cast<double>(kTotal) / 1e9, 1e-5);
+  EXPECT_NEAR(cpu.busy_core_seconds(), static_cast<double>(kTotal) / 1e9, 1e-5);
+}
+
+// Regression: tiny residual work must never spin the event loop at a fixed
+// instant (found via a hang in the sfind profiling runs).
+TEST(CpuModelTest, TinyWorkValuesMakeProgress) {
+  Simulator sim(1);
+  CpuModel cpu(&sim, OneCore());
+  int done = 0;
+  for (int i = 0; i < 1000; ++i) {
+    cpu.StartTask(i % 3, [&] { ++done; });
+  }
+  uint64_t executed = sim.Run(VirtualTime::Zero() + VirtualDuration::Seconds(1));
+  EXPECT_EQ(done, 1000);
+  EXPECT_LT(executed, 100000u);  // no spin
+}
+
+TEST(CpuModelTest, PeakActiveTracksHighWaterMark) {
+  Simulator sim(1);
+  CpuModel cpu(&sim, OneCore());
+  for (int i = 0; i < 5; ++i) {
+    cpu.StartTask(1000, [] {});
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(cpu.peak_active(), 5);
+  EXPECT_EQ(cpu.tasks_started(), 5u);
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace scalecheck {
+namespace {
+
+VirtualTime At(int64_t ms) { return VirtualTime::Zero() + VirtualDuration::Millis(ms); }
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(At(30), [&] { order.push_back(3); });
+  q.Schedule(At(10), [&] { order.push_back(1); });
+  q.Schedule(At(20), [&] { order.push_back(2); });
+  while (!q.empty()) {
+    VirtualTime t;
+    q.Pop(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(At(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    VirtualTime t;
+    q.Pop(&t)();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.Schedule(At(1), [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  EventId id = q.Schedule(At(1), [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  EventId id = q.Schedule(At(1), [] {});
+  VirtualTime t;
+  q.Pop(&t)();
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, CancelInvalidIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(kInvalidEvent));
+  EXPECT_FALSE(q.Cancel(9999));
+}
+
+TEST(EventQueue, CancelledEntriesSkippedOnPop) {
+  EventQueue q;
+  std::vector<int> order;
+  EventId a = q.Schedule(At(1), [&] { order.push_back(1); });
+  q.Schedule(At(2), [&] { order.push_back(2); });
+  q.Cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.NextTime(), At(2));
+  VirtualTime t;
+  q.Pop(&t)();
+  EXPECT_EQ(order, std::vector<int>{2});
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EventId a = q.Schedule(At(1), [] {});
+  q.Schedule(At(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  VirtualTime t;
+  q.Pop(&t);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.total_scheduled(), 2u);
+}
+
+}  // namespace
+}  // namespace scalecheck

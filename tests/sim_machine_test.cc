@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/machine.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(MachineSpecTest, NomeMatchesThePaperTestbed) {
+  // §8: "16-core AMD Opteron(tm) 8454 processors with 32-GB DRAM".
+  MachineSpec nome = MachineSpec::Nome();
+  EXPECT_DOUBLE_EQ(nome.cores, 16.0);
+  EXPECT_EQ(nome.memory_bytes, 32LL * 1024 * 1024 * 1024);
+}
+
+TEST(MachineSetTest, PlacementRoundRobins) {
+  Simulator sim(1);
+  MachineSet machines(&sim, MachineSpec::Nome(), 4);
+  // 8 nodes per machine, paper-style.
+  for (NodeId id = 0; id < 32; ++id) {
+    machines.Place(id, 8);
+  }
+  EXPECT_EQ(machines.MachineOf(0)->id(), 0);
+  EXPECT_EQ(machines.MachineOf(7)->id(), 0);
+  EXPECT_EQ(machines.MachineOf(8)->id(), 1);
+  EXPECT_EQ(machines.MachineOf(31)->id(), 3);
+  EXPECT_TRUE(machines.SameMachine(0, 7));
+  EXPECT_FALSE(machines.SameMachine(7, 8));
+}
+
+TEST(MachineSetTest, SingleMachineColocatesEverything) {
+  Simulator sim(1);
+  MachineSet machines(&sim, MachineSpec::Nome(), 1);
+  for (NodeId id = 0; id < 100; ++id) {
+    machines.Place(id, 100);
+  }
+  EXPECT_TRUE(machines.SameMachine(0, 99));
+}
+
+TEST(MachineSetTest, UnplacedNodeDies) {
+  Simulator sim(1);
+  MachineSet machines(&sim, MachineSpec::Nome(), 1);
+  EXPECT_DEATH(machines.MachineOf(5), "unplaced");
+}
+
+TEST(MachineSetTest, AggregatesAcrossMachines) {
+  Simulator sim(1);
+  MachineSet machines(&sim, MachineSpec::Nome(), 2);
+  machines.at(0).memory().Allocate(1, "x", 1000);
+  machines.at(1).memory().Allocate(2, "x", 2000);
+  EXPECT_EQ(machines.TotalPeakMemory(), 3000);
+  machines.at(0).cpu().StartTask(1'000'000'000, [] {});
+  sim.RunUntilIdle();
+  EXPECT_GT(machines.MaxUtilization(), 0.0);
+}
+
+TEST(LatenessTrackerTest, RecordsPositiveLatenessOnly) {
+  LatenessTracker tracker;
+  VirtualTime t0 = VirtualTime::Zero() + VirtualDuration::Seconds(10);
+  tracker.Record(t0, t0 + VirtualDuration::Seconds(2));  // 2s late
+  tracker.Record(t0, t0);                                // on time
+  tracker.Record(t0 + VirtualDuration::Seconds(1), t0);  // "early" clamps to 0
+  EXPECT_EQ(tracker.count(), 3);
+  EXPECT_GE(tracker.max().seconds(), 1.9);
+  EXPECT_LE(tracker.p50().seconds(), 0.01);
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/memory_model.h"
+
+namespace scalecheck {
+namespace {
+
+MemoryModel SmallMachine() {
+  MemoryModel::Config cfg;
+  cfg.capacity_bytes = 1000;
+  return MemoryModel(cfg);
+}
+
+TEST(MemoryModelTest, AllocateAndRelease) {
+  MemoryModel mem = SmallMachine();
+  EXPECT_TRUE(mem.Allocate(1, "heap", 400));
+  EXPECT_TRUE(mem.Allocate(2, "heap", 300));
+  EXPECT_EQ(mem.used_bytes(), 700);
+  EXPECT_EQ(mem.NodeUsage(1), 400);
+  mem.Release(1, "heap", 150);
+  EXPECT_EQ(mem.used_bytes(), 550);
+  EXPECT_EQ(mem.NodeUsage(1), 250);
+  EXPECT_EQ(mem.peak_bytes(), 700);
+}
+
+TEST(MemoryModelTest, OomFiresHandlerAndStillRecords) {
+  MemoryModel mem = SmallMachine();
+  NodeId victim = kInvalidNode;
+  mem.set_oom_handler([&](NodeId node, int64_t bytes) { victim = node; });
+  EXPECT_TRUE(mem.Allocate(1, "heap", 900));
+  EXPECT_FALSE(mem.Allocate(2, "heap", 200));
+  EXPECT_EQ(victim, 2);
+  EXPECT_TRUE(mem.oom_observed());
+  EXPECT_EQ(mem.used_bytes(), 1100);  // the doomed allocation is committed
+}
+
+TEST(MemoryModelTest, ReleaseAllFreesEverything) {
+  MemoryModel mem = SmallMachine();
+  mem.Allocate(1, "a", 100);
+  mem.Allocate(1, "b", 200);
+  mem.Allocate(2, "a", 50);
+  mem.ReleaseAll(1);
+  EXPECT_EQ(mem.used_bytes(), 50);
+  EXPECT_EQ(mem.NodeUsage(1), 0);
+  mem.ReleaseAll(99);  // unknown node is a no-op
+  EXPECT_EQ(mem.used_bytes(), 50);
+}
+
+TEST(MemoryModelTest, OverReleaseDies) {
+  MemoryModel mem = SmallMachine();
+  mem.Allocate(1, "a", 100);
+  EXPECT_DEATH(mem.Release(1, "a", 200), "over-release");
+  EXPECT_DEATH(mem.Release(1, "zzz", 1), "unknown tag");
+  EXPECT_DEATH(mem.Release(7, "a", 1), "unknown node");
+}
+
+TEST(MemoryModelTest, ZeroTagCleanup) {
+  MemoryModel mem = SmallMachine();
+  mem.Allocate(1, "a", 100);
+  mem.Release(1, "a", 100);
+  EXPECT_EQ(mem.NodeUsage(1), 0);
+  // Releasing the now-removed tag is an error again.
+  EXPECT_DEATH(mem.Release(1, "a", 1), "unknown tag");
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/network.h"
+
+namespace scalecheck {
+namespace {
+
+struct TestPayload : public Payload {
+  explicit TestPayload(int v) : value(v) {}
+  int value;
+  size_t SizeBytes() const override { return 100; }
+};
+
+class NetworkFixture : public ::testing::Test {
+ protected:
+  NetworkFixture() : sim_(1) {}
+
+  NetworkModel MakeNet(NetworkModel::Config cfg = {}) {
+    return NetworkModel(&sim_, cfg, 99);
+  }
+
+  Simulator sim_;
+};
+
+TEST_F(NetworkFixture, DeliversToRegisteredHandler) {
+  NetworkModel net = MakeNet();
+  std::vector<int> received;
+  net.RegisterNode(2, [&](const Message& msg) {
+    received.push_back(std::static_pointer_cast<const TestPayload>(msg.payload)->value);
+  });
+  net.Send(1, 2, 7, std::make_shared<TestPayload>(41));
+  sim_.RunUntilIdle();
+  EXPECT_EQ(received, std::vector<int>{41});
+  EXPECT_EQ(net.messages_delivered(), 1u);
+  EXPECT_EQ(net.bytes_sent(), 100u);
+}
+
+TEST_F(NetworkFixture, UnregisteredReceiverDrops) {
+  NetworkModel net = MakeNet();
+  net.Send(1, 2, 7, std::make_shared<TestPayload>(1));
+  sim_.RunUntilIdle();
+  EXPECT_EQ(net.messages_delivered(), 0u);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkFixture, UnregisterStopsDelivery) {
+  NetworkModel net = MakeNet();
+  int received = 0;
+  net.RegisterNode(2, [&](const Message&) { ++received; });
+  net.Send(1, 2, 7, std::make_shared<TestPayload>(1));
+  net.UnregisterNode(2);  // crash before delivery
+  sim_.RunUntilIdle();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(NetworkFixture, PerPairFifoDespiteJitter) {
+  NetworkModel::Config cfg;
+  cfg.jitter_mean = VirtualDuration::Millis(50);  // heavy jitter
+  NetworkModel net = MakeNet(cfg);
+  std::vector<int> received;
+  net.RegisterNode(2, [&](const Message& msg) {
+    received.push_back(std::static_pointer_cast<const TestPayload>(msg.payload)->value);
+  });
+  for (int i = 0; i < 50; ++i) {
+    net.Send(1, 2, 7, std::make_shared<TestPayload>(i));
+  }
+  sim_.RunUntilIdle();
+  ASSERT_EQ(received.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(received[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST_F(NetworkFixture, PairSeqCountsPerTypeAndPair) {
+  NetworkModel net = MakeNet();
+  std::vector<uint64_t> seqs;
+  net.RegisterNode(2, [&](const Message& msg) { seqs.push_back(msg.pair_seq); });
+  net.Send(1, 2, 7, std::make_shared<TestPayload>(0));
+  net.Send(1, 2, 7, std::make_shared<TestPayload>(0));
+  net.Send(1, 2, 8, std::make_shared<TestPayload>(0));  // other type: own counter
+  net.Send(3, 2, 7, std::make_shared<TestPayload>(0));  // other pair: own counter
+  sim_.RunUntilIdle();
+  ASSERT_EQ(seqs.size(), 4u);
+  EXPECT_EQ(seqs[0], 1u);
+  EXPECT_EQ(seqs[1], 2u);
+  EXPECT_EQ(seqs[2], 1u);
+  EXPECT_EQ(seqs[3], 1u);
+}
+
+TEST_F(NetworkFixture, LossDropsApproximatelyTheConfiguredFraction) {
+  NetworkModel::Config cfg;
+  cfg.loss_probability = 0.2;
+  NetworkModel net = MakeNet(cfg);
+  net.RegisterNode(2, [](const Message&) {});
+  for (int i = 0; i < 5000; ++i) {
+    net.Send(1, 2, 7, std::make_shared<TestPayload>(0));
+  }
+  sim_.RunUntilIdle();
+  double drop_rate =
+      static_cast<double>(net.messages_dropped()) / static_cast<double>(net.messages_sent());
+  EXPECT_NEAR(drop_rate, 0.2, 0.03);
+}
+
+TEST_F(NetworkFixture, SameMachineUsesLoopbackLatency) {
+  NetworkModel::Config cfg;
+  cfg.loopback_latency = VirtualDuration::Micros(10);
+  cfg.base_latency = VirtualDuration::Millis(10);
+  cfg.jitter_mean = VirtualDuration::Nanos(1);
+  NetworkModel net = MakeNet(cfg);
+  net.set_same_machine_fn([](NodeId a, NodeId b) { return a == 1 && b == 2; });
+  std::vector<double> arrival;
+  net.RegisterNode(2, [&](const Message&) { arrival.push_back(sim_.Now().seconds()); });
+  net.RegisterNode(3, [&](const Message&) { arrival.push_back(sim_.Now().seconds()); });
+  net.Send(1, 2, 7, std::make_shared<TestPayload>(0));  // local
+  net.Send(1, 3, 7, std::make_shared<TestPayload>(0));  // remote
+  sim_.RunUntilIdle();
+  ASSERT_EQ(arrival.size(), 2u);
+  EXPECT_LT(arrival[0], 1e-4);   // ~10us
+  EXPECT_GT(arrival[1], 9e-3);   // ~10ms
+}
+
+}  // namespace
+}  // namespace scalecheck

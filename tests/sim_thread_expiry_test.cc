@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/thread.h"
+
+namespace scalecheck {
+namespace {
+
+class ExpiryFixture : public ::testing::Test {
+ protected:
+  ExpiryFixture() : sim_(1) {
+    MachineSpec spec;
+    spec.cores = 1.0;
+    spec.ctx_switch_penalty = 0.0;
+    machine_ = std::make_unique<Machine>(&sim_, 0, spec);
+    thread_ = std::make_unique<SimThread>(&sim_, machine_.get(), "t");
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<SimThread> thread_;
+};
+
+TEST_F(ExpiryFixture, FreshJobsRunNormally) {
+  bool ran = false;
+  Job job("j");
+  job.ExpiresAfter(VirtualDuration::Seconds(1));
+  job.Run([&] { ran = true; });
+  thread_->Enqueue(std::move(job));
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(thread_->jobs_dropped(), 0u);
+}
+
+TEST_F(ExpiryFixture, StaleJobsAreShedUnstarted) {
+  // A 10s hog delays the queue; jobs with a 2s expiry behind it are dropped.
+  Job hog("hog");
+  hog.Compute(10'000'000'000);
+  thread_->Enqueue(std::move(hog));
+
+  int ran = 0;
+  for (int i = 0; i < 5; ++i) {
+    Job job("stale");
+    job.ExpiresAfter(VirtualDuration::Seconds(2));
+    job.Run([&] { ++ran; });
+    thread_->Enqueue(std::move(job));
+  }
+  Job durable("durable");  // no expiry: survives any wait
+  durable.Run([&] { ++ran; });
+  thread_->Enqueue(std::move(durable));
+
+  sim_.RunUntilIdle();
+  EXPECT_EQ(ran, 1);  // only the unexpiring job
+  EXPECT_EQ(thread_->jobs_dropped(), 5u);
+}
+
+TEST_F(ExpiryFixture, ExpiryMeasuredFromIntendedTime) {
+  Job hog("hog");
+  hog.Compute(3'000'000'000);  // 3s
+  thread_->Enqueue(std::move(hog));
+
+  // Intended 2s in the past already; 4s expiry still leaves 3s of patience.
+  bool ran = false;
+  Job job("j");
+  job.IntendedAt(sim_.Now());
+  job.ExpiresAfter(VirtualDuration::Seconds(4));
+  job.Run([&] { ran = true; });
+  thread_->Enqueue(std::move(job));
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(ran);  // 3s wait < 4s expiry
+}
+
+TEST_F(ExpiryFixture, DroppedJobsStillAllowLaterWork) {
+  Job hog("hog");
+  hog.Compute(5'000'000'000);
+  thread_->Enqueue(std::move(hog));
+  Job stale("stale");
+  stale.ExpiresAfter(VirtualDuration::Millis(100));
+  stale.Run([] { FAIL() << "stale job must not run"; });
+  thread_->Enqueue(std::move(stale));
+  sim_.RunUntilIdle();
+
+  bool ran = false;
+  Job fresh("fresh");
+  fresh.ExpiresAfter(VirtualDuration::Seconds(1));
+  fresh.Run([&] { ran = true; });
+  thread_->Enqueue(std::move(fresh));
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace scalecheck

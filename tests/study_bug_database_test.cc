@@ -1,0 +1,89 @@
+// Pins the bug-study database to the paper's aggregate statements (§2-§4).
+
+#include <gtest/gtest.h>
+
+#include "src/study/bug_database.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(BugDatabaseTest, ThirtyEightBugsTotal) {
+  EXPECT_EQ(BugDatabase::All().size(), 38u);
+}
+
+TEST(BugDatabaseTest, PerSystemCountsMatchPaper) {
+  // §2: "9 Cassandra, 5 Couchbase, 2 Hadoop, 9 HBase, 11 HDFS, 1 Riak, and
+  // 1 Voldemort scalability bugs".
+  auto counts = BugDatabase::CountBySystem();
+  EXPECT_EQ(counts[StudySystem::kCassandra], 9);
+  EXPECT_EQ(counts[StudySystem::kCouchbase], 5);
+  EXPECT_EQ(counts[StudySystem::kHadoop], 2);
+  EXPECT_EQ(counts[StudySystem::kHBase], 9);
+  EXPECT_EQ(counts[StudySystem::kHdfs], 11);
+  EXPECT_EQ(counts[StudySystem::kRiak], 1);
+  EXPECT_EQ(counts[StudySystem::kVoldemort], 1);
+}
+
+TEST(BugDatabaseTest, RootCauseSplitMatchesFootnote) {
+  // §4 footnote: 47% scale-dependent CPU, the other 53% serialization.
+  EXPECT_NEAR(BugDatabase::CpuComputationFraction(), 0.47, 0.01);
+  size_t cpu = BugDatabase::ByRootCause(RootCauseClass::kScaleDependentComputation).size();
+  size_t ser = BugDatabase::ByRootCause(RootCauseClass::kSerializedOnOperations).size();
+  EXPECT_EQ(cpu + ser, 38u);
+  EXPECT_EQ(cpu, 18u);
+}
+
+TEST(BugDatabaseTest, FixTimesMatchSection3) {
+  // §3: "took 1 month to fix on average (with a maximum of 5 months)".
+  EXPECT_GE(BugDatabase::AverageFixMonths(), 0.8);
+  EXPECT_LE(BugDatabase::AverageFixMonths(), 1.5);
+  EXPECT_EQ(BugDatabase::MaxFixMonths(), 5);
+}
+
+TEST(BugDatabaseTest, PaperNamedCassandraLineagePresent) {
+  auto cassandra = BugDatabase::BySystem(StudySystem::kCassandra);
+  int named = 0;
+  for (const StudyBug& bug : cassandra) {
+    if (!bug.curated) {
+      ++named;
+      EXPECT_EQ(bug.id.rfind("CASSANDRA-", 0), 0u);
+    }
+  }
+  EXPECT_EQ(named, 6);  // 3831, 3881, 5456, 6127, 6345, 6409
+}
+
+TEST(BugDatabaseTest, EveryProtocolPathRepresented) {
+  // §3: bugs lingered in "bootstrap, scale-out, decommission, rebalance, and
+  // failover protocols" plus data paths.
+  for (auto p : {ProtocolPath::kBootstrap, ProtocolPath::kScaleOut,
+                 ProtocolPath::kDecommission, ProtocolPath::kRebalance,
+                 ProtocolPath::kFailover, ProtocolPath::kDataPath}) {
+    EXPECT_FALSE(BugDatabase::ByProtocol(p).empty()) << ProtocolPathName(p);
+  }
+}
+
+TEST(BugDatabaseTest, MostSymptomsNeedLargeScale) {
+  // The thesis: most symptoms need >100 nodes — "100-node testing is not
+  // enough".
+  EXPECT_GT(BugDatabase::FractionRequiringScale(100), 0.75);
+  EXPECT_GT(BugDatabase::FractionRequiringScale(8), 0.99);
+}
+
+TEST(BugDatabaseTest, EveryBugHasUserVisibleSymptom) {
+  // §2: "all caused user-visible impacts".
+  for (const StudyBug& bug : BugDatabase::All()) {
+    EXPECT_FALSE(bug.symptom.empty()) << bug.id;
+    EXPECT_FALSE(bug.complexity.empty()) << bug.id;
+    EXPECT_GT(bug.symptom_scale, 0) << bug.id;
+  }
+}
+
+TEST(BugDatabaseTest, NamesResolve) {
+  EXPECT_STREQ(StudySystemName(StudySystem::kHdfs), "HDFS");
+  EXPECT_STREQ(RootCauseClassName(RootCauseClass::kSerializedOnOperations),
+               "unexpected serialization of O(N) operations");
+  EXPECT_STREQ(ProtocolPathName(ProtocolPath::kDecommission), "decommission");
+}
+
+}  // namespace
+}  // namespace scalecheck
