@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_timing.dir/fig1_timing.cc.o"
+  "CMakeFiles/fig1_timing.dir/fig1_timing.cc.o.d"
+  "fig1_timing"
+  "fig1_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

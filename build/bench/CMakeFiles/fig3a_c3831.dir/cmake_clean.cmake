@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_c3831.dir/fig3a_c3831.cc.o"
+  "CMakeFiles/fig3a_c3831.dir/fig3a_c3831.cc.o.d"
+  "fig3a_c3831"
+  "fig3a_c3831.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_c3831.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_c3881.dir/fig3b_c3881.cc.o"
+  "CMakeFiles/fig3b_c3881.dir/fig3b_c3881.cc.o.d"
+  "fig3b_c3881"
+  "fig3b_c3881.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_c3881.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_c5456.dir/fig3c_c5456.cc.o"
+  "CMakeFiles/fig3c_c5456.dir/fig3c_c5456.cc.o.d"
+  "fig3c_c5456"
+  "fig3c_c5456.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_c5456.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3c_c5456.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_calculators.dir/micro_calculators.cc.o"
+  "CMakeFiles/micro_calculators.dir/micro_calculators.cc.o.d"
+  "micro_calculators"
+  "micro_calculators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_calculators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

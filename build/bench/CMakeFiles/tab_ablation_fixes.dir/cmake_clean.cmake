@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ablation_fixes.dir/tab_ablation_fixes.cc.o"
+  "CMakeFiles/tab_ablation_fixes.dir/tab_ablation_fixes.cc.o.d"
+  "tab_ablation_fixes"
+  "tab_ablation_fixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ablation_fixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_bug_study.dir/tab_bug_study.cc.o"
+  "CMakeFiles/tab_bug_study.dir/tab_bug_study.cc.o.d"
+  "tab_bug_study"
+  "tab_bug_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_bug_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_calc_durations.dir/tab_calc_durations.cc.o"
+  "CMakeFiles/tab_calc_durations.dir/tab_calc_durations.cc.o.d"
+  "tab_calc_durations"
+  "tab_calc_durations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_calc_durations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

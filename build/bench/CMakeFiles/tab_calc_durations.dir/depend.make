@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_calc_durations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_colocation_limit.dir/tab_colocation_limit.cc.o"
+  "CMakeFiles/tab_colocation_limit.dir/tab_colocation_limit.cc.o.d"
+  "tab_colocation_limit"
+  "tab_colocation_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_colocation_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

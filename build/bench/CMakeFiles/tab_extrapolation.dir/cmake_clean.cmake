@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_extrapolation.dir/tab_extrapolation.cc.o"
+  "CMakeFiles/tab_extrapolation.dir/tab_extrapolation.cc.o.d"
+  "tab_extrapolation"
+  "tab_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_memo_replay.dir/tab_memo_replay.cc.o"
+  "CMakeFiles/tab_memo_replay.dir/tab_memo_replay.cc.o.d"
+  "tab_memo_replay"
+  "tab_memo_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_memo_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_second_system.dir/tab_second_system.cc.o"
+  "CMakeFiles/tab_second_system.dir/tab_second_system.cc.o.d"
+  "tab_second_system"
+  "tab_second_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_second_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_sfind_report.dir/tab_sfind_report.cc.o"
+  "CMakeFiles/tab_sfind_report.dir/tab_sfind_report.cc.o.d"
+  "tab_sfind_report"
+  "tab_sfind_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sfind_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bootstrap_vnodes.dir/bootstrap_vnodes.cpp.o"
+  "CMakeFiles/example_bootstrap_vnodes.dir/bootstrap_vnodes.cpp.o.d"
+  "bootstrap_vnodes"
+  "bootstrap_vnodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bootstrap_vnodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_decommission_check.dir/decommission_check.cpp.o"
+  "CMakeFiles/example_decommission_check.dir/decommission_check.cpp.o.d"
+  "decommission_check"
+  "decommission_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_decommission_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scalecheck_cli.dir/scalecheck_cli.cpp.o"
+  "CMakeFiles/example_scalecheck_cli.dir/scalecheck_cli.cpp.o.d"
+  "scalecheck_cli"
+  "scalecheck_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scalecheck_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

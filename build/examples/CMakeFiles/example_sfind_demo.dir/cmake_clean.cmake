@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sfind_demo.dir/sfind_demo.cpp.o"
+  "CMakeFiles/example_sfind_demo.dir/sfind_demo.cpp.o.d"
+  "sfind_demo"
+  "sfind_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sfind_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

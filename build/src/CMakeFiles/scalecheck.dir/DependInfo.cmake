@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/scalecheck.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/node.cc" "src/CMakeFiles/scalecheck.dir/cluster/node.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/cluster/node.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/scalecheck.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/scalecheck.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/result.cc" "src/CMakeFiles/scalecheck.dir/common/result.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/common/result.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/scalecheck.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/scalecheck.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/scalecheck.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/common/strings.cc.o.d"
+  "/root/repo/src/dfs/dfs.cc" "src/CMakeFiles/scalecheck.dir/dfs/dfs.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/dfs/dfs.cc.o.d"
+  "/root/repo/src/gossip/endpoint_state.cc" "src/CMakeFiles/scalecheck.dir/gossip/endpoint_state.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/gossip/endpoint_state.cc.o.d"
+  "/root/repo/src/gossip/failure_detector.cc" "src/CMakeFiles/scalecheck.dir/gossip/failure_detector.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/gossip/failure_detector.cc.o.d"
+  "/root/repo/src/gossip/flap_counter.cc" "src/CMakeFiles/scalecheck.dir/gossip/flap_counter.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/gossip/flap_counter.cc.o.d"
+  "/root/repo/src/gossip/gossiper.cc" "src/CMakeFiles/scalecheck.dir/gossip/gossiper.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/gossip/gossiper.cc.o.d"
+  "/root/repo/src/kv/kv_service.cc" "src/CMakeFiles/scalecheck.dir/kv/kv_service.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/kv/kv_service.cc.o.d"
+  "/root/repo/src/kv/storage_engine.cc" "src/CMakeFiles/scalecheck.dir/kv/storage_engine.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/kv/storage_engine.cc.o.d"
+  "/root/repo/src/pil/boundary.cc" "src/CMakeFiles/scalecheck.dir/pil/boundary.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/pil/boundary.cc.o.d"
+  "/root/repo/src/pil/function_registry.cc" "src/CMakeFiles/scalecheck.dir/pil/function_registry.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/pil/function_registry.cc.o.d"
+  "/root/repo/src/pil/memo_store.cc" "src/CMakeFiles/scalecheck.dir/pil/memo_store.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/pil/memo_store.cc.o.d"
+  "/root/repo/src/pil/order_log.cc" "src/CMakeFiles/scalecheck.dir/pil/order_log.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/pil/order_log.cc.o.d"
+  "/root/repo/src/ring/calc_bootstrap.cc" "src/CMakeFiles/scalecheck.dir/ring/calc_bootstrap.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/ring/calc_bootstrap.cc.o.d"
+  "/root/repo/src/ring/calc_factory.cc" "src/CMakeFiles/scalecheck.dir/ring/calc_factory.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/ring/calc_factory.cc.o.d"
+  "/root/repo/src/ring/calc_reference.cc" "src/CMakeFiles/scalecheck.dir/ring/calc_reference.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/ring/calc_reference.cc.o.d"
+  "/root/repo/src/ring/calc_v1.cc" "src/CMakeFiles/scalecheck.dir/ring/calc_v1.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/ring/calc_v1.cc.o.d"
+  "/root/repo/src/ring/calc_v2.cc" "src/CMakeFiles/scalecheck.dir/ring/calc_v2.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/ring/calc_v2.cc.o.d"
+  "/root/repo/src/ring/calc_v3.cc" "src/CMakeFiles/scalecheck.dir/ring/calc_v3.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/ring/calc_v3.cc.o.d"
+  "/root/repo/src/ring/pending_ranges.cc" "src/CMakeFiles/scalecheck.dir/ring/pending_ranges.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/ring/pending_ranges.cc.o.d"
+  "/root/repo/src/ring/token_ring.cc" "src/CMakeFiles/scalecheck.dir/ring/token_ring.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/ring/token_ring.cc.o.d"
+  "/root/repo/src/scalecheck/scale_check.cc" "src/CMakeFiles/scalecheck.dir/scalecheck/scale_check.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/scalecheck/scale_check.cc.o.d"
+  "/root/repo/src/sfind/finder.cc" "src/CMakeFiles/scalecheck.dir/sfind/finder.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/sfind/finder.cc.o.d"
+  "/root/repo/src/sfind/fitter.cc" "src/CMakeFiles/scalecheck.dir/sfind/fitter.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/sfind/fitter.cc.o.d"
+  "/root/repo/src/sim/cpu_model.cc" "src/CMakeFiles/scalecheck.dir/sim/cpu_model.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/sim/cpu_model.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/scalecheck.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/scalecheck.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/memory_model.cc" "src/CMakeFiles/scalecheck.dir/sim/memory_model.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/sim/memory_model.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/scalecheck.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/scalecheck.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/sync.cc" "src/CMakeFiles/scalecheck.dir/sim/sync.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/sim/sync.cc.o.d"
+  "/root/repo/src/sim/thread.cc" "src/CMakeFiles/scalecheck.dir/sim/thread.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/sim/thread.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/scalecheck.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/sim/trace.cc.o.d"
+  "/root/repo/src/study/bug_database.cc" "src/CMakeFiles/scalecheck.dir/study/bug_database.cc.o" "gcc" "src/CMakeFiles/scalecheck.dir/study/bug_database.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_names_test.dir/cluster_names_test.cc.o"
+  "CMakeFiles/cluster_names_test.dir/cluster_names_test.cc.o.d"
+  "cluster_names_test"
+  "cluster_names_test.pdb"
+  "cluster_names_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_names_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

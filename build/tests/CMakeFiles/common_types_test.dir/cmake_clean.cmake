@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_types_test.dir/common_types_test.cc.o"
+  "CMakeFiles/common_types_test.dir/common_types_test.cc.o.d"
+  "common_types_test"
+  "common_types_test.pdb"
+  "common_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

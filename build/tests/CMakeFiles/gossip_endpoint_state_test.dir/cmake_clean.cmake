@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_endpoint_state_test.dir/gossip_endpoint_state_test.cc.o"
+  "CMakeFiles/gossip_endpoint_state_test.dir/gossip_endpoint_state_test.cc.o.d"
+  "gossip_endpoint_state_test"
+  "gossip_endpoint_state_test.pdb"
+  "gossip_endpoint_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_endpoint_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_failure_detector_test.dir/gossip_failure_detector_test.cc.o"
+  "CMakeFiles/gossip_failure_detector_test.dir/gossip_failure_detector_test.cc.o.d"
+  "gossip_failure_detector_test"
+  "gossip_failure_detector_test.pdb"
+  "gossip_failure_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_failure_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

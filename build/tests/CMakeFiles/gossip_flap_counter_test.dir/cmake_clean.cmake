@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_flap_counter_test.dir/gossip_flap_counter_test.cc.o"
+  "CMakeFiles/gossip_flap_counter_test.dir/gossip_flap_counter_test.cc.o.d"
+  "gossip_flap_counter_test"
+  "gossip_flap_counter_test.pdb"
+  "gossip_flap_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_flap_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

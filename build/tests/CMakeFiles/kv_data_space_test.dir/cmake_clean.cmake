@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_data_space_test.dir/kv_data_space_test.cc.o"
+  "CMakeFiles/kv_data_space_test.dir/kv_data_space_test.cc.o.d"
+  "kv_data_space_test"
+  "kv_data_space_test.pdb"
+  "kv_data_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_data_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pil_boundary_test.dir/pil_boundary_test.cc.o"
+  "CMakeFiles/pil_boundary_test.dir/pil_boundary_test.cc.o.d"
+  "pil_boundary_test"
+  "pil_boundary_test.pdb"
+  "pil_boundary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pil_boundary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

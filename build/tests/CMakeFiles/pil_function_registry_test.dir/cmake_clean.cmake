@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pil_function_registry_test.dir/pil_function_registry_test.cc.o"
+  "CMakeFiles/pil_function_registry_test.dir/pil_function_registry_test.cc.o.d"
+  "pil_function_registry_test"
+  "pil_function_registry_test.pdb"
+  "pil_function_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pil_function_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pil_memo_store_test.dir/pil_memo_store_test.cc.o"
+  "CMakeFiles/pil_memo_store_test.dir/pil_memo_store_test.cc.o.d"
+  "pil_memo_store_test"
+  "pil_memo_store_test.pdb"
+  "pil_memo_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pil_memo_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

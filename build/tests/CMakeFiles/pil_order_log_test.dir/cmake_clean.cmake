@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pil_order_log_test.dir/pil_order_log_test.cc.o"
+  "CMakeFiles/pil_order_log_test.dir/pil_order_log_test.cc.o.d"
+  "pil_order_log_test"
+  "pil_order_log_test.pdb"
+  "pil_order_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pil_order_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

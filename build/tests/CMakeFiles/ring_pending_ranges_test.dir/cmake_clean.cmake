@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_pending_ranges_test.dir/ring_pending_ranges_test.cc.o"
+  "CMakeFiles/ring_pending_ranges_test.dir/ring_pending_ranges_test.cc.o.d"
+  "ring_pending_ranges_test"
+  "ring_pending_ranges_test.pdb"
+  "ring_pending_ranges_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_pending_ranges_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

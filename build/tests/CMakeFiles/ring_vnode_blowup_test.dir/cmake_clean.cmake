@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_vnode_blowup_test.dir/ring_vnode_blowup_test.cc.o"
+  "CMakeFiles/ring_vnode_blowup_test.dir/ring_vnode_blowup_test.cc.o.d"
+  "ring_vnode_blowup_test"
+  "ring_vnode_blowup_test.pdb"
+  "ring_vnode_blowup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_vnode_blowup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

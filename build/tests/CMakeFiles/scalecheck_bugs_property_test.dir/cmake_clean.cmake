@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalecheck_bugs_property_test.dir/scalecheck_bugs_property_test.cc.o"
+  "CMakeFiles/scalecheck_bugs_property_test.dir/scalecheck_bugs_property_test.cc.o.d"
+  "scalecheck_bugs_property_test"
+  "scalecheck_bugs_property_test.pdb"
+  "scalecheck_bugs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalecheck_bugs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalecheck_pipeline_test.dir/scalecheck_pipeline_test.cc.o"
+  "CMakeFiles/scalecheck_pipeline_test.dir/scalecheck_pipeline_test.cc.o.d"
+  "scalecheck_pipeline_test"
+  "scalecheck_pipeline_test.pdb"
+  "scalecheck_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalecheck_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfind_finder_test.dir/sfind_finder_test.cc.o"
+  "CMakeFiles/sfind_finder_test.dir/sfind_finder_test.cc.o.d"
+  "sfind_finder_test"
+  "sfind_finder_test.pdb"
+  "sfind_finder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfind_finder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

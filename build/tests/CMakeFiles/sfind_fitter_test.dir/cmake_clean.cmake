@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfind_fitter_test.dir/sfind_fitter_test.cc.o"
+  "CMakeFiles/sfind_fitter_test.dir/sfind_fitter_test.cc.o.d"
+  "sfind_fitter_test"
+  "sfind_fitter_test.pdb"
+  "sfind_fitter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfind_fitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

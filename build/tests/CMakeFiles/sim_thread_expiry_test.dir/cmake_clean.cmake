@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_thread_expiry_test.dir/sim_thread_expiry_test.cc.o"
+  "CMakeFiles/sim_thread_expiry_test.dir/sim_thread_expiry_test.cc.o.d"
+  "sim_thread_expiry_test"
+  "sim_thread_expiry_test.pdb"
+  "sim_thread_expiry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_thread_expiry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

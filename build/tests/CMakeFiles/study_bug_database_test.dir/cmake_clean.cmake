@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_bug_database_test.dir/study_bug_database_test.cc.o"
+  "CMakeFiles/study_bug_database_test.dir/study_bug_database_test.cc.o.d"
+  "study_bug_database_test"
+  "study_bug_database_test.pdb"
+  "study_bug_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_bug_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

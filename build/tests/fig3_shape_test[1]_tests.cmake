@@ -1,0 +1,3 @@
+add_test([=[Fig3Shape.C3831At128RealQuietColoStormsPilAgrees]=]  /root/repo/build/tests/fig3_shape_test [==[--gtest_filter=Fig3Shape.C3831At128RealQuietColoStormsPilAgrees]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Fig3Shape.C3831At128RealQuietColoStormsPilAgrees]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 600)
+set(  fig3_shape_test_TESTS Fig3Shape.C3831At128RealQuietColoStormsPilAgrees)
