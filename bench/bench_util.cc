@@ -3,23 +3,38 @@
 namespace scalecheck {
 namespace bench {
 
-void RunFigure3Series(const BugSpec& spec, const std::vector<int>& scales,
+void RunFigure3Series(const BugSpec& spec, const std::vector<int>& scales, int jobs,
                       const char* figure_label) {
   std::printf("%s — bug %s: %s\n", figure_label, spec.id.c_str(),
               spec.description.c_str());
-  std::printf("calculator=%s placement=%s vnodes=%d workload=%s\n\n",
+  std::printf("calculator=%s placement=%s vnodes=%d workload=%s jobs=%d\n\n",
               CalcVersionName(spec.calc_version), CalcPlacementName(spec.placement),
-              spec.vnodes_per_node, WorkloadKindName(spec.workload));
+              spec.vnodes_per_node, WorkloadKindName(spec.workload), jobs);
+
+  // The whole figure is one declarative grid; the suite fans the independent
+  // runs out across host threads (replays still wait for their memoize runs).
+  ExperimentSpec grid;
+  grid.bugs = {spec};
+  grid.modes = {RunMode::kRealScale, RunMode::kColocated, RunMode::kMemoize,
+                RunMode::kPilReplay};
+  grid.scales = scales;
+  grid.jobs = jobs;
+
+  WallTimer timer;
+  SuiteReport report = ExperimentSuite(grid).Run();
+  double elapsed = timer.Seconds();
 
   std::vector<std::string> header = {"#Nodes",   "Real",      "Colo",
                                      "SC+PIL",   "PIL err",   "Colo err",
-                                     "memoDB",   "hit rate",  "wall(s)"};
+                                     "memoDB",   "hit rate",  "run wall(s)"};
   std::vector<std::vector<std::string>> rows;
 
   for (int n : scales) {
-    WallTimer timer;
-    ScaleCheckRunner runner(spec);
-    ScaleCheckResult r = runner.RunFull(n);
+    ScaleCheckResult r = report.Assemble(spec.id, n, kDefaultSuiteSeed);
+    double cell_wall = 0.0;
+    for (RunMode mode : grid.modes) {
+      cell_wall += report.Find(spec.id, mode, n, kDefaultSuiteSeed)->wall_seconds;
+    }
     rows.push_back({
         StrFormat("%d", n),
         StrFormat("%.1fk", static_cast<double>(r.real.flaps) / 1000.0),
@@ -34,7 +49,7 @@ void RunFigure3Series(const BugSpec& spec, const std::vector<int>& scales,
                       : 100.0 * static_cast<double>(r.replay.pil.replay_hits) /
                             static_cast<double>(r.replay.pil.replay_hits +
                                                 r.replay.pil.replay_misses)),
-        StrFormat("%.1f", timer.Seconds()),
+        StrFormat("%.1f", cell_wall),
     });
     std::printf("  n=%-4d real: %s\n", n, r.real.Summary().c_str());
     std::printf("         colo: %s\n", r.colo.Summary().c_str());
@@ -43,6 +58,13 @@ void RunFigure3Series(const BugSpec& spec, const std::vector<int>& scales,
   }
 
   std::printf("%s\n", RenderTable(header, rows).c_str());
+  if (jobs <= 0) {
+    std::printf("suite wall-clock: %.1fs elapsed for %.1fs of runs (auto host threads)\n",
+                elapsed, report.total_run_wall_seconds());
+  } else {
+    std::printf("suite wall-clock: %.1fs elapsed for %.1fs of runs (%d host thread%s)\n",
+                elapsed, report.total_run_wall_seconds(), jobs, jobs == 1 ? "" : "s");
+  }
   std::printf("Paper shape check: flaps surface only at the largest scales; Colo is "
               "far off Real at every scale; SC+PIL tracks Real.\n");
 }

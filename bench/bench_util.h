@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "src/common/strings.h"
+#include "src/scalecheck/bug_catalog.h"
+#include "src/scalecheck/experiment_suite.h"
 #include "src/scalecheck/scale_check.h"
 
 namespace scalecheck {
@@ -39,6 +41,32 @@ inline std::vector<int> ScalesFromArgs(int argc, char** argv) {
   return DefaultScales();
 }
 
+// Parses "--jobs=N" (host worker threads for the ExperimentSuite executor;
+// 0 = hardware concurrency). Defaults to 1 so bench output stays directly
+// comparable run-to-run; pass --jobs=0 on a multi-core host for the speedup.
+inline int JobsFromArgs(int argc, char** argv, int default_jobs = 1) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--jobs=";
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stoi(arg.substr(prefix.size()));
+    }
+  }
+  return default_jobs;
+}
+
+// Parses "--nodes=N" single-scale overrides used by the table benches.
+inline int NodesFromArgs(int argc, char** argv, int default_nodes) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--nodes=";
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stoi(arg.substr(prefix.size()));
+    }
+  }
+  return default_nodes;
+}
+
 class WallTimer {
  public:
   WallTimer() : start_(std::chrono::steady_clock::now()) {}
@@ -51,9 +79,10 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-// Runs Real / Colo / Memoize+Replay for a bug at each scale and prints the
-// Figure 3 series ("#Flaps (x1000)" per mode) plus accuracy columns.
-void RunFigure3Series(const BugSpec& spec, const std::vector<int>& scales,
+// Runs Real / Colo / Memoize+Replay for a bug at each scale through one
+// host-parallel ExperimentSuite and prints the Figure 3 series ("#Flaps
+// (x1000)" per mode) plus accuracy columns.
+void RunFigure3Series(const BugSpec& spec, const std::vector<int>& scales, int jobs,
                       const char* figure_label);
 
 }  // namespace bench

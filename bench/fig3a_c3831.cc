@@ -10,7 +10,8 @@
 
 int main(int argc, char** argv) {
   using namespace scalecheck;
-  bench::RunFigure3Series(C3831Spec(), bench::ScalesFromArgs(argc, argv),
+  bench::RunFigure3Series(BugCatalog::Get("C3831"), bench::ScalesFromArgs(argc, argv),
+                          bench::JobsFromArgs(argc, argv),
                           "Figure 3(a): #Flaps vs #Nodes, c3831 Decommission");
   return 0;
 }

@@ -9,7 +9,8 @@
 
 int main(int argc, char** argv) {
   using namespace scalecheck;
-  bench::RunFigure3Series(C3881Spec(), bench::ScalesFromArgs(argc, argv),
+  bench::RunFigure3Series(BugCatalog::Get("C3881"), bench::ScalesFromArgs(argc, argv),
+                          bench::JobsFromArgs(argc, argv),
                           "Figure 3(b): #Flaps vs #Nodes, c3881 Scale-Out (vnodes)");
   return 0;
 }

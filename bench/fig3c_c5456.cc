@@ -10,7 +10,8 @@
 
 int main(int argc, char** argv) {
   using namespace scalecheck;
-  bench::RunFigure3Series(C5456Spec(), bench::ScalesFromArgs(argc, argv),
+  bench::RunFigure3Series(BugCatalog::Get("C5456"), bench::ScalesFromArgs(argc, argv),
+                          bench::JobsFromArgs(argc, argv),
                           "Figure 3(c): #Flaps vs #Nodes, c5456 Scale-Out (ring lock)");
   return 0;
 }

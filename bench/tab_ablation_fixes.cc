@@ -13,14 +13,13 @@
 namespace scalecheck {
 namespace {
 
-void CompareAtScale(const BugSpec& buggy, const BugSpec& fixed, int n,
+void CompareAtScale(const SuiteReport& report, const std::string& buggy_id,
+                    const std::string& fixed_id, int n,
                     std::vector<std::vector<std::string>>* rows) {
-  ScaleCheckRunner buggy_runner(buggy);
-  ScaleCheckRunner fixed_runner(fixed);
-  RunResult b = buggy_runner.RunReal(n);
-  RunResult f = fixed_runner.RunReal(n);
+  const RunResult& b = report.Get(buggy_id, RunMode::kRealScale, n, kDefaultSuiteSeed);
+  const RunResult& f = report.Get(fixed_id, RunMode::kRealScale, n, kDefaultSuiteSeed);
   rows->push_back({
-      buggy.id + " vs " + fixed.id,
+      buggy_id + " vs " + fixed_id,
       StrFormat("%d", n),
       StrFormat("%lld", static_cast<long long>(b.flaps)),
       StrFormat("%lld", static_cast<long long>(f.flaps)),
@@ -36,21 +35,25 @@ void CompareAtScale(const BugSpec& buggy, const BugSpec& fixed, int n,
 
 int main(int argc, char** argv) {
   using namespace scalecheck;
-  int n = 256;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--nodes=", 0) == 0) {
-      n = std::stoi(arg.substr(8));
-    }
-  }
+  int n = bench::NodesFromArgs(argc, argv, 256);
   std::printf("Ablation: buggy configuration vs its historical fix (real-scale runs "
               "at N=%d)\n\n", n);
+
+  // Four independent real-scale runs — one grid, parallel under --jobs=N.
+  ExperimentSpec grid;
+  grid.bugs = {BugCatalog::Get("C3831"), BugCatalog::Get("C3831-fixed"),
+               BugCatalog::Get("C5456"), BugCatalog::Get("C5456-fixed")};
+  grid.modes = {RunMode::kRealScale};
+  grid.scales = {n};
+  grid.jobs = bench::JobsFromArgs(argc, argv);
+  SuiteReport report = ExperimentSuite(grid).Run();
+
   std::vector<std::string> header = {"pair",        "N",          "flaps(bug)",
                                      "flaps(fix)",  "calc max(bug)", "calc max(fix)",
                                      "lock max(bug)", "lock max(fix)"};
   std::vector<std::vector<std::string>> rows;
-  CompareAtScale(C3831Spec(), C3831FixedSpec(), n, &rows);
-  CompareAtScale(C5456Spec(), C5456FixedSpec(), n, &rows);
+  CompareAtScale(report, "C3831", "C3831-fixed", n, &rows);
+  CompareAtScale(report, "C5456", "C5456-fixed", n, &rows);
   std::printf("%s\n", RenderTable(header, rows).c_str());
   std::printf("Expected: each fix eliminates (or slashes) the flaps its bug caused —\n"
               "C3831's fix by removing the cubic computation, C5456's by shrinking\n"

@@ -22,53 +22,38 @@
 namespace scalecheck {
 namespace {
 
-struct LimitRow {
-  double cpu = 0.0;
-  bool oom = false;
-  int crashed = 0;
-  VirtualDuration lateness_p99;
+// The three runtime variants as declarative specs: same calculator, same
+// small scale-out (rebalance allocations are the point of §6), different
+// deployment engineering.
+BugSpec LimitProbeSpec(const char* id, ExecModel exec_model, bool space_oblivious) {
+  BugSpec spec;
+  spec.id = id;
+  spec.description = "colocation-limit probe (§8 Nome machine)";
+  spec.calc_version = CalcVersion::kV3C3881Fix;
+  spec.placement = CalcPlacement::kInlineGossipStage;
+  spec.vnodes_per_node = 1;
+  spec.workload = WorkloadKind::kScaleOut;
+  spec.join_fraction = 1.0 / 32;
+  spec.horizon = VirtualDuration::Seconds(120);
+  spec.transition_override = VirtualDuration::Seconds(20);
+  spec.exec_model = exec_model;
+  spec.space_oblivious_rebalance = space_oblivious;
+  return spec;
+}
+
+std::string Verdict(const RunResult& r) {
   std::string verdict;
-};
-
-LimitRow Probe(int n, ExecModel exec_model, bool space_oblivious) {
-  ClusterConfig config;
-  config.initial_nodes = n;
-  config.vnodes_per_node = 1;
-  config.calc_version = CalcVersion::kV3C3881Fix;
-  config.calc_placement = CalcPlacement::kInlineGossipStage;
-  config.run_mode = RunMode::kColocated;
-  config.exec_model = exec_model;
-  config.space_oblivious_rebalance = space_oblivious;
-  config.seed = 1234;
-
-  WorkloadSpec wl;
-  // A small scale-out so the rebalance allocations (§6) actually happen.
-  wl.kind = WorkloadKind::kScaleOut;
-  wl.joining_nodes = std::max(1, n / 32);
-  wl.horizon = VirtualDuration::Seconds(120);
-  wl.transition = VirtualDuration::Seconds(20);
-
-  Cluster::Options options;
-  options.config = config;
-  options.workload = wl;
-  Cluster cluster(std::move(options));
-  RunResult r = cluster.Run();
-
-  LimitRow row;
-  row.cpu = r.max_cpu_utilization;
-  row.oom = r.oom;
-  row.crashed = r.crashed_nodes;
-  row.lateness_p99 = r.lateness_p99;
   if (r.oom) {
-    row.verdict = StrFormat("OOM (%d crashed)", r.crashed_nodes);
+    verdict = StrFormat("OOM (%d crashed)", r.crashed_nodes);
   } else if (r.max_cpu_utilization > 0.9) {
-    row.verdict = "CPU >90%";
+    verdict = "CPU >90%";
   } else if (r.lateness_p99 > VirtualDuration::Seconds(2)) {
-    row.verdict = "event lateness";
+    verdict = "event lateness";
   } else {
-    row.verdict = "OK";
+    verdict = "OK";
   }
-  return row;
+  return StrFormat("%s [cpu %.0f%%, p99 %s]", verdict.c_str(),
+                   r.max_cpu_utilization * 100, r.lateness_p99.ToString().c_str());
 }
 
 }  // namespace
@@ -81,18 +66,27 @@ int main(int argc, char** argv) {
       "Section 8: maximum colocation factor on one 16-core/32GB machine\n"
       "(per-process vs SEDA-redesigned runtime vs space-oblivious rebalance)\n\n");
 
+  constexpr uint64_t kProbeSeed = 1234;
+  ExperimentSpec grid;
+  grid.bugs = {LimitProbeSpec("probe-process", ExecModel::kProcessPerNode, false),
+               LimitProbeSpec("probe-seda", ExecModel::kSedaSingleProcess, false),
+               LimitProbeSpec("probe-oblivious", ExecModel::kSedaSingleProcess, true)};
+  grid.modes = {RunMode::kColocated};
+  grid.scales = {128, 256, 384, 448, 512, 640};
+  grid.seeds = {kProbeSeed};
+  grid.jobs = bench::JobsFromArgs(argc, argv);
+  SuiteReport report = ExperimentSuite(grid).Run();
+
   std::vector<std::string> header = {"N", "process/node", "SEDA redesign",
                                      "SEDA + space-oblivious"};
   std::vector<std::vector<std::string>> rows;
-  for (int n : {128, 256, 384, 448, 512, 640}) {
-    LimitRow process = Probe(n, ExecModel::kProcessPerNode, false);
-    LimitRow seda = Probe(n, ExecModel::kSedaSingleProcess, false);
-    LimitRow oblivious = Probe(n, ExecModel::kSedaSingleProcess, true);
-    auto cell = [](const LimitRow& row) {
-      return StrFormat("%s [cpu %.0f%%, p99 %s]", row.verdict.c_str(), row.cpu * 100,
-                       row.lateness_p99.ToString().c_str());
-    };
-    rows.push_back({StrFormat("%d", n), cell(process), cell(seda), cell(oblivious)});
+  for (int n : grid.scales) {
+    rows.push_back({
+        StrFormat("%d", n),
+        Verdict(report.Get("probe-process", RunMode::kColocated, n, kProbeSeed)),
+        Verdict(report.Get("probe-seda", RunMode::kColocated, n, kProbeSeed)),
+        Verdict(report.Get("probe-oblivious", RunMode::kColocated, n, kProbeSeed)),
+    });
   }
   std::printf("%s\n", RenderTable(header, rows).c_str());
   std::printf("Expected: process-per-node exhausts 32GB well below 512 nodes; the\n"

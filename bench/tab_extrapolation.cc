@@ -18,16 +18,24 @@
 
 int main(int argc, char** argv) {
   using namespace scalecheck;
-  BugSpec spec = C3831Spec();
-  ScaleCheckRunner runner(spec);
+  const BugSpec& spec = BugCatalog::Get("C3831");
 
+  // Training scales plus the ground-truth scale, all independent real-scale
+  // runs — one grid.
   std::vector<int> training = {16, 32, 48, 64};
+  ExperimentSpec grid;
+  grid.bugs = {spec};
+  grid.modes = {RunMode::kRealScale};
+  grid.scales = {16, 32, 48, 64, 256};
+  grid.jobs = bench::JobsFromArgs(argc, argv);
+  SuiteReport report = ExperimentSuite(grid).Run();
+
   std::vector<std::pair<double, double>> flap_points;
   std::vector<std::pair<double, double>> duration_points;
 
   std::printf("Training runs (real scale):\n");
   for (int n : training) {
-    RunResult r = runner.RunReal(n);
+    const RunResult& r = report.Get(spec.id, RunMode::kRealScale, n, kDefaultSuiteSeed);
     std::printf("  n=%-3d flaps=%-6lld calc_max=%.4fs\n", n,
                 static_cast<long long>(r.flaps), r.calc_duration_seconds.max());
     flap_points.emplace_back(n, static_cast<double>(r.flaps));
@@ -46,7 +54,8 @@ int main(int argc, char** argv) {
               duration_fit.Describe().c_str(), PredictOps(duration_fit, 256));
 
   std::printf("\nGround truth at N=256 (real-scale run):\n");
-  RunResult truth = runner.RunReal(256);
+  const RunResult& truth =
+      report.Get(spec.id, RunMode::kRealScale, 256, kDefaultSuiteSeed);
   std::printf("  flaps=%lld calc_max=%.2fs shed=%llu\n",
               static_cast<long long>(truth.flaps), truth.calc_duration_seconds.max(),
               static_cast<unsigned long long>(truth.stage_tasks_dropped));

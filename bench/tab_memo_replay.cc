@@ -14,42 +14,51 @@
 
 int main(int argc, char** argv) {
   using namespace scalecheck;
-  int n = 256;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--nodes=", 0) == 0) {
-      n = std::stoi(arg.substr(8));
-    }
-  }
+  int n = bench::NodesFromArgs(argc, argv, 256);
 
   std::printf("Section 8 table: memoization vs replay vs real time at %d-node scale\n\n",
               n);
+
+  // One declarative grid over the three bugs; the per-bug triples are
+  // independent, so --jobs=N runs them concurrently without changing any
+  // number in the table.
+  ExperimentSpec grid;
+  for (const char* id : {"C3831", "C3881", "C5456"}) {
+    BugSpec spec = BugCatalog::Get(id);
+    // Longer horizon than the figure benches so contended memoize runs can
+    // settle instead of being truncated (which would compress the ratios).
+    spec.horizon = VirtualDuration::Seconds(900);
+    grid.bugs.push_back(std::move(spec));
+  }
+  grid.modes = {RunMode::kRealScale, RunMode::kMemoize, RunMode::kPilReplay};
+  grid.scales = {n};
+  grid.jobs = bench::JobsFromArgs(argc, argv);
+  SuiteReport report = ExperimentSuite(grid).Run();
+
   std::vector<std::string> header = {"bug",        "memoize",    "replay",
                                      "real",       "replay/real", "memo/replay",
                                      "memo DB",    "hit rate"};
   std::vector<std::vector<std::string>> rows;
 
-  for (BugSpec spec : {C3831Spec(), C3881Spec(), C5456Spec()}) {
-    // Longer horizon than the figure benches so contended memoize runs can
-    // settle instead of being truncated (which would compress the ratios).
-    spec.horizon = VirtualDuration::Seconds(900);
-    ScaleCheckRunner runner(spec);
-    ScaleCheckResult r = runner.RunFull(n);
-    double lookups = static_cast<double>(r.replay.pil.replay_hits +
-                                         r.replay.pil.replay_misses);
+  for (const BugSpec& spec : grid.bugs) {
+    const RunResult& real = report.Get(spec.id, RunMode::kRealScale, n, kDefaultSuiteSeed);
+    const RunResult& memoize = report.Get(spec.id, RunMode::kMemoize, n, kDefaultSuiteSeed);
+    const RunResult& replay = report.Get(spec.id, RunMode::kPilReplay, n, kDefaultSuiteSeed);
+    double lookups =
+        static_cast<double>(replay.pil.replay_hits + replay.pil.replay_misses);
     rows.push_back({
         spec.id,
-        r.memoize.test_duration.ToString(),
-        r.replay.test_duration.ToString(),
-        r.real.test_duration.ToString(),
-        StrFormat("%.2f", r.replay.test_duration.seconds() /
-                              std::max(1.0, r.real.test_duration.seconds())),
-        StrFormat("%.2f", r.memoize.test_duration.seconds() /
-                              std::max(1.0, r.replay.test_duration.seconds())),
-        StrFormat("%llu rec", static_cast<unsigned long long>(r.memo.records)),
+        memoize.test_duration.ToString(),
+        replay.test_duration.ToString(),
+        real.test_duration.ToString(),
+        StrFormat("%.2f", replay.test_duration.seconds() /
+                              std::max(1.0, real.test_duration.seconds())),
+        StrFormat("%.2f", memoize.test_duration.seconds() /
+                              std::max(1.0, replay.test_duration.seconds())),
+        StrFormat("%llu rec", static_cast<unsigned long long>(replay.memo.records)),
         StrFormat("%.0f%%", lookups == 0 ? 0.0
                                          : 100.0 * static_cast<double>(
-                                                       r.replay.pil.replay_hits) /
+                                                       replay.pil.replay_hits) /
                                                lookups),
     });
   }

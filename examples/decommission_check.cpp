@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "src/pil/memo_store.h"
+#include "src/scalecheck/bug_catalog.h"
 #include "src/scalecheck/scale_check.h"
 
 using namespace scalecheck;
@@ -20,7 +21,7 @@ using namespace scalecheck;
 int main(int argc, char** argv) {
   bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
 
-  BugSpec bug = C3831Spec();
+  BugSpec bug = BugCatalog::Get("C3831");
   std::printf("=== %s: %s ===\n\n", bug.id.c_str(), bug.description.c_str());
   std::printf("The pending-range calculation is %s — scalable on the design sketch,\n"
               "cubic in the implementation (%s).\n\n",
@@ -45,8 +46,10 @@ int main(int argc, char** argv) {
 
   // Memoize once (Figure 2-d): colocated, contended, slow — but one-time.
   MemoStore store;
+  RunOptions memoize_options;
+  memoize_options.memo_store = &store;
   RunResult memoized = RunSingle(bug, check_scale, RunMode::kMemoize,
-                                 0x5ca1ec4ecULL, &store);
+                                 0x5ca1ec4ecULL, memoize_options);
   std::printf("  memoization run: %s\n", memoized.Summary().c_str());
 
   // Persist the DB, as the real workflow would between debug sessions.
@@ -64,8 +67,10 @@ int main(int argc, char** argv) {
               reloaded.size(), static_cast<long long>(reloaded.output_bytes()), path);
 
   // Replay (Figure 2-f): fast, accurate, repeatable.
+  RunOptions replay_options;
+  replay_options.memo_store = &reloaded;
   RunResult replay = RunSingle(bug, check_scale, RunMode::kPilReplay,
-                               0x5ca1ec4ecULL, &reloaded);
+                               0x5ca1ec4ecULL, replay_options);
   std::printf("  PIL replay:      %s\n\n", replay.Summary().c_str());
 
   std::printf("The replay reproduces the real-scale symptom on one machine; the\n"

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "src/cluster/cluster.h"
+#include "src/scalecheck/bug_catalog.h"
 #include "src/scalecheck/scale_check.h"
 
 using namespace scalecheck;
@@ -19,7 +20,7 @@ using namespace scalecheck;
 namespace {
 
 RunResult RunWithLoad(WorkloadKind kind) {
-  BugSpec bug = C3831Spec();
+  BugSpec bug = BugCatalog::Get("C3831");
   ClusterConfig config = bug.MakeConfig(192, RunMode::kColocated, 1717);
   config.enable_kv = true;
 

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "src/common/logging.h"
+#include "src/scalecheck/bug_catalog.h"
 #include "src/scalecheck/scale_check.h"
 
 using namespace scalecheck;
@@ -20,9 +21,9 @@ int main() {
   SetLogLevel(LogLevel::kWarning);
 
   // A bug scenario = calculator generation + threading/locking placement +
-  // vnode count + triggering workload. C3831Spec() is the paper's cubic
+  // vnode count + triggering workload. "C3831" is the paper's cubic
   // pending-range calculation triggered by decommissioning a node.
-  BugSpec bug = C3831Spec();
+  BugSpec bug = BugCatalog::Get("C3831");
   std::printf("Scale-checking %s: %s\n\n", bug.id.c_str(), bug.description.c_str());
 
   const int kNodes = 64;

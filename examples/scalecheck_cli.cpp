@@ -1,19 +1,24 @@
 // scalecheck_cli: run any bug scenario / mode / scale from the command line.
 //
 //   scalecheck_cli --bug=C3831 --mode=real --nodes=64
-//   scalecheck_cli --bug=C5456 --mode=full --nodes=128 --seed=7
+//   scalecheck_cli --bug=C5456 --mode=full --nodes=128 --seed=7 --jobs=4
 //   scalecheck_cli --bug=C3881 --mode=colo --nodes=96 --trace
+//   scalecheck_cli --bug=C3831 --mode=full --nodes=64 --json
 //
 // Modes: real | colo | memoize | replay | full (real+colo+memoize+replay).
 // `memoize` writes /tmp/scalecheck_<bug>.memo; `replay` reads it — so a
 // developer can memoize once and replay as many times as debugging needs,
-// exactly the Figure 2 workflow.
+// exactly the Figure 2 workflow. `full` runs the whole grid through the
+// host-parallel ExperimentSuite; --jobs=N adds workers without changing a
+// single output byte (--jobs=0 uses all cores).
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "src/common/logging.h"
+#include "src/scalecheck/bug_catalog.h"
+#include "src/scalecheck/experiment_suite.h"
 #include "src/scalecheck/scale_check.h"
 
 using namespace scalecheck;
@@ -25,7 +30,9 @@ struct CliOptions {
   std::string mode = "full";
   int nodes = 64;
   uint64_t seed = 0x5ca1ec4ecULL;
+  int jobs = 1;
   bool trace = false;
+  bool json = false;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* out) {
@@ -43,8 +50,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->nodes = std::atoi(nodes);
     } else if (const char* seed = value_of("--seed=")) {
       out->seed = std::strtoull(seed, nullptr, 0);
+    } else if (const char* jobs = value_of("--jobs=")) {
+      out->jobs = std::atoi(jobs);
     } else if (arg == "--trace") {
       out->trace = true;
+    } else if (arg == "--json") {
+      out->json = true;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -55,22 +66,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
   return out->nodes >= 2;
 }
 
-bool FindBug(const std::string& id, BugSpec* out) {
-  for (const BugSpec& spec : {C3831Spec(), C3831FixedSpec(), C3881Spec(), C5456Spec(),
-                              C5456FixedSpec(), C6127Spec()}) {
-    if (spec.id == id) {
-      *out = spec;
-      return true;
-    }
-  }
-  return false;
-}
-
 void Usage() {
+  std::string bugs;
+  for (const std::string& id : BugCatalog::Ids()) {
+    bugs += " " + id;
+  }
   std::printf(
-      "usage: scalecheck_cli [--bug=ID] [--mode=M] [--nodes=N] [--seed=S] [--trace]\n"
-      "  bugs:  C3831 C3831-fixed C3881 C5456 C5456-fixed C6127\n"
-      "  modes: real colo memoize replay full\n");
+      "usage: scalecheck_cli [--bug=ID] [--mode=M] [--nodes=N] [--seed=S]\n"
+      "                      [--jobs=J] [--trace] [--json]\n"
+      "  bugs: %s\n"
+      "  modes: real colo memoize replay full\n",
+      bugs.c_str());
 }
 
 int RunOne(const BugSpec& spec, const CliOptions& cli, RunMode mode) {
@@ -90,6 +96,8 @@ int RunOne(const BugSpec& spec, const CliOptions& cli, RunMode mode) {
     store_ptr = &store;
   }
 
+  // Driven through Cluster directly (not RunSingle) because the --trace dump
+  // needs the cluster's trace object after the run.
   Cluster::Options options;
   options.config = spec.MakeConfig(cli.nodes, mode, cli.seed);
   options.workload = spec.MakeWorkload(cli.nodes);
@@ -97,7 +105,11 @@ int RunOne(const BugSpec& spec, const CliOptions& cli, RunMode mode) {
   options.enable_trace = cli.trace;
   Cluster cluster(std::move(options));
   RunResult result = cluster.Run();
-  std::printf("%s\n", result.Summary().c_str());
+  if (cli.json) {
+    std::printf("%s\n", result.ToJson().c_str());
+  } else {
+    std::printf("%s\n", result.Summary().c_str());
+  }
 
   if (cli.trace) {
     std::printf("\ntrace digest: %s (%llu events); last entries:\n%s",
@@ -126,29 +138,42 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  BugSpec spec;
-  if (!FindBug(cli.bug, &spec)) {
+  const BugSpec* spec = BugCatalog::TryGet(cli.bug);
+  if (spec == nullptr) {
     std::fprintf(stderr, "unknown bug id '%s'\n", cli.bug.c_str());
     Usage();
     return 2;
   }
-  std::printf("%s: %s\n", spec.id.c_str(), spec.description.c_str());
+  if (!cli.json) {
+    std::printf("%s: %s\n", spec->id.c_str(), spec->description.c_str());
+  }
 
   if (cli.mode == "real") {
-    return RunOne(spec, cli, RunMode::kRealScale);
+    return RunOne(*spec, cli, RunMode::kRealScale);
   }
   if (cli.mode == "colo") {
-    return RunOne(spec, cli, RunMode::kColocated);
+    return RunOne(*spec, cli, RunMode::kColocated);
   }
   if (cli.mode == "memoize") {
-    return RunOne(spec, cli, RunMode::kMemoize);
+    return RunOne(*spec, cli, RunMode::kMemoize);
   }
   if (cli.mode == "replay") {
-    return RunOne(spec, cli, RunMode::kPilReplay);
+    return RunOne(*spec, cli, RunMode::kPilReplay);
   }
   if (cli.mode == "full") {
-    ScaleCheckRunner runner(spec, cli.seed);
-    ScaleCheckResult full = runner.RunFull(cli.nodes);
+    ExperimentSpec grid;
+    grid.bugs = {*spec};
+    grid.modes = {RunMode::kRealScale, RunMode::kColocated, RunMode::kMemoize,
+                  RunMode::kPilReplay};
+    grid.scales = {cli.nodes};
+    grid.seeds = {cli.seed};
+    grid.jobs = cli.jobs;
+    SuiteReport report = ExperimentSuite(grid).Run();
+    ScaleCheckResult full = report.Assemble(spec->id, cli.nodes, cli.seed);
+    if (cli.json) {
+      std::printf("%s\n", full.ToJson().c_str());
+      return 0;
+    }
     std::printf("  real:    %s\n", full.real.Summary().c_str());
     std::printf("  colo:    %s\n", full.colo.Summary().c_str());
     std::printf("  memoize: %s\n", full.memoize.Summary().c_str());

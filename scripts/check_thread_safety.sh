@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Vets the host-parallel ExperimentSuite executor under ThreadSanitizer:
+# builds the tree with SCALECHECK_SANITIZE=thread and runs the concurrency
+# tests (the suite grid at jobs=4, the raw ThreadPool, and the shared
+# CalcOutputCache hammering).
+#
+#   scripts/check_thread_safety.sh [build-dir]       # default build-tsan/
+#   SCALECHECK_SANITIZE=address scripts/check_thread_safety.sh build-asan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SANITIZER="${SCALECHECK_SANITIZE:-thread}"
+BUILD_DIR="${1:-build-${SANITIZER:0:1}san}"
+
+cmake -B "$BUILD_DIR" -S . -DSCALECHECK_SANITIZE="$SANITIZER" >/dev/null
+cmake --build "$BUILD_DIR" --target scalecheck_suite_test common_thread_pool_test -j"$(nproc)"
+
+echo "== common_thread_pool_test ($SANITIZER) =="
+"$BUILD_DIR/tests/common_thread_pool_test"
+echo "== scalecheck_suite_test ($SANITIZER) =="
+"$BUILD_DIR/tests/scalecheck_suite_test"
+
+echo "OK: parallel executor is clean under ${SANITIZER} sanitizer"

@@ -519,21 +519,4 @@ void Cluster::CollectResult(RunResult* result) const {
   result->events_executed = sim_->events_executed();
 }
 
-std::string RunResult::Summary() const {
-  return StrFormat(
-      "%s N=%d P=%d: flaps=%lld pairs=%lld dur=%s settle=%s%s util=%.1f%% mem=%s "
-      "calcs=%lld (real=%lld, avg=%.3fs max=%.3fs) pil(hit=%llu miss=%llu) div=%llu "
-      "shed=%llu",
-      RunModeName(mode), num_nodes, vnodes_per_node, static_cast<long long>(flaps),
-      static_cast<long long>(flapped_pairs), test_duration.ToString().c_str(),
-      settle_time.ToString().c_str(), settled ? "" : "(!)",
-      max_cpu_utilization * 100.0, HumanBytes(peak_memory_bytes).c_str(),
-      static_cast<long long>(calc_invocations),
-      static_cast<long long>(calc_executed_real), calc_duration_seconds.mean(),
-      calc_duration_seconds.max(), static_cast<unsigned long long>(pil.replay_hits),
-      static_cast<unsigned long long>(pil.replay_misses),
-      static_cast<unsigned long long>(order_divergences),
-      static_cast<unsigned long long>(stage_tasks_dropped));
-}
-
 }  // namespace scalecheck

@@ -12,6 +12,7 @@ namespace scalecheck {
 
 const CalcOutputCache::Entry* CalcOutputCache::Find(CalcVersion version,
                                                     const DigestValue& digest) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(Key{static_cast<int>(version), digest});
   if (it == map_.end()) {
     return nullptr;
@@ -21,7 +22,19 @@ const CalcOutputCache::Entry* CalcOutputCache::Find(CalcVersion version,
 }
 
 void CalcOutputCache::Put(CalcVersion version, const DigestValue& digest, Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // First put wins; concurrent writers compute identical values anyway.
   map_.emplace(Key{static_cast<int>(version), digest}, std::move(entry));
+}
+
+uint64_t CalcOutputCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t CalcOutputCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
 }
 
 Node::Node(Env* env, NodeId id, Machine* machine, uint64_t seed)

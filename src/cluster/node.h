@@ -23,6 +23,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -49,6 +50,15 @@ namespace scalecheck {
 // hundreds of nodes redundantly computing identical inputs is precisely the
 // redundancy the paper's PIL exploits. Virtual-time cost is still charged per
 // invocation; only host wall-clock is saved.
+//
+// Internally synchronized: one cache is shared across every concurrently
+// executing run of an ExperimentSuite. Because an entry is a pure function of
+// its key (same input digest + calculator version => same output/work/ops for
+// a fixed execute_threshold_ops), cache hits are value-identical to
+// recomputation regardless of which host thread populated the entry first —
+// parallel suites stay byte-deterministic. Entries are never erased, so
+// returned pointers stay valid for the cache's lifetime (std::unordered_map
+// never invalidates element pointers on insert).
 class CalcOutputCache {
  public:
   struct Entry {
@@ -60,8 +70,8 @@ class CalcOutputCache {
 
   const Entry* Find(CalcVersion version, const DigestValue& digest) const;
   void Put(CalcVersion version, const DigestValue& digest, Entry entry);
-  uint64_t hits() const { return hits_; }
-  size_t size() const { return map_.size(); }
+  uint64_t hits() const;
+  size_t size() const;
 
  private:
   struct Key {
@@ -74,6 +84,7 @@ class CalcOutputCache {
       return DigestValueHash()(k.digest) ^ static_cast<size_t>(k.version * 1099511);
     }
   };
+  mutable std::mutex mu_;
   std::unordered_map<Key, Entry, KeyHash> map_;
   mutable uint64_t hits_ = 0;
 };

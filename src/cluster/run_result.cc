@@ -1,0 +1,102 @@
+// RunResult rendering: the human Summary line and the stable JSON form.
+
+#include "src/cluster/run_result.h"
+
+#include "src/cluster/config.h"
+
+namespace scalecheck {
+
+namespace {
+
+void WriteStat(JsonWriter* w, const std::string& key, const RunningStat& stat) {
+  w->Key(key).BeginObject();
+  w->Field("count", stat.count());
+  w->Field("mean", stat.mean());
+  w->Field("min", stat.min());
+  w->Field("max", stat.max());
+  w->Field("sum", stat.sum());
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string RunResult::Summary() const {
+  return StrFormat(
+      "%s N=%d P=%d: flaps=%lld pairs=%lld dur=%s settle=%s%s util=%.1f%% mem=%s "
+      "calcs=%lld (real=%lld, avg=%.3fs max=%.3fs) pil(hit=%llu miss=%llu) div=%llu "
+      "shed=%llu",
+      RunModeName(mode), num_nodes, vnodes_per_node, static_cast<long long>(flaps),
+      static_cast<long long>(flapped_pairs), test_duration.ToString().c_str(),
+      settle_time.ToString().c_str(), settled ? "" : "(!)",
+      max_cpu_utilization * 100.0, HumanBytes(peak_memory_bytes).c_str(),
+      static_cast<long long>(calc_invocations),
+      static_cast<long long>(calc_executed_real), calc_duration_seconds.mean(),
+      calc_duration_seconds.max(), static_cast<unsigned long long>(pil.replay_hits),
+      static_cast<unsigned long long>(pil.replay_misses),
+      static_cast<unsigned long long>(order_divergences),
+      static_cast<unsigned long long>(stage_tasks_dropped));
+}
+
+void RunResult::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("mode", RunModeName(mode));
+  w->Field("num_nodes", num_nodes);
+  w->Field("vnodes_per_node", vnodes_per_node);
+
+  w->Field("flaps", flaps);
+  w->Field("flapped_pairs", flapped_pairs);
+
+  w->Field("test_duration_ns", test_duration.nanos());
+  w->Field("settle_time_ns", settle_time.nanos());
+  w->Field("settled", settled);
+
+  w->Field("max_cpu_utilization", max_cpu_utilization);
+  w->Field("peak_memory_bytes", peak_memory_bytes);
+  w->Field("oom", oom);
+  w->Field("crashed_nodes", crashed_nodes);
+  w->Field("lateness_p99_ns", lateness_p99.nanos());
+  w->Field("lateness_max_ns", lateness_max.nanos());
+
+  w->Field("calc_invocations", calc_invocations);
+  w->Field("calc_executed_real", calc_executed_real);
+  WriteStat(w, "calc_duration_seconds", calc_duration_seconds);
+  WriteStat(w, "calc_lock_hold_seconds", calc_lock_hold_seconds);
+
+  w->Key("pil").BeginObject();
+  w->Field("direct_runs", pil.direct_runs);
+  w->Field("memoized_runs", pil.memoized_runs);
+  w->Field("replay_hits", pil.replay_hits);
+  w->Field("replay_misses", pil.replay_misses);
+  w->EndObject();
+
+  w->Key("memo").BeginObject();
+  w->Field("records", memo.records);
+  w->Field("duplicate_puts", memo.duplicate_puts);
+  w->Field("determinism_violations", memo.determinism_violations);
+  w->Field("lookups", memo.lookups);
+  w->Field("hits", memo.hits);
+  w->Field("misses", memo.misses);
+  w->EndObject();
+
+  w->Field("order_divergences", order_divergences);
+  w->Field("order_enforced", order_enforced);
+
+  w->Field("kv_ok", kv_ok);
+  w->Field("kv_unavailable", kv_unavailable);
+  w->Field("kv_timeout", kv_timeout);
+  w->Field("kv_latency_p99_ns", kv_latency_p99.nanos());
+
+  w->Field("messages_sent", messages_sent);
+  w->Field("messages_delivered", messages_delivered);
+  w->Field("stage_tasks_dropped", stage_tasks_dropped);
+  w->Field("events_executed", events_executed);
+  w->EndObject();
+}
+
+std::string RunResult::ToJson() const {
+  JsonWriter w;
+  WriteJson(&w);
+  return w.str();
+}
+
+}  // namespace scalecheck

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/common/stats.h"
+#include "src/common/strings.h"
 #include "src/common/types.h"
 #include "src/cluster/config.h"
 #include "src/pil/boundary.h"
@@ -64,6 +65,14 @@ struct RunResult {
   uint64_t events_executed = 0;
 
   std::string Summary() const;
+
+  // Stable machine-readable form. Contains only virtual-time / simulation
+  // metrics (no host wall-clock), so for a fixed (spec, scale, mode, seed)
+  // the JSON is byte-identical across runs and across host-parallel
+  // executors — the ExperimentSuite determinism contract.
+  std::string ToJson() const;
+  // Appends the same fields to an in-progress writer (suite reports).
+  void WriteJson(JsonWriter* writer) const;
 };
 
 }  // namespace scalecheck

@@ -1,11 +1,20 @@
 #include "src/common/logging.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace scalecheck {
 
 namespace {
-LogLevel g_level = LogLevel::kWarning;
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// Serializes emission so host-parallel harness threads cannot interleave
+// characters of two messages.
+std::mutex& EmitMutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,13 +33,13 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >= static_cast<int>(g_level)) {
+    : enabled_(static_cast<int>(level) >= static_cast<int>(GetLogLevel())) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p != '\0'; ++p) {
@@ -44,6 +53,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
+    std::lock_guard<std::mutex> lock(EmitMutex());
     std::cerr << stream_.str() << "\n";
   }
 }

@@ -1,6 +1,8 @@
 // Minimal leveled logger. Logging is off by default (benchmarks and tests stay
-// quiet); examples enable kInfo. The logger is process-global and not
-// thread-safe by design: the simulator is single-threaded.
+// quiet); examples enable kInfo. The logger is process-global and thread-safe:
+// each simulator stays single-threaded, but the ExperimentSuite runs many
+// simulations on host threads concurrently, so the level is atomic and
+// messages are emitted whole (no interleaving mid-line).
 
 #ifndef SCALECHECK_SRC_COMMON_LOGGING_H_
 #define SCALECHECK_SRC_COMMON_LOGGING_H_

@@ -101,6 +101,147 @@ std::string HumanBytes(int64_t bytes) {
   return StrFormat("%.2f%s", v, suffix);
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) {
+      out_ += ',';
+    }
+    first_in_scope_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  CHECK(!first_in_scope_.empty());
+  first_in_scope_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  CHECK(!first_in_scope_.empty());
+  first_in_scope_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  CHECK(!pending_key_) << "two keys in a row: " << key;
+  if (!first_in_scope_.empty() && !first_in_scope_.back()) {
+    out_ += ',';
+  }
+  if (!first_in_scope_.empty()) {
+    first_in_scope_.back() = false;
+  }
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  out_ += StrFormat("%.17g", value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(const std::string& key, const std::string& value) {
+  return Key(key).String(value);
+}
+JsonWriter& JsonWriter::Field(const std::string& key, const char* value) {
+  return Key(key).String(value);
+}
+JsonWriter& JsonWriter::Field(const std::string& key, int64_t value) {
+  return Key(key).Int(value);
+}
+JsonWriter& JsonWriter::Field(const std::string& key, uint64_t value) {
+  return Key(key).UInt(value);
+}
+JsonWriter& JsonWriter::Field(const std::string& key, int value) {
+  return Key(key).Int(value);
+}
+JsonWriter& JsonWriter::Field(const std::string& key, double value) {
+  return Key(key).Double(value);
+}
+JsonWriter& JsonWriter::Field(const std::string& key, bool value) {
+  return Key(key).Bool(value);
+}
+
 std::string VirtualDuration::ToString() const {
   int64_t abs_ns = ns_ < 0 ? -ns_ : ns_;
   const char* sign = ns_ < 0 ? "-" : "";

@@ -5,6 +5,7 @@
 #define SCALECHECK_SRC_COMMON_STRINGS_H_
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,47 @@ std::string RenderTable(const std::vector<std::string>& header,
 // Human-readable quantities used in reports.
 std::string HumanCount(double value);  // e.g. 12.3k, 4.5M
 std::string HumanBytes(int64_t bytes);
+
+// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+// A minimal streaming JSON writer for machine-readable reports. Output is
+// deterministic: keys are emitted in call order and doubles use a fixed
+// round-trippable format ("%.17g"), so identical values serialize to
+// identical bytes (the ExperimentSuite determinism contract leans on this).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& key);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+
+  // Shorthand for Key(key).<value>(...).
+  JsonWriter& Field(const std::string& key, const std::string& value);
+  JsonWriter& Field(const std::string& key, const char* value);
+  JsonWriter& Field(const std::string& key, int64_t value);
+  JsonWriter& Field(const std::string& key, uint64_t value);
+  JsonWriter& Field(const std::string& key, int value);
+  JsonWriter& Field(const std::string& key, double value);
+  JsonWriter& Field(const std::string& key, bool value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true until the first element is written.
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
 
 }  // namespace scalecheck
 

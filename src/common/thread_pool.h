@@ -1,0 +1,58 @@
+// A reusable fixed-size worker pool for host-parallel harness work.
+//
+// This pool parallelizes the HARNESS (independent simulation runs, cache
+// warming, suite grids), never the simulation itself: each Simulator stays
+// single-threaded and deterministic, and virtual time is unaffected by how
+// many host threads execute runs (DESIGN.md §3).
+//
+// Semantics:
+//   - Submit() enqueues a task; workers execute tasks in FIFO submission
+//     order (with one worker this degenerates to strict serial execution).
+//   - Tasks may Submit() further tasks (the ExperimentSuite DAG executor
+//     schedules dependents from inside completing tasks).
+//   - WaitIdle() blocks until the queue is empty AND no task is running.
+//   - The destructor waits for already-submitted tasks to finish, then joins.
+
+#ifndef SCALECHECK_SRC_COMMON_THREAD_POOL_H_
+#define SCALECHECK_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scalecheck {
+
+class ThreadPool {
+ public:
+  // num_threads <= 0 selects DefaultJobs().
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Host hardware concurrency, clamped to at least 1.
+  static int DefaultJobs();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks / shutdown
+  std::condition_variable idle_cv_;   // WaitIdle / destructor wait for drain
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_COMMON_THREAD_POOL_H_

@@ -14,6 +14,8 @@ ClusterConfig BugSpec::MakeConfig(int n, RunMode mode, uint64_t seed) const {
   cfg.calc_version = calc_version;
   cfg.calc_placement = placement;
   cfg.run_mode = mode;
+  cfg.exec_model = exec_model;
+  cfg.space_oblivious_rebalance = space_oblivious_rebalance;
   cfg.seed = seed;
   return cfg;
 }
@@ -45,71 +47,10 @@ WorkloadSpec BugSpec::MakeWorkload(int n) const {
     case WorkloadKind::kSteadyState:
       break;
   }
+  if (!transition_override.IsZero()) {
+    wl.transition = transition_override;
+  }
   return wl;
-}
-
-BugSpec C3831Spec() {
-  BugSpec spec;
-  spec.id = "C3831";
-  spec.description =
-      "decommission triggers cubic pending-range recalculation on the gossip stage";
-  spec.calc_version = CalcVersion::kV1PreC3831;
-  spec.placement = CalcPlacement::kInlineGossipStage;
-  spec.vnodes_per_node = 1;
-  spec.workload = WorkloadKind::kDecommission;
-  return spec;
-}
-
-BugSpec C3831FixedSpec() {
-  BugSpec spec = C3831Spec();
-  spec.id = "C3831-fixed";
-  spec.description = "the C3831 fix: sort-based endpoints, no vnodes";
-  spec.calc_version = CalcVersion::kV2C3831Fix;
-  return spec;
-}
-
-BugSpec C3881Spec() {
-  BugSpec spec;
-  spec.id = "C3881";
-  spec.description =
-      "scale-out with vnodes: the C3831 fix explodes again as N becomes N*P";
-  spec.calc_version = CalcVersion::kV2C3831Fix;
-  spec.placement = CalcPlacement::kInlineGossipStage;
-  spec.vnodes_per_node = 8;
-  spec.workload = WorkloadKind::kScaleOut;
-  return spec;
-}
-
-BugSpec C5456Spec() {
-  BugSpec spec;
-  spec.id = "C5456";
-  spec.description =
-      "scale-out: fast vnode-aware calculator, but the coarse ring lock starves gossip";
-  spec.calc_version = CalcVersion::kV3C3881Fix;
-  spec.placement = CalcPlacement::kSeparateThreadCoarseLock;
-  spec.vnodes_per_node = 16;
-  spec.workload = WorkloadKind::kScaleOut;
-  return spec;
-}
-
-BugSpec C5456FixedSpec() {
-  BugSpec spec = C5456Spec();
-  spec.id = "C5456-fixed";
-  spec.description = "the C5456 fix: clone the ring, release the lock early";
-  spec.placement = CalcPlacement::kSeparateThreadClone;
-  return spec;
-}
-
-BugSpec C6127Spec() {
-  BugSpec spec;
-  spec.id = "C6127";
-  spec.description =
-      "fresh bootstrap exercises the O(M*N^2) ring-construction path (vnodes)";
-  spec.calc_version = CalcVersion::kV3C3881Fix;
-  spec.placement = CalcPlacement::kInlineGossipStage;
-  spec.vnodes_per_node = 16;
-  spec.workload = WorkloadKind::kBootstrapFresh;
-  return spec;
 }
 
 double RelativeFlapError(int64_t observed, int64_t reference) {
@@ -118,30 +59,47 @@ double RelativeFlapError(int64_t observed, int64_t reference) {
 }
 
 RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed,
-                    MemoStore* memo, OrderLog* record_log, const OrderLog* replay_log,
-                    CalcOutputCache* cache) {
+                    const RunOptions& run_options) {
   Cluster::Options options;
   options.config = spec.MakeConfig(n, mode, seed);
   options.workload = spec.MakeWorkload(n);
+  options.memo_store = run_options.memo_store;
+  options.record_order_log = run_options.record_order_log;
+  options.replay_order_log = run_options.replay_order_log;
+  options.shared_output_cache = run_options.output_cache;
+  options.enable_trace = run_options.enable_trace;
+  Cluster cluster(std::move(options));
+  return cluster.Run();
+}
+
+RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed) {
+  return RunSingle(spec, n, mode, seed, RunOptions{});
+}
+
+RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed,
+                    MemoStore* memo, OrderLog* record_log, const OrderLog* replay_log,
+                    CalcOutputCache* cache) {
+  RunOptions options;
   options.memo_store = memo;
   options.record_order_log = record_log;
   options.replay_order_log = replay_log;
-  options.shared_output_cache = cache;
-  Cluster cluster(std::move(options));
-  return cluster.Run();
+  options.output_cache = cache;
+  return RunSingle(spec, n, mode, seed, options);
 }
 
 ScaleCheckRunner::ScaleCheckRunner(BugSpec spec, uint64_t seed)
     : spec_(std::move(spec)), seed_(seed) {}
 
 RunResult ScaleCheckRunner::RunReal(int n) {
-  return RunSingle(spec_, n, RunMode::kRealScale, seed_, nullptr, nullptr, nullptr,
-                   &cache_);
+  RunOptions options;
+  options.output_cache = &cache_;
+  return RunSingle(spec_, n, RunMode::kRealScale, seed_, options);
 }
 
 RunResult ScaleCheckRunner::RunColo(int n) {
-  return RunSingle(spec_, n, RunMode::kColocated, seed_, nullptr, nullptr, nullptr,
-                   &cache_);
+  RunOptions options;
+  options.output_cache = &cache_;
+  return RunSingle(spec_, n, RunMode::kColocated, seed_, options);
 }
 
 ScaleCheckResult ScaleCheckRunner::RunFull(int n) {
@@ -151,14 +109,47 @@ ScaleCheckResult ScaleCheckRunner::RunFull(int n) {
 
   MemoStore store;
   OrderLog order_log;
-  result.memoize = RunSingle(spec_, n, RunMode::kMemoize, seed_, &store,
-                             enforce_order_ ? &order_log : nullptr, nullptr, &cache_);
-  result.replay = RunSingle(spec_, n, RunMode::kPilReplay, seed_, &store, nullptr,
-                            enforce_order_ ? &order_log : nullptr, &cache_);
+  RunOptions memoize_options;
+  memoize_options.memo_store = &store;
+  memoize_options.record_order_log = enforce_order_ ? &order_log : nullptr;
+  memoize_options.output_cache = &cache_;
+  result.memoize = RunSingle(spec_, n, RunMode::kMemoize, seed_, memoize_options);
+
+  RunOptions replay_options;
+  replay_options.memo_store = &store;
+  replay_options.replay_order_log = enforce_order_ ? &order_log : nullptr;
+  replay_options.output_cache = &cache_;
+  result.replay = RunSingle(spec_, n, RunMode::kPilReplay, seed_, replay_options);
+
   result.memo = store.stats();
   result.replay_flap_error = RelativeFlapError(result.replay.flaps, result.real.flaps);
   result.colo_flap_error = RelativeFlapError(result.colo.flaps, result.real.flaps);
   return result;
+}
+
+std::string ScaleCheckResult::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("real");
+  real.WriteJson(&w);
+  w.Key("colo");
+  colo.WriteJson(&w);
+  w.Key("memoize");
+  memoize.WriteJson(&w);
+  w.Key("replay");
+  replay.WriteJson(&w);
+  w.Key("memo").BeginObject();
+  w.Field("records", memo.records);
+  w.Field("duplicate_puts", memo.duplicate_puts);
+  w.Field("determinism_violations", memo.determinism_violations);
+  w.Field("lookups", memo.lookups);
+  w.Field("hits", memo.hits);
+  w.Field("misses", memo.misses);
+  w.EndObject();
+  w.Field("replay_flap_error", replay_flap_error);
+  w.Field("colo_flap_error", colo_flap_error);
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace scalecheck

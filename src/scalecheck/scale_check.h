@@ -3,9 +3,14 @@
 //
 // A BugSpec is a reproducible scalability-bug scenario: which calculator
 // generation, which threading/locking placement, how many vnodes, and which
-// protocol workload triggers it. RunSingle deploys it at a scale in one of
-// the paper's modes; ScaleCheckRunner::RunFull runs the whole comparison
-// (Real / Colo / Memoize / PIL replay) that Figure 3 plots.
+// protocol workload triggers it. The runnable §2 catalog lives in
+// src/scalecheck/bug_catalog.h (BugCatalog::Get / BugCatalog::All).
+//
+// RunSingle deploys a spec at one scale in one of the paper's modes;
+// ScaleCheckRunner::RunFull runs the whole comparison (Real / Colo / Memoize /
+// PIL replay) that Figure 3 plots. For grids of runs — every figure and table
+// is one — use ExperimentSuite (experiment_suite.h), which fans the
+// independent simulations out across host threads.
 
 #ifndef SCALECHECK_SRC_SCALECHECK_SCALE_CHECK_H_
 #define SCALECHECK_SRC_SCALECHECK_SCALE_CHECK_H_
@@ -27,20 +32,17 @@ struct BugSpec {
   // Scale-out size as a fraction of N (the "+25%" rescale).
   double join_fraction = 0.25;
   VirtualDuration horizon = VirtualDuration::Seconds(420);
+  // Overrides the workload's membership-transition window when non-zero
+  // (LEAVING->LEFT / BOOT->NORMAL); zero keeps the per-workload default.
+  VirtualDuration transition_override = VirtualDuration::Zero();
+  // §6 deployment engineering (the colocation-limit experiments vary these).
+  ExecModel exec_model = ExecModel::kProcessPerNode;
+  bool space_oblivious_rebalance = false;
 
   // Materializes configuration for a deployment of n initial nodes.
   ClusterConfig MakeConfig(int n, RunMode mode, uint64_t seed) const;
   WorkloadSpec MakeWorkload(int n) const;
 };
-
-// The §2 bug catalog as runnable scenarios.
-BugSpec C3831Spec();  // decommission, O(N^3)-era calculator
-BugSpec C3881Spec();  // scale-out with vnodes on the C3831 fix
-BugSpec C5456Spec();  // scale-out, fast calculator but coarse ring lock
-BugSpec C6127Spec();  // fresh bootstrap, the path-dependent O(M*N^2)
-// Fixed counterparts (ablations: the patch makes the symptom vanish).
-BugSpec C3831FixedSpec();
-BugSpec C5456FixedSpec();
 
 struct ScaleCheckResult {
   RunResult real;
@@ -51,12 +53,37 @@ struct ScaleCheckResult {
   // Relative flap-count error vs real-scale testing (the accuracy claim).
   double replay_flap_error = 0.0;
   double colo_flap_error = 0.0;
+
+  // Stable machine-readable form (suite exports, tooling).
+  std::string ToJson() const;
 };
 
-// Runs one deployment. For kMemoize pass empty store+log to fill; for
-// kPilReplay pass the filled ones.
+// Everything RunSingle needs beyond (spec, n, mode, seed). Replaces the old
+// four-out-pointer tail with one named-options struct.
+struct RunOptions {
+  // kMemoize fills this store; kPilReplay reads it.
+  MemoStore* memo_store = nullptr;
+  // Memoization runs record message-processing order here (§5).
+  OrderLog* record_order_log = nullptr;
+  // Replay runs enforce this recorded order (off by default; see
+  // ScaleCheckRunner::set_enforce_order).
+  const OrderLog* replay_order_log = nullptr;
+  // Optional cross-run calculator output cache (host wall-clock only; an
+  // internally synchronized cache may be shared across concurrent runs).
+  CalcOutputCache* output_cache = nullptr;
+  // Record an execution trace (determinism digests, debugging dumps).
+  bool enable_trace = false;
+};
+
+// Runs one deployment.
 RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed,
-                    MemoStore* memo = nullptr, OrderLog* record_log = nullptr,
+                    const RunOptions& options);
+RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed);
+
+// Deprecated shim for the old out-pointer tail; kept for one release.
+[[deprecated("pass a RunOptions struct instead of the out-pointer tail")]]
+RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed,
+                    MemoStore* memo, OrderLog* record_log = nullptr,
                     const OrderLog* replay_log = nullptr,
                     CalcOutputCache* cache = nullptr);
 
@@ -90,6 +117,15 @@ class ScaleCheckRunner {
 };
 
 double RelativeFlapError(int64_t observed, int64_t reference);
+
+// ---- Deprecated free-function catalog (use BugCatalog instead) -------------
+
+[[deprecated("use BugCatalog::Get(\"C3831\")")]] BugSpec C3831Spec();
+[[deprecated("use BugCatalog::Get(\"C3881\")")]] BugSpec C3881Spec();
+[[deprecated("use BugCatalog::Get(\"C5456\")")]] BugSpec C5456Spec();
+[[deprecated("use BugCatalog::Get(\"C6127\")")]] BugSpec C6127Spec();
+[[deprecated("use BugCatalog::Get(\"C3831-fixed\")")]] BugSpec C3831FixedSpec();
+[[deprecated("use BugCatalog::Get(\"C5456-fixed\")")]] BugSpec C5456FixedSpec();
 
 }  // namespace scalecheck
 

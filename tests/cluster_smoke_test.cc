@@ -2,13 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include "src/scalecheck/bug_catalog.h"
 #include "src/scalecheck/scale_check.h"
 
 namespace scalecheck {
 namespace {
 
 TEST(ClusterSmoke, SteadyStateHasNoFlaps) {
-  BugSpec spec = C3831Spec();
+  BugSpec spec = BugCatalog::Get("C3831");
   spec.workload = WorkloadKind::kSteadyState;
   spec.horizon = VirtualDuration::Seconds(120);
   RunResult result = RunSingle(spec, 16, RunMode::kRealScale, 42);
@@ -18,7 +19,7 @@ TEST(ClusterSmoke, SteadyStateHasNoFlaps) {
 }
 
 TEST(ClusterSmoke, DecommissionSettlesAtSmallScaleWithoutFlaps) {
-  BugSpec spec = C3831Spec();
+  BugSpec spec = BugCatalog::Get("C3831");
   RunResult result = RunSingle(spec, 16, RunMode::kRealScale, 42);
   EXPECT_TRUE(result.settled) << result.Summary();
   EXPECT_EQ(result.flaps, 0) << result.Summary();
@@ -26,14 +27,14 @@ TEST(ClusterSmoke, DecommissionSettlesAtSmallScaleWithoutFlaps) {
 }
 
 TEST(ClusterSmoke, ScaleOutSettlesAtSmallScale) {
-  BugSpec spec = C3881Spec();
+  BugSpec spec = BugCatalog::Get("C3881");
   RunResult result = RunSingle(spec, 16, RunMode::kRealScale, 42);
   EXPECT_TRUE(result.settled) << result.Summary();
   EXPECT_GT(result.calc_invocations, 0);
 }
 
 TEST(ClusterSmoke, DeterministicAcrossRuns) {
-  BugSpec spec = C3831Spec();
+  BugSpec spec = BugCatalog::Get("C3831");
   RunResult a = RunSingle(spec, 12, RunMode::kRealScale, 7);
   RunResult b = RunSingle(spec, 12, RunMode::kRealScale, 7);
   EXPECT_EQ(a.flaps, b.flaps);
@@ -43,7 +44,7 @@ TEST(ClusterSmoke, DeterministicAcrossRuns) {
 }
 
 TEST(ClusterSmoke, MemoizeThenReplayProducesHits) {
-  BugSpec spec = C3831Spec();
+  BugSpec spec = BugCatalog::Get("C3831");
   ScaleCheckRunner runner(spec, 99);
   ScaleCheckResult full = runner.RunFull(12);
   EXPECT_TRUE(full.replay.settled) << full.replay.Summary();

@@ -1,0 +1,91 @@
+// The reusable worker pool under the ExperimentSuite executor.
+
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace scalecheck {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleCoversTasksSubmittedByTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pool, &count] {
+      count.fetch_add(1);
+      pool.Submit([&count] { count.fetch_add(1); });
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.WaitIdle();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, NonPositiveThreadCountSelectsHardwareDefault) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, TasksSpreadAcrossWorkers) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> workers;
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&mu, &workers] {
+      std::lock_guard<std::mutex> lock(mu);
+      workers.insert(std::this_thread::get_id());
+    });
+  }
+  pool.WaitIdle();
+  // All work happened on pool threads (1..4 of them; scheduling decides how
+  // many actually woke up, and a single-core host may use just one).
+  EXPECT_GE(workers.size(), 1u);
+  EXPECT_LE(workers.size(), 4u);
+  EXPECT_EQ(workers.count(std::this_thread::get_id()), 0u);
+}
+
+}  // namespace
+}  // namespace scalecheck

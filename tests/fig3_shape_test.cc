@@ -5,13 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include "src/scalecheck/bug_catalog.h"
 #include "src/scalecheck/scale_check.h"
 
 namespace scalecheck {
 namespace {
 
 TEST(Fig3Shape, C3831At128RealQuietColoStormsPilAgrees) {
-  ScaleCheckRunner runner(C3831Spec());
+  ScaleCheckRunner runner(BugCatalog::Get("C3831"));
   ScaleCheckResult r = runner.RunFull(128);
 
   // Real-scale 128-node testing passes: the bug is latent.

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/scalecheck/bug_catalog.h"
 #include "src/scalecheck/scale_check.h"
 
 namespace scalecheck {
@@ -11,26 +12,23 @@ namespace {
 
 class BugCatalogTest : public ::testing::TestWithParam<int> {
  protected:
-  static BugSpec SpecFor(int index) {
-    switch (index) {
-      case 0:
-        return C3831Spec();
-      case 1:
-        return C3831FixedSpec();
-      case 2:
-        return C3881Spec();
-      case 3:
-        return C5456Spec();
-      case 4:
-        return C5456FixedSpec();
-      default:
-        return C6127Spec();
-    }
+  static const BugSpec& SpecFor(int index) {
+    return BugCatalog::All()[static_cast<size_t>(index)];
   }
 };
 
+TEST(BugCatalogRegistry, LookupMatchesEnumeration) {
+  ASSERT_EQ(BugCatalog::All().size(), 6u);
+  for (const BugSpec& spec : BugCatalog::All()) {
+    EXPECT_EQ(BugCatalog::Get(spec.id).description, spec.description);
+    EXPECT_EQ(BugCatalog::TryGet(spec.id), &BugCatalog::Get(spec.id));
+  }
+  EXPECT_EQ(BugCatalog::TryGet("no-such-bug"), nullptr);
+  EXPECT_EQ(BugCatalog::Ids().size(), BugCatalog::All().size());
+}
+
 TEST_P(BugCatalogTest, FullPipelineAtQuietScale) {
-  BugSpec spec = SpecFor(GetParam());
+  const BugSpec& spec = SpecFor(GetParam());
   ScaleCheckRunner runner(spec, 1234);
   ScaleCheckResult full = runner.RunFull(10);
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/scalecheck/bug_catalog.h"
 #include "src/scalecheck/scale_check.h"
 
 namespace scalecheck {
@@ -9,8 +10,8 @@ namespace {
 
 TEST(BugSpecTest, CatalogIsConsistent) {
   for (const BugSpec& spec :
-       {C3831Spec(), C3831FixedSpec(), C3881Spec(), C5456Spec(), C5456FixedSpec(),
-        C6127Spec()}) {
+       {BugCatalog::Get("C3831"), BugCatalog::Get("C3831-fixed"), BugCatalog::Get("C3881"), BugCatalog::Get("C5456"), BugCatalog::Get("C5456-fixed"),
+        BugCatalog::Get("C6127")}) {
     EXPECT_FALSE(spec.id.empty());
     EXPECT_FALSE(spec.description.empty());
     ClusterConfig cfg = spec.MakeConfig(32, RunMode::kColocated, 1);
@@ -20,7 +21,7 @@ TEST(BugSpecTest, CatalogIsConsistent) {
     WorkloadSpec wl = spec.MakeWorkload(32);
     EXPECT_EQ(wl.kind, spec.workload);
   }
-  EXPECT_EQ(C3881Spec().MakeWorkload(64).joining_nodes, 16);  // +25%
+  EXPECT_EQ(BugCatalog::Get("C3881").MakeWorkload(64).joining_nodes, 16);  // +25%
 }
 
 TEST(RelativeFlapErrorTest, Definition) {
@@ -34,11 +35,13 @@ TEST(RelativeFlapErrorTest, Definition) {
 TEST(PipelineTest, MemoizeRunBehavesLikeColo) {
   // Recording must not perturb behaviour: the memoization run IS the basic
   // colocation run plus recording.
-  BugSpec spec = C3831Spec();
+  BugSpec spec = BugCatalog::Get("C3831");
   ScaleCheckRunner runner(spec, 7);
   RunResult colo = runner.RunColo(12);
   MemoStore store;
-  RunResult memoize = RunSingle(spec, 12, RunMode::kMemoize, 7, &store);
+  RunOptions options;
+  options.memo_store = &store;
+  RunResult memoize = RunSingle(spec, 12, RunMode::kMemoize, 7, options);
   EXPECT_EQ(memoize.flaps, colo.flaps);
   EXPECT_EQ(memoize.messages_sent, colo.messages_sent);
   EXPECT_EQ(memoize.test_duration.nanos(), colo.test_duration.nanos());
@@ -48,7 +51,7 @@ TEST(PipelineTest, MemoizeRunBehavesLikeColo) {
 TEST(PipelineTest, ReplayTimingMatchesRealAtQuietScales) {
   // At scales where nothing flaps, PIL replay must track the real-scale run
   // closely in duration and calc count.
-  BugSpec spec = C3831Spec();
+  BugSpec spec = BugCatalog::Get("C3831");
   ScaleCheckRunner runner(spec, 7);
   ScaleCheckResult full = runner.RunFull(12);
   EXPECT_EQ(full.real.flaps, 0);
@@ -60,7 +63,7 @@ TEST(PipelineTest, ReplayTimingMatchesRealAtQuietScales) {
 }
 
 TEST(PipelineTest, ReplayUsesZeroCpuForCalcs) {
-  BugSpec spec = C3831Spec();
+  BugSpec spec = BugCatalog::Get("C3831");
   ScaleCheckRunner runner(spec, 7);
   ScaleCheckResult full = runner.RunFull(12);
   // All pending-range invocations served from the DB or fallback sleeps.
@@ -73,10 +76,10 @@ TEST(PipelineTest, ReplayUsesZeroCpuForCalcs) {
 
 TEST(PipelineTest, MemoRecordsAreDeterministicallyKeyed) {
   // Two memoization runs with the same seed produce identical stores.
-  BugSpec spec = C3831Spec();
+  BugSpec spec = BugCatalog::Get("C3831");
   MemoStore a, b;
-  RunSingle(spec, 10, RunMode::kMemoize, 5, &a);
-  RunSingle(spec, 10, RunMode::kMemoize, 5, &b);
+  RunSingle(spec, 10, RunMode::kMemoize, 5, RunOptions{.memo_store = &a});
+  RunSingle(spec, 10, RunMode::kMemoize, 5, RunOptions{.memo_store = &b});
   EXPECT_EQ(a.size(), b.size());
   EXPECT_EQ(a.Serialize().size(), b.Serialize().size());
   EXPECT_EQ(a.stats().determinism_violations, 0u);
@@ -84,19 +87,20 @@ TEST(PipelineTest, MemoRecordsAreDeterministicallyKeyed) {
 }
 
 TEST(PipelineTest, ReplayFromPersistedStoreWorks) {
-  BugSpec spec = C3831Spec();
+  BugSpec spec = BugCatalog::Get("C3831");
   MemoStore store;
-  RunSingle(spec, 10, RunMode::kMemoize, 5, &store);
+  RunSingle(spec, 10, RunMode::kMemoize, 5, RunOptions{.memo_store = &store});
   std::vector<uint8_t> bytes = store.Serialize();
   MemoStore reloaded;
   ASSERT_TRUE(MemoStore::Deserialize(bytes, &reloaded));
-  RunResult replay = RunSingle(spec, 10, RunMode::kPilReplay, 5, &reloaded);
+  RunResult replay =
+      RunSingle(spec, 10, RunMode::kPilReplay, 5, RunOptions{.memo_store = &reloaded});
   EXPECT_TRUE(replay.settled);
   EXPECT_GT(replay.pil.replay_hits, 0u);
 }
 
 TEST(PipelineTest, OrderEnforcedReplayStillSettles) {
-  BugSpec spec = C3831Spec();
+  BugSpec spec = BugCatalog::Get("C3831");
   ScaleCheckRunner runner(spec, 7);
   runner.set_enforce_order(true);
   ScaleCheckResult full = runner.RunFull(10);
@@ -107,19 +111,19 @@ TEST(PipelineTest, OrderEnforcedReplayStillSettles) {
 TEST(PipelineTest, FixedSpecsProduceNoSymptom) {
   // Ablation: the patched configurations stay quiet where the buggy ones
   // would flap (here both are quiet at 12 nodes; the bench shows 256).
-  ScaleCheckRunner fixed_runner(C5456FixedSpec(), 7);
+  ScaleCheckRunner fixed_runner(BugCatalog::Get("C5456-fixed"), 7);
   RunResult fixed = fixed_runner.RunReal(12);
   EXPECT_EQ(fixed.flaps, 0);
   EXPECT_TRUE(fixed.settled);
   // The clone placement holds the lock far shorter than the coarse one.
-  ScaleCheckRunner coarse_runner(C5456Spec(), 7);
+  ScaleCheckRunner coarse_runner(BugCatalog::Get("C5456"), 7);
   RunResult coarse = coarse_runner.RunReal(12);
   EXPECT_LT(fixed.calc_lock_hold_seconds.max(),
             coarse.calc_lock_hold_seconds.max());
 }
 
 TEST(PipelineTest, BootstrapSpecExercisesFreshPath) {
-  RunResult r = RunSingle(C6127Spec(), 10, RunMode::kRealScale, 7);
+  RunResult r = RunSingle(BugCatalog::Get("C6127"), 10, RunMode::kRealScale, 7);
   EXPECT_TRUE(r.settled);
   EXPECT_GT(r.calc_invocations, 0);
 }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/cluster/cluster.h"
+#include "src/scalecheck/bug_catalog.h"
 #include "src/scalecheck/scale_check.h"
 #include "src/sim/trace.h"
 
@@ -66,7 +67,7 @@ TEST(TraceRecorderTest, ClearResets) {
 // status change, conviction, rescue, calc, and crash in the run.
 TEST(ClusterTraceDeterminism, SameSeedSameTraceDigest) {
   auto run_digest = [] {
-    BugSpec spec = C3831Spec();
+    BugSpec spec = BugCatalog::Get("C3831");
     Cluster::Options options;
     options.config = spec.MakeConfig(12, RunMode::kRealScale, 77);
     options.workload = spec.MakeWorkload(12);
@@ -82,7 +83,7 @@ TEST(ClusterTraceDeterminism, SameSeedSameTraceDigest) {
 
 TEST(ClusterTraceDeterminism, DifferentSeedDifferentTrace) {
   auto run_digest = [](uint64_t seed) {
-    BugSpec spec = C3831Spec();
+    BugSpec spec = BugCatalog::Get("C3831");
     Cluster::Options options;
     options.config = spec.MakeConfig(12, RunMode::kRealScale, seed);
     options.workload = spec.MakeWorkload(12);
