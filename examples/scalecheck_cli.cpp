@@ -4,6 +4,11 @@
 //   scalecheck_cli --bug=C5456 --mode=full --nodes=128 --seed=7 --jobs=4
 //   scalecheck_cli --bug=C3881 --mode=colo --nodes=96 --trace
 //   scalecheck_cli --bug=C3831 --mode=full --nodes=64 --json
+//   scalecheck_cli --bug=C3831 --mode=real --nodes=64 --faults=standard-chaos
+//
+// --faults=NAME injects a seed-deterministic fault schedule (partitions,
+// crash+restart, slow nodes, memory pressure) into every run; see
+// src/faults/fault_plan.h for the named plans.
 //
 // Modes: real | colo | memoize | replay | full (real+colo+memoize+replay).
 // `memoize` writes /tmp/scalecheck_<bug>.memo; `replay` reads it — so a
@@ -33,6 +38,7 @@ struct CliOptions {
   int jobs = 1;
   bool trace = false;
   bool json = false;
+  std::string faults;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* out) {
@@ -52,6 +58,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->seed = std::strtoull(seed, nullptr, 0);
     } else if (const char* jobs = value_of("--jobs=")) {
       out->jobs = std::atoi(jobs);
+    } else if (const char* faults = value_of("--faults=")) {
+      if (!FaultPlan::IsKnown(faults)) {
+        std::fprintf(stderr, "unknown fault plan '%s'\n", faults);
+        return false;
+      }
+      out->faults = faults;
     } else if (arg == "--trace") {
       out->trace = true;
     } else if (arg == "--json") {
@@ -73,9 +85,11 @@ void Usage() {
   }
   std::printf(
       "usage: scalecheck_cli [--bug=ID] [--mode=M] [--nodes=N] [--seed=S]\n"
-      "                      [--jobs=J] [--trace] [--json]\n"
+      "                      [--jobs=J] [--faults=PLAN] [--trace] [--json]\n"
       "  bugs: %s\n"
-      "  modes: real colo memoize replay full\n",
+      "  modes: real colo memoize replay full\n"
+      "  fault plans: none standard-chaos partition crash-restart slow-node\n"
+      "               memory-pressure\n",
       bugs.c_str());
 }
 
@@ -103,6 +117,8 @@ int RunOne(const BugSpec& spec, const CliOptions& cli, RunMode mode) {
   options.workload = spec.MakeWorkload(cli.nodes);
   options.memo_store = store_ptr;
   options.enable_trace = cli.trace;
+  options.faults = spec.MakeFaultPlan(cli.nodes, cli.seed);
+  options.kv_ops_per_second = spec.kv_ops_per_second;
   Cluster cluster(std::move(options));
   RunResult result = cluster.Run();
   if (cli.json) {
@@ -138,38 +154,46 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  const BugSpec* spec = BugCatalog::TryGet(cli.bug);
-  if (spec == nullptr) {
+  const BugSpec* catalog_spec = BugCatalog::TryGet(cli.bug);
+  if (catalog_spec == nullptr) {
     std::fprintf(stderr, "unknown bug id '%s'\n", cli.bug.c_str());
     Usage();
     return 2;
   }
+  BugSpec spec = *catalog_spec;
+  if (!cli.faults.empty()) {
+    spec.fault_plan = cli.faults;
+  }
   if (!cli.json) {
-    std::printf("%s: %s\n", spec->id.c_str(), spec->description.c_str());
+    std::printf("%s: %s\n", spec.id.c_str(), spec.description.c_str());
+    if (!spec.fault_plan.empty() && spec.fault_plan != "none") {
+      std::printf("faults: %s\n",
+                  spec.MakeFaultPlan(cli.nodes, cli.seed).Describe().c_str());
+    }
   }
 
   if (cli.mode == "real") {
-    return RunOne(*spec, cli, RunMode::kRealScale);
+    return RunOne(spec, cli, RunMode::kRealScale);
   }
   if (cli.mode == "colo") {
-    return RunOne(*spec, cli, RunMode::kColocated);
+    return RunOne(spec, cli, RunMode::kColocated);
   }
   if (cli.mode == "memoize") {
-    return RunOne(*spec, cli, RunMode::kMemoize);
+    return RunOne(spec, cli, RunMode::kMemoize);
   }
   if (cli.mode == "replay") {
-    return RunOne(*spec, cli, RunMode::kPilReplay);
+    return RunOne(spec, cli, RunMode::kPilReplay);
   }
   if (cli.mode == "full") {
     ExperimentSpec grid;
-    grid.bugs = {*spec};
+    grid.bugs = {spec};
     grid.modes = {RunMode::kRealScale, RunMode::kColocated, RunMode::kMemoize,
                   RunMode::kPilReplay};
     grid.scales = {cli.nodes};
     grid.seeds = {cli.seed};
     grid.jobs = cli.jobs;
     SuiteReport report = ExperimentSuite(grid).Run();
-    ScaleCheckResult full = report.Assemble(spec->id, cli.nodes, cli.seed);
+    ScaleCheckResult full = report.Assemble(spec.id, cli.nodes, cli.seed);
     if (cli.json) {
       std::printf("%s\n", full.ToJson().c_str());
       return 0;

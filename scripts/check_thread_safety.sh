@@ -1,23 +1,31 @@
 #!/usr/bin/env bash
-# Vets the host-parallel ExperimentSuite executor under ThreadSanitizer:
-# builds the tree with SCALECHECK_SANITIZE=thread and runs the concurrency
-# tests (the suite grid at jobs=4, the raw ThreadPool, and the shared
-# CalcOutputCache hammering).
+# Vets the host-parallel ExperimentSuite executor and the fault-injection
+# subsystem under sanitizers: builds the tree with SCALECHECK_SANITIZE and
+# runs the concurrency tests (the suite grid at jobs=4, the raw ThreadPool,
+# the shared CalcOutputCache hammering) plus the faults tests (crash/restart
+# lifecycle, injector scheduling, jobs>1 determinism under chaos).
 #
 #   scripts/check_thread_safety.sh [build-dir]       # default build-tsan/
 #   SCALECHECK_SANITIZE=address scripts/check_thread_safety.sh build-asan
+#
+# CI runs both legs: TSan for races in the parallel executor, ASan for
+# lifetime bugs in the crash/restart path (a restarted node re-allocates its
+# runtime state; ASan proves nothing dangles across the Crash/Restart seam).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 SANITIZER="${SCALECHECK_SANITIZE:-thread}"
 BUILD_DIR="${1:-build-${SANITIZER:0:1}san}"
 
+TARGETS=(scalecheck_suite_test common_thread_pool_test
+         faults_test faults_determinism_test sim_sync_crash_test)
+
 cmake -B "$BUILD_DIR" -S . -DSCALECHECK_SANITIZE="$SANITIZER" >/dev/null
-cmake --build "$BUILD_DIR" --target scalecheck_suite_test common_thread_pool_test -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target "${TARGETS[@]}" -j"$(nproc)"
 
-echo "== common_thread_pool_test ($SANITIZER) =="
-"$BUILD_DIR/tests/common_thread_pool_test"
-echo "== scalecheck_suite_test ($SANITIZER) =="
-"$BUILD_DIR/tests/scalecheck_suite_test"
+for t in "${TARGETS[@]}"; do
+  echo "== $t ($SANITIZER) =="
+  "$BUILD_DIR/tests/$t"
+done
 
-echo "OK: parallel executor is clean under ${SANITIZER} sanitizer"
+echo "OK: parallel executor and fault injection are clean under ${SANITIZER} sanitizer"

@@ -208,6 +208,43 @@ void Cluster::BuildDeployment() {
     });
   }
 
+  // ---- Fault injection ---------------------------------------------------
+  if (!options_.faults.empty()) {
+    FaultInjector::Hooks hooks;
+    hooks.sim = sim_.get();
+    hooks.network = network_.get();
+    hooks.trace = trace_.get();
+    hooks.crash_node = [this](NodeId victim) {
+      if (victim >= 0 && static_cast<size_t>(victim) < nodes_.size() &&
+          !nodes_[static_cast<size_t>(victim)]->crashed()) {
+        ++crashed_nodes_;
+        nodes_[static_cast<size_t>(victim)]->Crash();
+      }
+    };
+    hooks.restart_node = [this](NodeId victim) {
+      if (victim < 0 || static_cast<size_t>(victim) >= nodes_.size()) {
+        return;
+      }
+      Node* node = nodes_[static_cast<size_t>(victim)].get();
+      if (!node->crashed()) {
+        return;
+      }
+      ++restarted_nodes_;
+      std::vector<NodeId> contacts;
+      for (NodeId c = 0; c < std::min(initial_nodes_, 3); ++c) {
+        contacts.push_back(c);
+      }
+      node->Restart(contacts);
+    };
+    hooks.node_crashed = [this](NodeId victim) {
+      return victim >= 0 && static_cast<size_t>(victim) < nodes_.size() &&
+             nodes_[static_cast<size_t>(victim)]->crashed();
+    };
+    hooks.machine_of = [this](NodeId victim) { return machines_->MachineOf(victim); };
+    injector_ = std::make_unique<FaultInjector>(options_.faults, std::move(hooks));
+    injector_->Arm();
+  }
+
   // Prime knowledge.
   std::map<NodeId, std::vector<Token>> seed_members;
   if (!fresh) {
@@ -402,6 +439,7 @@ RunResult Cluster::Run() {
         }
         uint64_t key = static_cast<uint64_t>(
             kv_rng_->UniformInt(0, static_cast<int64_t>(options_.kv_key_space) - 1));
+        ++kv_issued_;
         VirtualTime issued = sim_->Now();
         auto done = [this, issued](KvOutcome outcome, const std::string&) {
           switch (outcome) {
@@ -430,11 +468,15 @@ RunResult Cluster::Run() {
     kv_driver->Start(VirtualDuration::Millis(10));
   }
 
-  // Settlement polling.
+  // Settlement polling. A run with a fault plan cannot settle before the
+  // last fault has healed — otherwise a steady-state workload would declare
+  // itself done at t=0 and stop before the chaos even starts.
+  VirtualTime fault_quiet_at = VirtualTime::Zero() + options_.faults.End();
   VirtualTime stop_at = VirtualTime::Max();
   auto checker = std::make_shared<PeriodicTimer>(
-      sim_.get(), VirtualDuration::Seconds(5), [this, &stop_at, horizon] {
-        if (!settled_ && WorkloadSettled()) {
+      sim_.get(), VirtualDuration::Seconds(5),
+      [this, &stop_at, horizon, fault_quiet_at] {
+        if (!settled_ && sim_->Now() >= fault_quiet_at && WorkloadSettled()) {
           settled_ = true;
           settle_time_ = sim_->Now();
           stop_at = std::min(horizon, sim_->Now() + options_.cooldown);
@@ -484,6 +526,12 @@ void Cluster::CollectResult(RunResult* result) const {
   result->peak_memory_bytes = peak_mem;
   result->oom = oom;
   result->crashed_nodes = crashed_nodes_;
+  result->restarted_nodes = restarted_nodes_;
+  if (injector_ != nullptr) {
+    result->fault_events_applied = injector_->stats().events_applied;
+    result->fault_events_healed = injector_->stats().events_healed;
+  }
+  result->messages_blocked = network_->messages_blocked();
   result->lateness_p99 = lateness_p99;
   result->lateness_max = lateness_max;
 
@@ -509,10 +557,22 @@ void Cluster::CollectResult(RunResult* result) const {
   if (options_.memo_store != nullptr) {
     result->memo = options_.memo_store->stats();
   }
+  result->kv_issued = kv_issued_;
   result->kv_ok = kv_ok_;
   result->kv_unavailable = kv_unavailable_;
   result->kv_timeout = kv_timeout_;
+  result->kv_inflight_at_stop = kv_issued_ - (kv_ok_ + kv_unavailable_ + kv_timeout_);
   result->kv_latency_p99 = kv_latency_.PercentileDuration(99);
+  int64_t kv_retries = 0;
+  int64_t kv_gave_up = 0;
+  for (const auto& node : nodes_) {
+    if (const KvService* kv = node->kv(); kv != nullptr) {
+      kv_retries += kv->stats().retries;
+      kv_gave_up += kv->stats().gave_up;
+    }
+  }
+  result->kv_retries = kv_retries;
+  result->kv_gave_up = kv_gave_up;
 
   result->messages_sent = network_->messages_sent();
   result->messages_delivered = network_->messages_delivered();

@@ -12,6 +12,8 @@
 #include "src/cluster/node.h"
 #include "src/cluster/run_result.h"
 #include "src/cluster/workload.h"
+#include "src/faults/fault_injector.h"
+#include "src/faults/fault_plan.h"
 #include "src/gossip/flap_counter.h"
 #include "src/pil/boundary.h"
 #include "src/pil/function_registry.h"
@@ -45,6 +47,9 @@ class Cluster {
     uint64_t kv_key_space = 100000;
     // Record an execution trace (determinism digests, debugging dumps).
     bool enable_trace = false;
+    // Seed-deterministic fault schedule injected during the run. Part of the
+    // run's identity: memoize and replay apply the identical schedule.
+    FaultPlan faults;
   };
 
   explicit Cluster(Options options);
@@ -64,6 +69,8 @@ class Cluster {
   MachineSet& machines() { return *machines_; }
   // Non-null iff Options::enable_trace.
   const TraceRecorder* trace() const { return trace_.get(); }
+  // Non-null iff Options::faults is non-empty.
+  const FaultInjector* injector() const { return injector_.get(); }
   PilFunctionId calc_function() const { return calc_function_; }
   PilFunctionId bootstrap_function() const { return bootstrap_function_; }
   const PendingRangeCalculator* calculator() const { return calculator_.get(); }
@@ -105,9 +112,14 @@ class Cluster {
   bool settled_ = false;
   VirtualTime settle_time_;
   int crashed_nodes_ = 0;
+  int restarted_nodes_ = 0;
+
+  // Fault injection (null when Options::faults is empty).
+  std::unique_ptr<FaultInjector> injector_;
 
   // KV load-driver aggregates.
   std::unique_ptr<Rng> kv_rng_;
+  int64_t kv_issued_ = 0;
   int64_t kv_ok_ = 0;
   int64_t kv_unavailable_ = 0;
   int64_t kv_timeout_ = 0;

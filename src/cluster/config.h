@@ -100,6 +100,13 @@ struct ClusterConfig {
   // Enables the quorum KV service on every node (examples, user-impact
   // metrics). The control-plane experiments leave it off.
   bool enable_kv = false;
+  // Per-attempt quorum timeout and the client-request retry policy (see
+  // KvService::Deps). The default is non-retrying so the control-plane
+  // experiments observe raw unavailability; fault-injection runs opt in.
+  VirtualDuration kv_timeout = VirtualDuration::Seconds(2);
+  int kv_max_attempts = 1;
+  VirtualDuration kv_retry_base_backoff = VirtualDuration::Millis(50);
+  VirtualDuration kv_request_deadline = VirtualDuration::Seconds(8);
 
   // ---- Harness --------------------------------------------------------------
   uint64_t seed = 0x5eedf00d;

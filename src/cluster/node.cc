@@ -69,6 +69,13 @@ Node::Node(Env* env, NodeId id, Machine* machine, uint64_t seed)
     deps.gossiper = &gossiper_;
     deps.self = id_;
     deps.replication_factor = env->config->replication_factor;
+    deps.timeout = env->config->kv_timeout;
+    deps.max_attempts = env->config->kv_max_attempts;
+    deps.retry_base_backoff = env->config->kv_retry_base_backoff;
+    deps.request_deadline = env->config->kv_request_deadline;
+    // Derived from the ctor seed without consuming rng_ state, so enabling
+    // retries leaves every other per-node random draw untouched.
+    deps.retry_seed = HashCombine(seed, 0x4b565254ULL);  // "KVRT"
     kv_ = std::make_unique<KvService>(deps);
   }
   unmonitored_[id_] = true;
@@ -244,7 +251,77 @@ void Node::Crash() {
   if (kv_stage_ != nullptr) {
     kv_stage_->Kill();
   }
+  // A dead process holds no locks: force-release the ring lock (abandoning
+  // any waiters, whose threads just died with it) so survivors — and a later
+  // restart — are not wedged behind a lock nobody can ever release.
+  ring_lock_.ResetForCrash();
+  if (kv_ != nullptr) {
+    kv_->SetDown(true);
+  }
   machine_->memory().ReleaseAll(id_);
+}
+
+void Node::Restart(const std::vector<NodeId>& contacts) {
+  CHECK(crashed_) << "Restart of a live node " << id_;
+  CHECK(started_);
+  crashed_ = false;
+  ++generation_;
+  if (env_->trace != nullptr) {
+    env_->trace->Record(env_->sim->Now(), TraceKind::kNodeRestart, id_, kInvalidNode,
+                        generation_);
+  }
+
+  // Fresh process: threads come back, all in-memory protocol state is gone.
+  gossip_task_.Revive();
+  gossip_stage_.Revive();
+  if (calc_thread_ != nullptr) {
+    calc_thread_->Revive();
+  }
+  if (kv_stage_ != nullptr) {
+    kv_stage_->Revive();
+  }
+
+  gossiper_.ResetForRestart(generation_);
+  fd_ = PhiAccrualFailureDetector(env_->config->fd);
+  ring_ = TokenRing();
+  pending_changes_.clear();
+  pending_ranges_ = PendingRanges();
+  ring_dirty_ = false;
+  recalc_inflight_ = false;
+  partition_services_allocated_ = false;
+  partition_services_bytes_ = 0;
+  unmonitored_.clear();
+  unmonitored_[id_] = true;
+
+  // We restart with our durable token assignment and announce NORMAL under
+  // the bumped generation; peers replace our stale state wholesale. The
+  // cluster view is re-learned from the contacts.
+  for (NodeId peer : contacts) {
+    if (peer != id_) {
+      gossiper_.AddKnownEndpoint(peer, EndpointState(/*generation=*/0));
+    }
+  }
+  VersionedValue normal;
+  normal.status = StatusKind::kNormal;
+  normal.tokens = my_tokens_;
+  gossiper_.SetLocalState(ApplicationStateKey::kStatus, normal);
+  ring_.AddNode(id_, my_tokens_);
+
+  machine_->memory().Allocate(id_, "runtime", env_->config->RuntimeOverheadBytes());
+  machine_->memory().Allocate(
+      id_, "endpoints",
+      static_cast<int64_t>(gossiper_.endpoints().size()) *
+          env_->config->endpoint_state_bytes);
+  env_->network->RegisterNode(id_, [this](const Message& msg) { OnMessage(msg); });
+  if (kv_ != nullptr) {
+    kv_->SetDown(false);
+  }
+
+  VirtualDuration phase = VirtualDuration::Nanos(static_cast<int64_t>(
+      rng_.UniformDouble() * static_cast<double>(env_->config->gossip_interval.nanos())));
+  gossip_timer_ = std::make_unique<PeriodicTimer>(
+      env_->sim, env_->config->gossip_interval, [this] { GossipRound(); });
+  gossip_timer_->Start(phase);
 }
 
 uint64_t Node::order_divergences() const {

@@ -149,8 +149,14 @@ class Node {
   void Start(bool as_joiner, VirtualDuration transition);
   // Announces LEAVING now and LEFT after `transition`.
   void BeginDecommission(VirtualDuration transition);
-  // Hard crash: threads die, network unregisters, locks stay taken.
+  // Hard crash: threads die, network unregisters, the ring lock is
+  // force-released (a dead process holds no locks), the KV service goes
+  // down, memory is freed.
   void Crash();
+  // Brings a crashed node back as a fresh process with a bumped gossip
+  // generation: protocol state is rebuilt from scratch, the ring view is
+  // re-learned via `contacts`, and the durable token assignment is kept.
+  void Restart(const std::vector<NodeId>& contacts);
   bool crashed() const { return crashed_; }
 
   // ---- Introspection -------------------------------------------------------
@@ -239,6 +245,7 @@ class Node {
   std::unique_ptr<OrderEnforcer> enforcer_;
   bool started_ = false;
   bool crashed_ = false;
+  int64_t generation_ = 1;  // bumped on every restart
 };
 
 }  // namespace scalecheck

@@ -54,6 +54,10 @@ void RunResult::WriteJson(JsonWriter* w) const {
   w->Field("peak_memory_bytes", peak_memory_bytes);
   w->Field("oom", oom);
   w->Field("crashed_nodes", crashed_nodes);
+  w->Field("restarted_nodes", restarted_nodes);
+  w->Field("fault_events_applied", fault_events_applied);
+  w->Field("fault_events_healed", fault_events_healed);
+  w->Field("messages_blocked", messages_blocked);
   w->Field("lateness_p99_ns", lateness_p99.nanos());
   w->Field("lateness_max_ns", lateness_max.nanos());
 
@@ -81,9 +85,13 @@ void RunResult::WriteJson(JsonWriter* w) const {
   w->Field("order_divergences", order_divergences);
   w->Field("order_enforced", order_enforced);
 
+  w->Field("kv_issued", kv_issued);
   w->Field("kv_ok", kv_ok);
   w->Field("kv_unavailable", kv_unavailable);
   w->Field("kv_timeout", kv_timeout);
+  w->Field("kv_inflight_at_stop", kv_inflight_at_stop);
+  w->Field("kv_retries", kv_retries);
+  w->Field("kv_gave_up", kv_gave_up);
   w->Field("kv_latency_p99_ns", kv_latency_p99.nanos());
 
   w->Field("messages_sent", messages_sent);

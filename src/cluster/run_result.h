@@ -38,6 +38,12 @@ struct RunResult {
   VirtualDuration lateness_p99;
   VirtualDuration lateness_max;
 
+  // ---- Fault injection ------------------------------------------------------
+  int restarted_nodes = 0;
+  int64_t fault_events_applied = 0;
+  int64_t fault_events_healed = 0;
+  uint64_t messages_blocked = 0;  // dropped by partitions specifically
+
   // ---- Offending-function behaviour (§3's 0.001–4 s observation) ----------
   int64_t calc_invocations = 0;
   int64_t calc_executed_real = 0;  // real loop nest vs modelled cost
@@ -51,9 +57,16 @@ struct RunResult {
   uint64_t order_enforced = 0;
 
   // ---- Data-path user impact (when the KV load driver runs) -----------------
+  // Conservation: kv_issued == kv_ok + kv_unavailable + kv_timeout +
+  // kv_inflight_at_stop, and kv_gave_up == kv_unavailable + kv_timeout — no
+  // client request is silently lost, with or without retries.
+  int64_t kv_issued = 0;
   int64_t kv_ok = 0;
   int64_t kv_unavailable = 0;
   int64_t kv_timeout = 0;
+  int64_t kv_inflight_at_stop = 0;
+  int64_t kv_retries = 0;
+  int64_t kv_gave_up = 0;
   VirtualDuration kv_latency_p99;
 
   // ---- Traffic / engine ----------------------------------------------------

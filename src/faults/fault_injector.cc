@@ -1,0 +1,139 @@
+#include "src/faults/fault_injector.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+FaultInjector::FaultInjector(FaultPlan plan, Hooks hooks)
+    : plan_(std::move(plan)), hooks_(std::move(hooks)) {
+  CHECK_NOTNULL(hooks_.sim);
+  CHECK_NOTNULL(hooks_.network);
+  CHECK(hooks_.crash_node);
+  CHECK(hooks_.restart_node);
+  CHECK(hooks_.node_crashed);
+  CHECK(hooks_.machine_of);
+}
+
+void FaultInjector::Arm() {
+  bool has_link_faults = false;
+  for (size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& event = plan_.events[i];
+    if (event.kind == FaultKind::kPartition ||
+        event.kind == FaultKind::kLinkDegrade) {
+      has_link_faults = true;
+    }
+    hooks_.sim->ScheduleAt(VirtualTime::Zero() + event.at, [this, i] { Apply(i); });
+    if (!event.duration.IsZero()) {
+      hooks_.sim->ScheduleAt(VirtualTime::Zero() + event.at + event.duration,
+                             [this, i] { Heal(i); });
+    }
+  }
+  if (has_link_faults) {
+    hooks_.network->set_link_filter(
+        [this](NodeId from, NodeId to) { return Filter(from, to); });
+  }
+}
+
+void FaultInjector::Apply(size_t index) {
+  const FaultEvent& event = plan_.events[index];
+  ++stats_.events_applied;
+  Trace(TraceKind::kFaultInjected, event);
+  switch (event.kind) {
+    case FaultKind::kPartition:
+    case FaultKind::kLinkDegrade: {
+      LinkRule rule;
+      rule.blocked = event.kind == FaultKind::kPartition;
+      rule.extra_loss = event.extra_loss;
+      rule.extra_latency = event.extra_latency;
+      rule.a.insert(event.nodes_a.begin(), event.nodes_a.end());
+      rule.b.insert(event.nodes_b.begin(), event.nodes_b.end());
+      active_links_[index] = std::move(rule);
+      break;
+    }
+    case FaultKind::kCrash:
+      for (NodeId victim : event.nodes_a) {
+        if (!hooks_.node_crashed(victim)) {
+          hooks_.crash_node(victim);
+        }
+      }
+      break;
+    case FaultKind::kSlowNode:
+      for (NodeId victim : event.nodes_a) {
+        hooks_.machine_of(victim)->cpu().SetSpeedFactor(event.cpu_factor);
+      }
+      break;
+    case FaultKind::kMemoryPressure:
+      for (NodeId victim : event.nodes_a) {
+        // May cross the capacity line and fire the OOM -> crash path.
+        hooks_.machine_of(victim)->memory().Allocate(victim, "fault.ballast",
+                                                     event.ballast_bytes);
+      }
+      break;
+  }
+}
+
+void FaultInjector::Heal(size_t index) {
+  const FaultEvent& event = plan_.events[index];
+  ++stats_.events_healed;
+  Trace(TraceKind::kFaultHealed, event);
+  switch (event.kind) {
+    case FaultKind::kPartition:
+    case FaultKind::kLinkDegrade:
+      active_links_.erase(index);
+      break;
+    case FaultKind::kCrash:
+      // Heal of a crash = restart (only nodes still dead; an OOM may have
+      // raced and the node could be gone for a different reason — restart
+      // regardless, a dead node is a dead node).
+      for (NodeId victim : event.nodes_a) {
+        if (hooks_.node_crashed(victim)) {
+          hooks_.restart_node(victim);
+        }
+      }
+      break;
+    case FaultKind::kSlowNode:
+      for (NodeId victim : event.nodes_a) {
+        hooks_.machine_of(victim)->cpu().SetSpeedFactor(1.0);
+      }
+      break;
+    case FaultKind::kMemoryPressure:
+      for (NodeId victim : event.nodes_a) {
+        // Idempotent: the ballast may already be gone via a crash's
+        // ReleaseAll.
+        hooks_.machine_of(victim)->memory().ReleaseTag(victim, "fault.ballast");
+      }
+      break;
+  }
+}
+
+NetworkModel::LinkFault FaultInjector::Filter(NodeId from, NodeId to) const {
+  NetworkModel::LinkFault fault;
+  for (const auto& [index, rule] : active_links_) {
+    auto in_a = [&rule](NodeId v) { return rule.a.count(v) > 0; };
+    auto in_b = [&rule](NodeId v) {
+      return rule.b.empty() ? rule.a.count(v) == 0 : rule.b.count(v) > 0;
+    };
+    bool matches = (in_a(from) && in_b(to)) || (in_a(to) && in_b(from));
+    if (!matches) {
+      continue;
+    }
+    fault.blocked = fault.blocked || rule.blocked;
+    fault.extra_loss += rule.extra_loss;
+    fault.extra_latency = fault.extra_latency + rule.extra_latency;
+  }
+  return fault;
+}
+
+void FaultInjector::Trace(TraceKind kind, const FaultEvent& event) {
+  if (hooks_.trace == nullptr) {
+    return;
+  }
+  NodeId first = event.nodes_a.empty() ? kInvalidNode : event.nodes_a.front();
+  hooks_.trace->Record(hooks_.sim->Now(), kind, first, kInvalidNode,
+                       static_cast<int64_t>(event.kind),
+                       FaultKindName(event.kind));
+}
+
+}  // namespace scalecheck

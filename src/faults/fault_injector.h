@@ -1,0 +1,77 @@
+// Executes a FaultPlan against a live deployment.
+//
+// The injector owns no models: it is wired with hooks into the Cluster's
+// simulator, network, machines, and node lifecycle, and turns each FaultEvent
+// into scheduled injections/heals. Link-level faults (partitions, degraded
+// links) are applied through the NetworkModel's link filter, which is
+// consulted on every Send while at least one link fault is in the plan.
+
+#ifndef SCALECHECK_SRC_FAULTS_FAULT_INJECTOR_H_
+#define SCALECHECK_SRC_FAULTS_FAULT_INJECTOR_H_
+
+#include <functional>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/faults/fault_plan.h"
+#include "src/sim/machine.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+
+namespace scalecheck {
+
+class FaultInjector {
+ public:
+  struct Hooks {
+    Simulator* sim = nullptr;
+    NetworkModel* network = nullptr;
+    TraceRecorder* trace = nullptr;  // optional
+    // Node lifecycle (Cluster-owned so crash accounting stays in one place).
+    std::function<void(NodeId)> crash_node;
+    std::function<void(NodeId)> restart_node;
+    std::function<bool(NodeId)> node_crashed;
+    std::function<Machine*(NodeId)> machine_of;
+  };
+
+  struct Stats {
+    int64_t events_applied = 0;
+    int64_t events_healed = 0;
+  };
+
+  FaultInjector(FaultPlan plan, Hooks hooks);
+
+  // Schedules every event (and its heal) on the simulator and installs the
+  // network link filter if the plan contains link-level faults. Call once,
+  // before Simulator::Run.
+  void Arm();
+
+  const Stats& stats() const { return stats_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  // An active link-level fault (partition or degrade) keyed by event index.
+  struct LinkRule {
+    bool blocked = false;
+    double extra_loss = 0.0;
+    VirtualDuration extra_latency;
+    std::unordered_set<NodeId> a;
+    std::unordered_set<NodeId> b;  // empty = complement of a
+  };
+
+  void Apply(size_t index);
+  void Heal(size_t index);
+  NetworkModel::LinkFault Filter(NodeId from, NodeId to) const;
+  void Trace(TraceKind kind, const FaultEvent& event);
+
+  FaultPlan plan_;
+  Hooks hooks_;
+  Stats stats_;
+  std::map<size_t, LinkRule> active_links_;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_FAULTS_FAULT_INJECTOR_H_

@@ -1,0 +1,213 @@
+#include "src/faults/fault_plan.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace scalecheck {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kLinkDegrade:
+      return "link-degrade";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kSlowNode:
+      return "slow-node";
+    case FaultKind::kMemoryPressure:
+      return "memory-pressure";
+  }
+  return "?";
+}
+
+std::string FaultEvent::Describe() const {
+  return StrFormat("%s at=%s dur=%s |a|=%zu |b|=%zu", FaultKindName(kind),
+                   at.ToString().c_str(), duration.ToString().c_str(),
+                   nodes_a.size(), nodes_b.size());
+}
+
+VirtualDuration FaultPlan::End() const {
+  VirtualDuration end;
+  for (const FaultEvent& event : events) {
+    end = std::max(end, event.at + event.duration);
+  }
+  return end;
+}
+
+std::string FaultPlan::Describe() const {
+  std::string out = StrFormat("%s (%zu events, end=%s)", name.c_str(),
+                              events.size(), End().ToString().c_str());
+  for (const FaultEvent& event : events) {
+    out += "\n  " + event.Describe();
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<NodeId> Range(NodeId lo, NodeId hi) {
+  std::vector<NodeId> out;
+  for (NodeId id = lo; id < hi; ++id) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+// Victims must not be contact points (0..2) or the workload's membership
+// target (n/2 by BugCatalog convention) — faults against those would change
+// the workload itself, not just stress it.
+NodeId PickVictim(NodeId preferred, int n) {
+  CHECK_GE(n, 5) << "fault plans need at least 5 nodes";
+  NodeId v = preferred % n;
+  while (v < 3 || v == n / 2) {
+    v = (v + 1) % n;
+  }
+  return v;
+}
+
+// Sub-second deterministic jitter so event times do not align with the
+// 1-second gossip cadence.
+VirtualDuration Jittered(int64_t seconds, Rng* rng) {
+  return VirtualDuration::Seconds(seconds) +
+         VirtualDuration::Nanos(static_cast<int64_t>(rng->UniformDouble() * 1e9));
+}
+
+FaultEvent PartitionEvent(int n, Rng* rng) {
+  FaultEvent ev;
+  ev.kind = FaultKind::kPartition;
+  ev.at = Jittered(60, rng);
+  ev.duration = VirtualDuration::Seconds(20);
+  // Island: the top n/8 of the id space (empty nodes_b = everyone else).
+  ev.nodes_a = Range(n - std::max(1, n / 8), n);
+  return ev;
+}
+
+FaultEvent DegradeEvent(int n, Rng* rng) {
+  FaultEvent ev;
+  ev.kind = FaultKind::kLinkDegrade;
+  ev.at = Jittered(110, rng);
+  ev.duration = VirtualDuration::Seconds(20);
+  ev.nodes_a = Range(0, n / 2);
+  ev.extra_loss = 0.05;
+  ev.extra_latency = VirtualDuration::Millis(30);
+  return ev;
+}
+
+FaultEvent CrashEvent(int n, Rng* rng) {
+  FaultEvent ev;
+  ev.kind = FaultKind::kCrash;
+  ev.at = Jittered(140, rng);
+  ev.duration = VirtualDuration::Seconds(25);  // restart after 25s
+  ev.nodes_a = {PickVictim(n / 3, n)};
+  return ev;
+}
+
+FaultEvent SlowEvent(int n, Rng* rng) {
+  FaultEvent ev;
+  ev.kind = FaultKind::kSlowNode;
+  ev.at = Jittered(150, rng);
+  ev.duration = VirtualDuration::Seconds(30);
+  ev.nodes_a = {PickVictim(2 * n / 3, n)};
+  ev.cpu_factor = 0.35;
+  return ev;
+}
+
+FaultEvent BallastEvent(int n, Rng* rng) {
+  FaultEvent ev;
+  ev.kind = FaultKind::kMemoryPressure;
+  ev.at = Jittered(170, rng);
+  ev.duration = VirtualDuration::Seconds(20);
+  ev.nodes_a = {PickVictim(n / 4, n)};
+  ev.ballast_bytes = 6LL * 1024 * 1024 * 1024;
+  return ev;
+}
+
+Rng PlanRng(uint64_t seed) { return Rng(HashCombine(seed, 0xfa177eedULL)); }
+
+}  // namespace
+
+FaultPlan FaultPlan::StandardChaos(int n, uint64_t seed) {
+  Rng rng = PlanRng(seed);
+  FaultPlan plan;
+  plan.name = "standard-chaos";
+  plan.events.push_back(PartitionEvent(n, &rng));
+  plan.events.push_back(DegradeEvent(n, &rng));
+  plan.events.push_back(CrashEvent(n, &rng));
+  plan.events.push_back(SlowEvent(n, &rng));
+  plan.events.push_back(BallastEvent(n, &rng));
+  return plan;
+}
+
+FaultPlan FaultPlan::PartitionOnly(int n, uint64_t seed) {
+  Rng rng = PlanRng(seed);
+  FaultPlan plan;
+  plan.name = "partition";
+  plan.events.push_back(PartitionEvent(n, &rng));
+  return plan;
+}
+
+FaultPlan FaultPlan::CrashRestartOnly(int n, uint64_t seed) {
+  Rng rng = PlanRng(seed);
+  FaultPlan plan;
+  plan.name = "crash-restart";
+  FaultEvent ev = CrashEvent(n, &rng);
+  ev.at = Jittered(60, &rng);
+  plan.events.push_back(ev);
+  return plan;
+}
+
+FaultPlan FaultPlan::SlowNodeOnly(int n, uint64_t seed) {
+  Rng rng = PlanRng(seed);
+  FaultPlan plan;
+  plan.name = "slow-node";
+  FaultEvent ev = SlowEvent(n, &rng);
+  ev.at = Jittered(60, &rng);
+  plan.events.push_back(ev);
+  return plan;
+}
+
+FaultPlan FaultPlan::MemoryPressureOnly(int n, uint64_t seed) {
+  Rng rng = PlanRng(seed);
+  FaultPlan plan;
+  plan.name = "memory-pressure";
+  FaultEvent ev = BallastEvent(n, &rng);
+  ev.at = Jittered(60, &rng);
+  plan.events.push_back(ev);
+  return plan;
+}
+
+FaultPlan FaultPlan::ByName(const std::string& name, int n, uint64_t seed) {
+  if (name.empty() || name == "none") {
+    return FaultPlan{};
+  }
+  if (name == "standard-chaos") {
+    return StandardChaos(n, seed);
+  }
+  if (name == "partition") {
+    return PartitionOnly(n, seed);
+  }
+  if (name == "crash-restart") {
+    return CrashRestartOnly(n, seed);
+  }
+  if (name == "slow-node") {
+    return SlowNodeOnly(n, seed);
+  }
+  if (name == "memory-pressure") {
+    return MemoryPressureOnly(n, seed);
+  }
+  CHECK(false) << "unknown fault plan " << name;
+  return FaultPlan{};
+}
+
+bool FaultPlan::IsKnown(const std::string& name) {
+  return name.empty() || name == "none" || name == "standard-chaos" ||
+         name == "partition" || name == "crash-restart" || name == "slow-node" ||
+         name == "memory-pressure";
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,90 @@
+// Declarative fault schedules.
+//
+// A FaultPlan is a pure value: a seed-deterministic list of fault events in
+// virtual time. It is part of a run's configuration (BugSpec / Cluster
+// options), so memoize and replay runs apply byte-identical fault schedules —
+// the same property the paper needs for "the debugging runs see the same
+// storm the testing run saw". The FaultInjector turns a plan into scheduled
+// simulator events against the live models.
+//
+// §2 motivates this subsystem: the studied scalability bugs surface as flap
+// storms under *adverse conditions at scale* — partitions, slow or dying
+// nodes, memory exhaustion. A standard chaos plan lets the accuracy tables
+// compare how faithfully each run mode (Real / Colo / SC+PIL) reproduces the
+// cluster's reaction to the same adversity.
+
+#ifndef SCALECHECK_SRC_FAULTS_FAULT_PLAN_H_
+#define SCALECHECK_SRC_FAULTS_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace scalecheck {
+
+enum class FaultKind : int {
+  // Bidirectional message blackhole between nodes_a and nodes_b (empty
+  // nodes_b means "everyone else") for `duration`.
+  kPartition = 0,
+  // Extra loss probability and latency on links between nodes_a and nodes_b
+  // for `duration`.
+  kLinkDegrade = 1,
+  // Hard crash of nodes_a at `at`; restarted at `at + duration` when
+  // duration > 0 (a zero duration means the nodes stay dead).
+  kCrash = 2,
+  // CPU degradation: the machines hosting nodes_a run at `cpu_factor` speed
+  // for `duration`.
+  kSlowNode = 3,
+  // Memory-pressure ballast charged to nodes_a for `duration`; may push the
+  // machine over capacity and trigger the existing OOM -> crash path.
+  kMemoryPressure = 4,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kPartition;
+  VirtualDuration at;        // injection time (from t=0)
+  VirtualDuration duration;  // heal at `at + duration`; zero = never heals
+  std::vector<NodeId> nodes_a;
+  std::vector<NodeId> nodes_b;  // kPartition/kLinkDegrade; empty = complement
+  double extra_loss = 0.0;                  // kLinkDegrade
+  VirtualDuration extra_latency;            // kLinkDegrade
+  double cpu_factor = 1.0;                  // kSlowNode
+  int64_t ballast_bytes = 0;                // kMemoryPressure
+
+  std::string Describe() const;
+};
+
+struct FaultPlan {
+  std::string name;
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  // Latest heal (or injection, for non-healing events) in the plan.
+  VirtualDuration End() const;
+  std::string Describe() const;
+
+  // The standard chaos schedule used by the accuracy tables: one partition,
+  // one link-degrade window, one crash+restart, one slow node, one
+  // memory-pressure window. A pure function of (n, seed): the only
+  // randomness is sub-second jitter on the event times.
+  static FaultPlan StandardChaos(int n, uint64_t seed);
+
+  // Single-fault plans for focused experiments.
+  static FaultPlan PartitionOnly(int n, uint64_t seed);
+  static FaultPlan CrashRestartOnly(int n, uint64_t seed);
+  static FaultPlan SlowNodeOnly(int n, uint64_t seed);
+  static FaultPlan MemoryPressureOnly(int n, uint64_t seed);
+
+  // Looks a plan up by name ("", "none", "standard-chaos", "partition",
+  // "crash-restart", "slow-node", "memory-pressure"). Unknown names CHECK.
+  static FaultPlan ByName(const std::string& name, int n, uint64_t seed);
+  static bool IsKnown(const std::string& name);
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_FAULTS_FAULT_PLAN_H_

@@ -35,6 +35,13 @@ void Gossiper::RemoveEndpoint(NodeId ep) {
   alive_.erase(ep);
 }
 
+void Gossiper::ResetForRestart(int64_t generation) {
+  endpoints_.clear();
+  alive_.clear();
+  version_counter_ = 0;
+  endpoints_.emplace(self_, EndpointState(generation));
+}
+
 const EndpointState* Gossiper::StateOf(NodeId ep) const {
   auto it = endpoints_.find(ep);
   return it == endpoints_.end() ? nullptr : &it->second;

@@ -58,6 +58,12 @@ class Gossiper {
   void AddKnownEndpoint(NodeId ep, const EndpointState& state);
   void RemoveEndpoint(NodeId ep);
 
+  // Crash-restart lifecycle: forgets every peer and re-initializes the local
+  // endpoint state under a bumped `generation`. Peers that see the higher
+  // generation replace our old state wholesale (their on_restart fires); we
+  // re-learn the cluster from whatever contacts are seeded afterwards.
+  void ResetForRestart(int64_t generation);
+
   const EndpointStateMap& endpoints() const { return endpoints_; }
   const EndpointState* StateOf(NodeId ep) const;
 

@@ -7,7 +7,7 @@
 
 namespace scalecheck {
 
-KvService::KvService(Deps deps) : deps_(deps) {
+KvService::KvService(Deps deps) : deps_(deps), retry_rng_(deps.retry_seed) {
   CHECK_NOTNULL(deps_.sim);
   CHECK_NOTNULL(deps_.network);
   CHECK_NOTNULL(deps_.stage);
@@ -16,16 +16,91 @@ KvService::KvService(Deps deps) : deps_(deps) {
 }
 
 void KvService::Write(uint64_t key, std::string value, DoneFn done) {
-  StartOp(/*is_write=*/true, key, std::move(value), std::move(done));
+  Submit(/*is_write=*/true, key, std::move(value), std::move(done));
 }
 
 void KvService::Read(uint64_t key, DoneFn done) {
-  StartOp(/*is_write=*/false, key, "", std::move(done));
+  Submit(/*is_write=*/false, key, "", std::move(done));
 }
 
-void KvService::StartOp(bool is_write, uint64_t key, std::string value, DoneFn done) {
+void KvService::Submit(bool is_write, uint64_t key, std::string value, DoneFn done) {
+  auto op = std::make_shared<ClientOp>();
+  op->is_write = is_write;
+  op->key = key;
+  op->value = std::move(value);
+  op->done = std::move(done);
+  op->started = deps_.sim->Now();
+  op->deadline_at = op->started + deps_.request_deadline;
+  Attempt(std::move(op));
+}
+
+void KvService::Attempt(std::shared_ptr<ClientOp> op) {
+  ++op->attempt;
+  if (down_) {
+    Conclude(op, KvOutcome::kUnavailable, "");
+    return;
+  }
+  // The per-attempt timeout never extends past the request deadline.
+  VirtualDuration budget = op->deadline_at - deps_.sim->Now();
+  VirtualDuration timeout = std::min(deps_.timeout, budget);
+  if (timeout.nanos() < 1) {
+    timeout = VirtualDuration::Nanos(1);
+  }
+  StartOp(op->is_write, op->key, op->value,
+          [this, op](KvOutcome outcome, std::string value) {
+            OnAttemptDone(op, outcome, std::move(value));
+          },
+          timeout);
+}
+
+void KvService::OnAttemptDone(const std::shared_ptr<ClientOp>& op, KvOutcome outcome,
+                              std::string value) {
+  if (outcome == KvOutcome::kOk) {
+    Conclude(op, outcome, std::move(value));
+    return;
+  }
+  int max_attempts = std::max(1, deps_.max_attempts);
+  if (op->attempt >= max_attempts) {
+    Conclude(op, outcome, "");
+    return;
+  }
+  // Exponential backoff with deterministic jitter in [0.5, 1.5).
+  double scale = static_cast<double>(int64_t{1} << (op->attempt - 1));
+  double jitter = 0.5 + retry_rng_.UniformDouble();
+  auto backoff = VirtualDuration::Nanos(static_cast<int64_t>(
+      static_cast<double>(deps_.retry_base_backoff.nanos()) * scale * jitter));
+  if (deps_.sim->Now() + backoff >= op->deadline_at) {
+    Conclude(op, outcome, "");
+    return;
+  }
+  ++stats_.retries;
+  deps_.sim->ScheduleAfter(backoff, [this, op] { Attempt(op); });
+}
+
+void KvService::Conclude(const std::shared_ptr<ClientOp>& op, KvOutcome outcome,
+                         std::string value) {
+  switch (outcome) {
+    case KvOutcome::kOk:
+      ++stats_.ok;
+      stats_.latency.AddDuration(deps_.sim->Now() - op->started);
+      break;
+    case KvOutcome::kUnavailable:
+      ++stats_.unavailable;
+      ++stats_.gave_up;
+      break;
+    case KvOutcome::kTimeout:
+      ++stats_.timeout;
+      ++stats_.gave_up;
+      break;
+  }
+  if (op->done) {
+    op->done(outcome, std::move(value));
+  }
+}
+
+void KvService::StartOp(bool is_write, uint64_t key, std::string value, DoneFn done,
+                        VirtualDuration timeout) {
   if (deps_.ring->num_entries() == 0) {
-    ++stats_.unavailable;
     done(KvOutcome::kUnavailable, "");
     return;
   }
@@ -40,7 +115,6 @@ void KvService::StartOp(bool is_write, uint64_t key, std::string value, DoneFn d
   if (static_cast<int>(live.size()) < Quorum()) {
     // The §2 user impact: replicas convicted by the flapping failure
     // detector are skipped, so the operation cannot reach quorum.
-    ++stats_.unavailable;
     done(KvOutcome::kUnavailable, "");
     return;
   }
@@ -52,7 +126,7 @@ void KvService::StartOp(bool is_write, uint64_t key, std::string value, DoneFn d
   op.outstanding = static_cast<int>(live.size());
   op.started = deps_.sim->Now();
   op.done = std::move(done);
-  op.timeout_event = deps_.sim->ScheduleAfter(deps_.timeout, [this, op_id] {
+  op.timeout_event = deps_.sim->ScheduleAfter(timeout, [this, op_id] {
     auto it = inflight_.find(op_id);
     if (it == inflight_.end()) {
       return;
@@ -185,18 +259,8 @@ void KvService::Finish(uint64_t op_id, KvOutcome outcome, std::string value) {
   if (op.timeout_event != kInvalidEvent) {
     deps_.sim->Cancel(op.timeout_event);
   }
-  switch (outcome) {
-    case KvOutcome::kOk:
-      ++stats_.ok;
-      stats_.latency.AddDuration(deps_.sim->Now() - op.started);
-      break;
-    case KvOutcome::kUnavailable:
-      ++stats_.unavailable;
-      break;
-    case KvOutcome::kTimeout:
-      ++stats_.timeout;
-      break;
-  }
+  // Outcome accounting happens at the client-request layer (Conclude), so a
+  // retried attempt's failure is not double-counted.
   if (op.done) {
     op.done(outcome, std::move(value));
   }

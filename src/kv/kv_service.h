@@ -16,6 +16,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/gossip/gossiper.h"
@@ -62,9 +63,16 @@ enum class KvOutcome : int {
 };
 
 struct KvStats {
+  // Final client outcomes (after any retries).
   int64_t ok = 0;
   int64_t unavailable = 0;
   int64_t timeout = 0;
+  // Retry accounting: `retries` counts re-submitted attempts; `gave_up`
+  // counts client requests that ended without an OK (so every client request
+  // ends as exactly ok or gave_up — the conservation identity the fault
+  // benches assert).
+  int64_t retries = 0;
+  int64_t gave_up = 0;
   LogHistogram latency{/*base=*/1e5, /*growth=*/1.5, /*num_buckets=*/80};
 
   int64_t total() const { return ok + unavailable + timeout; }
@@ -87,7 +95,16 @@ class KvService {
     const Gossiper* gossiper = nullptr; // liveness view
     NodeId self = kInvalidNode;
     int replication_factor = 3;
+    // Per-attempt quorum timeout.
     VirtualDuration timeout = VirtualDuration::Seconds(2);
+    // Client-request retry policy. A request is attempted up to
+    // `max_attempts` times within `request_deadline`; failed attempts back
+    // off exponentially from `retry_base_backoff` with deterministic jitter
+    // drawn from an Rng seeded with `retry_seed`.
+    int max_attempts = 1;
+    VirtualDuration retry_base_backoff = VirtualDuration::Millis(50);
+    VirtualDuration request_deadline = VirtualDuration::Seconds(8);
+    uint64_t retry_seed = 0;
   };
 
   explicit KvService(Deps deps);
@@ -100,6 +117,10 @@ class KvService {
 
   // Replica + response plumbing, called by the Node's message handler.
   void HandleMessage(const Message& msg);
+
+  // Crash-restart lifecycle: while down, new attempts conclude UNAVAILABLE
+  // immediately (the process is gone; its clients see connection refusal).
+  void SetDown(bool down) { down_ = down; }
 
   StorageEngine& storage() { return storage_; }
   const KvStats& stats() const { return stats_; }
@@ -117,13 +138,35 @@ class KvService {
     EventId timeout_event = kInvalidEvent;
   };
 
-  void StartOp(bool is_write, uint64_t key, std::string value, DoneFn done);
+  // One client request, carried across attempts.
+  struct ClientOp {
+    bool is_write = false;
+    uint64_t key = 0;
+    std::string value;
+    DoneFn done;
+    int attempt = 0;
+    VirtualTime started;
+    VirtualTime deadline_at;
+  };
+
+  void Submit(bool is_write, uint64_t key, std::string value, DoneFn done);
+  void Attempt(std::shared_ptr<ClientOp> op);
+  void OnAttemptDone(const std::shared_ptr<ClientOp>& op, KvOutcome outcome,
+                     std::string value);
+  void Conclude(const std::shared_ptr<ClientOp>& op, KvOutcome outcome,
+                std::string value);
+
+  // One quorum attempt; `attempt_done` fires exactly once with the outcome.
+  void StartOp(bool is_write, uint64_t key, std::string value, DoneFn done,
+               VirtualDuration timeout);
   void Finish(uint64_t op_id, KvOutcome outcome, std::string value);
   int Quorum() const { return deps_.replication_factor / 2 + 1; }
 
   Deps deps_;
   StorageEngine storage_;
   KvStats stats_;
+  Rng retry_rng_;
+  bool down_ = false;
   std::unordered_map<uint64_t, InFlight> inflight_;
   uint64_t next_op_ = 1;
   int64_t clock_counter_ = 0;  // write timestamps (coordinator-local)

@@ -100,13 +100,4 @@ std::vector<std::string> BugCatalog::Ids() {
   return ids;
 }
 
-// ---- Deprecated free-function catalog shims --------------------------------
-
-BugSpec C3831Spec() { return BugCatalog::Get("C3831"); }
-BugSpec C3831FixedSpec() { return BugCatalog::Get("C3831-fixed"); }
-BugSpec C3881Spec() { return BugCatalog::Get("C3881"); }
-BugSpec C5456Spec() { return BugCatalog::Get("C5456"); }
-BugSpec C5456FixedSpec() { return BugCatalog::Get("C5456-fixed"); }
-BugSpec C6127Spec() { return BugCatalog::Get("C6127"); }
-
 }  // namespace scalecheck

@@ -17,7 +17,18 @@ ClusterConfig BugSpec::MakeConfig(int n, RunMode mode, uint64_t seed) const {
   cfg.exec_model = exec_model;
   cfg.space_oblivious_rebalance = space_oblivious_rebalance;
   cfg.seed = seed;
+  if (kv_ops_per_second > 0.0) {
+    cfg.enable_kv = true;
+    // Under fault injection a single attempt is the wrong client model:
+    // real drivers retry. Bounded retries + deadline keep the accounting
+    // conservative (every request ends OK or gave-up).
+    cfg.kv_max_attempts = 4;
+  }
   return cfg;
+}
+
+FaultPlan BugSpec::MakeFaultPlan(int n, uint64_t seed) const {
+  return FaultPlan::ByName(fault_plan, n, seed);
 }
 
 WorkloadSpec BugSpec::MakeWorkload(int n) const {
@@ -68,23 +79,15 @@ RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed,
   options.replay_order_log = run_options.replay_order_log;
   options.shared_output_cache = run_options.output_cache;
   options.enable_trace = run_options.enable_trace;
+  options.faults = run_options.faults != nullptr ? *run_options.faults
+                                                 : spec.MakeFaultPlan(n, seed);
+  options.kv_ops_per_second = spec.kv_ops_per_second;
   Cluster cluster(std::move(options));
   return cluster.Run();
 }
 
 RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed) {
   return RunSingle(spec, n, mode, seed, RunOptions{});
-}
-
-RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed,
-                    MemoStore* memo, OrderLog* record_log, const OrderLog* replay_log,
-                    CalcOutputCache* cache) {
-  RunOptions options;
-  options.memo_store = memo;
-  options.record_order_log = record_log;
-  options.replay_order_log = replay_log;
-  options.output_cache = cache;
-  return RunSingle(spec, n, mode, seed, options);
 }
 
 ScaleCheckRunner::ScaleCheckRunner(BugSpec spec, uint64_t seed)

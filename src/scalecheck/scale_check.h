@@ -38,10 +38,19 @@ struct BugSpec {
   // §6 deployment engineering (the colocation-limit experiments vary these).
   ExecModel exec_model = ExecModel::kProcessPerNode;
   bool space_oblivious_rebalance = false;
+  // Named fault schedule (FaultPlan::ByName) injected during every run of
+  // this spec; "" / "none" disables. Part of the spec so memoize and replay
+  // apply identical schedules.
+  std::string fault_plan;
+  // Client load on the quorum KV data path; > 0 enables the KV service (with
+  // retries, see MakeConfig) and the load driver.
+  double kv_ops_per_second = 0.0;
 
   // Materializes configuration for a deployment of n initial nodes.
   ClusterConfig MakeConfig(int n, RunMode mode, uint64_t seed) const;
   WorkloadSpec MakeWorkload(int n) const;
+  // The fault schedule for a deployment of n nodes (empty when no plan).
+  FaultPlan MakeFaultPlan(int n, uint64_t seed) const;
 };
 
 struct ScaleCheckResult {
@@ -73,19 +82,15 @@ struct RunOptions {
   CalcOutputCache* output_cache = nullptr;
   // Record an execution trace (determinism digests, debugging dumps).
   bool enable_trace = false;
+  // Overrides the spec's own fault plan when non-null (tests injecting a
+  // custom schedule); by default RunSingle materializes spec.fault_plan.
+  const FaultPlan* faults = nullptr;
 };
 
 // Runs one deployment.
 RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed,
                     const RunOptions& options);
 RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed);
-
-// Deprecated shim for the old out-pointer tail; kept for one release.
-[[deprecated("pass a RunOptions struct instead of the out-pointer tail")]]
-RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed,
-                    MemoStore* memo, OrderLog* record_log = nullptr,
-                    const OrderLog* replay_log = nullptr,
-                    CalcOutputCache* cache = nullptr);
 
 class ScaleCheckRunner {
  public:
@@ -117,15 +122,6 @@ class ScaleCheckRunner {
 };
 
 double RelativeFlapError(int64_t observed, int64_t reference);
-
-// ---- Deprecated free-function catalog (use BugCatalog instead) -------------
-
-[[deprecated("use BugCatalog::Get(\"C3831\")")]] BugSpec C3831Spec();
-[[deprecated("use BugCatalog::Get(\"C3881\")")]] BugSpec C3881Spec();
-[[deprecated("use BugCatalog::Get(\"C5456\")")]] BugSpec C5456Spec();
-[[deprecated("use BugCatalog::Get(\"C6127\")")]] BugSpec C6127Spec();
-[[deprecated("use BugCatalog::Get(\"C3831-fixed\")")]] BugSpec C3831FixedSpec();
-[[deprecated("use BugCatalog::Get(\"C5456-fixed\")")]] BugSpec C5456FixedSpec();
 
 }  // namespace scalecheck
 

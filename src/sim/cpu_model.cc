@@ -29,7 +29,18 @@ double CpuModel::RatePerTask(int active) const {
   double a = static_cast<double>(active);
   double share = std::min(1.0, config_.cores / a);
   double oversub = std::max(0.0, (a - config_.cores) / config_.cores);
-  return config_.speed * share / (1.0 + config_.ctx_switch_penalty * oversub);
+  return config_.speed * speed_factor_ * share /
+         (1.0 + config_.ctx_switch_penalty * oversub);
+}
+
+void CpuModel::SetSpeedFactor(double factor) {
+  CHECK_GT(factor, 0.0);
+  if (factor == speed_factor_) {
+    return;
+  }
+  Settle();  // deliver work at the old rate up to now
+  speed_factor_ = factor;
+  Reschedule();
 }
 
 void CpuModel::Settle() {

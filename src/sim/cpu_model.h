@@ -57,6 +57,13 @@ class CpuModel {
   // burst already completed.
   bool CancelTask(TaskId id);
 
+  // Slow-node fault injection: scales the effective core speed by `factor`
+  // (1.0 = nominal, 0.5 = half speed). Takes effect immediately for every
+  // in-flight burst — the service clock is settled at the old rate first, so
+  // work already delivered is not re-priced.
+  void SetSpeedFactor(double factor);
+  double speed_factor() const { return speed_factor_; }
+
   int active_count() const { return static_cast<int>(tasks_.size()); }
   int peak_active() const { return peak_active_; }
 
@@ -93,6 +100,7 @@ class CpuModel {
 
   Simulator* sim_;
   Config config_;
+  double speed_factor_ = 1.0;  // slow-node degradation multiplier
 
   double service_ = 0.0;           // work units delivered per task so far
   VirtualTime last_settle_;        // last time service_ was updated

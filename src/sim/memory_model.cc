@@ -35,6 +35,21 @@ void MemoryModel::Release(NodeId node, const std::string& tag, int64_t bytes) {
   }
 }
 
+int64_t MemoryModel::ReleaseTag(NodeId node, const std::string& tag) {
+  auto node_it = by_node_.find(node);
+  if (node_it == by_node_.end()) {
+    return 0;
+  }
+  auto tag_it = node_it->second.find(tag);
+  if (tag_it == node_it->second.end()) {
+    return 0;
+  }
+  int64_t bytes = tag_it->second;
+  used_ -= bytes;
+  node_it->second.erase(tag_it);
+  return bytes;
+}
+
 void MemoryModel::ReleaseAll(NodeId node) {
   auto it = by_node_.find(node);
   if (it == by_node_.end()) {

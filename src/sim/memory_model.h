@@ -41,6 +41,12 @@ class MemoryModel {
   // Releases a previous allocation; releasing more than allocated is a bug.
   void Release(NodeId node, const std::string& tag, int64_t bytes);
 
+  // Releases whatever is currently charged to (node, tag) and returns the
+  // bytes freed (0 if nothing is charged). Idempotent — used by the fault
+  // injector to heal memory-pressure ballast that may already have vanished
+  // through a crash's ReleaseAll.
+  int64_t ReleaseTag(NodeId node, const std::string& tag);
+
   // Releases everything owned by a node (process exit).
   void ReleaseAll(NodeId node);
 

@@ -1,5 +1,6 @@
 #include "src/sim/network.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
@@ -34,7 +35,20 @@ uint64_t NetworkModel::Send(NodeId from, NodeId to, int type,
   CHECK(payload != nullptr);
   ++sent_;
   bytes_ += payload->SizeBytes();
-  if (config_.loss_probability > 0.0 && rng_.Bernoulli(config_.loss_probability)) {
+  LinkFault fault;
+  if (link_filter_) {
+    fault = link_filter_(from, to);
+  }
+  if (fault.blocked) {
+    // Hard partition: deterministic drop, no RNG consumed (so fault-free
+    // links see an identical random stream whether or not a partition is
+    // active elsewhere).
+    ++dropped_;
+    ++blocked_;
+    return 0;
+  }
+  double loss = std::min(1.0, config_.loss_probability + fault.extra_loss);
+  if (loss > 0.0 && rng_.Bernoulli(loss)) {
     ++dropped_;
     return 0;
   }
@@ -49,7 +63,7 @@ uint64_t NetworkModel::Send(NodeId from, NodeId to, int type,
   msg.payload = std::move(payload);
   msg.sent_at = sim_->Now();
 
-  VirtualTime deliver_at = sim_->Now() + SampleLatency(from, to);
+  VirtualTime deliver_at = sim_->Now() + SampleLatency(from, to) + fault.extra_latency;
   // FIFO per sender->receiver pair: never deliver before an earlier message
   // on the same pair.
   auto it = last_delivery_.find(pair_key);

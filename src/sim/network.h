@@ -56,9 +56,22 @@ class NetworkModel {
   // Returns true when the two nodes share a physical machine.
   using SameMachineFn = std::function<bool(NodeId, NodeId)>;
 
+  // Per-link fault state consulted at send time (the FaultInjector hook).
+  // `blocked` drops deterministically (a hard partition); `extra_loss` adds
+  // to the configured loss probability; `extra_latency` delays delivery.
+  // Per-pair FIFO is preserved across fault transitions by the monotone
+  // delivery clamp in Send.
+  struct LinkFault {
+    bool blocked = false;
+    double extra_loss = 0.0;
+    VirtualDuration extra_latency;
+  };
+  using LinkFilter = std::function<LinkFault(NodeId from, NodeId to)>;
+
   NetworkModel(Simulator* sim, const Config& config, uint64_t seed);
 
   void set_same_machine_fn(SameMachineFn fn) { same_machine_ = std::move(fn); }
+  void set_link_filter(LinkFilter filter) { link_filter_ = std::move(filter); }
 
   void RegisterNode(NodeId node, Handler handler);
   // Messages to an unregistered node are dropped (crashed process).
@@ -70,6 +83,9 @@ class NetworkModel {
   uint64_t messages_sent() const { return sent_; }
   uint64_t messages_delivered() const { return delivered_; }
   uint64_t messages_dropped() const { return dropped_; }
+  // Subset of messages_dropped: deterministic partition drops from the link
+  // filter (vs probabilistic loss / dead receivers).
+  uint64_t messages_blocked() const { return blocked_; }
   uint64_t bytes_sent() const { return bytes_; }
 
  private:
@@ -79,6 +95,7 @@ class NetworkModel {
   Config config_;
   Rng rng_;
   SameMachineFn same_machine_;
+  LinkFilter link_filter_;
   std::unordered_map<NodeId, Handler> handlers_;
   // (from << 32 | to) -> last delivery time, for per-pair FIFO.
   std::unordered_map<uint64_t, VirtualTime> last_delivery_;
@@ -88,6 +105,7 @@ class NetworkModel {
   uint64_t sent_ = 0;
   uint64_t delivered_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t blocked_ = 0;
   uint64_t bytes_ = 0;
 };
 

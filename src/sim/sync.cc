@@ -26,14 +26,24 @@ void SimMutex::Release() {
   CHECK(locked_) << "release of unheld mutex" << name_;
   hold_seconds_.Add((sim_->Now() - acquired_at_).seconds());
   locked_ = false;
+  ScheduleGrant();
+}
+
+void SimMutex::ScheduleGrant() {
   if (waiters_.empty()) {
     return;
   }
   Waiter next = std::move(waiters_.front());
   waiters_.pop_front();
   // Grant through the event queue so deep lock-convoy chains do not recurse.
+  // The captured epoch invalidates the grant if the mutex is crash-reset
+  // between scheduling and firing.
+  uint64_t epoch = epoch_;
   sim_->ScheduleAfter(VirtualDuration::Zero(),
-                      [this, next = std::move(next)]() mutable {
+                      [this, epoch, next = std::move(next)]() mutable {
+                        if (epoch != epoch_) {
+                          return;  // mutex was reset by a crash in between
+                        }
                         if (locked_) {
                           // Someone acquired in between (barged); requeue at
                           // the front to preserve FIFO fairness.
@@ -42,6 +52,18 @@ void SimMutex::Release() {
                         }
                         Grant(std::move(next.granted), next.enqueued);
                       });
+}
+
+void SimMutex::ResetForCrash() {
+  ++epoch_;
+  if (locked_) {
+    ++crash_releases_;
+    hold_seconds_.Add((sim_->Now() - acquired_at_).seconds());
+    locked_ = false;
+  }
+  // Waiters belong to the dead node's threads; their grant closures would be
+  // stale no-ops anyway, so drop them rather than granting into the void.
+  waiters_.clear();
 }
 
 }  // namespace scalecheck

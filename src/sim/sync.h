@@ -34,6 +34,18 @@ class SimMutex {
   // event so grant chains cannot grow the native stack.
   void Release();
 
+  // Crash recovery: force-releases the lock regardless of holder and drops
+  // every queued waiter. A node that dies mid-calculation takes its threads
+  // to the grave but must not take the mutex state with them — otherwise a
+  // restarted node (or any survivor sharing the lock) deadlocks on a holder
+  // that no longer exists. Bumps an internal epoch so an already-scheduled
+  // deferred grant from a pre-crash Release becomes a no-op instead of
+  // re-locking the mutex for a dead thread.
+  void ResetForCrash();
+
+  // Times the lock was force-released while held at ResetForCrash.
+  uint64_t crash_releases() const { return crash_releases_; }
+
   bool locked() const { return locked_; }
   size_t waiters() const { return waiters_.size(); }
   const std::string& name() const { return name_; }
@@ -48,12 +60,17 @@ class SimMutex {
   };
 
   void Grant(std::function<void()> granted, VirtualTime enqueued);
+  void ScheduleGrant();
 
   Simulator* sim_;
   std::string name_;
   bool locked_ = false;
   VirtualTime acquired_at_;
   std::deque<Waiter> waiters_;
+  // Incremented by ResetForCrash; deferred grants scheduled under an older
+  // epoch abort instead of granting.
+  uint64_t epoch_ = 0;
+  uint64_t crash_releases_ = 0;
   RunningStat hold_seconds_;
   RunningStat wait_seconds_;
 };

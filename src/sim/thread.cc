@@ -101,6 +101,12 @@ void SimThread::Kill() {
   busy_ = false;
 }
 
+void SimThread::Revive() {
+  CHECK(dead_) << "Revive on a live thread " << name_;
+  CHECK(!busy_);
+  dead_ = false;
+}
+
 void SimThread::StartNextJob() {
   CHECK(!busy_);
   while (!queue_.empty()) {

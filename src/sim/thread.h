@@ -106,8 +106,14 @@ class SimThread {
   // Aborts the current job and drops the queue; the thread stops accepting
   // work. In-flight CPU bursts and timers are cancelled. Held locks are NOT
   // released — a killed node takes its locks to the grave, as a crashed
-  // process would (its mutexes are node-local and die with it).
+  // process would (its mutexes are node-local and die with it; the owner
+  // must SimMutex::ResetForCrash() them before the lock is reusable).
   void Kill();
+
+  // Restart support: a killed thread comes back empty and idle. Only valid
+  // after Kill() (the queue is already drained and the step generation was
+  // bumped, so no pre-crash wakeup can reach the revived thread).
+  void Revive();
 
   bool idle() const { return !busy_; }
   bool dead() const { return dead_; }

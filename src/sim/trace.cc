@@ -24,6 +24,12 @@ const char* TraceKindName(TraceKind kind) {
       return "crash";
     case TraceKind::kCustom:
       return "custom";
+    case TraceKind::kNodeRestart:
+      return "restart";
+    case TraceKind::kFaultInjected:
+      return "fault";
+    case TraceKind::kFaultHealed:
+      return "heal";
   }
   return "?";
 }

@@ -30,6 +30,9 @@ enum class TraceKind : int {
   kCalcDone = 6,
   kNodeCrash = 7,
   kCustom = 8,
+  kNodeRestart = 9,
+  kFaultInjected = 10,
+  kFaultHealed = 11,
 };
 
 const char* TraceKindName(TraceKind kind);

@@ -103,6 +103,115 @@ TEST_F(NetworkFixture, LossDropsApproximatelyTheConfiguredFraction) {
   EXPECT_NEAR(drop_rate, 0.2, 0.03);
 }
 
+TEST_F(NetworkFixture, FifoPreservedAcrossLatencySpikeHeal) {
+  // A link-degrade fault adds 100ms to in-fault sends. Messages sent right
+  // after the heal would beat the delayed ones to the receiver if the
+  // monotone per-pair clamp did not hold deliveries back.
+  NetworkModel::Config cfg;
+  cfg.jitter_mean = VirtualDuration::Millis(5);
+  NetworkModel net = MakeNet(cfg);
+  NetworkModel::LinkFault fault;
+  net.set_link_filter([&fault](NodeId, NodeId) { return fault; });
+  std::vector<int> received;
+  net.RegisterNode(2, [&](const Message& msg) {
+    received.push_back(std::static_pointer_cast<const TestPayload>(msg.payload)->value);
+  });
+
+  fault.extra_latency = VirtualDuration::Millis(100);
+  for (int i = 0; i < 20; ++i) {
+    net.Send(1, 2, 7, std::make_shared<TestPayload>(i));
+  }
+  fault.extra_latency = VirtualDuration::Zero();  // heal
+  for (int i = 20; i < 40; ++i) {
+    net.Send(1, 2, 7, std::make_shared<TestPayload>(i));
+  }
+  sim_.RunUntilIdle();
+  ASSERT_EQ(received.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(received[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST_F(NetworkFixture, FifoPreservedAcrossPartitionToggle) {
+  NetworkModel::Config cfg;
+  cfg.jitter_mean = VirtualDuration::Millis(20);
+  NetworkModel net = MakeNet(cfg);
+  NetworkModel::LinkFault fault;
+  net.set_link_filter([&fault](NodeId, NodeId) { return fault; });
+  std::vector<int> received;
+  net.RegisterNode(2, [&](const Message& msg) {
+    received.push_back(std::static_pointer_cast<const TestPayload>(msg.payload)->value);
+  });
+
+  for (int i = 0; i < 10; ++i) {
+    net.Send(1, 2, 7, std::make_shared<TestPayload>(i));
+  }
+  fault.blocked = true;  // hard partition: sends are dropped, not delayed
+  for (int i = 10; i < 20; ++i) {
+    net.Send(1, 2, 7, std::make_shared<TestPayload>(i));
+  }
+  fault.blocked = false;  // heal
+  for (int i = 20; i < 30; ++i) {
+    net.Send(1, 2, 7, std::make_shared<TestPayload>(i));
+  }
+  sim_.RunUntilIdle();
+  EXPECT_EQ(net.messages_blocked(), 10u);
+  ASSERT_EQ(received.size(), 20u);
+  std::vector<int> expected;
+  for (int i = 0; i < 10; ++i) expected.push_back(i);
+  for (int i = 20; i < 30; ++i) expected.push_back(i);
+  EXPECT_EQ(received, expected);
+}
+
+TEST_F(NetworkFixture, BlockedSendConsumesNoRandomness) {
+  // Partition drops are deterministic: a blocked Send must not advance the
+  // RNG, so the post-heal message stream is byte-identical to a run where
+  // the blocked sends never happened.
+  auto run = [this](int blocked_sends) {
+    NetworkModel::Config cfg;
+    cfg.jitter_mean = VirtualDuration::Millis(10);
+    NetworkModel net = MakeNet(cfg);
+    NetworkModel::LinkFault fault;
+    net.set_link_filter([&fault](NodeId, NodeId) { return fault; });
+    VirtualTime start = sim_.Now();  // the fixture sim advances across runs
+    std::vector<double> arrivals;
+    net.RegisterNode(2, [&, start](const Message&) {
+      arrivals.push_back((sim_.Now() - start).seconds());
+    });
+    fault.blocked = true;
+    for (int i = 0; i < blocked_sends; ++i) {
+      net.Send(1, 2, 7, std::make_shared<TestPayload>(i));
+    }
+    fault.blocked = false;
+    for (int i = 0; i < 10; ++i) {
+      net.Send(1, 2, 7, std::make_shared<TestPayload>(i));
+    }
+    sim_.RunUntilIdle();
+    return arrivals;
+  };
+  std::vector<double> with_blocked = run(25);
+  std::vector<double> without_blocked = run(0);
+  EXPECT_EQ(with_blocked, without_blocked);
+}
+
+TEST_F(NetworkFixture, ExtraLossAddsToConfiguredLoss) {
+  NetworkModel::Config cfg;
+  cfg.loss_probability = 0.1;
+  NetworkModel net = MakeNet(cfg);
+  NetworkModel::LinkFault fault;
+  fault.extra_loss = 0.15;
+  net.set_link_filter([&fault](NodeId, NodeId) { return fault; });
+  net.RegisterNode(2, [](const Message&) {});
+  for (int i = 0; i < 5000; ++i) {
+    net.Send(1, 2, 7, std::make_shared<TestPayload>(0));
+  }
+  sim_.RunUntilIdle();
+  double drop_rate =
+      static_cast<double>(net.messages_dropped()) / static_cast<double>(net.messages_sent());
+  EXPECT_NEAR(drop_rate, 0.25, 0.03);
+  EXPECT_EQ(net.messages_blocked(), 0u);  // probabilistic loss is not "blocked"
+}
+
 TEST_F(NetworkFixture, SameMachineUsesLoopbackLatency) {
   NetworkModel::Config cfg;
   cfg.loopback_latency = VirtualDuration::Micros(10);
