@@ -28,4 +28,13 @@ for t in "${TARGETS[@]}"; do
   "$BUILD_DIR/tests/$t"
 done
 
-echo "OK: parallel executor and fault injection are clean under ${SANITIZER} sanitizer"
+# Perf bench in smoke mode: no wall-clock thresholds, just the deterministic
+# operation-count assertions (same-seed runs must produce byte-identical
+# RunResult JSON through the pooled/incremental hot paths) — under the
+# sanitizer, which is exactly where lifetime bugs in payload recycling or the
+# event-slot slab would surface.
+cmake --build "$BUILD_DIR" --target perf_simcore -j"$(nproc)"
+echo "== perf_simcore --smoke ($SANITIZER) =="
+"$BUILD_DIR/bench/perf_simcore" --smoke
+
+echo "OK: parallel executor, fault injection, and perf smoke are clean under ${SANITIZER} sanitizer"

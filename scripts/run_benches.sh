@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Perf-regression harness: builds the optimized tree and runs the
+# simulation-core bench end to end, leaving BENCH_simcore.json in the repo
+# root. The JSON embeds the pre-overhaul baseline, so `speedup_vs_baseline`
+# is the number to watch — it must not drift back toward 1.0.
+#
+#   scripts/run_benches.sh               # full run (N=512, ~40 s)
+#   scripts/run_benches.sh --smoke       # deterministic assertions only, fast
+#   scripts/run_benches.sh --nodes=256   # smaller probe for quick iteration
+#
+# Timing runs want a quiet machine and jobs=1 (the probe measures the
+# single-run inner loop the paper's Figure 2 executes thousands of times);
+# smoke mode has no wall-clock thresholds and is safe anywhere, so CI uses
+# `--smoke` (see scripts/check_thread_safety.sh).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD_DIR" --target perf_simcore -j"$(nproc)" >/dev/null
+
+if [[ "${1:-}" == "--smoke" ]]; then
+  "$BUILD_DIR/bench/perf_simcore" --smoke
+  exit 0
+fi
+
+"$BUILD_DIR/bench/perf_simcore" --out=BENCH_simcore.json "$@"
+echo
+echo "BENCH_simcore.json:"
+cat BENCH_simcore.json

@@ -1,6 +1,7 @@
 #include "src/cluster/cluster.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "src/common/check.h"
@@ -71,6 +72,7 @@ std::string WorkloadSpec::Describe() const {
 }
 
 Cluster::Cluster(Options options) : options_(std::move(options)) {
+  SimProfiler::Timed timed(options_.profiler, SimProfiler::kPhaseBuild);
   BuildDeployment();
 }
 
@@ -417,6 +419,10 @@ bool Cluster::WorkloadSettled() const {
 }
 
 RunResult Cluster::Run() {
+  std::optional<SimProfiler::Timed> run_timer;
+  if (options_.profiler != nullptr) {
+    run_timer.emplace(options_.profiler, SimProfiler::kPhaseRun);
+  }
   ScheduleWorkload();
   const WorkloadSpec& wl = options_.workload;
   VirtualTime horizon = VirtualTime::Zero() + wl.horizon;
@@ -489,7 +495,9 @@ RunResult Cluster::Run() {
 
   sim_->Run(horizon);
   checker->Stop();
+  run_timer.reset();
 
+  SimProfiler::Timed collect_timer(options_.profiler, SimProfiler::kPhaseCollect);
   RunResult result;
   CollectResult(&result);
   return result;
@@ -577,6 +585,42 @@ void Cluster::CollectResult(RunResult* result) const {
   result->messages_sent = network_->messages_sent();
   result->messages_delivered = network_->messages_delivered();
   result->events_executed = sim_->events_executed();
+
+  if (options_.profiler != nullptr) {
+    SimProfiler::Counters run;
+    run.events_executed = sim_->events_executed();
+    run.events_cancelled = sim_->events_cancelled();
+    run.event_slot_high_water = sim_->event_slot_high_water();
+    run.messages_sent = network_->messages_sent();
+    for (const auto& node : nodes_) {
+      const Gossiper& g = node->gossiper();
+      run.gossip_syn_handled += g.syn_handled();
+      run.gossip_states_applied += g.states_applied();
+      run.gossip_updates_applied += g.updates_applied();
+      run.digest_builds += g.digest_builds();
+      run.digest_entries_refreshed += g.digest_entries_refreshed();
+      run.digest_full_rebuilds += g.digest_full_rebuilds();
+      run.payload_reuses += node->payload_reuses();
+      run.payload_allocs += node->payload_allocs();
+    }
+    result->profile = run;
+    result->has_profile = true;
+
+    // The profiler itself aggregates across runs when reused.
+    SimProfiler::Counters& total = options_.profiler->counters();
+    total.events_executed += run.events_executed;
+    total.events_cancelled += run.events_cancelled;
+    total.event_slot_high_water += run.event_slot_high_water;
+    total.messages_sent += run.messages_sent;
+    total.gossip_syn_handled += run.gossip_syn_handled;
+    total.gossip_states_applied += run.gossip_states_applied;
+    total.gossip_updates_applied += run.gossip_updates_applied;
+    total.digest_builds += run.digest_builds;
+    total.digest_entries_refreshed += run.digest_entries_refreshed;
+    total.digest_full_rebuilds += run.digest_full_rebuilds;
+    total.payload_reuses += run.payload_reuses;
+    total.payload_allocs += run.payload_allocs;
+  }
 }
 
 }  // namespace scalecheck

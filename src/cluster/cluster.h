@@ -21,6 +21,7 @@
 #include "src/pil/order_log.h"
 #include "src/sim/machine.h"
 #include "src/sim/network.h"
+#include "src/sim/profiler.h"
 #include "src/sim/simulator.h"
 
 namespace scalecheck {
@@ -47,6 +48,9 @@ class Cluster {
     uint64_t kv_key_space = 100000;
     // Record an execution trace (determinism digests, debugging dumps).
     bool enable_trace = false;
+    // Optional profiler: deterministic op counters land in
+    // RunResult::profile, host wall timers stay on the profiler itself.
+    SimProfiler* profiler = nullptr;
     // Seed-deterministic fault schedule injected during the run. Part of the
     // run's identity: memoize and replay apply the identical schedule.
     FaultPlan faults;

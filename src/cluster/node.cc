@@ -12,29 +12,41 @@ namespace scalecheck {
 
 const CalcOutputCache::Entry* CalcOutputCache::Find(CalcVersion version,
                                                     const DigestValue& digest) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(Key{static_cast<int>(version), digest});
-  if (it == map_.end()) {
+  Key key{static_cast<int>(version), digest};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
     return nullptr;
   }
-  ++hits_;
+  ++shard.hits;
   return &it->second;
 }
 
 void CalcOutputCache::Put(CalcVersion version, const DigestValue& digest, Entry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  Key key{static_cast<int>(version), digest};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
   // First put wins; concurrent writers compute identical values anyway.
-  map_.emplace(Key{static_cast<int>(version), digest}, std::move(entry));
+  shard.map.emplace(std::move(key), std::move(entry));
 }
 
 uint64_t CalcOutputCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.hits;
+  }
+  return total;
 }
 
 size_t CalcOutputCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
 }
 
 Node::Node(Env* env, NodeId id, Machine* machine, uint64_t seed)
@@ -78,7 +90,7 @@ Node::Node(Env* env, NodeId id, Machine* machine, uint64_t seed)
     deps.retry_seed = HashCombine(seed, 0x4b565254ULL);  // "KVRT"
     kv_ = std::make_unique<KvService>(deps);
   }
-  unmonitored_[id_] = true;
+  unmonitored_.insert(id_);
 }
 
 Node::~Node() = default;
@@ -291,7 +303,7 @@ void Node::Restart(const std::vector<NodeId>& contacts) {
   partition_services_allocated_ = false;
   partition_services_bytes_ = 0;
   unmonitored_.clear();
-  unmonitored_[id_] = true;
+  unmonitored_.insert(id_);
 
   // We restart with our durable token assignment and announce NORMAL under
   // the bumped generation; peers replace our stale state wholesale. The
@@ -393,7 +405,7 @@ void Node::GossipRound() {
         return gossiper_.EstimateRoundWork(env_->config->gossip_costs);
       })
       .Run([this] {
-        std::vector<NodeId> live = gossiper_.LiveEndpoints();
+        const std::vector<NodeId>& live = gossiper_.LiveEndpointsView();
         if (live.empty()) {
           return;
         }
@@ -413,8 +425,11 @@ void Node::FailureSweep() {
       })
       .Run([this] {
         VirtualTime now = env_->sim->Now();
-        for (const auto& [ep, state] : gossiper_.endpoints()) {
-          if (unmonitored_.count(ep) > 0 || !gossiper_.IsAlive(ep)) {
+        // Iterating the cached live view is equivalent to scanning all
+        // endpoints and skipping the dead: Node keeps alive ⊆ known. MarkDead
+        // inside the loop only defers a rebuild, it does not move the vector.
+        for (NodeId ep : gossiper_.LiveEndpointsView()) {
+          if (unmonitored_.count(ep) > 0) {
             continue;
           }
           if (fd_.Phi(ep, now) > fd_.config().threshold) {
@@ -436,8 +451,8 @@ void Node::FailureSweep() {
 }
 
 void Node::SendSyn(NodeId peer) {
-  auto syn = std::make_shared<SynPayload>();
-  syn->digests = gossiper_.MakeSynDigests();
+  std::shared_ptr<SynPayload> syn = syn_pool_.Acquire();
+  gossiper_.CopySynDigests(&syn->digests);
   env_->network->Send(id_, peer, kGossipSyn, std::move(syn));
 }
 
@@ -452,10 +467,8 @@ void Node::HandleSynMessage(const Message& msg) {
        return Gossiper::EstimateSynWork(*syn, env_->config->gossip_costs);
      })
       .Run([this, syn, peer] {
-        auto ack = std::make_shared<AckPayload>();
-        std::vector<GossipDigest> requests;
-        gossiper_.HandleSyn(syn->digests, &requests, &ack->states);
-        ack->requests = std::move(requests);
+        std::shared_ptr<AckPayload> ack = ack_pool_.Acquire();
+        gossiper_.HandleSyn(syn->digests, &ack->requests, &ack->states);
         if (env_->profile_hook) {
           env_->profile_hook(env_->gossip_syn_function,
                              Gossiper::EstimateSynWork(*syn, env_->config->gossip_costs),
@@ -491,10 +504,12 @@ void Node::HandleAckMessage(const Message& msg) {
     job.Unlock(&ring_lock_);
   }
   job.Run([this, ack, peer] {
-    auto ack2 = std::make_shared<Ack2Payload>();
-    ack2->states = gossiper_.StatesForRequests(ack->requests);
-    if (!ack2->states.empty()) {
-      env_->network->Send(id_, peer, kGossipAck2, std::move(ack2));
+    if (!ack->requests.empty()) {
+      std::shared_ptr<Ack2Payload> ack2 = ack2_pool_.Acquire();
+      ack2->states = gossiper_.StatesForRequests(ack->requests);
+      if (!ack2->states.empty()) {
+        env_->network->Send(id_, peer, kGossipAck2, std::move(ack2));
+      }
     }
     MaybeScheduleRecalc();
   });
@@ -558,7 +573,7 @@ void Node::OnStatusChange(NodeId ep, StatusKind old_status, StatusKind new_statu
       RemovePendingChange(ep);
       // A properly departed node is no longer monitored; its silence is not
       // a failure and must not produce flaps.
-      unmonitored_[ep] = true;
+      unmonitored_.insert(ep);
       fd_.Forget(ep);
       gossiper_.MarkDead(ep);
       MarkRingDirty();

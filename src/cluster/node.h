@@ -21,10 +21,12 @@
 #ifndef SCALECHECK_SRC_CLUSTER_NODE_H_
 #define SCALECHECK_SRC_CLUSTER_NODE_H_
 
+#include <array>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "src/cluster/config.h"
@@ -34,12 +36,14 @@
 #include "src/gossip/failure_detector.h"
 #include "src/gossip/flap_counter.h"
 #include "src/gossip/gossiper.h"
+#include "src/gossip/messages.h"
 #include "src/kv/kv_service.h"
 #include "src/pil/boundary.h"
 #include "src/pil/order_log.h"
 #include "src/ring/calculators.h"
 #include "src/sim/machine.h"
 #include "src/sim/network.h"
+#include "src/sim/payload_pool.h"
 #include "src/sim/thread.h"
 #include "src/sim/trace.h"
 
@@ -59,6 +63,10 @@ namespace scalecheck {
 // parallel suites stay byte-deterministic. Entries are never erased, so
 // returned pointers stay valid for the cache's lifetime (std::unordered_map
 // never invalidates element pointers on insert).
+//
+// Sharded by key hash: every worker of a parallel suite hits this cache on
+// every recalc, so a single mutex would serialize them; sixteen independent
+// shards keep lock hold times off each other's critical paths.
 class CalcOutputCache {
  public:
   struct Entry {
@@ -84,9 +92,19 @@ class CalcOutputCache {
       return DigestValueHash()(k.digest) ^ static_cast<size_t>(k.version * 1099511);
     }
   };
-  mutable std::mutex mu_;
-  std::unordered_map<Key, Entry, KeyHash> map_;
-  mutable uint64_t hits_ = 0;
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Entry, KeyHash> map;
+    mutable uint64_t hits = 0;
+  };
+  Shard& ShardFor(const Key& k) const {
+    size_t h = KeyHash()(k);
+    // Fold the high bits in; the map inside the shard reuses the same hash,
+    // so the low bits alone would correlate with bucket choice.
+    return shards_[(h ^ (h >> 17)) % kShards];
+  }
+  mutable std::array<Shard, kShards> shards_;
 };
 
 class Node {
@@ -173,6 +191,13 @@ class Node {
   KvService* kv() { return kv_.get(); }
   // Gossip-processing tasks shed for staleness (stage overload signature).
   uint64_t stage_tasks_dropped() const { return gossip_stage_.jobs_dropped(); }
+  // Payload-pool recycling stats summed over the SYN/ACK/ACK2 pools.
+  uint64_t payload_reuses() const {
+    return syn_pool_.reuses() + ack_pool_.reuses() + ack2_pool_.reuses();
+  }
+  uint64_t payload_allocs() const {
+    return syn_pool_.allocs() + ack_pool_.allocs() + ack2_pool_.allocs();
+  }
   std::vector<Token> my_tokens() const { return my_tokens_; }
   Machine* machine() const { return machine_; }
   StatusKind my_status() const { return gossiper_.LocalState().Status(); }
@@ -239,8 +264,14 @@ class Node {
   bool partition_services_allocated_ = false;
   int64_t partition_services_bytes_ = 0;
 
-  // Endpoints we do not failure-monitor (ourselves, LEFT nodes).
-  std::map<NodeId, bool> unmonitored_;
+  // Recycled payload buffers for the three gossip message kinds.
+  PayloadPool<SynPayload> syn_pool_;
+  PayloadPool<AckPayload> ack_pool_;
+  PayloadPool<Ack2Payload> ack2_pool_;
+
+  // Endpoints we do not failure-monitor (ourselves, LEFT nodes). Membership
+  // queries only — never iterated, so unordered is deterministic here.
+  std::unordered_set<NodeId> unmonitored_;
 
   std::unique_ptr<OrderEnforcer> enforcer_;
   bool started_ = false;

@@ -98,6 +98,10 @@ void RunResult::WriteJson(JsonWriter* w) const {
   w->Field("messages_delivered", messages_delivered);
   w->Field("stage_tasks_dropped", stage_tasks_dropped);
   w->Field("events_executed", events_executed);
+  if (has_profile) {
+    w->Key("profile");
+    profile.WriteJson(w);
+  }
   w->EndObject();
 }
 

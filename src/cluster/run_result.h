@@ -12,6 +12,7 @@
 #include "src/cluster/config.h"
 #include "src/pil/boundary.h"
 #include "src/pil/memo_store.h"
+#include "src/sim/profiler.h"
 
 namespace scalecheck {
 
@@ -76,6 +77,14 @@ struct RunResult {
   // signature that accompanies (and amplifies) flap storms.
   uint64_t stage_tasks_dropped = 0;
   uint64_t events_executed = 0;
+
+  // ---- Profiler snapshot (opt-in) ------------------------------------------
+  // Present only when the run was given a SimProfiler. The counters are
+  // deterministic operation counts (no host wall-clock), and the "profile"
+  // JSON object is emitted only when has_profile is set — so default output
+  // stays byte-identical to profiler-less builds.
+  bool has_profile = false;
+  SimProfiler::Counters profile;
 
   std::string Summary() const;
 

@@ -35,11 +35,7 @@ void HeartbeatState::AddToDigest(Digest* d) const {
 }
 
 int64_t EndpointState::MaxVersion() const {
-  int64_t v = heartbeat_.version;
-  for (const auto& [key, value] : app_states_) {
-    v = std::max(v, value.version);
-  }
-  return v;
+  return std::max(heartbeat_.version, app_version_ceiling_);
 }
 
 const VersionedValue* EndpointState::Get(ApplicationStateKey key) const {
@@ -48,7 +44,18 @@ const VersionedValue* EndpointState::Get(ApplicationStateKey key) const {
 }
 
 void EndpointState::Set(ApplicationStateKey key, VersionedValue value) {
+  int64_t version = value.version;
   app_states_[key] = std::move(value);
+  if (version >= app_version_ceiling_) {
+    app_version_ceiling_ = version;
+  } else {
+    // An overwrite may have lowered the key that held the ceiling; recompute
+    // exactly (at most a handful of app states exist).
+    app_version_ceiling_ = 0;
+    for (const auto& [k, v] : app_states_) {
+      app_version_ceiling_ = std::max(app_version_ceiling_, v.version);
+    }
+  }
 }
 
 StatusKind EndpointState::Status() const {

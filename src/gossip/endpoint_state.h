@@ -93,6 +93,9 @@ class EndpointState {
  private:
   HeartbeatState heartbeat_;
   std::map<ApplicationStateKey, VersionedValue> app_states_;
+  // Max version across app_states_, maintained by Set so the digest-building
+  // hot path reads MaxVersion in O(1) instead of walking the map.
+  int64_t app_version_ceiling_ = 0;
 };
 
 // Ordered map: deterministic iteration is load-bearing for reproducibility.

@@ -1,5 +1,6 @@
 #include "src/gossip/gossiper.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
@@ -12,12 +13,16 @@ Gossiper::Gossiper(NodeId self, int64_t generation, Callbacks callbacks)
 }
 
 void Gossiper::IncrementHeartbeat() {
-  endpoints_.at(self_).mutable_heartbeat().version = NextVersion();
+  EndpointState& local = endpoints_.at(self_);
+  local.mutable_heartbeat().version = NextVersion();
+  MarkDigestDirty(self_, &local);
 }
 
 void Gossiper::SetLocalState(ApplicationStateKey key, VersionedValue value) {
   value.version = NextVersion();
-  endpoints_.at(self_).Set(key, std::move(value));
+  EndpointState& local = endpoints_.at(self_);
+  local.Set(key, std::move(value));
+  MarkDigestDirty(self_, &local);
 }
 
 const EndpointState& Gossiper::LocalState() const { return endpoints_.at(self_); }
@@ -28,11 +33,15 @@ void Gossiper::AddKnownEndpoint(NodeId ep, const EndpointState& state) {
   }
   endpoints_[ep] = state;
   alive_[ep] = true;
+  MarkDigestStructureDirty();
+  live_dirty_ = true;
 }
 
 void Gossiper::RemoveEndpoint(NodeId ep) {
   endpoints_.erase(ep);
   alive_.erase(ep);
+  MarkDigestStructureDirty();
+  live_dirty_ = true;
 }
 
 void Gossiper::ResetForRestart(int64_t generation) {
@@ -40,6 +49,8 @@ void Gossiper::ResetForRestart(int64_t generation) {
   alive_.clear();
   version_counter_ = 0;
   endpoints_.emplace(self_, EndpointState(generation));
+  MarkDigestStructureDirty();
+  live_dirty_ = true;
 }
 
 const EndpointState* Gossiper::StateOf(NodeId ep) const {
@@ -47,23 +58,46 @@ const EndpointState* Gossiper::StateOf(NodeId ep) const {
   return it == endpoints_.end() ? nullptr : &it->second;
 }
 
-void Gossiper::MarkAlive(NodeId ep) { alive_[ep] = true; }
-void Gossiper::MarkDead(NodeId ep) { alive_[ep] = false; }
+void Gossiper::MarkAlive(NodeId ep) {
+  bool& flag = alive_[ep];
+  if (!flag) {
+    flag = true;
+    live_dirty_ = true;
+  }
+}
+
+void Gossiper::MarkDead(NodeId ep) {
+  auto it = alive_.find(ep);
+  if (it == alive_.end()) {
+    alive_[ep] = false;
+    return;
+  }
+  if (it->second) {
+    it->second = false;
+    live_dirty_ = true;
+  }
+}
 
 bool Gossiper::IsAlive(NodeId ep) const {
   auto it = alive_.find(ep);
   return it != alive_.end() && it->second;
 }
 
-std::vector<NodeId> Gossiper::LiveEndpoints() const {
-  std::vector<NodeId> out;
-  for (const auto& [ep, alive] : alive_) {
-    if (alive && ep != self_) {
-      out.push_back(ep);
+const std::vector<NodeId>& Gossiper::LiveEndpointsView() const {
+  if (live_dirty_) {
+    live_cache_.clear();
+    for (const auto& [ep, alive] : alive_) {
+      if (alive && ep != self_) {
+        live_cache_.push_back(ep);
+      }
     }
+    std::sort(live_cache_.begin(), live_cache_.end());
+    live_dirty_ = false;
   }
-  return out;
+  return live_cache_;
 }
+
+std::vector<NodeId> Gossiper::LiveEndpoints() const { return LiveEndpointsView(); }
 
 std::vector<NodeId> Gossiper::AllEndpoints() const {
   std::vector<NodeId> out;
@@ -75,13 +109,60 @@ std::vector<NodeId> Gossiper::AllEndpoints() const {
   return out;
 }
 
-std::vector<GossipDigest> Gossiper::MakeSynDigests() const {
-  std::vector<GossipDigest> digests;
-  digests.reserve(endpoints_.size());
-  for (const auto& [ep, state] : endpoints_) {
-    digests.push_back(GossipDigest{ep, state.heartbeat().generation, state.MaxVersion()});
+void Gossiper::MarkDigestDirty(NodeId ep, const EndpointState* state) {
+  if (!digest_structure_dirty_) {
+    digest_dirty_.emplace_back(ep, state);
   }
-  return digests;
+}
+
+void Gossiper::MarkDigestStructureDirty() {
+  digest_structure_dirty_ = true;
+  digest_dirty_.clear();
+}
+
+void Gossiper::RefreshDigestCache() const {
+  if (digest_structure_dirty_) {
+    digest_cache_.clear();
+    digest_cache_.reserve(endpoints_.size());
+    for (const auto& [ep, state] : endpoints_) {
+      digest_cache_.push_back(
+          GossipDigest{ep, state.heartbeat().generation, state.MaxVersion()});
+    }
+    digest_entries_refreshed_ += endpoints_.size();
+    ++digest_full_rebuilds_;
+    digest_structure_dirty_ = false;
+    return;
+  }
+  if (digest_dirty_.empty()) {
+    return;
+  }
+  std::sort(digest_dirty_.begin(), digest_dirty_.end());
+  digest_dirty_.erase(std::unique(digest_dirty_.begin(), digest_dirty_.end()),
+                      digest_dirty_.end());
+  for (const auto& [ep, state] : digest_dirty_) {
+    // The queued state pointer is live by the MarkDigestDirty invariant, so
+    // no endpoint-map lookup is needed here — just find the cache row.
+    auto pos = std::lower_bound(
+        digest_cache_.begin(), digest_cache_.end(), ep,
+        [](const GossipDigest& d, NodeId e) { return d.endpoint < e; });
+    CHECK(pos != digest_cache_.end() && pos->endpoint == ep);
+    pos->generation = state->heartbeat().generation;
+    pos->max_version = state->MaxVersion();
+    ++digest_entries_refreshed_;
+  }
+  digest_dirty_.clear();
+}
+
+std::vector<GossipDigest> Gossiper::MakeSynDigests() const {
+  RefreshDigestCache();
+  ++digest_builds_;
+  return digest_cache_;
+}
+
+void Gossiper::CopySynDigests(std::vector<GossipDigest>* out) const {
+  RefreshDigestCache();
+  ++digest_builds_;
+  out->assign(digest_cache_.begin(), digest_cache_.end());
 }
 
 void Gossiper::HandleSyn(const std::vector<GossipDigest>& digests,
@@ -90,6 +171,57 @@ void Gossiper::HandleSyn(const std::vector<GossipDigest>& digests,
   ++syn_handled_;
   CHECK_NOTNULL(out_requests);
   CHECK_NOTNULL(out_send);
+  bool strictly_sorted =
+      std::adjacent_find(digests.begin(), digests.end(),
+                         [](const GossipDigest& a, const GossipDigest& b) {
+                           return a.endpoint >= b.endpoint;
+                         }) == digests.end();
+  if (!strictly_sorted) {
+    HandleSynGeneric(digests, out_requests, out_send);
+    return;
+  }
+  // Merge-walk the sorted incoming digests against our (sorted) endpoint map
+  // and cached digest entries — one pass, no per-digest map lookups and no
+  // MaxVersion() recomputation.
+  RefreshDigestCache();
+  auto mi = endpoints_.begin();
+  size_t ci = 0;
+  for (const GossipDigest& digest : digests) {
+    while (mi != endpoints_.end() && mi->first < digest.endpoint) {
+      // Endpoint the sender did not mention at all.
+      out_send->emplace(mi->first, mi->second);
+      ++mi;
+      ++ci;
+    }
+    if (mi == endpoints_.end() || mi->first > digest.endpoint) {
+      // Unknown to us: request everything.
+      out_requests->push_back(GossipDigest{digest.endpoint, 0, 0});
+      continue;
+    }
+    const EndpointState& local = mi->second;
+    const GossipDigest& mine = digest_cache_[ci];
+    if (digest.generation > mine.generation) {
+      out_requests->push_back(GossipDigest{digest.endpoint, 0, 0});
+    } else if (digest.generation < mine.generation) {
+      out_send->emplace(digest.endpoint, local);
+    } else if (digest.max_version > mine.max_version) {
+      out_requests->push_back(
+          GossipDigest{digest.endpoint, mine.generation, mine.max_version});
+    } else if (digest.max_version < mine.max_version) {
+      out_send->emplace(digest.endpoint, DeltaAfter(local, digest.max_version));
+    }
+    // Equal generation and version: nothing to exchange.
+    ++mi;
+    ++ci;
+  }
+  for (; mi != endpoints_.end(); ++mi) {
+    out_send->emplace(mi->first, mi->second);
+  }
+}
+
+void Gossiper::HandleSynGeneric(const std::vector<GossipDigest>& digests,
+                                std::vector<GossipDigest>* out_requests,
+                                EndpointStateMap* out_send) {
   std::map<NodeId, bool> seen;
   for (const GossipDigest& digest : digests) {
     seen[digest.endpoint] = true;
@@ -163,7 +295,10 @@ void Gossiper::ApplyOne(NodeId ep, const EndpointState& remote) {
     // Newly discovered endpoint.
     endpoints_[ep] = remote;
     alive_[ep] = true;
+    live_dirty_ = true;
+    MarkDigestStructureDirty();
     ++states_applied_;
+    ++updates_applied_;
     if (callbacks_.on_heartbeat) {
       callbacks_.on_heartbeat(ep);
     }
@@ -181,7 +316,9 @@ void Gossiper::ApplyOne(NodeId ep, const EndpointState& remote) {
     // Peer restarted: replace wholesale.
     StatusKind old_status = local.Status();
     local = remote;
+    MarkDigestDirty(ep, &local);
     ++states_applied_;
+    ++updates_applied_;
     if (callbacks_.on_restart) {
       callbacks_.on_restart(ep);
     }
@@ -196,9 +333,12 @@ void Gossiper::ApplyOne(NodeId ep, const EndpointState& remote) {
 
   // Same generation: merge by version.
   bool heartbeat_advanced = false;
+  bool content_changed = false;
   if (remote.heartbeat().version > local.heartbeat().version) {
     local.mutable_heartbeat().version = remote.heartbeat().version;
     heartbeat_advanced = true;
+    content_changed = true;
+    ++updates_applied_;
   }
   for (const auto& [key, value] : remote.app_states()) {
     const VersionedValue* existing = local.Get(key);
@@ -207,11 +347,17 @@ void Gossiper::ApplyOne(NodeId ep, const EndpointState& remote) {
     }
     StatusKind old_status = local.Status();
     local.Set(key, value);
+    content_changed = true;
     ++states_applied_;
+    ++updates_applied_;
     if (key == ApplicationStateKey::kStatus && callbacks_.on_status_change &&
         value.status != old_status) {
       callbacks_.on_status_change(ep, old_status, value.status);
     }
+  }
+  if (content_changed) {
+    // Accepted content moved this endpoint's max version.
+    MarkDigestDirty(ep, &local);
   }
   if (heartbeat_advanced && callbacks_.on_heartbeat) {
     callbacks_.on_heartbeat(ep);

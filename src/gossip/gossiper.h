@@ -5,11 +5,20 @@
 // exhaustively. The cluster::Node wires it to SimThreads and the
 // NetworkModel, and charges the CPU work this class *estimates* (instrumented
 // per-item costs) to the receiving stage thread.
+//
+// The protocol outputs are incremental: the SYN digest list is a cached
+// vector whose entries are refreshed only for endpoints whose state actually
+// changed since the last build (a version bump dirties exactly one entry;
+// membership changes trigger a full rebuild), and the live-endpoint view is
+// a cached sorted vector invalidated by liveness flips. A steady-state round
+// therefore costs O(changed endpoint states), not O(N); the digest_* counters
+// below expose that invariant to tests and to SimProfiler.
 
 #ifndef SCALECHECK_SRC_GOSSIP_GOSSIPER_H_
 #define SCALECHECK_SRC_GOSSIP_GOSSIPER_H_
 
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/types.h"
@@ -75,11 +84,20 @@ class Gossiper {
   std::vector<NodeId> LiveEndpoints() const;  // excludes self
   std::vector<NodeId> AllEndpoints() const;   // excludes self
 
+  // Cached sorted live-endpoint list (excludes self). The reference stays
+  // valid while iterating even if the caller flips liveness (rebuilds are
+  // deferred to the next call), but not across other Gossiper mutations.
+  const std::vector<NodeId>& LiveEndpointsView() const;
+
   // ---- Protocol steps -----------------------------------------------------
 
   // Builds the SYN digest list (shuffled order does not matter; we keep
-  // deterministic map order).
+  // deterministic map order — sorted by endpoint id).
   std::vector<GossipDigest> MakeSynDigests() const;
+
+  // Same digest list copied into *out, reusing its capacity (for pooled
+  // payload buffers).
+  void CopySynDigests(std::vector<GossipDigest>* out) const;
 
   // Receiver side of SYN: splits into (digests we want, states they want).
   void HandleSyn(const std::vector<GossipDigest>& digests,
@@ -103,6 +121,15 @@ class Gossiper {
 
   uint64_t states_applied() const { return states_applied_; }
   uint64_t syn_handled() const { return syn_handled_; }
+  // Endpoint-state mutations accepted from remotes (new endpoints, wholesale
+  // generation replacements, heartbeat advances, app-state sets). This is the
+  // "changes" in the O(changes) digest-maintenance bound.
+  uint64_t updates_applied() const { return updates_applied_; }
+  // Digest-cache maintenance counters: builds served, individual entries
+  // recomputed, and full O(N) rebuilds (membership changes only).
+  uint64_t digest_builds() const { return digest_builds_; }
+  uint64_t digest_entries_refreshed() const { return digest_entries_refreshed_; }
+  uint64_t digest_full_rebuilds() const { return digest_full_rebuilds_; }
 
  private:
   void ApplyOne(NodeId ep, const EndpointState& remote);
@@ -111,13 +138,40 @@ class Gossiper {
 
   int64_t NextVersion() { return ++version_counter_; }
 
+  // Marks one endpoint's cached digest entry stale (version bump). `state`
+  // must point at the endpoint's entry in endpoints_; std::map nodes are
+  // address-stable and every structural mutation clears the dirty list, so
+  // the pointer cannot dangle while queued.
+  void MarkDigestDirty(NodeId ep, const EndpointState* state);
+  // Membership changed: the whole cache must be rebuilt.
+  void MarkDigestStructureDirty();
+  // Brings digest_cache_ up to date (refreshes only dirty entries).
+  void RefreshDigestCache() const;
+  // Fallback for digest lists that are not strictly sorted by endpoint.
+  void HandleSynGeneric(const std::vector<GossipDigest>& digests,
+                        std::vector<GossipDigest>* out_requests,
+                        EndpointStateMap* out_send);
+
   NodeId self_;
   Callbacks callbacks_;
   int64_t version_counter_ = 0;
   EndpointStateMap endpoints_;  // includes self_
-  std::map<NodeId, bool> alive_;
+  std::unordered_map<NodeId, bool> alive_;
   uint64_t states_applied_ = 0;
   uint64_t syn_handled_ = 0;
+  uint64_t updates_applied_ = 0;
+
+  // SYN digest cache, sorted by endpoint (endpoints_ iteration order).
+  mutable std::vector<GossipDigest> digest_cache_;
+  mutable std::vector<std::pair<NodeId, const EndpointState*>> digest_dirty_;
+  mutable bool digest_structure_dirty_ = true;
+  mutable uint64_t digest_builds_ = 0;
+  mutable uint64_t digest_entries_refreshed_ = 0;
+  mutable uint64_t digest_full_rebuilds_ = 0;
+
+  // Sorted live-endpoint cache (excludes self).
+  mutable std::vector<NodeId> live_cache_;
+  mutable bool live_dirty_ = true;
 };
 
 }  // namespace scalecheck

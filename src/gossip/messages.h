@@ -36,6 +36,8 @@ struct SynPayload : public Payload {
   std::vector<GossipDigest> digests;
 
   size_t SizeBytes() const override { return 16 + digests.size() * 20; }
+  // PayloadPool recycling hook: empty the content, keep the capacity.
+  void Clear() { digests.clear(); }
 };
 
 struct AckPayload : public Payload {
@@ -51,6 +53,10 @@ struct AckPayload : public Payload {
     }
     return size;
   }
+  void Clear() {
+    states.clear();
+    requests.clear();
+  }
 };
 
 struct Ack2Payload : public Payload {
@@ -63,6 +69,7 @@ struct Ack2Payload : public Payload {
     }
     return size;
   }
+  void Clear() { states.clear(); }
 };
 
 }  // namespace scalecheck

@@ -64,6 +64,13 @@ bool GetRaw(const std::vector<uint8_t>& in, size_t* pos, T* v) {
 
 std::vector<uint8_t> MemoStore::Serialize() const {
   std::vector<uint8_t> out;
+  // Exact size is knowable up front: header + fixed-width fields per record
+  // plus the tracked total of output payload bytes. One reservation avoids
+  // the repeated doubling copies a multi-MB store would otherwise pay.
+  constexpr size_t kPerRecordFixed = sizeof(uint32_t) + 2 * sizeof(uint64_t) +
+                                     2 * sizeof(int64_t) + 2 * sizeof(uint64_t);
+  out.reserve(2 * sizeof(uint64_t) + map_.size() * kPerRecordFixed +
+              static_cast<size_t>(output_bytes_));
   PutRaw(&out, kMagic);
   PutRaw<uint64_t>(&out, map_.size());
   for (const auto& [key, record] : map_) {

@@ -79,6 +79,7 @@ RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed,
   options.replay_order_log = run_options.replay_order_log;
   options.shared_output_cache = run_options.output_cache;
   options.enable_trace = run_options.enable_trace;
+  options.profiler = run_options.profiler;
   options.faults = run_options.faults != nullptr ? *run_options.faults
                                                  : spec.MakeFaultPlan(n, seed);
   options.kv_ops_per_second = spec.kv_ops_per_second;

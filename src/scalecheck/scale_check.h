@@ -82,6 +82,9 @@ struct RunOptions {
   CalcOutputCache* output_cache = nullptr;
   // Record an execution trace (determinism digests, debugging dumps).
   bool enable_trace = false;
+  // Optional profiler: deterministic op counters land in RunResult::profile,
+  // host wall timers accumulate on the profiler itself.
+  SimProfiler* profiler = nullptr;
   // Overrides the spec's own fault plan when non-null (tests injecting a
   // custom schedule); by default RunSingle materializes spec.fault_plan.
   const FaultPlan* faults = nullptr;

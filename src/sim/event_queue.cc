@@ -1,60 +1,186 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
 
 namespace scalecheck {
 
-EventId EventQueue::Schedule(VirtualTime t, std::function<void()> fn) {
+void EventQueue::IdSlotMap::Insert(EventId id, uint32_t slot) {
+  if (cells_.empty() || (size_ + 1) * 2 > cells_.size()) {
+    Grow();
+  }
+  size_t i = HashId(id) & Mask();
+  while (cells_[i].id != 0) {
+    i = (i + 1) & Mask();
+  }
+  cells_[i] = Cell{id, slot};
+  ++size_;
+}
+
+uint32_t EventQueue::IdSlotMap::FindAndErase(EventId id) {
+  if (cells_.empty() || id == 0) {
+    return kNoSlot;
+  }
+  size_t i = HashId(id) & Mask();
+  while (cells_[i].id != id) {
+    if (cells_[i].id == 0) {
+      return kNoSlot;
+    }
+    i = (i + 1) & Mask();
+  }
+  uint32_t slot = cells_[i].slot;
+  // Backward-shift deletion: pull displaced entries into the hole so probe
+  // chains stay contiguous without tombstones.
+  size_t hole = i;
+  size_t j = i;
+  for (;;) {
+    j = (j + 1) & Mask();
+    if (cells_[j].id == 0) {
+      break;
+    }
+    size_t home = HashId(cells_[j].id) & Mask();
+    // cells_[j] may move into the hole iff the hole lies on its probe path.
+    if (((j - home) & Mask()) >= ((j - hole) & Mask())) {
+      cells_[hole] = cells_[j];
+      hole = j;
+    }
+  }
+  cells_[hole] = Cell{};
+  --size_;
+  return slot;
+}
+
+void EventQueue::IdSlotMap::Grow() {
+  std::vector<Cell> old = std::move(cells_);
+  cells_.assign(std::max<size_t>(64, old.size() * 2), Cell{});
+  for (const Cell& c : old) {
+    if (c.id == 0) {
+      continue;
+    }
+    size_t i = HashId(c.id) & Mask();
+    while (cells_[i].id != 0) {
+      i = (i + 1) & Mask();
+    }
+    cells_[i] = c;
+  }
+}
+
+void EventQueue::Place(size_t pos, const HeapEntry& e) {
+  heap_[pos] = e;
+  slots_[e.slot].heap_pos = static_cast<uint32_t>(pos);
+}
+
+void EventQueue::SiftUp(size_t pos) {
+  HeapEntry e = heap_[pos];
+  while (pos > 0) {
+    size_t parent = (pos - 1) / 4;
+    if (!EntryLess(e, heap_[parent])) {
+      break;
+    }
+    Place(pos, heap_[parent]);
+    pos = parent;
+  }
+  Place(pos, e);
+}
+
+void EventQueue::SiftDown(size_t pos) {
+  HeapEntry e = heap_[pos];
+  size_t n = heap_.size();
+  for (;;) {
+    size_t first = pos * 4 + 1;
+    if (first >= n) {
+      break;
+    }
+    size_t best = first;
+    size_t last = std::min(first + 4, n);
+    for (size_t c = first + 1; c < last; ++c) {
+      if (EntryLess(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!EntryLess(heap_[best], e)) {
+      break;
+    }
+    Place(pos, heap_[best]);
+    pos = best;
+  }
+  Place(pos, e);
+}
+
+void EventQueue::RemoveHeapAt(size_t pos) {
+  size_t last = heap_.size() - 1;
+  if (pos == last) {
+    heap_.pop_back();
+    return;
+  }
+  HeapEntry moved = heap_[last];
+  heap_.pop_back();
+  Place(pos, moved);
+  if (pos > 0 && EntryLess(heap_[pos], heap_[(pos - 1) / 4])) {
+    SiftUp(pos);
+  } else {
+    SiftDown(pos);
+  }
+}
+
+uint32_t EventQueue::AcquireSlot() {
+  if (free_head_ != kNoSlot) {
+    uint32_t s = free_head_;
+    free_head_ = slots_[s].next_free;
+    slots_[s].next_free = kNoSlot;
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::ReleaseSlot(uint32_t slot) {
+  slots_[slot].next_free = free_head_;
+  free_head_ = slot;
+}
+
+EventId EventQueue::Schedule(VirtualTime t, EventFn fn) {
   EventId id = next_id_++;
-  heap_.push(Entry{t, id, std::move(fn)});
-  pending_.insert(id);
-  ++live_count_;
+  uint32_t slot = AcquireSlot();
+  slots_[slot].fn = std::move(fn);
+  heap_.push_back(HeapEntry{t.nanos(), id, slot});
+  slots_[slot].heap_pos = static_cast<uint32_t>(heap_.size() - 1);
+  SiftUp(heap_.size() - 1);
+  ids_.Insert(id, slot);
   return id;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  // Only events still pending can be cancelled; ids that already fired (or
-  // were already cancelled) are no longer in pending_.
-  if (pending_.erase(id) == 0) {
+  uint32_t slot = ids_.FindAndErase(id);
+  if (slot == kNoSlot) {
     return false;
   }
-  cancelled_.insert(id);
-  CHECK_GT(live_count_, 0u);
-  --live_count_;
+  Slot& s = slots_[slot];
+  uint32_t pos = s.heap_pos;
+  // Destroy the closure (and everything it captures) right now — cancelled
+  // work must not pin payloads until the heap drains past it.
+  s.fn.Reset();
+  ReleaseSlot(slot);
+  RemoveHeapAt(pos);
+  ++cancelled_;
   return true;
 }
 
-void EventQueue::DropCancelledTop() {
-  while (!heap_.empty()) {
-    auto found = cancelled_.find(heap_.top().id);
-    if (found == cancelled_.end()) {
-      return;
-    }
-    cancelled_.erase(found);
-    heap_.pop();
-  }
-}
-
-VirtualTime EventQueue::NextTime() {
-  DropCancelledTop();
+VirtualTime EventQueue::NextTime() const {
   CHECK(!heap_.empty()) << "NextTime on empty queue";
-  return heap_.top().time;
+  return VirtualTime::FromNanos(heap_[0].time_ns);
 }
 
-std::function<void()> EventQueue::Pop(VirtualTime* t) {
-  DropCancelledTop();
+EventFn EventQueue::Pop(VirtualTime* t) {
   CHECK(!heap_.empty()) << "Pop on empty queue";
-  // priority_queue::top() is const; move out via const_cast, which is safe
-  // because we pop immediately and never compare on fn.
-  auto& entry = const_cast<Entry&>(heap_.top());
-  *t = entry.time;
-  std::function<void()> fn = std::move(entry.fn);
-  pending_.erase(entry.id);
-  heap_.pop();
-  CHECK_GT(live_count_, 0u);
-  --live_count_;
+  HeapEntry top = heap_[0];
+  *t = VirtualTime::FromNanos(top.time_ns);
+  EventFn fn = std::move(slots_[top.slot].fn);
+  ids_.FindAndErase(top.id);
+  ReleaseSlot(top.slot);
+  RemoveHeapAt(0);
   return fn;
 }
 

@@ -1,0 +1,36 @@
+#include "src/sim/profiler.h"
+
+namespace scalecheck {
+
+void SimProfiler::Counters::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("events_executed", events_executed);
+  w->Field("events_cancelled", events_cancelled);
+  w->Field("event_slot_high_water", event_slot_high_water);
+  w->Field("messages_sent", messages_sent);
+  w->Field("gossip_syn_handled", gossip_syn_handled);
+  w->Field("gossip_states_applied", gossip_states_applied);
+  w->Field("gossip_updates_applied", gossip_updates_applied);
+  w->Field("digest_builds", digest_builds);
+  w->Field("digest_entries_refreshed", digest_entries_refreshed);
+  w->Field("digest_full_rebuilds", digest_full_rebuilds);
+  w->Field("payload_reuses", payload_reuses);
+  w->Field("payload_allocs", payload_allocs);
+  w->EndObject();
+}
+
+std::string SimProfiler::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  counters_.WriteJson(&w);
+  w.Key("wall_ns").BeginObject();
+  w.Field("build", wall_ns_[kPhaseBuild]);
+  w.Field("run", wall_ns_[kPhaseRun]);
+  w.Field("collect", wall_ns_[kPhaseCollect]);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace scalecheck

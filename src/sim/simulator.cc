@@ -8,12 +8,12 @@ namespace scalecheck {
 
 Simulator::Simulator(uint64_t seed) : now_(VirtualTime::Zero()), rng_(seed) {}
 
-EventId Simulator::ScheduleAt(VirtualTime t, std::function<void()> fn) {
+EventId Simulator::ScheduleAt(VirtualTime t, EventFn fn) {
   CHECK_GE(t, now_) << "scheduling into the past";
   return queue_.Schedule(t, std::move(fn));
 }
 
-EventId Simulator::ScheduleAfter(VirtualDuration d, std::function<void()> fn) {
+EventId Simulator::ScheduleAfter(VirtualDuration d, EventFn fn) {
   CHECK(!d.IsNegative()) << "negative delay" << d.ToString();
   return queue_.Schedule(now_ + d, std::move(fn));
 }
@@ -29,7 +29,7 @@ uint64_t Simulator::Run(VirtualTime until) {
       break;
     }
     VirtualTime t;
-    std::function<void()> fn = queue_.Pop(&t);
+    EventFn fn = queue_.Pop(&t);
     CHECK_GE(t, now_) << "time went backwards";
     now_ = t;
     fn();

@@ -27,11 +27,13 @@ class Simulator {
 
   VirtualTime Now() const { return now_; }
 
-  // Schedules fn at absolute virtual time t (>= Now()).
-  EventId ScheduleAt(VirtualTime t, std::function<void()> fn);
+  // Schedules fn at absolute virtual time t (>= Now()). Accepts any callable
+  // (EventFn is move-only and small-buffer-optimized, so hot-path lambdas are
+  // stored without a heap allocation).
+  EventId ScheduleAt(VirtualTime t, EventFn fn);
 
   // Schedules fn after a non-negative delay.
-  EventId ScheduleAfter(VirtualDuration d, std::function<void()> fn);
+  EventId ScheduleAfter(VirtualDuration d, EventFn fn);
 
   // Cancels a pending event; returns false if it already fired.
   bool Cancel(EventId id) { return queue_.Cancel(id); }
@@ -53,6 +55,9 @@ class Simulator {
 
   uint64_t events_executed() const { return events_executed_; }
   size_t pending_events() const { return queue_.size(); }
+  uint64_t events_cancelled() const { return queue_.total_cancelled(); }
+  // Pooled event-slot slab high-water mark (see EventQueue::slot_high_water).
+  size_t event_slot_high_water() const { return queue_.slot_high_water(); }
 
  private:
   VirtualTime now_;

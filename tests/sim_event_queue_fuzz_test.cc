@@ -1,0 +1,149 @@
+// Randomized differential test: EventQueue (4-ary heap + slab + flat id map)
+// against a deliberately naive reference (sorted scan over a flat vector).
+// Any divergence in pop order, sizes, or cancel results is a bug in the
+// engine's bookkeeping — this is the safety net for the O(log n) true-cancel
+// machinery (heap removal from the middle, slot reuse, id-map backward-shift
+// deletion).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/event_queue.h"
+
+namespace scalecheck {
+namespace {
+
+VirtualTime At(int64_t ns) { return VirtualTime::Zero() + VirtualDuration::Nanos(ns); }
+
+// Reference model: O(n) everything, trivially correct.
+class NaiveQueue {
+ public:
+  EventId Schedule(int64_t time_ns) {
+    EventId id = next_id_++;
+    entries_.push_back({time_ns, id});
+    return id;
+  }
+
+  bool Cancel(EventId id) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].id == id) {
+        entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Pops the (time, id)-least entry.
+  std::pair<int64_t, EventId> Pop() {
+    size_t best = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].time_ns < entries_[best].time_ns ||
+          (entries_[i].time_ns == entries_[best].time_ns &&
+           entries_[i].id < entries_[best].id)) {
+        best = i;
+      }
+    }
+    std::pair<int64_t, EventId> out{entries_[best].time_ns, entries_[best].id};
+    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(best));
+    return out;
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    int64_t time_ns;
+    EventId id;
+  };
+  std::vector<Entry> entries_;
+  EventId next_id_ = 1;
+};
+
+void RunFuzz(uint64_t seed, int ops, int64_t time_range, bool drain_at_end) {
+  Rng rng(seed);
+  EventQueue q;
+  NaiveQueue ref;
+  std::vector<EventId> live;       // ids both queues still hold
+  std::vector<EventId> retired;    // ids popped or cancelled (must fail Cancel)
+  EventId popped_id = kInvalidEvent;  // written by each event's closure
+
+  for (int op = 0; op < ops; ++op) {
+    ASSERT_EQ(q.size(), ref.size());
+    ASSERT_EQ(q.empty(), ref.empty());
+    int64_t roll = rng.UniformInt(0, 99);
+    if (roll < 50 || q.empty()) {
+      // Schedule. Small time range on purpose: collisions exercise the
+      // (time, id) tie-break constantly.
+      int64_t t = rng.UniformInt(0, time_range);
+      EventId want = ref.Schedule(t);
+      // The closure knows its own id, so Pop order is checked by identity,
+      // not just by timestamp.
+      EventId got = q.Schedule(At(t), [&popped_id, want] { popped_id = want; });
+      ASSERT_EQ(got, want);
+      live.push_back(got);
+    } else if (roll < 75) {
+      // Cancel: half the time a live id, half a retired or bogus one.
+      EventId target;
+      if (rng.Bernoulli(0.5) && !live.empty()) {
+        size_t i = rng.PickIndex(live.size());
+        target = live[i];
+        live.erase(live.begin() + static_cast<ptrdiff_t>(i));
+        retired.push_back(target);
+      } else if (!retired.empty() && rng.Bernoulli(0.8)) {
+        target = retired[rng.PickIndex(retired.size())];
+      } else {
+        target = static_cast<EventId>(rng.UniformInt(100000, 200000));
+      }
+      ASSERT_EQ(q.Cancel(target), ref.Cancel(target));
+    } else {
+      VirtualTime t;
+      q.Pop(&t)();
+      auto [want_time, want_id] = ref.Pop();
+      ASSERT_EQ(t, At(want_time));
+      ASSERT_EQ(popped_id, want_id);
+      live.erase(std::find(live.begin(), live.end(), want_id));
+      retired.push_back(want_id);
+      // NextTime on the survivor set must match the reference minimum.
+      if (!ref.empty()) {
+        auto copy = ref;
+        ASSERT_EQ(q.NextTime(), At(copy.Pop().first));
+      }
+    }
+  }
+
+  if (drain_at_end) {
+    while (!ref.empty()) {
+      VirtualTime t;
+      q.Pop(&t)();
+      auto [want_time, want_id] = ref.Pop();
+      ASSERT_EQ(t, At(want_time));
+      ASSERT_EQ(popped_id, want_id);
+    }
+    ASSERT_TRUE(q.empty());
+    ASSERT_EQ(q.total_scheduled(), ref.size() + retired.size() + live.size());
+  }
+}
+
+TEST(EventQueueFuzz, MatchesReferenceDenseTies) {
+  // time_range 16 → massive tie pileups; FIFO-within-time is load-bearing.
+  RunFuzz(/*seed=*/1, /*ops=*/20000, /*time_range=*/16, /*drain_at_end=*/true);
+}
+
+TEST(EventQueueFuzz, MatchesReferenceSparseTimes) {
+  RunFuzz(/*seed=*/2, /*ops=*/20000, /*time_range=*/1000000, /*drain_at_end=*/true);
+}
+
+TEST(EventQueueFuzz, ManySeedsShortRuns) {
+  for (uint64_t seed = 10; seed < 40; ++seed) {
+    RunFuzz(seed, /*ops=*/2000, /*time_range=*/64, /*drain_at_end=*/true);
+  }
+}
+
+}  // namespace
+}  // namespace scalecheck

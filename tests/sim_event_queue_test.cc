@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/sim/event_queue.h"
@@ -79,6 +81,140 @@ TEST(EventQueue, CancelledEntriesSkippedOnPop) {
   VirtualTime t;
   q.Pop(&t)();
   EXPECT_EQ(order, std::vector<int>{2});
+}
+
+// Regression: the old lazy-cancel design kept cancelled entries (and the
+// closures they captured) inside the priority queue until they reached the
+// top. A true cancel must release captured state immediately.
+TEST(EventQueue, CancelReleasesClosureImmediately) {
+  EventQueue q;
+  auto payload = std::make_shared<int>(7);
+  EventId id = q.Schedule(At(1000), [payload] { (void)*payload; });
+  EXPECT_EQ(payload.use_count(), 2);
+  EXPECT_TRUE(q.Cancel(id));
+  // The closure — and its capture — is gone even though the queue lives on
+  // and the cancelled entry's slot may be reused later.
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(EventQueue, DestroyingQueueReleasesPendingClosures) {
+  auto payload = std::make_shared<int>(7);
+  {
+    EventQueue q;
+    q.Schedule(At(1), [payload] { (void)*payload; });
+    q.Schedule(At(2), [payload] { (void)*payload; });
+    EXPECT_EQ(payload.use_count(), 3);
+  }
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(EventQueue, CancelledSlotIsReusedWithoutDisturbingSurvivors) {
+  EventQueue q;
+  std::vector<int> order;
+  EventId a = q.Schedule(At(10), [&] { order.push_back(10); });
+  q.Schedule(At(20), [&] { order.push_back(20); });
+  q.Cancel(a);
+  // This schedule should land in the freed slot; the surviving event must
+  // still fire with its own callback.
+  q.Schedule(At(5), [&] { order.push_back(5); });
+  while (!q.empty()) {
+    VirtualTime t;
+    q.Pop(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{5, 20}));
+}
+
+// Callbacks may own move-only state: compile-time proof that the engine never
+// copies a callback between Schedule and execution.
+TEST(EventQueue, CallbacksMayBeMoveOnly) {
+  EventQueue q;
+  auto owned = std::make_unique<int>(41);
+  int got = 0;
+  q.Schedule(At(1), [owned = std::move(owned), &got] { got = *owned + 1; });
+  VirtualTime t;
+  EventFn fn = q.Pop(&t);
+  fn();
+  EXPECT_EQ(got, 42);
+}
+
+// Runtime proof of the same: a copy-instrumented callable must report zero
+// copies through a schedule → pop → invoke round trip.
+TEST(EventQueue, PopNeverCopiesTheCallback) {
+  static int copies;
+  copies = 0;
+  struct Counted {
+    int* sink;
+    Counted(int* s) : sink(s) {}
+    Counted(const Counted& o) noexcept : sink(o.sink) { ++copies; }
+    Counted(Counted&& o) noexcept : sink(o.sink) {}
+    void operator()() { *sink += 1; }
+  };
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(At(1), Counted(&fired));
+  VirtualTime t;
+  q.Pop(&t)();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(copies, 0);
+}
+
+TEST(EventQueue, IdsAreMonotoneAndAccounted) {
+  EventQueue q;
+  EventId prev = kInvalidEvent;
+  for (int i = 0; i < 100; ++i) {
+    EventId id = q.Schedule(At(i), [] {});
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+  EXPECT_EQ(q.total_scheduled(), 100u);
+  EXPECT_EQ(q.total_cancelled(), 0u);
+  // Cancel every other event; accounting must track exactly the successes.
+  uint64_t cancelled = 0;
+  for (EventId id = 2; id <= prev; id += 2) {
+    EXPECT_TRUE(q.Cancel(id));
+    ++cancelled;
+  }
+  EXPECT_EQ(q.total_cancelled(), cancelled);
+  EXPECT_EQ(q.size(), 100u - cancelled);
+  // Failed cancels (already cancelled / already popped) don't count.
+  EXPECT_FALSE(q.Cancel(2));
+  EXPECT_EQ(q.total_cancelled(), cancelled);
+  uint64_t popped = 0;
+  while (!q.empty()) {
+    VirtualTime t;
+    q.Pop(&t);
+    ++popped;
+  }
+  EXPECT_EQ(popped + cancelled, q.total_scheduled());
+}
+
+TEST(EventQueue, CancelOfPoppedIdReturnsFalse) {
+  EventQueue q;
+  EventId a = q.Schedule(At(1), [] {});
+  EventId b = q.Schedule(At(2), [] {});
+  VirtualTime t;
+  q.Pop(&t);
+  EXPECT_FALSE(q.Cancel(a));
+  EXPECT_TRUE(q.Cancel(b));
+  EXPECT_FALSE(q.Cancel(b));
+}
+
+TEST(EventQueue, SlotHighWaterTracksPeakOutstanding) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(q.Schedule(At(i), [] {}));
+  }
+  EXPECT_GE(q.slot_high_water(), 8u);
+  for (EventId id : ids) {
+    q.Cancel(id);
+  }
+  // Slots are recycled: scheduling 8 more must not grow the slab.
+  size_t high = q.slot_high_water();
+  for (int i = 0; i < 8; ++i) {
+    q.Schedule(At(i), [] {});
+  }
+  EXPECT_EQ(q.slot_high_water(), high);
 }
 
 TEST(EventQueue, SizeTracksLiveEvents) {
