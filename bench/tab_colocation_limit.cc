@@ -41,16 +41,20 @@ BugSpec LimitProbeSpec(const char* id, ExecModel exec_model, bool space_obliviou
   return spec;
 }
 
+// The table cell is now the FidelityGuard's own verdict: instead of the bench
+// re-deriving thresholds, the guard that runs inside every simulation names
+// the first budget it saw violated (§8's CPU / memory / lateness triad).
 std::string Verdict(const RunResult& r) {
+  const FidelityReport& fidelity = r.fidelity;
   std::string verdict;
-  if (r.oom) {
-    verdict = StrFormat("OOM (%d crashed)", r.crashed_nodes);
-  } else if (r.max_cpu_utilization > 0.9) {
-    verdict = "CPU >90%";
-  } else if (r.lateness_p99 > VirtualDuration::Seconds(2)) {
-    verdict = "event lateness";
-  } else {
+  if (fidelity.verdict == FidelityVerdict::kOk) {
     verdict = "OK";
+  } else {
+    verdict = StrFormat("%s:%s", FidelityVerdictName(fidelity.verdict),
+                        fidelity.violated_budget.c_str());
+    if (r.oom) {
+      verdict += StrFormat(" (%d crashed)", r.crashed_nodes);
+    }
   }
   return StrFormat("%s [cpu %.0f%%, p99 %s]", verdict.c_str(),
                    r.max_cpu_utilization * 100, r.lateness_p99.ToString().c_str());
@@ -89,7 +93,16 @@ int main(int argc, char** argv) {
     });
   }
   std::printf("%s\n", RenderTable(header, rows).c_str());
-  std::printf("Expected: process-per-node exhausts 32GB well below 512 nodes; the\n"
+
+  // Machine-readable guard reports for the SEDA sweep: the ok -> degraded ->
+  // invalid progression over N, each step naming the violated budget and the
+  // virtual time of the first crossing.
+  std::printf("SEDA-redesign fidelity reports over N:\n");
+  for (int n : grid.scales) {
+    const RunResult& r = report.Get("probe-seda", RunMode::kColocated, n, kProbeSeed);
+    std::printf("  n=%-4d %s\n", n, r.fidelity.ToJson().c_str());
+  }
+  std::printf("\nExpected: process-per-node exhausts 32GB well below 512 nodes; the\n"
               "redesigned runtime reaches ~512 before hitting CPU/lateness walls;\n"
               "space-oblivious allocation OOMs at a fraction of that.\n");
   return 0;

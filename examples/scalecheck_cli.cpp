@@ -17,9 +17,11 @@
 // host-parallel ExperimentSuite; --jobs=N adds workers without changing a
 // single output byte (--jobs=0 uses all cores).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/scalecheck/bug_catalog.h"
@@ -39,7 +41,25 @@ struct CliOptions {
   bool trace = false;
   bool json = false;
   std::string faults;
+  // 0 keeps the spec's default lateness budgets; > 0 sets the invalid
+  // threshold to this many milliseconds (degraded at half of it).
+  double guard_lateness_p99_ms = 0.0;
+  bool have_replay_policy = false;
+  ReplayPolicy replay_policy = ReplayPolicy::kFallbackToModelled;
 };
+
+bool ParseReplayPolicy(const char* name, ReplayPolicy* out) {
+  if (std::strcmp(name, "strict") == 0) {
+    *out = ReplayPolicy::kStrict;
+  } else if (std::strcmp(name, "warn") == 0) {
+    *out = ReplayPolicy::kWarn;
+  } else if (std::strcmp(name, "fallback") == 0) {
+    *out = ReplayPolicy::kFallbackToModelled;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 bool ParseArgs(int argc, char** argv, CliOptions* out) {
   for (int i = 1; i < argc; ++i) {
@@ -64,6 +84,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
         return false;
       }
       out->faults = faults;
+    } else if (const char* ms = value_of("--guard-lateness-p99-ms=")) {
+      out->guard_lateness_p99_ms = std::atof(ms);
+      if (out->guard_lateness_p99_ms <= 0.0) {
+        std::fprintf(stderr, "--guard-lateness-p99-ms needs a positive value\n");
+        return false;
+      }
+    } else if (const char* policy = value_of("--replay-policy=")) {
+      if (!ParseReplayPolicy(policy, &out->replay_policy)) {
+        std::fprintf(stderr, "unknown replay policy '%s'\n", policy);
+        return false;
+      }
+      out->have_replay_policy = true;
     } else if (arg == "--trace") {
       out->trace = true;
     } else if (arg == "--json") {
@@ -86,11 +118,23 @@ void Usage() {
   std::printf(
       "usage: scalecheck_cli [--bug=ID] [--mode=M] [--nodes=N] [--seed=S]\n"
       "                      [--jobs=J] [--faults=PLAN] [--trace] [--json]\n"
+      "                      [--guard-lateness-p99-ms=MS] [--replay-policy=P]\n"
       "  bugs: %s\n"
       "  modes: real colo memoize replay full\n"
       "  fault plans: none standard-chaos partition crash-restart slow-node\n"
-      "               memory-pressure\n",
+      "               memory-pressure\n"
+      "  --guard-lateness-p99-ms=MS  fidelity budget: p99 event lateness above\n"
+      "                              MS ms invalidates the run (degraded at MS/2)\n"
+      "  --replay-policy=P           strict | warn | fallback — what a replay\n"
+      "                              divergence does (strict aborts + invalid)\n"
+      "exit codes: 0 ok, 1 runtime error, 2 usage, 3 fidelity verdict invalid\n",
       bugs.c_str());
+}
+
+// Exit code for a finished run: 3 flags an invalid fidelity verdict so CI
+// gates can reject untrustworthy colocation results without parsing JSON.
+int VerdictExitCode(const RunResult& result) {
+  return result.fidelity.verdict == FidelityVerdict::kInvalid ? 3 : 0;
 }
 
 int RunOne(const BugSpec& spec, const CliOptions& cli, RunMode mode) {
@@ -100,11 +144,20 @@ int RunOne(const BugSpec& spec, const CliOptions& cli, RunMode mode) {
   if (mode == RunMode::kMemoize) {
     store_ptr = &store;
   } else if (mode == RunMode::kPilReplay) {
-    if (!MemoStore::LoadFromFile(memo_path, &store)) {
-      std::fprintf(stderr, "no memo DB at %s — run --mode=memoize first\n",
-                   memo_path.c_str());
+    // The structured loader distinguishes a missing DB from a corrupt,
+    // truncated, or version-skewed one — each needs different operator action.
+    Result<MemoStore> loaded = MemoStore::Load(memo_path);
+    if (!loaded.ok()) {
+      if (loaded.status().code() == StatusCode::kNotFound) {
+        std::fprintf(stderr, "no memo DB at %s — run --mode=memoize first\n",
+                     memo_path.c_str());
+      } else {
+        std::fprintf(stderr, "memo DB unusable (%s) — re-run --mode=memoize\n",
+                     loaded.status().ToString().c_str());
+      }
       return 1;
     }
+    store = std::move(loaded.value());
     std::printf("loaded memo DB: %zu records from %s\n", store.size(),
                 memo_path.c_str());
     store_ptr = &store;
@@ -142,7 +195,7 @@ int RunOne(const BugSpec& spec, const CliOptions& cli, RunMode mode) {
       return 1;
     }
   }
-  return 0;
+  return VerdictExitCode(result);
 }
 
 }  // namespace
@@ -163,6 +216,15 @@ int main(int argc, char** argv) {
   BugSpec spec = *catalog_spec;
   if (!cli.faults.empty()) {
     spec.fault_plan = cli.faults;
+  }
+  if (cli.guard_lateness_p99_ms > 0.0) {
+    spec.guard.lateness_p99_invalid =
+        VirtualDuration::Micros(static_cast<int64_t>(cli.guard_lateness_p99_ms * 1000.0));
+    spec.guard.lateness_p99_degraded =
+        VirtualDuration::Micros(static_cast<int64_t>(cli.guard_lateness_p99_ms * 500.0));
+  }
+  if (cli.have_replay_policy) {
+    spec.replay_policy = cli.replay_policy;
   }
   if (!cli.json) {
     std::printf("%s: %s\n", spec.id.c_str(), spec.description.c_str());
@@ -194,9 +256,13 @@ int main(int argc, char** argv) {
     grid.jobs = cli.jobs;
     SuiteReport report = ExperimentSuite(grid).Run();
     ScaleCheckResult full = report.Assemble(spec.id, cli.nodes, cli.seed);
+    // Any invalid mode taints the whole comparison.
+    int exit_code = std::max(
+        std::max(VerdictExitCode(full.real), VerdictExitCode(full.colo)),
+        std::max(VerdictExitCode(full.memoize), VerdictExitCode(full.replay)));
     if (cli.json) {
       std::printf("%s\n", full.ToJson().c_str());
-      return 0;
+      return exit_code;
     }
     std::printf("  real:    %s\n", full.real.Summary().c_str());
     std::printf("  colo:    %s\n", full.colo.Summary().c_str());
@@ -204,7 +270,7 @@ int main(int argc, char** argv) {
     std::printf("  replay:  %s\n", full.replay.Summary().c_str());
     std::printf("PIL flap error vs real: %.0f%%; colo error: %.0f%%\n",
                 full.replay_flap_error * 100.0, full.colo_flap_error * 100.0);
-    return 0;
+    return exit_code;
   }
   std::fprintf(stderr, "unknown mode '%s'\n", cli.mode.c_str());
   Usage();

@@ -17,8 +17,14 @@ cd "$(dirname "$0")/.."
 SANITIZER="${SCALECHECK_SANITIZE:-thread}"
 BUILD_DIR="${1:-build-${SANITIZER:0:1}san}"
 
+# scalecheck_selfheal_test exercises the watchdog/retry/quarantine path with
+# jobs=4 (aborted Simulator::Run + MemoStore snapshot restore across worker
+# threads); sim_fidelity_guard_test and pil_replay_policy_test cover the guard
+# probes and the strict-abort seam those retries depend on.
 TARGETS=(scalecheck_suite_test common_thread_pool_test
-         faults_test faults_determinism_test sim_sync_crash_test)
+         faults_test faults_determinism_test sim_sync_crash_test
+         scalecheck_selfheal_test sim_fidelity_guard_test
+         pil_replay_policy_test pil_memo_corruption_test)
 
 cmake -B "$BUILD_DIR" -S . -DSCALECHECK_SANITIZE="$SANITIZER" >/dev/null
 cmake --build "$BUILD_DIR" --target "${TARGETS[@]}" -j"$(nproc)"

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# The tier-1 CI gate: everything a change must pass before merge.
+#
+#   scripts/ci_gate.sh [build-dir]        # default build/
+#
+# Three legs:
+#   1. full build + ctest (the tier-1 suite),
+#   2. perf_simcore --smoke (deterministic hot-path assertions, no wall-clock
+#      thresholds, so it cannot flake on loaded CI hosts),
+#   3. fidelity-guard exit-code contract: scalecheck_cli must exit 3 — and
+#      only 3 — when a run's verdict is invalid, so downstream automation can
+#      reject untrustworthy colocation results without parsing JSON.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== build =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+echo "== tier-1 tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+echo "== perf smoke =="
+"$BUILD_DIR/bench/perf_simcore" --smoke
+
+echo "== fidelity-guard exit codes =="
+CLI="$BUILD_DIR/examples/scalecheck_cli"
+
+# A comfortable run must exit 0 with an ok verdict.
+if ! "$CLI" --bug=C3831 --mode=colo --nodes=16 --json >/dev/null; then
+  echo "FAIL: healthy run did not exit 0" >&2
+  exit 1
+fi
+
+# An impossible lateness budget must produce an invalid verdict and exit 3.
+set +e
+"$CLI" --bug=C3831 --mode=colo --nodes=96 --guard-lateness-p99-ms=1 --json \
+  > /dev/null
+code=$?
+set -e
+if [[ "$code" -ne 3 ]]; then
+  echo "FAIL: invalid-verdict run exited $code, expected 3" >&2
+  exit 1
+fi
+
+# Usage errors stay on their own exit code (2), distinct from verdicts.
+set +e
+"$CLI" --replay-policy=bogus >/dev/null 2>&1
+code=$?
+set -e
+if [[ "$code" -ne 2 ]]; then
+  echo "FAIL: usage error exited $code, expected 2" >&2
+  exit 1
+fi
+
+echo "OK: build, tier-1 tests, perf smoke, and guard exit-code contract all pass"

@@ -149,6 +149,24 @@ void Cluster::BuildDeployment() {
   }
   pil_ = std::make_unique<PilBoundary>(sim_.get(), pil_mode, options_.memo_store,
                                        spec.core_speed);
+  pil_->set_replay_policy(cfg.replay_policy);
+  pil_->set_order_context_fn([this] {
+    uint64_t enforced = 0;
+    uint64_t divergences = 0;
+    for (const auto& node : nodes_) {
+      enforced += node->order_enforced();
+      divergences += node->order_divergences();
+    }
+    return StrFormat("order_enforced=%llu order_divergences=%llu pending_events=%llu",
+                     static_cast<unsigned long long>(enforced),
+                     static_cast<unsigned long long>(divergences),
+                     static_cast<unsigned long long>(sim_->pending_events()));
+  });
+
+  // ---- Fidelity guard ------------------------------------------------------
+  if (cfg.guard.enabled) {
+    guard_ = std::make_unique<FidelityGuard>(sim_.get(), machines_.get(), cfg.guard);
+  }
 
   if (options_.shared_output_cache == nullptr) {
     owned_output_cache_ = std::make_unique<CalcOutputCache>();
@@ -202,6 +220,11 @@ void Cluster::BuildDeployment() {
   for (size_t i = 0; i < machines_->size(); ++i) {
     machines_->at(i).memory().set_oom_handler([this](NodeId victim, int64_t bytes) {
       SC_LOG(Warning) << "OOM: node " << victim << " allocating " << bytes;
+      if (guard_ != nullptr) {
+        // Report at the exact OOM instant rather than the next guard probe.
+        guard_->ReportViolation("oom", FidelityVerdict::kInvalid,
+                                static_cast<double>(bytes), 0.0, sim_->Now());
+      }
       if (victim >= 0 && static_cast<size_t>(victim) < nodes_.size() &&
           !nodes_[static_cast<size_t>(victim)]->crashed()) {
         ++crashed_nodes_;
@@ -493,8 +516,18 @@ RunResult Cluster::Run() {
       });
   checker->Start(VirtualDuration::Seconds(5));
 
+  if (guard_ != nullptr) {
+    guard_->Arm();
+  }
+  sim_->SetWallBudget(options_.wall_budget_seconds);
   sim_->Run(horizon);
   checker->Stop();
+  if (guard_ != nullptr) {
+    guard_->Disarm();
+    // Final sample at the stop instant, so budgets crossed in the last probe
+    // period are still observed.
+    guard_->Probe();
+  }
   run_timer.reset();
 
   SimProfiler::Timed collect_timer(options_.profiler, SimProfiler::kPhaseCollect);
@@ -522,6 +555,7 @@ void Cluster::CollectResult(RunResult* result) const {
   bool oom = false;
   VirtualDuration lateness_p99;
   VirtualDuration lateness_max;
+  int64_t lateness_early = 0;
   for (size_t i = 0; i < machines_->size(); ++i) {
     Machine& m = const_cast<MachineSet*>(machines_.get())->at(i);
     max_util = std::max(max_util, m.cpu().Utilization());
@@ -529,6 +563,7 @@ void Cluster::CollectResult(RunResult* result) const {
     oom = oom || m.memory().oom_observed();
     lateness_p99 = std::max(lateness_p99, m.lateness().p99());
     lateness_max = std::max(lateness_max, m.lateness().max());
+    lateness_early += m.lateness().early_count();
   }
   result->max_cpu_utilization = max_util;
   result->peak_memory_bytes = peak_mem;
@@ -542,6 +577,39 @@ void Cluster::CollectResult(RunResult* result) const {
   result->messages_blocked = network_->messages_blocked();
   result->lateness_p99 = lateness_p99;
   result->lateness_max = lateness_max;
+  result->lateness_early_count = lateness_early;
+  result->watchdog_fired = sim_->wall_budget_exceeded();
+
+  // ---- Fidelity verdict ----------------------------------------------------
+  const DriftReport& drift = pil_->drift();
+  result->replay_drift.misses = drift.misses;
+  result->replay_drift.diverged = drift.diverged;
+  result->replay_drift.aborted = drift.aborted;
+  if (drift.diverged) {
+    const PilFunctionInfo* info = registry_.Find(drift.first_function);
+    result->replay_drift.first_function = info != nullptr ? info->name : "?";
+    result->replay_drift.first_digest = drift.first_digest.ToHex();
+    result->replay_drift.first_at = drift.first_at;
+    result->replay_drift.first_call_index = drift.first_call_index;
+    result->replay_drift.order_context = drift.order_context;
+  }
+  if (guard_ != nullptr) {
+    if (drift.aborted) {
+      guard_->ReportViolation("replay_divergence", FidelityVerdict::kInvalid,
+                              static_cast<double>(drift.misses), 0.0,
+                              drift.first_at);
+    } else if (drift.diverged && cfg.replay_policy == ReplayPolicy::kWarn) {
+      guard_->ReportViolation("replay_divergence", FidelityVerdict::kDegraded,
+                              static_cast<double>(drift.misses), 0.0,
+                              drift.first_at);
+    }
+    if (result->watchdog_fired) {
+      guard_->ReportViolation("watchdog", FidelityVerdict::kInvalid,
+                              options_.wall_budget_seconds,
+                              options_.wall_budget_seconds, sim_->Now());
+    }
+    result->fidelity = guard_->report();
+  }
 
   result->calc_invocations = calc_invocations_;
   result->calc_executed_real = calc_executed_real_;

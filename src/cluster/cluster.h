@@ -54,6 +54,10 @@ class Cluster {
     // Seed-deterministic fault schedule injected during the run. Part of the
     // run's identity: memoize and replay apply the identical schedule.
     FaultPlan faults;
+    // Host wall-clock watchdog for this run (0 disables). When it fires the
+    // simulation stops early and RunResult::watchdog_fired is set — the
+    // self-healing suite executor uses this to bound runaway cells.
+    double wall_budget_seconds = 0.0;
   };
 
   explicit Cluster(Options options);
@@ -100,6 +104,7 @@ class Cluster {
   std::unique_ptr<PendingRangeCalculator> calculator_;
   std::unique_ptr<PendingRangeCalculator> bootstrap_calc_;
   std::unique_ptr<PilBoundary> pil_;
+  std::unique_ptr<FidelityGuard> guard_;  // null iff config.guard.enabled is false
   std::unique_ptr<CalcOutputCache> owned_output_cache_;
   std::unique_ptr<TraceRecorder> trace_;
   Node::Env env_;

@@ -10,6 +10,7 @@
 #include "src/gossip/gossiper.h"
 #include "src/pil/boundary.h"
 #include "src/ring/calculators.h"
+#include "src/sim/fidelity_guard.h"
 #include "src/sim/machine.h"
 
 namespace scalecheck {
@@ -107,6 +108,14 @@ struct ClusterConfig {
   int kv_max_attempts = 1;
   VirtualDuration kv_retry_base_backoff = VirtualDuration::Millis(50);
   VirtualDuration kv_request_deadline = VirtualDuration::Seconds(8);
+
+  // ---- Fidelity guardrails (§8) ---------------------------------------------
+  // Budgets for the FidelityGuard that classifies each run ok/degraded/
+  // invalid. Enabled by default; all probing is on deterministic model
+  // state so the verdict is part of the byte-identical JSON contract.
+  FidelityBudgets guard;
+  // What a replay divergence does to the run (only meaningful in kPilReplay).
+  ReplayPolicy replay_policy = ReplayPolicy::kFallbackToModelled;
 
   // ---- Harness --------------------------------------------------------------
   uint64_t seed = 0x5eedf00d;

@@ -21,10 +21,14 @@ void WriteStat(JsonWriter* w, const std::string& key, const RunningStat& stat) {
 }  // namespace
 
 std::string RunResult::Summary() const {
+  std::string guard_tag = FidelityVerdictName(fidelity.verdict);
+  if (fidelity.verdict != FidelityVerdict::kOk) {
+    guard_tag += ":" + fidelity.violated_budget;
+  }
   return StrFormat(
       "%s N=%d P=%d: flaps=%lld pairs=%lld dur=%s settle=%s%s util=%.1f%% mem=%s "
       "calcs=%lld (real=%lld, avg=%.3fs max=%.3fs) pil(hit=%llu miss=%llu) div=%llu "
-      "shed=%llu",
+      "shed=%llu guard=%s",
       RunModeName(mode), num_nodes, vnodes_per_node, static_cast<long long>(flaps),
       static_cast<long long>(flapped_pairs), test_duration.ToString().c_str(),
       settle_time.ToString().c_str(), settled ? "" : "(!)",
@@ -34,7 +38,7 @@ std::string RunResult::Summary() const {
       calc_duration_seconds.max(), static_cast<unsigned long long>(pil.replay_hits),
       static_cast<unsigned long long>(pil.replay_misses),
       static_cast<unsigned long long>(order_divergences),
-      static_cast<unsigned long long>(stage_tasks_dropped));
+      static_cast<unsigned long long>(stage_tasks_dropped), guard_tag.c_str());
 }
 
 void RunResult::WriteJson(JsonWriter* w) const {
@@ -60,6 +64,22 @@ void RunResult::WriteJson(JsonWriter* w) const {
   w->Field("messages_blocked", messages_blocked);
   w->Field("lateness_p99_ns", lateness_p99.nanos());
   w->Field("lateness_max_ns", lateness_max.nanos());
+  w->Field("lateness_early_count", lateness_early_count);
+
+  w->Key("fidelity");
+  fidelity.WriteJson(w);
+  w->Field("watchdog_fired", watchdog_fired);
+
+  w->Key("replay_drift").BeginObject();
+  w->Field("misses", replay_drift.misses);
+  w->Field("diverged", replay_drift.diverged);
+  w->Field("aborted", replay_drift.aborted);
+  w->Field("first_function", replay_drift.first_function);
+  w->Field("first_digest", replay_drift.first_digest);
+  w->Field("first_at_ns", replay_drift.first_at.nanos());
+  w->Field("first_call_index", replay_drift.first_call_index);
+  w->Field("order_context", replay_drift.order_context);
+  w->EndObject();
 
   w->Field("calc_invocations", calc_invocations);
   w->Field("calc_executed_real", calc_executed_real);

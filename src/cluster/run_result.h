@@ -38,6 +38,33 @@ struct RunResult {
   int crashed_nodes = 0;
   VirtualDuration lateness_p99;
   VirtualDuration lateness_max;
+  // Samples that arrived *before* their intended instant (clamped to zero in
+  // the histogram; see LatenessTracker::early_count).
+  int64_t lateness_early_count = 0;
+
+  // ---- Fidelity guardrails --------------------------------------------------
+  // Tri-state trustworthiness verdict with the violated budgets and their
+  // first-violation virtual timestamps. Always serialized (deterministic).
+  FidelityReport fidelity;
+  // The host wall-clock watchdog stopped this run before the horizon; the
+  // result below covers only the prefix that executed. The self-healing
+  // suite executor treats such results as retry/quarantine candidates and
+  // never serializes them.
+  bool watchdog_fired = false;
+
+  // ---- Replay drift ---------------------------------------------------------
+  // Populated from PilBoundary::drift(); all-zero outside kPilReplay runs.
+  struct ReplayDrift {
+    uint64_t misses = 0;
+    bool diverged = false;
+    bool aborted = false;
+    std::string first_function;  // registry name of the first diverging call
+    std::string first_digest;    // input digest of that call, hex
+    VirtualTime first_at;
+    uint64_t first_call_index = 0;
+    std::string order_context;
+  };
+  ReplayDrift replay_drift;
 
   // ---- Fault injection ------------------------------------------------------
   int restarted_nodes = 0;

@@ -22,6 +22,12 @@ namespace scalecheck {
 uint64_t Fnv1a64(const void* data, size_t len);
 uint64_t Fnv1a64(std::string_view s);
 
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used as the integrity check on
+// the on-disk MemoStore format: unlike the content digests above it detects
+// *every* single-bit flip and all burst errors up to 32 bits, which is the
+// property the corruption-fuzz tests rely on. `seed` allows chaining.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
 // 64-bit avalanche mixer (MurmurHash3 finalizer).
 uint64_t Mix64(uint64_t x);
 

@@ -18,6 +18,10 @@ const char* StatusCodeName(StatusCode code) {
       return "CORRUPT_DATA";
     case StatusCode::kFailedPrecondition:
       return "FAILED_PRECONDITION";
+    case StatusCode::kTruncated:
+      return "TRUNCATED";
+    case StatusCode::kVersionSkew:
+      return "VERSION_SKEW";
   }
   return "?";
 }

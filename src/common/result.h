@@ -23,6 +23,12 @@ enum class StatusCode : int {
   kIoError = 3,
   kCorruptData = 4,
   kFailedPrecondition = 5,
+  // Input ended before the declared structure was complete (a prefix of a
+  // valid byte stream). Distinct from kCorruptData: truncation is the
+  // expected signature of a crash mid-write, corruption of bit rot.
+  kTruncated = 6,
+  // The input is well-formed but written by an incompatible format version.
+  kVersionSkew = 7,
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -48,6 +54,12 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Truncated(std::string msg) {
+    return Status(StatusCode::kTruncated, std::move(msg));
+  }
+  static Status VersionSkew(std::string msg) {
+    return Status(StatusCode::kVersionSkew, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

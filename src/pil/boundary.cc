@@ -6,6 +6,18 @@
 
 namespace scalecheck {
 
+const char* ReplayPolicyName(ReplayPolicy policy) {
+  switch (policy) {
+    case ReplayPolicy::kFallbackToModelled:
+      return "fallback";
+    case ReplayPolicy::kWarn:
+      return "warn";
+    case ReplayPolicy::kStrict:
+      return "strict";
+  }
+  return "?";
+}
+
 const char* PilModeName(PilMode mode) {
   switch (mode) {
     case PilMode::kDirect:
@@ -89,7 +101,10 @@ void PilBoundary::Apply(
               // instead of charging CPU — the illusion survives a miss. The
               // computed record extends the memo DB, so iterative replays
               // (the paper's debug-replay-debug loop) converge to full hits.
+              // Under the strict policy the drift recorder also stops the
+              // simulation; the current event still completes normally.
               ++stats_.replay_misses;
+              RecordDivergence(function, cap->digest);
               cap->computed = compute_fn();
               sleep_for = WorkToDuration(cap->computed.work);
               MemoRecord record;
@@ -108,6 +123,27 @@ void PilBoundary::Apply(
             }
           });
       break;
+  }
+}
+
+void PilBoundary::RecordDivergence(PilFunctionId function,
+                                   const DigestValue& digest) {
+  ++drift_.misses;
+  if (drift_.diverged) {
+    return;
+  }
+  drift_.diverged = true;
+  drift_.first_function = function;
+  drift_.first_digest = digest;
+  drift_.first_at = sim_->Now();
+  // The diverging call itself has already been counted as a miss.
+  drift_.first_call_index = stats_.replay_hits + stats_.replay_misses - 1;
+  if (order_context_fn_) {
+    drift_.order_context = order_context_fn_();
+  }
+  if (replay_policy_ == ReplayPolicy::kStrict) {
+    drift_.aborted = true;
+    sim_->RequestStop();
   }
 }
 

@@ -25,6 +25,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/hash.h"
@@ -42,6 +43,41 @@ enum class PilMode : int {
 };
 
 const char* PilModeName(PilMode mode);
+
+// What to do when a replay lookup misses (the run has diverged from the
+// memoized run and the Processing Illusion is no longer exact):
+//   kFallbackToModelled  compute the output, sleep the modelled duration,
+//                        extend the memo DB — the historical behavior; the
+//                        divergence is still counted in the drift report.
+//   kWarn                same as fallback, but the run's fidelity verdict is
+//                        downgraded to `degraded` so the drift is visible in
+//                        every report built on top.
+//   kStrict              record the drift and stop the simulation: a
+//                        diverged replay must never masquerade as a faithful
+//                        one. The run's verdict becomes `invalid`.
+enum class ReplayPolicy : int {
+  kFallbackToModelled = 0,
+  kWarn = 1,
+  kStrict = 2,
+};
+
+const char* ReplayPolicyName(ReplayPolicy policy);
+
+// Everything known about the first replay divergence of a run, for debugging
+// which call went off-script and in what ordering context.
+struct DriftReport {
+  uint64_t misses = 0;
+  bool diverged = false;
+  bool aborted = false;  // the strict policy stopped the run
+  PilFunctionId first_function = kInvalidPilFunction;
+  DigestValue first_digest;
+  VirtualTime first_at;
+  // Replay calls (hits + misses) issued before the first diverging one.
+  uint64_t first_call_index = 0;
+  // Order-log state captured at the moment of first divergence (see
+  // set_order_context_fn).
+  std::string order_context;
+};
 
 class PilBoundary {
  public:
@@ -65,6 +101,16 @@ class PilBoundary {
   MemoStore* store() const { return store_; }
   const Stats& stats() const { return stats_; }
 
+  // Replay-divergence handling. Only consulted in kReplay mode.
+  void set_replay_policy(ReplayPolicy policy) { replay_policy_ = policy; }
+  ReplayPolicy replay_policy() const { return replay_policy_; }
+  // Called once, at the first divergence, to snapshot order-log context for
+  // the drift report (e.g. enforced/diverged message counts per node).
+  void set_order_context_fn(std::function<std::string()> fn) {
+    order_context_fn_ = std::move(fn);
+  }
+  const DriftReport& drift() const { return drift_; }
+
   // Appends boundary steps to `job`:
   //   digest_fn   evaluated at step start; hashes the function input
   //   compute_fn  the real computation (output bytes + counted work)
@@ -80,11 +126,16 @@ class PilBoundary {
   }
 
  private:
+  void RecordDivergence(PilFunctionId function, const DigestValue& digest);
+
   Simulator* sim_;
   PilMode mode_;
   MemoStore* store_;
   double core_speed_;
   Stats stats_;
+  ReplayPolicy replay_policy_ = ReplayPolicy::kFallbackToModelled;
+  std::function<std::string()> order_context_fn_;
+  DriftReport drift_;
 };
 
 }  // namespace scalecheck

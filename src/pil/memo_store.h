@@ -64,9 +64,26 @@ class MemoStore {
                : static_cast<double>(stats_.hits) / static_cast<double>(stats_.lookups);
   }
 
-  // Binary serialization, so a memoization run can be persisted and replayed
-  // many times (the paper's "replay numerous times" workflow).
+  // Binary serialization (format v2), so a memoization run can be persisted
+  // and replayed many times (the paper's "replay numerous times" workflow).
+  //
+  // v2 layout — every field integrity-checked so a damaged DB can never load
+  // as a silently-wrong store:
+  //   u64 magic "SCPMEMO2" | u32 version=2 | u64 count | u32 crc32(header)
+  //   per record: u32 payload_len | payload | u32 crc32(payload)
+  //   payload: u32 function | u64 digest.lo | u64 digest.hi |
+  //            i64 duration_ns | i64 work | u64 sequence |
+  //            u64 output_size | output bytes
   std::vector<uint8_t> Serialize() const;
+
+  // Structured parse. Distinguishes the three damage classes:
+  //   kTruncated   — bytes are a proper prefix of a valid stream (the
+  //                  signature of a crash mid-write or a torn copy),
+  //   kCorruptData — checksum/structure mismatch (bit rot, bad magic),
+  //   kVersionSkew — well-formed header from another format version (v1
+  //                  stores must be re-memoized, not guessed at).
+  // On error `out` is left empty, never partially filled.
+  static Status Parse(const std::vector<uint8_t>& bytes, MemoStore* out);
   static bool Deserialize(const std::vector<uint8_t>& bytes, MemoStore* out);
   bool SaveToFile(const std::string& path) const;
   static bool LoadFromFile(const std::string& path, MemoStore* out);
@@ -75,9 +92,12 @@ class MemoStore {
   int64_t output_bytes() const { return output_bytes_; }
 
   // Status-reporting persistence (the bool APIs above remain for callers that
-  // only branch).
+  // only branch). Save is crash-safe: bytes are written to TempPathFor(path)
+  // and atomically renamed over the destination, so an interrupted Save
+  // leaves the previous DB intact.
   Status Save(const std::string& path) const;
   static Result<MemoStore> Load(const std::string& path);
+  static std::string TempPathFor(const std::string& path) { return path + ".tmp"; }
 
  private:
   struct Key {

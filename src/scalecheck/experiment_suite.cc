@@ -35,6 +35,10 @@ struct ExperimentSuite::Task {
   MemoStore* store = nullptr;
   std::vector<size_t> dependents;  // task indices unblocked by completion
   int unmet_dependencies = 0;
+  // Set (under the executor mutex) when a dependency was quarantined: this
+  // task must not run — its input store was never filled — and cascades the
+  // quarantine to its own dependents.
+  bool dep_quarantined = false;
 };
 
 ExperimentSuite::ExperimentSuite(ExperimentSpec spec) : spec_(std::move(spec)) {}
@@ -142,25 +146,66 @@ SuiteReport ExperimentSuite::Run() {
   std::condition_variable done_cv;
   size_t remaining = tasks.size();
 
-  // Scheduling closure: runs one task, then unblocks its dependents. Tasks
-  // write only their own preallocated record slot, so no result-side locking
-  // is needed.
+  // Scheduling closure: runs one task (with watchdog / bounded retry /
+  // quarantine), then unblocks its dependents. Tasks write only their own
+  // preallocated record slot, so no result-side locking is needed.
   std::function<void(size_t)> submit = [&](size_t index) {
     pool.Submit([&, index] {
       Task& task = tasks[index];
       RunRecord& record = report.runs_[task.record_index];
       auto start = std::chrono::steady_clock::now();
 
-      RunOptions options;
-      options.memo_store = task.store;
-      options.output_cache = cache;
-      record.result = RunSingle(*task.bug, task.nodes, task.mode, task.seed, options);
+      if (task.dep_quarantined) {
+        // The store this task depends on was never (fully) filled; running
+        // would produce a host-dependent half-result. Quarantine instead.
+        record.quarantined = true;
+        record.quarantine_reason = "dependency-quarantined";
+      } else {
+        const double budget = task.bug->wall_budget_seconds > 0.0
+                                  ? task.bug->wall_budget_seconds
+                                  : spec_.cell_wall_budget_seconds;
+        const int max_attempts =
+            budget > 0.0 ? std::max(1, spec_.max_cell_attempts) : 1;
+        // Snapshot the cell's memo store before the first watched attempt: a
+        // retry must replay against pristine input state (a partially filled
+        // memoize store, or a replay store extended by divergence fallbacks,
+        // would otherwise leak across attempts and break byte-identity).
+        std::unique_ptr<MemoStore> pristine;
+        if (budget > 0.0 && task.store != nullptr) {
+          pristine = std::make_unique<MemoStore>(*task.store);
+        }
+        for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+          if (attempt > 1 && pristine != nullptr) {
+            *task.store = *pristine;
+          }
+          RunOptions options;
+          options.memo_store = task.store;
+          options.output_cache = cache;
+          options.wall_budget_seconds = budget;
+          record.result =
+              RunSingle(*task.bug, task.nodes, task.mode, task.seed, options);
+          record.attempts = attempt;
+          if (!record.result.watchdog_fired) {
+            break;
+          }
+        }
+        if (record.result.watchdog_fired) {
+          record.quarantined = true;
+          record.quarantine_reason = "watchdog";
+          // A watchdog-truncated run's numbers describe a host-dependent
+          // prefix; drop them so they can never be mistaken for results.
+          record.result = RunResult();
+        }
+      }
       record.wall_seconds = WallSecondsSince(start);
 
       std::vector<size_t> ready;
       {
         std::lock_guard<std::mutex> lock(mu);
         for (size_t dependent : task.dependents) {
+          if (record.quarantined) {
+            tasks[dependent].dep_quarantined = true;
+          }
           if (--tasks[dependent].unmet_dependencies == 0) {
             ready.push_back(dependent);
           }
@@ -234,20 +279,53 @@ double SuiteReport::total_run_wall_seconds() const {
   return total;
 }
 
+namespace {
+
+// Shared by ToJson (inside the runs array) and RecordJson (standalone): a
+// JSON object's bytes do not depend on nesting, so the two agree.
+void WriteRecordJson(JsonWriter* w, const RunRecord& record) {
+  w->BeginObject();
+  w->Field("bug", record.bug_id);
+  w->Field("mode", RunModeName(record.mode));
+  w->Field("nodes", record.nodes);
+  w->Field("seed", record.seed);
+  w->Field("implicit", record.implicit);
+  w->Field("status", record.quarantined ? "quarantined" : "ok");
+  if (record.quarantined) {
+    // No result object: a quarantined cell has only host-dependent partial
+    // state. attempts is deterministic for deterministic-poison cells (it is
+    // always max_cell_attempts) and meaningful diagnostics otherwise.
+    w->Field("quarantine_reason", record.quarantine_reason);
+    w->Field("attempts", record.attempts);
+  } else {
+    w->Key("result");
+    record.result.WriteJson(w);
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string SuiteReport::RecordJson(const RunRecord& record) {
+  JsonWriter w;
+  WriteRecordJson(&w, record);
+  return w.str();
+}
+
+size_t SuiteReport::quarantined_count() const {
+  size_t count = 0;
+  for (const RunRecord& record : runs_) {
+    count += record.quarantined ? 1 : 0;
+  }
+  return count;
+}
+
 std::string SuiteReport::ToJson() const {
   JsonWriter w;
   w.BeginObject();
   w.Key("runs").BeginArray();
   for (const RunRecord& record : runs_) {
-    w.BeginObject();
-    w.Field("bug", record.bug_id);
-    w.Field("mode", RunModeName(record.mode));
-    w.Field("nodes", record.nodes);
-    w.Field("seed", record.seed);
-    w.Field("implicit", record.implicit);
-    w.Key("result");
-    record.result.WriteJson(&w);
-    w.EndObject();
+    WriteRecordJson(&w, record);
   }
   w.EndArray();
   w.EndObject();

@@ -42,6 +42,18 @@ struct ExperimentSpec {
   // Share one synchronized CalcOutputCache across all runs (host wall-clock
   // optimization; see CalcOutputCache for why this preserves determinism).
   bool share_output_cache = true;
+
+  // ---- Self-healing execution ----------------------------------------------
+  // Host wall-clock budget per cell (0 disables the watchdog). A per-bug
+  // BugSpec::wall_budget_seconds > 0 overrides this for that bug's cells. A
+  // cell that exceeds its budget is abandoned and retried from scratch — the
+  // retry reconstructs simulator, RNG streams and memo state purely from the
+  // cell's seed, so a successful retry is byte-identical to a run that never
+  // tripped. After max_cell_attempts the cell is quarantined: the sweep
+  // completes, the record carries status "quarantined" + the reason, and no
+  // partial (host-dependent) result is ever serialized.
+  double cell_wall_budget_seconds = 0.0;
+  int max_cell_attempts = 2;
 };
 
 // One executed grid cell.
@@ -56,6 +68,13 @@ struct RunRecord {
   RunResult result;
   // Host wall-clock of this run (reporting only; not serialized).
   double wall_seconds = 0.0;
+  // ---- Self-healing status -------------------------------------------------
+  // Attempts actually executed (0 for cells quarantined before running).
+  // Serialized only for quarantined cells: a successful retry count is
+  // host-dependent and must not perturb the byte-identity of good cells.
+  int attempts = 0;
+  bool quarantined = false;
+  std::string quarantine_reason;  // "watchdog" or "dependency-quarantined"
 };
 
 class SuiteReport {
@@ -84,8 +103,16 @@ class SuiteReport {
   double total_run_wall_seconds() const;
 
   // Stable machine-readable export: byte-identical for a fixed spec grid no
-  // matter how many host threads executed it.
+  // matter how many host threads executed it. Quarantined cells serialize
+  // status + reason + attempts and omit the result object entirely, so the
+  // surviving cells' bytes match a sweep that never contained the bad cell.
   std::string ToJson() const;
+
+  // One record as a standalone JSON object — the exact bytes ToJson() emits
+  // for it inside the runs array (tests compare surviving cells with this).
+  static std::string RecordJson(const RunRecord& record);
+
+  size_t quarantined_count() const;
 
  private:
   friend class ExperimentSuite;

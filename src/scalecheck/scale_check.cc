@@ -16,6 +16,8 @@ ClusterConfig BugSpec::MakeConfig(int n, RunMode mode, uint64_t seed) const {
   cfg.run_mode = mode;
   cfg.exec_model = exec_model;
   cfg.space_oblivious_rebalance = space_oblivious_rebalance;
+  cfg.guard = guard;
+  cfg.replay_policy = replay_policy;
   cfg.seed = seed;
   if (kv_ops_per_second > 0.0) {
     cfg.enable_kv = true;
@@ -83,6 +85,7 @@ RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed,
   options.faults = run_options.faults != nullptr ? *run_options.faults
                                                  : spec.MakeFaultPlan(n, seed);
   options.kv_ops_per_second = spec.kv_ops_per_second;
+  options.wall_budget_seconds = run_options.wall_budget_seconds;
   Cluster cluster(std::move(options));
   return cluster.Run();
 }

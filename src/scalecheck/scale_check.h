@@ -45,6 +45,14 @@ struct BugSpec {
   // Client load on the quorum KV data path; > 0 enables the KV service (with
   // retries, see MakeConfig) and the load driver.
   double kv_ops_per_second = 0.0;
+  // Fidelity-guard budgets applied to every run of this spec (deterministic;
+  // part of the serialized verdict). Defaults encode §8's limits.
+  FidelityBudgets guard;
+  // What a replay divergence does to runs of this spec (kPilReplay only).
+  ReplayPolicy replay_policy = ReplayPolicy::kFallbackToModelled;
+  // Per-spec host wall-clock watchdog override for suite cells; 0 inherits
+  // ExperimentSpec::cell_wall_budget_seconds.
+  double wall_budget_seconds = 0.0;
 
   // Materializes configuration for a deployment of n initial nodes.
   ClusterConfig MakeConfig(int n, RunMode mode, uint64_t seed) const;
@@ -88,6 +96,9 @@ struct RunOptions {
   // Overrides the spec's own fault plan when non-null (tests injecting a
   // custom schedule); by default RunSingle materializes spec.fault_plan.
   const FaultPlan* faults = nullptr;
+  // Host wall-clock watchdog for this run (0 disables); see
+  // Cluster::Options::wall_budget_seconds.
+  double wall_budget_seconds = 0.0;
 };
 
 // Runs one deployment.

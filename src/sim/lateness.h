@@ -21,6 +21,13 @@ class LatenessTracker {
   void Record(VirtualTime intended, VirtualTime actual) {
     VirtualDuration late = actual - intended;
     if (late.IsNegative()) {
+      // An early start is not lateness, but folding it silently into the
+      // zero bucket hides scheduling anomalies from the fidelity guard.
+      // Count it separately and record the sample as on-time.
+      ++early_count_;
+      if (-late > max_early_) {
+        max_early_ = -late;
+      }
       late = VirtualDuration::Zero();
     }
     histogram_.AddDuration(late);
@@ -36,8 +43,15 @@ class LatenessTracker {
   }
   int64_t count() const { return histogram_.count(); }
 
+  // Number of samples that started *before* their intended instant (clamped
+  // to zero in the histogram), and the largest such negative delta.
+  int64_t early_count() const { return early_count_; }
+  VirtualDuration max_early() const { return max_early_; }
+
  private:
   LogHistogram histogram_;
+  int64_t early_count_ = 0;
+  VirtualDuration max_early_ = VirtualDuration::Zero();
 };
 
 }  // namespace scalecheck

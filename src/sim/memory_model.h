@@ -56,6 +56,17 @@ class MemoryModel {
   int64_t NodeUsage(NodeId node) const;
   bool oom_observed() const { return oom_observed_; }
 
+  // Fraction of capacity still free, in [0, 1]. 0 when at/over capacity —
+  // the fidelity guard budgets on this headroom rather than raw bytes so the
+  // same budget works across machine specs.
+  double HeadroomFraction() const {
+    if (config_.capacity_bytes <= 0 || used_ >= config_.capacity_bytes) {
+      return 0.0;
+    }
+    return 1.0 - static_cast<double>(used_) /
+                     static_cast<double>(config_.capacity_bytes);
+  }
+
  private:
   Config config_;
   OomHandler oom_handler_;

@@ -1,5 +1,6 @@
 #include "src/sim/simulator.h"
 
+#include <chrono>
 #include <utility>
 
 #include "src/common/check.h"
@@ -21,9 +22,22 @@ EventId Simulator::ScheduleAfter(VirtualDuration d, EventFn fn) {
 uint64_t Simulator::Run(VirtualTime until) {
   CHECK(!running_) << "reentrant Run()";
   running_ = true;
-  stop_requested_ = false;
+  wall_budget_exceeded_ = false;
+  const bool watched = wall_budget_seconds_ > 0.0;
+  const auto wall_start = watched ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
   uint64_t executed = 0;
   while (!queue_.empty() && !stop_requested_) {
+    if (watched && (executed & 511u) == 511u) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+      if (elapsed > wall_budget_seconds_) {
+        wall_budget_exceeded_ = true;
+        break;
+      }
+    }
     VirtualTime next = queue_.NextTime();
     if (next > until) {
       break;
@@ -42,6 +56,11 @@ uint64_t Simulator::Run(VirtualTime until) {
       now_ < until) {
     now_ = until;
   }
+  // A stop request cancels exactly one Run. Clearing it on exit (not entry)
+  // makes a stop raised OUTSIDE Run — e.g. a strict replay divergence hit in
+  // a job that a SimThread started synchronously from Enqueue before the main
+  // loop began — cancel the next Run instead of being silently dropped.
+  stop_requested_ = false;
   running_ = false;
   return executed;
 }

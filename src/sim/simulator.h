@@ -46,8 +46,19 @@ class Simulator {
   // Runs until the queue is empty.
   uint64_t RunUntilIdle() { return Run(VirtualTime::Max()); }
 
-  // Requests that Run() return after the current event completes.
+  // Requests that Run() return after the current event completes. Sticky
+  // until a Run consumes it: raised outside Run (jobs execute synchronously
+  // from SimThread::Enqueue on an idle thread), it cancels the next Run
+  // instead of being dropped.
   void RequestStop() { stop_requested_ = true; }
+
+  // Host wall-clock watchdog: when set (> 0), Run() periodically checks the
+  // host clock and bails out once the budget is exhausted, setting
+  // wall_budget_exceeded(). The self-healing suite executor uses this to
+  // bound runaway cells. 0 disables. The check is amortized (every 512
+  // events) so the hot loop stays clock-free when no budget is set.
+  void SetWallBudget(double seconds) { wall_budget_seconds_ = seconds; }
+  bool wall_budget_exceeded() const { return wall_budget_exceeded_; }
 
   // Root RNG; components should Fork() child generators at setup time so that
   // their streams are independent of event interleaving.
@@ -66,6 +77,8 @@ class Simulator {
   bool stop_requested_ = false;
   bool running_ = false;
   uint64_t events_executed_ = 0;
+  double wall_budget_seconds_ = 0.0;
+  bool wall_budget_exceeded_ = false;
 };
 
 // A repeating timer built on the simulator: fires fn every `period` starting

@@ -98,5 +98,22 @@ TEST(DigestValueTest, HashUsableInMaps) {
   EXPECT_NE(h(a), h(b));
 }
 
+TEST(Crc32Test, MatchesIeeeCheckValue) {
+  // The standard CRC-32/IEEE check vector: crc32("123456789") = 0xCBF43926.
+  // Pins the implementation to the real polynomial (a home-grown variant
+  // would still "detect corruption" in tests but break cross-tool checking
+  // of memo DB files).
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(s, 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementalComputation) {
+  const char* s = "123456789";
+  uint32_t partial = Crc32(s, 4);
+  EXPECT_EQ(Crc32(s + 4, 5, partial), Crc32(s, 9));
+  EXPECT_NE(Crc32(s, 9), Crc32(s, 8));
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
 }  // namespace
 }  // namespace scalecheck

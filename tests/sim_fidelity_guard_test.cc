@@ -1,0 +1,184 @@
+// FidelityGuard unit tests: the verdict state machine, first-crossing
+// bookkeeping, probe classification against machine-model state, and the
+// determinism of the serialized report.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/scalecheck/bug_catalog.h"
+#include "src/scalecheck/scale_check.h"
+#include "src/sim/fidelity_guard.h"
+#include "src/sim/machine.h"
+#include "src/sim/simulator.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(LatenessTrackerTest, EarlyStartsAreCountedNotFoldedIn) {
+  LatenessTracker tracker;
+  tracker.Record(VirtualTime::FromNanos(10'000'000'000),
+                 VirtualTime::FromNanos(9'000'000'000));  // 1s early
+  tracker.Record(VirtualTime::FromNanos(10'000'000'000),
+                 VirtualTime::FromNanos(10'000'000'000));  // on time
+  tracker.Record(VirtualTime::FromNanos(10'000'000'000),
+                 VirtualTime::FromNanos(9'500'000'000));  // 0.5s early
+  EXPECT_EQ(tracker.early_count(), 2);
+  EXPECT_EQ(tracker.max_early(), VirtualDuration::Seconds(1));
+  // The histogram saw all three samples, all clamped to on-time.
+  EXPECT_EQ(tracker.count(), 3);
+  EXPECT_EQ(tracker.max(), VirtualDuration::Zero());
+}
+
+TEST(FidelityGuardTest, VerdictIsMonotonicAndRecordsFirstCrossing) {
+  Simulator sim(1);
+  MachineSet machines(&sim, MachineSpec::Nome(), 1);
+  FidelityBudgets budgets;
+  FidelityGuard guard(&sim, &machines, budgets);
+
+  guard.ReportViolation("lateness_p99", FidelityVerdict::kDegraded, 0.7, 0.5,
+                        VirtualTime::FromNanos(1000));
+  EXPECT_EQ(guard.report().verdict, FidelityVerdict::kDegraded);
+  EXPECT_EQ(guard.report().violated_budget, "lateness_p99");
+  EXPECT_EQ(guard.report().first_violation_at.nanos(), 1000);
+
+  // A later degraded crossing of the same budget does not rewind first_at.
+  guard.ReportViolation("lateness_p99", FidelityVerdict::kDegraded, 0.9, 0.5,
+                        VirtualTime::FromNanos(9000));
+  ASSERT_EQ(guard.report().violations.size(), 1u);
+  EXPECT_EQ(guard.report().violations[0].first_at.nanos(), 1000);
+  EXPECT_DOUBLE_EQ(guard.report().violations[0].observed, 0.7);
+
+  // Escalation to invalid (different budget) flips the verdict...
+  guard.ReportViolation("oom", FidelityVerdict::kInvalid, 0.0, 0.0,
+                        VirtualTime::FromNanos(5000));
+  EXPECT_EQ(guard.report().verdict, FidelityVerdict::kInvalid);
+  EXPECT_EQ(guard.report().violated_budget, "oom");
+  EXPECT_EQ(guard.report().first_violation_at.nanos(), 5000);
+
+  // ...and nothing ever walks it back down.
+  guard.ReportViolation("cpu_utilization", FidelityVerdict::kDegraded, 0.95,
+                        0.9, VirtualTime::FromNanos(6000));
+  EXPECT_EQ(guard.report().verdict, FidelityVerdict::kInvalid);
+  EXPECT_EQ(guard.report().violated_budget, "oom");
+  EXPECT_EQ(guard.report().violations.size(), 3u);
+}
+
+TEST(FidelityGuardTest, ProbeClassifiesLatenessAgainstBudgets) {
+  Simulator sim(1);
+  MachineSet machines(&sim, MachineSpec::Nome(), 2);
+  FidelityBudgets budgets;  // degraded at 500ms p99, invalid at 2s
+  FidelityGuard guard(&sim, &machines, budgets);
+
+  // Feed machine 1 a lateness distribution with p99 ~ 1s: degraded only.
+  for (int i = 0; i < 200; ++i) {
+    machines.at(1).lateness().Record(VirtualTime::FromNanos(0),
+                                     VirtualTime::FromNanos(1'000'000'000));
+  }
+  guard.Probe();
+  EXPECT_EQ(guard.report().verdict, FidelityVerdict::kDegraded);
+  EXPECT_EQ(guard.report().violated_budget, "lateness_p99");
+
+  // Push the same machine past the invalid threshold.
+  for (int i = 0; i < 2000; ++i) {
+    machines.at(1).lateness().Record(VirtualTime::FromNanos(0),
+                                     VirtualTime::FromNanos(3'000'000'000));
+  }
+  guard.Probe();
+  EXPECT_EQ(guard.report().verdict, FidelityVerdict::kInvalid);
+  EXPECT_EQ(guard.report().violated_budget, "lateness_p99");
+}
+
+TEST(FidelityGuardTest, ProbeFlagsMemoryPressureViaHeadroom) {
+  Simulator sim(1);
+  MachineSpec spec = MachineSpec::Nome();
+  spec.memory_bytes = 1000;
+  MachineSet machines(&sim, spec, 1);
+  FidelityBudgets budgets;
+  FidelityGuard guard(&sim, &machines, budgets);
+
+  // 97% used -> 3% headroom: below the 5% invalid floor.
+  ASSERT_TRUE(machines.at(0).memory().Allocate(0, "ballast", 970));
+  guard.Probe();
+  EXPECT_EQ(guard.report().verdict, FidelityVerdict::kInvalid);
+  EXPECT_EQ(guard.report().violated_budget, "memory_headroom");
+}
+
+TEST(FidelityGuardTest, ArmedGuardProbesPeriodicallyOnVirtualTime) {
+  Simulator sim(1);
+  MachineSet machines(&sim, MachineSpec::Nome(), 1);
+  // Preload a clearly-invalid lateness distribution; the armed timer should
+  // detect it at the first probe tick (5 virtual seconds), not at the end.
+  for (int i = 0; i < 100; ++i) {
+    machines.at(0).lateness().Record(VirtualTime::FromNanos(0),
+                                     VirtualTime::FromNanos(30'000'000'000));
+  }
+  FidelityBudgets budgets;
+  FidelityGuard guard(&sim, &machines, budgets);
+  guard.Arm();
+  sim.ScheduleAt(VirtualTime::FromNanos(VirtualDuration::Seconds(60).nanos()),
+                 [] {});
+  sim.Run(VirtualTime::FromNanos(VirtualDuration::Seconds(60).nanos()));
+  guard.Disarm();
+  EXPECT_EQ(guard.report().verdict, FidelityVerdict::kInvalid);
+  EXPECT_EQ(guard.report().first_violation_at.nanos(),
+            VirtualDuration::Seconds(5).nanos());
+}
+
+TEST(FidelityGuardTest, ReportJsonNamesVerdictAndBudget) {
+  Simulator sim(1);
+  MachineSet machines(&sim, MachineSpec::Nome(), 1);
+  FidelityGuard guard(&sim, &machines, FidelityBudgets{});
+  guard.ReportViolation("cpu_utilization", FidelityVerdict::kInvalid, 0.99,
+                        0.98, VirtualTime::FromNanos(42));
+  const std::string json = guard.report().ToJson();
+  EXPECT_NE(json.find("\"verdict\":\"invalid\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"violated_budget\":\"cpu_utilization\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"first_violation_at_ns\":42"), std::string::npos) << json;
+}
+
+TEST(MemoryModelTest, HeadroomFractionTracksUsage) {
+  MemoryModel memory(MemoryModel::Config{1000});
+  EXPECT_DOUBLE_EQ(memory.HeadroomFraction(), 1.0);
+  ASSERT_TRUE(memory.Allocate(0, "a", 250));
+  EXPECT_DOUBLE_EQ(memory.HeadroomFraction(), 0.75);
+  ASSERT_TRUE(memory.Allocate(0, "b", 750));
+  EXPECT_DOUBLE_EQ(memory.HeadroomFraction(), 0.0);
+}
+
+// End-to-end: the guard verdict lands in RunResult/JSON deterministically,
+// and a tightened budget flips a previously-ok run to invalid without
+// changing anything else about the simulation.
+TEST(FidelityGuardTest, RunVerdictIsDeterministicAndBudgetSensitive) {
+  BugSpec spec = BugCatalog::Get("C3831");
+  spec.horizon = VirtualDuration::Seconds(120);
+
+  RunResult a = RunSingle(spec, 24, RunMode::kColocated, 77);
+  RunResult b = RunSingle(spec, 24, RunMode::kColocated, 77);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  EXPECT_EQ(a.fidelity.verdict, FidelityVerdict::kOk) << a.fidelity.ToJson();
+
+  BugSpec tight = spec;
+  tight.guard.lateness_p99_degraded = VirtualDuration::Nanos(1);
+  tight.guard.lateness_p99_invalid = VirtualDuration::Nanos(2);
+  RunResult c = RunSingle(tight, 24, RunMode::kColocated, 77);
+  EXPECT_EQ(c.fidelity.verdict, FidelityVerdict::kInvalid) << c.fidelity.ToJson();
+  EXPECT_EQ(c.fidelity.violated_budget, "lateness_p99");
+  // The guard observes; it never perturbs the simulation itself.
+  EXPECT_EQ(c.flaps, a.flaps);
+  EXPECT_EQ(c.test_duration, a.test_duration);
+}
+
+TEST(FidelityGuardTest, DisabledGuardYieldsOkVerdict) {
+  BugSpec spec = BugCatalog::Get("C3831");
+  spec.horizon = VirtualDuration::Seconds(60);
+  spec.guard.enabled = false;
+  RunResult r = RunSingle(spec, 16, RunMode::kColocated, 5);
+  EXPECT_EQ(r.fidelity.verdict, FidelityVerdict::kOk);
+  EXPECT_TRUE(r.fidelity.violations.empty());
+}
+
+}  // namespace
+}  // namespace scalecheck
