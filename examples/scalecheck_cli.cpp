@@ -20,10 +20,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/faults/fault_search.h"
 #include "src/scalecheck/bug_catalog.h"
 #include "src/scalecheck/experiment_suite.h"
 #include "src/scalecheck/scale_check.h"
@@ -46,6 +49,12 @@ struct CliOptions {
   double guard_lateness_p99_ms = 0.0;
   bool have_replay_policy = false;
   ReplayPolicy replay_policy = ReplayPolicy::kFallbackToModelled;
+  // ---- ChaosSearch ----------------------------------------------------------
+  int search_budget = 32;
+  uint64_t search_seed = 0xc4a05ULL;
+  bool plant_bug = false;
+  std::string repro_out;  // --mode=search: save the repro artifact here
+  std::string repro;      // replay an artifact instead of running a scenario
 };
 
 bool ParseReplayPolicy(const char* name, ReplayPolicy* out) {
@@ -96,6 +105,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
         return false;
       }
       out->have_replay_policy = true;
+    } else if (const char* budget = value_of("--search-budget=")) {
+      out->search_budget = std::atoi(budget);
+      if (out->search_budget < 1) {
+        std::fprintf(stderr, "--search-budget needs a positive value\n");
+        return false;
+      }
+    } else if (const char* sseed = value_of("--search-seed=")) {
+      out->search_seed = std::strtoull(sseed, nullptr, 0);
+    } else if (const char* path = value_of("--repro-out=")) {
+      out->repro_out = path;
+    } else if (const char* path = value_of("--repro=")) {
+      out->repro = path;
+    } else if (arg == "--plant-bug") {
+      out->plant_bug = true;
     } else if (arg == "--trace") {
       out->trace = true;
     } else if (arg == "--json") {
@@ -119,23 +142,35 @@ void Usage() {
       "usage: scalecheck_cli [--bug=ID] [--mode=M] [--nodes=N] [--seed=S]\n"
       "                      [--jobs=J] [--faults=PLAN] [--trace] [--json]\n"
       "                      [--guard-lateness-p99-ms=MS] [--replay-policy=P]\n"
+      "                      [--search-budget=B] [--search-seed=S] [--plant-bug]\n"
+      "                      [--repro-out=FILE] [--repro=FILE]\n"
       "  bugs: %s\n"
-      "  modes: real colo memoize replay full\n"
+      "  modes: real colo memoize replay full search\n"
       "  fault plans: none standard-chaos partition crash-restart slow-node\n"
       "               memory-pressure\n"
       "  --guard-lateness-p99-ms=MS  fidelity budget: p99 event lateness above\n"
       "                              MS ms invalidates the run (degraded at MS/2)\n"
       "  --replay-policy=P           strict | warn | fallback — what a replay\n"
       "                              divergence does (strict aborts + invalid)\n"
-      "exit codes: 0 ok, 1 runtime error, 2 usage, 3 fidelity verdict invalid\n",
+      "  --mode=search               ChaosSearch: explore seed-deterministic\n"
+      "                              fault plans, score by invariant violations,\n"
+      "                              shrink the first hit to a minimal reproducer\n"
+      "  --search-budget=B           candidate plans to try (default 32)\n"
+      "  --search-seed=S             seed for plan generation (not the sim seed)\n"
+      "  --plant-bug                 plant the recovery bug the search smoke\n"
+      "                              must find (see CheckOptions)\n"
+      "  --repro-out=FILE            search: write the repro artifact here\n"
+      "  --repro=FILE                replay an artifact; must reproduce the\n"
+      "                              identical violation report\n"
+      "exit codes: 0 ok, 1 runtime error, 2 usage, 3 fidelity verdict invalid,\n"
+      "            4 invariant violation\n",
       bugs.c_str());
 }
 
-// Exit code for a finished run: 3 flags an invalid fidelity verdict so CI
-// gates can reject untrustworthy colocation results without parsing JSON.
-int VerdictExitCode(const RunResult& result) {
-  return result.fidelity.verdict == FidelityVerdict::kInvalid ? 3 : 0;
-}
+// Exit code for a finished run (RunExitCode): 4 flags an invariant violation,
+// 3 an invalid fidelity verdict — so CI gates can reject broken clusters and
+// untrustworthy colocation results without parsing JSON.
+int VerdictExitCode(const RunResult& result) { return RunExitCode(result); }
 
 int RunOne(const BugSpec& spec, const CliOptions& cli, RunMode mode) {
   std::string memo_path = "/tmp/scalecheck_" + spec.id + ".memo";
@@ -198,6 +233,86 @@ int RunOne(const BugSpec& spec, const CliOptions& cli, RunMode mode) {
   return VerdictExitCode(result);
 }
 
+// --repro=FILE: re-execute a ChaosSearch artifact. The replayed run must
+// reach the byte-identical InvariantReport the artifact recorded; any
+// mismatch is a hard error (1), a reproduced violation exits 4.
+int RunRepro(const CliOptions& cli) {
+  std::ifstream in(cli.repro);
+  if (!in) {
+    std::fprintf(stderr, "cannot read repro artifact %s\n", cli.repro.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  Result<ReproReplay> replay = ReplayRepro(text.str());
+  if (!replay.ok()) {
+    std::fprintf(stderr, "repro artifact rejected: %s\n",
+                 replay.status().ToString().c_str());
+    return 1;
+  }
+  const ReproReplay& out = replay.value();
+  if (cli.json) {
+    std::printf("%s\n", out.result.ToJson().c_str());
+  } else {
+    std::printf("%s\n", out.result.Summary().c_str());
+  }
+  if (!out.invariants_match) {
+    std::fprintf(stderr,
+                 "repro FAILED: replayed invariant report differs from the "
+                 "artifact (expected %s)\n",
+                 Join(out.expected_violated, ",").c_str());
+    return 1;
+  }
+  if (!cli.json) {
+    std::printf("repro OK: reproduced [%s] byte-identically\n",
+                Join(out.expected_violated, ",").c_str());
+  }
+  return VerdictExitCode(out.result);
+}
+
+int RunSearch(const BugSpec& spec, const CliOptions& cli) {
+  FaultSearchConfig config;
+  config.spec = spec;
+  config.nodes = cli.nodes;
+  config.mode = RunMode::kColocated;
+  config.seed = cli.seed;
+  config.search_seed = cli.search_seed;
+  config.budget = cli.search_budget;
+  config.generation_size = std::min(8, cli.search_budget);
+  config.jobs = cli.jobs;
+  FaultSearchReport report = FaultSearch(config).Run();
+  if (cli.json) {
+    std::printf("%s\n", report.ToJson().c_str());
+  } else {
+    std::printf("search: %zu candidates, baseline flaps %lld\n",
+                report.candidates.size(),
+                static_cast<long long>(report.baseline_flaps));
+    if (report.found_violation) {
+      std::printf("violation found: candidate %d violates [%s]\n",
+                  report.violating_index, Join(report.violated, ",").c_str());
+      std::printf("minimized: %zu event(s) (from %zu) in %d shrink runs\n",
+                  report.minimized_plan.events.size(),
+                  report.violating_plan.events.size(), report.minimize_runs);
+      std::printf("%s\n", report.minimized_plan.Describe().c_str());
+    } else {
+      std::printf("no invariant violation within budget\n");
+    }
+  }
+  if (report.found_violation && !cli.repro_out.empty()) {
+    std::ofstream out(cli.repro_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write repro artifact %s\n",
+                   cli.repro_out.c_str());
+      return 1;
+    }
+    out << report.repro_json << "\n";
+    if (!cli.json) {
+      std::printf("repro artifact -> %s\n", cli.repro_out.c_str());
+    }
+  }
+  return report.found_violation ? 4 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -206,6 +321,9 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &cli)) {
     Usage();
     return 2;
+  }
+  if (!cli.repro.empty()) {
+    return RunRepro(cli);
   }
   const BugSpec* catalog_spec = BugCatalog::TryGet(cli.bug);
   if (catalog_spec == nullptr) {
@@ -226,6 +344,9 @@ int main(int argc, char** argv) {
   if (cli.have_replay_policy) {
     spec.replay_policy = cli.replay_policy;
   }
+  if (cli.plant_bug) {
+    spec.check.plant_left_join_bug = true;
+  }
   if (!cli.json) {
     std::printf("%s: %s\n", spec.id.c_str(), spec.description.c_str());
     if (!spec.fault_plan.empty() && spec.fault_plan != "none") {
@@ -234,6 +355,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (cli.mode == "search") {
+    return RunSearch(spec, cli);
+  }
   if (cli.mode == "real") {
     return RunOne(spec, cli, RunMode::kRealScale);
   }

@@ -20,11 +20,14 @@ BUILD_DIR="${1:-build-${SANITIZER:0:1}san}"
 # scalecheck_selfheal_test exercises the watchdog/retry/quarantine path with
 # jobs=4 (aborted Simulator::Run + MemoStore snapshot restore across worker
 # threads); sim_fidelity_guard_test and pil_replay_policy_test cover the guard
-# probes and the strict-abort seam those retries depend on.
+# probes and the strict-abort seam those retries depend on;
+# faults_search_test drives the ChaosSearch executor (per-generation suite
+# grids at jobs=4, including the jobs=1-vs-4 byte-identity check).
 TARGETS=(scalecheck_suite_test common_thread_pool_test
          faults_test faults_determinism_test sim_sync_crash_test
          scalecheck_selfheal_test sim_fidelity_guard_test
-         pil_replay_policy_test pil_memo_corruption_test)
+         pil_replay_policy_test pil_memo_corruption_test
+         faults_search_test)
 
 cmake -B "$BUILD_DIR" -S . -DSCALECHECK_SANITIZE="$SANITIZER" >/dev/null
 cmake --build "$BUILD_DIR" --target "${TARGETS[@]}" -j"$(nproc)"

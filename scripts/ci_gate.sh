@@ -3,13 +3,16 @@
 #
 #   scripts/ci_gate.sh [build-dir]        # default build/
 #
-# Three legs:
+# Four legs:
 #   1. full build + ctest (the tier-1 suite),
 #   2. perf_simcore --smoke (deterministic hot-path assertions, no wall-clock
 #      thresholds, so it cannot flake on loaded CI hosts),
 #   3. fidelity-guard exit-code contract: scalecheck_cli must exit 3 — and
 #      only 3 — when a run's verdict is invalid, so downstream automation can
-#      reject untrustworthy colocation results without parsing JSON.
+#      reject untrustworthy colocation results without parsing JSON,
+#   4. ChaosSearch smoke: a pinned-seed bounded search must find the planted
+#      left-join bug, shrink it to a <=3-event reproducer, and the emitted
+#      repro artifact must replay to the identical violation (exit 4).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -55,4 +58,36 @@ if [[ "$code" -ne 2 ]]; then
   exit 1
 fi
 
-echo "OK: build, tier-1 tests, perf smoke, and guard exit-code contract all pass"
+echo "== chaos-search smoke =="
+REPRO="$BUILD_DIR/chaos_smoke_repro.json"
+rm -f "$REPRO"
+
+# A bounded pinned-seed search against the planted left-join bug must find
+# the violation (exit 4), and the minimizer must shrink the schedule to at
+# most 3 events.
+set +e
+out="$("$CLI" --bug=C3831 --mode=search --nodes=12 --plant-bug \
+  --search-budget=8 --jobs=4 --json --repro-out="$REPRO")"
+code=$?
+set -e
+if [[ "$code" -ne 4 ]]; then
+  echo "FAIL: chaos search exited $code, expected 4 (violation found)" >&2
+  exit 1
+fi
+minimized="$(sed -n 's/.*"minimized_events":\([0-9]*\).*/\1/p' <<<"$out")"
+if [[ -z "$minimized" || "$minimized" -lt 1 || "$minimized" -gt 3 ]]; then
+  echo "FAIL: minimized reproducer has ${minimized:-?} events, expected 1..3" >&2
+  exit 1
+fi
+
+# The emitted artifact replays to the byte-identical violation, still exit 4.
+set +e
+"$CLI" --repro="$REPRO" >/dev/null
+code=$?
+set -e
+if [[ "$code" -ne 4 ]]; then
+  echo "FAIL: repro replay exited $code, expected 4" >&2
+  exit 1
+fi
+
+echo "OK: build, tier-1 tests, perf smoke, guard exit codes, and chaos-search smoke all pass"

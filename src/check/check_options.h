@@ -1,0 +1,44 @@
+// Configuration for the runtime invariant checker (src/check/invariants.h).
+//
+// Lives in its own header so ClusterConfig can embed it without pulling the
+// checker implementation (and its Node introspection) into every config
+// consumer.
+
+#ifndef SCALECHECK_SRC_CHECK_CHECK_OPTIONS_H_
+#define SCALECHECK_SRC_CHECK_CHECK_OPTIONS_H_
+
+#include "src/common/types.h"
+
+namespace scalecheck {
+
+struct CheckOptions {
+  // Master switch: when false the cluster creates no registry and RunResult's
+  // invariants block reports checked=false.
+  bool enabled = true;
+
+  // Virtual-time probe cadence. Probes are deterministic model inspections
+  // (no messages, no CPU charge), so the cadence only trades detection
+  // latency against event count.
+  VirtualDuration probe_period = VirtualDuration::Seconds(10);
+
+  // Convergence-style invariants (gossip convergence, zombie endpoints) only
+  // fire this long after the last fault healed AND after the relevant
+  // membership transition was first observed — dissemination takes O(log N)
+  // gossip rounds, and flagging a cluster that was never given time to
+  // converge would be noise, not a bug. Must stay below the cluster's
+  // post-settlement cooldown (40s) so quiesced runs always get at least one
+  // gated probe.
+  VirtualDuration convergence_grace = VirtualDuration::Seconds(30);
+
+  // Test-only planted bug (the ChaosSearch smoke target): a node that first
+  // learns about an endpoint through a LEFT status treats it as a join and
+  // adds its tokens to the ring — the classic "fresh view mishandles
+  // tombstone state" recovery bug. A restarted node re-learns every endpoint
+  // from scratch, so a crash after a completed decommission resurrects the
+  // decommissioned node in the restarted node's ring: a zombie endpoint.
+  bool plant_left_join_bug = false;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_CHECK_CHECK_OPTIONS_H_

@@ -1,0 +1,400 @@
+#include "src/check/invariants.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/cluster/node.h"
+#include "src/common/check.h"
+#include "src/common/strings.h"
+#include "src/kv/kv_history.h"
+
+namespace scalecheck {
+
+std::vector<std::string> InvariantReport::ViolatedNames() const {
+  std::vector<std::string> names;
+  names.reserve(violations.size());
+  for (const InvariantViolation& v : violations) names.push_back(v.invariant);
+  return names;
+}
+
+void InvariantReport::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("checked", checked);
+  w->Field("probes", probes);
+  w->Field("kv_checked", kv_checked);
+  w->Field("ok", ok());
+  w->Key("violations").BeginArray();
+  for (const InvariantViolation& v : violations) {
+    w->BeginObject();
+    w->Field("invariant", v.invariant);
+    w->Field("first_at_ns", v.first_at.nanos());
+    w->Field("count", v.count);
+    w->Field("detail", v.detail);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+std::string InvariantReport::ToJson() const {
+  JsonWriter w;
+  WriteJson(&w);
+  return w.str();
+}
+
+namespace {
+
+// Gate shared by every membership-sensitive checker: the node is running and
+// participating.
+bool Running(const Node* node) { return !node->crashed() && node->started(); }
+
+// ---- ring-ownership ---------------------------------------------------------
+
+class RingOwnershipInvariant : public Invariant {
+ public:
+  const char* name() const override { return "ring-ownership"; }
+
+  void Probe(const InvariantContext& ctx, InvariantRegistry* sink) override {
+    for (const Node* viewer : *ctx.nodes) {
+      if (!Running(viewer) || !viewer->IsSettledView()) continue;
+      for (const Node* subject : *ctx.nodes) {
+        if (!Running(subject) || subject->my_status() != StatusKind::kNormal) {
+          continue;
+        }
+        if (!viewer->ring().HasNode(subject->id())) continue;
+        std::vector<Token> seen = viewer->ring().TokensOf(subject->id());
+        std::vector<Token> truth = subject->my_tokens();
+        std::sort(seen.begin(), seen.end());
+        std::sort(truth.begin(), truth.end());
+        if (seen != truth) {
+          sink->ReportViolation(
+              name(), ctx.now,
+              StrFormat("node %lld's ring assigns node %lld %zu tokens, "
+                        "owner holds %zu",
+                        static_cast<long long>(viewer->id()),
+                        static_cast<long long>(subject->id()), seen.size(),
+                        truth.size()));
+        }
+      }
+    }
+  }
+};
+
+// ---- gossip-convergence -----------------------------------------------------
+
+class GossipConvergenceInvariant : public Invariant {
+ public:
+  const char* name() const override { return "gossip-convergence"; }
+
+  void Probe(const InvariantContext& ctx, InvariantRegistry* sink) override {
+    const VirtualDuration grace = sink->options().convergence_grace;
+    if (ctx.now < ctx.fault_quiet_at + grace) return;
+    // Participants: NORMAL, running, and stable in this incarnation long
+    // enough that dissemination must have completed.
+    std::vector<const Node*> stable;
+    for (const Node* node : *ctx.nodes) {
+      if (!Running(node) || node->my_status() != StatusKind::kNormal) continue;
+      auto it = sink->tracks().find(node->id());
+      if (it == sink->tracks().end() || !it->second.has_normal_since) continue;
+      if (ctx.now < it->second.normal_since + grace) continue;
+      stable.push_back(node);
+    }
+    for (const Node* viewer : stable) {
+      for (const Node* subject : stable) {
+        if (viewer == subject) continue;
+        if (!viewer->gossiper().IsAlive(subject->id())) {
+          sink->ReportViolation(
+              name(), ctx.now,
+              StrFormat("node %lld still considers live node %lld dead %llds "
+                        "after fault quiescence",
+                        static_cast<long long>(viewer->id()),
+                        static_cast<long long>(subject->id()),
+                        static_cast<long long>(
+                            (ctx.now - ctx.fault_quiet_at).seconds())));
+        }
+      }
+    }
+  }
+};
+
+// ---- zombie-endpoint --------------------------------------------------------
+
+class ZombieEndpointInvariant : public Invariant {
+ public:
+  const char* name() const override { return "zombie-endpoint"; }
+
+  void Probe(const InvariantContext& ctx, InvariantRegistry* sink) override {
+    const VirtualDuration grace = sink->options().convergence_grace;
+    for (const Node* target : *ctx.nodes) {
+      if (target->crashed() || !target->started()) continue;
+      StatusKind status = target->my_status();
+      if (status != StatusKind::kLeft && status != StatusKind::kRemoved) {
+        continue;
+      }
+      auto it = sink->tracks().find(target->id());
+      if (it == sink->tracks().end() || !it->second.has_left_seen) continue;
+      VirtualTime quiet = std::max(ctx.fault_quiet_at, it->second.left_seen_at);
+      if (ctx.now < quiet + grace) continue;
+      for (const Node* viewer : *ctx.nodes) {
+        if (viewer == target || !Running(viewer) || !viewer->IsSettledView()) {
+          continue;
+        }
+        if (viewer->ring().HasNode(target->id())) {
+          sink->ReportViolation(
+              name(), ctx.now,
+              StrFormat("node %lld's ring still contains node %lld, which "
+                        "completed decommission",
+                        static_cast<long long>(viewer->id()),
+                        static_cast<long long>(target->id())));
+        }
+      }
+    }
+  }
+};
+
+// ---- generation-monotonic ---------------------------------------------------
+
+class GenVersionMonotonicInvariant : public Invariant {
+ public:
+  const char* name() const override { return "generation-monotonic"; }
+
+  void Probe(const InvariantContext& ctx, InvariantRegistry* sink) override {
+    for (const Node* viewer : *ctx.nodes) {
+      if (!Running(viewer)) continue;
+      int64_t viewer_gen =
+          viewer->gossiper().LocalState().heartbeat().generation;
+      PerViewer& mine = seen_[viewer->id()];
+      if (mine.viewer_generation != viewer_gen) {
+        // The viewer restarted: its endpoint map was rebuilt from scratch, so
+        // old observations no longer constrain it.
+        mine.viewer_generation = viewer_gen;
+        mine.last.clear();
+      }
+      for (const auto& [ep, state] : viewer->gossiper().endpoints()) {
+        HeartbeatState hb = state.heartbeat();
+        int64_t max_version = state.MaxVersion();
+        auto it = mine.last.find(ep);
+        if (it != mine.last.end()) {
+          if (hb.generation < it->second.generation) {
+            sink->ReportViolation(
+                name(), ctx.now,
+                StrFormat("node %lld saw node %lld's generation move "
+                          "backwards (%lld -> %lld)",
+                          static_cast<long long>(viewer->id()),
+                          static_cast<long long>(ep),
+                          static_cast<long long>(it->second.generation),
+                          static_cast<long long>(hb.generation)));
+          } else if (hb.generation == it->second.generation &&
+                     max_version < it->second.version) {
+            sink->ReportViolation(
+                name(), ctx.now,
+                StrFormat("node %lld saw node %lld's version move backwards "
+                          "(%lld -> %lld) within generation %lld",
+                          static_cast<long long>(viewer->id()),
+                          static_cast<long long>(ep),
+                          static_cast<long long>(it->second.version),
+                          static_cast<long long>(max_version),
+                          static_cast<long long>(hb.generation)));
+          }
+        }
+        mine.last[ep] = HeartbeatState{hb.generation, max_version};
+      }
+    }
+  }
+
+ private:
+  struct PerViewer {
+    int64_t viewer_generation = -1;
+    std::map<NodeId, HeartbeatState> last;  // generation + max version
+  };
+  std::map<NodeId, PerViewer> seen_;
+};
+
+// ---- kv-history -------------------------------------------------------------
+
+// Verifies the linear client history: an acknowledged write must stay
+// visible. A read R of key k returning v is legal iff some write W with value
+// v (issue order irrelevant) is not superseded — no OK write W2 exists with
+// W.concluded_at < W2.issued_at and W2.concluded_at < R.issued_at. An empty
+// read is legal iff no OK write concluded before R was issued. Ops concurrent
+// with each other (overlapping issue..conclude windows) are unordered, so the
+// check never flags legitimate races — only acknowledged state that later
+// vanished.
+class KvHistoryInvariant : public Invariant {
+ public:
+  const char* name() const override { return "kv-history"; }
+
+  void Probe(const InvariantContext& ctx, InvariantRegistry* sink) override {
+    if (!ctx.kv_checkable || ctx.history == nullptr) return;
+    const KvHistory& h = *ctx.history;
+    const auto& ops = h.ops();
+    // Index newly issued writes.
+    for (; issue_watermark_ < ops.size(); ++issue_watermark_) {
+      const KvOpRecord& rec = ops[issue_watermark_];
+      if (rec.is_write) writes_by_key_[rec.key].push_back(rec.id);
+    }
+    // Validate newly concluded reads. Conclusions are processed in order, so
+    // every write a read could observe is already indexed (it was issued
+    // before the read concluded).
+    const auto& order = h.conclusion_order();
+    for (; conclude_watermark_ < order.size(); ++conclude_watermark_) {
+      const KvOpRecord& rec = ops[order[conclude_watermark_]];
+      if (!rec.is_write && rec.outcome == KvOutcome::kOk) {
+        CheckRead(rec, ops, sink);
+      }
+    }
+  }
+
+ private:
+  void CheckRead(const KvOpRecord& read, const std::vector<KvOpRecord>& ops,
+                 InvariantRegistry* sink) {
+    auto it = writes_by_key_.find(read.key);
+    const std::vector<uint64_t> empty;
+    const std::vector<uint64_t>& write_ids =
+        it == writes_by_key_.end() ? empty : it->second;
+
+    if (read.result_value.empty()) {
+      for (uint64_t wid : write_ids) {
+        const KvOpRecord& w = ops[wid];
+        if (w.concluded && w.outcome == KvOutcome::kOk &&
+            w.concluded_at < read.issued_at) {
+          sink->ReportViolation(
+              name(), read.concluded_at,
+              StrFormat("read op %llu of key %llu returned empty, but write "
+                        "op %llu was acknowledged before the read was issued",
+                        static_cast<unsigned long long>(read.id),
+                        static_cast<unsigned long long>(read.key),
+                        static_cast<unsigned long long>(w.id)));
+          return;
+        }
+      }
+      return;
+    }
+
+    bool matched = false;
+    bool legal = false;
+    uint64_t superseded_by = 0;
+    for (uint64_t wid : write_ids) {
+      const KvOpRecord& w = ops[wid];
+      if (w.value != read.result_value) continue;
+      matched = true;
+      bool superseded = false;
+      if (w.concluded) {
+        for (uint64_t wid2 : write_ids) {
+          const KvOpRecord& w2 = ops[wid2];
+          if (w2.id == w.id || !w2.concluded ||
+              w2.outcome != KvOutcome::kOk) {
+            continue;
+          }
+          if (w.concluded_at < w2.issued_at &&
+              w2.concluded_at < read.issued_at) {
+            superseded = true;
+            superseded_by = w2.id;
+            break;
+          }
+        }
+      }
+      if (!superseded) {
+        legal = true;
+        break;
+      }
+    }
+    if (!matched) {
+      sink->ReportViolation(
+          name(), read.concluded_at,
+          StrFormat("read op %llu of key %llu returned a value no write ever "
+                    "wrote",
+                    static_cast<unsigned long long>(read.id),
+                    static_cast<unsigned long long>(read.key)));
+    } else if (!legal) {
+      sink->ReportViolation(
+          name(), read.concluded_at,
+          StrFormat("read op %llu of key %llu returned a value superseded by "
+                    "acknowledged write op %llu (lost acknowledged write)",
+                    static_cast<unsigned long long>(read.id),
+                    static_cast<unsigned long long>(read.key),
+                    static_cast<unsigned long long>(superseded_by)));
+    }
+  }
+
+  size_t issue_watermark_ = 0;
+  size_t conclude_watermark_ = 0;
+  std::map<uint64_t, std::vector<uint64_t>> writes_by_key_;
+};
+
+}  // namespace
+
+InvariantRegistry::InvariantRegistry(CheckOptions options)
+    : options_(options) {}
+
+InvariantRegistry::~InvariantRegistry() = default;
+
+void InvariantRegistry::AddBuiltins() {
+  Add(std::make_unique<RingOwnershipInvariant>());
+  Add(std::make_unique<GossipConvergenceInvariant>());
+  Add(std::make_unique<ZombieEndpointInvariant>());
+  Add(std::make_unique<GenVersionMonotonicInvariant>());
+  Add(std::make_unique<KvHistoryInvariant>());
+}
+
+void InvariantRegistry::Add(std::unique_ptr<Invariant> invariant) {
+  invariants_.push_back(std::move(invariant));
+}
+
+void InvariantRegistry::UpdateTracks(const InvariantContext& ctx) {
+  for (const Node* node : *ctx.nodes) {
+    NodeTrack& track = tracks_[node->id()];
+    bool crashed = node->crashed();
+    int64_t generation =
+        node->gossiper().LocalState().heartbeat().generation;
+    if (!track.seen || crashed || generation != track.generation) {
+      // New incarnation (or mid-crash): stability clocks restart.
+      track.has_normal_since = false;
+    }
+    track.seen = true;
+    track.crashed = crashed;
+    track.generation = generation;
+    track.status = node->my_status();
+    if (!crashed && node->started() &&
+        track.status == StatusKind::kNormal && !track.has_normal_since) {
+      track.has_normal_since = true;
+      track.normal_since = ctx.now;
+    }
+    if ((track.status == StatusKind::kLeft ||
+         track.status == StatusKind::kRemoved) &&
+        !track.has_left_seen) {
+      track.has_left_seen = true;
+      track.left_seen_at = ctx.now;
+    }
+  }
+}
+
+void InvariantRegistry::Probe(const InvariantContext& ctx) {
+  CHECK(ctx.nodes != nullptr);
+  report_.checked = true;
+  report_.kv_checked = ctx.kv_checkable && ctx.history != nullptr;
+  ++report_.probes;
+  UpdateTracks(ctx);
+  for (const std::unique_ptr<Invariant>& invariant : invariants_) {
+    invariant->Probe(ctx, this);
+  }
+}
+
+void InvariantRegistry::ReportViolation(const std::string& invariant,
+                                        VirtualTime at,
+                                        const std::string& detail) {
+  for (InvariantViolation& v : report_.violations) {
+    if (v.invariant == invariant) {
+      ++v.count;
+      return;
+    }
+  }
+  InvariantViolation v;
+  v.invariant = invariant;
+  v.first_at = at;
+  v.detail = detail;
+  v.count = 1;
+  report_.violations.push_back(std::move(v));
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,143 @@
+// Runtime invariant checking over live cluster state.
+//
+// A FaultPlan tells us what we did to the cluster; these invariants tell us
+// whether the cluster stayed *correct* — the judgment ChaosSearch optimizes
+// against. The registry is probed on a virtual-time cadence by the Cluster
+// (plus once at run end); probes are pure inspections of deterministic model
+// state (no messages, no CPU charge), so the resulting report is part of the
+// byte-identical-JSON determinism contract and survives memoize/replay.
+//
+// Built-in invariants (AddBuiltins):
+//   ring-ownership       every live settled node's ring view assigns each
+//                        live NORMAL member exactly the member's own durable
+//                        token set (token ranges owned by who should own them)
+//   gossip-convergence   after faults quiesce and a grace period, every live
+//                        NORMAL node sees every other live NORMAL node alive
+//   zombie-endpoint      a node that completed decommission (LEFT/REMOVED)
+//                        must leave every live settled ring view
+//   generation-monotonic a viewer's record of a peer's (generation, max
+//                        version) never moves backwards within the viewer's
+//                        own incarnation
+//   kv-history           the recorded client op history satisfies
+//                        read-your-writes / no-lost-acknowledged-writes
+//                        (only on workloads that preserve key ownership; the
+//                        simulator has no data-streaming model, so membership
+//                        changes legitimately strand acked data)
+
+#ifndef SCALECHECK_SRC_CHECK_INVARIANTS_H_
+#define SCALECHECK_SRC_CHECK_INVARIANTS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/check/check_options.h"
+#include "src/common/types.h"
+#include "src/gossip/endpoint_state.h"
+
+namespace scalecheck {
+
+class JsonWriter;
+class KvHistory;
+class Node;
+
+// Aggregated sighting of one invariant: the virtual time and detail of the
+// first violation plus how many sightings followed (a persistent zombie is
+// re-seen every probe; count separates transient from sticky).
+struct InvariantViolation {
+  std::string invariant;
+  VirtualTime first_at;
+  std::string detail;  // first sighting's detail
+  int64_t count = 0;
+};
+
+struct InvariantReport {
+  bool checked = false;
+  uint64_t probes = 0;
+  bool kv_checked = false;
+  // One entry per violated invariant name, in first-violation order.
+  std::vector<InvariantViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::vector<std::string> ViolatedNames() const;
+  void WriteJson(JsonWriter* w) const;
+  std::string ToJson() const;
+};
+
+// What the registry learned about each node across probes; shared scaffolding
+// for the incarnation- and transition-aware gates above.
+struct NodeTrack {
+  bool seen = false;
+  bool crashed = false;
+  int64_t generation = 0;  // node's own gossip generation (bumps on restart)
+  StatusKind status = StatusKind::kUnknown;
+  // First probe that saw this node NORMAL under its current incarnation;
+  // cleared by crash or generation bump.
+  bool has_normal_since = false;
+  VirtualTime normal_since;
+  // First probe that saw this node LEFT/REMOVED (never cleared: tombstones
+  // are permanent).
+  bool has_left_seen = false;
+  VirtualTime left_seen_at;
+};
+
+class InvariantRegistry;
+
+struct InvariantContext {
+  VirtualTime now;
+  // All cluster nodes in id order (crashed ones included; checkers filter).
+  const std::vector<const Node*>* nodes = nullptr;
+  int replication_factor = 3;
+  // Virtual instant the last scheduled fault heals (Zero when no faults).
+  VirtualTime fault_quiet_at;
+  // True when the run's workload preserves key ownership (see kv-history).
+  bool kv_checkable = false;
+  const KvHistory* history = nullptr;
+};
+
+class Invariant {
+ public:
+  virtual ~Invariant() = default;
+  virtual const char* name() const = 0;
+  // Inspect ctx and report violations through the registry. Must be
+  // deterministic: iterate ordered containers only.
+  virtual void Probe(const InvariantContext& ctx, InvariantRegistry* sink) = 0;
+};
+
+class InvariantRegistry {
+ public:
+  explicit InvariantRegistry(CheckOptions options);
+  ~InvariantRegistry();
+  InvariantRegistry(const InvariantRegistry&) = delete;
+  InvariantRegistry& operator=(const InvariantRegistry&) = delete;
+
+  // Registers the five built-in invariants documented above.
+  void AddBuiltins();
+  void Add(std::unique_ptr<Invariant> invariant);
+
+  // Updates node tracks, then dispatches every registered invariant.
+  void Probe(const InvariantContext& ctx);
+
+  // Aggregates into the report keyed by invariant name: first sighting wins
+  // the timestamp/detail, later sightings bump the count.
+  void ReportViolation(const std::string& invariant, VirtualTime at,
+                       const std::string& detail);
+
+  const InvariantReport& report() const { return report_; }
+  const CheckOptions& options() const { return options_; }
+  const std::map<NodeId, NodeTrack>& tracks() const { return tracks_; }
+
+ private:
+  void UpdateTracks(const InvariantContext& ctx);
+
+  CheckOptions options_;
+  InvariantReport report_;
+  std::vector<std::unique_ptr<Invariant>> invariants_;
+  std::map<NodeId, NodeTrack> tracks_;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_CHECK_INVARIANTS_H_

@@ -168,6 +168,15 @@ void Cluster::BuildDeployment() {
     guard_ = std::make_unique<FidelityGuard>(sim_.get(), machines_.get(), cfg.guard);
   }
 
+  // ---- Invariant checker ---------------------------------------------------
+  if (cfg.check.enabled) {
+    invariants_ = std::make_unique<InvariantRegistry>(cfg.check);
+    invariants_->AddBuiltins();
+    if (cfg.enable_kv) {
+      kv_history_ = std::make_unique<KvHistory>();
+    }
+  }
+
   if (options_.shared_output_cache == nullptr) {
     owned_output_cache_ = std::make_unique<CalcOutputCache>();
   }
@@ -199,6 +208,7 @@ void Cluster::BuildDeployment() {
   env_.calc_invocations = &calc_invocations_;
   env_.calc_executed_real = &calc_executed_real_;
   env_.profile_hook = options_.profile_hook;
+  env_.kv_history = kv_history_.get();
 
   // ---- Nodes -------------------------------------------------------------------
   Rng node_seeds(HashCombine(cfg.seed, 0xc1057e70ULL));
@@ -485,9 +495,15 @@ RunResult Cluster::Run() {
           }
         };
         if (kv_rng_->Bernoulli(0.3)) {
-          coordinator->kv()->Write(
-              key, std::string(static_cast<size_t>(options_.kv_value_bytes), 'v'),
-              done);
+          // Unique per-write values (padded to the configured size) so the
+          // KV history checker can attribute any read result to exactly one
+          // write.
+          std::string value =
+              StrFormat("v%lld.", static_cast<long long>(kv_issued_));
+          if (value.size() < static_cast<size_t>(options_.kv_value_bytes)) {
+            value.resize(static_cast<size_t>(options_.kv_value_bytes), 'v');
+          }
+          coordinator->kv()->Write(key, std::move(value), done);
         } else {
           coordinator->kv()->Read(key, done);
         }
@@ -516,24 +532,66 @@ RunResult Cluster::Run() {
       });
   checker->Start(VirtualDuration::Seconds(5));
 
+  // Invariant probing on its own virtual-time cadence (deterministic model
+  // inspection; no messages, no CPU charge).
+  std::unique_ptr<PeriodicTimer> invariant_timer;
+  if (invariants_ != nullptr) {
+    invariant_timer = std::make_unique<PeriodicTimer>(
+        sim_.get(), options_.config.check.probe_period,
+        [this] { ProbeInvariants(); });
+    invariant_timer->Start(options_.config.check.probe_period);
+  }
+
   if (guard_ != nullptr) {
     guard_->Arm();
   }
   sim_->SetWallBudget(options_.wall_budget_seconds);
   sim_->Run(horizon);
   checker->Stop();
+  if (invariant_timer != nullptr) {
+    invariant_timer->Stop();
+  }
   if (guard_ != nullptr) {
     guard_->Disarm();
     // Final sample at the stop instant, so budgets crossed in the last probe
     // period are still observed.
     guard_->Probe();
   }
+  // Final invariant probe at the stop instant (post-cooldown state: anything
+  // still violated here is sticky, not transitional).
+  ProbeInvariants();
   run_timer.reset();
 
   SimProfiler::Timed collect_timer(options_.profiler, SimProfiler::kPhaseCollect);
   RunResult result;
   CollectResult(&result);
   return result;
+}
+
+void Cluster::ProbeInvariants() {
+  if (invariants_ == nullptr) {
+    return;
+  }
+  if (node_view_.size() != nodes_.size()) {
+    node_view_.clear();
+    node_view_.reserve(nodes_.size());
+    for (const auto& node : nodes_) {
+      node_view_.push_back(node.get());
+    }
+  }
+  const WorkloadSpec& wl = options_.workload;
+  InvariantContext ctx;
+  ctx.now = sim_->Now();
+  ctx.nodes = &node_view_;
+  ctx.replication_factor = options_.config.replication_factor;
+  ctx.fault_quiet_at = VirtualTime::Zero() + options_.faults.End();
+  // The KV history checker is only sound on workloads that preserve key
+  // ownership: the simulator has no data-streaming model, so a membership
+  // change legitimately strands acknowledged data on the old replicas.
+  ctx.kv_checkable = wl.kind == WorkloadKind::kSteadyState ||
+                     wl.kind == WorkloadKind::kFailover;
+  ctx.history = kv_history_.get();
+  invariants_->Probe(ctx);
 }
 
 void Cluster::CollectResult(RunResult* result) const {
@@ -609,6 +667,9 @@ void Cluster::CollectResult(RunResult* result) const {
                               options_.wall_budget_seconds, sim_->Now());
     }
     result->fidelity = guard_->report();
+  }
+  if (invariants_ != nullptr) {
+    result->invariants = invariants_->report();
   }
 
   result->calc_invocations = calc_invocations_;

@@ -8,10 +8,12 @@
 #include <memory>
 #include <vector>
 
+#include "src/check/invariants.h"
 #include "src/cluster/config.h"
 #include "src/cluster/node.h"
 #include "src/cluster/run_result.h"
 #include "src/cluster/workload.h"
+#include "src/kv/kv_history.h"
 #include "src/faults/fault_injector.h"
 #include "src/faults/fault_plan.h"
 #include "src/gossip/flap_counter.h"
@@ -83,11 +85,16 @@ class Cluster {
   PilFunctionId bootstrap_function() const { return bootstrap_function_; }
   const PendingRangeCalculator* calculator() const { return calculator_.get(); }
   const PendingRangeCalculator* bootstrap_calc() const { return bootstrap_calc_.get(); }
+  // Non-null iff config.check.enabled.
+  const InvariantRegistry* invariants() const { return invariants_.get(); }
+  // Non-null iff config.check.enabled && config.enable_kv.
+  const KvHistory* kv_history() const { return kv_history_.get(); }
 
  private:
   void BuildDeployment();
   void ScheduleWorkload();
   bool WorkloadSettled() const;
+  void ProbeInvariants();
   void CollectResult(RunResult* result) const;
 
   Options options_;
@@ -105,6 +112,9 @@ class Cluster {
   std::unique_ptr<PendingRangeCalculator> bootstrap_calc_;
   std::unique_ptr<PilBoundary> pil_;
   std::unique_ptr<FidelityGuard> guard_;  // null iff config.guard.enabled is false
+  std::unique_ptr<InvariantRegistry> invariants_;  // null iff !config.check.enabled
+  std::unique_ptr<KvHistory> kv_history_;
+  std::vector<const Node*> node_view_;  // lazy id-ordered view for probes
   std::unique_ptr<CalcOutputCache> owned_output_cache_;
   std::unique_ptr<TraceRecorder> trace_;
   Node::Env env_;

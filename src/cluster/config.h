@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "src/check/check_options.h"
 #include "src/common/types.h"
 #include "src/gossip/failure_detector.h"
 #include "src/gossip/gossiper.h"
@@ -116,6 +117,13 @@ struct ClusterConfig {
   FidelityBudgets guard;
   // What a replay divergence does to the run (only meaningful in kPilReplay).
   ReplayPolicy replay_policy = ReplayPolicy::kFallbackToModelled;
+
+  // ---- Invariant checking (correctness, not fidelity) -----------------------
+  // The runtime invariant checker (src/check/): probes deterministic model
+  // state on a virtual-time cadence and lands an InvariantReport in
+  // RunResult. On by default — the report is part of the byte-identical JSON
+  // contract, like the guard verdict.
+  CheckOptions check;
 
   // ---- Harness --------------------------------------------------------------
   uint64_t seed = 0x5eedf00d;

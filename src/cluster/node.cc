@@ -88,6 +88,7 @@ Node::Node(Env* env, NodeId id, Machine* machine, uint64_t seed)
     // Derived from the ctor seed without consuming rng_ state, so enabling
     // retries leaves every other per-node random draw untouched.
     deps.retry_seed = HashCombine(seed, 0x4b565254ULL);  // "KVRT"
+    deps.history = env->kv_history;
     kv_ = std::make_unique<KvService>(deps);
   }
   unmonitored_.insert(id_);
@@ -182,9 +183,13 @@ void Node::Start(bool as_joiner, VirtualDuration transition) {
     AddPendingChange(PendingChange{id_, ChangeKind::kJoining, my_tokens_});
     MarkRingDirty();
 
-    // BOOT -> NORMAL after the transition period.
-    env_->sim->ScheduleAfter(transition, [this] {
-      if (crashed_) {
+    // BOOT -> NORMAL after the transition period. The continuation belongs to
+    // the incarnation that scheduled it: if the node crashes and restarts in
+    // the window, the restarted process must not be promoted by a timer armed
+    // by its dead predecessor.
+    const int64_t gen = generation_;
+    env_->sim->ScheduleAfter(transition, [this, gen] {
+      if (crashed_ || generation_ != gen) {
         return;
       }
       VersionedValue normal;
@@ -218,8 +223,12 @@ void Node::BeginDecommission(VirtualDuration transition) {
   MarkRingDirty();
   MaybeScheduleRecalc();
 
-  env_->sim->ScheduleAfter(transition, [this] {
-    if (crashed_) {
+  // Both deferred steps are guarded on the scheduling incarnation: a crash +
+  // restart inside the transition window must not let the stale continuation
+  // announce LEFT (or silence gossip) on behalf of the fresh process.
+  const int64_t gen = generation_;
+  env_->sim->ScheduleAfter(transition, [this, gen] {
+    if (crashed_ || generation_ != gen) {
       return;
     }
     VersionedValue left;
@@ -234,8 +243,8 @@ void Node::BeginDecommission(VirtualDuration transition) {
     MaybeScheduleRecalc();
   });
   // Keep gossiping LEFT for a grace period so it disseminates, then stop.
-  env_->sim->ScheduleAfter(transition + VirtualDuration::Seconds(20), [this] {
-    if (crashed_) {
+  env_->sim->ScheduleAfter(transition + VirtualDuration::Seconds(20), [this, gen] {
+    if (crashed_ || generation_ != gen) {
       return;
     }
     gossip_timer_->Stop();
@@ -567,6 +576,22 @@ void Node::OnStatusChange(NodeId ep, StatusKind old_status, StatusKind new_statu
       break;
     case StatusKind::kLeft:
     case StatusKind::kRemoved:
+      if (env_->config->check.plant_left_join_bug &&
+          old_status == StatusKind::kUnknown && !ring_.HasNode(ep)) {
+        // Planted recovery bug (CheckOptions::plant_left_join_bug): a view
+        // meeting a tombstoned endpoint for the first time — e.g. a process
+        // that restarted after a peer finished decommissioning — mishandles
+        // the LEFT state as a join and claims the departed node's tokens
+        // back into its ring. The zombie-endpoint invariant exists to catch
+        // exactly this class of mistake.
+        const EndpointState* state = gossiper_.StateOf(ep);
+        if (state != nullptr && !state->Tokens().empty()) {
+          ring_.AddNode(ep, state->Tokens());
+          RemovePendingChange(ep);
+          MarkRingDirty();
+          break;
+        }
+      }
       if (ring_.HasNode(ep)) {
         ring_.RemoveNode(ep);
       }

@@ -49,6 +49,8 @@
 
 namespace scalecheck {
 
+class KvHistory;
+
 // Process-level cache of calculator outputs keyed by input digest. A harness
 // optimization, not a semantic one: the calculators are pure functions, and
 // hundreds of nodes redundantly computing identical inputs is precisely the
@@ -138,6 +140,8 @@ class Node {
     int64_t* calc_executed_real = nullptr;
     // sfind hook: (function, executed ops, ring entries at invocation).
     std::function<void(PilFunctionId, int64_t, size_t)> profile_hook = nullptr;
+    // Client-op history sink for the KV invariant checker (null = off).
+    KvHistory* kv_history = nullptr;
   };
 
   Node(Env* env, NodeId id, Machine* machine, uint64_t seed);
@@ -176,6 +180,7 @@ class Node {
   // re-learned via `contacts`, and the durable token assignment is kept.
   void Restart(const std::vector<NodeId>& contacts);
   bool crashed() const { return crashed_; }
+  bool started() const { return started_; }
 
   // ---- Introspection -------------------------------------------------------
 

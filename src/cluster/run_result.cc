@@ -25,6 +25,9 @@ std::string RunResult::Summary() const {
   if (fidelity.verdict != FidelityVerdict::kOk) {
     guard_tag += ":" + fidelity.violated_budget;
   }
+  if (invariants.checked && !invariants.ok()) {
+    guard_tag += " INVARIANT:" + Join(invariants.ViolatedNames(), ",");
+  }
   return StrFormat(
       "%s N=%d P=%d: flaps=%lld pairs=%lld dur=%s settle=%s%s util=%.1f%% mem=%s "
       "calcs=%lld (real=%lld, avg=%.3fs max=%.3fs) pil(hit=%llu miss=%llu) div=%llu "
@@ -68,6 +71,8 @@ void RunResult::WriteJson(JsonWriter* w) const {
 
   w->Key("fidelity");
   fidelity.WriteJson(w);
+  w->Key("invariants");
+  invariants.WriteJson(w);
   w->Field("watchdog_fired", watchdog_fired);
 
   w->Key("replay_drift").BeginObject();

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/check/invariants.h"
 #include "src/common/stats.h"
 #include "src/common/strings.h"
 #include "src/common/types.h"
@@ -51,6 +52,14 @@ struct RunResult {
   // suite executor treats such results as retry/quarantine candidates and
   // never serializes them.
   bool watchdog_fired = false;
+
+  // ---- Invariant checking ----------------------------------------------------
+  // Correctness verdict from the runtime invariant checker (src/check/):
+  // violated invariants with first-violation virtual timestamps. Distinct
+  // from fidelity: fidelity says "trust this run's numbers", invariants say
+  // "the cluster broke". Always serialized (checked=false when the checker
+  // was disabled).
+  InvariantReport invariants;
 
   // ---- Replay drift ---------------------------------------------------------
   // Populated from PilBoundary::drift(); all-zero outside kPilReplay runs.

@@ -1,0 +1,472 @@
+#include "src/common/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/strings.h"
+
+namespace scalecheck {
+
+bool JsonValue::AsBool() const {
+  CHECK(is_bool()) << "JsonValue::AsBool on non-bool";
+  return bool_;
+}
+
+int64_t JsonValue::AsInt() const {
+  CHECK(is_int()) << "JsonValue::AsInt on non-exact-int";
+  return int_;
+}
+
+double JsonValue::AsDouble() const {
+  CHECK(is_number()) << "JsonValue::AsDouble on non-number";
+  return double_;
+}
+
+const std::string& JsonValue::AsString() const {
+  CHECK(is_string()) << "JsonValue::AsString on non-string";
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  CHECK(is_array()) << "JsonValue::AsArray on non-array";
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::AsObject()
+    const {
+  CHECK(is_object()) << "JsonValue::AsObject on non-object";
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<bool> JsonValue::GetBool(const std::string& key,
+                                const std::string& where) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument(where + ": missing key \"" + key + "\"");
+  }
+  if (!v->is_bool()) {
+    return Status::InvalidArgument(where + ": \"" + key + "\" is not a bool");
+  }
+  return v->AsBool();
+}
+
+Result<int64_t> JsonValue::GetInt(const std::string& key,
+                                  const std::string& where) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument(where + ": missing key \"" + key + "\"");
+  }
+  if (!v->is_int()) {
+    return Status::InvalidArgument(where + ": \"" + key +
+                                   "\" is not an exact integer");
+  }
+  return v->AsInt();
+}
+
+Result<double> JsonValue::GetDouble(const std::string& key,
+                                    const std::string& where) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument(where + ": missing key \"" + key + "\"");
+  }
+  if (!v->is_number()) {
+    return Status::InvalidArgument(where + ": \"" + key + "\" is not a number");
+  }
+  return v->AsDouble();
+}
+
+Result<std::string> JsonValue::GetString(const std::string& key,
+                                         const std::string& where) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument(where + ": missing key \"" + key + "\"");
+  }
+  if (!v->is_string()) {
+    return Status::InvalidArgument(where + ": \"" + key + "\" is not a string");
+  }
+  return v->AsString();
+}
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeInt(int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.int_exact_ = true;
+  v.int_ = i;
+  v.double_ = static_cast<double>(i);
+  return v;
+}
+
+JsonValue JsonValue::MakeDouble(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.double_ = d;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(
+    std::vector<std::pair<std::string, JsonValue>> m) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(m);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue root;
+    Status s = ParseValue(&root, /*depth=*/0);
+    if (!s.ok()) return s;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing bytes after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("json: %s at byte %zu", what.c_str(), pos_));
+  }
+
+  Status Truncated(const std::string& what) const {
+    return Status::Truncated("json: " + what);
+  }
+
+  Status Expect(char c) {
+    if (AtEnd()) return Truncated(StrFormat("expected '%c', got end of input", c));
+    if (Peek() != c) return Error(StrFormat("expected '%c'", c));
+    ++pos_;
+    return Status::Ok();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (AtEnd()) return Truncated("expected value, got end of input");
+    char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        Status st = ParseString(&s);
+        if (!st.ok()) return st;
+        *out = JsonValue::MakeString(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        if (Status st = Literal("true"); !st.ok()) return st;
+        *out = JsonValue::MakeBool(true);
+        return Status::Ok();
+      case 'f':
+        if (Status st = Literal("false"); !st.ok()) return st;
+        *out = JsonValue::MakeBool(false);
+        return Status::Ok();
+      case 'n':
+        if (Status st = Literal("null"); !st.ok()) return st;
+        *out = JsonValue::MakeNull();
+        return Status::Ok();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+        return Error("unexpected character");
+    }
+  }
+
+  Status Literal(const char* lit) {
+    size_t len = std::strlen(lit);
+    if (text_.size() - pos_ < len) {
+      if (text_.compare(pos_, text_.size() - pos_, lit, text_.size() - pos_) == 0) {
+        return Truncated(StrFormat("'%s' cut short by end of input", lit));
+      }
+      return Error(StrFormat("expected '%s'", lit));
+    }
+    if (text_.compare(pos_, len, lit) != 0) {
+      return Error(StrFormat("expected '%s'", lit));
+    }
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    if (Status st = Expect('{'); !st.ok()) return st;
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      *out = JsonValue::MakeObject(std::move(members));
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (Status st = ParseString(&key); !st.ok()) return st;
+      for (const auto& [k, v] : members) {
+        if (k == key) return Error("duplicate object key \"" + key + "\"");
+      }
+      SkipWhitespace();
+      if (Status st = Expect(':'); !st.ok()) return st;
+      JsonValue value;
+      if (Status st = ParseValue(&value, depth + 1); !st.ok()) return st;
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Truncated("unterminated object");
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        *out = JsonValue::MakeObject(std::move(members));
+        return Status::Ok();
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    if (Status st = Expect('['); !st.ok()) return st;
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      *out = JsonValue::MakeArray(std::move(items));
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue value;
+      if (Status st = ParseValue(&value, depth + 1); !st.ok()) return st;
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Truncated("unterminated array");
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        *out = JsonValue::MakeArray(std::move(items));
+        return Status::Ok();
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (AtEnd()) return Truncated("expected string, got end of input");
+    if (Peek() != '"') return Error("expected '\"'");
+    ++pos_;
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Truncated("unterminated string");
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) return Truncated("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            uint32_t cp = 0;
+            if (Status st = ParseHex4(&cp); !st.ok()) return st;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: require the low half immediately after.
+              if (text_.size() - pos_ < 2 || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Error("high surrogate not followed by \\u escape");
+              }
+              pos_ += 2;
+              uint32_t lo = 0;
+              if (Status st = ParseHex4(&lo); !st.ok()) return st;
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                return Error("invalid low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return Error("unpaired low surrogate");
+            }
+            AppendUtf8(cp, out);
+            break;
+          }
+          default:
+            --pos_;
+            return Error("invalid escape character");
+        }
+        continue;
+      }
+      if (c < 0x20) return Error("unescaped control character in string");
+      out->push_back(static_cast<char>(c));
+      ++pos_;
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (text_.size() - pos_ < 4) return Truncated("\\u escape cut short");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::Ok();
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    bool is_integral = true;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd()) return Truncated("number cut short");
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (Peek() >= '1' && Peek() <= '9') {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    } else {
+      return Error("invalid number");
+    }
+    if (!AtEnd() && Peek() == '.') {
+      is_integral = false;
+      ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        if (AtEnd()) return Truncated("number cut short after '.'");
+        return Error("expected digit after '.'");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      is_integral = false;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        if (AtEnd()) return Truncated("number cut short in exponent");
+        return Error("expected digit in exponent");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    if (is_integral) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        *out = JsonValue::MakeInt(static_cast<int64_t>(v));
+        return Status::Ok();
+      }
+      // Falls through: magnitude beyond int64 degrades to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || std::isnan(d)) {
+      return Error("unparseable number");
+    }
+    if (std::isinf(d)) return Error("number out of double range");
+    *out = JsonValue::MakeDouble(d);
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  Parser p(text);
+  return p.Parse();
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,91 @@
+// A minimal strict JSON parser: the read-side counterpart of JsonWriter.
+//
+// Repro artifacts and serialized FaultPlans must round-trip exactly, so the
+// parser is strict where it matters for determinism: no trailing garbage, no
+// duplicate object keys, integers that fit int64 are preserved exactly (a
+// nanosecond timestamp must not pass through a double), and malformed input
+// yields Status errors rather than best-effort values. It is not a general
+// JSON library — no comments, no NaN/Infinity, UTF-8 passes through opaquely
+// (escapes \uXXXX are decoded for the BMP only, surrogate pairs included).
+
+#ifndef SCALECHECK_SRC_COMMON_JSON_H_
+#define SCALECHECK_SRC_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace scalecheck {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  // True for numbers written without '.', 'e' that fit in int64.
+  bool is_int() const { return kind_ == Kind::kNumber && int_exact_; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Accessors CHECK on kind mismatch: callers validate kind first (or use
+  // the Get*() helpers below, which return Status instead).
+  bool AsBool() const;
+  int64_t AsInt() const;      // requires is_int()
+  double AsDouble() const;    // any number
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  // Objects preserve insertion order (JsonWriter emits in call order, and
+  // byte-exact round-trips need the original order back).
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const;
+
+  // Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+
+  // Typed member access with Status errors, for strict parsers: missing key,
+  // wrong kind, and (for ints) non-exact numbers are all kInvalidArgument.
+  // `where` names the enclosing structure for error messages.
+  Result<bool> GetBool(const std::string& key, const std::string& where) const;
+  Result<int64_t> GetInt(const std::string& key, const std::string& where) const;
+  Result<double> GetDouble(const std::string& key, const std::string& where) const;
+  Result<std::string> GetString(const std::string& key,
+                                const std::string& where) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeInt(int64_t v);
+  static JsonValue MakeDouble(double v);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(std::vector<std::pair<std::string, JsonValue>> m);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  bool int_exact_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+// Parses one JSON document. Errors: kTruncated when the input is a proper
+// prefix of a valid document (ran out of bytes mid-structure), otherwise
+// kInvalidArgument with a byte offset in the message. Trailing non-whitespace
+// after the document is rejected. Duplicate keys within one object are
+// rejected (a round-tripped artifact can never legitimately contain them).
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_COMMON_JSON_H_

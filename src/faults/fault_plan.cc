@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/common/hash.h"
+#include "src/common/json.h"
 #include "src/common/rng.h"
 #include "src/common/strings.h"
 
@@ -23,6 +24,15 @@ const char* FaultKindName(FaultKind kind) {
       return "memory-pressure";
   }
   return "?";
+}
+
+Result<FaultKind> FaultKindFromName(const std::string& name) {
+  for (FaultKind kind :
+       {FaultKind::kPartition, FaultKind::kLinkDegrade, FaultKind::kCrash,
+        FaultKind::kSlowNode, FaultKind::kMemoryPressure}) {
+    if (name == FaultKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown FaultKind \"" + name + "\"");
 }
 
 std::string FaultEvent::Describe() const {
@@ -208,6 +218,189 @@ bool FaultPlan::IsKnown(const std::string& name) {
   return name.empty() || name == "none" || name == "standard-chaos" ||
          name == "partition" || name == "crash-restart" || name == "slow-node" ||
          name == "memory-pressure";
+}
+
+void FaultEvent::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("kind", FaultKindName(kind));
+  w->Field("at_ns", at.nanos());
+  w->Field("duration_ns", duration.nanos());
+  w->Key("nodes_a").BeginArray();
+  for (NodeId id : nodes_a) w->Int(id);
+  w->EndArray();
+  w->Key("nodes_b").BeginArray();
+  for (NodeId id : nodes_b) w->Int(id);
+  w->EndArray();
+  w->Field("extra_loss", extra_loss);
+  w->Field("extra_latency_ns", extra_latency.nanos());
+  w->Field("cpu_factor", cpu_factor);
+  w->Field("ballast_bytes", ballast_bytes);
+  w->EndObject();
+}
+
+namespace {
+
+Result<std::vector<NodeId>> ParseNodeList(const JsonValue& obj,
+                                          const std::string& key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument("FaultEvent: missing key \"" + key + "\"");
+  }
+  if (!v->is_array()) {
+    return Status::InvalidArgument("FaultEvent: \"" + key + "\" is not an array");
+  }
+  std::vector<NodeId> out;
+  for (const JsonValue& item : v->AsArray()) {
+    if (!item.is_int() || item.AsInt() < 0) {
+      return Status::InvalidArgument("FaultEvent: \"" + key +
+                                     "\" contains a non-node-id");
+    }
+    out.push_back(static_cast<NodeId>(item.AsInt()));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<FaultEvent> FaultEvent::FromJson(const JsonValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("FaultEvent: not a JSON object");
+  }
+  static const char* const kKeys[] = {
+      "kind",       "at_ns",            "duration_ns", "nodes_a",
+      "nodes_b",    "extra_loss",       "extra_latency_ns",
+      "cpu_factor", "ballast_bytes"};
+  for (const auto& [key, unused] : v.AsObject()) {
+    bool known = false;
+    for (const char* k : kKeys) known = known || key == k;
+    if (!known) {
+      return Status::InvalidArgument("FaultEvent: unknown key \"" + key + "\"");
+    }
+  }
+
+  FaultEvent ev;
+  auto kind_name = v.GetString("kind", "FaultEvent");
+  if (!kind_name.ok()) return kind_name.status();
+  auto kind = FaultKindFromName(kind_name.value());
+  if (!kind.ok()) return kind.status();
+  ev.kind = kind.value();
+
+  auto at_ns = v.GetInt("at_ns", "FaultEvent");
+  if (!at_ns.ok()) return at_ns.status();
+  auto duration_ns = v.GetInt("duration_ns", "FaultEvent");
+  if (!duration_ns.ok()) return duration_ns.status();
+  if (at_ns.value() < 0 || at_ns.value() > kMaxEventTimeNanos) {
+    return Status::InvalidArgument(
+        StrFormat("FaultEvent: at_ns %lld out of range",
+                  static_cast<long long>(at_ns.value())));
+  }
+  if (duration_ns.value() < 0 ||
+      at_ns.value() + duration_ns.value() > kMaxEventTimeNanos) {
+    return Status::InvalidArgument(
+        StrFormat("FaultEvent: duration_ns %lld out of range",
+                  static_cast<long long>(duration_ns.value())));
+  }
+  ev.at = VirtualDuration::Nanos(at_ns.value());
+  ev.duration = VirtualDuration::Nanos(duration_ns.value());
+
+  auto nodes_a = ParseNodeList(v, "nodes_a");
+  if (!nodes_a.ok()) return nodes_a.status();
+  ev.nodes_a = std::move(nodes_a).value();
+  if (ev.nodes_a.empty()) {
+    return Status::InvalidArgument("FaultEvent: nodes_a must be non-empty");
+  }
+  auto nodes_b = ParseNodeList(v, "nodes_b");
+  if (!nodes_b.ok()) return nodes_b.status();
+  ev.nodes_b = std::move(nodes_b).value();
+
+  auto extra_loss = v.GetDouble("extra_loss", "FaultEvent");
+  if (!extra_loss.ok()) return extra_loss.status();
+  if (extra_loss.value() < 0.0 || extra_loss.value() > 1.0) {
+    return Status::InvalidArgument("FaultEvent: extra_loss outside [0, 1]");
+  }
+  ev.extra_loss = extra_loss.value();
+
+  auto extra_latency_ns = v.GetInt("extra_latency_ns", "FaultEvent");
+  if (!extra_latency_ns.ok()) return extra_latency_ns.status();
+  if (extra_latency_ns.value() < 0 ||
+      extra_latency_ns.value() > kMaxEventTimeNanos) {
+    return Status::InvalidArgument("FaultEvent: extra_latency_ns out of range");
+  }
+  ev.extra_latency = VirtualDuration::Nanos(extra_latency_ns.value());
+
+  auto cpu_factor = v.GetDouble("cpu_factor", "FaultEvent");
+  if (!cpu_factor.ok()) return cpu_factor.status();
+  if (!(cpu_factor.value() > 0.0) || cpu_factor.value() > 1000.0) {
+    return Status::InvalidArgument("FaultEvent: cpu_factor must be in (0, 1000]");
+  }
+  ev.cpu_factor = cpu_factor.value();
+
+  auto ballast = v.GetInt("ballast_bytes", "FaultEvent");
+  if (!ballast.ok()) return ballast.status();
+  if (ballast.value() < 0) {
+    return Status::InvalidArgument("FaultEvent: ballast_bytes must be >= 0");
+  }
+  ev.ballast_bytes = ballast.value();
+  return ev;
+}
+
+void FaultPlan::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("name", name);
+  w->Key("events").BeginArray();
+  for (const FaultEvent& event : events) {
+    event.WriteJson(w);
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+std::string FaultPlan::ToJson() const {
+  JsonWriter w;
+  WriteJson(&w);
+  return w.str();
+}
+
+Result<FaultPlan> FaultPlan::FromJson(const JsonValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("FaultPlan: not a JSON object");
+  }
+  for (const auto& [key, unused] : v.AsObject()) {
+    if (key != "name" && key != "events") {
+      return Status::InvalidArgument("FaultPlan: unknown key \"" + key + "\"");
+    }
+  }
+  FaultPlan plan;
+  auto name = v.GetString("name", "FaultPlan");
+  if (!name.ok()) return name.status();
+  plan.name = std::move(name).value();
+  const JsonValue* events = v.Find("events");
+  if (events == nullptr || !events->is_array()) {
+    return Status::InvalidArgument("FaultPlan: missing \"events\" array");
+  }
+  for (const JsonValue& item : events->AsArray()) {
+    auto ev = FaultEvent::FromJson(item);
+    if (!ev.ok()) return ev.status();
+    plan.events.push_back(std::move(ev).value());
+  }
+  return plan;
+}
+
+Result<FaultPlan> FaultPlan::FromJsonText(const std::string& text) {
+  auto parsed = ParseJson(text);
+  if (!parsed.ok()) return parsed.status();
+  return FromJson(parsed.value());
+}
+
+bool operator==(const FaultEvent& a, const FaultEvent& b) {
+  return a.kind == b.kind && a.at == b.at && a.duration == b.duration &&
+         a.nodes_a == b.nodes_a && a.nodes_b == b.nodes_b &&
+         a.extra_loss == b.extra_loss && a.extra_latency == b.extra_latency &&
+         a.cpu_factor == b.cpu_factor && a.ballast_bytes == b.ballast_bytes;
+}
+
+bool operator==(const FaultPlan& a, const FaultPlan& b) {
+  return a.name == b.name && a.events == b.events;
 }
 
 }  // namespace scalecheck

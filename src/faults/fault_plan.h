@@ -20,9 +20,13 @@
 #include <string>
 #include <vector>
 
+#include "src/common/result.h"
 #include "src/common/types.h"
 
 namespace scalecheck {
+
+class JsonValue;
+class JsonWriter;
 
 enum class FaultKind : int {
   // Bidirectional message blackhole between nodes_a and nodes_b (empty
@@ -44,6 +48,10 @@ enum class FaultKind : int {
 
 const char* FaultKindName(FaultKind kind);
 
+// Inverse of FaultKindName; unknown names are kInvalidArgument (the strict
+// parse must reject a kind the binary does not implement rather than guess).
+Result<FaultKind> FaultKindFromName(const std::string& name);
+
 struct FaultEvent {
   FaultKind kind = FaultKind::kPartition;
   VirtualDuration at;        // injection time (from t=0)
@@ -56,6 +64,19 @@ struct FaultEvent {
   int64_t ballast_bytes = 0;                // kMemoryPressure
 
   std::string Describe() const;
+
+  // Serialization. Every field is always emitted (deterministic layout); the
+  // parse is strict: all keys required, no unknown keys, kind by name,
+  // non-negative times bounded by kMaxEventTime, extra_loss in [0,1],
+  // cpu_factor > 0, ballast_bytes >= 0, node ids >= 0, nodes_a non-empty.
+  void WriteJson(JsonWriter* w) const;
+  static Result<FaultEvent> FromJson(const JsonValue& v);
+
+  // Upper bound on at / at+duration accepted by FromJson. Generously above
+  // any real horizon (the longest experiments run minutes of virtual time);
+  // an artifact claiming a week-long fault is corrupt, not ambitious.
+  static constexpr int64_t kMaxEventTimeNanos =
+      7LL * 24 * 3600 * 1000 * 1000 * 1000;
 };
 
 struct FaultPlan {
@@ -83,7 +104,18 @@ struct FaultPlan {
   // "crash-restart", "slow-node", "memory-pressure"). Unknown names CHECK.
   static FaultPlan ByName(const std::string& name, int n, uint64_t seed);
   static bool IsKnown(const std::string& name);
+
+  // JSON round-trip: ToJson output parsed back by FromJsonText compares equal
+  // field-for-field and re-serializes byte-identically (repro artifacts embed
+  // plans this way).
+  void WriteJson(JsonWriter* w) const;
+  std::string ToJson() const;
+  static Result<FaultPlan> FromJson(const JsonValue& v);
+  static Result<FaultPlan> FromJsonText(const std::string& text);
 };
+
+bool operator==(const FaultEvent& a, const FaultEvent& b);
+bool operator==(const FaultPlan& a, const FaultPlan& b);
 
 }  // namespace scalecheck
 

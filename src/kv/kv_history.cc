@@ -1,0 +1,34 @@
+#include "src/kv/kv_history.h"
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+uint64_t KvHistory::RecordIssued(NodeId coordinator, bool is_write,
+                                 uint64_t key, const std::string& value,
+                                 VirtualTime now) {
+  KvOpRecord rec;
+  rec.id = static_cast<uint64_t>(ops_.size());
+  rec.coordinator = coordinator;
+  rec.is_write = is_write;
+  rec.key = key;
+  rec.value = value;
+  rec.issued_at = now;
+  ops_.push_back(std::move(rec));
+  return ops_.back().id;
+}
+
+void KvHistory::RecordConcluded(uint64_t id, KvOutcome outcome,
+                                const std::string& result_value,
+                                VirtualTime now) {
+  CHECK_LT(id, ops_.size());
+  KvOpRecord& rec = ops_[id];
+  CHECK(!rec.concluded) << "KV op concluded twice";
+  rec.concluded = true;
+  rec.outcome = outcome;
+  rec.result_value = result_value;
+  rec.concluded_at = now;
+  conclusion_order_.push_back(id);
+}
+
+}  // namespace scalecheck

@@ -4,10 +4,14 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/kv/kv_history.h"
 
 namespace scalecheck {
 
-KvService::KvService(Deps deps) : deps_(deps), retry_rng_(deps.retry_seed) {
+KvService::KvService(Deps deps)
+    : deps_(deps),
+      storage_(std::make_unique<StorageEngine>()),
+      retry_rng_(deps.retry_seed) {
   CHECK_NOTNULL(deps_.sim);
   CHECK_NOTNULL(deps_.network);
   CHECK_NOTNULL(deps_.stage);
@@ -31,6 +35,10 @@ void KvService::Submit(bool is_write, uint64_t key, std::string value, DoneFn do
   op->done = std::move(done);
   op->started = deps_.sim->Now();
   op->deadline_at = op->started + deps_.request_deadline;
+  if (deps_.history != nullptr) {
+    op->history_id = deps_.history->RecordIssued(deps_.self, is_write, key,
+                                                 op->value, op->started);
+  }
   Attempt(std::move(op));
 }
 
@@ -93,6 +101,10 @@ void KvService::Conclude(const std::shared_ptr<ClientOp>& op, KvOutcome outcome,
       ++stats_.gave_up;
       break;
   }
+  if (deps_.history != nullptr) {
+    deps_.history->RecordConcluded(op->history_id, outcome, value,
+                                   deps_.sim->Now());
+  }
   if (op->done) {
     op->done(outcome, std::move(value));
   }
@@ -135,7 +147,14 @@ void KvService::StartOp(bool is_write, uint64_t key, std::string value, DoneFn d
     Finish(op_id, KvOutcome::kTimeout, "");
   });
 
-  int64_t timestamp = ++clock_counter_;
+  // Hybrid timestamp: virtual time in the high bits, coordinator id in the
+  // low bits, clamped monotonic per coordinator. Comparable across
+  // coordinators, so last-write-wins read resolution agrees with the real
+  // order in which quorum writes were issued.
+  clock_counter_ = std::max<int64_t>(
+      clock_counter_ + 1, deps_.sim->Now().nanos() * 1024 +
+                              (static_cast<int64_t>(deps_.self) & 1023));
+  int64_t timestamp = clock_counter_;
   for (NodeId replica : live) {
     auto req = std::make_shared<KvRequestPayload>();
     req->op_id = op_id;
@@ -165,7 +184,7 @@ void KvService::HandleMessage(const Message& msg) {
       Job job("kv.write-replica");
       auto work = std::make_shared<WorkUnits>(0);
       job.Run([this, req, work] {
-           *work = storage_.Put(req->key, req->value, req->timestamp);
+           *work = storage_->Put(req->key, req->value, req->timestamp);
          })
           .Compute([work] { return *work; })
           .Run([this, req, coordinator] {
@@ -195,8 +214,8 @@ void KvService::HandleMessage(const Message& msg) {
       auto value = std::make_shared<std::optional<std::string>>();
       auto version = std::make_shared<int64_t>(0);
       job.Run([this, req, work, value, version] {
-           *value = storage_.Get(req->key, &*work);
-           *version = storage_.TimestampOf(req->key);
+           *value = storage_->Get(req->key, &*work);
+           *version = storage_->TimestampOf(req->key);
          })
           .Compute([work] { return *work; })
           .Run([this, req, coordinator, value, version] {

@@ -27,6 +27,8 @@
 
 namespace scalecheck {
 
+class KvHistory;
+
 enum KvMessageType : int {
   kKvWriteReq = 10,
   kKvWriteResp = 11,
@@ -105,6 +107,9 @@ class KvService {
     VirtualDuration retry_base_backoff = VirtualDuration::Millis(50);
     VirtualDuration request_deadline = VirtualDuration::Seconds(8);
     uint64_t retry_seed = 0;
+    // Client-op history sink for the invariant checker (null = off). Shared
+    // by every coordinator in the run; single-threaded within a simulation.
+    KvHistory* history = nullptr;
   };
 
   explicit KvService(Deps deps);
@@ -122,8 +127,14 @@ class KvService {
   // immediately (the process is gone; its clients see connection refusal).
   void SetDown(bool down) { down_ = down; }
 
-  StorageEngine& storage() { return storage_; }
+  StorageEngine& storage() { return *storage_; }
   const KvStats& stats() const { return stats_; }
+
+  // Swaps in a (typically subclassed, deliberately broken) storage engine.
+  // Test-only: the replica path loses whatever the old engine held.
+  void ReplaceStorageForTest(std::unique_ptr<StorageEngine> storage) {
+    storage_ = std::move(storage);
+  }
 
  private:
   struct InFlight {
@@ -147,6 +158,7 @@ class KvService {
     int attempt = 0;
     VirtualTime started;
     VirtualTime deadline_at;
+    uint64_t history_id = 0;  // KvHistory record, when recording is on
   };
 
   void Submit(bool is_write, uint64_t key, std::string value, DoneFn done);
@@ -163,13 +175,17 @@ class KvService {
   int Quorum() const { return deps_.replication_factor / 2 + 1; }
 
   Deps deps_;
-  StorageEngine storage_;
+  std::unique_ptr<StorageEngine> storage_;
   KvStats stats_;
   Rng retry_rng_;
   bool down_ = false;
   std::unordered_map<uint64_t, InFlight> inflight_;
   uint64_t next_op_ = 1;
-  int64_t clock_counter_ = 0;  // write timestamps (coordinator-local)
+  // Last issued write timestamp. Derived from virtual time (with the node id
+  // in the low bits) so timestamps are comparable ACROSS coordinators; a
+  // purely local counter would let last-write-wins resolve quorum reads
+  // against the wrong coordinator's write.
+  int64_t clock_counter_ = 0;
 };
 
 }  // namespace scalecheck

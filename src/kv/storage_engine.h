@@ -38,14 +38,19 @@ class StorageEngine {
 
   StorageEngine() : StorageEngine(Config{}) {}
   explicit StorageEngine(Config config) : config_(config) {}
+  virtual ~StorageEngine() = default;
 
+  // The data-path operations are virtual so tests can substitute a
+  // deliberately broken engine (KvService::ReplaceStorageForTest) and prove
+  // the KV history checker catches real storage bugs.
+  //
   // Returns the CPU work units the operation cost (charged by the caller).
-  WorkUnits Put(uint64_t key, std::string value, int64_t timestamp);
+  virtual WorkUnits Put(uint64_t key, std::string value, int64_t timestamp);
   // Latest value by timestamp, searching memtable then runs newest-first.
-  std::optional<std::string> Get(uint64_t key, WorkUnits* work) const;
+  virtual std::optional<std::string> Get(uint64_t key, WorkUnits* work) const;
   // Timestamp of the stored version (0 if absent). Used by quorum reads to
   // resolve the newest replica value.
-  int64_t TimestampOf(uint64_t key) const;
+  virtual int64_t TimestampOf(uint64_t key) const;
 
   size_t memtable_entries() const { return memtable_.size(); }
   size_t num_runs() const { return runs_.size(); }

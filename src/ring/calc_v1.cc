@@ -98,7 +98,7 @@ class V1Calculator : public PendingRangeCalculator {
     return m * (ef + ef * per_key);
   }
 
-  // Calibrated (see DESIGN.md §7): one abstract op stands for a handful of
+  // Calibrated (see DESIGN.md §8): one abstract op stands for a handful of
   // JVM-era TreeMultimap operations. At this cost the offending function
   // takes ~25ms at N=32, ~1.3s at N=128 and ~11s at N=256 — past the phi=8
   // conviction horizon only at the largest scale, which is what makes the

@@ -84,7 +84,7 @@ class V2Calculator : public PendingRangeCalculator {
     return m * (ef + ef * per_key);
   }
 
-  // Calibrated (DESIGN.md §7): with P=8 vnodes the offending duration is
+  // Calibrated (DESIGN.md §8): with P=8 vnodes the offending duration is
   // ~0.2s at N=64, ~3s at N=128 and ~25s at N=256 per in-flight change set —
   // the C3881 symptom onset moves down to ~128 nodes, exactly Figure 3(b)'s
   // story.

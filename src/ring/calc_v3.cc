@@ -142,7 +142,7 @@ class V3Calculator : public PendingRangeCalculator {
     return num_changes * ef * log_e + walks + evals * 2 * (log_e + input.rf);
   }
 
-  // Calibrated (DESIGN.md §7): ~0.4s per invocation at N=128 (P=16, 32
+  // Calibrated (DESIGN.md §8): ~0.4s per invocation at N=128 (P=16, 32
   // joiners) and ~1.8s at N=256 — cheap math, but invoked about once per
   // second per node with the ring lock held throughout.
   WorkUnits op_cost() const override { return 400; }

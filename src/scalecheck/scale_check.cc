@@ -18,6 +18,7 @@ ClusterConfig BugSpec::MakeConfig(int n, RunMode mode, uint64_t seed) const {
   cfg.space_oblivious_rebalance = space_oblivious_rebalance;
   cfg.guard = guard;
   cfg.replay_policy = replay_policy;
+  cfg.check = check;
   cfg.seed = seed;
   if (kv_ops_per_second > 0.0) {
     cfg.enable_kv = true;
@@ -30,6 +31,9 @@ ClusterConfig BugSpec::MakeConfig(int n, RunMode mode, uint64_t seed) const {
 }
 
 FaultPlan BugSpec::MakeFaultPlan(int n, uint64_t seed) const {
+  if (!custom_faults.events.empty()) {
+    return custom_faults;
+  }
   return FaultPlan::ByName(fault_plan, n, seed);
 }
 
@@ -64,6 +68,16 @@ WorkloadSpec BugSpec::MakeWorkload(int n) const {
     wl.transition = transition_override;
   }
   return wl;
+}
+
+int RunExitCode(const RunResult& result) {
+  if (result.invariants.checked && !result.invariants.ok()) {
+    return 4;
+  }
+  if (result.fidelity.verdict == FidelityVerdict::kInvalid) {
+    return 3;
+  }
+  return 0;
 }
 
 double RelativeFlapError(int64_t observed, int64_t reference) {

@@ -42,6 +42,13 @@ struct BugSpec {
   // this spec; "" / "none" disables. Part of the spec so memoize and replay
   // apply identical schedules.
   std::string fault_plan;
+  // Explicit fault schedule; when non-empty it takes precedence over
+  // `fault_plan`. This is how ChaosSearch candidates and --repro artifacts
+  // flow through ExperimentSuite as ordinary specs.
+  FaultPlan custom_faults;
+  // Invariant-checker options for every run of this spec (including the
+  // planted-bug flag the ChaosSearch smoke exercises).
+  CheckOptions check;
   // Client load on the quorum KV data path; > 0 enables the KV service (with
   // retries, see MakeConfig) and the load driver.
   double kv_ops_per_second = 0.0;
@@ -136,6 +143,12 @@ class ScaleCheckRunner {
 };
 
 double RelativeFlapError(int64_t observed, int64_t reference);
+
+// The CLI exit-code contract for a finished run: 4 when an invariant was
+// violated, 3 when the fidelity guard says the run is not trustworthy, 0
+// otherwise. Invariant violations win — a broken cluster matters more than a
+// distrusted measurement of it.
+int RunExitCode(const RunResult& result);
 
 }  // namespace scalecheck
 

@@ -1,0 +1,145 @@
+// The runtime invariant checker (src/check/): clean runs stay clean, the
+// planted left-join bug is caught as a zombie endpoint, the report is
+// deterministic, and the exit-code contract distinguishes invariant
+// violations (4) from fidelity verdicts (3).
+
+#include <gtest/gtest.h>
+
+#include "src/scalecheck/bug_catalog.h"
+#include "src/scalecheck/scale_check.h"
+
+namespace scalecheck {
+namespace {
+
+constexpr int kNodes = 12;
+constexpr uint64_t kSeed = 1234;
+
+BugSpec DecommissionSpec() {
+  BugSpec spec = BugCatalog::Get("C3831");
+  spec.calc_version = CalcVersion::kV3C3881Fix;  // fast calc; not under test
+  return spec;
+}
+
+// A crash whose restart lands *after* the decommission target's LEFT state
+// has disseminated (LEAVING starts at 20s, transition 90s, gossip stop at
+// 130s). The restarted node re-learns every endpoint from scratch, so its
+// first sighting of the departed node is the LEFT tombstone — exactly the
+// schedule the planted recovery bug mishandles.
+FaultPlan LateRestartCrash() {
+  FaultPlan plan;
+  plan.name = "late-restart-crash";
+  FaultEvent ev;
+  ev.kind = FaultKind::kCrash;
+  ev.at = VirtualDuration::Seconds(145);
+  ev.duration = VirtualDuration::Seconds(20);
+  ev.nodes_a = {9};
+  plan.events.push_back(ev);
+  return plan;
+}
+
+TEST(InvariantsTest, CleanDecommissionRunHasNoViolations) {
+  BugSpec spec = DecommissionSpec();
+  RunResult result = RunSingle(spec, kNodes, RunMode::kColocated, kSeed);
+  EXPECT_TRUE(result.invariants.checked);
+  EXPECT_GT(result.invariants.probes, 0u);
+  EXPECT_TRUE(result.invariants.ok())
+      << result.invariants.ToJson();
+  EXPECT_EQ(RunExitCode(result), 0);
+}
+
+TEST(InvariantsTest, DisabledCheckerReportsUnchecked) {
+  BugSpec spec = DecommissionSpec();
+  spec.check.enabled = false;
+  RunResult result = RunSingle(spec, kNodes, RunMode::kColocated, kSeed);
+  EXPECT_FALSE(result.invariants.checked);
+  EXPECT_EQ(result.invariants.probes, 0u);
+  EXPECT_EQ(RunExitCode(result), 0);
+}
+
+TEST(InvariantsTest, LateRestartWithoutPlantedBugStaysClean) {
+  // The adverse schedule alone is survivable: the correct recovery path
+  // honours the LEFT tombstone, so no invariant fires.
+  BugSpec spec = DecommissionSpec();
+  spec.custom_faults = LateRestartCrash();
+  RunResult result = RunSingle(spec, kNodes, RunMode::kColocated, kSeed);
+  EXPECT_TRUE(result.invariants.checked);
+  EXPECT_TRUE(result.invariants.ok()) << result.invariants.ToJson();
+  EXPECT_EQ(result.restarted_nodes, 1);
+}
+
+TEST(InvariantsTest, PlantedLeftJoinBugIsCaughtAsZombieEndpoint) {
+  BugSpec spec = DecommissionSpec();
+  spec.custom_faults = LateRestartCrash();
+  spec.check.plant_left_join_bug = true;
+  RunResult result = RunSingle(spec, kNodes, RunMode::kColocated, kSeed);
+  ASSERT_TRUE(result.invariants.checked);
+  ASSERT_FALSE(result.invariants.ok());
+  std::vector<std::string> names = result.invariants.ViolatedNames();
+  ASSERT_EQ(names.size(), 1u) << result.invariants.ToJson();
+  EXPECT_EQ(names[0], "zombie-endpoint");
+  // The first-violation timestamp is a real probe instant after the restart.
+  const InvariantViolation& v = result.invariants.violations[0];
+  EXPECT_GT(v.first_at.nanos(), VirtualDuration::Seconds(165).nanos());
+  EXPECT_GT(v.count, 0);
+  EXPECT_FALSE(v.detail.empty());
+  // Violations surface in the human summary and drive the exit code.
+  EXPECT_NE(result.Summary().find("INVARIANT:zombie-endpoint"),
+            std::string::npos);
+  EXPECT_EQ(RunExitCode(result), 4);
+}
+
+TEST(InvariantsTest, ViolationReportIsDeterministic) {
+  BugSpec spec = DecommissionSpec();
+  spec.custom_faults = LateRestartCrash();
+  spec.check.plant_left_join_bug = true;
+  RunResult a = RunSingle(spec, kNodes, RunMode::kColocated, kSeed);
+  RunResult b = RunSingle(spec, kNodes, RunMode::kColocated, kSeed);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  EXPECT_EQ(a.invariants.ToJson(), b.invariants.ToJson());
+}
+
+TEST(InvariantsTest, KvHistoryCheckedOnSteadyState) {
+  BugSpec spec = DecommissionSpec();
+  spec.workload = WorkloadKind::kSteadyState;
+  spec.horizon = VirtualDuration::Seconds(120);
+  spec.kv_ops_per_second = 25.0;
+  RunResult result = RunSingle(spec, kNodes, RunMode::kColocated, kSeed);
+  EXPECT_TRUE(result.invariants.checked);
+  EXPECT_TRUE(result.invariants.kv_checked);
+  EXPECT_TRUE(result.invariants.ok()) << result.invariants.ToJson();
+}
+
+TEST(InvariantsTest, KvHistoryNotCheckableUnderMembershipChange) {
+  // Decommission moves key ownership; the simulator has no data streaming,
+  // so acked data legitimately strands and the kv gate must stay off.
+  BugSpec spec = DecommissionSpec();
+  spec.kv_ops_per_second = 25.0;
+  RunResult result = RunSingle(spec, kNodes, RunMode::kColocated, kSeed);
+  EXPECT_TRUE(result.invariants.checked);
+  EXPECT_FALSE(result.invariants.kv_checked);
+}
+
+TEST(InvariantsTest, CrashedDecommissionTargetRejoinsCleanly) {
+  // Regression for the incarnation guard on deferred lifecycle lambdas:
+  // crash the decommission *target* mid-transition (LEAVING since 20s,
+  // LEFT due at 110s; crash 60s..100s). The stale LEFT/stop continuations
+  // belong to the dead incarnation and must not fire against the restarted
+  // node, which rejoins NORMAL with its durable tokens.
+  BugSpec spec = DecommissionSpec();
+  FaultPlan plan;
+  plan.name = "crash-decommission-target";
+  FaultEvent ev;
+  ev.kind = FaultKind::kCrash;
+  ev.at = VirtualDuration::Seconds(60);
+  ev.duration = VirtualDuration::Seconds(40);
+  ev.nodes_a = {kNodes / 2};  // the decommission target
+  plan.events.push_back(ev);
+  spec.custom_faults = plan;
+  RunResult result = RunSingle(spec, kNodes, RunMode::kColocated, kSeed);
+  EXPECT_EQ(result.restarted_nodes, 1);
+  EXPECT_TRUE(result.invariants.checked);
+  EXPECT_TRUE(result.invariants.ok()) << result.invariants.ToJson();
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,73 @@
+// Rebalance (decommission + immediate re-join) under crash/restart faults.
+// The adverse schedules here historically exposed stale-lifecycle-lambda
+// state: a continuation scheduled by a node's previous incarnation firing
+// against its restarted self, leaving a zombie endpoint in ring views. The
+// incarnation guard in Node keeps these runs clean.
+
+#include <gtest/gtest.h>
+
+#include "src/scalecheck/bug_catalog.h"
+#include "src/scalecheck/scale_check.h"
+
+namespace scalecheck {
+namespace {
+
+constexpr int kNodes = 12;
+constexpr uint64_t kSeed = 4242;
+
+BugSpec RebalanceSpec() {
+  BugSpec spec = BugCatalog::Get("C3831");
+  spec.calc_version = CalcVersion::kV3C3881Fix;
+  spec.workload = WorkloadKind::kRebalance;
+  return spec;
+}
+
+FaultPlan CrashRestart(NodeId victim, int at_s, int down_s) {
+  FaultPlan plan;
+  plan.name = "crash-restart";
+  FaultEvent ev;
+  ev.kind = FaultKind::kCrash;
+  ev.at = VirtualDuration::Seconds(at_s);
+  ev.duration = VirtualDuration::Seconds(down_s);
+  ev.nodes_a = {victim};
+  plan.events.push_back(ev);
+  return plan;
+}
+
+TEST(RebalanceFaultsTest, ViewerCrashRestartLeavesNoZombie) {
+  // Crash an observer across the target's LEAVING->LEFT->re-join window; the
+  // restarted observer re-learns the membership from scratch and must end up
+  // with the target NORMAL on its new tokens, not resurrected on its old.
+  BugSpec spec = RebalanceSpec();
+  spec.custom_faults = CrashRestart(/*victim=*/9, /*at_s=*/55, /*down_s=*/20);
+  RunResult result = RunSingle(spec, kNodes, RunMode::kColocated, kSeed);
+  EXPECT_EQ(result.restarted_nodes, 1);
+  ASSERT_TRUE(result.invariants.checked);
+  EXPECT_TRUE(result.invariants.ok()) << result.invariants.ToJson();
+  EXPECT_EQ(RunExitCode(result), 0);
+}
+
+TEST(RebalanceFaultsTest, TargetCrashMidTransitionRejoinsCleanly) {
+  // Crash the rebalancing node itself while it is LEAVING (starts at 20s,
+  // LEFT due at 50s; crash 30s..60s). Its pre-crash incarnation scheduled
+  // the LEFT announcement and the re-join — both must be suppressed by the
+  // incarnation guard, and the restarted node simply rejoins NORMAL.
+  BugSpec spec = RebalanceSpec();
+  spec.custom_faults =
+      CrashRestart(/*victim=*/kNodes / 2, /*at_s=*/30, /*down_s=*/30);
+  RunResult result = RunSingle(spec, kNodes, RunMode::kColocated, kSeed);
+  EXPECT_EQ(result.restarted_nodes, 1);
+  ASSERT_TRUE(result.invariants.checked);
+  EXPECT_TRUE(result.invariants.ok()) << result.invariants.ToJson();
+}
+
+TEST(RebalanceFaultsTest, FaultedRebalanceIsDeterministic) {
+  BugSpec spec = RebalanceSpec();
+  spec.custom_faults = CrashRestart(/*victim=*/9, /*at_s=*/55, /*down_s=*/20);
+  RunResult a = RunSingle(spec, kNodes, RunMode::kColocated, kSeed);
+  RunResult b = RunSingle(spec, kNodes, RunMode::kColocated, kSeed);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,134 @@
+// The strict JSON parser (read-side of JsonWriter).
+
+#include <gtest/gtest.h>
+
+#include "src/common/json.h"
+#include "src/common/strings.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(JsonParseTest, ObjectWithEveryKind) {
+  Result<JsonValue> r = ParseJson(
+      "{\"i\":42,\"d\":1.5,\"s\":\"hi\",\"b\":true,\"n\":null,"
+      "\"a\":[1,2,3],\"o\":{\"x\":-7}}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const JsonValue& v = r.value();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.Find("i")->AsInt(), 42);
+  EXPECT_DOUBLE_EQ(v.Find("d")->AsDouble(), 1.5);
+  EXPECT_EQ(v.Find("s")->AsString(), "hi");
+  EXPECT_TRUE(v.Find("b")->AsBool());
+  EXPECT_TRUE(v.Find("n")->is_null());
+  ASSERT_EQ(v.Find("a")->AsArray().size(), 3u);
+  EXPECT_EQ(v.Find("a")->AsArray()[2].AsInt(), 3);
+  EXPECT_EQ(v.Find("o")->Find("x")->AsInt(), -7);
+}
+
+TEST(JsonParseTest, ObjectsPreserveInsertionOrder) {
+  Result<JsonValue> r = ParseJson("{\"z\":1,\"a\":2,\"m\":3}");
+  ASSERT_TRUE(r.ok());
+  const auto& members = r.value().AsObject();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonParseTest, Int64PreservedExactly) {
+  Result<JsonValue> r = ParseJson("[9223372036854775807,-9223372036854775808]");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().AsArray()[0].is_int());
+  EXPECT_EQ(r.value().AsArray()[0].AsInt(), INT64_MAX);
+  ASSERT_TRUE(r.value().AsArray()[1].is_int());
+  EXPECT_EQ(r.value().AsArray()[1].AsInt(), INT64_MIN);
+}
+
+TEST(JsonParseTest, FractionalAndExponentAreNotInt) {
+  Result<JsonValue> r = ParseJson("[1.0,1e3]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().AsArray()[0].is_int());
+  EXPECT_FALSE(r.value().AsArray()[1].is_int());
+  EXPECT_DOUBLE_EQ(r.value().AsArray()[1].AsDouble(), 1000.0);
+}
+
+TEST(JsonParseTest, EscapesDecoded) {
+  Result<JsonValue> r = ParseJson(R"(["\"\\\/\b\f\n\r\t","A","😀"])");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().AsArray()[0].AsString(), "\"\\/\b\f\n\r\t");
+  EXPECT_EQ(r.value().AsArray()[1].AsString(), "A");
+  EXPECT_EQ(r.value().AsArray()[2].AsString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseJson("{} x").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+}
+
+TEST(JsonParseTest, RejectsDuplicateKeys) {
+  Result<JsonValue> r = ParseJson("{\"k\":1,\"k\":2}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JsonParseTest, TruncatedInputIsTruncatedStatus) {
+  for (const char* text : {"{\"k\":", "[1,", "\"abc", "{", "tru"}) {
+    Result<JsonValue> r = ParseJson(text);
+    ASSERT_FALSE(r.ok()) << text;
+    EXPECT_EQ(r.status().code(), StatusCode::kTruncated) << text;
+  }
+}
+
+TEST(JsonParseTest, RejectsMalformed) {
+  for (const char* text :
+       {"", "{k:1}", "[1 2]", "{\"k\" 1}", "nul", "[01]", "+1", "\"\x01\"",
+        "[1,]", "{\"k\":1,}", "NaN", "Infinity"}) {
+    EXPECT_FALSE(ParseJson(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+  // 32 levels is fine.
+  std::string ok(32, '[');
+  ok += std::string(32, ']');
+  EXPECT_TRUE(ParseJson(ok).ok());
+}
+
+TEST(JsonParseTest, TypedGettersReportErrors) {
+  Result<JsonValue> r = ParseJson("{\"i\":1,\"s\":\"x\",\"d\":1.5}");
+  ASSERT_TRUE(r.ok());
+  const JsonValue& v = r.value();
+  EXPECT_EQ(v.GetInt("i", "t").value(), 1);
+  EXPECT_EQ(v.GetString("s", "t").value(), "x");
+  EXPECT_DOUBLE_EQ(v.GetDouble("d", "t").value(), 1.5);
+  // Ints read as doubles too; doubles do not read as ints.
+  EXPECT_DOUBLE_EQ(v.GetDouble("i", "t").value(), 1.0);
+  EXPECT_FALSE(v.GetInt("d", "t").ok());
+  EXPECT_FALSE(v.GetInt("missing", "t").ok());
+  EXPECT_FALSE(v.GetString("i", "t").ok());
+  EXPECT_FALSE(v.GetBool("s", "t").ok());
+}
+
+TEST(JsonParseTest, RoundTripsJsonWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("name", "x\"y\\z");
+  w.Field("count", int64_t{-123});
+  w.Field("big", uint64_t{1} << 62);
+  w.Field("ratio", 0.1);
+  w.Field("on", true);
+  w.Key("items").BeginArray().Int(1).Int(2).EndArray();
+  w.EndObject();
+  Result<JsonValue> r = ParseJson(w.str());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().Find("name")->AsString(), "x\"y\\z");
+  EXPECT_EQ(r.value().Find("count")->AsInt(), -123);
+  EXPECT_EQ(r.value().Find("big")->AsInt(), int64_t{1} << 62);
+  EXPECT_DOUBLE_EQ(r.value().Find("ratio")->AsDouble(), 0.1);
+}
+
+}  // namespace
+}  // namespace scalecheck

@@ -1,0 +1,112 @@
+// FaultPlan / FaultEvent JSON serialization and the strict round-trip parse
+// (satellite of the ChaosSearch PR: repro artifacts embed plans this way).
+
+#include <gtest/gtest.h>
+
+#include "src/common/json.h"
+#include "src/faults/fault_plan.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(FaultPlanJsonTest, StandardChaosRoundTripsFieldForField) {
+  for (uint64_t seed : {1ULL, 42ULL, 0x5ca1ec4ecULL}) {
+    FaultPlan plan = FaultPlan::StandardChaos(16, seed);
+    ASSERT_FALSE(plan.empty());
+    Result<FaultPlan> parsed = FaultPlan::FromJsonText(plan.ToJson());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_TRUE(parsed.value() == plan) << "seed " << seed;
+    // Re-serialization is byte-identical, so an artifact survives any number
+    // of parse/emit cycles unchanged.
+    EXPECT_EQ(parsed.value().ToJson(), plan.ToJson());
+  }
+}
+
+TEST(FaultPlanJsonTest, SingleFaultPlansRoundTrip) {
+  for (const char* name :
+       {"partition", "crash-restart", "slow-node", "memory-pressure"}) {
+    FaultPlan plan = FaultPlan::ByName(name, 12, 7);
+    Result<FaultPlan> parsed = FaultPlan::FromJsonText(plan.ToJson());
+    ASSERT_TRUE(parsed.ok()) << name << ": " << parsed.status().ToString();
+    EXPECT_TRUE(parsed.value() == plan) << name;
+  }
+}
+
+TEST(FaultPlanJsonTest, EmptyPlanRoundTrips) {
+  FaultPlan plan;
+  plan.name = "none";
+  Result<FaultPlan> parsed = FaultPlan::FromJsonText(plan.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value() == plan);
+}
+
+TEST(FaultPlanJsonTest, KindNamesRoundTrip) {
+  for (FaultKind kind :
+       {FaultKind::kPartition, FaultKind::kLinkDegrade, FaultKind::kCrash,
+        FaultKind::kSlowNode, FaultKind::kMemoryPressure}) {
+    Result<FaultKind> back = FaultKindFromName(FaultKindName(kind));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), kind);
+  }
+  EXPECT_FALSE(FaultKindFromName("meteor-strike").ok());
+  EXPECT_FALSE(FaultKindFromName("").ok());
+}
+
+// Helper: serialize a valid one-event plan, apply `mutate` to the JSON text,
+// and expect the strict parse to reject the result.
+void ExpectRejected(const std::string& json, const std::string& what) {
+  Result<FaultPlan> parsed = FaultPlan::FromJsonText(json);
+  EXPECT_FALSE(parsed.ok()) << "accepted " << what << ": " << json;
+}
+
+std::string ValidPlanJson() {
+  FaultPlan plan;
+  plan.name = "p";
+  FaultEvent ev;
+  ev.kind = FaultKind::kCrash;
+  ev.at = VirtualDuration::Seconds(30);
+  ev.duration = VirtualDuration::Seconds(10);
+  ev.nodes_a = {3};
+  plan.events.push_back(ev);
+  return plan.ToJson();
+}
+
+TEST(FaultPlanJsonTest, StrictParseRejectsCorruptEvents) {
+  const std::string good = ValidPlanJson();
+  ASSERT_TRUE(FaultPlan::FromJsonText(good).ok());
+
+  auto replace = [&good](const std::string& from, const std::string& to) {
+    std::string s = good;
+    auto pos = s.find(from);
+    EXPECT_NE(pos, std::string::npos) << from;
+    s.replace(pos, from.size(), to);
+    return s;
+  };
+
+  ExpectRejected(replace("\"kind\":\"crash\"", "\"kind\":\"meteor\""),
+                 "unknown kind");
+  ExpectRejected(replace("\"kind\":\"crash\"", "\"kind\":2"),
+                 "numeric kind");
+  ExpectRejected(replace("\"kind\"", "\"kinds\""), "unknown key");
+  ExpectRejected(replace("\"cpu_factor\":1,", ""), "missing key");
+  ExpectRejected(replace("\"at_ns\":30000000000", "\"at_ns\":-1"),
+                 "negative at");
+  ExpectRejected(
+      replace("\"at_ns\":30000000000", "\"at_ns\":99999999999999999"),
+      "at beyond kMaxEventTime");
+  ExpectRejected(replace("\"extra_loss\":0", "\"extra_loss\":1.5"),
+                 "extra_loss > 1");
+  ExpectRejected(replace("\"nodes_a\":[3]", "\"nodes_a\":[]"),
+                 "empty nodes_a");
+  ExpectRejected(replace("\"nodes_a\":[3]", "\"nodes_a\":[-1]"),
+                 "negative node id");
+  ExpectRejected(replace("\"cpu_factor\":1", "\"cpu_factor\":0"),
+                 "cpu_factor zero");
+  ExpectRejected(replace("\"ballast_bytes\":0", "\"ballast_bytes\":-4"),
+                 "negative ballast");
+  ExpectRejected("{\"events\":[]}", "missing plan name");
+  ExpectRejected("[]", "non-object plan");
+}
+
+}  // namespace
+}  // namespace scalecheck
