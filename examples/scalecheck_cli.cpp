@@ -10,12 +10,16 @@
 // crash+restart, slow nodes, memory pressure) into every run; see
 // src/faults/fault_plan.h for the named plans.
 //
-// Modes: real | colo | memoize | replay | full (real+colo+memoize+replay).
-// `memoize` writes /tmp/scalecheck_<bug>.memo; `replay` reads it — so a
-// developer can memoize once and replay as many times as debugging needs,
-// exactly the Figure 2 workflow. `full` runs the whole grid through the
-// host-parallel ExperimentSuite; --jobs=N adds workers without changing a
-// single output byte (--jobs=0 uses all cores).
+// Modes (src/scalecheck/cli_modes.h): suite | search | repro | real.
+// --mode=suite picks simulated deployments via --sim-modes= (default all
+// four: the Figure-3 grid through the host-parallel ExperimentSuite; --jobs=N
+// adds workers without changing a single output byte). --sim-modes=memoize
+// writes /tmp/scalecheck_<bug>.memo; --sim-modes=replay reads it — memoize
+// once, replay as many times as debugging needs, the Figure 2 workflow.
+// --mode=real boots N in-process nodes on REAL localhost TCP sockets and
+// wall-clock timers and runs them to gossip convergence.
+// Old spellings (full/colo/memoize/replay/real-scale) still parse as
+// deprecated aliases for one release.
 
 #include <algorithm>
 #include <cstdio>
@@ -27,7 +31,9 @@
 
 #include "src/common/logging.h"
 #include "src/faults/fault_search.h"
+#include "src/net/real_cluster.h"
 #include "src/scalecheck/bug_catalog.h"
+#include "src/scalecheck/cli_modes.h"
 #include "src/scalecheck/experiment_suite.h"
 #include "src/scalecheck/scale_check.h"
 
@@ -37,7 +43,8 @@ namespace {
 
 struct CliOptions {
   std::string bug = "C3831";
-  std::string mode = "full";
+  std::string mode = "suite";
+  std::string sim_modes;  // --mode=suite: CSV of real|colo|memoize|replay
   int nodes = 64;
   uint64_t seed = 0x5ca1ec4ecULL;
   int jobs = 1;
@@ -54,7 +61,11 @@ struct CliOptions {
   uint64_t search_seed = 0xc4a05ULL;
   bool plant_bug = false;
   std::string repro_out;  // --mode=search: save the repro artifact here
-  std::string repro;      // replay an artifact instead of running a scenario
+  std::string repro;      // --mode=repro: the artifact to replay
+  // ---- Real sockets (--mode=real) -----------------------------------------
+  int real_seconds = 30;  // convergence timeout, wall clock
+  int gossip_ms = 100;    // gossip round interval
+  int kv_ops = 0;         // quorum write+read pairs after convergence
 };
 
 bool ParseReplayPolicy(const char* name, ReplayPolicy* out) {
@@ -81,6 +92,26 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->bug = bug;
     } else if (const char* mode = value_of("--mode=")) {
       out->mode = mode;
+    } else if (const char* modes = value_of("--sim-modes=")) {
+      out->sim_modes = modes;
+    } else if (const char* secs = value_of("--real-seconds=")) {
+      out->real_seconds = std::atoi(secs);
+      if (out->real_seconds < 1) {
+        std::fprintf(stderr, "--real-seconds needs a positive value\n");
+        return false;
+      }
+    } else if (const char* ms = value_of("--gossip-ms=")) {
+      out->gossip_ms = std::atoi(ms);
+      if (out->gossip_ms < 1) {
+        std::fprintf(stderr, "--gossip-ms needs a positive value\n");
+        return false;
+      }
+    } else if (const char* ops = value_of("--kv-ops=")) {
+      out->kv_ops = std::atoi(ops);
+      if (out->kv_ops < 0) {
+        std::fprintf(stderr, "--kv-ops cannot be negative\n");
+        return false;
+      }
     } else if (const char* nodes = value_of("--nodes=")) {
       out->nodes = std::atoi(nodes);
     } else if (const char* seed = value_of("--seed=")) {
@@ -141,11 +172,24 @@ void Usage() {
   std::printf(
       "usage: scalecheck_cli [--bug=ID] [--mode=M] [--nodes=N] [--seed=S]\n"
       "                      [--jobs=J] [--faults=PLAN] [--trace] [--json]\n"
-      "                      [--guard-lateness-p99-ms=MS] [--replay-policy=P]\n"
-      "                      [--search-budget=B] [--search-seed=S] [--plant-bug]\n"
-      "                      [--repro-out=FILE] [--repro=FILE]\n"
+      "                      [--sim-modes=CSV] [--guard-lateness-p99-ms=MS]\n"
+      "                      [--replay-policy=P] [--search-budget=B]\n"
+      "                      [--search-seed=S] [--plant-bug] [--repro-out=FILE]\n"
+      "                      [--repro=FILE] [--real-seconds=T] [--gossip-ms=MS]\n"
+      "                      [--kv-ops=K]\n"
       "  bugs: %s\n"
-      "  modes: real colo memoize replay full search\n"
+      "  modes: suite search repro real\n"
+      "         (deprecated aliases: full colo memoize replay real-scale)\n"
+      "  --sim-modes=CSV             --mode=suite only: which simulated\n"
+      "                              deployments (real|colo|memoize|replay;\n"
+      "                              default all four, the comparison grid)\n"
+      "  --mode=real                 boot N in-process nodes on REAL localhost\n"
+      "                              TCP sockets + wall-clock timers, run to\n"
+      "                              gossip convergence, export RunResult JSON\n"
+      "  --real-seconds=T            real mode: convergence timeout (default 30)\n"
+      "  --gossip-ms=MS              real mode: gossip interval (default 100)\n"
+      "  --kv-ops=K                  real mode: K quorum writes+reads after\n"
+      "                              convergence (default 0 = membership only)\n"
       "  fault plans: none standard-chaos partition crash-restart slow-node\n"
       "               memory-pressure\n"
       "  --guard-lateness-p99-ms=MS  fidelity budget: p99 event lateness above\n"
@@ -313,6 +357,33 @@ int RunSearch(const BugSpec& spec, const CliOptions& cli) {
   return report.found_violation ? 4 : 0;
 }
 
+// --mode=real: the same Gossiper/ring/KvService translation units that run in
+// the simulator, on real localhost TCP sockets and wall-clock timers. No
+// BugSpec here — real mode measures the substrate itself, not a catalog
+// scenario.
+int RunReal(const CliOptions& cli) {
+  RealCluster::Options options;
+  options.num_nodes = cli.nodes;
+  options.node.seed = cli.seed;
+  options.node.gossip_interval = VirtualDuration::Millis(cli.gossip_ms);
+  options.node.enable_kv = cli.kv_ops > 0;
+  options.kv_ops = cli.kv_ops;
+  options.convergence_timeout = VirtualDuration::Seconds(cli.real_seconds);
+  RealCluster cluster(options);
+  RunResult result = cluster.Run();
+  if (cli.json) {
+    std::printf("%s\n", result.ToJson().c_str());
+  } else {
+    std::printf("%s\n", result.Summary().c_str());
+  }
+  if (!result.settled) {
+    std::fprintf(stderr, "real cluster did not converge within %ds\n",
+                 cli.real_seconds);
+    return 1;
+  }
+  return VerdictExitCode(result);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -322,8 +393,29 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  Result<ModeSelection> parsed = ParseCliMode(cli.mode, cli.sim_modes);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().message().c_str());
+    Usage();
+    return 2;
+  }
+  const ModeSelection sel = parsed.value();
+  if (sel.deprecated_alias) {
+    std::fprintf(stderr, "warning: --mode=%s is deprecated; use %s\n",
+                 cli.mode.c_str(), sel.canonical.c_str());
+  }
+  // A --repro artifact implies repro mode regardless of --mode (historical
+  // behavior); --mode=repro without an artifact is a usage error.
   if (!cli.repro.empty()) {
     return RunRepro(cli);
+  }
+  if (sel.kind == CliModeKind::kRepro) {
+    std::fprintf(stderr, "--mode=repro needs --repro=FILE\n");
+    Usage();
+    return 2;
+  }
+  if (sel.kind == CliModeKind::kReal) {
+    return RunReal(cli);
   }
   const BugSpec* catalog_spec = BugCatalog::TryGet(cli.bug);
   if (catalog_spec == nullptr) {
@@ -355,22 +447,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (cli.mode == "search") {
+  if (sel.kind == CliModeKind::kSearch) {
     return RunSearch(spec, cli);
   }
-  if (cli.mode == "real") {
-    return RunOne(spec, cli, RunMode::kRealScale);
-  }
-  if (cli.mode == "colo") {
-    return RunOne(spec, cli, RunMode::kColocated);
-  }
-  if (cli.mode == "memoize") {
-    return RunOne(spec, cli, RunMode::kMemoize);
-  }
-  if (cli.mode == "replay") {
-    return RunOne(spec, cli, RunMode::kPilReplay);
-  }
-  if (cli.mode == "full") {
+  if (sel.IsFullGrid()) {
     ExperimentSpec grid;
     grid.bugs = {spec};
     grid.modes = {RunMode::kRealScale, RunMode::kColocated, RunMode::kMemoize,
@@ -396,7 +476,11 @@ int main(int argc, char** argv) {
                 full.replay_flap_error * 100.0, full.colo_flap_error * 100.0);
     return exit_code;
   }
-  std::fprintf(stderr, "unknown mode '%s'\n", cli.mode.c_str());
-  Usage();
-  return 2;
+  // A subset of simulated deployments: run them sequentially in request
+  // order; the worst exit code wins so CI gates stay honest.
+  int exit_code = 0;
+  for (RunMode mode : sel.sim_modes) {
+    exit_code = std::max(exit_code, RunOne(spec, cli, mode));
+  }
+  return exit_code;
 }

@@ -22,12 +22,16 @@ BUILD_DIR="${1:-build-${SANITIZER:0:1}san}"
 # threads); sim_fidelity_guard_test and pil_replay_policy_test cover the guard
 # probes and the strict-abort seam those retries depend on;
 # faults_search_test drives the ChaosSearch executor (per-generation suite
-# grids at jobs=4, including the jobs=1-vs-4 byte-identity check).
+# grids at jobs=4, including the jobs=1-vs-4 byte-identity check);
+# transport_conformance_test and real_cluster_test exercise the threaded
+# TcpTransport/RealClock carrier (socket reader threads, the timer thread,
+# and the per-node monitor) — TSan over those is the race gate for src/net.
 TARGETS=(scalecheck_suite_test common_thread_pool_test
          faults_test faults_determinism_test sim_sync_crash_test
          scalecheck_selfheal_test sim_fidelity_guard_test
          pil_replay_policy_test pil_memo_corruption_test
-         faults_search_test)
+         faults_search_test
+         transport_conformance_test real_cluster_test)
 
 cmake -B "$BUILD_DIR" -S . -DSCALECHECK_SANITIZE="$SANITIZER" >/dev/null
 cmake --build "$BUILD_DIR" --target "${TARGETS[@]}" -j"$(nproc)"

@@ -12,7 +12,10 @@
 #      reject untrustworthy colocation results without parsing JSON,
 #   4. ChaosSearch smoke: a pinned-seed bounded search must find the planted
 #      left-join bug, shrink it to a <=3-event reproducer, and the emitted
-#      repro artifact must replay to the identical violation (exit 4).
+#      repro artifact must replay to the identical violation (exit 4),
+#   5. real-mode smoke: the same protocol code on REAL localhost TCP sockets
+#      (--mode=real) must gossip an 8-node cluster to convergence under a
+#      wall-clock timeout and exit 0.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -90,4 +93,28 @@ if [[ "$code" -ne 4 ]]; then
   exit 1
 fi
 
-echo "OK: build, tier-1 tests, perf smoke, guard exit codes, and chaos-search smoke all pass"
+echo "== real-mode smoke =="
+# 8 nodes on real localhost sockets must converge well inside 30s (typical:
+# well under a second) and exit 0; `timeout` guards the gate against a hang
+# in the threaded carrier. A non-converged run exits 1, a hang exits 124 —
+# either fails the gate.
+set +e
+out="$(timeout 60 "$CLI" --mode=real --nodes=8 --json)"
+code=$?
+set -e
+if [[ "$code" -ne 0 ]]; then
+  echo "FAIL: real-mode smoke exited $code, expected 0" >&2
+  exit 1
+fi
+if [[ "$out" != *'"settled":true'* || "$out" != *'"mode":"RealNet"'* ]]; then
+  echo "FAIL: real-mode smoke JSON lacks settled:true / mode:RealNet" >&2
+  exit 1
+fi
+
+# Deprecated mode aliases still work (one release) and warn on stderr.
+if ! "$CLI" --bug=C3831 --mode=colo --nodes=16 --json 2>/dev/null >/dev/null; then
+  echo "FAIL: deprecated --mode=colo alias no longer runs" >&2
+  exit 1
+fi
+
+echo "OK: build, tier-1 tests, perf smoke, guard exit codes, chaos-search and real-mode smokes all pass"

@@ -20,6 +20,8 @@ const char* RunModeName(RunMode mode) {
       return "Memoize";
     case RunMode::kPilReplay:
       return "SC+PIL";
+    case RunMode::kRealSockets:
+      return "RealNet";
   }
   return "?";
 }
@@ -185,8 +187,11 @@ void Cluster::BuildDeployment() {
   }
 
   // ---- Node environment -------------------------------------------------------
+  sim_clock_ = std::make_unique<SimClock>(sim_.get());
+  sim_transport_ = std::make_unique<SimTransport>(network_.get());
   env_.sim = sim_.get();
-  env_.network = network_.get();
+  env_.transport = sim_transport_.get();
+  env_.clock = sim_clock_.get();
   env_.flaps = &flaps_;
   env_.pil = pil_.get();
   env_.config = &options_.config;

@@ -23,6 +23,7 @@
 #include "src/pil/order_log.h"
 #include "src/sim/machine.h"
 #include "src/sim/network.h"
+#include "src/transport/sim_substrate.h"
 #include "src/sim/profiler.h"
 #include "src/sim/simulator.h"
 
@@ -101,6 +102,9 @@ class Cluster {
   std::unique_ptr<Simulator> sim_;
   std::unique_ptr<MachineSet> machines_;
   std::unique_ptr<NetworkModel> network_;
+  // Substrate seam adapters the nodes actually talk through.
+  std::unique_ptr<SimClock> sim_clock_;
+  std::unique_ptr<SimTransport> sim_transport_;
   FlapCounter flaps_;
   FunctionRegistry registry_;
   PilFunctionId calc_function_ = kInvalidPilFunction;

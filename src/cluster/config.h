@@ -23,6 +23,10 @@ enum class RunMode : int {
   kColocated = 1,  // one machine hosts everything; computation runs for real
   kMemoize = 2,    // colocated + PIL recording (Figure 2-d)
   kPilReplay = 3,  // one machine; offending functions sleep (Figure 2-f)
+  // Not a simulation deployment at all: the same protocol code on real
+  // localhost TCP sockets and wall-clock timers (src/net/). Results carry
+  // this mode so RunResult JSON distinguishes measured-for-real runs.
+  kRealSockets = 4,
 };
 
 const char* RunModeName(RunMode mode);

@@ -73,10 +73,11 @@ Node::Node(Env* env, NodeId id, Machine* machine, uint64_t seed)
   if (env_->config->enable_kv) {
     kv_stage_ = std::make_unique<SimThread>(env->sim, machine,
                                             StrFormat("n%d/kv-stage", id));
+    kv_stage_adapter_ = std::make_unique<SimStage>(kv_stage_.get());
     KvService::Deps deps;
-    deps.sim = env->sim;
-    deps.network = env->network;
-    deps.stage = kv_stage_.get();
+    deps.clock = env->clock;
+    deps.transport = env->transport;
+    deps.stage = kv_stage_adapter_.get();
     deps.ring = &ring_;
     deps.gossiper = &gossiper_;
     deps.self = id_;
@@ -120,7 +121,7 @@ void Node::PrimeSettled(const std::map<NodeId, std::vector<Token>>& members) {
     state.Set(ApplicationStateKey::kStatus, peer_status);
     gossiper_.AddKnownEndpoint(peer, state);
     // Prime the failure detector so phi is meaningful from t=0.
-    fd_.Report(peer, env_->sim->Now());
+    fd_.Report(peer, env_->clock->Now());
   }
 }
 
@@ -171,7 +172,7 @@ void Node::Start(bool as_joiner, VirtualDuration transition) {
       static_cast<int64_t>(gossiper_.endpoints().size()) *
           env_->config->endpoint_state_bytes);
 
-  env_->network->RegisterNode(id_, [this](const Message& msg) { OnMessage(msg); });
+  env_->transport->RegisterNode(id_, [this](const Message& msg) { OnMessage(msg); });
 
   if (as_joiner) {
     CHECK(my_tokens_.empty());
@@ -188,7 +189,7 @@ void Node::Start(bool as_joiner, VirtualDuration transition) {
     // the window, the restarted process must not be promoted by a timer armed
     // by its dead predecessor.
     const int64_t gen = generation_;
-    env_->sim->ScheduleAfter(transition, [this, gen] {
+    env_->clock->ScheduleAfter(transition, [this, gen] {
       if (crashed_ || generation_ != gen) {
         return;
       }
@@ -208,8 +209,8 @@ void Node::Start(bool as_joiner, VirtualDuration transition) {
   // Desynchronize rounds across nodes, as real deployments are.
   VirtualDuration phase = VirtualDuration::Nanos(static_cast<int64_t>(
       rng_.UniformDouble() * static_cast<double>(env_->config->gossip_interval.nanos())));
-  gossip_timer_ = std::make_unique<PeriodicTimer>(
-      env_->sim, env_->config->gossip_interval, [this] { GossipRound(); });
+  gossip_timer_ = std::make_unique<PeriodicClockTimer>(
+      env_->clock, env_->config->gossip_interval, [this] { GossipRound(); });
   gossip_timer_->Start(phase);
 }
 
@@ -227,7 +228,7 @@ void Node::BeginDecommission(VirtualDuration transition) {
   // restart inside the transition window must not let the stale continuation
   // announce LEFT (or silence gossip) on behalf of the fresh process.
   const int64_t gen = generation_;
-  env_->sim->ScheduleAfter(transition, [this, gen] {
+  env_->clock->ScheduleAfter(transition, [this, gen] {
     if (crashed_ || generation_ != gen) {
       return;
     }
@@ -243,12 +244,12 @@ void Node::BeginDecommission(VirtualDuration transition) {
     MaybeScheduleRecalc();
   });
   // Keep gossiping LEFT for a grace period so it disseminates, then stop.
-  env_->sim->ScheduleAfter(transition + VirtualDuration::Seconds(20), [this, gen] {
+  env_->clock->ScheduleAfter(transition + VirtualDuration::Seconds(20), [this, gen] {
     if (crashed_ || generation_ != gen) {
       return;
     }
     gossip_timer_->Stop();
-    env_->network->UnregisterNode(id_);
+    env_->transport->UnregisterNode(id_);
   });
 }
 
@@ -258,12 +259,12 @@ void Node::Crash() {
   }
   crashed_ = true;
   if (env_->trace != nullptr) {
-    env_->trace->Record(env_->sim->Now(), TraceKind::kNodeCrash, id_);
+    env_->trace->Record(env_->clock->Now(), TraceKind::kNodeCrash, id_);
   }
   if (gossip_timer_ != nullptr) {
     gossip_timer_->Stop();
   }
-  env_->network->UnregisterNode(id_);
+  env_->transport->UnregisterNode(id_);
   gossip_task_.Kill();
   gossip_stage_.Kill();
   if (calc_thread_ != nullptr) {
@@ -288,7 +289,7 @@ void Node::Restart(const std::vector<NodeId>& contacts) {
   crashed_ = false;
   ++generation_;
   if (env_->trace != nullptr) {
-    env_->trace->Record(env_->sim->Now(), TraceKind::kNodeRestart, id_, kInvalidNode,
+    env_->trace->Record(env_->clock->Now(), TraceKind::kNodeRestart, id_, kInvalidNode,
                         generation_);
   }
 
@@ -333,15 +334,15 @@ void Node::Restart(const std::vector<NodeId>& contacts) {
       id_, "endpoints",
       static_cast<int64_t>(gossiper_.endpoints().size()) *
           env_->config->endpoint_state_bytes);
-  env_->network->RegisterNode(id_, [this](const Message& msg) { OnMessage(msg); });
+  env_->transport->RegisterNode(id_, [this](const Message& msg) { OnMessage(msg); });
   if (kv_ != nullptr) {
     kv_->SetDown(false);
   }
 
   VirtualDuration phase = VirtualDuration::Nanos(static_cast<int64_t>(
       rng_.UniformDouble() * static_cast<double>(env_->config->gossip_interval.nanos())));
-  gossip_timer_ = std::make_unique<PeriodicTimer>(
-      env_->sim, env_->config->gossip_interval, [this] { GossipRound(); });
+  gossip_timer_ = std::make_unique<PeriodicClockTimer>(
+      env_->clock, env_->config->gossip_interval, [this] { GossipRound(); });
   gossip_timer_->Start(phase);
 }
 
@@ -402,7 +403,7 @@ void Node::GossipRound() {
   if (crashed_) {
     return;
   }
-  VirtualTime intended = env_->sim->Now();
+  VirtualTime intended = env_->clock->Now();
 
   Job round("gossip.round");
   round.IntendedAt(intended);
@@ -433,7 +434,7 @@ void Node::FailureSweep() {
                static_cast<WorkUnits>(gossiper_.endpoints().size());
       })
       .Run([this] {
-        VirtualTime now = env_->sim->Now();
+        VirtualTime now = env_->clock->Now();
         // Iterating the cached live view is equivalent to scanning all
         // endpoints and skipping the dead: Node keeps alive ⊆ known. MarkDead
         // inside the loop only defers a rebuild, it does not move the vector.
@@ -462,7 +463,7 @@ void Node::FailureSweep() {
 void Node::SendSyn(NodeId peer) {
   std::shared_ptr<SynPayload> syn = syn_pool_.Acquire();
   gossiper_.CopySynDigests(&syn->digests);
-  env_->network->Send(id_, peer, kGossipSyn, std::move(syn));
+  env_->transport->Send(id_, peer, kGossipSyn, std::move(syn));
 }
 
 void Node::HandleSynMessage(const Message& msg) {
@@ -483,7 +484,7 @@ void Node::HandleSynMessage(const Message& msg) {
                              Gossiper::EstimateSynWork(*syn, env_->config->gossip_costs),
                              gossiper_.endpoints().size());
         }
-        env_->network->Send(id_, peer, kGossipAck, std::move(ack));
+        env_->transport->Send(id_, peer, kGossipAck, std::move(ack));
       });
   gossip_stage_.Enqueue(std::move(job));
 }
@@ -517,7 +518,7 @@ void Node::HandleAckMessage(const Message& msg) {
       std::shared_ptr<Ack2Payload> ack2 = ack2_pool_.Acquire();
       ack2->states = gossiper_.StatesForRequests(ack->requests);
       if (!ack2->states.empty()) {
-        env_->network->Send(id_, peer, kGossipAck2, std::move(ack2));
+        env_->transport->Send(id_, peer, kGossipAck2, std::move(ack2));
       }
     }
     MaybeScheduleRecalc();
@@ -549,7 +550,7 @@ void Node::HandleAck2Message(const Message& msg) {
 
 void Node::OnStatusChange(NodeId ep, StatusKind old_status, StatusKind new_status) {
   if (env_->trace != nullptr) {
-    env_->trace->Record(env_->sim->Now(), TraceKind::kStatusChange, id_, ep,
+    env_->trace->Record(env_->clock->Now(), TraceKind::kStatusChange, id_, ep,
                         static_cast<int64_t>(new_status), StatusKindName(new_status));
   }
   switch (new_status) {
@@ -612,12 +613,12 @@ void Node::OnHeartbeat(NodeId ep) {
   if (unmonitored_.count(ep) > 0) {
     return;
   }
-  fd_.Report(ep, env_->sim->Now());
+  fd_.Report(ep, env_->clock->Now());
   if (!gossiper_.IsAlive(ep)) {
     gossiper_.MarkAlive(ep);
-    env_->flaps->RecordUp(id_, ep, env_->sim->Now());
+    env_->flaps->RecordUp(id_, ep, env_->clock->Now());
     if (env_->trace != nullptr) {
-      env_->trace->Record(env_->sim->Now(), TraceKind::kRescue, id_, ep);
+      env_->trace->Record(env_->clock->Now(), TraceKind::kRescue, id_, ep);
     }
   }
   if (env_->config->recalc_trigger == RecalcTrigger::kAnyApplyOfPendingEndpoint &&
@@ -630,7 +631,7 @@ void Node::OnRestart(NodeId ep) {
   // Treat a restarted peer as freshly alive.
   if (!gossiper_.IsAlive(ep)) {
     gossiper_.MarkAlive(ep);
-    env_->flaps->RecordUp(id_, ep, env_->sim->Now());
+    env_->flaps->RecordUp(id_, ep, env_->clock->Now());
   }
 }
 
@@ -737,7 +738,7 @@ void Node::BuildRecalcJob() {
     ring_dirty_ = false;
     ++*env_->calc_invocations;
     if (env_->trace != nullptr) {
-      env_->trace->Record(env_->sim->Now(), TraceKind::kCalcStart, id_, kInvalidNode,
+      env_->trace->Record(env_->clock->Now(), TraceKind::kCalcStart, id_, kInvalidNode,
                           static_cast<int64_t>(pending_changes_.size()));
     }
     state->bootstrap_path =
@@ -748,7 +749,7 @@ void Node::BuildRecalcJob() {
   auto finish = [this] {
     recalc_inflight_ = false;
     if (env_->trace != nullptr) {
-      env_->trace->Record(env_->sim->Now(), TraceKind::kCalcDone, id_, kInvalidNode,
+      env_->trace->Record(env_->clock->Now(), TraceKind::kCalcDone, id_, kInvalidNode,
                           static_cast<int64_t>(pending_ranges_.size()));
     }
     MaybeScheduleRecalc();  // re-run if dirtied during the calculation

@@ -46,6 +46,8 @@
 #include "src/sim/payload_pool.h"
 #include "src/sim/thread.h"
 #include "src/sim/trace.h"
+#include "src/transport/sim_substrate.h"
+#include "src/transport/substrate.h"
 
 namespace scalecheck {
 
@@ -113,8 +115,12 @@ class Node {
  public:
   // Shared environment owned by the Cluster.
   struct Env {
+    // The simulator is used only to host sim-side machinery (stage threads,
+    // the ring SimMutex); all protocol-visible time and messaging goes
+    // through the substrate seam below.
     Simulator* sim = nullptr;
-    NetworkModel* network = nullptr;
+    Transport* transport = nullptr;
+    Clock* clock = nullptr;
     FlapCounter* flaps = nullptr;
     PilBoundary* pil = nullptr;
     const ClusterConfig* config = nullptr;
@@ -258,8 +264,9 @@ class Node {
   SimThread gossip_stage_;
   std::unique_ptr<SimThread> calc_thread_;
   std::unique_ptr<SimThread> kv_stage_;
+  std::unique_ptr<SimStage> kv_stage_adapter_;  // seam view of kv_stage_
   std::unique_ptr<KvService> kv_;
-  std::unique_ptr<PeriodicTimer> gossip_timer_;
+  std::unique_ptr<PeriodicClockTimer> gossip_timer_;
 
   std::vector<Token> my_tokens_;
   std::vector<PendingChange> pending_changes_;

@@ -1,0 +1,130 @@
+// Small-buffer-optimized move-only callable for simulator events and
+// substrate timers (src/transport/substrate.h). Lives in common/ so the
+// transport seam can use it without depending on the simulator.
+//
+// Every scheduled event used to carry a std::function<void()>, which
+// heap-allocates for any capture beyond ~16 bytes and requires the callable
+// to be copyable. EventFn stores up to kInlineBytes of capture state inline
+// (enough for every hot callback in the tree, including the network-delivery
+// closure that carries a whole Message), falls back to the heap only for
+// oversized or throwing-move callables, and is move-only — so event callbacks
+// may own move-only resources, and by construction are never copied between
+// scheduling and execution.
+
+#ifndef SCALECHECK_SRC_COMMON_EVENT_FN_H_
+#define SCALECHECK_SRC_COMMON_EVENT_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace scalecheck {
+
+class EventFn {
+ public:
+  // Sized to hold the network-delivery closure (a Message plus the model
+  // pointer) without touching the heap. Callables larger than this — or with
+  // throwing moves — are boxed.
+  static constexpr size_t kInlineBytes = 64;
+
+  EventFn() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = InlineOps<D>();
+    } else {
+      *reinterpret_cast<D**>(static_cast<void*>(storage_)) =
+          new D(std::forward<F>(fn));
+      ops_ = HeapOps<D>();
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(&other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // Destroys the held callable — and everything it captures — immediately.
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  // True when the callable lives in the inline buffer (or the fn is empty);
+  // exposed so tests can pin down which captures stay allocation-free.
+  bool is_inline() const noexcept {
+    return ops_ == nullptr || ops_->inline_stored;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs into `to` from `from` and destroys the source.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename D>
+  static const Ops* InlineOps() {
+    static constexpr Ops ops = {
+        [](void* s) { (*static_cast<D*>(s))(); },
+        [](void* from, void* to) noexcept {
+          D* src = static_cast<D*>(from);
+          ::new (to) D(std::move(*src));
+          src->~D();
+        },
+        [](void* s) noexcept { static_cast<D*>(s)->~D(); },
+        true,
+    };
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* HeapOps() {
+    static constexpr Ops ops = {
+        [](void* s) { (**static_cast<D**>(s))(); },
+        [](void* from, void* to) noexcept {
+          *static_cast<D**>(to) = *static_cast<D**>(from);
+        },
+        [](void* s) noexcept { delete *static_cast<D**>(s); },
+        false,
+    };
+    return &ops;
+  }
+
+  void MoveFrom(EventFn* other) noexcept {
+    ops_ = other->ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other->storage_, storage_);
+      other->ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_COMMON_EVENT_FN_H_

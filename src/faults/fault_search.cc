@@ -17,7 +17,8 @@ namespace scalecheck {
 
 Result<RunMode> RunModeFromName(const std::string& name) {
   static constexpr RunMode kModes[] = {RunMode::kRealScale, RunMode::kColocated,
-                                       RunMode::kMemoize, RunMode::kPilReplay};
+                                       RunMode::kMemoize, RunMode::kPilReplay,
+                                       RunMode::kRealSockets};
   for (RunMode mode : kModes) {
     if (name == RunModeName(mode)) {
       return mode;

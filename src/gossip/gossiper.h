@@ -2,9 +2,10 @@
 //
 // Gossiper is deliberately transport- and thread-free: it consumes digests
 // and states and produces digests and states, so it can be unit-tested
-// exhaustively. The cluster::Node wires it to SimThreads and the
-// NetworkModel, and charges the CPU work this class *estimates* (instrumented
-// per-item costs) to the receiving stage thread.
+// exhaustively. The node wiring (cluster::Node over the simulated carrier,
+// net::RealNode over localhost TCP) connects it to the Transport seam and
+// charges the CPU work this class *estimates* (instrumented per-item costs)
+// to the receiving stage thread.
 //
 // The protocol outputs are incremental: the SYN digest list is a cached
 // vector whose entries are refreshed only for endpoints whose state actually

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "src/gossip/endpoint_state.h"
-#include "src/sim/network.h"
+#include "src/transport/message.h"
 
 namespace scalecheck {
 

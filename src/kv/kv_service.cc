@@ -12,8 +12,8 @@ KvService::KvService(Deps deps)
     : deps_(deps),
       storage_(std::make_unique<StorageEngine>()),
       retry_rng_(deps.retry_seed) {
-  CHECK_NOTNULL(deps_.sim);
-  CHECK_NOTNULL(deps_.network);
+  CHECK_NOTNULL(deps_.clock);
+  CHECK_NOTNULL(deps_.transport);
   CHECK_NOTNULL(deps_.stage);
   CHECK_NOTNULL(deps_.ring);
   CHECK_NOTNULL(deps_.gossiper);
@@ -33,7 +33,7 @@ void KvService::Submit(bool is_write, uint64_t key, std::string value, DoneFn do
   op->key = key;
   op->value = std::move(value);
   op->done = std::move(done);
-  op->started = deps_.sim->Now();
+  op->started = deps_.clock->Now();
   op->deadline_at = op->started + deps_.request_deadline;
   if (deps_.history != nullptr) {
     op->history_id = deps_.history->RecordIssued(deps_.self, is_write, key,
@@ -49,7 +49,7 @@ void KvService::Attempt(std::shared_ptr<ClientOp> op) {
     return;
   }
   // The per-attempt timeout never extends past the request deadline.
-  VirtualDuration budget = op->deadline_at - deps_.sim->Now();
+  VirtualDuration budget = op->deadline_at - deps_.clock->Now();
   VirtualDuration timeout = std::min(deps_.timeout, budget);
   if (timeout.nanos() < 1) {
     timeout = VirtualDuration::Nanos(1);
@@ -77,12 +77,12 @@ void KvService::OnAttemptDone(const std::shared_ptr<ClientOp>& op, KvOutcome out
   double jitter = 0.5 + retry_rng_.UniformDouble();
   auto backoff = VirtualDuration::Nanos(static_cast<int64_t>(
       static_cast<double>(deps_.retry_base_backoff.nanos()) * scale * jitter));
-  if (deps_.sim->Now() + backoff >= op->deadline_at) {
+  if (deps_.clock->Now() + backoff >= op->deadline_at) {
     Conclude(op, outcome, "");
     return;
   }
   ++stats_.retries;
-  deps_.sim->ScheduleAfter(backoff, [this, op] { Attempt(op); });
+  deps_.clock->ScheduleAfter(backoff, [this, op] { Attempt(op); });
 }
 
 void KvService::Conclude(const std::shared_ptr<ClientOp>& op, KvOutcome outcome,
@@ -90,7 +90,7 @@ void KvService::Conclude(const std::shared_ptr<ClientOp>& op, KvOutcome outcome,
   switch (outcome) {
     case KvOutcome::kOk:
       ++stats_.ok;
-      stats_.latency.AddDuration(deps_.sim->Now() - op->started);
+      stats_.latency.AddDuration(deps_.clock->Now() - op->started);
       break;
     case KvOutcome::kUnavailable:
       ++stats_.unavailable;
@@ -103,7 +103,7 @@ void KvService::Conclude(const std::shared_ptr<ClientOp>& op, KvOutcome outcome,
   }
   if (deps_.history != nullptr) {
     deps_.history->RecordConcluded(op->history_id, outcome, value,
-                                   deps_.sim->Now());
+                                   deps_.clock->Now());
   }
   if (op->done) {
     op->done(outcome, std::move(value));
@@ -136,14 +136,14 @@ void KvService::StartOp(bool is_write, uint64_t key, std::string value, DoneFn d
   op.is_write = is_write;
   op.needed = Quorum();
   op.outstanding = static_cast<int>(live.size());
-  op.started = deps_.sim->Now();
+  op.started = deps_.clock->Now();
   op.done = std::move(done);
-  op.timeout_event = deps_.sim->ScheduleAfter(timeout, [this, op_id] {
+  op.timeout_timer = deps_.clock->ScheduleAfter(timeout, [this, op_id] {
     auto it = inflight_.find(op_id);
     if (it == inflight_.end()) {
       return;
     }
-    it->second.timeout_event = kInvalidEvent;
+    it->second.timeout_timer = kInvalidTimer;
     Finish(op_id, KvOutcome::kTimeout, "");
   });
 
@@ -152,7 +152,7 @@ void KvService::StartOp(bool is_write, uint64_t key, std::string value, DoneFn d
   // coordinators, so last-write-wins read resolution agrees with the real
   // order in which quorum writes were issued.
   clock_counter_ = std::max<int64_t>(
-      clock_counter_ + 1, deps_.sim->Now().nanos() * 1024 +
+      clock_counter_ + 1, deps_.clock->Now().nanos() * 1024 +
                               (static_cast<int64_t>(deps_.self) & 1023));
   int64_t timestamp = clock_counter_;
   for (NodeId replica : live) {
@@ -170,7 +170,7 @@ void KvService::StartOp(bool is_write, uint64_t key, std::string value, DoneFn d
       self_msg.payload = req;
       HandleMessage(self_msg);
     } else {
-      deps_.network->Send(deps_.self, replica, is_write ? kKvWriteReq : kKvReadReq,
+      deps_.transport->Send(deps_.self, replica, is_write ? kKvWriteReq : kKvReadReq,
                           std::move(req));
     }
   }
@@ -181,13 +181,12 @@ void KvService::HandleMessage(const Message& msg) {
     case kKvWriteReq: {
       auto req = std::static_pointer_cast<const KvRequestPayload>(msg.payload);
       NodeId coordinator = msg.from;
-      Job job("kv.write-replica");
-      auto work = std::make_shared<WorkUnits>(0);
-      job.Run([this, req, work] {
-           *work = storage_->Put(req->key, req->value, req->timestamp);
-         })
-          .Compute([work] { return *work; })
-          .Run([this, req, coordinator] {
+      deps_.stage->Submit(
+          "kv.write-replica",
+          [this, req] {
+            return storage_->Put(req->key, req->value, req->timestamp);
+          },
+          [this, req, coordinator] {
             auto resp = std::make_shared<KvResponsePayload>();
             resp->op_id = req->op_id;
             resp->ack = true;
@@ -199,26 +198,26 @@ void KvService::HandleMessage(const Message& msg) {
               self_msg.payload = resp;
               HandleMessage(self_msg);
             } else {
-              deps_.network->Send(deps_.self, coordinator, kKvWriteResp,
-                                  std::move(resp));
+              deps_.transport->Send(deps_.self, coordinator, kKvWriteResp,
+                                    std::move(resp));
             }
           });
-      deps_.stage->Enqueue(std::move(job));
       break;
     }
     case kKvReadReq: {
       auto req = std::static_pointer_cast<const KvRequestPayload>(msg.payload);
       NodeId coordinator = msg.from;
-      Job job("kv.read-replica");
-      auto work = std::make_shared<WorkUnits>(0);
       auto value = std::make_shared<std::optional<std::string>>();
       auto version = std::make_shared<int64_t>(0);
-      job.Run([this, req, work, value, version] {
-           *value = storage_->Get(req->key, &*work);
-           *version = storage_->TimestampOf(req->key);
-         })
-          .Compute([work] { return *work; })
-          .Run([this, req, coordinator, value, version] {
+      deps_.stage->Submit(
+          "kv.read-replica",
+          [this, req, value, version] {
+            WorkUnits work = 0;
+            *value = storage_->Get(req->key, &work);
+            *version = storage_->TimestampOf(req->key);
+            return work;
+          },
+          [this, req, coordinator, value, version] {
             auto resp = std::make_shared<KvResponsePayload>();
             resp->op_id = req->op_id;
             resp->ack = true;
@@ -233,11 +232,10 @@ void KvService::HandleMessage(const Message& msg) {
               self_msg.payload = resp;
               HandleMessage(self_msg);
             } else {
-              deps_.network->Send(deps_.self, coordinator, kKvReadResp,
-                                  std::move(resp));
+              deps_.transport->Send(deps_.self, coordinator, kKvReadResp,
+                                    std::move(resp));
             }
           });
-      deps_.stage->Enqueue(std::move(job));
       break;
     }
     case kKvWriteResp:
@@ -275,8 +273,8 @@ void KvService::Finish(uint64_t op_id, KvOutcome outcome, std::string value) {
   CHECK(it != inflight_.end());
   InFlight op = std::move(it->second);
   inflight_.erase(it);
-  if (op.timeout_event != kInvalidEvent) {
-    deps_.sim->Cancel(op.timeout_event);
+  if (op.timeout_timer != kInvalidTimer) {
+    deps_.clock->CancelTimer(op.timeout_timer);
   }
   // Outcome accounting happens at the client-request layer (Conclude), so a
   // retried attempt's failure is not double-counted.

@@ -22,8 +22,7 @@
 #include "src/gossip/gossiper.h"
 #include "src/kv/storage_engine.h"
 #include "src/ring/token_ring.h"
-#include "src/sim/network.h"
-#include "src/sim/thread.h"
+#include "src/transport/substrate.h"
 
 namespace scalecheck {
 
@@ -89,10 +88,15 @@ struct KvStats {
 // coordinator API. All callbacks run on the node's kv stage thread.
 class KvService {
  public:
+  // KvService speaks only to the substrate seam: a Clock for timeouts and
+  // backoff, a Transport for replica traffic, a Stage for charging replica
+  // storage work. The same translation unit links into the simulator (via
+  // SimClock/SimTransport/SimStage) and the real-socket runner (via
+  // RealClock/TcpTransport/RealStage) — no forked copies, no mode #ifdefs.
   struct Deps {
-    Simulator* sim = nullptr;
-    NetworkModel* network = nullptr;
-    SimThread* stage = nullptr;         // the node's kv stage
+    Clock* clock = nullptr;
+    Transport* transport = nullptr;
+    Stage* stage = nullptr;             // the node's kv stage
     const TokenRing* ring = nullptr;    // the node's ring view
     const Gossiper* gossiper = nullptr; // liveness view
     NodeId self = kInvalidNode;
@@ -146,7 +150,7 @@ class KvService {
     int64_t read_timestamp = -1;  // newest replica version seen so far
     VirtualTime started;
     DoneFn done;
-    EventId timeout_event = kInvalidEvent;
+    TimerId timeout_timer = kInvalidTimer;
   };
 
   // One client request, carried across attempts.

@@ -1,0 +1,81 @@
+#include "src/net/real_clock.h"
+
+#include <vector>
+
+namespace scalecheck {
+
+RealClock::RealClock()
+    : epoch_(std::chrono::steady_clock::now()),
+      timer_thread_([this] { TimerLoop(); }) {}
+
+RealClock::~RealClock() { Shutdown(); }
+
+VirtualTime RealClock::Now() const {
+  auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return VirtualTime::FromNanos(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+TimerId RealClock::ScheduleAfter(VirtualDuration delay, EventFn fn) {
+  if (delay.IsNegative()) {
+    delay = VirtualDuration::Zero();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  TimerId id = next_id_++;
+  pending_[id] = Pending{std::chrono::steady_clock::now() +
+                             std::chrono::nanoseconds(delay.nanos()),
+                         std::move(fn)};
+  cv_.notify_one();
+  return id;
+}
+
+bool RealClock::CancelTimer(TimerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.erase(id) > 0;
+}
+
+void RealClock::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+    pending_.clear();
+    cv_.notify_one();
+  }
+  if (timer_thread_.joinable()) {
+    timer_thread_.join();
+  }
+}
+
+void RealClock::TimerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    if (pending_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    auto due = pending_.end();
+    auto earliest = std::chrono::steady_clock::time_point::max();
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->second.deadline < earliest) {
+        earliest = it->second.deadline;
+        due = it;
+      }
+    }
+    if (std::chrono::steady_clock::now() < earliest) {
+      cv_.wait_until(lock, earliest);
+      continue;  // re-scan: new timers or cancellations may have raced in
+    }
+    EventFn fn = std::move(due->second.fn);
+    pending_.erase(due);
+    // Invoke with the clock unlocked: the callback takes the node mutex
+    // (SerializedClock) and may schedule or cancel timers re-entrantly.
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,148 @@
+#include "src/net/real_cluster.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+#include "src/common/strings.h"
+#include "src/ring/token_ring.h"
+
+namespace scalecheck {
+
+RealCluster::RealCluster(const Options& options) : options_(options) {
+  std::map<NodeId, std::vector<Token>> seed_members;
+  int seeds = std::min(options_.seeds, options_.num_nodes);
+  for (NodeId id = 0; id < seeds; ++id) {
+    seed_members[id] =
+        GenerateTokens(id, options_.node.vnodes_per_node, options_.node.seed);
+  }
+  for (NodeId id = 0; id < options_.num_nodes; ++id) {
+    auto node = std::make_unique<RealNode>(id, options_.node, &transport_,
+                                           &clock_, &flaps_, &flaps_mu_);
+    node->PrimeSeeds(seed_members);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+RealCluster::~RealCluster() {
+  for (auto& node : nodes_) {
+    node->Stop();
+  }
+  clock_.Shutdown();
+  transport_.Shutdown();
+}
+
+bool RealCluster::AllConverged() const {
+  for (const auto& node : nodes_) {
+    if (!node->SeesConvergedCluster(options_.num_nodes)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RunResult RealCluster::Run() {
+  for (auto& node : nodes_) {
+    node->Start();
+  }
+
+  // Poll for convergence. Polling (vs. condition-variable plumbing through
+  // every node) keeps the measurement honest: nodes run undisturbed and the
+  // observer samples, as an external prober would.
+  bool settled = false;
+  VirtualTime settle_time;
+  while (clock_.Now().nanos() < options_.convergence_timeout.nanos()) {
+    if (AllConverged()) {
+      settled = true;
+      settle_time = clock_.Now();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (!settled) {
+    SC_LOG(Warning) << "real cluster: " << options_.num_nodes
+                    << " nodes did not converge within "
+                    << options_.convergence_timeout.ToString();
+  }
+
+  // Optional KV smoke: quorum writes then reads, round-robin coordinators.
+  int64_t kv_issued = 0;
+  LogHistogram kv_latency{/*base=*/1e5, /*growth=*/1.5, /*num_buckets=*/80};
+  if (settled && options_.node.enable_kv && options_.kv_ops > 0) {
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    int outstanding = 0;
+    auto issue = [&](bool is_write, int i) {
+      RealNode* coordinator = nodes_[static_cast<size_t>(i) % nodes_.size()].get();
+      uint64_t key = static_cast<uint64_t>(i) * 7919;
+      VirtualTime started = clock_.Now();
+      {
+        std::lock_guard<std::mutex> lock(done_mu);
+        ++outstanding;
+      }
+      ++kv_issued;
+      auto done = [&, started](KvOutcome outcome, std::string value) {
+        (void)outcome;
+        (void)value;
+        std::lock_guard<std::mutex> lock(done_mu);
+        kv_latency.AddDuration(clock_.Now() - started);
+        --outstanding;
+        done_cv.notify_all();
+      };
+      if (is_write) {
+        coordinator->KvWrite(key, StrFormat("v%d", i), std::move(done));
+      } else {
+        coordinator->KvRead(key, std::move(done));
+      }
+    };
+    for (int i = 0; i < options_.kv_ops; ++i) {
+      issue(/*is_write=*/true, i);
+    }
+    for (int i = 0; i < options_.kv_ops; ++i) {
+      issue(/*is_write=*/false, i);
+    }
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait_for(lock, std::chrono::seconds(30),
+                     [&] { return outstanding == 0; });
+  }
+
+  VirtualTime end = clock_.Now();
+  for (auto& node : nodes_) {
+    node->Stop();
+  }
+
+  RunResult result;
+  result.mode = RunMode::kRealSockets;
+  result.num_nodes = options_.num_nodes;
+  result.vnodes_per_node = options_.node.vnodes_per_node;
+  result.settled = settled;
+  result.settle_time = settled ? (settle_time - VirtualTime::Zero()) : VirtualDuration::Zero();
+  result.test_duration = end - VirtualTime::Zero();
+  {
+    std::lock_guard<std::mutex> lock(flaps_mu_);
+    result.flaps = flaps_.total_flaps();
+    result.flapped_pairs = flaps_.flapped_pairs();
+  }
+  result.messages_sent = transport_.messages_sent();
+  result.messages_delivered = transport_.messages_delivered();
+  result.kv_issued = kv_issued;
+  for (const auto& node : nodes_) {
+    KvStats stats = node->KvStatsSnapshot();
+    result.kv_ok += stats.ok;
+    result.kv_unavailable += stats.unavailable;
+    result.kv_timeout += stats.timeout;
+    result.kv_retries += stats.retries;
+    result.kv_gave_up += stats.gave_up;
+  }
+  result.kv_inflight_at_stop =
+      kv_issued - (result.kv_ok + result.kv_unavailable + result.kv_timeout);
+  result.kv_latency_p99 = kv_latency.PercentileDuration(99);
+  return result;
+}
+
+}  // namespace scalecheck

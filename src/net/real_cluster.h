@@ -1,0 +1,63 @@
+// Boots N RealNodes in one process on localhost TCP and runs them to gossip
+// convergence — the real-mode counterpart of src/cluster/cluster.cc's
+// simulated deployment, exporting the same RunResult so real and modelled
+// runs land in the same tables.
+//
+// What "converged" means here: every node's view reports all N members
+// NORMAL and alive with a fully populated ring (RealNode::
+// SeesConvergedCluster). Nodes start knowing only the seed subset, so
+// convergence genuinely exercises SYN/ACK/ACK2 dissemination over sockets.
+
+#ifndef SCALECHECK_SRC_NET_REAL_CLUSTER_H_
+#define SCALECHECK_SRC_NET_REAL_CLUSTER_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/cluster/run_result.h"
+#include "src/gossip/flap_counter.h"
+#include "src/net/real_clock.h"
+#include "src/net/real_node.h"
+#include "src/net/tcp_transport.h"
+
+namespace scalecheck {
+
+class RealCluster {
+ public:
+  struct Options {
+    int num_nodes = 8;
+    int seeds = 3;  // first `seeds` nodes are known to everyone at boot
+    RealNode::Options node;
+    // Give up if the cluster has not converged after this much wall clock.
+    VirtualDuration convergence_timeout = VirtualDuration::Seconds(30);
+    // When node.enable_kv: issue this many quorum writes+reads after
+    // convergence, round-robin across coordinators.
+    int kv_ops = 0;
+  };
+
+  explicit RealCluster(const Options& options);
+  ~RealCluster();
+  RealCluster(const RealCluster&) = delete;
+  RealCluster& operator=(const RealCluster&) = delete;
+
+  // Boots the nodes, waits for convergence (or timeout), runs the optional
+  // KV smoke, stops everything, and returns the collected result.
+  // result.settled reports whether convergence was reached; settle_time is
+  // the wall-clock time it took (as virtual-from-epoch nanos).
+  RunResult Run();
+
+ private:
+  bool AllConverged() const;
+
+  Options options_;
+  RealClock clock_;
+  TcpTransport transport_;
+  FlapCounter flaps_;
+  std::mutex flaps_mu_;
+  std::vector<std::unique_ptr<RealNode>> nodes_;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_NET_REAL_CLUSTER_H_

@@ -1,0 +1,124 @@
+// One in-process node of the real-socket deployment.
+//
+// This is the real-mode counterpart of src/cluster/node.cc: the same
+// protocol objects (Gossiper, PhiAccrualFailureDetector, TokenRing,
+// PendingRangeCalculator, KvService) driven over the substrate seam instead
+// of the simulator. Where the sim Node spreads work across staged
+// SimThreads to *model* contention, RealNode runs everything under one
+// per-node mutex — real threads (socket readers, the timer thread, the
+// driver) provide the concurrency, and the monitor provides the
+// protocol-code guarantee both carriers share: one event at a time per node.
+//
+// Deliberately below-seam features of the sim Node have no counterpart
+// here: PIL boundaries, payload pools, memory modelling, fault injection,
+// order enforcement. See DESIGN.md's substrate-seam section.
+
+#ifndef SCALECHECK_SRC_NET_REAL_NODE_H_
+#define SCALECHECK_SRC_NET_REAL_NODE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/gossip/failure_detector.h"
+#include "src/gossip/flap_counter.h"
+#include "src/gossip/gossiper.h"
+#include "src/gossip/messages.h"
+#include "src/kv/kv_service.h"
+#include "src/net/real_clock.h"
+#include "src/ring/calculators.h"
+#include "src/ring/pending_ranges.h"
+#include "src/ring/token_ring.h"
+#include "src/transport/substrate.h"
+
+namespace scalecheck {
+
+class RealNode {
+ public:
+  struct Options {
+    VirtualDuration gossip_interval = VirtualDuration::Millis(100);
+    PhiAccrualFailureDetector::Config fd;
+    int replication_factor = 3;
+    int vnodes_per_node = 8;
+    uint64_t seed = 1;
+    bool enable_kv = false;
+    VirtualDuration kv_timeout = VirtualDuration::Seconds(2);
+  };
+
+  // `transport` and `clock` outlive the node; `flaps` is shared across nodes
+  // and internally synchronized by `flaps_mu` (FlapCounter itself is not
+  // thread-safe).
+  RealNode(NodeId id, const Options& options, Transport* transport,
+           Clock* clock, FlapCounter* flaps, std::mutex* flaps_mu);
+  ~RealNode();
+  RealNode(const RealNode&) = delete;
+  RealNode& operator=(const RealNode&) = delete;
+
+  NodeId id() const { return id_; }
+
+  // Pre-start: install a settled member map (self included), as the sim
+  // Node's PrimeSettled does, or just seed contacts.
+  void PrimeSettled(const std::map<NodeId, std::vector<Token>>& members);
+  void PrimeSeeds(const std::map<NodeId, std::vector<Token>>& seed_members);
+
+  // Registers with the transport and starts the periodic gossip round.
+  void Start();
+  // Stops gossip and leaves the transport. Safe to call twice.
+  void Stop();
+
+  // KV client entry points (no-ops calling done(kUnavailable) without KV).
+  void KvWrite(uint64_t key, std::string value, KvService::DoneFn done);
+  void KvRead(uint64_t key, KvService::DoneFn done);
+
+  // ---- Snapshots (taken under the node mutex) ----------------------------
+  // True when this node sees `n` members: knows n endpoints, all alive,
+  // every status NORMAL, and the ring holds n nodes.
+  bool SeesConvergedCluster(int n) const;
+  size_t known_endpoints() const;
+  size_t live_endpoints() const;
+  std::vector<Token> my_tokens() const { return my_tokens_; }
+  const KvStats KvStatsSnapshot() const;
+
+ private:
+  void OnMessage(const Message& msg);
+  void GossipRound();
+  void HandleSyn(const Message& msg);
+  void HandleAck(const Message& msg);
+  void HandleAck2(const Message& msg);
+
+  void OnStatusChange(NodeId ep, StatusKind old_status, StatusKind new_status);
+  void OnHeartbeat(NodeId ep);
+  void OnRestart(NodeId ep);
+  void MaybeRecalc();
+
+  const NodeId id_;
+  const Options options_;
+  Transport* transport_;
+  FlapCounter* flaps_;
+  std::mutex* flaps_mu_;
+
+  mutable std::mutex mu_;
+  SerializedClock clock_;  // wraps the shared RealClock with mu_
+  RealStage stage_;
+  Rng rng_;
+  Gossiper gossiper_;
+  PhiAccrualFailureDetector fd_;
+  TokenRing ring_;
+  std::unique_ptr<PendingRangeCalculator> calculator_;
+  std::vector<PendingChange> pending_changes_;
+  PendingRanges pending_ranges_;
+  bool ring_dirty_ = false;
+  std::unordered_set<NodeId> unmonitored_;
+  std::vector<Token> my_tokens_;
+  std::unique_ptr<KvService> kv_;
+  std::unique_ptr<PeriodicClockTimer> gossip_timer_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_NET_REAL_NODE_H_

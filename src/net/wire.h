@@ -1,0 +1,55 @@
+// The shared wire codec: one framing + serialization format for every
+// message the protocol layer sends, used verbatim by both carriers.
+//
+//   - TcpTransport encodes each Message into a frame body (this file) and
+//     prefixes it with a 4-byte length on the socket.
+//   - SimTransport can round-trip every payload through the same codec
+//     (encode -> decode -> deliver the copy) to prove, inside the
+//     deterministic simulator, that the bytes real sockets would carry
+//     reconstruct payloads the protocol cannot distinguish.
+//
+// Format (all integers little-endian, fixed width):
+//
+//   header : u8 magic 0x5C | u8 version 1 | i32 type | i32 from | i32 to
+//          | u64 pair_seq | u64 id
+//   body   : per Message::type, see wire.cc
+//
+// Decoding is strict: every read is bounds-checked, unknown message types
+// and status/app-state discriminators are rejected, and trailing bytes after
+// a well-formed body are an error. A decoder that silently tolerated
+// malformed frames would turn a codec bug into a protocol-level heisenbug,
+// which is exactly the class of failure this repo exists to surface.
+
+#ifndef SCALECHECK_SRC_NET_WIRE_H_
+#define SCALECHECK_SRC_NET_WIRE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/transport/message.h"
+
+namespace scalecheck {
+namespace wire {
+
+inline constexpr uint8_t kMagic = 0x5C;
+inline constexpr uint8_t kVersion = 1;
+// header = magic + version + type + from + to + pair_seq + id.
+inline constexpr size_t kHeaderSize = 1 + 1 + 4 + 4 + 4 + 8 + 8;
+
+// Serializes the message (header + typed payload body) into a frame body.
+// The 4-byte socket length prefix is TcpTransport's concern, not the codec's.
+// Requires msg.type to be one of the known gossip/KV types with a matching
+// payload object; unknown types CHECK-fail (a send-side programming error,
+// not a network condition).
+std::string EncodeMessage(const Message& msg);
+
+// Parses a frame body produced by EncodeMessage. Returns kTruncated when the
+// input ends mid-field, kCorruptData for bad magic/version/discriminators or
+// trailing bytes.
+Result<Message> DecodeMessage(std::string_view data);
+
+}  // namespace wire
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_NET_WIRE_H_

@@ -1,0 +1,67 @@
+// Canonical CLI mode handling for scalecheck_cli.
+//
+// The CLI grew one mode spelling per feature (real/colo/memoize/replay/full/
+// search, plus --repro as an implicit mode). This normalizes them to one
+// enum with four values:
+//
+//   --mode=suite   simulation run(s); which deployments via --sim-modes=
+//                  (default: all four, the Figure-3 comparison grid)
+//   --mode=search  ChaosSearch over fault plans
+//   --mode=repro   replay a search artifact (--repro=FILE)
+//   --mode=real    REAL deployment: N in-process nodes on localhost TCP
+//                  sockets and wall-clock timers (src/net/)
+//
+// Old spellings parse as deprecated aliases for one release (a stderr
+// warning names the canonical form):  full -> suite;  colo / memoize /
+// replay -> suite with a single --sim-modes entry;  real-scale / sim-real ->
+// suite with the simulated real-scale deployment. NOTE: bare --mode=real
+// changed meaning — it used to be the *simulated* real-scale deployment and
+// now boots real sockets; the simulated one is --sim-modes=real.
+//
+// Kept in a library (not the CLI .cpp) so the mapping is unit-testable.
+
+#ifndef SCALECHECK_SRC_SCALECHECK_CLI_MODES_H_
+#define SCALECHECK_SRC_SCALECHECK_CLI_MODES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/config.h"
+#include "src/common/result.h"
+
+namespace scalecheck {
+
+enum class CliModeKind : int {
+  kSuite = 0,
+  kSearch = 1,
+  kRepro = 2,
+  kReal = 3,
+};
+
+const char* CliModeKindName(CliModeKind kind);
+
+struct ModeSelection {
+  CliModeKind kind = CliModeKind::kSuite;
+  // kSuite only: the simulated deployments to run, in request order.
+  std::vector<RunMode> sim_modes;
+  // The spelling was a deprecated alias; `canonical` holds the replacement
+  // to suggest (e.g. "--mode=suite --sim-modes=colo").
+  bool deprecated_alias = false;
+  std::string canonical;
+
+  // True when sim_modes is exactly the four-way comparison grid.
+  bool IsFullGrid() const;
+};
+
+// One --sim-modes entry: real | real-scale | colo | memoize | replay.
+Result<RunMode> SimModeFromFlag(const std::string& flag);
+
+// Parses --mode (canonical or deprecated) plus the --sim-modes CSV.
+// `sim_modes_csv` empty means the default grid; non-empty is only legal with
+// --mode=suite (or an alias that maps to it, whose own selection wins).
+Result<ModeSelection> ParseCliMode(const std::string& mode,
+                                   const std::string& sim_modes_csv);
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_SCALECHECK_CLI_MODES_H_

@@ -20,27 +20,11 @@
 #include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/sim/simulator.h"
+// Message/Payload moved below the simulator (substrate seam); re-exported
+// here so the many sim-side includers keep compiling unchanged.
+#include "src/transport/message.h"  // IWYU pragma: export
 
 namespace scalecheck {
-
-// Base class for message payloads; modules derive their own payload types.
-struct Payload {
-  virtual ~Payload() = default;
-  // Approximate wire size, for traffic statistics.
-  virtual size_t SizeBytes() const { return 64; }
-};
-
-struct Message {
-  uint64_t id = 0;  // globally unique, deterministic (assigned at send)
-  NodeId from = kInvalidNode;
-  NodeId to = kInvalidNode;
-  int type = 0;  // application-defined discriminator
-  // Per-(from, to, type) send counter. Stable across runs that send the same
-  // logical message stream — the key the PIL order log records and enforces.
-  uint64_t pair_seq = 0;
-  std::shared_ptr<const Payload> payload;
-  VirtualTime sent_at;
-};
 
 class NetworkModel {
  public:

@@ -1,0 +1,53 @@
+#include "src/transport/sim_substrate.h"
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/net/wire.h"
+
+namespace scalecheck {
+
+SimClock::SimClock(Simulator* sim) : sim_(sim) { CHECK_NOTNULL(sim); }
+
+SimTransport::SimTransport(NetworkModel* network)
+    : SimTransport(network, Options{}) {}
+
+SimTransport::SimTransport(NetworkModel* network, Options options)
+    : network_(network), options_(options) {
+  CHECK_NOTNULL(network);
+}
+
+uint64_t SimTransport::Send(NodeId from, NodeId to, int type,
+                            std::shared_ptr<const Payload> payload) {
+  if (options_.roundtrip_codec) {
+    // Prove the shared codec reconstructs this payload: what TcpTransport
+    // would frame onto the socket, delivered instead of the original.
+    Message msg;
+    msg.from = from;
+    msg.to = to;
+    msg.type = type;
+    msg.payload = std::move(payload);
+    Result<Message> decoded = wire::DecodeMessage(wire::EncodeMessage(msg));
+    if (!decoded.ok()) {
+      SC_LOG(Error) << "sim codec roundtrip failed for type " << type << ": "
+                    << decoded.status().ToString();
+      return 0;
+    }
+    ++codec_roundtrips_;
+    payload = decoded.value().payload;
+  }
+  return network_->Send(from, to, type, std::move(payload));
+}
+
+SimStage::SimStage(SimThread* thread) : thread_(thread) { CHECK_NOTNULL(thread); }
+
+void SimStage::Submit(const char* label, std::function<WorkUnits()> op,
+                      std::function<void()> done) {
+  Job job(label);
+  auto work = std::make_shared<WorkUnits>(0);
+  job.Run([op = std::move(op), work] { *work = op(); })
+      .Compute([work] { return *work; })
+      .Run(std::move(done));
+  thread_->Enqueue(std::move(job));
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,40 @@
+#include "src/transport/substrate.h"
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+PeriodicClockTimer::PeriodicClockTimer(Clock* clock, VirtualDuration period,
+                                       std::function<void()> fn)
+    : clock_(clock), period_(period), fn_(std::move(fn)) {
+  CHECK_NOTNULL(clock_);
+  CHECK_GT(period.nanos(), 0);
+}
+
+PeriodicClockTimer::~PeriodicClockTimer() { Stop(); }
+
+void PeriodicClockTimer::Start(VirtualDuration initial_delay) {
+  Stop();
+  armed_ = true;
+  pending_ = clock_->ScheduleAfter(initial_delay, [this] { Fire(); });
+}
+
+void PeriodicClockTimer::Stop() {
+  if (pending_ != kInvalidTimer) {
+    clock_->CancelTimer(pending_);
+    pending_ = kInvalidTimer;
+  }
+  armed_ = false;
+}
+
+void PeriodicClockTimer::Fire() {
+  pending_ = kInvalidTimer;
+  if (!armed_) {
+    return;
+  }
+  // Re-arm before invoking so fn may Stop() the timer.
+  pending_ = clock_->ScheduleAfter(period_, [this] { Fire(); });
+  fn_();
+}
+
+}  // namespace scalecheck

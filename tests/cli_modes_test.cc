@@ -1,0 +1,116 @@
+// Satellite: the CLI mode-flag normalization (src/scalecheck/cli_modes.h).
+// Covers the canonical spellings, every deprecated alias and its suggested
+// replacement, --sim-modes parsing, and the errors.
+
+#include <gtest/gtest.h>
+
+#include "src/scalecheck/cli_modes.h"
+
+namespace scalecheck {
+namespace {
+
+TEST(CliModes, SuiteDefaultsToFullGrid) {
+  Result<ModeSelection> sel = ParseCliMode("suite", "");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.value().kind, CliModeKind::kSuite);
+  EXPECT_FALSE(sel.value().deprecated_alias);
+  EXPECT_TRUE(sel.value().IsFullGrid());
+  EXPECT_EQ(sel.value().sim_modes.size(), 4u);
+}
+
+TEST(CliModes, SuiteWithSubset) {
+  Result<ModeSelection> sel = ParseCliMode("suite", "colo,replay");
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel.value().sim_modes.size(), 2u);
+  EXPECT_EQ(sel.value().sim_modes[0], RunMode::kColocated);
+  EXPECT_EQ(sel.value().sim_modes[1], RunMode::kPilReplay);
+  EXPECT_FALSE(sel.value().IsFullGrid());
+}
+
+TEST(CliModes, SuiteWithExplicitGridIsFullGridInAnyOrder) {
+  Result<ModeSelection> sel = ParseCliMode("suite", "replay,colo,real,memoize");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(sel.value().IsFullGrid());
+}
+
+TEST(CliModes, SimModeSpellings) {
+  EXPECT_EQ(SimModeFromFlag("real").value(), RunMode::kRealScale);
+  EXPECT_EQ(SimModeFromFlag("real-scale").value(), RunMode::kRealScale);
+  EXPECT_EQ(SimModeFromFlag("colo").value(), RunMode::kColocated);
+  EXPECT_EQ(SimModeFromFlag("memoize").value(), RunMode::kMemoize);
+  EXPECT_EQ(SimModeFromFlag("replay").value(), RunMode::kPilReplay);
+  EXPECT_FALSE(SimModeFromFlag("sockets").ok());
+}
+
+TEST(CliModes, CanonicalNonSuiteModes) {
+  EXPECT_EQ(ParseCliMode("search", "").value().kind, CliModeKind::kSearch);
+  EXPECT_EQ(ParseCliMode("repro", "").value().kind, CliModeKind::kRepro);
+  // Bare --mode=real now means REAL SOCKETS (the simulated real-scale
+  // deployment moved to --sim-modes=real).
+  Result<ModeSelection> real = ParseCliMode("real", "");
+  ASSERT_TRUE(real.ok());
+  EXPECT_EQ(real.value().kind, CliModeKind::kReal);
+  EXPECT_FALSE(real.value().deprecated_alias);
+  EXPECT_TRUE(real.value().sim_modes.empty());
+}
+
+struct AliasCase {
+  const char* spelling;
+  RunMode mapped;
+  const char* canonical;
+};
+
+TEST(CliModes, DeprecatedAliasesMapAndSuggest) {
+  const AliasCase kCases[] = {
+      {"colo", RunMode::kColocated, "--mode=suite --sim-modes=colo"},
+      {"memoize", RunMode::kMemoize, "--mode=suite --sim-modes=memoize"},
+      {"replay", RunMode::kPilReplay, "--mode=suite --sim-modes=replay"},
+      {"real-scale", RunMode::kRealScale, "--mode=suite --sim-modes=real"},
+      {"sim-real", RunMode::kRealScale, "--mode=suite --sim-modes=real"},
+  };
+  for (const AliasCase& c : kCases) {
+    Result<ModeSelection> sel = ParseCliMode(c.spelling, "");
+    ASSERT_TRUE(sel.ok()) << c.spelling;
+    EXPECT_EQ(sel.value().kind, CliModeKind::kSuite) << c.spelling;
+    EXPECT_TRUE(sel.value().deprecated_alias) << c.spelling;
+    EXPECT_EQ(sel.value().canonical, c.canonical) << c.spelling;
+    ASSERT_EQ(sel.value().sim_modes.size(), 1u) << c.spelling;
+    EXPECT_EQ(sel.value().sim_modes[0], c.mapped) << c.spelling;
+  }
+}
+
+TEST(CliModes, FullAliasMapsToWholeGrid) {
+  Result<ModeSelection> sel = ParseCliMode("full", "");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(sel.value().deprecated_alias);
+  EXPECT_EQ(sel.value().canonical, "--mode=suite");
+  EXPECT_TRUE(sel.value().IsFullGrid());
+}
+
+TEST(CliModes, SimModesOnlyLegalWithSuite) {
+  EXPECT_FALSE(ParseCliMode("search", "colo").ok());
+  EXPECT_FALSE(ParseCliMode("real", "colo").ok());
+  EXPECT_FALSE(ParseCliMode("repro", "colo").ok());
+  // An alias carries its own selection; --sim-modes alongside it is a
+  // contradiction, not a merge.
+  EXPECT_FALSE(ParseCliMode("colo", "replay").ok());
+}
+
+TEST(CliModes, BadInputRejected) {
+  EXPECT_FALSE(ParseCliMode("bogus", "").ok());
+  EXPECT_FALSE(ParseCliMode("suite", "colo,bogus").ok());
+  EXPECT_FALSE(ParseCliMode("suite", "colo,colo").ok());
+  EXPECT_FALSE(ParseCliMode("suite", "colo,").ok());  // empty trailing entry
+  Result<ModeSelection> bad = ParseCliMode("bogus", "");
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CliModes, KindNames) {
+  EXPECT_STREQ(CliModeKindName(CliModeKind::kSuite), "suite");
+  EXPECT_STREQ(CliModeKindName(CliModeKind::kSearch), "search");
+  EXPECT_STREQ(CliModeKindName(CliModeKind::kRepro), "repro");
+  EXPECT_STREQ(CliModeKindName(CliModeKind::kReal), "real");
+}
+
+}  // namespace
+}  // namespace scalecheck

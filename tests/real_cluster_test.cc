@@ -1,0 +1,64 @@
+// Real-socket cluster tests: the SAME Gossiper/ring/KvService translation
+// units that run in the simulator, booted on localhost TCP with wall-clock
+// timers. Small N and fast gossip keep this inside normal ctest budgets.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/net/real_cluster.h"
+
+namespace scalecheck {
+namespace {
+
+RealCluster::Options FastOptions(int nodes) {
+  RealCluster::Options options;
+  options.num_nodes = nodes;
+  options.seeds = 2;
+  options.node.seed = 42;
+  options.node.gossip_interval = VirtualDuration::Millis(20);
+  options.convergence_timeout = VirtualDuration::Seconds(20);
+  return options;
+}
+
+TEST(RealCluster, FourNodesConvergeOnLocalhost) {
+  RealCluster cluster(FastOptions(4));
+  RunResult result = cluster.Run();
+  EXPECT_TRUE(result.settled) << result.Summary();
+  EXPECT_EQ(result.mode, RunMode::kRealSockets);
+  EXPECT_EQ(result.num_nodes, 4);
+  EXPECT_GT(result.settle_time.nanos(), 0);
+  EXPECT_GT(result.messages_sent, 0u);
+  EXPECT_GT(result.messages_delivered, 0u);
+  // Real sockets on loopback under no faults: nothing should flap.
+  EXPECT_EQ(result.flaps, 0) << result.Summary();
+}
+
+TEST(RealCluster, KvQuorumOpsSucceedAfterConvergence) {
+  RealCluster::Options options = FastOptions(5);
+  options.node.enable_kv = true;
+  options.kv_ops = 16;
+  RealCluster cluster(options);
+  RunResult result = cluster.Run();
+  ASSERT_TRUE(result.settled) << result.Summary();
+  EXPECT_EQ(result.kv_issued, 32);  // 16 writes + 16 reads
+  EXPECT_EQ(result.kv_ok, 32) << result.Summary();
+  EXPECT_EQ(result.kv_unavailable, 0);
+  EXPECT_EQ(result.kv_timeout, 0);
+  EXPECT_EQ(result.kv_inflight_at_stop, 0);
+  EXPECT_GT(result.kv_latency_p99.nanos(), 0);
+}
+
+TEST(RealCluster, ResultJsonRoundTripsThroughSameSchema) {
+  RealCluster cluster(FastOptions(3));
+  RunResult result = cluster.Run();
+  ASSERT_TRUE(result.settled) << result.Summary();
+  std::string json = result.ToJson();
+  // Same exporter the simulated modes use — mode name included.
+  EXPECT_NE(json.find("\"mode\":\"RealNet\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"settled\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"messages_sent\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace scalecheck

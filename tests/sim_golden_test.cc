@@ -1,0 +1,97 @@
+// Golden byte-identity test for the substrate seam.
+//
+// These two JSON blobs were captured from scalecheck_cli at the commit
+// immediately BEFORE the Transport/Clock seam refactor:
+//
+//   scalecheck_cli --bug=C3831 --mode=colo --nodes=24 --seed=7 --json
+//   scalecheck_cli --bug=C5456 --mode=colo --nodes=16 --seed=7
+//                  --faults=standard-chaos --json
+//
+// The seam (SimClock/SimTransport/SimStage forwarding to Simulator +
+// NetworkModel) must not perturb one byte of the result: same event order,
+// same RNG draws, same message ids, same settle time, same JSON. If this
+// test fails the seam leaked into simulation semantics — fix the seam, do
+// NOT re-pin the golden unless the change is an intentional,
+// result-affecting feature.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "src/cluster/cluster.h"
+#include "src/scalecheck/bug_catalog.h"
+#include "src/scalecheck/scale_check.h"
+
+namespace scalecheck {
+namespace {
+
+// Mirrors RunOne in examples/scalecheck_cli.cpp: Cluster driven directly,
+// no memo store, no trace.
+RunResult RunPinned(BugSpec spec, int nodes, uint64_t seed) {
+  Cluster::Options options;
+  options.config = spec.MakeConfig(nodes, RunMode::kColocated, seed);
+  options.workload = spec.MakeWorkload(nodes);
+  options.faults = spec.MakeFaultPlan(nodes, seed);
+  options.kv_ops_per_second = spec.kv_ops_per_second;
+  Cluster cluster(std::move(options));
+  return cluster.Run();
+}
+
+constexpr char kGoldenC3831[] =
+    "{\"mode\":\"Colo\",\"num_nodes\":24,\"vnodes_per_node\":1,\"flaps\":0,\"flapped_pairs\":0,\"t"
+    "est_duration_ns\":155000000000,\"settle_time_ns\":115000000000,\"settled\":true,\"max_"
+    "cpu_utilization\":0.0065324097451612906,\"peak_memory_bytes\":1794247680,\"oom\":fals"
+    "e,\"crashed_nodes\":0,\"restarted_nodes\":0,\"fault_events_applied\":0,\"fault_events_h"
+    "ealed\":0,\"messages_blocked\":0,\"lateness_p99_ns\":100000,\"lateness_max_ns\":1109199"
+    "2,\"lateness_early_count\":0,\"fidelity\":{\"verdict\":\"ok\",\"violated_budget\":\"\",\"firs"
+    "t_violation_at_ns\":0,\"violations\":[]},\"invariants\":{\"checked\":true,\"probes\":16,\""
+    "kv_checked\":false,\"ok\":true,\"violations\":[]},\"watchdog_fired\":false,\"replay_drif"
+    "t\":{\"misses\":0,\"diverged\":false,\"aborted\":false,\"first_function\":\"\",\"first_diges"
+    "t\":\"\",\"first_at_ns\":0,\"first_call_index\":0,\"order_context\":\"\"},\"calc_invocations"
+    "\":1455,\"calc_executed_real\":1455,\"calc_duration_seconds\":{\"count\":1455,\"mean\":0."
+    "011103480000000001,\"min\":0.011103480000000001,\"max\":0.011103480000000001,\"sum\":1"
+    "6.155563399999426},\"calc_lock_hold_seconds\":{\"count\":0,\"mean\":0,\"min\":0,\"max\":0,"
+    "\"sum\":0},\"pil\":{\"direct_runs\":1455,\"memoized_runs\":0,\"replay_hits\":0,\"replay_mis"
+    "ses\":0},\"memo\":{\"records\":0,\"duplicate_puts\":0,\"determinism_violations\":0,\"looku"
+    "ps\":0,\"hits\":0,\"misses\":0},\"order_divergences\":0,\"order_enforced\":0,\"kv_issued\":"
+    "0,\"kv_ok\":0,\"kv_unavailable\":0,\"kv_timeout\":0,\"kv_inflight_at_stop\":0,\"kv_retrie"
+    "s\":0,\"kv_gave_up\":0,\"kv_latency_p99_ns\":0,\"messages_sent\":11085,\"messages_delive"
+    "red\":11085,\"stage_tasks_dropped\":0,\"events_executed\":34809}";
+
+constexpr char kGoldenC5456Chaos[] =
+    "{\"mode\":\"Colo\",\"num_nodes\":20,\"vnodes_per_node\":16,\"flaps\":6,\"flapped_pairs\":6,\""
+    "test_duration_ns\":235000000000,\"settle_time_ns\":195000000000,\"settled\":true,\"max"
+    "_cpu_utilization\":0.0015650238667553192,\"peak_memory_bytes\":7910769344,\"oom\":fal"
+    "se,\"crashed_nodes\":1,\"restarted_nodes\":1,\"fault_events_applied\":5,\"fault_events_"
+    "healed\":5,\"messages_blocked\":81,\"lateness_p99_ns\":4857,\"lateness_max_ns\":4857,\"l"
+    "ateness_early_count\":0,\"fidelity\":{\"verdict\":\"ok\",\"violated_budget\":\"\",\"first_vi"
+    "olation_at_ns\":0,\"violations\":[]},\"invariants\":{\"checked\":true,\"probes\":24,\"kv_c"
+    "hecked\":false,\"ok\":true,\"violations\":[]},\"watchdog_fired\":false,\"replay_drift\":{"
+    "\"misses\":0,\"diverged\":false,\"aborted\":false,\"first_function\":\"\",\"first_digest\":\""
+    "\",\"first_at_ns\":0,\"first_call_index\":0,\"order_context\":\"\"},\"calc_invocations\":88"
+    "7,\"calc_executed_real\":887,\"calc_duration_seconds\":{\"count\":887,\"mean\":0.0065691"
+    "697857948117,\"min\":0.0017244000000000001,\"max\":0.0069147999999999996,\"sum\":5.826"
+    "8535999999704},\"calc_lock_hold_seconds\":{\"count\":9833,\"mean\":0.00059258147025322"
+    "895,\"min\":0,\"max\":0.0069147999999999996,\"sum\":5.8268535969999995},\"pil\":{\"direct"
+    "_runs\":887,\"memoized_runs\":0,\"replay_hits\":0,\"replay_misses\":0},\"memo\":{\"records"
+    "\":0,\"duplicate_puts\":0,\"determinism_violations\":0,\"lookups\":0,\"hits\":0,\"misses\":"
+    "0},\"order_divergences\":0,\"order_enforced\":0,\"kv_issued\":0,\"kv_ok\":0,\"kv_unavaila"
+    "ble\":0,\"kv_timeout\":0,\"kv_inflight_at_stop\":0,\"kv_retries\":0,\"kv_gave_up\":0,\"kv_"
+    "latency_p99_ns\":0,\"messages_sent\":13553,\"messages_delivered\":13429,\"stage_tasks_"
+    "dropped\":0,\"events_executed\":41696}";
+
+TEST(SimGolden, C3831ColoN24Seed7ByteIdentical) {
+  BugSpec spec = BugCatalog::Get("C3831");
+  RunResult result = RunPinned(spec, 24, 7);
+  EXPECT_EQ(result.ToJson(), kGoldenC3831);
+}
+
+TEST(SimGolden, C5456ColoChaosSeed7ByteIdentical) {
+  BugSpec spec = BugCatalog::Get("C5456");
+  spec.fault_plan = "standard-chaos";
+  RunResult result = RunPinned(spec, 16, 7);
+  EXPECT_EQ(result.ToJson(), kGoldenC5456Chaos);
+}
+
+}  // namespace
+}  // namespace scalecheck
