@@ -17,7 +17,10 @@
 // writes /tmp/scalecheck_<bug>.memo; --sim-modes=replay reads it — memoize
 // once, replay as many times as debugging needs, the Figure 2 workflow.
 // --mode=real boots N in-process nodes on REAL localhost TCP sockets and
-// wall-clock timers and runs them to gossip convergence.
+// wall-clock timers and runs them to gossip convergence. With --faults=NAME
+// the link-level events of the plan are replayed against the sockets
+// (rescaled to the real gossip interval) and the run must then pass the
+// partition-heals reconvergence bound, or the CLI exits 4.
 // Old spellings (full/colo/memoize/replay/real-scale) still parse as
 // deprecated aliases for one release.
 
@@ -191,7 +194,12 @@ void Usage() {
       "  --kv-ops=K                  real mode: K quorum writes+reads after\n"
       "                              convergence (default 0 = membership only)\n"
       "  fault plans: none standard-chaos partition crash-restart slow-node\n"
-      "               memory-pressure\n"
+      "               memory-pressure island\n"
+      "               (island = the ChaosSearch islanding reproducer: one full\n"
+      "               partition of node N-1 for ~32 gossip rounds)\n"
+      "               --mode=real replays link-level plans against the TCP\n"
+      "               carrier, rescaled to --gossip-ms, and exits 4 if the\n"
+      "               cluster fails the partition-heals reconvergence bound\n"
       "  --guard-lateness-p99-ms=MS  fidelity budget: p99 event lateness above\n"
       "                              MS ms invalidates the run (degraded at MS/2)\n"
       "  --replay-policy=P           strict | warn | fallback — what a replay\n"
@@ -369,6 +377,12 @@ int RunReal(const CliOptions& cli) {
   options.node.enable_kv = cli.kv_ops > 0;
   options.kv_ops = cli.kv_ops;
   options.convergence_timeout = VirtualDuration::Seconds(cli.real_seconds);
+  if (!cli.faults.empty()) {
+    // Same named plans as sim mode; RealCluster rescales the schedule to its
+    // gossip interval and reports a partition-heals verdict (exit code 4 on
+    // a cluster that fails to reconverge).
+    options.faults = FaultPlan::ByName(cli.faults, cli.nodes, cli.seed);
+  }
   RealCluster cluster(options);
   RunResult result = cluster.Run();
   if (cli.json) {

@@ -25,13 +25,17 @@ BUILD_DIR="${1:-build-${SANITIZER:0:1}san}"
 # grids at jobs=4, including the jobs=1-vs-4 byte-identity check);
 # transport_conformance_test and real_cluster_test exercise the threaded
 # TcpTransport/RealClock carrier (socket reader threads, the timer thread,
-# and the per-node monitor) — TSan over those is the race gate for src/net.
+# and the per-node monitor) — TSan over those is the race gate for src/net;
+# net_link_filter_test hammers the TcpTransport link-filter handoff
+# (concurrent SetLinkFilter/SeverConnsTo against sending threads — the
+# real-carrier fault-injection path).
 TARGETS=(scalecheck_suite_test common_thread_pool_test
          faults_test faults_determinism_test sim_sync_crash_test
          scalecheck_selfheal_test sim_fidelity_guard_test
          pil_replay_policy_test pil_memo_corruption_test
          faults_search_test
-         transport_conformance_test real_cluster_test)
+         transport_conformance_test real_cluster_test
+         net_link_filter_test)
 
 cmake -B "$BUILD_DIR" -S . -DSCALECHECK_SANITIZE="$SANITIZER" >/dev/null
 cmake --build "$BUILD_DIR" --target "${TARGETS[@]}" -j"$(nproc)"

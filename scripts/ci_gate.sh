@@ -15,7 +15,12 @@
 #      repro artifact must replay to the identical violation (exit 4),
 #   5. real-mode smoke: the same protocol code on REAL localhost TCP sockets
 #      (--mode=real) must gossip an 8-node cluster to convergence under a
-#      wall-clock timeout and exit 0.
+#      wall-clock timeout and exit 0,
+#   6. real-mode chaos smoke: replay the islanding FaultPlan against the
+#      socket carrier (--mode=real --faults=island) — the link filter must
+#      actually drop frames, and after the heal the gossip-to-unreachable
+#      escape hatch must reconverge the cluster (0 islanded endpoints)
+#      within the partition-heal bound.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -108,6 +113,32 @@ if [[ "$code" -ne 0 ]]; then
 fi
 if [[ "$out" != *'"settled":true'* || "$out" != *'"mode":"RealNet"'* ]]; then
   echo "FAIL: real-mode smoke JSON lacks settled:true / mode:RealNet" >&2
+  exit 1
+fi
+
+echo "== real-mode chaos smoke =="
+# The same islanding plan ChaosSearch found in the simulator, replayed on
+# real sockets: drop all links to one node long enough for conviction, heal,
+# and demand reconvergence. Exit 0 means the partition-heals probe passed;
+# a cluster that stays split exits 4 (invariant violation), a hang exits 124.
+set +e
+out="$(timeout 90 "$CLI" --mode=real --nodes=8 --faults=island --json)"
+code=$?
+set -e
+if [[ "$code" -ne 0 ]]; then
+  echo "FAIL: real-mode chaos smoke exited $code, expected 0" >&2
+  exit 1
+fi
+if [[ "$out" != *'"fault_events_applied":1'* ]]; then
+  echo "FAIL: real-mode chaos smoke did not apply the partition" >&2
+  exit 1
+fi
+if [[ "$out" == *'"messages_blocked":0,'* ]]; then
+  echo "FAIL: real-mode chaos smoke blocked no frames (filter not wired?)" >&2
+  exit 1
+fi
+if [[ "$out" != *'"unreachable_endpoints":0,'* ]]; then
+  echo "FAIL: real-mode chaos smoke left endpoints unreachable" >&2
   exit 1
 fi
 

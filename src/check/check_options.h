@@ -30,6 +30,16 @@ struct CheckOptions {
   // gated probe.
   VirtualDuration convergence_grace = VirtualDuration::Seconds(30);
 
+  // partition-heals: after the last fault heals, every stable NORMAL node
+  // must see every other stable NORMAL node alive within this many gossip
+  // rounds — the liveness bound the gossip-to-unreachable escape hatch must
+  // meet (islanded node SYNs a seed in round one; the recovered heartbeat
+  // then disseminates in O(log N) rounds). Denominated in rounds, not
+  // seconds, so the same bound means the same thing at any gossip interval
+  // on either carrier. At the default 1s interval this must stay below the
+  // 40s post-settlement cooldown, like convergence_grace.
+  int partition_heal_rounds = 35;
+
   // Test-only planted bug (the ChaosSearch smoke target): a node that first
   // learns about an endpoint through a LEFT status treats it as a join and
   // adds its tokens to the ring — the classic "fresh view mishandles

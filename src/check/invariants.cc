@@ -117,6 +117,54 @@ class GossipConvergenceInvariant : public Invariant {
   }
 };
 
+// ---- partition-heals --------------------------------------------------------
+
+// The liveness half of healing, separate from gossip-convergence: the bound
+// is denominated in gossip ROUNDS (partition_heal_rounds * gossip_interval),
+// so the same invariant checks a 1s-interval simulation and a 100ms-interval
+// real-socket cluster with identical protocol-time semantics. This is the
+// invariant the ChaosSearch islanding reproducer violated before the
+// gossip-to-unreachable escape hatch existed.
+class PartitionHealsInvariant : public Invariant {
+ public:
+  const char* name() const override { return "partition-heals"; }
+
+  void Probe(const InvariantContext& ctx, InvariantRegistry* sink) override {
+    const VirtualDuration bound =
+        ctx.gossip_interval * sink->options().partition_heal_rounds;
+    if (ctx.now < ctx.fault_quiet_at + bound) return;
+    // Same stable-participant filter as gossip-convergence, with the heal
+    // bound as the stability window: a node that crashed and came back (or
+    // just turned NORMAL) gets a fresh window before it must have healed.
+    std::vector<const Node*> stable;
+    for (const Node* node : *ctx.nodes) {
+      if (!Running(node) || node->my_status() != StatusKind::kNormal) continue;
+      auto it = sink->tracks().find(node->id());
+      if (it == sink->tracks().end() || !it->second.has_normal_since) continue;
+      if (ctx.now < it->second.normal_since + bound) continue;
+      stable.push_back(node);
+    }
+    for (const Node* viewer : stable) {
+      for (const Node* subject : stable) {
+        if (viewer == subject) continue;
+        if (!viewer->gossiper().IsAlive(subject->id())) {
+          sink->ReportViolation(
+              name(), ctx.now,
+              StrFormat("node %lld is still islanded from node %lld %lld "
+                        "gossip rounds after fault quiescence — the "
+                        "unreachable escape hatch never re-established "
+                        "contact",
+                        static_cast<long long>(subject->id()),
+                        static_cast<long long>(viewer->id()),
+                        static_cast<long long>(
+                            (ctx.now - ctx.fault_quiet_at).nanos() /
+                            std::max<int64_t>(1, ctx.gossip_interval.nanos()))));
+        }
+      }
+    }
+  }
+};
+
 // ---- zombie-endpoint --------------------------------------------------------
 
 class ZombieEndpointInvariant : public Invariant {
@@ -332,6 +380,7 @@ InvariantRegistry::~InvariantRegistry() = default;
 void InvariantRegistry::AddBuiltins() {
   Add(std::make_unique<RingOwnershipInvariant>());
   Add(std::make_unique<GossipConvergenceInvariant>());
+  Add(std::make_unique<PartitionHealsInvariant>());
   Add(std::make_unique<ZombieEndpointInvariant>());
   Add(std::make_unique<GenVersionMonotonicInvariant>());
   Add(std::make_unique<KvHistoryInvariant>());

@@ -13,6 +13,12 @@
 //                        token set (token ranges owned by who should own them)
 //   gossip-convergence   after faults quiesce and a grace period, every live
 //                        NORMAL node sees every other live NORMAL node alive
+//   partition-heals      the rounds-denominated liveness bound on healing:
+//                        within partition_heal_rounds gossip rounds of fault
+//                        quiescence no stable NORMAL node may still consider
+//                        another stable NORMAL node dead (the islanding bug
+//                        ChaosSearch found — without gossip-to-unreachable a
+//                        healed full partition stays islanded forever)
 //   zombie-endpoint      a node that completed decommission (LEFT/REMOVED)
 //                        must leave every live settled ring view
 //   generation-monotonic a viewer's record of a peer's (generation, max
@@ -92,6 +98,8 @@ struct InvariantContext {
   int replication_factor = 3;
   // Virtual instant the last scheduled fault heals (Zero when no faults).
   VirtualTime fault_quiet_at;
+  // The deployment's gossip round period (scales partition_heal_rounds).
+  VirtualDuration gossip_interval = VirtualDuration::Seconds(1);
   // True when the run's workload preserves key ownership (see kv-history).
   bool kv_checkable = false;
   const KvHistory* history = nullptr;
@@ -113,7 +121,7 @@ class InvariantRegistry {
   InvariantRegistry(const InvariantRegistry&) = delete;
   InvariantRegistry& operator=(const InvariantRegistry&) = delete;
 
-  // Registers the five built-in invariants documented above.
+  // Registers the six built-in invariants documented above.
   void AddBuiltins();
   void Add(std::unique_ptr<Invariant> invariant);
 

@@ -251,8 +251,8 @@ void Cluster::BuildDeployment() {
   // ---- Fault injection ---------------------------------------------------
   if (!options_.faults.empty()) {
     FaultInjector::Hooks hooks;
-    hooks.sim = sim_.get();
-    hooks.network = network_.get();
+    hooks.clock = sim_clock_.get();
+    hooks.links = network_.get();
     hooks.trace = trace_.get();
     hooks.crash_node = [this](NodeId victim) {
       if (victim >= 0 && static_cast<size_t>(victim) < nodes_.size() &&
@@ -292,8 +292,13 @@ void Cluster::BuildDeployment() {
       seed_members[id] = settled_members[id];
     }
   }
+  std::vector<NodeId> seed_contacts;
+  for (NodeId id = 0; id < std::min(initial_nodes_, 3); ++id) {
+    seed_contacts.push_back(id);
+  }
   for (NodeId id = 0; id < total; ++id) {
     Node* node = nodes_[static_cast<size_t>(id)].get();
+    node->SetSeedContacts(seed_contacts);
     if (!fresh && id < initial_nodes_) {
       node->PrimeSettled(settled_members);
     } else if (!fresh) {
@@ -590,6 +595,7 @@ void Cluster::ProbeInvariants() {
   ctx.nodes = &node_view_;
   ctx.replication_factor = options_.config.replication_factor;
   ctx.fault_quiet_at = VirtualTime::Zero() + options_.faults.End();
+  ctx.gossip_interval = options_.config.gossip_interval;
   // The KV history checker is only sound on workloads that preserve key
   // ownership: the simulator has no data-streaming model, so a membership
   // change legitimately strands acknowledged data on the old replicas.
@@ -607,6 +613,15 @@ void Cluster::CollectResult(RunResult* result) const {
 
   result->flaps = flaps_.total_flaps();
   result->flapped_pairs = flaps_.flapped_pairs();
+  for (const auto& node : nodes_) {  // id order: deterministic sums
+    if (node->crashed() || !node->started()) {
+      continue;
+    }
+    result->live_endpoints +=
+        static_cast<int64_t>(node->gossiper().LiveEndpointsView().size());
+    result->unreachable_endpoints +=
+        static_cast<int64_t>(node->gossiper().UnreachableEndpointsView().size());
+  }
 
   result->test_duration = sim_->Now() - VirtualTime::Zero();
   result->settled = settled_;

@@ -156,6 +156,15 @@ void Node::PrimeContacts(const std::vector<NodeId>& contacts) {
   }
 }
 
+void Node::SetSeedContacts(const std::vector<NodeId>& contacts) {
+  seed_contacts_.clear();
+  for (NodeId peer : contacts) {
+    if (peer != id_) {
+      seed_contacts_.push_back(peer);
+    }
+  }
+}
+
 void Node::EnableOrderEnforcement(std::vector<MessageKey> sequence) {
   enforcer_ = std::make_unique<OrderEnforcer>(
       std::move(sequence), /*max_buffer=*/48,
@@ -416,10 +425,23 @@ void Node::GossipRound() {
       })
       .Run([this] {
         const std::vector<NodeId>& live = gossiper_.LiveEndpointsView();
-        if (live.empty()) {
-          return;
+        if (!live.empty()) {
+          SendSyn(live[rng_.PickIndex(live.size())]);
         }
-        SendSyn(live[rng_.PickIndex(live.size())]);
+        // Gossip-to-unreachable escape hatch: a healed partition only
+        // re-converges if somebody eventually SYNs across the conviction
+        // boundary. Probability |unreachable|/(|live|+1), Cassandra-style;
+        // draws happen only when the unreachable set is non-empty.
+        NodeId unreachable = gossiper_.PickUnreachableSynTarget(&rng_);
+        if (unreachable != kInvalidNode) {
+          SendSyn(unreachable);
+        }
+        // Fully islanded (empty live view): fall back to a seed contact
+        // unconditionally, so even a node that convicted the whole cluster
+        // re-establishes contact within one round of the partition healing.
+        if (live.empty() && !seed_contacts_.empty()) {
+          SendSyn(seed_contacts_[rng_.PickIndex(seed_contacts_.size())]);
+        }
       });
   gossip_task_.Enqueue(std::move(round));
 

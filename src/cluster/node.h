@@ -167,6 +167,10 @@ class Node {
   // For fresh bootstrap: bare contact addresses with no known state (the
   // contacts themselves are bootstrapping too).
   void PrimeContacts(const std::vector<NodeId>& contacts);
+  // Seed addresses for the gossip-to-unreachable escape hatch: when the live
+  // view is empty (islanded after a partition), the round SYNs one of these
+  // unconditionally so the node can rejoin. Self is filtered out.
+  void SetSeedContacts(const std::vector<NodeId>& contacts);
   // Replay mode: enforce this recorded processing order.
   void EnableOrderEnforcement(std::vector<MessageKey> sequence);
 
@@ -284,6 +288,7 @@ class Node {
   // Endpoints we do not failure-monitor (ourselves, LEFT nodes). Membership
   // queries only — never iterated, so unordered is deterministic here.
   std::unordered_set<NodeId> unmonitored_;
+  std::vector<NodeId> seed_contacts_;  // excludes self
 
   std::unique_ptr<OrderEnforcer> enforcer_;
   bool started_ = false;

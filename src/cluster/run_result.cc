@@ -52,6 +52,8 @@ void RunResult::WriteJson(JsonWriter* w) const {
 
   w->Field("flaps", flaps);
   w->Field("flapped_pairs", flapped_pairs);
+  w->Field("live_endpoints", live_endpoints);
+  w->Field("unreachable_endpoints", unreachable_endpoints);
 
   w->Field("test_duration_ns", test_duration.nanos());
   w->Field("settle_time_ns", settle_time.nanos());

@@ -26,6 +26,12 @@ struct RunResult {
   // ---- Figure 3 ---------------------------------------------------------
   int64_t flaps = 0;          // total alive->dead transitions cluster-wide
   int64_t flapped_pairs = 0;  // distinct (observer, subject) pairs
+  // End-of-run liveness views, summed over running nodes: peers considered
+  // alive vs unreachable (known, dead, not departed). A healed cluster ends
+  // with unreachable_endpoints == 0; a nonzero value means somebody is still
+  // islanded. Exported by both carriers.
+  int64_t live_endpoints = 0;
+  int64_t unreachable_endpoints = 0;
 
   // ---- Timing (Figure 1 / §8 table) --------------------------------------
   VirtualDuration test_duration;    // virtual time the run occupied

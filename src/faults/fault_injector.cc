@@ -8,12 +8,34 @@ namespace scalecheck {
 
 FaultInjector::FaultInjector(FaultPlan plan, Hooks hooks)
     : plan_(std::move(plan)), hooks_(std::move(hooks)) {
-  CHECK_NOTNULL(hooks_.sim);
-  CHECK_NOTNULL(hooks_.network);
-  CHECK(hooks_.crash_node);
-  CHECK(hooks_.restart_node);
-  CHECK(hooks_.node_crashed);
-  CHECK(hooks_.machine_of);
+  CHECK_NOTNULL(hooks_.clock);
+  bool links = false, crashes = false, machines = false;
+  for (const FaultEvent& event : plan_.events) {
+    switch (event.kind) {
+      case FaultKind::kPartition:
+      case FaultKind::kLinkDegrade:
+        links = true;
+        break;
+      case FaultKind::kCrash:
+        crashes = true;
+        break;
+      case FaultKind::kSlowNode:
+      case FaultKind::kMemoryPressure:
+        machines = true;
+        break;
+    }
+  }
+  if (links) {
+    CHECK_NOTNULL(hooks_.links);
+  }
+  if (crashes) {
+    CHECK(hooks_.crash_node);
+    CHECK(hooks_.restart_node);
+    CHECK(hooks_.node_crashed);
+  }
+  if (machines) {
+    CHECK(hooks_.machine_of);
+  }
 }
 
 void FaultInjector::Arm() {
@@ -24,21 +46,24 @@ void FaultInjector::Arm() {
         event.kind == FaultKind::kLinkDegrade) {
       has_link_faults = true;
     }
-    hooks_.sim->ScheduleAt(VirtualTime::Zero() + event.at, [this, i] { Apply(i); });
+    hooks_.clock->ScheduleAfter(event.at, [this, i] { Apply(i); });
     if (!event.duration.IsZero()) {
-      hooks_.sim->ScheduleAt(VirtualTime::Zero() + event.at + event.duration,
-                             [this, i] { Heal(i); });
+      hooks_.clock->ScheduleAfter(event.at + event.duration,
+                                  [this, i] { Heal(i); });
     }
   }
   if (has_link_faults) {
-    hooks_.network->set_link_filter(
+    hooks_.links->SetLinkFilter(
         [this](NodeId from, NodeId to) { return Filter(from, to); });
   }
 }
 
 void FaultInjector::Apply(size_t index) {
   const FaultEvent& event = plan_.events[index];
-  ++stats_.events_applied;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.events_applied;
+  }
   Trace(TraceKind::kFaultInjected, event);
   switch (event.kind) {
     case FaultKind::kPartition:
@@ -49,7 +74,20 @@ void FaultInjector::Apply(size_t index) {
       rule.extra_latency = event.extra_latency;
       rule.a.insert(event.nodes_a.begin(), event.nodes_a.end());
       rule.b.insert(event.nodes_b.begin(), event.nodes_b.end());
-      active_links_[index] = std::move(rule);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        active_links_[index] = std::move(rule);
+      }
+      if (event.kind == FaultKind::kPartition) {
+        // Established connections must die with the partition — a live TCP
+        // stream would otherwise buffer frames straight through it. Severing
+        // everything touching the partitioned side is coarser than the rule
+        // (allowed pairs redial on their next send) but always safe; a no-op
+        // on the connection-free sim carrier.
+        for (NodeId victim : event.nodes_a) {
+          hooks_.links->SeverConnsTo(victim);
+        }
+      }
       break;
     }
     case FaultKind::kCrash:
@@ -76,13 +114,18 @@ void FaultInjector::Apply(size_t index) {
 
 void FaultInjector::Heal(size_t index) {
   const FaultEvent& event = plan_.events[index];
-  ++stats_.events_healed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.events_healed;
+  }
   Trace(TraceKind::kFaultHealed, event);
   switch (event.kind) {
     case FaultKind::kPartition:
-    case FaultKind::kLinkDegrade:
+    case FaultKind::kLinkDegrade: {
+      std::lock_guard<std::mutex> lock(mu_);
       active_links_.erase(index);
       break;
+    }
     case FaultKind::kCrash:
       // Heal of a crash = restart (only nodes still dead; an OOM may have
       // raced and the node could be gone for a different reason — restart
@@ -108,8 +151,9 @@ void FaultInjector::Heal(size_t index) {
   }
 }
 
-NetworkModel::LinkFault FaultInjector::Filter(NodeId from, NodeId to) const {
-  NetworkModel::LinkFault fault;
+LinkFault FaultInjector::Filter(NodeId from, NodeId to) const {
+  LinkFault fault;
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [index, rule] : active_links_) {
     auto in_a = [&rule](NodeId v) { return rule.a.count(v) > 0; };
     auto in_b = [&rule](NodeId v) {
@@ -131,7 +175,7 @@ void FaultInjector::Trace(TraceKind kind, const FaultEvent& event) {
     return;
   }
   NodeId first = event.nodes_a.empty() ? kInvalidNode : event.nodes_a.front();
-  hooks_.trace->Record(hooks_.sim->Now(), kind, first, kInvalidNode,
+  hooks_.trace->Record(hooks_.clock->Now(), kind, first, kInvalidNode,
                        static_cast<int64_t>(event.kind),
                        FaultKindName(event.kind));
 }

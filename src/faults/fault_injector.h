@@ -1,38 +1,50 @@
 // Executes a FaultPlan against a live deployment.
 //
-// The injector owns no models: it is wired with hooks into the Cluster's
-// simulator, network, machines, and node lifecycle, and turns each FaultEvent
-// into scheduled injections/heals. Link-level faults (partitions, degraded
-// links) are applied through the NetworkModel's link filter, which is
-// consulted on every Send while at least one link fault is in the plan.
+// The injector owns no models: it is wired with hooks into the deployment's
+// clock, link-filter host, machines, and node lifecycle, and turns each
+// FaultEvent into scheduled injections/heals. Link-level faults (partitions,
+// degraded links) are applied through the carrier-neutral LinkFilterHost
+// seam (src/transport/link_filter.h), so the same plan partitions the
+// simulated NetworkModel and the real-socket TcpTransport alike. On a real
+// carrier the timer thread applies/heals while sender threads consult the
+// filter concurrently; the injector's internal mutex makes that safe.
+//
+// Hooks are validated against the plan's content: only the hooks the plan's
+// event kinds actually need must be present (a link-only plan can run on a
+// carrier with no crash/machine machinery — the real carrier's case).
 
 #ifndef SCALECHECK_SRC_FAULTS_FAULT_INJECTOR_H_
 #define SCALECHECK_SRC_FAULTS_FAULT_INJECTOR_H_
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
 #include "src/common/types.h"
 #include "src/faults/fault_plan.h"
 #include "src/sim/machine.h"
-#include "src/sim/network.h"
-#include "src/sim/simulator.h"
 #include "src/sim/trace.h"
+#include "src/transport/link_filter.h"
+#include "src/transport/substrate.h"
 
 namespace scalecheck {
 
 class FaultInjector {
  public:
   struct Hooks {
-    Simulator* sim = nullptr;
-    NetworkModel* network = nullptr;
+    // Event scheduling and trace timestamps. Always required.
+    Clock* clock = nullptr;
+    // Link-fault carrier. Required iff the plan has partition/degrade events.
+    LinkFilterHost* links = nullptr;
     TraceRecorder* trace = nullptr;  // optional
     // Node lifecycle (Cluster-owned so crash accounting stays in one place).
+    // Required iff the plan has crash events.
     std::function<void(NodeId)> crash_node;
     std::function<void(NodeId)> restart_node;
     std::function<bool(NodeId)> node_crashed;
+    // Required iff the plan has slow-node/memory-pressure events.
     std::function<Machine*(NodeId)> machine_of;
   };
 
@@ -43,12 +55,15 @@ class FaultInjector {
 
   FaultInjector(FaultPlan plan, Hooks hooks);
 
-  // Schedules every event (and its heal) on the simulator and installs the
-  // network link filter if the plan contains link-level faults. Call once,
-  // before Simulator::Run.
+  // Schedules every event (and its heal) on the clock — at `event.at` after
+  // the Arm call — and installs the link filter if the plan contains
+  // link-level faults. Call once; on the sim carrier, before Simulator::Run.
   void Arm();
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   const FaultPlan& plan() const { return plan_; }
 
  private:
@@ -63,11 +78,14 @@ class FaultInjector {
 
   void Apply(size_t index);
   void Heal(size_t index);
-  NetworkModel::LinkFault Filter(NodeId from, NodeId to) const;
+  LinkFault Filter(NodeId from, NodeId to) const;
   void Trace(TraceKind kind, const FaultEvent& event);
 
   FaultPlan plan_;
   Hooks hooks_;
+  // Guards stats_ and active_links_: on a real carrier, Filter runs on
+  // sender threads while Apply/Heal run on the clock's timer thread.
+  mutable std::mutex mu_;
   Stats stats_;
   std::map<size_t, LinkRule> active_links_;
 };

@@ -191,6 +191,23 @@ FaultPlan FaultPlan::MemoryPressureOnly(int n, uint64_t seed) {
   return plan;
 }
 
+FaultPlan FaultPlan::IslandPartition(int n, uint64_t seed) {
+  CHECK_GE(n, 2) << "island plan needs at least 2 nodes";
+  Rng rng = PlanRng(seed);
+  FaultPlan plan;
+  plan.name = "island";
+  FaultEvent ev;
+  ev.kind = FaultKind::kPartition;
+  // Early injection (the cluster is primed settled) and a 32-round window:
+  // the shape ChaosSearch minimized to — long enough that both sides fully
+  // convict each other before the heal.
+  ev.at = Jittered(8, &rng);
+  ev.duration = VirtualDuration::Seconds(32);
+  ev.nodes_a = {n - 1};  // empty nodes_b = everyone else
+  plan.events.push_back(ev);
+  return plan;
+}
+
 FaultPlan FaultPlan::ByName(const std::string& name, int n, uint64_t seed) {
   if (name.empty() || name == "none") {
     return FaultPlan{};
@@ -210,6 +227,9 @@ FaultPlan FaultPlan::ByName(const std::string& name, int n, uint64_t seed) {
   if (name == "memory-pressure") {
     return MemoryPressureOnly(n, seed);
   }
+  if (name == "island") {
+    return IslandPartition(n, seed);
+  }
   CHECK(false) << "unknown fault plan " << name;
   return FaultPlan{};
 }
@@ -217,7 +237,7 @@ FaultPlan FaultPlan::ByName(const std::string& name, int n, uint64_t seed) {
 bool FaultPlan::IsKnown(const std::string& name) {
   return name.empty() || name == "none" || name == "standard-chaos" ||
          name == "partition" || name == "crash-restart" || name == "slow-node" ||
-         name == "memory-pressure";
+         name == "memory-pressure" || name == "island";
 }
 
 void FaultEvent::WriteJson(JsonWriter* w) const {

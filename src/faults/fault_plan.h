@@ -99,9 +99,16 @@ struct FaultPlan {
   static FaultPlan CrashRestartOnly(int n, uint64_t seed);
   static FaultPlan SlowNodeOnly(int n, uint64_t seed);
   static FaultPlan MemoryPressureOnly(int n, uint64_t seed);
+  // The ChaosSearch-discovered islanding reproducer, promoted to a named
+  // plan: one full partition of the last node (n-1), long enough for mutual
+  // conviction, then healed. Before gossip-to-unreachable this islanded the
+  // node forever; it now exercises the partition-heals invariant on both
+  // carriers (the real carrier rescales the times to its gossip interval).
+  static FaultPlan IslandPartition(int n, uint64_t seed);
 
   // Looks a plan up by name ("", "none", "standard-chaos", "partition",
-  // "crash-restart", "slow-node", "memory-pressure"). Unknown names CHECK.
+  // "crash-restart", "slow-node", "memory-pressure", "island"). Unknown
+  // names CHECK.
   static FaultPlan ByName(const std::string& name, int n, uint64_t seed);
   static bool IsKnown(const std::string& name);
 

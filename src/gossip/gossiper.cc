@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/rng.h"
 
 namespace scalecheck {
 
@@ -35,6 +36,7 @@ void Gossiper::AddKnownEndpoint(NodeId ep, const EndpointState& state) {
   alive_[ep] = true;
   MarkDigestStructureDirty();
   live_dirty_ = true;
+  unreachable_dirty_ = true;
 }
 
 void Gossiper::RemoveEndpoint(NodeId ep) {
@@ -42,6 +44,7 @@ void Gossiper::RemoveEndpoint(NodeId ep) {
   alive_.erase(ep);
   MarkDigestStructureDirty();
   live_dirty_ = true;
+  unreachable_dirty_ = true;
 }
 
 void Gossiper::ResetForRestart(int64_t generation) {
@@ -51,6 +54,7 @@ void Gossiper::ResetForRestart(int64_t generation) {
   endpoints_.emplace(self_, EndpointState(generation));
   MarkDigestStructureDirty();
   live_dirty_ = true;
+  unreachable_dirty_ = true;
 }
 
 const EndpointState* Gossiper::StateOf(NodeId ep) const {
@@ -63,19 +67,31 @@ void Gossiper::MarkAlive(NodeId ep) {
   if (!flag) {
     flag = true;
     live_dirty_ = true;
+    unreachable_dirty_ = true;
   }
 }
 
 void Gossiper::MarkDead(NodeId ep) {
-  auto it = alive_.find(ep);
-  if (it == alive_.end()) {
-    alive_[ep] = false;
+  // Track liveness only for endpoints we actually know. This used to insert
+  // alive_[ep]=false for unknown endpoints, leaking a tombstone forever (and
+  // under the unreachable view it would resurrect forgotten endpoints as
+  // gossip-to-unreachable targets).
+  if (endpoints_.find(ep) == endpoints_.end()) {
+    if (alive_.erase(ep) > 0) {
+      live_dirty_ = true;
+      unreachable_dirty_ = true;
+    }
     return;
   }
-  if (it->second) {
-    it->second = false;
+  bool& flag = alive_[ep];
+  if (flag) {
+    flag = false;
     live_dirty_ = true;
   }
+  // Callers often MarkDead in reaction to a STATUS change (LEFT/REMOVED),
+  // which moves the endpoint out of the unreachable set even when the flag
+  // was already false — rebuild unconditionally.
+  unreachable_dirty_ = true;
 }
 
 bool Gossiper::IsAlive(NodeId ep) const {
@@ -98,6 +114,42 @@ const std::vector<NodeId>& Gossiper::LiveEndpointsView() const {
 }
 
 std::vector<NodeId> Gossiper::LiveEndpoints() const { return LiveEndpointsView(); }
+
+const std::vector<NodeId>& Gossiper::UnreachableEndpointsView() const {
+  if (unreachable_dirty_) {
+    unreachable_cache_.clear();
+    for (const auto& [ep, state] : endpoints_) {
+      if (ep == self_ || IsAlive(ep)) {
+        continue;
+      }
+      StatusKind status = state.Status();
+      if (status == StatusKind::kLeft || status == StatusKind::kRemoved) {
+        continue;  // departed on purpose, not a healing target
+      }
+      unreachable_cache_.push_back(ep);
+    }
+    unreachable_dirty_ = false;
+  }
+  return unreachable_cache_;  // endpoints_ is sorted, so the cache is too
+}
+
+std::vector<NodeId> Gossiper::UnreachableEndpoints() const {
+  return UnreachableEndpointsView();
+}
+
+NodeId Gossiper::PickUnreachableSynTarget(Rng* rng) const {
+  const std::vector<NodeId>& unreachable = UnreachableEndpointsView();
+  if (unreachable.empty()) {
+    return kInvalidNode;  // no draw: fault-free RNG streams stay untouched
+  }
+  const std::vector<NodeId>& live = LiveEndpointsView();
+  double prob = static_cast<double>(unreachable.size()) /
+                (static_cast<double>(live.size()) + 1.0);
+  if (!rng->Bernoulli(prob < 1.0 ? prob : 1.0)) {
+    return kInvalidNode;
+  }
+  return unreachable[rng->PickIndex(unreachable.size())];
+}
 
 std::vector<NodeId> Gossiper::AllEndpoints() const {
   std::vector<NodeId> out;
@@ -296,6 +348,7 @@ void Gossiper::ApplyOne(NodeId ep, const EndpointState& remote) {
     endpoints_[ep] = remote;
     alive_[ep] = true;
     live_dirty_ = true;
+    unreachable_dirty_ = true;
     MarkDigestStructureDirty();
     ++states_applied_;
     ++updates_applied_;
@@ -317,6 +370,7 @@ void Gossiper::ApplyOne(NodeId ep, const EndpointState& remote) {
     StatusKind old_status = local.Status();
     local = remote;
     MarkDigestDirty(ep, &local);
+    unreachable_dirty_ = true;  // wholesale replace can change STATUS
     ++states_applied_;
     ++updates_applied_;
     if (callbacks_.on_restart) {
@@ -350,9 +404,11 @@ void Gossiper::ApplyOne(NodeId ep, const EndpointState& remote) {
     content_changed = true;
     ++states_applied_;
     ++updates_applied_;
-    if (key == ApplicationStateKey::kStatus && callbacks_.on_status_change &&
-        value.status != old_status) {
-      callbacks_.on_status_change(ep, old_status, value.status);
+    if (key == ApplicationStateKey::kStatus) {
+      unreachable_dirty_ = true;  // LEFT/REMOVED exits the unreachable set
+      if (callbacks_.on_status_change && value.status != old_status) {
+        callbacks_.on_status_change(ep, old_status, value.status);
+      }
     }
   }
   if (content_changed) {

@@ -28,6 +28,8 @@
 
 namespace scalecheck {
 
+class Rng;
+
 class Gossiper {
  public:
   struct Callbacks {
@@ -89,6 +91,20 @@ class Gossiper {
   // valid while iterating even if the caller flips liveness (rebuilds are
   // deferred to the next call), but not across other Gossiper mutations.
   const std::vector<NodeId>& LiveEndpointsView() const;
+
+  // Cached sorted unreachable-endpoint list: endpoints we know but currently
+  // consider dead, excluding self and endpoints whose STATUS says they
+  // departed on purpose (LEFT/REMOVED). This is the gossip-to-unreachable
+  // target set; same reference-validity contract as LiveEndpointsView.
+  const std::vector<NodeId>& UnreachableEndpointsView() const;
+  std::vector<NodeId> UnreachableEndpoints() const;
+
+  // Cassandra-style gossip-to-unreachable draw (maybeGossipToUnreachable):
+  // with probability |unreachable| / (|live| + 1), returns a uniformly random
+  // unreachable endpoint to SYN this round; kInvalidNode otherwise. Consumes
+  // rng draws ONLY when the unreachable set is non-empty, so runs that never
+  // convict anyone keep their RNG streams byte-identical.
+  NodeId PickUnreachableSynTarget(Rng* rng) const;
 
   // ---- Protocol steps -----------------------------------------------------
 
@@ -173,6 +189,12 @@ class Gossiper {
   // Sorted live-endpoint cache (excludes self).
   mutable std::vector<NodeId> live_cache_;
   mutable bool live_dirty_ = true;
+
+  // Sorted unreachable-endpoint cache (known, dead, not departed). Dirtied by
+  // liveness flips, membership changes, and accepted STATUS transitions (a
+  // dead endpoint that goes LEFT must drop out of the unreachable set).
+  mutable std::vector<NodeId> unreachable_cache_;
+  mutable bool unreachable_dirty_ = true;
 };
 
 }  // namespace scalecheck

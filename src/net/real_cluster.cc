@@ -10,6 +10,7 @@
 #include "src/common/logging.h"
 #include "src/common/stats.h"
 #include "src/common/strings.h"
+#include "src/faults/fault_injector.h"
 #include "src/ring/token_ring.h"
 
 namespace scalecheck {
@@ -21,8 +22,13 @@ RealCluster::RealCluster(const Options& options) : options_(options) {
     seed_members[id] =
         GenerateTokens(id, options_.node.vnodes_per_node, options_.node.seed);
   }
+  RealNode::Options node_options = options_.node;
+  node_options.seed_contacts.clear();
+  for (NodeId id = 0; id < seeds; ++id) {
+    node_options.seed_contacts.push_back(id);
+  }
   for (NodeId id = 0; id < options_.num_nodes; ++id) {
-    auto node = std::make_unique<RealNode>(id, options_.node, &transport_,
+    auto node = std::make_unique<RealNode>(id, node_options, &transport_,
                                            &clock_, &flaps_, &flaps_mu_);
     node->PrimeSeeds(seed_members);
     nodes_.push_back(std::move(node));
@@ -70,10 +76,78 @@ RunResult RealCluster::Run() {
                     << options_.convergence_timeout.ToString();
   }
 
+  // ---- Fault phase: replay the plan against the sockets, then demand the
+  // cluster heal. Plan times are authored in simulator gossip rounds (1s
+  // interval); rescale by this carrier's interval so the same FaultPlan
+  // means the same protocol-time schedule on both carriers.
+  std::unique_ptr<FaultInjector> injector;
+  bool fault_phase_ran = false;
+  bool healed = true;
+  int64_t islanded = 0;
+  if (settled && !options_.faults.empty()) {
+    const double scale =
+        static_cast<double>(options_.node.gossip_interval.nanos()) / 1e9;
+    auto rescale = [scale](VirtualDuration d) {
+      return VirtualDuration::Nanos(
+          static_cast<int64_t>(static_cast<double>(d.nanos()) * scale));
+    };
+    FaultPlan plan;
+    plan.name = options_.faults.name;
+    for (const FaultEvent& ev : options_.faults.events) {
+      if (ev.kind != FaultKind::kPartition &&
+          ev.kind != FaultKind::kLinkDegrade) {
+        SC_LOG(Warning) << "real cluster: skipping unsupported fault kind "
+                        << FaultKindName(ev.kind)
+                        << " (no process/machine model on this carrier)";
+        continue;
+      }
+      FaultEvent scaled = ev;
+      scaled.at = rescale(ev.at);
+      scaled.duration = rescale(ev.duration);
+      plan.events.push_back(scaled);
+    }
+    if (!plan.empty()) {
+      fault_phase_ran = true;
+      const VirtualTime armed_at = clock_.Now();
+      const VirtualTime quiet_at = armed_at + plan.End();
+      const VirtualTime deadline =
+          quiet_at +
+          options_.node.gossip_interval * options_.partition_heal_rounds;
+      FaultInjector::Hooks hooks;
+      hooks.clock = &clock_;
+      hooks.links = &transport_;
+      injector = std::make_unique<FaultInjector>(std::move(plan), hooks);
+      injector->Arm();
+      // Ride out the plan, then poll for reconvergence within the
+      // rounds-denominated heal bound — the real-mode probe of the
+      // partition-heals invariant.
+      healed = false;
+      while (clock_.Now() < deadline) {
+        if (clock_.Now() >= quiet_at && AllConverged()) {
+          healed = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (!healed) {
+        healed = AllConverged();  // final check at the deadline itself
+      }
+      for (const auto& node : nodes_) {
+        islanded += static_cast<int64_t>(node->unreachable_endpoints());
+      }
+      if (!healed) {
+        SC_LOG(Warning) << "real cluster: partition did not heal within "
+                        << options_.partition_heal_rounds
+                        << " gossip rounds of fault quiescence (" << islanded
+                        << " endpoints still unreachable)";
+      }
+    }
+  }
+
   // Optional KV smoke: quorum writes then reads, round-robin coordinators.
   int64_t kv_issued = 0;
   LogHistogram kv_latency{/*base=*/1e5, /*growth=*/1.5, /*num_buckets=*/80};
-  if (settled && options_.node.enable_kv && options_.kv_ops > 0) {
+  if (settled && healed && options_.node.enable_kv && options_.kv_ops > 0) {
     std::mutex done_mu;
     std::condition_variable done_cv;
     int outstanding = 0;
@@ -112,9 +186,18 @@ RunResult RealCluster::Run() {
   }
 
   VirtualTime end = clock_.Now();
+  int64_t live_sum = 0;
+  int64_t unreachable_sum = 0;
+  for (const auto& node : nodes_) {
+    live_sum += static_cast<int64_t>(node->live_endpoints());
+    unreachable_sum += static_cast<int64_t>(node->unreachable_endpoints());
+  }
   for (auto& node : nodes_) {
     node->Stop();
   }
+  // The injector's filter closure dies with this frame; nodes are stopped,
+  // but clear it so the member transport never outlives what it points at.
+  transport_.SetLinkFilter(nullptr);
 
   RunResult result;
   result.mode = RunMode::kRealSockets;
@@ -130,6 +213,32 @@ RunResult RealCluster::Run() {
   }
   result.messages_sent = transport_.messages_sent();
   result.messages_delivered = transport_.messages_delivered();
+  result.messages_blocked = transport_.messages_blocked();
+  result.live_endpoints = live_sum;
+  result.unreachable_endpoints = unreachable_sum;
+  if (injector != nullptr) {
+    FaultInjector::Stats stats = injector->stats();
+    result.fault_events_applied = stats.events_applied;
+    result.fault_events_healed = stats.events_healed;
+  }
+  if (fault_phase_ran) {
+    // Real-mode probe of the partition-heals invariant: one end-of-run
+    // verdict in the same report shape the sim checker emits, so the CLI's
+    // exit-code logic treats both carriers identically.
+    result.invariants.checked = true;
+    result.invariants.probes = 1;
+    if (!healed) {
+      InvariantViolation violation;
+      violation.invariant = "partition-heals";
+      violation.first_at = end;
+      violation.detail = StrFormat(
+          "%lld endpoints still unreachable %d gossip rounds after fault "
+          "quiescence on the real carrier",
+          static_cast<long long>(islanded), options_.partition_heal_rounds);
+      violation.count = islanded > 0 ? islanded : 1;
+      result.invariants.violations.push_back(violation);
+    }
+  }
   result.kv_issued = kv_issued;
   for (const auto& node : nodes_) {
     KvStats stats = node->KvStatsSnapshot();

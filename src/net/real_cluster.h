@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/cluster/run_result.h"
+#include "src/faults/fault_plan.h"
 #include "src/gossip/flap_counter.h"
 #include "src/net/real_clock.h"
 #include "src/net/real_node.h"
@@ -34,6 +35,17 @@ class RealCluster {
     // When node.enable_kv: issue this many quorum writes+reads after
     // convergence, round-robin across coordinators.
     int kv_ops = 0;
+    // Fault schedule replayed against the real sockets after initial
+    // convergence. FaultPlan times are authored against the simulator's 1s
+    // gossip round; this carrier rescales them by node.gossip_interval so a
+    // "32 second partition" means the same ~32 protocol rounds on both
+    // carriers. Only link-level kinds (partition, link-degrade) apply here —
+    // others are skipped with a warning (no process/machine model).
+    FaultPlan faults;
+    // partition-heals bound: after the scaled plan's last heal, the cluster
+    // must reconverge within this many gossip rounds or the run reports a
+    // partition-heals invariant violation (exit code 4 via the CLI).
+    int partition_heal_rounds = 35;
   };
 
   explicit RealCluster(const Options& options);

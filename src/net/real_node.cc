@@ -31,6 +31,11 @@ RealNode::RealNode(NodeId id, const Options& options, Transport* transport,
   CHECK_NOTNULL(transport);
   CHECK_NOTNULL(clock);
   unmonitored_.insert(id_);
+  for (NodeId peer : options_.seed_contacts) {
+    if (peer != id_) {
+      seed_contacts_.push_back(peer);
+    }
+  }
   if (options_.enable_kv) {
     KvService::Deps deps;
     deps.clock = &clock_;
@@ -181,6 +186,11 @@ size_t RealNode::live_endpoints() const {
   return gossiper_.LiveEndpointsView().size();
 }
 
+size_t RealNode::unreachable_endpoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gossiper_.UnreachableEndpointsView().size();
+}
+
 const KvStats RealNode::KvStatsSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return kv_ == nullptr ? KvStats{} : kv_->stats();
@@ -223,10 +233,18 @@ void RealNode::GossipRound() {
   gossiper_.IncrementHeartbeat();
   const std::vector<NodeId>& live = gossiper_.LiveEndpointsView();
   if (!live.empty()) {
-    NodeId peer = live[rng_.PickIndex(live.size())];
-    auto syn = std::make_shared<SynPayload>();
-    gossiper_.CopySynDigests(&syn->digests);
-    transport_->Send(id_, peer, kGossipSyn, std::move(syn));
+    SendSynTo(live[rng_.PickIndex(live.size())]);
+  }
+  // Gossip-to-unreachable escape hatch, same shape as the sim Node: a healed
+  // partition only re-converges if somebody SYNs across the conviction
+  // boundary (probability |unreachable|/(|live|+1)), and a fully islanded
+  // node (empty live view) falls back to a seed contact unconditionally.
+  NodeId unreachable = gossiper_.PickUnreachableSynTarget(&rng_);
+  if (unreachable != kInvalidNode) {
+    SendSynTo(unreachable);
+  }
+  if (live.empty() && !seed_contacts_.empty()) {
+    SendSynTo(seed_contacts_[rng_.PickIndex(seed_contacts_.size())]);
   }
   // Failure sweep, as the sim Node's gossip task does each round.
   VirtualTime now = clock_.Now();
@@ -240,6 +258,12 @@ void RealNode::GossipRound() {
       flaps_->RecordDown(id_, ep, now);
     }
   }
+}
+
+void RealNode::SendSynTo(NodeId peer) {
+  auto syn = std::make_shared<SynPayload>();
+  gossiper_.CopySynDigests(&syn->digests);
+  transport_->Send(id_, peer, kGossipSyn, std::move(syn));
 }
 
 void RealNode::HandleSyn(const Message& msg) {

@@ -46,6 +46,10 @@ class RealNode {
     uint64_t seed = 1;
     bool enable_kv = false;
     VirtualDuration kv_timeout = VirtualDuration::Seconds(2);
+    // Seed addresses for the gossip-to-unreachable escape hatch (self is
+    // filtered out). When the live view is empty, the round SYNs one of
+    // these unconditionally so an islanded node rejoins after a partition.
+    std::vector<NodeId> seed_contacts;
   };
 
   // `transport` and `clock` outlive the node; `flaps` is shared across nodes
@@ -79,6 +83,8 @@ class RealNode {
   bool SeesConvergedCluster(int n) const;
   size_t known_endpoints() const;
   size_t live_endpoints() const;
+  // Known-but-dead peers that have not departed (the healing target set).
+  size_t unreachable_endpoints() const;
   std::vector<Token> my_tokens() const { return my_tokens_; }
   const KvStats KvStatsSnapshot() const;
 
@@ -89,6 +95,7 @@ class RealNode {
   void HandleAck(const Message& msg);
   void HandleAck2(const Message& msg);
 
+  void SendSynTo(NodeId peer);
   void OnStatusChange(NodeId ep, StatusKind old_status, StatusKind new_status);
   void OnHeartbeat(NodeId ep);
   void OnRestart(NodeId ep);
@@ -112,6 +119,7 @@ class RealNode {
   PendingRanges pending_ranges_;
   bool ring_dirty_ = false;
   std::unordered_set<NodeId> unmonitored_;
+  std::vector<NodeId> seed_contacts_;  // Options::seed_contacts minus self
   std::vector<Token> my_tokens_;
   std::unique_ptr<KvService> kv_;
   std::unique_ptr<PeriodicClockTimer> gossip_timer_;

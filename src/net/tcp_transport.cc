@@ -238,9 +238,37 @@ std::shared_ptr<TcpTransport::Conn> TcpTransport::GetConn(NodeId from, NodeId to
   return conn;
 }
 
+void TcpTransport::SetLinkFilter(LinkFilterFn filter) {
+  std::lock_guard<std::mutex> lock(filter_mu_);
+  link_filter_ = std::move(filter);
+}
+
+void TcpTransport::SeverConnsTo(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DropConnsTo(node);
+}
+
 uint64_t TcpTransport::Send(NodeId from, NodeId to, int type,
                             std::shared_ptr<const Payload> payload) {
   sent_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(filter_mu_);
+    if (link_filter_) {
+      LinkFault fault = link_filter_(from, to);
+      if (fault.blocked) {
+        // Hard partition: refuse before dialing — a blocked pair must not
+        // even establish a connection.
+        dropped_.fetch_add(1);
+        blocked_.fetch_add(1);
+        return 0;
+      }
+      if (fault.extra_loss > 0.0 && loss_rng_.Bernoulli(fault.extra_loss)) {
+        dropped_.fetch_add(1);
+        return 0;
+      }
+      // extra_latency is sim-only; the TCP carrier delivers at wire speed.
+    }
+  }
   Message msg;
   msg.from = from;
   msg.to = to;

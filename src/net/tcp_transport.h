@@ -30,11 +30,13 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/rng.h"
+#include "src/transport/link_filter.h"
 #include "src/transport/substrate.h"
 
 namespace scalecheck {
 
-class TcpTransport final : public Transport {
+class TcpTransport final : public Transport, public LinkFilterHost {
  public:
   TcpTransport();
   ~TcpTransport() override;
@@ -55,9 +57,22 @@ class TcpTransport final : public Transport {
   // calls it.
   void Shutdown();
 
+  // LinkFilterHost: the filter is consulted at the top of Send, from
+  // whatever thread is sending. `blocked` refuses the frame before any
+  // dial/write; `extra_loss` drops probabilistically (local rng — the real
+  // carrier is wall-clock nondeterministic anyway); `extra_latency` is NOT
+  // modelled on TCP (no delay thread; documented sim-only).
+  void SetLinkFilter(LinkFilterFn filter) override;
+  // Shuts down established connections touching `node` so a partition kills
+  // in-flight streams instead of letting them buffer through the fault.
+  void SeverConnsTo(NodeId node) override;
+
   uint64_t messages_sent() const { return sent_.load(); }
   uint64_t messages_delivered() const { return delivered_.load(); }
   uint64_t messages_dropped() const { return dropped_.load(); }
+  // Subset of messages_dropped: deterministic link-filter refusals (hard
+  // partitions), mirroring NetworkModel::messages_blocked.
+  uint64_t messages_blocked() const { return blocked_.load(); }
   uint64_t bytes_sent() const { return bytes_.load(); }
 
  private:
@@ -94,7 +109,14 @@ class TcpTransport final : public Transport {
   std::atomic<uint64_t> sent_{0};
   std::atomic<uint64_t> delivered_{0};
   std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> blocked_{0};
   std::atomic<uint64_t> bytes_{0};
+
+  // Link-filter state; filter_mu_ also serializes the loss rng (loss draws
+  // are rare — only while a degrade fault is active).
+  std::mutex filter_mu_;
+  LinkFilterFn link_filter_;
+  Rng loss_rng_{0x10557e57ULL};
   // Per (from<<32|to, type) sequence numbers, as NetworkModel keeps.
   std::mutex seq_mu_;
   std::unordered_map<uint64_t, std::unordered_map<int, uint64_t>> pair_seq_;

@@ -22,11 +22,12 @@
 #include "src/sim/simulator.h"
 // Message/Payload moved below the simulator (substrate seam); re-exported
 // here so the many sim-side includers keep compiling unchanged.
+#include "src/transport/link_filter.h"
 #include "src/transport/message.h"  // IWYU pragma: export
 
 namespace scalecheck {
 
-class NetworkModel {
+class NetworkModel : public LinkFilterHost {
  public:
   struct Config {
     VirtualDuration loopback_latency = VirtualDuration::Micros(50);
@@ -40,22 +41,23 @@ class NetworkModel {
   // Returns true when the two nodes share a physical machine.
   using SameMachineFn = std::function<bool(NodeId, NodeId)>;
 
-  // Per-link fault state consulted at send time (the FaultInjector hook).
-  // `blocked` drops deterministically (a hard partition); `extra_loss` adds
-  // to the configured loss probability; `extra_latency` delays delivery.
-  // Per-pair FIFO is preserved across fault transitions by the monotone
-  // delivery clamp in Send.
-  struct LinkFault {
-    bool blocked = false;
-    double extra_loss = 0.0;
-    VirtualDuration extra_latency;
-  };
-  using LinkFilter = std::function<LinkFault(NodeId from, NodeId to)>;
+  // Per-link fault state consulted at send time (the FaultInjector hook),
+  // now the carrier-neutral type from src/transport/link_filter.h. Per-pair
+  // FIFO is preserved across fault transitions by the monotone delivery
+  // clamp in Send.
+  using LinkFault = ::scalecheck::LinkFault;
+  using LinkFilter = LinkFilterFn;
 
   NetworkModel(Simulator* sim, const Config& config, uint64_t seed);
 
   void set_same_machine_fn(SameMachineFn fn) { same_machine_ = std::move(fn); }
   void set_link_filter(LinkFilter filter) { link_filter_ = std::move(filter); }
+
+  // LinkFilterHost: the sim carrier is single-threaded and connection-free,
+  // so installing the filter is all there is to do.
+  void SetLinkFilter(LinkFilterFn filter) override {
+    set_link_filter(std::move(filter));
+  }
 
   void RegisterNode(NodeId node, Handler handler);
   // Messages to an unregistered node are dropped (crashed process).

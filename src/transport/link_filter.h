@@ -1,0 +1,51 @@
+// Carrier-neutral per-link fault seam.
+//
+// FaultInjector drives partitions and link degradation through this
+// interface so one FaultPlan means the same thing on both carriers: the
+// simulated NetworkModel consults the filter at send time and models
+// loss/latency in virtual time; the real-socket TcpTransport consults it at
+// send time and additionally severs established connections when a
+// partition lands (a blocked frame on a live TCP stream would otherwise
+// just buffer). Latency injection is a sim-only capability — the TCP
+// carrier documents and ignores `extra_latency`.
+
+#ifndef SCALECHECK_SRC_TRANSPORT_LINK_FILTER_H_
+#define SCALECHECK_SRC_TRANSPORT_LINK_FILTER_H_
+
+#include <functional>
+
+#include "src/common/types.h"
+
+namespace scalecheck {
+
+// Per-link fault state consulted on every Send. `blocked` drops
+// deterministically (a hard partition); `extra_loss` adds to the carrier's
+// loss probability; `extra_latency` delays delivery where the carrier can
+// model it.
+struct LinkFault {
+  bool blocked = false;
+  double extra_loss = 0.0;
+  VirtualDuration extra_latency;
+};
+
+using LinkFilterFn = std::function<LinkFault(NodeId from, NodeId to)>;
+
+// Implemented by each carrier (NetworkModel, TcpTransport).
+class LinkFilterHost {
+ public:
+  virtual ~LinkFilterHost() = default;
+
+  // Installs (or clears, with nullptr) the filter consulted at send time.
+  // Real carriers may call the filter from many sender threads concurrently;
+  // the installed function must be safe to invoke that way.
+  virtual void SetLinkFilter(LinkFilterFn filter) = 0;
+
+  // A partition covering `node` was just applied: tear down any established
+  // transport state touching it so in-flight connections fail fast instead
+  // of riding out the fault. No-op for carriers without connection state.
+  virtual void SeverConnsTo(NodeId node) {}
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_TRANSPORT_LINK_FILTER_H_

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "src/scalecheck/bug_catalog.h"
 #include "src/scalecheck/scale_check.h"
 
@@ -139,6 +143,58 @@ TEST(InvariantsTest, CrashedDecommissionTargetRejoinsCleanly) {
   EXPECT_EQ(result.restarted_nodes, 1);
   EXPECT_TRUE(result.invariants.checked);
   EXPECT_TRUE(result.invariants.ok()) << result.invariants.ToJson();
+}
+
+TEST(InvariantsTest, IslandingPartitionHealsViaEscapeHatch) {
+  // Regression for the ChaosSearch-found islanding schedule: partition one
+  // node away long enough for mutual conviction, then heal the links. With
+  // gossip only ever targeting the live view this cluster stayed split
+  // forever; the gossip-to-unreachable escape hatch (plus the seed-contact
+  // fallback on the fully islanded node) must re-knit it within the
+  // partition-heals bound.
+  BugSpec spec = DecommissionSpec();
+  spec.workload = WorkloadKind::kSteadyState;
+  spec.horizon = VirtualDuration::Seconds(120);
+  spec.custom_faults = FaultPlan::IslandPartition(kNodes, kSeed);
+  RunResult result = RunSingle(spec, kNodes, RunMode::kColocated, kSeed);
+  // The partition actually bit: frames were refused and conviction happened.
+  EXPECT_GT(result.messages_blocked, 0u);
+  EXPECT_GT(result.flaps, 0);
+  EXPECT_EQ(result.fault_events_applied, 1);
+  EXPECT_EQ(result.fault_events_healed, 1);
+  // ...and the cluster healed: everyone sees everyone, nothing unreachable.
+  EXPECT_TRUE(result.invariants.checked);
+  EXPECT_TRUE(result.invariants.ok()) << result.invariants.ToJson();
+  EXPECT_EQ(result.unreachable_endpoints, 0) << result.Summary();
+  EXPECT_EQ(result.live_endpoints, int64_t{kNodes} * (kNodes - 1));
+  EXPECT_EQ(RunExitCode(result), 0);
+}
+
+TEST(InvariantsTest, PermanentPartitionTripsPartitionHeals) {
+  // Positive control for the new invariant: a partition that never heals
+  // (duration zero = no heal event) must be reported as partition-heals,
+  // not silently tolerated, and must map to the invariant exit code.
+  BugSpec spec = DecommissionSpec();
+  spec.workload = WorkloadKind::kSteadyState;
+  spec.horizon = VirtualDuration::Seconds(120);
+  FaultPlan plan;
+  plan.name = "permanent-island";
+  FaultEvent ev;
+  ev.kind = FaultKind::kPartition;
+  ev.at = VirtualDuration::Seconds(8);
+  ev.duration = VirtualDuration::Zero();  // never heals
+  ev.nodes_a = {kNodes - 1};
+  plan.events.push_back(ev);
+  spec.custom_faults = plan;
+  RunResult result = RunSingle(spec, kNodes, RunMode::kColocated, kSeed);
+  EXPECT_TRUE(result.invariants.checked);
+  EXPECT_FALSE(result.invariants.ok());
+  std::vector<std::string> names = result.invariants.ViolatedNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "partition-heals"),
+            names.end())
+      << result.invariants.ToJson();
+  EXPECT_GT(result.unreachable_endpoints, 0) << result.Summary();
+  EXPECT_EQ(RunExitCode(result), 4);
 }
 
 }  // namespace

@@ -59,6 +59,30 @@ TEST(FaultsDeterminismTest, MemoizeAndReplayApplyTheSameSchedule) {
   EXPECT_EQ(full.memoize.fault_events_applied, full.real.fault_events_applied);
 }
 
+TEST(FaultsDeterminismTest, IslandPlanEscapeHatchDrawsAreJobsInvariant) {
+  // The gossip-to-unreachable escape hatch draws from each node's own rng_
+  // stream, so host parallelism must not move a single Bernoulli draw: the
+  // islanding plan (conviction + heal + escape-hatch recovery) must be
+  // byte-identical at any --jobs.
+  BugSpec spec = ChaosSpec();
+  spec.fault_plan = "island";
+  spec.horizon = VirtualDuration::Seconds(150);
+  auto run_suite = [&spec](int jobs) {
+    ExperimentSpec grid;
+    grid.bugs = {spec};
+    grid.modes = {RunMode::kRealScale, RunMode::kColocated};
+    grid.scales = {12, 16};
+    grid.seeds = {5, 6};
+    grid.jobs = jobs;
+    return ExperimentSuite(grid).Run().ToJson();
+  };
+  std::string serial = run_suite(1);
+  std::string parallel = run_suite(4);
+  EXPECT_EQ(serial, parallel);
+  // The plan actually bit in every run: no cell reports zero blocked frames.
+  EXPECT_EQ(serial.find("\"messages_blocked\":0,"), std::string::npos);
+}
+
 TEST(FaultsDeterminismTest, SuiteParallelismNeverChangesAByte) {
   BugSpec spec = ChaosSpec();
   spec.horizon = VirtualDuration::Seconds(210);

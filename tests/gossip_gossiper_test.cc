@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/gossip/gossiper.h"
 
 namespace scalecheck {
@@ -220,6 +222,103 @@ TEST(GossiperTest, EpidemicConvergenceAcrossFiveNodes) {
   for (NodeId id = 0; id < 5; ++id) {
     EXPECT_EQ(nodes[static_cast<size_t>(id)]->endpoints().size(), 5u)
         << "node " << id << " did not converge";
+  }
+}
+
+TEST(GossiperTest, UnreachableViewTracksDeadKnownEndpoints) {
+  Gossiper g(1, 1, {});
+  g.AddKnownEndpoint(2, EndpointState(1));
+  g.AddKnownEndpoint(3, EndpointState(1));
+  EXPECT_TRUE(g.UnreachableEndpoints().empty());  // both start alive
+  g.MarkDead(3);
+  EXPECT_EQ(g.UnreachableEndpoints(), std::vector<NodeId>{3});
+  EXPECT_EQ(g.LiveEndpoints(), std::vector<NodeId>{2});
+  g.MarkDead(2);
+  EXPECT_EQ(g.UnreachableEndpoints(), (std::vector<NodeId>{2, 3}));  // sorted
+  g.MarkAlive(3);
+  EXPECT_EQ(g.UnreachableEndpoints(), std::vector<NodeId>{2});
+  g.RemoveEndpoint(2);
+  EXPECT_TRUE(g.UnreachableEndpoints().empty());
+}
+
+TEST(GossiperTest, MarkDeadOnUnknownEndpointLeavesNoTrace) {
+  // Regression: MarkDead used to create alive_[ep]=false entries for
+  // endpoints the gossiper had never heard of (the OnStatusChange path can
+  // race endpoint removal), leaking map entries forever.
+  Gossiper g(1, 1, {});
+  g.MarkDead(42);
+  EXPECT_FALSE(g.IsAlive(42));
+  EXPECT_TRUE(g.UnreachableEndpoints().empty());
+  EXPECT_TRUE(g.LiveEndpoints().empty());
+  // Learning the endpoint later starts from the normal born-alive state;
+  // the phantom MarkDead must not pre-poison it.
+  g.AddKnownEndpoint(42, EndpointState(1));
+  EXPECT_TRUE(g.IsAlive(42));
+  EXPECT_EQ(g.LiveEndpoints(), std::vector<NodeId>{42});
+}
+
+TEST(GossiperTest, DepartedEndpointsAreNotUnreachable) {
+  // LEFT/REMOVED peers are dead forever by design; gossiping to them would
+  // resurrect tombstones. They must never enter the escape-hatch target set.
+  Gossiper a(1, 1, {});
+  Gossiper b(2, 1, {});
+  VersionedValue left;
+  left.status = StatusKind::kLeft;
+  left.tokens = {200};
+  b.SetLocalState(ApplicationStateKey::kStatus, left);
+  a.AddKnownEndpoint(2, EndpointState(0));
+  Exchange(&a, &b);
+  ASSERT_NE(a.StateOf(2), nullptr);
+  ASSERT_EQ(a.StateOf(2)->Status(), StatusKind::kLeft);
+  a.MarkDead(2);
+  EXPECT_TRUE(a.UnreachableEndpoints().empty());
+}
+
+TEST(GossiperTest, PickUnreachableConsumesNoDrawsWhenSetIsEmpty) {
+  // The escape hatch must be RNG-silent on healthy clusters so fault-free
+  // runs keep byte-identical streams with pre-escape-hatch builds.
+  Gossiper g(1, 1, {});
+  g.AddKnownEndpoint(2, EndpointState(1));  // alive -> unreachable empty
+  Rng used(777);
+  Rng untouched(777);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(g.PickUnreachableSynTarget(&used), kInvalidNode);
+  }
+  EXPECT_EQ(used.UniformInt(0, 1 << 30), untouched.UniformInt(0, 1 << 30));
+}
+
+TEST(GossiperTest, PickUnreachableIsCertainWhenNoLivePeersRemain) {
+  // |unreachable| / (|live| + 1) with live empty is >= 1: an islanded node
+  // SYNs an unreachable peer every round, which is what re-knits the ring.
+  Gossiper g(1, 1, {});
+  g.AddKnownEndpoint(2, EndpointState(1));
+  g.AddKnownEndpoint(3, EndpointState(1));
+  g.MarkDead(2);
+  g.MarkDead(3);
+  Rng rng(123);
+  for (int i = 0; i < 20; ++i) {
+    NodeId pick = g.PickUnreachableSynTarget(&rng);
+    EXPECT_TRUE(pick == 2 || pick == 3) << pick;
+  }
+}
+
+TEST(GossiperTest, PickUnreachableIsDeterministicPerSeed) {
+  auto build = [] {
+    auto g = std::make_unique<Gossiper>(1, 1, Gossiper::Callbacks{});
+    for (NodeId ep = 2; ep <= 9; ++ep) {
+      g->AddKnownEndpoint(ep, EndpointState(1));
+    }
+    g->MarkDead(4);
+    g->MarkDead(7);
+    return g;
+  };
+  auto a = build();
+  auto b = build();
+  Rng rng_a(31337);
+  Rng rng_b(31337);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a->PickUnreachableSynTarget(&rng_a),
+              b->PickUnreachableSynTarget(&rng_b));
   }
 }
 
