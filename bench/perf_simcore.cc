@@ -7,21 +7,27 @@
 // run end to end with jobs=1, which is exactly the configuration the paper
 // says a scale check must keep cheap.
 //
-//   bench/perf_simcore [--nodes=512] [--out=BENCH_simcore.json]
+//   bench/perf_simcore [--nodes=512,1024,2048] [--out=BENCH_simcore.json]
 //   bench/perf_simcore --smoke        # operation-count assertions, no timing
+//   bench/perf_simcore --floor        # N=256 events/s floor (CI gate leg)
 //
-// The JSON embeds the pre-overhaul baseline numbers (recorded on this
+// `--nodes=` takes a comma-separated list; the JSON output is an ARRAY of
+// rows, one per N, each carrying the run's fidelity verdict and the
+// memory-layout profile counters (digest bytes, arena bytes, intern table).
+// The N=512 row embeds the pre-overhaul baseline numbers (recorded on this
 // machine, RelWithDebInfo, jobs=1) so every future run reports its speedup
 // against a fixed reference.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/fidelity_guard.h"
 #include "src/sim/profiler.h"
 
 namespace scalecheck {
@@ -87,6 +93,41 @@ double QueueOpsPerSecond() {
   return static_cast<double>(done) / timer.Seconds();
 }
 
+// Recorded N=256 floor reference for `--floor` (same probe, horizon 120 s,
+// seed 1234, jobs=1, RelWithDebInfo, quiet host, post-overhaul tree,
+// 2026-08-09). The gate trips only on a >20% events/s regression, which
+// leaves margin for ordinary CI-host noise.
+constexpr double kFloorNodes256EventsPerS = 96000.0;
+constexpr double kFloorAllowedRegression = 0.20;
+
+std::vector<int> NodesListFromArgs(int argc, char** argv) {
+  std::vector<int> nodes;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--nodes=";
+    if (arg.rfind(prefix, 0) == 0) {
+      std::string list = arg.substr(prefix.size());
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        std::string item = list.substr(
+            start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (!item.empty()) {
+          nodes.push_back(std::stoi(item));
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        start = comma + 1;
+      }
+    }
+  }
+  if (nodes.empty()) {
+    nodes.push_back(512);
+  }
+  return nodes;
+}
+
 std::string OutFromArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -98,13 +139,107 @@ std::string OutFromArgs(int argc, char** argv) {
   return "BENCH_simcore.json";
 }
 
-bool SmokeFromArgs(int argc, char** argv) {
+bool FlagInArgs(int argc, char** argv, const std::string& flag) {
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--smoke") {
+    if (std::string(argv[i]) == flag) {
       return true;
     }
   }
   return false;
+}
+
+// One timed probe run at `nodes`, profiled so the row can report the
+// memory-layout counters alongside throughput and the fidelity verdict.
+struct ProbeRow {
+  int nodes = 0;
+  double wall_s = 0.0;
+  uint64_t events_executed = 0;
+  double events_per_s = 0.0;
+  std::string fidelity_verdict;
+  SimProfiler::Counters counters;
+};
+
+ProbeRow RunProbe(int nodes) {
+  BugSpec spec = ProbeSpec();
+  std::printf("colocation probe N=%d (horizon %s, jobs=1): ", nodes,
+              spec.horizon.ToString().c_str());
+  std::fflush(stdout);
+  SimProfiler profiler;
+  RunOptions options;
+  options.profiler = &profiler;
+  bench::WallTimer timer;
+  RunResult result = RunSingle(spec, nodes, RunMode::kColocated, 1234, options);
+  ProbeRow row;
+  row.nodes = nodes;
+  row.wall_s = timer.Seconds();
+  row.events_executed = result.events_executed;
+  row.events_per_s = static_cast<double>(result.events_executed) / row.wall_s;
+  row.fidelity_verdict = FidelityVerdictName(result.fidelity.verdict);
+  if (result.fidelity.verdict != FidelityVerdict::kOk) {
+    row.fidelity_verdict += ":" + result.fidelity.violated_budget;
+  }
+  row.counters = profiler.counters();
+  std::printf("%.2fs wall, %llu events (%.0f events/s), fidelity %s\n",
+              row.wall_s, static_cast<unsigned long long>(row.events_executed),
+              row.events_per_s, row.fidelity_verdict.c_str());
+  return row;
+}
+
+// Floor mode: the ci_gate.sh perf leg. Runs the N=256 probe and fails if
+// events/s regressed more than 20% below the recorded reference — coarse
+// enough to survive CI noise, tight enough to catch a real hot-path
+// regression (the pre-overhaul tree was ~10x below the floor).
+int RunFloor() {
+  ProbeRow row = RunProbe(256);
+  double floor = kFloorNodes256EventsPerS * (1.0 - kFloorAllowedRegression);
+  std::printf("floor check: %.0f events/s vs floor %.0f (reference %.0f)\n",
+              row.events_per_s, floor, kFloorNodes256EventsPerS);
+  if (row.events_per_s < floor) {
+    std::fprintf(stderr,
+                 "FAIL: N=256 probe at %.0f events/s regressed >%.0f%% below "
+                 "the recorded %.0f events/s reference\n",
+                 row.events_per_s, kFloorAllowedRegression * 100,
+                 kFloorNodes256EventsPerS);
+    return 1;
+  }
+  return 0;
+}
+
+void WriteRow(JsonWriter* w, const ProbeRow& row, double queue_ops,
+              double horizon_s) {
+  w->BeginObject();
+  w->Field("bench", "perf_simcore");
+  w->Field("scenario", "sec8-colocation-limit probe-seda");
+  w->Field("nodes", row.nodes);
+  w->Field("horizon_s", horizon_s);
+  w->Field("seed", 1234);
+  w->Field("jobs", 1);
+  w->Field("wall_s", row.wall_s);
+  w->Field("events_executed", static_cast<int64_t>(row.events_executed));
+  w->Field("events_per_s", row.events_per_s);
+  w->Field("queue_ops_per_s", queue_ops);
+  w->Field("fidelity_verdict", row.fidelity_verdict);
+  w->Key("profile").BeginObject();
+  w->Field("gossip_digest_bytes_sent", row.counters.gossip_digest_bytes_sent);
+  w->Field("gossip_arena_bytes", row.counters.gossip_arena_bytes);
+  w->Field("endpoint_store_bytes", row.counters.endpoint_store_bytes);
+  w->Field("intern_table_size", row.counters.intern_table_size);
+  w->Field("intern_table_bytes", row.counters.intern_table_bytes);
+  w->EndObject();
+  if (row.nodes == 512) {
+    double speedup = kBaselineWallS > 0.0 ? kBaselineWallS / row.wall_s : 0.0;
+    w->Key("baseline").BeginObject();
+    w->Field("recorded",
+             "2026-08-07 pre-overhaul seed, mean of 5 runs interleaved with "
+             "post-overhaul runs, RelWithDebInfo, jobs=1");
+    w->Field("nodes", 512);
+    w->Field("wall_s", kBaselineWallS);
+    w->Field("events_per_s", kBaselineEventsPerS);
+    w->Field("queue_ops_per_s", kBaselineQueueOpsPerS);
+    w->EndObject();
+    w->Field("speedup_vs_baseline", speedup);
+  }
+  w->EndObject();
 }
 
 // Smoke mode: cheap, deterministic assertions on operation counts — no
@@ -168,11 +303,14 @@ int RunSmoke() {
 int main(int argc, char** argv) {
   using namespace scalecheck;
   SetLogLevel(LogLevel::kError);
-  if (SmokeFromArgs(argc, argv)) {
+  if (FlagInArgs(argc, argv, "--smoke")) {
     return RunSmoke();
   }
+  if (FlagInArgs(argc, argv, "--floor")) {
+    return RunFloor();
+  }
 
-  int nodes = bench::NodesFromArgs(argc, argv, 512);
+  std::vector<int> nodes_list = NodesListFromArgs(argc, argv);
   std::string out_path = OutFromArgs(argc, argv);
 
   std::printf("queue micro: ");
@@ -180,45 +318,18 @@ int main(int argc, char** argv) {
   double queue_ops = QueueOpsPerSecond();
   std::printf("%.0f ops/s\n", queue_ops);
 
-  BugSpec spec = ProbeSpec();
-  std::printf("colocation probe N=%d (horizon %s, jobs=1): ", nodes,
-              spec.horizon.ToString().c_str());
-  std::fflush(stdout);
-  bench::WallTimer timer;
-  RunResult result = RunSingle(spec, nodes, RunMode::kColocated, 1234);
-  double wall_s = timer.Seconds();
-  double events_per_s = static_cast<double>(result.events_executed) / wall_s;
-  std::printf("%.2fs wall, %llu events (%.0f events/s)\n", wall_s,
-              static_cast<unsigned long long>(result.events_executed), events_per_s);
-
-  double speedup = kBaselineWallS > 0.0 ? kBaselineWallS / wall_s : 0.0;
-  if (speedup > 0.0) {
-    std::printf("speedup vs pre-overhaul baseline: %.2fx\n", speedup);
-  }
-
+  double horizon_s = ProbeSpec().horizon.seconds();
   JsonWriter w;
-  w.BeginObject();
-  w.Field("bench", "perf_simcore");
-  w.Field("scenario", "sec8-colocation-limit probe-seda");
-  w.Field("nodes", nodes);
-  w.Field("horizon_s", spec.horizon.seconds());
-  w.Field("seed", 1234);
-  w.Field("jobs", 1);
-  w.Field("wall_s", wall_s);
-  w.Field("events_executed", static_cast<int64_t>(result.events_executed));
-  w.Field("events_per_s", events_per_s);
-  w.Field("queue_ops_per_s", queue_ops);
-  w.Key("baseline").BeginObject();
-  w.Field("recorded",
-          "2026-08-07 pre-overhaul seed, mean of 5 runs interleaved with "
-          "post-overhaul runs, RelWithDebInfo, jobs=1");
-  w.Field("nodes", 512);
-  w.Field("wall_s", kBaselineWallS);
-  w.Field("events_per_s", kBaselineEventsPerS);
-  w.Field("queue_ops_per_s", kBaselineQueueOpsPerS);
-  w.EndObject();
-  w.Field("speedup_vs_baseline", speedup);
-  w.EndObject();
+  w.BeginArray();
+  for (int nodes : nodes_list) {
+    ProbeRow row = RunProbe(nodes);
+    if (row.nodes == 512) {
+      std::printf("speedup vs pre-overhaul baseline: %.2fx\n",
+                  kBaselineWallS / row.wall_s);
+    }
+    WriteRow(&w, row, queue_ops, horizon_s);
+  }
+  w.EndArray();
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {

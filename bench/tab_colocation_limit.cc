@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
                LimitProbeSpec("probe-seda", ExecModel::kSedaSingleProcess, false),
                LimitProbeSpec("probe-oblivious", ExecModel::kSedaSingleProcess, true)};
   grid.modes = {RunMode::kColocated};
-  grid.scales = {128, 256, 384, 448, 512, 640};
+  grid.scales = {128, 256, 384, 448, 512, 640, 1024, 2048};
   grid.seeds = {kProbeSeed};
   grid.jobs = bench::JobsFromArgs(argc, argv);
   SuiteReport report = ExperimentSuite(grid).Run();

@@ -6,7 +6,9 @@
 # Four legs:
 #   1. full build + ctest (the tier-1 suite),
 #   2. perf_simcore --smoke (deterministic hot-path assertions, no wall-clock
-#      thresholds, so it cannot flake on loaded CI hosts),
+#      thresholds, so it cannot flake on loaded CI hosts) plus the N=256
+#      events/s floor (--floor, trips only on a >20% regression vs the
+#      recorded reference, so ordinary host noise passes),
 #   3. fidelity-guard exit-code contract: scalecheck_cli must exit 3 — and
 #      only 3 — when a run's verdict is invalid, so downstream automation can
 #      reject untrustworthy colocation results without parsing JSON,
@@ -35,6 +37,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
 echo "== perf smoke =="
 "$BUILD_DIR/bench/perf_simcore" --smoke
+
+echo "== perf floor (N=256 events/s) =="
+"$BUILD_DIR/bench/perf_simcore" --floor
 
 echo "== fidelity-guard exit codes =="
 CLI="$BUILD_DIR/examples/scalecheck_cli"

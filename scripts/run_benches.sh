@@ -4,9 +4,13 @@
 # root. The JSON embeds the pre-overhaul baseline, so `speedup_vs_baseline`
 # is the number to watch — it must not drift back toward 1.0.
 #
-#   scripts/run_benches.sh               # full run (N=512, ~40 s)
+#   scripts/run_benches.sh               # full sweep (N=512,1024,2048)
 #   scripts/run_benches.sh --smoke       # deterministic assertions only, fast
 #   scripts/run_benches.sh --nodes=256   # smaller probe for quick iteration
+#
+# BENCH_simcore.json is an array of rows, one per N, each with the run's
+# fidelity verdict and memory-layout profile counters; the N=512 row embeds
+# the pre-overhaul baseline and speedup.
 #
 # Timing runs want a quiet machine and jobs=1 (the probe measures the
 # single-run inner loop the paper's Figure 2 executes thousands of times);
@@ -25,7 +29,11 @@ if [[ "${1:-}" == "--smoke" ]]; then
   exit 0
 fi
 
-"$BUILD_DIR/bench/perf_simcore" --out=BENCH_simcore.json "$@"
+if [[ "$*" == *--nodes=* ]]; then
+  "$BUILD_DIR/bench/perf_simcore" --out=BENCH_simcore.json "$@"
+else
+  "$BUILD_DIR/bench/perf_simcore" --out=BENCH_simcore.json --nodes=512,1024,2048 "$@"
+fi
 echo
 echo "BENCH_simcore.json:"
 cat BENCH_simcore.json

@@ -62,11 +62,12 @@ class RingOwnershipInvariant : public Invariant {
           continue;
         }
         if (!viewer->ring().HasNode(subject->id())) continue;
-        std::vector<Token> seen = viewer->ring().TokensOf(subject->id());
+        // TokensOf spans are already sorted (AddNode sorts the slice).
+        TokenSpan seen = viewer->ring().TokensOf(subject->id());
         std::vector<Token> truth = subject->my_tokens();
-        std::sort(seen.begin(), seen.end());
         std::sort(truth.begin(), truth.end());
-        if (seen != truth) {
+        if (seen.size() != truth.size() ||
+            !std::equal(seen.begin(), seen.end(), truth.begin())) {
           sink->ReportViolation(
               name(), ctx.now,
               StrFormat("node %lld's ring assigns node %lld %zu tokens, "

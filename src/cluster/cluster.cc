@@ -226,6 +226,11 @@ void Cluster::BuildDeployment() {
   }
 
   for (NodeId id = 0; id < total; ++id) {
+    // The intern table is the deployment's name->id authority: interning in
+    // boot order makes the dense EndpointId coincide with NodeId, which is
+    // the invariant every id-indexed array in the gossip layer relies on.
+    EndpointId interned = interner_.Intern("node-" + std::to_string(id));
+    CHECK_EQ(interned, id);
     Machine* machine = machines_->Place(id, nodes_per_machine);
     auto node = std::make_unique<Node>(&env_, id, machine, node_seeds.Next());
     nodes_.push_back(std::move(node));
@@ -751,7 +756,12 @@ void Cluster::CollectResult(RunResult* result) const {
       run.digest_full_rebuilds += g.digest_full_rebuilds();
       run.payload_reuses += node->payload_reuses();
       run.payload_allocs += node->payload_allocs();
+      run.gossip_digest_bytes_sent += node->digest_bytes_sent();
+      run.gossip_arena_bytes += node->arena_bytes_reserved();
+      run.endpoint_store_bytes += g.endpoint_store_bytes();
     }
+    run.intern_table_size = interner_.size();
+    run.intern_table_bytes = interner_.ApproxBytes();
     result->profile = run;
     result->has_profile = true;
 
@@ -769,6 +779,11 @@ void Cluster::CollectResult(RunResult* result) const {
     total.digest_full_rebuilds += run.digest_full_rebuilds;
     total.payload_reuses += run.payload_reuses;
     total.payload_allocs += run.payload_allocs;
+    total.gossip_digest_bytes_sent += run.gossip_digest_bytes_sent;
+    total.gossip_arena_bytes += run.gossip_arena_bytes;
+    total.endpoint_store_bytes += run.endpoint_store_bytes;
+    total.intern_table_size += run.intern_table_size;
+    total.intern_table_bytes += run.intern_table_bytes;
   }
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/check/invariants.h"
+#include "src/common/interner.h"
 #include "src/cluster/config.h"
 #include "src/cluster/node.h"
 #include "src/cluster/run_result.h"
@@ -90,6 +91,8 @@ class Cluster {
   const InvariantRegistry* invariants() const { return invariants_.get(); }
   // Non-null iff config.check.enabled && config.enable_kv.
   const KvHistory* kv_history() const { return kv_history_.get(); }
+  // Deployment name->id authority; interning order == NodeId (checked).
+  const EndpointInterner& interner() const { return interner_; }
 
  private:
   void BuildDeployment();
@@ -123,6 +126,7 @@ class Cluster {
   std::unique_ptr<TraceRecorder> trace_;
   Node::Env env_;
 
+  EndpointInterner interner_;
   std::vector<std::unique_ptr<Node>> nodes_;
   int initial_nodes_ = 0;
   int joining_nodes_ = 0;

@@ -93,6 +93,17 @@ Node::Node(Env* env, NodeId id, Machine* machine, uint64_t seed)
     kv_ = std::make_unique<KvService>(deps);
   }
   unmonitored_.insert(id_);
+  // Charge gossip-scratch arena growth to the memory model as it happens.
+  // Growth points are deterministic (they follow the deterministic event
+  // order), so the charges — and FidelityGuard's memory verdict — are too.
+  // Pre-start growth is folded into the bulk charge in Start()/Restart();
+  // post-crash growth is impossible (the node's threads are dead).
+  gossiper_.scratch_arena().SetGrowHook([this](size_t block_bytes) {
+    if (started_ && !crashed_) {
+      machine_->memory().Allocate(id_, "gossip-arena",
+                                  static_cast<int64_t>(block_bytes));
+    }
+  });
 }
 
 Node::~Node() = default;
@@ -180,6 +191,9 @@ void Node::Start(bool as_joiner, VirtualDuration transition) {
       id_, "endpoints",
       static_cast<int64_t>(gossiper_.endpoints().size()) *
           env_->config->endpoint_state_bytes);
+  machine_->memory().Allocate(
+      id_, "gossip-arena",
+      static_cast<int64_t>(gossiper_.scratch_arena().bytes_reserved()));
 
   env_->transport->RegisterNode(id_, [this](const Message& msg) { OnMessage(msg); });
 
@@ -343,6 +357,12 @@ void Node::Restart(const std::vector<NodeId>& contacts) {
       id_, "endpoints",
       static_cast<int64_t>(gossiper_.endpoints().size()) *
           env_->config->endpoint_state_bytes);
+  // The arena survives the crash (it is process memory of the simulator, and
+  // its blocks are reused by the fresh incarnation); re-charge the footprint
+  // the restarted process would re-acquire.
+  machine_->memory().Allocate(
+      id_, "gossip-arena",
+      static_cast<int64_t>(gossiper_.scratch_arena().bytes_reserved()));
   env_->transport->RegisterNode(id_, [this](const Message& msg) { OnMessage(msg); });
   if (kv_ != nullptr) {
     kv_->SetDown(false);
@@ -485,6 +505,7 @@ void Node::FailureSweep() {
 void Node::SendSyn(NodeId peer) {
   std::shared_ptr<SynPayload> syn = syn_pool_.Acquire();
   gossiper_.CopySynDigests(&syn->digests);
+  digest_bytes_sent_ += syn->SizeBytes();
   env_->transport->Send(id_, peer, kGossipSyn, std::move(syn));
 }
 
@@ -538,7 +559,7 @@ void Node::HandleAckMessage(const Message& msg) {
   job.Run([this, ack, peer] {
     if (!ack->requests.empty()) {
       std::shared_ptr<Ack2Payload> ack2 = ack2_pool_.Acquire();
-      ack2->states = gossiper_.StatesForRequests(ack->requests);
+      gossiper_.StatesForRequests(ack->requests, &ack2->states);
       if (!ack2->states.empty()) {
         env_->transport->Send(id_, peer, kGossipAck2, std::move(ack2));
       }

@@ -213,6 +213,14 @@ class Node {
   uint64_t payload_allocs() const {
     return syn_pool_.allocs() + ack_pool_.allocs() + ack2_pool_.allocs();
   }
+  // Total SYN digest-section bytes shipped (delta-varint encoded measure);
+  // divide by the profiler's digest_builds for bytes/round.
+  uint64_t digest_bytes_sent() const { return digest_bytes_sent_; }
+  // Arena footprint of the gossip scratch (what MemoryModel is charged
+  // under the "gossip-arena" tag while the node is up).
+  uint64_t arena_bytes_reserved() const {
+    return gossiper_.scratch_arena().bytes_reserved();
+  }
   std::vector<Token> my_tokens() const { return my_tokens_; }
   Machine* machine() const { return machine_; }
   StatusKind my_status() const { return gossiper_.LocalState().Status(); }
@@ -291,6 +299,7 @@ class Node {
   std::vector<NodeId> seed_contacts_;  // excludes self
 
   std::unique_ptr<OrderEnforcer> enforcer_;
+  uint64_t digest_bytes_sent_ = 0;
   bool started_ = false;
   bool crashed_ = false;
   int64_t generation_ = 1;  // bumped on every restart

@@ -1,0 +1,125 @@
+// Bump-pointer arena for per-node gossip/ring scratch.
+//
+// The point is accounting as much as speed: every block the arena grabs is
+// reported through a grow hook, so cluster::Node can charge the bytes to
+// MemoryModel under a "gossip-arena" tag and FidelityGuard's memory verdict
+// at N=2048 reflects what the scratch structures actually hold, instead of
+// an estimate that drifts as caches grow. Allocation order is deterministic
+// (it follows the deterministic event order), so the charges are too.
+//
+// The arena never frees individual allocations; containers that grow through
+// ArenaAllocator abandon their old buffer inside the arena. That waste is
+// bounded (geometric growth => at most ~2x the peak live size) and honest:
+// it is exactly the high-water footprint a real Cassandra-style daemon pays
+// for its gossip caches.
+
+#ifndef SCALECHECK_SRC_COMMON_ARENA_H_
+#define SCALECHECK_SRC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace scalecheck {
+
+class Arena {
+ public:
+  using GrowHook = std::function<void(size_t block_bytes)>;
+
+  explicit Arena(size_t initial_block_bytes = 4096)
+      : next_block_bytes_(initial_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* Allocate(size_t bytes, size_t align) {
+    if (bytes == 0) {
+      bytes = 1;
+    }
+    if (!blocks_.empty()) {
+      Block& b = blocks_.back();
+      size_t aligned = (b.used + align - 1) & ~(align - 1);
+      if (aligned + bytes <= b.size) {
+        b.used = aligned + bytes;
+        bytes_used_ += bytes;
+        return b.data.get() + aligned;
+      }
+    }
+    size_t block_bytes = next_block_bytes_;
+    while (block_bytes < bytes + align) {
+      block_bytes *= 2;
+    }
+    next_block_bytes_ = block_bytes * 2;
+    blocks_.push_back(Block{std::unique_ptr<char[]>(new char[block_bytes]),
+                            block_bytes, 0});
+    bytes_reserved_ += block_bytes;
+    if (grow_hook_) {
+      grow_hook_(block_bytes);
+    }
+    Block& b = blocks_.back();
+    size_t aligned = (b.used + align - 1) & ~(align - 1);
+    b.used = aligned + bytes;
+    bytes_used_ += bytes;
+    return b.data.get() + aligned;
+  }
+
+  // Total bytes grabbed from the host (what MemoryModel should charge).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  // Bytes handed out to callers (live + abandoned), for introspection.
+  size_t bytes_used() const { return bytes_used_; }
+
+  // Called with the size of each newly grabbed block, at the moment of
+  // growth. Replaces any previous hook.
+  void SetGrowHook(GrowHook hook) { grow_hook_ = std::move(hook); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size;
+    size_t used;
+  };
+
+  std::vector<Block> blocks_;
+  size_t next_block_bytes_;
+  size_t bytes_reserved_ = 0;
+  size_t bytes_used_ = 0;
+  GrowHook grow_hook_;
+};
+
+// Minimal STL allocator over an Arena. Deallocate is a no-op; equality is
+// per-arena so containers sharing an arena can swap storage.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  bool operator==(const ArenaAllocator& other) const {
+    return arena_ == other.arena_;
+  }
+  bool operator!=(const ArenaAllocator& other) const {
+    return arena_ != other.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_COMMON_ARENA_H_

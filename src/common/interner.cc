@@ -1,0 +1,42 @@
+#include "src/common/interner.h"
+
+#include "src/common/check.h"
+
+namespace scalecheck {
+
+EndpointId EndpointInterner::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  EndpointId id = static_cast<EndpointId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+bool EndpointInterner::Lookup(std::string_view name, EndpointId* id) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return false;
+  }
+  *id = it->second;
+  return true;
+}
+
+const std::string& EndpointInterner::NameOf(EndpointId id) const {
+  CHECK_GE(id, 0);
+  CHECK_LT(static_cast<size_t>(id), names_.size());
+  return names_[static_cast<size_t>(id)];
+}
+
+size_t EndpointInterner::ApproxBytes() const {
+  size_t bytes = names_.capacity() * sizeof(std::string) +
+                 ids_.size() * (sizeof(std::string) + sizeof(EndpointId) + 16);
+  for (const std::string& name : names_) {
+    bytes += name.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,52 @@
+// Deterministic endpoint-name interning.
+//
+// Everything inside the checker — gossip state, digests, ring ownership, KV
+// replica sets, the transport seam — keys endpoints by EndpointId, a dense
+// index handed out in interning order. Human-readable names ("node-17",
+// "127.0.0.1:9042") exist only at the boundaries: the wire codec and JSON
+// export call NameOf() when they need the string back. Because ids are
+// assigned strictly by first-intern order (never by hash-table iteration),
+// the name<->id mapping is identical across runs and at any --jobs, which
+// keeps the byte-identical determinism contract intact.
+
+#ifndef SCALECHECK_SRC_COMMON_INTERNER_H_
+#define SCALECHECK_SRC_COMMON_INTERNER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace scalecheck {
+
+// The dense id. NodeId doubles as the interned endpoint id throughout the
+// sim: the cluster builders intern names in node-id order, so the table
+// index and the NodeId coincide by construction (CHECKed at build time).
+using EndpointId = NodeId;
+
+class EndpointInterner {
+ public:
+  // Returns the existing id, or assigns the next dense id (insertion order).
+  EndpointId Intern(std::string_view name);
+
+  // Returns true and sets *id if `name` was interned before.
+  bool Lookup(std::string_view name, EndpointId* id) const;
+
+  // Boundary-only reverse mapping (JSON export, wire debugging, logs).
+  const std::string& NameOf(EndpointId id) const;
+
+  size_t size() const { return names_.size(); }
+
+  // Approximate heap footprint, for the profiler's intern_table_bytes.
+  size_t ApproxBytes() const;
+
+ private:
+  std::vector<std::string> names_;                    // id -> name
+  std::unordered_map<std::string, EndpointId> ids_;   // name -> id
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_COMMON_INTERNER_H_

@@ -1,0 +1,87 @@
+// LEB128 variable-length integers + zigzag signed mapping.
+//
+// These are the primitives behind the delta-encoded gossip digest sections
+// (src/gossip/digest_codec.*) and the v2 wire format: a steady-state digest
+// entry costs ~3-5 bytes instead of the fixed 20, which is what makes
+// N=2048 SYN payloads affordable. Encoding is canonical (minimal length),
+// and the reader is bounds-checked so truncated or corrupt frames fail
+// cleanly instead of over-reading.
+
+#ifndef SCALECHECK_SRC_COMMON_VARINT_H_
+#define SCALECHECK_SRC_COMMON_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace scalecheck {
+namespace varint {
+
+// Longest LEB128 encoding of a uint64: 10 bytes of 7 payload bits each.
+inline constexpr size_t kMaxBytes = 10;
+
+inline size_t SizeU64(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+// Reads a varint at data[*pos], advancing *pos. Returns false on truncation
+// or a non-canonical over-long encoding (more than 10 bytes).
+inline bool GetU64(std::string_view data, size_t* pos, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t p = *pos;
+  while (true) {
+    if (p >= data.size() || shift >= 64) {
+      return false;
+    }
+    uint8_t byte = static_cast<uint8_t>(data[p++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      break;
+    }
+    shift += 7;
+  }
+  *pos = p;
+  *v = result;
+  return true;
+}
+
+// Zigzag maps signed to unsigned so small-magnitude deltas (positive or
+// negative) stay short: 0,-1,1,-2,2 -> 0,1,2,3,4.
+inline uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+inline size_t SizeI64(int64_t v) { return SizeU64(ZigZag(v)); }
+inline void PutI64(std::string* out, int64_t v) { PutU64(out, ZigZag(v)); }
+inline bool GetI64(std::string_view data, size_t* pos, int64_t* v) {
+  uint64_t u;
+  if (!GetU64(data, pos, &u)) {
+    return false;
+  }
+  *v = UnZigZag(u);
+  return true;
+}
+
+}  // namespace varint
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_COMMON_VARINT_H_

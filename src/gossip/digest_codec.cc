@@ -1,0 +1,78 @@
+#include "src/gossip/digest_codec.h"
+
+#include "src/common/varint.h"
+
+namespace scalecheck {
+namespace digest_codec {
+
+namespace {
+// Each entry is at least three one-byte varints; the count guard uses this
+// so a corrupt count cannot drive a huge allocation.
+constexpr size_t kMinEntryBytes = 3;
+}  // namespace
+
+void Encode(const std::vector<GossipDigest>& digests, std::string* out) {
+  varint::PutU64(out, digests.size());
+  int64_t prev_endpoint = 0;
+  int64_t prev_generation = 0;
+  int64_t prev_version = 0;
+  for (const GossipDigest& d : digests) {
+    varint::PutI64(out, static_cast<int64_t>(d.endpoint) - prev_endpoint);
+    varint::PutI64(out, d.generation - prev_generation);
+    varint::PutI64(out, d.max_version - prev_version);
+    prev_endpoint = d.endpoint;
+    prev_generation = d.generation;
+    prev_version = d.max_version;
+  }
+}
+
+bool Decode(std::string_view data, size_t* pos, std::vector<GossipDigest>* out) {
+  uint64_t n;
+  if (!varint::GetU64(data, pos, &n) ||
+      n * kMinEntryBytes > data.size() - *pos) {
+    return false;
+  }
+  out->clear();
+  out->resize(static_cast<size_t>(n));
+  int64_t prev_endpoint = 0;
+  int64_t prev_generation = 0;
+  int64_t prev_version = 0;
+  for (GossipDigest& d : *out) {
+    int64_t d_endpoint, d_generation, d_version;
+    if (!varint::GetI64(data, pos, &d_endpoint) ||
+        !varint::GetI64(data, pos, &d_generation) ||
+        !varint::GetI64(data, pos, &d_version)) {
+      return false;
+    }
+    prev_endpoint += d_endpoint;
+    prev_generation += d_generation;
+    prev_version += d_version;
+    // Endpoint ids are int32 on the wire; reject deltas that walked outside.
+    if (prev_endpoint < INT32_MIN || prev_endpoint > INT32_MAX) {
+      return false;
+    }
+    d.endpoint = static_cast<NodeId>(prev_endpoint);
+    d.generation = prev_generation;
+    d.max_version = prev_version;
+  }
+  return true;
+}
+
+size_t MeasureBytes(const std::vector<GossipDigest>& digests) {
+  size_t bytes = varint::SizeU64(digests.size());
+  int64_t prev_endpoint = 0;
+  int64_t prev_generation = 0;
+  int64_t prev_version = 0;
+  for (const GossipDigest& d : digests) {
+    bytes += varint::SizeI64(static_cast<int64_t>(d.endpoint) - prev_endpoint);
+    bytes += varint::SizeI64(d.generation - prev_generation);
+    bytes += varint::SizeI64(d.max_version - prev_version);
+    prev_endpoint = d.endpoint;
+    prev_generation = d.generation;
+    prev_version = d.max_version;
+  }
+  return bytes;
+}
+
+}  // namespace digest_codec
+}  // namespace scalecheck

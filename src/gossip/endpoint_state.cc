@@ -34,25 +34,26 @@ void HeartbeatState::AddToDigest(Digest* d) const {
   d->Add(version);
 }
 
-int64_t EndpointState::MaxVersion() const {
-  return std::max(heartbeat_.version, app_version_ceiling_);
-}
-
 const VersionedValue* EndpointState::Get(ApplicationStateKey key) const {
-  auto it = app_states_.find(key);
-  return it == app_states_.end() ? nullptr : &it->second;
+  int index = static_cast<int>(key);
+  if ((present_mask_ & (1u << index)) == 0) {
+    return nullptr;
+  }
+  return &app_states_[index];
 }
 
 void EndpointState::Set(ApplicationStateKey key, VersionedValue value) {
   int64_t version = value.version;
-  app_states_[key] = std::move(value);
+  int index = static_cast<int>(key);
+  app_states_[index] = std::move(value);
+  present_mask_ |= (1u << index);
   if (version >= app_version_ceiling_) {
     app_version_ceiling_ = version;
   } else {
     // An overwrite may have lowered the key that held the ceiling; recompute
-    // exactly (at most a handful of app states exist).
+    // exactly (at most three app states exist).
     app_version_ceiling_ = 0;
-    for (const auto& [k, v] : app_states_) {
+    for (const auto& [k, v] : app_states()) {
       app_version_ceiling_ = std::max(app_version_ceiling_, v.version);
     }
   }
@@ -74,7 +75,7 @@ std::vector<Token> EndpointState::Tokens() const {
 
 size_t EndpointState::WireSize() const {
   size_t size = 16;  // heartbeat
-  for (const auto& [key, value] : app_states_) {
+  for (const auto& [key, value] : app_states()) {
     size += 24 + value.tokens.size() * 8;
   }
   return size;
@@ -82,8 +83,8 @@ size_t EndpointState::WireSize() const {
 
 void EndpointState::AddToDigest(Digest* d) const {
   heartbeat_.AddToDigest(d);
-  d->Add(static_cast<uint64_t>(app_states_.size()));
-  for (const auto& [key, value] : app_states_) {
+  d->Add(static_cast<uint64_t>(app_states().size()));
+  for (const auto& [key, value] : app_states()) {
     d->Add(static_cast<int64_t>(key));
     value.AddToDigest(d);
   }

@@ -1,6 +1,6 @@
 // Gossip endpoint state, Cassandra-style.
 //
-// Every node maintains a map from peer endpoint to EndpointState. An
+// Every node maintains a store from peer endpoint to EndpointState. An
 // EndpointState is a heartbeat (generation = boot epoch, version = counter
 // incremented every gossip round) plus a set of versioned application states
 // (STATUS, TOKENS, LOAD). Anti-entropy exchanges ship the states whose
@@ -8,16 +8,24 @@
 // LEFT) ride on the STATUS application state — which is why the
 // pending-range calculation is triggered from the gossip stage, and why an
 // expensive calculation starves gossip processing (bugs C3831..C6127).
+//
+// Layout: the app-state set used to be a std::map<key, value>; with only
+// three possible keys that meant a red-black tree of one-to-three nodes per
+// endpoint, allocated and pointer-chased on every gossip merge. It is now a
+// fixed std::array<VersionedValue, 3> plus a presence bitmask. app_states()
+// returns a lightweight view that iterates present entries in ascending key
+// order, so digest/wire/merge loops see exactly the old map order.
 
 #ifndef SCALECHECK_SRC_GOSSIP_ENDPOINT_STATE_H_
 #define SCALECHECK_SRC_GOSSIP_ENDPOINT_STATE_H_
 
+#include <array>
 #include <cstdint>
-#include <map>
-#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/hash.h"
 #include "src/common/types.h"
 
@@ -31,6 +39,8 @@ enum class ApplicationStateKey : int {
   kTokens = 1,
   kLoad = 2,
 };
+
+inline constexpr int kNumApplicationStateKeys = 3;
 
 enum class StatusKind : int {
   kUnknown = 0,
@@ -62,6 +72,59 @@ struct HeartbeatState {
   void AddToDigest(Digest* d) const;
 };
 
+// Iterable view over the present app states of an EndpointState, in
+// ascending key order. Dereferences to pair<key, const VersionedValue&> so
+// the structured-binding loops written against the old std::map still work.
+class AppStateView {
+ public:
+  class Iterator {
+   public:
+    Iterator(const std::array<VersionedValue, kNumApplicationStateKeys>* values,
+             uint8_t mask, int index)
+        : values_(values), mask_(mask), index_(index) {
+      SkipAbsent();
+    }
+
+    std::pair<ApplicationStateKey, const VersionedValue&> operator*() const {
+      return {static_cast<ApplicationStateKey>(index_), (*values_)[index_]};
+    }
+    Iterator& operator++() {
+      ++index_;
+      SkipAbsent();
+      return *this;
+    }
+    bool operator==(const Iterator& other) const { return index_ == other.index_; }
+    bool operator!=(const Iterator& other) const { return index_ != other.index_; }
+
+   private:
+    void SkipAbsent() {
+      while (index_ < kNumApplicationStateKeys &&
+             (mask_ & (1u << index_)) == 0) {
+        ++index_;
+      }
+    }
+
+    const std::array<VersionedValue, kNumApplicationStateKeys>* values_;
+    uint8_t mask_;
+    int index_;
+  };
+
+  AppStateView(const std::array<VersionedValue, kNumApplicationStateKeys>* values,
+               uint8_t mask)
+      : values_(values), mask_(mask) {}
+
+  Iterator begin() const { return Iterator(values_, mask_, 0); }
+  Iterator end() const { return Iterator(values_, mask_, kNumApplicationStateKeys); }
+  size_t size() const {
+    return static_cast<size_t>(__builtin_popcount(mask_));
+  }
+  bool empty() const { return mask_ == 0; }
+
+ private:
+  const std::array<VersionedValue, kNumApplicationStateKeys>* values_;
+  uint8_t mask_;
+};
+
 class EndpointState {
  public:
   EndpointState() = default;
@@ -71,14 +134,16 @@ class EndpointState {
   HeartbeatState& mutable_heartbeat() { return heartbeat_; }
 
   // Highest version carried by this state (heartbeat or any app state); this
-  // is what gossip digests advertise.
-  int64_t MaxVersion() const;
+  // is what gossip digests advertise. Inline: the SYN merge-walk reads it for
+  // every (local endpoint × digest) pair.
+  int64_t MaxVersion() const {
+    return heartbeat_.version > app_version_ceiling_ ? heartbeat_.version
+                                                     : app_version_ceiling_;
+  }
 
   const VersionedValue* Get(ApplicationStateKey key) const;
   void Set(ApplicationStateKey key, VersionedValue value);
-  const std::map<ApplicationStateKey, VersionedValue>& app_states() const {
-    return app_states_;
-  }
+  AppStateView app_states() const { return AppStateView(&app_states_, present_mask_); }
 
   // Convenience: current STATUS kind (kUnknown if absent).
   StatusKind Status() const;
@@ -92,14 +157,17 @@ class EndpointState {
 
  private:
   HeartbeatState heartbeat_;
-  std::map<ApplicationStateKey, VersionedValue> app_states_;
-  // Max version across app_states_, maintained by Set so the digest-building
-  // hot path reads MaxVersion in O(1) instead of walking the map.
+  std::array<VersionedValue, kNumApplicationStateKeys> app_states_;
+  uint8_t present_mask_ = 0;
+  // Max version across present app states, maintained by Set so the
+  // digest-building hot path reads MaxVersion in O(1).
   int64_t app_version_ceiling_ = 0;
 };
 
-// Ordered map: deterministic iteration is load-bearing for reproducibility.
-using EndpointStateMap = std::map<NodeId, EndpointState>;
+// Sorted-by-endpoint payload container: deterministic iteration is
+// load-bearing for reproducibility, and the protocol emits keys in
+// ascending order, so inserts are O(1) appends (see src/common/flat_map.h).
+using EndpointStateMap = FlatMap<NodeId, EndpointState>;
 
 }  // namespace scalecheck
 

@@ -1,0 +1,168 @@
+// EndpointStateStore: the struct-of-arrays endpoint table behind Gossiper.
+//
+// The per-node endpoint map used to be std::map<NodeId, EndpointState> — at
+// N=2048 that is two thousand red-black-tree nodes pointer-chased on every
+// merge-walk, digest refresh, and liveness sweep. The store keeps two
+// parallel sorted vectors instead: ids_[i] is the endpoint id and states_[i]
+// its state, so the merge-walk is a linear scan over contiguous memory and
+// index i is a stable handle between structural mutations (Gossiper's digest
+// cache and alive bitmap are index-aligned with this table).
+//
+// Iteration yields pair<NodeId, const EndpointState&> in ascending id order —
+// exactly the old map order — so gossip merge-walks, invariant checks, and
+// JSON export stay byte-identical.
+
+#ifndef SCALECHECK_SRC_GOSSIP_ENDPOINT_STORE_H_
+#define SCALECHECK_SRC_GOSSIP_ENDPOINT_STORE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/gossip/endpoint_state.h"
+
+namespace scalecheck {
+
+class EndpointStateStore {
+ public:
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  // Index of `ep`, or kNotFound. Cluster node ids are dense 0..N-1, so once
+  // a node knows the whole cluster the table index equals the id; probe that
+  // before falling back to binary search.
+  size_t IndexOf(NodeId ep) const {
+    size_t guess = static_cast<size_t>(ep);
+    if (guess < ids_.size() && ids_[guess] == ep) {
+      return guess;
+    }
+    size_t lo = 0, hi = ids_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (ids_[mid] < ep) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return (lo < ids_.size() && ids_[lo] == ep) ? lo : kNotFound;
+  }
+
+  bool Contains(NodeId ep) const { return IndexOf(ep) != kNotFound; }
+
+  NodeId IdAt(size_t index) const { return ids_[index]; }
+  EndpointState& StateAt(size_t index) { return states_[index]; }
+  const EndpointState& StateAt(size_t index) const { return states_[index]; }
+
+  const EndpointState* Find(NodeId ep) const {
+    size_t index = IndexOf(ep);
+    return index == kNotFound ? nullptr : &states_[index];
+  }
+
+  // std::map-compatible read accessors (tests and invariant probes).
+  size_t count(NodeId ep) const { return Contains(ep) ? 1 : 0; }
+  const EndpointState& at(NodeId ep) const {
+    size_t index = IndexOf(ep);
+    CHECK(index != kNotFound);
+    return states_[index];
+  }
+
+  // Inserts a new endpoint (must be absent); returns its index. Indices of
+  // endpoints at or after the insertion point shift up by one.
+  size_t Insert(NodeId ep, EndpointState state) {
+    size_t index = LowerBound(ep);
+    CHECK(index == ids_.size() || ids_[index] != ep);
+    ids_.insert(ids_.begin() + index, ep);
+    states_.insert(states_.begin() + index, std::move(state));
+    return index;
+  }
+
+  // Insert-or-overwrite; returns {index, inserted}.
+  std::pair<size_t, bool> Assign(NodeId ep, EndpointState state) {
+    size_t index = LowerBound(ep);
+    if (index < ids_.size() && ids_[index] == ep) {
+      states_[index] = std::move(state);
+      return {index, false};
+    }
+    ids_.insert(ids_.begin() + index, ep);
+    states_.insert(states_.begin() + index, std::move(state));
+    return {index, true};
+  }
+
+  bool Erase(NodeId ep) {
+    size_t index = IndexOf(ep);
+    if (index == kNotFound) {
+      return false;
+    }
+    ids_.erase(ids_.begin() + index);
+    states_.erase(states_.begin() + index);
+    return true;
+  }
+
+  void Clear() {
+    ids_.clear();
+    states_.clear();
+  }
+
+  const std::vector<NodeId>& ids() const { return ids_; }
+
+  // Heap footprint of the parallel arrays (profiler accounting).
+  size_t ApproxBytes() const {
+    return ids_.capacity() * sizeof(NodeId) +
+           states_.capacity() * sizeof(EndpointState);
+  }
+
+  // ---- std::map-shaped iteration (ascending endpoint id) ------------------
+
+  class ConstIterator {
+   public:
+    ConstIterator(const EndpointStateStore* store, size_t index)
+        : store_(store), index_(index) {}
+
+    std::pair<NodeId, const EndpointState&> operator*() const {
+      return {store_->ids_[index_], store_->states_[index_]};
+    }
+    ConstIterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    bool operator==(const ConstIterator& other) const {
+      return index_ == other.index_;
+    }
+    bool operator!=(const ConstIterator& other) const {
+      return index_ != other.index_;
+    }
+
+   private:
+    const EndpointStateStore* store_;
+    size_t index_;
+  };
+
+  ConstIterator begin() const { return ConstIterator(this, 0); }
+  ConstIterator end() const { return ConstIterator(this, ids_.size()); }
+
+ private:
+  size_t LowerBound(NodeId ep) const {
+    size_t lo = 0, hi = ids_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (ids_[mid] < ep) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  std::vector<NodeId> ids_;            // sorted ascending
+  std::vector<EndpointState> states_;  // parallel to ids_
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_GOSSIP_ENDPOINT_STORE_H_

@@ -6,83 +6,41 @@
 
 namespace scalecheck {
 
-namespace {
-// log10(e): converts the exponential-CDF surprise to the phi scale.
-constexpr double kPhiFactor = 0.4342944819032518;
-}  // namespace
-
 ArrivalWindow::ArrivalWindow(size_t max_samples, VirtualDuration initial_interval)
-    : max_samples_(max_samples) {
+    : max_samples_(max_samples < 2 ? 2 : max_samples) {
   CHECK_GT(max_samples, 0u);
   // Prime with two synthetic samples so the first real interval does not
-  // dominate the mean.
-  intervals_.push_back(initial_interval.seconds());
-  intervals_.push_back(initial_interval.seconds());
+  // dominate the mean. A capacity below the priming pair would let count_
+  // exceed the ring; the deque implementation effectively kept the two most
+  // recent samples in that case, which max_samples_ >= 2 reproduces.
+  samples_.push_back(initial_interval.seconds());
+  samples_.push_back(initial_interval.seconds());
+  count_ = 2;
   sum_ = 2.0 * initial_interval.seconds();
 }
 
-void ArrivalWindow::Add(VirtualTime now) {
-  if (has_arrival_) {
-    double interval = (now - last_).seconds();
-    intervals_.push_back(interval);
-    sum_ += interval;
-    if (intervals_.size() > max_samples_) {
-      sum_ -= intervals_.front();
-      intervals_.pop_front();
-    }
-  }
-  last_ = now;
-  has_arrival_ = true;
-}
-
 double ArrivalWindow::MeanIntervalSeconds() const {
-  CHECK(!intervals_.empty());
-  return sum_ / static_cast<double>(intervals_.size());
+  CHECK_GT(count_, 0u);
+  return sum_ / static_cast<double>(count_);
 }
 
-double ArrivalWindow::Phi(VirtualTime now) const {
-  if (!has_arrival_) {
-    return 0.0;
+void PhiAccrualFailureDetector::ReportSlow(NodeId endpoint, VirtualTime now) {
+  CHECK_GE(endpoint, 0);
+  size_t index = static_cast<size_t>(endpoint);
+  if (index >= windows_.size()) {
+    windows_.resize(index + 1);
   }
-  double elapsed = (now - last_).seconds();
-  if (elapsed <= 0.0) {
-    return 0.0;
-  }
-  double mean = MeanIntervalSeconds();
-  if (mean <= 0.0) {
-    return 0.0;
-  }
-  return kPhiFactor * elapsed / mean;
+  std::optional<ArrivalWindow>& slot = windows_[index];
+  CHECK(!slot);  // the inline fast path handles engaged slots
+  slot.emplace(config_.window_size, config_.initial_interval);
+  slot->Add(now);
 }
 
-void PhiAccrualFailureDetector::Report(NodeId endpoint, VirtualTime now) {
-  auto it = windows_.find(endpoint);
-  if (it == windows_.end()) {
-    auto [inserted, ok] =
-        windows_.emplace(endpoint, ArrivalWindow(config_.window_size, config_.initial_interval));
-    inserted->second.Add(now);
-    return;
+void PhiAccrualFailureDetector::Forget(NodeId endpoint) {
+  size_t index = static_cast<size_t>(endpoint);
+  if (endpoint >= 0 && index < windows_.size()) {
+    windows_[index].reset();
   }
-  // Suppress duplicate reports within the same instant/round.
-  if (it->second.has_arrivals() &&
-      now - it->second.last_arrival() < config_.min_interval) {
-    return;
-  }
-  it->second.Add(now);
 }
-
-double PhiAccrualFailureDetector::Phi(NodeId endpoint, VirtualTime now) const {
-  auto it = windows_.find(endpoint);
-  if (it == windows_.end()) {
-    return 0.0;
-  }
-  return it->second.Phi(now);
-}
-
-bool PhiAccrualFailureDetector::IsConvicted(NodeId endpoint, VirtualTime now) const {
-  return Phi(endpoint, now) > config_.threshold;
-}
-
-void PhiAccrualFailureDetector::Forget(NodeId endpoint) { windows_.erase(endpoint); }
 
 }  // namespace scalecheck

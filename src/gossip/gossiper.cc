@@ -1,6 +1,7 @@
 #include "src/gossip/gossiper.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 #include "src/common/check.h"
@@ -9,83 +10,108 @@
 namespace scalecheck {
 
 Gossiper::Gossiper(NodeId self, int64_t generation, Callbacks callbacks)
-    : self_(self), callbacks_(std::move(callbacks)) {
-  endpoints_.emplace(self_, EndpointState(generation));
+    : self_(self),
+      callbacks_(std::move(callbacks)),
+      digest_cache_(ArenaAllocator<GossipDigest>(&arena_)),
+      digest_dirty_(ArenaAllocator<uint32_t>(&arena_)) {
+  self_index_ = endpoints_.Insert(self_, EndpointState(generation));
+  alive_.push_back(0);  // self's liveness slot is unused
+}
+
+size_t Gossiper::InsertEndpoint(NodeId ep, const EndpointState& state, bool alive) {
+  size_t index = endpoints_.Insert(ep, state);
+  alive_.insert(alive_.begin() + index, alive ? 1 : 0);
+  if (index <= self_index_) {
+    ++self_index_;
+  }
+  return index;
 }
 
 void Gossiper::IncrementHeartbeat() {
-  EndpointState& local = endpoints_.at(self_);
+  EndpointState& local = endpoints_.StateAt(self_index_);
   local.mutable_heartbeat().version = NextVersion();
-  MarkDigestDirty(self_, &local);
+  MarkDigestDirty(self_index_);
 }
 
 void Gossiper::SetLocalState(ApplicationStateKey key, VersionedValue value) {
   value.version = NextVersion();
-  EndpointState& local = endpoints_.at(self_);
+  EndpointState& local = endpoints_.StateAt(self_index_);
   local.Set(key, std::move(value));
-  MarkDigestDirty(self_, &local);
+  MarkDigestDirty(self_index_);
 }
 
-const EndpointState& Gossiper::LocalState() const { return endpoints_.at(self_); }
+const EndpointState& Gossiper::LocalState() const {
+  return endpoints_.StateAt(self_index_);
+}
 
 void Gossiper::AddKnownEndpoint(NodeId ep, const EndpointState& state) {
   if (ep == self_) {
     return;
   }
-  endpoints_[ep] = state;
-  alive_[ep] = true;
+  size_t index = endpoints_.IndexOf(ep);
+  if (index == EndpointStateStore::kNotFound) {
+    InsertEndpoint(ep, state, /*alive=*/true);
+  } else {
+    endpoints_.StateAt(index) = state;
+    alive_[index] = 1;
+  }
   MarkDigestStructureDirty();
   live_dirty_ = true;
   unreachable_dirty_ = true;
 }
 
 void Gossiper::RemoveEndpoint(NodeId ep) {
-  endpoints_.erase(ep);
-  alive_.erase(ep);
+  size_t index = endpoints_.IndexOf(ep);
+  if (index == EndpointStateStore::kNotFound) {
+    return;
+  }
+  endpoints_.Erase(ep);
+  alive_.erase(alive_.begin() + index);
+  if (index < self_index_) {
+    --self_index_;
+  }
   MarkDigestStructureDirty();
   live_dirty_ = true;
   unreachable_dirty_ = true;
 }
 
 void Gossiper::ResetForRestart(int64_t generation) {
-  endpoints_.clear();
+  endpoints_.Clear();
   alive_.clear();
   version_counter_ = 0;
-  endpoints_.emplace(self_, EndpointState(generation));
+  self_index_ = endpoints_.Insert(self_, EndpointState(generation));
+  alive_.push_back(0);
   MarkDigestStructureDirty();
   live_dirty_ = true;
   unreachable_dirty_ = true;
 }
 
 const EndpointState* Gossiper::StateOf(NodeId ep) const {
-  auto it = endpoints_.find(ep);
-  return it == endpoints_.end() ? nullptr : &it->second;
+  return endpoints_.Find(ep);
 }
 
 void Gossiper::MarkAlive(NodeId ep) {
-  bool& flag = alive_[ep];
-  if (!flag) {
-    flag = true;
+  size_t index = endpoints_.IndexOf(ep);
+  if (index == EndpointStateStore::kNotFound) {
+    return;  // liveness is tracked only for known endpoints
+  }
+  if (!alive_[index]) {
+    alive_[index] = 1;
     live_dirty_ = true;
     unreachable_dirty_ = true;
   }
 }
 
 void Gossiper::MarkDead(NodeId ep) {
-  // Track liveness only for endpoints we actually know. This used to insert
-  // alive_[ep]=false for unknown endpoints, leaking a tombstone forever (and
-  // under the unreachable view it would resurrect forgotten endpoints as
-  // gossip-to-unreachable targets).
-  if (endpoints_.find(ep) == endpoints_.end()) {
-    if (alive_.erase(ep) > 0) {
-      live_dirty_ = true;
-      unreachable_dirty_ = true;
-    }
+  // Liveness is tracked only for endpoints we actually know; marking an
+  // unknown endpoint dead leaves no trace (no tombstone can resurrect it as
+  // a gossip-to-unreachable target).
+  size_t index = endpoints_.IndexOf(ep);
+  if (index == EndpointStateStore::kNotFound) {
     return;
   }
-  bool& flag = alive_[ep];
-  if (flag) {
-    flag = false;
+  if (alive_[index]) {
+    alive_[index] = 0;
     live_dirty_ = true;
   }
   // Callers often MarkDead in reaction to a STATUS change (LEFT/REMOVED),
@@ -94,21 +120,15 @@ void Gossiper::MarkDead(NodeId ep) {
   unreachable_dirty_ = true;
 }
 
-bool Gossiper::IsAlive(NodeId ep) const {
-  auto it = alive_.find(ep);
-  return it != alive_.end() && it->second;
-}
-
 const std::vector<NodeId>& Gossiper::LiveEndpointsView() const {
   if (live_dirty_) {
     live_cache_.clear();
-    for (const auto& [ep, alive] : alive_) {
-      if (alive && ep != self_) {
-        live_cache_.push_back(ep);
+    for (size_t i = 0; i < endpoints_.size(); ++i) {
+      if (alive_[i] && endpoints_.IdAt(i) != self_) {
+        live_cache_.push_back(endpoints_.IdAt(i));
       }
     }
-    std::sort(live_cache_.begin(), live_cache_.end());
-    live_dirty_ = false;
+    live_dirty_ = false;  // ids_ is sorted, so the cache is too
   }
   return live_cache_;
 }
@@ -118,11 +138,12 @@ std::vector<NodeId> Gossiper::LiveEndpoints() const { return LiveEndpointsView()
 const std::vector<NodeId>& Gossiper::UnreachableEndpointsView() const {
   if (unreachable_dirty_) {
     unreachable_cache_.clear();
-    for (const auto& [ep, state] : endpoints_) {
-      if (ep == self_ || IsAlive(ep)) {
+    for (size_t i = 0; i < endpoints_.size(); ++i) {
+      NodeId ep = endpoints_.IdAt(i);
+      if (ep == self_ || alive_[i]) {
         continue;
       }
-      StatusKind status = state.Status();
+      StatusKind status = endpoints_.StateAt(i).Status();
       if (status == StatusKind::kLeft || status == StatusKind::kRemoved) {
         continue;  // departed on purpose, not a healing target
       }
@@ -130,7 +151,7 @@ const std::vector<NodeId>& Gossiper::UnreachableEndpointsView() const {
     }
     unreachable_dirty_ = false;
   }
-  return unreachable_cache_;  // endpoints_ is sorted, so the cache is too
+  return unreachable_cache_;
 }
 
 std::vector<NodeId> Gossiper::UnreachableEndpoints() const {
@@ -153,7 +174,8 @@ NodeId Gossiper::PickUnreachableSynTarget(Rng* rng) const {
 
 std::vector<NodeId> Gossiper::AllEndpoints() const {
   std::vector<NodeId> out;
-  for (const auto& [ep, state] : endpoints_) {
+  out.reserve(endpoints_.size());
+  for (NodeId ep : endpoints_.ids()) {
     if (ep != self_) {
       out.push_back(ep);
     }
@@ -161,9 +183,9 @@ std::vector<NodeId> Gossiper::AllEndpoints() const {
   return out;
 }
 
-void Gossiper::MarkDigestDirty(NodeId ep, const EndpointState* state) {
+void Gossiper::MarkDigestDirty(size_t index) {
   if (!digest_structure_dirty_) {
-    digest_dirty_.emplace_back(ep, state);
+    digest_dirty_.push_back(static_cast<uint32_t>(index));
   }
 }
 
@@ -176,9 +198,11 @@ void Gossiper::RefreshDigestCache() const {
   if (digest_structure_dirty_) {
     digest_cache_.clear();
     digest_cache_.reserve(endpoints_.size());
-    for (const auto& [ep, state] : endpoints_) {
-      digest_cache_.push_back(
-          GossipDigest{ep, state.heartbeat().generation, state.MaxVersion()});
+    for (size_t i = 0; i < endpoints_.size(); ++i) {
+      const EndpointState& state = endpoints_.StateAt(i);
+      digest_cache_.push_back(GossipDigest{endpoints_.IdAt(i),
+                                           state.heartbeat().generation,
+                                           state.MaxVersion()});
     }
     digest_entries_refreshed_ += endpoints_.size();
     ++digest_full_rebuilds_;
@@ -191,15 +215,13 @@ void Gossiper::RefreshDigestCache() const {
   std::sort(digest_dirty_.begin(), digest_dirty_.end());
   digest_dirty_.erase(std::unique(digest_dirty_.begin(), digest_dirty_.end()),
                       digest_dirty_.end());
-  for (const auto& [ep, state] : digest_dirty_) {
-    // The queued state pointer is live by the MarkDigestDirty invariant, so
-    // no endpoint-map lookup is needed here — just find the cache row.
-    auto pos = std::lower_bound(
-        digest_cache_.begin(), digest_cache_.end(), ep,
-        [](const GossipDigest& d, NodeId e) { return d.endpoint < e; });
-    CHECK(pos != digest_cache_.end() && pos->endpoint == ep);
-    pos->generation = state->heartbeat().generation;
-    pos->max_version = state->MaxVersion();
+  for (uint32_t index : digest_dirty_) {
+    // Indices queued by MarkDigestDirty are valid by the structural-mutation
+    // invariant, and the cache is index-aligned — no search needed.
+    const EndpointState& state = endpoints_.StateAt(index);
+    GossipDigest& entry = digest_cache_[index];
+    entry.generation = state.heartbeat().generation;
+    entry.max_version = state.MaxVersion();
     ++digest_entries_refreshed_;
   }
   digest_dirty_.clear();
@@ -208,7 +230,7 @@ void Gossiper::RefreshDigestCache() const {
 std::vector<GossipDigest> Gossiper::MakeSynDigests() const {
   RefreshDigestCache();
   ++digest_builds_;
-  return digest_cache_;
+  return std::vector<GossipDigest>(digest_cache_.begin(), digest_cache_.end());
 }
 
 void Gossiper::CopySynDigests(std::vector<GossipDigest>* out) const {
@@ -232,26 +254,26 @@ void Gossiper::HandleSyn(const std::vector<GossipDigest>& digests,
     HandleSynGeneric(digests, out_requests, out_send);
     return;
   }
-  // Merge-walk the sorted incoming digests against our (sorted) endpoint map
-  // and cached digest entries — one pass, no per-digest map lookups and no
-  // MaxVersion() recomputation.
+  // Merge-walk the sorted incoming digests against our sorted endpoint table
+  // and its index-aligned digest cache — one linear pass over contiguous
+  // arrays, no per-digest lookups and no MaxVersion() recomputation. Emitted
+  // endpoints ascend, so out_send inserts are O(1) appends.
   RefreshDigestCache();
-  auto mi = endpoints_.begin();
-  size_t ci = 0;
+  size_t i = 0;
+  const size_t n = endpoints_.size();
   for (const GossipDigest& digest : digests) {
-    while (mi != endpoints_.end() && mi->first < digest.endpoint) {
+    while (i < n && endpoints_.IdAt(i) < digest.endpoint) {
       // Endpoint the sender did not mention at all.
-      out_send->emplace(mi->first, mi->second);
-      ++mi;
-      ++ci;
+      out_send->emplace(endpoints_.IdAt(i), endpoints_.StateAt(i));
+      ++i;
     }
-    if (mi == endpoints_.end() || mi->first > digest.endpoint) {
+    if (i == n || endpoints_.IdAt(i) > digest.endpoint) {
       // Unknown to us: request everything.
       out_requests->push_back(GossipDigest{digest.endpoint, 0, 0});
       continue;
     }
-    const EndpointState& local = mi->second;
-    const GossipDigest& mine = digest_cache_[ci];
+    const EndpointState& local = endpoints_.StateAt(i);
+    const GossipDigest& mine = digest_cache_[i];
     if (digest.generation > mine.generation) {
       out_requests->push_back(GossipDigest{digest.endpoint, 0, 0});
     } else if (digest.generation < mine.generation) {
@@ -260,14 +282,13 @@ void Gossiper::HandleSyn(const std::vector<GossipDigest>& digests,
       out_requests->push_back(
           GossipDigest{digest.endpoint, mine.generation, mine.max_version});
     } else if (digest.max_version < mine.max_version) {
-      out_send->emplace(digest.endpoint, DeltaAfter(local, digest.max_version));
+      BuildDeltaInto(local, digest.max_version, &(*out_send)[digest.endpoint]);
     }
     // Equal generation and version: nothing to exchange.
-    ++mi;
-    ++ci;
+    ++i;
   }
-  for (; mi != endpoints_.end(); ++mi) {
-    out_send->emplace(mi->first, mi->second);
+  for (; i < n; ++i) {
+    out_send->emplace(endpoints_.IdAt(i), endpoints_.StateAt(i));
   }
 }
 
@@ -277,22 +298,24 @@ void Gossiper::HandleSynGeneric(const std::vector<GossipDigest>& digests,
   std::map<NodeId, bool> seen;
   for (const GossipDigest& digest : digests) {
     seen[digest.endpoint] = true;
-    auto it = endpoints_.find(digest.endpoint);
-    if (it == endpoints_.end()) {
+    const EndpointState* local = endpoints_.Find(digest.endpoint);
+    if (local == nullptr) {
       // Unknown to us: request everything.
       out_requests->push_back(GossipDigest{digest.endpoint, 0, 0});
       continue;
     }
-    const EndpointState& local = it->second;
-    if (digest.generation > local.heartbeat().generation) {
+    if (digest.generation > local->heartbeat().generation) {
       out_requests->push_back(GossipDigest{digest.endpoint, 0, 0});
-    } else if (digest.generation < local.heartbeat().generation) {
-      out_send->emplace(digest.endpoint, local);
-    } else if (digest.max_version > local.MaxVersion()) {
-      out_requests->push_back(
-          GossipDigest{digest.endpoint, local.heartbeat().generation, local.MaxVersion()});
-    } else if (digest.max_version < local.MaxVersion()) {
-      out_send->emplace(digest.endpoint, DeltaAfter(local, digest.max_version));
+    } else if (digest.generation < local->heartbeat().generation) {
+      out_send->emplace(digest.endpoint, *local);
+    } else if (digest.max_version > local->MaxVersion()) {
+      out_requests->push_back(GossipDigest{
+          digest.endpoint, local->heartbeat().generation, local->MaxVersion()});
+    } else if (digest.max_version < local->MaxVersion()) {
+      auto [it, inserted] = out_send->emplace(digest.endpoint);
+      if (inserted) {
+        BuildDeltaInto(*local, digest.max_version, &it->second);
+      }
     }
     // Equal generation and version: nothing to exchange.
   }
@@ -304,32 +327,39 @@ void Gossiper::HandleSynGeneric(const std::vector<GossipDigest>& digests,
   }
 }
 
+void Gossiper::StatesForRequests(const std::vector<GossipDigest>& requests,
+                                 EndpointStateMap* out) const {
+  for (const GossipDigest& req : requests) {
+    const EndpointState* local = endpoints_.Find(req.endpoint);
+    if (local == nullptr) {
+      continue;
+    }
+    if (req.generation == local->heartbeat().generation && req.max_version > 0) {
+      auto [it, inserted] = out->emplace(req.endpoint);
+      if (inserted) {
+        BuildDeltaInto(*local, req.max_version, &it->second);
+      }
+    } else {
+      out->emplace(req.endpoint, *local);
+    }
+  }
+}
+
 EndpointStateMap Gossiper::StatesForRequests(
     const std::vector<GossipDigest>& requests) const {
   EndpointStateMap out;
-  for (const GossipDigest& req : requests) {
-    auto it = endpoints_.find(req.endpoint);
-    if (it == endpoints_.end()) {
-      continue;
-    }
-    if (req.generation == it->second.heartbeat().generation && req.max_version > 0) {
-      out.emplace(req.endpoint, DeltaAfter(it->second, req.max_version));
-    } else {
-      out.emplace(req.endpoint, it->second);
-    }
-  }
+  StatesForRequests(requests, &out);
   return out;
 }
 
-EndpointState Gossiper::DeltaAfter(const EndpointState& state, int64_t after_version) {
-  EndpointState delta(state.heartbeat().generation);
-  delta.mutable_heartbeat() = state.heartbeat();
+void Gossiper::BuildDeltaInto(const EndpointState& state, int64_t after_version,
+                              EndpointState* delta) {
+  delta->mutable_heartbeat() = state.heartbeat();
   for (const auto& [key, value] : state.app_states()) {
     if (value.version > after_version) {
-      delta.Set(key, value);
+      delta->Set(key, value);
     }
   }
-  return delta;
 }
 
 void Gossiper::ApplyStates(const EndpointStateMap& states) {
@@ -342,11 +372,10 @@ void Gossiper::ApplyOne(NodeId ep, const EndpointState& remote) {
   if (ep == self_) {
     return;  // we are the authority on our own state
   }
-  auto it = endpoints_.find(ep);
-  if (it == endpoints_.end()) {
+  size_t index = endpoints_.IndexOf(ep);
+  if (index == EndpointStateStore::kNotFound) {
     // Newly discovered endpoint.
-    endpoints_[ep] = remote;
-    alive_[ep] = true;
+    InsertEndpoint(ep, remote, /*alive=*/true);
     live_dirty_ = true;
     unreachable_dirty_ = true;
     MarkDigestStructureDirty();
@@ -361,7 +390,7 @@ void Gossiper::ApplyOne(NodeId ep, const EndpointState& remote) {
     return;
   }
 
-  EndpointState& local = it->second;
+  EndpointState& local = endpoints_.StateAt(index);
   if (remote.heartbeat().generation < local.heartbeat().generation) {
     return;  // stale information
   }
@@ -369,7 +398,7 @@ void Gossiper::ApplyOne(NodeId ep, const EndpointState& remote) {
     // Peer restarted: replace wholesale.
     StatusKind old_status = local.Status();
     local = remote;
-    MarkDigestDirty(ep, &local);
+    MarkDigestDirty(index);
     unreachable_dirty_ = true;  // wholesale replace can change STATUS
     ++states_applied_;
     ++updates_applied_;
@@ -413,7 +442,7 @@ void Gossiper::ApplyOne(NodeId ep, const EndpointState& remote) {
   }
   if (content_changed) {
     // Accepted content moved this endpoint's max version.
-    MarkDigestDirty(ep, &local);
+    MarkDigestDirty(index);
   }
   if (heartbeat_advanced && callbacks_.on_heartbeat) {
     callbacks_.on_heartbeat(ep);

@@ -14,16 +14,25 @@
 // a cached sorted vector invalidated by liveness flips. A steady-state round
 // therefore costs O(changed endpoint states), not O(N); the digest_* counters
 // below expose that invariant to tests and to SimProfiler.
+//
+// Memory layout (the N=2048 overhaul): endpoint states live in an
+// EndpointStateStore — two parallel sorted vectors (ids, states) instead of
+// a std::map — and the digest cache, dirty list, and liveness bitmap are
+// index-aligned with that table, so the SYN merge-walk and the digest
+// refresh are linear scans with no per-endpoint tree walks. The digest
+// scratch is arena-backed (src/common/arena.h); cluster::Node charges the
+// arena's growth to MemoryModel so FidelityGuard sees the real footprint.
 
 #ifndef SCALECHECK_SRC_GOSSIP_GOSSIPER_H_
 #define SCALECHECK_SRC_GOSSIP_GOSSIPER_H_
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/types.h"
 #include "src/gossip/endpoint_state.h"
+#include "src/gossip/endpoint_store.h"
 #include "src/gossip/messages.h"
 
 namespace scalecheck {
@@ -76,14 +85,18 @@ class Gossiper {
   // re-learn the cluster from whatever contacts are seeded afterwards.
   void ResetForRestart(int64_t generation);
 
-  const EndpointStateMap& endpoints() const { return endpoints_; }
+  const EndpointStateStore& endpoints() const { return endpoints_; }
   const EndpointState* StateOf(NodeId ep) const;
 
   // ---- Liveness view ------------------------------------------------------
 
   void MarkAlive(NodeId ep);
   void MarkDead(NodeId ep);
-  bool IsAlive(NodeId ep) const;
+  // Inline: liveness is consulted per (node, peer) pair per round.
+  bool IsAlive(NodeId ep) const {
+    size_t index = endpoints_.IndexOf(ep);
+    return index != EndpointStateStore::kNotFound && alive_[index] != 0;
+  }
   std::vector<NodeId> LiveEndpoints() const;  // excludes self
   std::vector<NodeId> AllEndpoints() const;   // excludes self
 
@@ -109,7 +122,7 @@ class Gossiper {
   // ---- Protocol steps -----------------------------------------------------
 
   // Builds the SYN digest list (shuffled order does not matter; we keep
-  // deterministic map order — sorted by endpoint id).
+  // deterministic order — sorted by endpoint id).
   std::vector<GossipDigest> MakeSynDigests() const;
 
   // Same digest list copied into *out, reusing its capacity (for pooled
@@ -122,6 +135,9 @@ class Gossiper {
                  EndpointStateMap* out_send);
 
   // Builds the states requested by a digest list (ACK/ACK2 construction).
+  // The out-param form reuses the pooled payload map's capacity.
+  void StatesForRequests(const std::vector<GossipDigest>& requests,
+                         EndpointStateMap* out) const;
   EndpointStateMap StatesForRequests(const std::vector<GossipDigest>& requests) const;
 
   // Applies remote states (ACK/ACK2 receipt), firing callbacks.
@@ -148,18 +164,30 @@ class Gossiper {
   uint64_t digest_entries_refreshed() const { return digest_entries_refreshed_; }
   uint64_t digest_full_rebuilds() const { return digest_full_rebuilds_; }
 
+  // Arena backing the digest scratch: the owner (Node) hooks growth into
+  // MemoryModel and reads the reserved footprint for the profiler.
+  Arena& scratch_arena() { return arena_; }
+  const Arena& scratch_arena() const { return arena_; }
+  // Heap footprint of the endpoint table itself (profiler accounting).
+  size_t endpoint_store_bytes() const { return endpoints_.ApproxBytes(); }
+
  private:
   void ApplyOne(NodeId ep, const EndpointState& remote);
-  // Copies `state` keeping only content newer than `after_version`.
-  static EndpointState DeltaAfter(const EndpointState& state, int64_t after_version);
+  // Copies into *delta only the content of `state` newer than `after_version`
+  // (the heartbeat always rides along).
+  static void BuildDeltaInto(const EndpointState& state, int64_t after_version,
+                             EndpointState* delta);
 
   int64_t NextVersion() { return ++version_counter_; }
 
-  // Marks one endpoint's cached digest entry stale (version bump). `state`
-  // must point at the endpoint's entry in endpoints_; std::map nodes are
-  // address-stable and every structural mutation clears the dirty list, so
-  // the pointer cannot dangle while queued.
-  void MarkDigestDirty(NodeId ep, const EndpointState* state);
+  // Inserts a brand-new endpoint at its sorted position, keeping alive_ and
+  // self_index_ aligned. Returns the insertion index.
+  size_t InsertEndpoint(NodeId ep, const EndpointState& state, bool alive);
+
+  // Marks one endpoint's cached digest entry stale (version bump). Indices
+  // are stable between structural mutations, and every structural mutation
+  // clears the dirty list, so a queued index cannot go stale.
+  void MarkDigestDirty(size_t index);
   // Membership changed: the whole cache must be rebuilt.
   void MarkDigestStructureDirty();
   // Brings digest_cache_ up to date (refreshes only dirty entries).
@@ -172,15 +200,22 @@ class Gossiper {
   NodeId self_;
   Callbacks callbacks_;
   int64_t version_counter_ = 0;
-  EndpointStateMap endpoints_;  // includes self_
-  std::unordered_map<NodeId, bool> alive_;
+
+  // Declared before the arena-backed caches below (construction order).
+  Arena arena_;
+
+  EndpointStateStore endpoints_;  // includes self_
+  size_t self_index_ = 0;         // index of self_ in endpoints_
+  // Liveness bitmap, index-aligned with endpoints_ (self slot unused).
+  std::vector<uint8_t> alive_;
+
   uint64_t states_applied_ = 0;
   uint64_t syn_handled_ = 0;
   uint64_t updates_applied_ = 0;
 
-  // SYN digest cache, sorted by endpoint (endpoints_ iteration order).
-  mutable std::vector<GossipDigest> digest_cache_;
-  mutable std::vector<std::pair<NodeId, const EndpointState*>> digest_dirty_;
+  // SYN digest cache, index-aligned with endpoints_; arena-backed scratch.
+  mutable ArenaVector<GossipDigest> digest_cache_;
+  mutable ArenaVector<uint32_t> digest_dirty_;  // indices into endpoints_
   mutable bool digest_structure_dirty_ = true;
   mutable uint64_t digest_builds_ = 0;
   mutable uint64_t digest_entries_refreshed_ = 0;

@@ -32,10 +32,14 @@ struct GossipDigest {
   int64_t max_version = 0;
 };
 
+// SizeBytes accounts digest sections at their delta-varint encoded size
+// (src/gossip/digest_codec.h) so the simulated NetworkModel charges the same
+// bytes the v2 wire format ships; implementations live in messages.cc.
+
 struct SynPayload : public Payload {
   std::vector<GossipDigest> digests;
 
-  size_t SizeBytes() const override { return 16 + digests.size() * 20; }
+  size_t SizeBytes() const override;
   // PayloadPool recycling hook: empty the content, keep the capacity.
   void Clear() { digests.clear(); }
 };
@@ -46,13 +50,7 @@ struct AckPayload : public Payload {
   // Digests the sender wants full states for (receiver is ahead).
   std::vector<GossipDigest> requests;
 
-  size_t SizeBytes() const override {
-    size_t size = 16 + requests.size() * 20;
-    for (const auto& [node, state] : states) {
-      size += 8 + state.WireSize();
-    }
-    return size;
-  }
+  size_t SizeBytes() const override;
   void Clear() {
     states.clear();
     requests.clear();
@@ -62,13 +60,7 @@ struct AckPayload : public Payload {
 struct Ack2Payload : public Payload {
   EndpointStateMap states;
 
-  size_t SizeBytes() const override {
-    size_t size = 16;
-    for (const auto& [node, state] : states) {
-      size += 8 + state.WireSize();
-    }
-    return size;
-  }
+  size_t SizeBytes() const override;
   void Clear() { states.clear(); }
 };
 

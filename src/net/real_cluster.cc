@@ -28,6 +28,11 @@ RealCluster::RealCluster(const Options& options) : options_(options) {
     node_options.seed_contacts.push_back(id);
   }
   for (NodeId id = 0; id < options_.num_nodes; ++id) {
+    // Same boot-order interning contract as the simulated Cluster: the
+    // human-readable address exists only here and in logs; every layer below
+    // (gossip, ring, transport) speaks dense EndpointIds == NodeIds.
+    EndpointId interned = interner_.Intern("127.0.0.1#" + std::to_string(id));
+    CHECK_EQ(interned, id);
     auto node = std::make_unique<RealNode>(id, node_options, &transport_,
                                            &clock_, &flaps_, &flaps_mu_);
     node->PrimeSeeds(seed_members);

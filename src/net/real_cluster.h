@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/cluster/run_result.h"
+#include "src/common/interner.h"
 #include "src/faults/fault_plan.h"
 #include "src/gossip/flap_counter.h"
 #include "src/net/real_clock.h"
@@ -63,6 +64,7 @@ class RealCluster {
   bool AllConverged() const;
 
   Options options_;
+  EndpointInterner interner_;
   RealClock clock_;
   TcpTransport transport_;
   FlapCounter flaps_;

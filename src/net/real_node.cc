@@ -278,7 +278,7 @@ void RealNode::HandleAck(const Message& msg) {
   gossiper_.ApplyStates(ack->states);
   if (!ack->requests.empty()) {
     auto ack2 = std::make_shared<Ack2Payload>();
-    ack2->states = gossiper_.StatesForRequests(ack->requests);
+    gossiper_.StatesForRequests(ack->requests, &ack2->states);
     if (!ack2->states.empty()) {
       transport_->Send(id_, msg.from, kGossipAck2, std::move(ack2));
     }

@@ -285,9 +285,10 @@ uint64_t TcpTransport::Send(NodeId from, NodeId to, int type,
     dropped_.fetch_add(1);
     return 0;
   }
-  std::string frame = wire::EncodeMessage(msg);
-  uint32_t frame_len = static_cast<uint32_t>(frame.size());
   std::lock_guard<std::mutex> wlock(conn->mu);
+  wire::EncodeMessageTo(msg, &conn->encode_buf);
+  const std::string& frame = conn->encode_buf;
+  uint32_t frame_len = static_cast<uint32_t>(frame.size());
   if (conn->fd < 0 ||
       !WriteAll(conn->fd, reinterpret_cast<const char*>(&frame_len), 4) ||
       !WriteAll(conn->fd, frame.data(), frame.size())) {

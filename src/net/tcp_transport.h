@@ -91,6 +91,9 @@ class TcpTransport final : public Transport, public LinkFilterHost {
   struct Conn {
     std::mutex mu;
     int fd = -1;
+    // Frame-encode scratch, reused across sends on this connection (guarded
+    // by mu, like the fd it feeds).
+    std::string encode_buf;
   };
 
   void AcceptLoop(Listener* listener);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/gossip/digest_codec.h"
 #include "src/gossip/messages.h"
 #include "src/kv/kv_service.h"
 
@@ -15,9 +16,14 @@ namespace {
 // ---------------------------------------------------------------------------
 // Primitive little-endian writer / bounds-checked reader.
 
+// Writes into a caller-owned buffer so send loops can recycle capacity
+// across frames instead of allocating per message.
 class Writer {
  public:
-  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  explicit Writer(std::string* out) : out_(out) {}
+
+  void Reserve(size_t n) { out_->reserve(out_->size() + n); }
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
   void U32(uint32_t v) { Raw(&v, 4); }
   void U64(uint64_t v) { Raw(&v, 8); }
   void I32(int32_t v) { Raw(&v, 4); }
@@ -29,19 +35,20 @@ class Writer {
   }
   void Bytes(std::string_view v) {
     U32(static_cast<uint32_t>(v.size()));
-    out_.append(v.data(), v.size());
+    out_->append(v.data(), v.size());
   }
 
-  std::string Take() { return std::move(out_); }
+  // Raw buffer access for section codecs (delta-varint digests).
+  std::string* buffer() { return out_; }
 
  private:
   void Raw(const void* p, size_t n) {
     // Little-endian layout is the wire format; every supported target is
     // little-endian, asserted once at decode via the magic byte position.
-    out_.append(reinterpret_cast<const char*>(p), n);
+    out_->append(reinterpret_cast<const char*>(p), n);
   }
 
-  std::string out_;
+  std::string* out_;
 };
 
 class Reader {
@@ -72,6 +79,11 @@ class Reader {
     return U32(n) && static_cast<size_t>(*n) * min_element_size <= Remaining();
   }
 
+  // Delta-varint digest section (its own internal count guard).
+  bool Digests(std::vector<GossipDigest>* out) {
+    return digest_codec::Decode(data_, &pos_, out);
+  }
+
   size_t Remaining() const { return data_.size() - pos_; }
 
  private:
@@ -90,25 +102,11 @@ class Reader {
 // Gossip state encoding.
 
 void EncodeDigests(Writer* w, const std::vector<GossipDigest>& digests) {
-  w->U32(static_cast<uint32_t>(digests.size()));
-  for (const GossipDigest& d : digests) {
-    w->I32(d.endpoint);
-    w->I64(d.generation);
-    w->I64(d.max_version);
-  }
+  digest_codec::Encode(digests, w->buffer());
 }
 
 bool DecodeDigests(Reader* r, std::vector<GossipDigest>* digests) {
-  uint32_t n;
-  if (!r->Count(&n, /*min_element_size=*/20)) return false;
-  digests->resize(n);
-  for (GossipDigest& d : *digests) {
-    if (!r->I32(&d.endpoint) || !r->I64(&d.generation) ||
-        !r->I64(&d.max_version)) {
-      return false;
-    }
-  }
-  return true;
+  return r->Digests(digests);
 }
 
 void EncodeEndpointState(Writer* w, const EndpointState& state) {
@@ -217,8 +215,13 @@ bool DecodeKvResponse(Reader* r, KvResponsePayload* resp) {
 
 }  // namespace
 
-std::string EncodeMessage(const Message& msg) {
-  Writer w;
+void EncodeMessageTo(const Message& msg, std::string* out) {
+  out->clear();
+  Writer w(out);
+  CHECK_NOTNULL(msg.payload.get());
+  // One up-front reservation: SizeBytes() is the payload's own accounting of
+  // its encoded size, so the append loop below almost never reallocates.
+  w.Reserve(kHeaderSize + msg.payload->SizeBytes() + 16);
   w.U8(kMagic);
   w.U8(kVersion);
   w.I32(msg.type);
@@ -226,7 +229,6 @@ std::string EncodeMessage(const Message& msg) {
   w.I32(msg.to);
   w.U64(msg.pair_seq);
   w.U64(msg.id);
-  CHECK_NOTNULL(msg.payload.get());
   switch (msg.type) {
     case kGossipSyn:
       EncodeDigests(&w, static_cast<const SynPayload&>(*msg.payload).digests);
@@ -254,7 +256,12 @@ std::string EncodeMessage(const Message& msg) {
     default:
       CHECK(false) << "EncodeMessage: unknown message type " << msg.type;
   }
-  return w.Take();
+}
+
+std::string EncodeMessage(const Message& msg) {
+  std::string out;
+  EncodeMessageTo(msg, &out);
+  return out;
 }
 
 Result<Message> DecodeMessage(std::string_view data) {

@@ -10,9 +10,12 @@
 //
 // Format (all integers little-endian, fixed width):
 //
-//   header : u8 magic 0x5C | u8 version 1 | i32 type | i32 from | i32 to
+//   header : u8 magic 0x5C | u8 version 2 | i32 type | i32 from | i32 to
 //          | u64 pair_seq | u64 id
-//   body   : per Message::type, see wire.cc
+//   body   : per Message::type, see wire.cc. Since v2, gossip digest
+//            sections (SYN digests, ACK requests) are delta + varint
+//            encoded (src/gossip/digest_codec.h): ~3-6 bytes per endpoint
+//            instead of 20, which is what keeps N=2048 SYN frames small.
 //
 // Decoding is strict: every read is bounds-checked, unknown message types
 // and status/app-state discriminators are rejected, and trailing bytes after
@@ -33,7 +36,7 @@ namespace scalecheck {
 namespace wire {
 
 inline constexpr uint8_t kMagic = 0x5C;
-inline constexpr uint8_t kVersion = 1;
+inline constexpr uint8_t kVersion = 2;
 // header = magic + version + type + from + to + pair_seq + id.
 inline constexpr size_t kHeaderSize = 1 + 1 + 4 + 4 + 4 + 8 + 8;
 
@@ -43,6 +46,10 @@ inline constexpr size_t kHeaderSize = 1 + 1 + 4 + 4 + 4 + 8 + 8;
 // payload object; unknown types CHECK-fail (a send-side programming error,
 // not a network condition).
 std::string EncodeMessage(const Message& msg);
+
+// Same, appending into *out (cleared first) so a send loop can reuse one
+// buffer's capacity instead of allocating a fresh string per frame.
+void EncodeMessageTo(const Message& msg, std::string* out);
 
 // Parses a frame body produced by EncodeMessage. Returns kTruncated when the
 // input ends mid-field, kCorruptData for bad magic/version/discriminators or

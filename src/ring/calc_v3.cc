@@ -76,7 +76,8 @@ class V3Calculator : public PendingRangeCalculator {
       if (change.kind == ChangeKind::kJoining) {
         changed_tokens = change.tokens;
       } else if (current.HasNode(change.node)) {
-        changed_tokens = current.TokensOf(change.node);
+        TokenSpan span = current.TokensOf(change.node);
+        changed_tokens.assign(span.begin(), span.end());
       }
       for (Token t : changed_tokens) {
         if (future.num_entries() > 0) {

@@ -29,9 +29,11 @@ void TokenRing::AddNode(NodeId node, const std::vector<Token>& tokens) {
         << "token collision at" << static_cast<long long>(t);
     entries_.insert(it, RingEntry{t, node});
   }
-  auto& stored = tokens_by_node_[node];
-  stored = tokens;
-  std::sort(stored.begin(), stored.end());
+  TokenSlice slice{static_cast<uint32_t>(token_storage_.size()),
+                   static_cast<uint32_t>(tokens.size())};
+  token_storage_.insert(token_storage_.end(), tokens.begin(), tokens.end());
+  std::sort(token_storage_.begin() + slice.offset, token_storage_.end());
+  tokens_by_node_[node] = slice;
 }
 
 void TokenRing::RemoveNode(NodeId node) {
@@ -40,13 +42,15 @@ void TokenRing::RemoveNode(NodeId node) {
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
                                 [node](const RingEntry& e) { return e.owner == node; }),
                  entries_.end());
-  tokens_by_node_.erase(it);
+  // The storage slice becomes a hole; slices are never reused, so no other
+  // node's view is disturbed.
+  tokens_by_node_.erase(node);
 }
 
-const std::vector<Token>& TokenRing::TokensOf(NodeId node) const {
+TokenSpan TokenRing::TokensOf(NodeId node) const {
   auto it = tokens_by_node_.find(node);
   CHECK(it != tokens_by_node_.end()) << "node" << node << "not in ring";
-  return it->second;
+  return TokenSpan{token_storage_.data() + it->second.offset, it->second.len};
 }
 
 std::vector<NodeId> TokenRing::Nodes() const {

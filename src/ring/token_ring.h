@@ -10,9 +10,9 @@
 #define SCALECHECK_SRC_RING_TOKEN_RING_H_
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/hash.h"
 #include "src/common/types.h"
 #include "src/gossip/endpoint_state.h"  // Token
@@ -36,6 +36,19 @@ struct KeyRange {
   auto operator<=>(const KeyRange&) const = default;
 };
 
+// Non-owning view of one node's sorted tokens inside the ring's pooled
+// storage. Valid until the next AddNode/RemoveNode on that ring.
+struct TokenSpan {
+  const Token* ptr = nullptr;
+  size_t len = 0;
+
+  const Token* begin() const { return ptr; }
+  const Token* end() const { return ptr + len; }
+  size_t size() const { return len; }
+  bool empty() const { return len == 0; }
+  Token operator[](size_t i) const { return ptr[i]; }
+};
+
 class TokenRing {
  public:
   TokenRing() = default;
@@ -48,7 +61,7 @@ class TokenRing {
   size_t num_entries() const { return entries_.size(); }
   size_t num_nodes() const { return tokens_by_node_.size(); }
   const std::vector<RingEntry>& entries() const { return entries_; }
-  const std::vector<Token>& TokensOf(NodeId node) const;
+  TokenSpan TokensOf(NodeId node) const;
   std::vector<NodeId> Nodes() const;
 
   // Index of the entry owning `key` (first token >= key, wrapping).
@@ -67,17 +80,34 @@ class TokenRing {
   // are kept sorted).
   DigestValue ComputeDigest() const;
 
+  // Three flat vector copies, regardless of node count. The old layout
+  // (std::map<NodeId, std::vector<Token>>) cost 2N allocations per clone,
+  // and the pending-range calculators clone the ring on every invocation —
+  // that one site was 70% of ALL allocations in an N=384 run.
   TokenRing Clone() const { return *this; }
 
-  // Approximate heap footprint, for the memory model.
+  // Approximate heap footprint, for the memory model. Deliberately kept at
+  // the pre-flattening formula: the memory model charges these bytes, and
+  // the modelled footprint (what C3831 is about) must not silently shrink
+  // because the harness got leaner.
   int64_t ApproxBytes() const {
     return static_cast<int64_t>(entries_.size()) * 48 +
            static_cast<int64_t>(tokens_by_node_.size()) * 64;
   }
 
  private:
+  // Slice of token_storage_: each node's sorted tokens live contiguously.
+  struct TokenSlice {
+    uint32_t offset = 0;
+    uint32_t len = 0;
+  };
+
   std::vector<RingEntry> entries_;  // sorted by token
-  std::map<NodeId, std::vector<Token>> tokens_by_node_;
+  FlatMap<NodeId, TokenSlice> tokens_by_node_;
+  // Pooled token storage; RemoveNode leaves holes (bounded by membership
+  // churn on this instance — clones copy them, which is still far cheaper
+  // than per-node vectors).
+  std::vector<Token> token_storage_;
 };
 
 // Deterministically generates `count` pseudo-random distinct tokens for a

@@ -16,6 +16,11 @@ void SimProfiler::Counters::WriteJson(JsonWriter* w) const {
   w->Field("digest_full_rebuilds", digest_full_rebuilds);
   w->Field("payload_reuses", payload_reuses);
   w->Field("payload_allocs", payload_allocs);
+  w->Field("gossip_digest_bytes_sent", gossip_digest_bytes_sent);
+  w->Field("gossip_arena_bytes", gossip_arena_bytes);
+  w->Field("endpoint_store_bytes", endpoint_store_bytes);
+  w->Field("intern_table_size", intern_table_size);
+  w->Field("intern_table_bytes", intern_table_bytes);
   w->EndObject();
 }
 

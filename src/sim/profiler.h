@@ -56,6 +56,16 @@ class SimProfiler {
     uint64_t payload_reuses = 0;
     uint64_t payload_allocs = 0;
 
+    // Memory-layout accounting (the N=2048 overhaul): bytes of delta-encoded
+    // digest sections sent (SYN payloads, wire-v2 varint accounting), the
+    // per-node gossip arena footprint and endpoint-table footprint summed
+    // across the cluster, and the endpoint intern table.
+    uint64_t gossip_digest_bytes_sent = 0;
+    uint64_t gossip_arena_bytes = 0;
+    uint64_t endpoint_store_bytes = 0;
+    uint64_t intern_table_size = 0;
+    uint64_t intern_table_bytes = 0;
+
     void WriteJson(JsonWriter* w) const;
   };
 

@@ -39,7 +39,10 @@ class SimThread;
 
 class Job {
  public:
-  explicit Job(std::string label) : label_(std::move(label)) {}
+  // Labels are static string literals: storing the pointer keeps job
+  // construction allocation-free ("gossip.handle-syn" exceeds libstdc++'s
+  // 15-char SSO, which cost one heap allocation per job — millions per run).
+  explicit Job(const char* label) : label_(label) {}
 
   Job& Run(std::function<void()> fn);
   Job& Compute(WorkUnits work);
@@ -69,7 +72,7 @@ class Job {
     return *this;
   }
 
-  const std::string& label() const { return label_; }
+  const char* label() const { return label_; }
 
  private:
   friend class SimThread;
@@ -85,7 +88,7 @@ class Job {
     std::function<void(std::function<void()>)> async;
   };
 
-  std::string label_;
+  const char* label_;
   std::vector<Step> steps_;
   VirtualTime intended_;
   bool has_intended_ = false;

@@ -1,0 +1,88 @@
+// EndpointInterner: dense ids handed out in first-intern order, identical
+// across runs — the determinism contract the whole EndpointId scheme rests
+// on (ids must never depend on hash-table iteration order).
+
+#include "src/common/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace scalecheck {
+namespace {
+
+TEST(EndpointInterner, AssignsDenseIdsInInsertionOrder) {
+  EndpointInterner interner;
+  EXPECT_EQ(interner.Intern("node-0"), 0);
+  EXPECT_EQ(interner.Intern("node-1"), 1);
+  EXPECT_EQ(interner.Intern("node-2"), 2);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(EndpointInterner, ReinternReturnsExistingId) {
+  EndpointInterner interner;
+  EndpointId a = interner.Intern("alpha");
+  EndpointId b = interner.Intern("beta");
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.Intern("beta"), b);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(EndpointInterner, NameOfRoundTrips) {
+  EndpointInterner interner;
+  std::vector<std::string> names = {"127.0.0.1#0", "127.0.0.1#1", "node-x"};
+  for (const std::string& name : names) {
+    EndpointId id = interner.Intern(name);
+    EXPECT_EQ(interner.NameOf(id), name);
+  }
+}
+
+TEST(EndpointInterner, LookupDoesNotIntern) {
+  EndpointInterner interner;
+  interner.Intern("known");
+  EndpointId id = kInvalidNode;
+  EXPECT_TRUE(interner.Lookup("known", &id));
+  EXPECT_EQ(id, 0);
+  EXPECT_FALSE(interner.Lookup("unknown", &id));
+  EXPECT_EQ(interner.size(), 1u) << "Lookup must not mutate the table";
+}
+
+// The core determinism property: two interners fed the same name sequence
+// (regardless of interleaved lookups and duplicate interns) agree on every
+// id. This is what makes EndpointId==NodeId reproducible across runs.
+TEST(EndpointInterner, IdenticalSequencesYieldIdenticalIds) {
+  std::vector<std::string> sequence;
+  for (int i = 0; i < 500; ++i) {
+    sequence.push_back("node-" + std::to_string(i % 200));  // lots of dups
+  }
+  EndpointInterner a, b;
+  std::vector<EndpointId> ids_a, ids_b;
+  for (const std::string& name : sequence) {
+    ids_a.push_back(a.Intern(name));
+  }
+  for (const std::string& name : sequence) {
+    EndpointId scratch;
+    b.Lookup(name, &scratch);  // interleaved lookups must not perturb ids
+    ids_b.push_back(b.Intern(name));
+  }
+  EXPECT_EQ(ids_a, ids_b);
+  EXPECT_EQ(a.size(), 200u);
+  EXPECT_EQ(b.size(), 200u);
+  for (EndpointId id = 0; id < static_cast<EndpointId>(a.size()); ++id) {
+    EXPECT_EQ(a.NameOf(id), b.NameOf(id));
+  }
+}
+
+TEST(EndpointInterner, ApproxBytesGrowsWithContent) {
+  EndpointInterner interner;
+  size_t empty = interner.ApproxBytes();
+  for (int i = 0; i < 100; ++i) {
+    interner.Intern("endpoint-with-a-reasonably-long-name-" + std::to_string(i));
+  }
+  EXPECT_GT(interner.ApproxBytes(), empty);
+  EXPECT_GT(interner.ApproxBytes(), 100u * 8u);
+}
+
+}  // namespace
+}  // namespace scalecheck

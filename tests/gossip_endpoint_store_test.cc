@@ -1,0 +1,146 @@
+// EndpointStateStore vs std::map equivalence fuzz.
+//
+// The SoA store replaced std::map<NodeId, EndpointState> underneath
+// Gossiper; everything downstream (merge-walk order, digest refresh, JSON
+// export) assumes it behaves exactly like the map did. This test drives
+// both containers with the same seeded random operation stream and checks
+// full-state equivalence — contents AND iteration order — after every
+// mutation batch.
+
+#include "src/gossip/endpoint_store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/gossip/endpoint_state.h"
+
+namespace scalecheck {
+namespace {
+
+EndpointState MakeState(int64_t generation, int64_t version) {
+  EndpointState state(generation);
+  state.mutable_heartbeat().version = version;
+  VersionedValue status;
+  status.version = version;
+  status.status = StatusKind::kNormal;
+  state.Set(ApplicationStateKey::kStatus, status);
+  return state;
+}
+
+void ExpectEquivalent(const EndpointStateStore& store,
+                      const std::map<NodeId, EndpointState>& model) {
+  ASSERT_EQ(store.size(), model.size());
+  // Iteration must yield the same (id, state) sequence in the same order.
+  auto it = model.begin();
+  for (const auto& [id, state] : store) {
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(id, it->first);
+    EXPECT_EQ(state.heartbeat().generation, it->second.heartbeat().generation);
+    EXPECT_EQ(state.heartbeat().version, it->second.heartbeat().version);
+    EXPECT_EQ(state.MaxVersion(), it->second.MaxVersion());
+    ++it;
+  }
+  EXPECT_EQ(it, model.end());
+  // Point lookups agree, including misses.
+  for (const auto& [id, state] : model) {
+    EXPECT_EQ(store.count(id), 1u);
+    size_t index = store.IndexOf(id);
+    ASSERT_NE(index, EndpointStateStore::kNotFound);
+    EXPECT_EQ(store.IdAt(index), id);
+    EXPECT_EQ(store.at(id).heartbeat().version, state.heartbeat().version);
+  }
+}
+
+TEST(EndpointStateStore, FuzzEquivalentToStdMap) {
+  Rng rng(0xfeedbeef);
+  EndpointStateStore store;
+  std::map<NodeId, EndpointState> model;
+
+  for (int step = 0; step < 4000; ++step) {
+    NodeId id = static_cast<NodeId>(rng.Next() % 300);
+    switch (rng.Next() % 4) {
+      case 0: {  // insert if absent
+        if (model.count(id) == 0) {
+          int64_t gen = static_cast<int64_t>(rng.Next() % 1000);
+          int64_t ver = static_cast<int64_t>(rng.Next() % 100000);
+          store.Insert(id, MakeState(gen, ver));
+          model.emplace(id, MakeState(gen, ver));
+        }
+        break;
+      }
+      case 1: {  // assign (insert-or-overwrite)
+        int64_t gen = static_cast<int64_t>(rng.Next() % 1000);
+        int64_t ver = static_cast<int64_t>(rng.Next() % 100000);
+        auto [index, inserted] = store.Assign(id, MakeState(gen, ver));
+        bool model_inserted = model.count(id) == 0;
+        model[id] = MakeState(gen, ver);
+        EXPECT_EQ(inserted, model_inserted);
+        EXPECT_EQ(store.IdAt(index), id);
+        break;
+      }
+      case 2: {  // erase
+        bool erased = store.Erase(id);
+        EXPECT_EQ(erased, model.erase(id) > 0);
+        break;
+      }
+      case 3: {  // in-place mutation through StateAt
+        if (model.count(id) > 0) {
+          size_t index = store.IndexOf(id);
+          ASSERT_NE(index, EndpointStateStore::kNotFound);
+          int64_t ver = static_cast<int64_t>(rng.Next() % 100000);
+          store.StateAt(index).mutable_heartbeat().version = ver;
+          model.at(id).mutable_heartbeat().version = ver;
+        }
+        break;
+      }
+    }
+    if (step % 200 == 0) {
+      ExpectEquivalent(store, model);
+    }
+  }
+  ExpectEquivalent(store, model);
+}
+
+// IndexOf's dense-id fast path (index == id once the table is full) must
+// agree with binary search even while the table is sparse or shifted.
+TEST(EndpointStateStore, IndexOfFastPathMatchesSearch) {
+  EndpointStateStore store;
+  for (NodeId id : {5, 1, 9, 3, 7}) {
+    store.Insert(id, MakeState(1, id));
+  }
+  // Sparse: no index equals its id except by coincidence; all must resolve.
+  for (NodeId id : {1, 3, 5, 7, 9}) {
+    size_t index = store.IndexOf(id);
+    ASSERT_NE(index, EndpointStateStore::kNotFound);
+    EXPECT_EQ(store.IdAt(index), id);
+  }
+  for (NodeId id : {0, 2, 4, 6, 8, 10}) {
+    EXPECT_EQ(store.IndexOf(id), EndpointStateStore::kNotFound);
+  }
+  // Dense 0..N-1: the guess path triggers for every id.
+  EndpointStateStore dense;
+  for (NodeId id = 0; id < 64; ++id) {
+    dense.Insert(id, MakeState(1, id));
+  }
+  for (NodeId id = 0; id < 64; ++id) {
+    EXPECT_EQ(dense.IndexOf(id), static_cast<size_t>(id));
+  }
+}
+
+TEST(EndpointStateStore, InsertShiftsLaterIndices) {
+  EndpointStateStore store;
+  store.Insert(10, MakeState(1, 10));
+  store.Insert(30, MakeState(1, 30));
+  EXPECT_EQ(store.IndexOf(30), 1u);
+  store.Insert(20, MakeState(1, 20));
+  EXPECT_EQ(store.IndexOf(10), 0u);
+  EXPECT_EQ(store.IndexOf(20), 1u);
+  EXPECT_EQ(store.IndexOf(30), 2u);
+}
+
+}  // namespace
+}  // namespace scalecheck
