@@ -32,6 +32,7 @@
 #include <string>
 #include <utility>
 
+#include "src/cluster/workload.h"
 #include "src/common/logging.h"
 #include "src/faults/fault_search.h"
 #include "src/net/real_cluster.h"
@@ -65,6 +66,17 @@ struct CliOptions {
   bool plant_bug = false;
   std::string repro_out;  // --mode=search: save the repro artifact here
   std::string repro;      // --mode=repro: the artifact to replay
+  // ---- Data path ------------------------------------------------------------
+  // Workload override: the KV invariants are only checkable on workloads
+  // that preserve key ownership (steady-state / failover), and no catalog
+  // bug uses one — a durability smoke needs to swap the workload in.
+  bool have_workload = false;
+  WorkloadKind workload = WorkloadKind::kSteadyState;
+  bool have_kv_consistency = false;
+  KvConsistency kv_consistency = KvConsistency::kQuorum;
+  bool kv_wal = false;        // durable replica path (WAL + group commit)
+  bool plant_kv_bug = false;  // plant the ack-before-sync durability bug
+  double kv_rate = 0.0;       // sim modes: KV client ops/second (0 = spec's)
   // ---- Real sockets (--mode=real) -----------------------------------------
   int real_seconds = 30;  // convergence timeout, wall clock
   int gossip_ms = 100;    // gossip round interval
@@ -115,6 +127,28 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
         std::fprintf(stderr, "--kv-ops cannot be negative\n");
         return false;
       }
+    } else if (const char* wl = value_of("--workload=")) {
+      Result<WorkloadKind> parsed = WorkloadKindFromName(wl);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "unknown workload '%s'\n", wl);
+        return false;
+      }
+      out->workload = parsed.value();
+      out->have_workload = true;
+    } else if (const char* level = value_of("--kv-consistency=")) {
+      Result<KvConsistency> parsed = KvConsistencyFromName(level);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "unknown consistency level '%s'\n", level);
+        return false;
+      }
+      out->kv_consistency = parsed.value();
+      out->have_kv_consistency = true;
+    } else if (const char* rate = value_of("--kv-rate=")) {
+      out->kv_rate = std::atof(rate);
+      if (out->kv_rate < 0.0) {
+        std::fprintf(stderr, "--kv-rate cannot be negative\n");
+        return false;
+      }
     } else if (const char* nodes = value_of("--nodes=")) {
       out->nodes = std::atoi(nodes);
     } else if (const char* seed = value_of("--seed=")) {
@@ -153,6 +187,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->repro = path;
     } else if (arg == "--plant-bug") {
       out->plant_bug = true;
+    } else if (arg == "--plant-kv-bug") {
+      out->plant_kv_bug = true;
+    } else if (arg == "--kv-wal") {
+      out->kv_wal = true;
     } else if (arg == "--trace") {
       out->trace = true;
     } else if (arg == "--json") {
@@ -179,7 +217,9 @@ void Usage() {
       "                      [--replay-policy=P] [--search-budget=B]\n"
       "                      [--search-seed=S] [--plant-bug] [--repro-out=FILE]\n"
       "                      [--repro=FILE] [--real-seconds=T] [--gossip-ms=MS]\n"
-      "                      [--kv-ops=K]\n"
+      "                      [--kv-ops=K] [--kv-rate=OPS] [--kv-wal]\n"
+      "                      [--kv-consistency=L] [--plant-kv-bug]\n"
+      "                      [--workload=W]\n"
       "  bugs: %s\n"
       "  modes: suite search repro real\n"
       "         (deprecated aliases: full colo memoize replay real-scale)\n"
@@ -193,6 +233,22 @@ void Usage() {
       "  --gossip-ms=MS              real mode: gossip interval (default 100)\n"
       "  --kv-ops=K                  real mode: K quorum writes+reads after\n"
       "                              convergence (default 0 = membership only)\n"
+      "  --kv-rate=OPS               sim modes: KV client load in ops/second\n"
+      "                              (overrides the spec; > 0 enables the KV\n"
+      "                              service and load driver)\n"
+      "  --kv-consistency=L          one | quorum | all — ack threshold for KV\n"
+      "                              reads and writes (default quorum)\n"
+      "  --kv-wal                    durable replica path: per-node WAL with\n"
+      "                              group commit; crash loses the unsynced\n"
+      "                              tail, restart replays the durable prefix;\n"
+      "                              arms the kv-durability invariant\n"
+      "  --plant-kv-bug              plant the ack-before-sync durability bug\n"
+      "                              (the crash-durability search smoke target;\n"
+      "                              needs --kv-wal)\n"
+      "  --workload=W                override the bug's workload: steady-state |\n"
+      "                              decommission | scale-out | bootstrap-fresh |\n"
+      "                              failover | rebalance (KV invariants only\n"
+      "                              probe on steady-state and failover)\n"
       "  fault plans: none standard-chaos partition crash-restart slow-node\n"
       "               memory-pressure island\n"
       "               (island = the ChaosSearch islanding reproducer: one full\n"
@@ -375,6 +431,10 @@ int RunReal(const CliOptions& cli) {
   options.node.seed = cli.seed;
   options.node.gossip_interval = VirtualDuration::Millis(cli.gossip_ms);
   options.node.enable_kv = cli.kv_ops > 0;
+  if (cli.have_kv_consistency) {
+    options.node.kv_consistency = cli.kv_consistency;
+  }
+  options.node.kv_wal = cli.kv_wal;
   options.kv_ops = cli.kv_ops;
   options.convergence_timeout = VirtualDuration::Seconds(cli.real_seconds);
   if (!cli.faults.empty()) {
@@ -452,6 +512,21 @@ int main(int argc, char** argv) {
   }
   if (cli.plant_bug) {
     spec.check.plant_left_join_bug = true;
+  }
+  if (cli.have_kv_consistency) {
+    spec.kv_consistency = cli.kv_consistency;
+  }
+  if (cli.kv_wal) {
+    spec.kv_wal = true;
+  }
+  if (cli.plant_kv_bug) {
+    spec.check.plant_kv_ack_before_sync = true;
+  }
+  if (cli.kv_rate > 0.0) {
+    spec.kv_ops_per_second = cli.kv_rate;
+  }
+  if (cli.have_workload) {
+    spec.workload = cli.workload;
   }
   if (!cli.json) {
     std::printf("%s: %s\n", spec.id.c_str(), spec.description.c_str());

@@ -15,10 +15,16 @@
 #   4. ChaosSearch smoke: a pinned-seed bounded search must find the planted
 #      left-join bug, shrink it to a <=3-event reproducer, and the emitted
 #      repro artifact must replay to the identical violation (exit 4),
-#   5. real-mode smoke: the same protocol code on REAL localhost TCP sockets
+#   5. crash-durability smoke: a pinned-seed crash-restart FaultPlan under
+#      QUORUM KV load with the WAL on must lose zero acked writes (exit 0);
+#      then a pinned-seed search against the planted ack-before-sync bug
+#      must find kv-durability, shrink to <=3 events, and the repro artifact
+#      must replay to the identical violation (exit 4),
+#   6. real-mode smoke: the same protocol code on REAL localhost TCP sockets
 #      (--mode=real) must gossip an 8-node cluster to convergence under a
-#      wall-clock timeout and exit 0,
-#   6. real-mode chaos smoke: replay the islanding FaultPlan against the
+#      wall-clock timeout, complete a WAL-backed quorum KV smoke (group
+#      commit over real sockets), and exit 0,
+#   7. real-mode chaos smoke: replay the islanding FaultPlan against the
 #      socket carrier (--mode=real --faults=island) — the link filter must
 #      actually drop frames, and after the heal the gossip-to-unreachable
 #      escape hatch must reconverge the cluster (0 islanded endpoints)
@@ -103,13 +109,73 @@ if [[ "$code" -ne 4 ]]; then
   exit 1
 fi
 
+echo "== crash-durability smoke =="
+KV_REPRO="$BUILD_DIR/kv_durability_repro.json"
+rm -f "$KV_REPRO"
+
+# A pinned-seed crash-restart plan under QUORUM load with the WAL on: the
+# kv-durability invariant audits every acked write across the crash and the
+# restart, and a correct group-commit data path loses none of them (exit 0).
+set +e
+out="$("$CLI" --bug=C3831-fixed --workload=steady-state --mode=suite \
+  --sim-modes=colo --nodes=12 --seed=7 --faults=crash-restart \
+  --kv-wal --kv-consistency=quorum --kv-rate=100 --json)"
+code=$?
+set -e
+if [[ "$code" -ne 0 ]]; then
+  echo "FAIL: crash-durability clean run exited $code, expected 0" >&2
+  exit 1
+fi
+if [[ "$out" != *'"kv_checked":true'* ]]; then
+  echo "FAIL: crash-durability clean run did not arm the KV checkers" >&2
+  exit 1
+fi
+if [[ "$out" == *'"kv_wal_bytes":0,'* ]]; then
+  echo "FAIL: crash-durability clean run wrote no WAL bytes" >&2
+  exit 1
+fi
+
+# The planted ack-before-sync bug: a bounded pinned-seed search must crash a
+# replica inside its group-commit window and catch the lost acked write.
+set +e
+out="$("$CLI" --bug=C3831-fixed --workload=steady-state --mode=search \
+  --nodes=12 --plant-kv-bug --kv-wal --kv-rate=100 \
+  --search-budget=8 --jobs=4 --json --repro-out="$KV_REPRO")"
+code=$?
+set -e
+if [[ "$code" -ne 4 ]]; then
+  echo "FAIL: kv-durability search exited $code, expected 4" >&2
+  exit 1
+fi
+if [[ "$out" != *'"kv-durability"'* ]]; then
+  echo "FAIL: kv-durability search violated something else" >&2
+  exit 1
+fi
+minimized="$(sed -n 's/.*"minimized_events":\([0-9]*\).*/\1/p' <<<"$out")"
+if [[ -z "$minimized" || "$minimized" -lt 1 || "$minimized" -gt 3 ]]; then
+  echo "FAIL: kv-durability reproducer has ${minimized:-?} events, expected 1..3" >&2
+  exit 1
+fi
+
+# The artifact replays to the byte-identical kv-durability violation.
+set +e
+"$CLI" --repro="$KV_REPRO" >/dev/null
+code=$?
+set -e
+if [[ "$code" -ne 4 ]]; then
+  echo "FAIL: kv-durability repro replay exited $code, expected 4" >&2
+  exit 1
+fi
+
 echo "== real-mode smoke =="
 # 8 nodes on real localhost sockets must converge well inside 30s (typical:
 # well under a second) and exit 0; `timeout` guards the gate against a hang
 # in the threaded carrier. A non-converged run exits 1, a hang exits 124 —
-# either fails the gate.
+# either fails the gate. The KV smoke rides the WAL: 8 quorum writes whose
+# acks defer to the group commit on real sockets, then 8 quorum reads.
 set +e
-out="$(timeout 60 "$CLI" --mode=real --nodes=8 --json)"
+out="$(timeout 60 "$CLI" --mode=real --nodes=8 --kv-ops=8 --kv-wal \
+  --kv-consistency=quorum --json)"
 code=$?
 set -e
 if [[ "$code" -ne 0 ]]; then
@@ -118,6 +184,14 @@ if [[ "$code" -ne 0 ]]; then
 fi
 if [[ "$out" != *'"settled":true'* || "$out" != *'"mode":"RealNet"'* ]]; then
   echo "FAIL: real-mode smoke JSON lacks settled:true / mode:RealNet" >&2
+  exit 1
+fi
+if [[ "$out" != *'"kv_ok":16,'* ]]; then
+  echo "FAIL: real-mode WAL-backed KV smoke did not complete 16/16 ops" >&2
+  exit 1
+fi
+if [[ "$out" == *'"kv_wal_bytes":0,'* ]]; then
+  echo "FAIL: real-mode KV smoke wrote no WAL bytes (WAL not wired?)" >&2
   exit 1
 fi
 
@@ -153,4 +227,4 @@ if ! "$CLI" --bug=C3831 --mode=colo --nodes=16 --json 2>/dev/null >/dev/null; th
   exit 1
 fi
 
-echo "OK: build, tier-1 tests, perf smoke, guard exit codes, chaos-search and real-mode smokes all pass"
+echo "OK: build, tier-1 tests, perf smoke, guard exit codes, chaos-search, crash-durability and real-mode smokes all pass"

@@ -47,6 +47,15 @@ struct CheckOptions {
   // from scratch, so a crash after a completed decommission resurrects the
   // decommissioned node in the restarted node's ring: a zombie endpoint.
   bool plant_left_join_bug = false;
+
+  // Test-only planted bug (the crash-durability ChaosSearch smoke target): a
+  // replica acknowledges a write at WAL-append time instead of waiting for
+  // the group-commit sync — the classic ack-before-fsync mistake. A crash
+  // inside the sync window then silently loses acknowledged writes, which
+  // the kv-durability invariant reports when the restarted replica's
+  // recovered storage is missing a version it acked. Only meaningful with
+  // the WAL enabled (ClusterConfig::kv_wal).
+  bool plant_kv_ack_before_sync = false;
 };
 
 }  // namespace scalecheck

@@ -7,6 +7,8 @@
 #include "src/common/check.h"
 #include "src/common/strings.h"
 #include "src/kv/kv_history.h"
+#include "src/kv/kv_service.h"
+#include "src/kv/storage_engine.h"
 
 namespace scalecheck {
 
@@ -371,6 +373,68 @@ class KvHistoryInvariant : public Invariant {
   std::map<uint64_t, std::vector<uint64_t>> writes_by_key_;
 };
 
+// ---- kv-durability ----------------------------------------------------------
+
+// No-lost-acked-writes at the REPLICA level: every node that acknowledged an
+// OK write and is currently running must hold a version of the key at least
+// as new as the one it acked — across crash and restart. The audit targets
+// the CONCRETE acker set recorded at ack time (KvOpRecord::ackers), not the
+// current natural endpoints, so ring movement under failover workloads can't
+// produce false positives and a single crashed acker out of a quorum is still
+// caught. Crashed/never-restarted ackers are skipped (nothing to inspect);
+// restart recovery is synchronous, so a running restarted node has already
+// replayed its durable WAL prefix by the time any probe sees it. Gated on
+// kv_wal because the default in-memory store survives crashes by construction
+// (the check would be vacuous) — with the WAL on, an ack must imply a synced
+// record, which is exactly what the plant_kv_ack_before_sync bug breaks.
+class KvDurabilityInvariant : public Invariant {
+ public:
+  const char* name() const override { return "kv-durability"; }
+
+  void Probe(const InvariantContext& ctx, InvariantRegistry* sink) override {
+    if (!ctx.kv_checkable || !ctx.kv_wal || ctx.history == nullptr) return;
+    const KvHistory& h = *ctx.history;
+    const auto& ops = h.ops();
+    const auto& order = h.conclusion_order();
+    // Fold newly concluded OK writes into the per-(key, acker) obligation:
+    // the newest timestamp that acker vouched for.
+    for (; conclude_watermark_ < order.size(); ++conclude_watermark_) {
+      const KvOpRecord& rec = ops[order[conclude_watermark_]];
+      if (!rec.is_write || rec.outcome != KvOutcome::kOk) continue;
+      for (NodeId acker : rec.ackers) {
+        int64_t& ts = required_[std::make_pair(rec.key, acker)];
+        ts = std::max(ts, rec.write_timestamp);
+      }
+    }
+    if (required_.empty()) return;
+    std::map<NodeId, const Node*> by_id;
+    for (const Node* node : *ctx.nodes) by_id[node->id()] = node;
+    for (const auto& [key_acker, ts] : required_) {
+      const Node* node = by_id.count(key_acker.second)
+                             ? by_id[key_acker.second]
+                             : nullptr;
+      if (node == nullptr || !Running(node) || node->kv() == nullptr) continue;
+      int64_t have = node->kv()->storage().TimestampOf(key_acker.first);
+      if (have < ts) {
+        sink->ReportViolation(
+            name(), ctx.now,
+            StrFormat("node %lld acknowledged a write of key %llu at "
+                      "timestamp %lld but now holds %lld (acked write lost "
+                      "across crash/restart)",
+                      static_cast<long long>(key_acker.second),
+                      static_cast<unsigned long long>(key_acker.first),
+                      static_cast<long long>(ts),
+                      static_cast<long long>(have)));
+      }
+    }
+  }
+
+ private:
+  size_t conclude_watermark_ = 0;
+  // (key, acker) -> newest acked timestamp that pair is on the hook for.
+  std::map<std::pair<uint64_t, NodeId>, int64_t> required_;
+};
+
 }  // namespace
 
 InvariantRegistry::InvariantRegistry(CheckOptions options)
@@ -385,6 +449,7 @@ void InvariantRegistry::AddBuiltins() {
   Add(std::make_unique<ZombieEndpointInvariant>());
   Add(std::make_unique<GenVersionMonotonicInvariant>());
   Add(std::make_unique<KvHistoryInvariant>());
+  Add(std::make_unique<KvDurabilityInvariant>());
 }
 
 void InvariantRegistry::Add(std::unique_ptr<Invariant> invariant) {

@@ -29,6 +29,14 @@
 //                        (only on workloads that preserve key ownership; the
 //                        simulator has no data-streaming model, so membership
 //                        changes legitimately strand acked data)
+//   kv-durability        every replica that acknowledged an OK write and is
+//                        currently running must hold a version of the key at
+//                        least as new as the acked write — across crash and
+//                        restart. Auditing the CONCRETE ackers (not the
+//                        current natural endpoints) makes the check immune to
+//                        ring movement; only meaningful with the WAL enabled
+//                        (kv_wal), since without it replica storage is
+//                        unrealistically crash-durable by construction
 
 #ifndef SCALECHECK_SRC_CHECK_INVARIANTS_H_
 #define SCALECHECK_SRC_CHECK_INVARIANTS_H_
@@ -102,6 +110,9 @@ struct InvariantContext {
   VirtualDuration gossip_interval = VirtualDuration::Seconds(1);
   // True when the run's workload preserves key ownership (see kv-history).
   bool kv_checkable = false;
+  // True when the durable replica path is on (ClusterConfig::kv_wal); gates
+  // kv-durability, which is vacuous against the crash-durable default store.
+  bool kv_wal = false;
   const KvHistory* history = nullptr;
 };
 
@@ -121,7 +132,7 @@ class InvariantRegistry {
   InvariantRegistry(const InvariantRegistry&) = delete;
   InvariantRegistry& operator=(const InvariantRegistry&) = delete;
 
-  // Registers the six built-in invariants documented above.
+  // Registers the seven built-in invariants documented above.
   void AddBuiltins();
   void Add(std::unique_ptr<Invariant> invariant);
 

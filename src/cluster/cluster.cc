@@ -66,6 +66,20 @@ const char* WorkloadKindName(WorkloadKind kind) {
   return "?";
 }
 
+Result<WorkloadKind> WorkloadKindFromName(const std::string& name) {
+  static constexpr WorkloadKind kKinds[] = {
+      WorkloadKind::kSteadyState,    WorkloadKind::kDecommission,
+      WorkloadKind::kScaleOut,       WorkloadKind::kBootstrapFresh,
+      WorkloadKind::kFailover,       WorkloadKind::kRebalance,
+  };
+  for (WorkloadKind kind : kKinds) {
+    if (name == WorkloadKindName(kind)) {
+      return kind;
+    }
+  }
+  return Status::InvalidArgument("unknown workload '" + name + "'");
+}
+
 std::string WorkloadSpec::Describe() const {
   return StrFormat("%s(join=%d target=%d start=%s transition=%s horizon=%s)",
                    WorkloadKindName(kind), joining_nodes, target,
@@ -603,9 +617,13 @@ void Cluster::ProbeInvariants() {
   ctx.gossip_interval = options_.config.gossip_interval;
   // The KV history checker is only sound on workloads that preserve key
   // ownership: the simulator has no data-streaming model, so a membership
-  // change legitimately strands acknowledged data on the old replicas.
-  ctx.kv_checkable = wl.kind == WorkloadKind::kSteadyState ||
-                     wl.kind == WorkloadKind::kFailover;
+  // change legitimately strands acknowledged data on the old replicas. It
+  // also requires intersecting read/write sets, which consistency ONE does
+  // not provide (a ONE read legitimately misses a ONE write).
+  ctx.kv_checkable = (wl.kind == WorkloadKind::kSteadyState ||
+                      wl.kind == WorkloadKind::kFailover) &&
+                     options_.config.kv_consistency != KvConsistency::kOne;
+  ctx.kv_wal = options_.config.kv_wal;
   ctx.history = kv_history_.get();
   invariants_->Probe(ctx);
 }
@@ -731,6 +749,14 @@ void Cluster::CollectResult(RunResult* result) const {
     if (const KvService* kv = node->kv(); kv != nullptr) {
       kv_retries += kv->stats().retries;
       kv_gave_up += kv->stats().gave_up;
+      result->kv_wal_bytes += kv->stats().wal_bytes;
+      result->kv_hints_queued += kv->stats().hints_queued;
+      result->kv_hints_replayed += kv->stats().hints_replayed;
+      result->kv_hints_expired += kv->stats().hints_expired;
+      result->kv_read_repairs += kv->stats().read_repairs;
+      result->kv_ops_one += kv->stats().ops_one;
+      result->kv_ops_quorum += kv->stats().ops_quorum;
+      result->kv_ops_all += kv->stats().ops_all;
     }
   }
   result->kv_retries = kv_retries;

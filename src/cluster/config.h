@@ -9,6 +9,7 @@
 #include "src/common/types.h"
 #include "src/gossip/failure_detector.h"
 #include "src/gossip/gossiper.h"
+#include "src/kv/kv_consistency.h"
 #include "src/pil/boundary.h"
 #include "src/ring/calculators.h"
 #include "src/sim/fidelity_guard.h"
@@ -113,6 +114,21 @@ struct ClusterConfig {
   int kv_max_attempts = 1;
   VirtualDuration kv_retry_base_backoff = VirtualDuration::Millis(50);
   VirtualDuration kv_request_deadline = VirtualDuration::Seconds(8);
+  // Ack threshold for reads and writes (ONE / QUORUM / ALL).
+  KvConsistency kv_consistency = KvConsistency::kQuorum;
+  // Durable replica path: per-node WAL with group commit; a crash loses the
+  // unsynced tail plus the in-memory engine, restart replays the durable
+  // prefix. Off by default so the control-plane experiments keep their
+  // calibrated (unrealistically crash-durable) storage behaviour.
+  bool kv_wal = false;
+  VirtualDuration kv_wal_sync_interval = VirtualDuration::Millis(250);
+  // Hinted handoff bounds (total hints per coordinator; zero disables) and
+  // per-hint TTL.
+  size_t kv_hint_limit = 1024;
+  VirtualDuration kv_hint_ttl = VirtualDuration::Seconds(120);
+  // Background read-repair probability on mismatch-free reads (observed
+  // mismatches always repair).
+  double kv_read_repair_chance = 0.1;
 
   // ---- Fidelity guardrails (§8) ---------------------------------------------
   // Budgets for the FidelityGuard that classifies each run ok/degraded/

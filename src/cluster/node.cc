@@ -86,9 +86,32 @@ Node::Node(Env* env, NodeId id, Machine* machine, uint64_t seed)
     deps.max_attempts = env->config->kv_max_attempts;
     deps.retry_base_backoff = env->config->kv_retry_base_backoff;
     deps.request_deadline = env->config->kv_request_deadline;
+    deps.consistency = env->config->kv_consistency;
+    deps.wal_enabled = env->config->kv_wal;
+    deps.wal_sync_interval = env->config->kv_wal_sync_interval;
+    deps.plant_ack_before_sync = env->config->check.plant_kv_ack_before_sync;
+    deps.hint_limit = env->config->kv_hint_limit;
+    deps.hint_ttl = env->config->kv_hint_ttl;
+    deps.read_repair_chance = env->config->kv_read_repair_chance;
     // Derived from the ctor seed without consuming rng_ state, so enabling
-    // retries leaves every other per-node random draw untouched.
-    deps.retry_seed = HashCombine(seed, 0x4b565254ULL);  // "KVRT"
+    // retries (or read repair) leaves every other per-node random draw
+    // untouched.
+    deps.retry_seed = HashCombine(seed, 0x4b565254ULL);   // "KVRT"
+    deps.repair_seed = HashCombine(seed, 0x4b565252ULL);  // "KVRR"
+    // Data-path footprint (WAL + memtable/runs + hint queue) lands in the
+    // machine memory model like the gossip arena below: deltas follow the
+    // deterministic event order, so FidelityGuard memory verdicts and
+    // colocation OOMs see the storage bytes deterministically.
+    deps.charge = [this](int64_t delta) {
+      if (!started_ || crashed_) {
+        return;
+      }
+      if (delta > 0) {
+        machine_->memory().Allocate(id_, "kv-storage", delta);
+      } else {
+        machine_->memory().Release(id_, "kv-storage", -delta);
+      }
+    };
     deps.history = env->kv_history;
     kv_ = std::make_unique<KvService>(deps);
   }
@@ -301,7 +324,10 @@ void Node::Crash() {
   // restart — are not wedged behind a lock nobody can ever release.
   ring_lock_.ResetForCrash();
   if (kv_ != nullptr) {
-    kv_->SetDown(true);
+    // Process death for the data path: pending group-commit acks and the
+    // volatile hint queue vanish; with the WAL on, so do the unsynced tail
+    // and the in-memory storage engine.
+    kv_->OnCrash();
   }
   machine_->memory().ReleaseAll(id_);
 }
@@ -365,7 +391,9 @@ void Node::Restart(const std::vector<NodeId>& contacts) {
       static_cast<int64_t>(gossiper_.scratch_arena().bytes_reserved()));
   env_->transport->RegisterNode(id_, [this](const Message& msg) { OnMessage(msg); });
   if (kv_ != nullptr) {
-    kv_->SetDown(false);
+    // With the WAL on, this replays the durable prefix into a fresh storage
+    // engine — the acked writes the kv-durability invariant audits.
+    kv_->OnRestart();
   }
 
   VirtualDuration phase = VirtualDuration::Nanos(static_cast<int64_t>(
@@ -663,6 +691,11 @@ void Node::OnHeartbeat(NodeId ep) {
     if (env_->trace != nullptr) {
       env_->trace->Record(env_->clock->Now(), TraceKind::kRescue, id_, ep);
     }
+    if (kv_ != nullptr) {
+      // The failure detector just un-convicted this replica: deliver (or
+      // expire) whatever writes we hinted for it while it was down.
+      kv_->OnReplicaAlive(ep);
+    }
   }
   if (env_->config->recalc_trigger == RecalcTrigger::kAnyApplyOfPendingEndpoint &&
       HasPendingChange(ep)) {
@@ -675,6 +708,9 @@ void Node::OnRestart(NodeId ep) {
   if (!gossiper_.IsAlive(ep)) {
     gossiper_.MarkAlive(ep);
     env_->flaps->RecordUp(id_, ep, env_->clock->Now());
+    if (kv_ != nullptr) {
+      kv_->OnReplicaAlive(ep);
+    }
   }
 }
 

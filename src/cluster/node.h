@@ -204,6 +204,7 @@ class Node {
   uint64_t order_enforced() const;
   // Non-null iff config.enable_kv.
   KvService* kv() { return kv_.get(); }
+  const KvService* kv() const { return kv_.get(); }
   // Gossip-processing tasks shed for staleness (stage overload signature).
   uint64_t stage_tasks_dropped() const { return gossip_stage_.jobs_dropped(); }
   // Payload-pool recycling stats summed over the SYN/ACK/ACK2 pools.

@@ -120,6 +120,14 @@ void RunResult::WriteJson(JsonWriter* w) const {
   w->Field("kv_retries", kv_retries);
   w->Field("kv_gave_up", kv_gave_up);
   w->Field("kv_latency_p99_ns", kv_latency_p99.nanos());
+  w->Field("kv_wal_bytes", kv_wal_bytes);
+  w->Field("kv_hints_queued", kv_hints_queued);
+  w->Field("kv_hints_replayed", kv_hints_replayed);
+  w->Field("kv_hints_expired", kv_hints_expired);
+  w->Field("kv_read_repairs", kv_read_repairs);
+  w->Field("kv_ops_one", kv_ops_one);
+  w->Field("kv_ops_quorum", kv_ops_quorum);
+  w->Field("kv_ops_all", kv_ops_all);
 
   w->Field("messages_sent", messages_sent);
   w->Field("messages_delivered", messages_delivered);

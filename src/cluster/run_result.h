@@ -111,6 +111,17 @@ struct RunResult {
   int64_t kv_retries = 0;
   int64_t kv_gave_up = 0;
   VirtualDuration kv_latency_p99;
+  // Durable-path counters (all zero unless the WAL / data path is enabled):
+  // bytes made durable by group-commit syncs, hinted-handoff queue activity,
+  // read-repair writebacks, and per-consistency-level op counts.
+  int64_t kv_wal_bytes = 0;
+  int64_t kv_hints_queued = 0;
+  int64_t kv_hints_replayed = 0;
+  int64_t kv_hints_expired = 0;
+  int64_t kv_read_repairs = 0;
+  int64_t kv_ops_one = 0;
+  int64_t kv_ops_quorum = 0;
+  int64_t kv_ops_all = 0;
 
   // ---- Traffic / engine ----------------------------------------------------
   uint64_t messages_sent = 0;

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <utility>
 
+#include "src/cluster/workload.h"
 #include "src/common/check.h"
 #include "src/common/hash.h"
 #include "src/common/json.h"
@@ -407,7 +408,13 @@ std::string MakeReproArtifact(const BugSpec& spec, int nodes, RunMode mode,
   w.Field("mode", RunModeName(mode));
   w.Field("seed", seed);
   w.Field("plant_left_join_bug", spec.check.plant_left_join_bug);
+  w.Field("plant_kv_ack_before_sync", spec.check.plant_kv_ack_before_sync);
+  // KV invariant checkability depends on the workload, so a CLI --workload=
+  // override must be pinned or the replay could probe a different set.
+  w.Field("workload", WorkloadKindName(spec.workload));
   w.Field("kv_ops_per_second", spec.kv_ops_per_second);
+  w.Field("kv_consistency", KvConsistencyName(spec.kv_consistency));
+  w.Field("kv_wal", spec.kv_wal);
   w.Key("plan");
   plan.WriteJson(&w);
   w.Key("expected_violated").BeginArray();
@@ -432,8 +439,9 @@ Result<ReproReplay> ReplayRepro(const std::string& artifact_json) {
   }
   static const char* const kKeys[] = {
       "format", "bug",  "nodes",             "mode",
-      "seed",   "plant_left_join_bug",       "kv_ops_per_second",
-      "plan",   "expected_violated",         "expected_invariants"};
+      "seed",   "plant_left_join_bug",       "plant_kv_ack_before_sync",
+      "plan",   "expected_violated",         "expected_invariants",
+      "kv_ops_per_second", "kv_consistency", "kv_wal", "workload"};
   for (const auto& [key, value] : v.AsObject()) {
     (void)value;
     bool known = false;
@@ -493,9 +501,35 @@ Result<ReproReplay> ReplayRepro(const std::string& artifact_json) {
   if (!plant.ok()) {
     return plant.status();
   }
+  Result<bool> plant_kv =
+      v.GetBool("plant_kv_ack_before_sync", "repro artifact");
+  if (!plant_kv.ok()) {
+    return plant_kv.status();
+  }
   Result<double> kv_ops = v.GetDouble("kv_ops_per_second", "repro artifact");
   if (!kv_ops.ok()) {
     return kv_ops.status();
+  }
+  Result<std::string> kv_level_name =
+      v.GetString("kv_consistency", "repro artifact");
+  if (!kv_level_name.ok()) {
+    return kv_level_name.status();
+  }
+  Result<KvConsistency> kv_level = KvConsistencyFromName(kv_level_name.value());
+  if (!kv_level.ok()) {
+    return kv_level.status();
+  }
+  Result<bool> kv_wal = v.GetBool("kv_wal", "repro artifact");
+  if (!kv_wal.ok()) {
+    return kv_wal.status();
+  }
+  Result<std::string> workload_name = v.GetString("workload", "repro artifact");
+  if (!workload_name.ok()) {
+    return workload_name.status();
+  }
+  Result<WorkloadKind> workload = WorkloadKindFromName(workload_name.value());
+  if (!workload.ok()) {
+    return workload.status();
   }
   const JsonValue* plan_value = v.Find("plan");
   if (plan_value == nullptr) {
@@ -529,7 +563,11 @@ Result<ReproReplay> ReplayRepro(const std::string& artifact_json) {
   spec.custom_faults = plan.value();
   spec.check.enabled = true;
   spec.check.plant_left_join_bug = plant.value();
+  spec.check.plant_kv_ack_before_sync = plant_kv.value();
   spec.kv_ops_per_second = kv_ops.value();
+  spec.kv_consistency = kv_level.value();
+  spec.kv_wal = kv_wal.value();
+  spec.workload = workload.value();
 
   ReproReplay replay;
   replay.bug_id = bug.value();

@@ -1,0 +1,42 @@
+#include "src/kv/kv_consistency.h"
+
+#include <algorithm>
+
+namespace scalecheck {
+
+const char* KvConsistencyName(KvConsistency level) {
+  switch (level) {
+    case KvConsistency::kOne:
+      return "one";
+    case KvConsistency::kQuorum:
+      return "quorum";
+    case KvConsistency::kAll:
+      return "all";
+  }
+  return "unknown";
+}
+
+Result<KvConsistency> KvConsistencyFromName(const std::string& name) {
+  static constexpr KvConsistency kLevels[] = {
+      KvConsistency::kOne, KvConsistency::kQuorum, KvConsistency::kAll};
+  for (KvConsistency level : kLevels) {
+    if (name == KvConsistencyName(level)) {
+      return level;
+    }
+  }
+  return Status::InvalidArgument("unknown consistency level '" + name + "'");
+}
+
+int KvRequiredAcks(KvConsistency level, int replication_factor) {
+  switch (level) {
+    case KvConsistency::kOne:
+      return 1;
+    case KvConsistency::kQuorum:
+      return replication_factor / 2 + 1;
+    case KvConsistency::kAll:
+      return std::max(1, replication_factor);
+  }
+  return replication_factor / 2 + 1;
+}
+
+}  // namespace scalecheck

@@ -18,6 +18,15 @@ uint64_t KvHistory::RecordIssued(NodeId coordinator, bool is_write,
   return ops_.back().id;
 }
 
+void KvHistory::RecordWriteAcked(uint64_t id, int64_t write_timestamp,
+                                 const std::vector<NodeId>& ackers) {
+  CHECK_LT(id, ops_.size());
+  KvOpRecord& rec = ops_[id];
+  CHECK(rec.is_write) << "write ack recorded for a read";
+  rec.write_timestamp = write_timestamp;
+  rec.ackers = ackers;
+}
+
 void KvHistory::RecordConcluded(uint64_t id, KvOutcome outcome,
                                 const std::string& result_value,
                                 VirtualTime now) {

@@ -34,6 +34,14 @@ struct KvOpRecord {
   KvOutcome outcome = KvOutcome::kUnavailable;
   std::string result_value;  // read result ("" for writes / not found)
   VirtualTime concluded_at;
+
+  // OK writes only: the hybrid timestamp the successful attempt stamped on
+  // the replicas, and the replicas whose acks the client's OK rests on. The
+  // kv-durability invariant audits exactly these nodes — after any crash
+  // recovery, each acker still running must hold a version >= this
+  // timestamp, or an acknowledged write was lost.
+  int64_t write_timestamp = 0;
+  std::vector<NodeId> ackers;
 };
 
 class KvHistory {
@@ -41,6 +49,9 @@ class KvHistory {
   // Returns the record id the coordinator stores on the client op.
   uint64_t RecordIssued(NodeId coordinator, bool is_write, uint64_t key,
                         const std::string& value, VirtualTime now);
+  // Called just before RecordConcluded for writes that concluded OK.
+  void RecordWriteAcked(uint64_t id, int64_t write_timestamp,
+                        const std::vector<NodeId>& ackers);
   void RecordConcluded(uint64_t id, KvOutcome outcome,
                        const std::string& result_value, VirtualTime now);
 

@@ -4,14 +4,18 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/hash.h"
 #include "src/kv/kv_history.h"
 
 namespace scalecheck {
 
+Token KvTokenForKey(uint64_t key) { return Mix64(key); }
+
 KvService::KvService(Deps deps)
     : deps_(deps),
       storage_(std::make_unique<StorageEngine>()),
-      retry_rng_(deps.retry_seed) {
+      retry_rng_(deps.retry_seed),
+      repair_rng_(deps.repair_seed) {
   CHECK_NOTNULL(deps_.clock);
   CHECK_NOTNULL(deps_.transport);
   CHECK_NOTNULL(deps_.stage);
@@ -35,6 +39,17 @@ void KvService::Submit(bool is_write, uint64_t key, std::string value, DoneFn do
   op->done = std::move(done);
   op->started = deps_.clock->Now();
   op->deadline_at = op->started + deps_.request_deadline;
+  switch (deps_.consistency) {
+    case KvConsistency::kOne:
+      ++stats_.ops_one;
+      break;
+    case KvConsistency::kQuorum:
+      ++stats_.ops_quorum;
+      break;
+    case KvConsistency::kAll:
+      ++stats_.ops_all;
+      break;
+  }
   if (deps_.history != nullptr) {
     op->history_id = deps_.history->RecordIssued(deps_.self, is_write, key,
                                                  op->value, op->started);
@@ -54,7 +69,7 @@ void KvService::Attempt(std::shared_ptr<ClientOp> op) {
   if (timeout.nanos() < 1) {
     timeout = VirtualDuration::Nanos(1);
   }
-  StartOp(op->is_write, op->key, op->value,
+  StartOp(op,
           [this, op](KvOutcome outcome, std::string value) {
             OnAttemptDone(op, outcome, std::move(value));
           },
@@ -102,6 +117,10 @@ void KvService::Conclude(const std::shared_ptr<ClientOp>& op, KvOutcome outcome,
       break;
   }
   if (deps_.history != nullptr) {
+    if (op->is_write && outcome == KvOutcome::kOk) {
+      deps_.history->RecordWriteAcked(op->history_id, op->write_timestamp,
+                                      op->ackers);
+    }
     deps_.history->RecordConcluded(op->history_id, outcome, value,
                                    deps_.clock->Now());
   }
@@ -110,35 +129,43 @@ void KvService::Conclude(const std::shared_ptr<ClientOp>& op, KvOutcome outcome,
   }
 }
 
-void KvService::StartOp(bool is_write, uint64_t key, std::string value, DoneFn done,
+void KvService::StartOp(const std::shared_ptr<ClientOp>& op, DoneFn attempt_done,
                         VirtualDuration timeout) {
+  const bool is_write = op->is_write;
+  const uint64_t key = op->key;
   if (deps_.ring->num_entries() == 0) {
-    done(KvOutcome::kUnavailable, "");
+    attempt_done(KvOutcome::kUnavailable, "");
     return;
   }
-  std::vector<NodeId> replicas =
-      deps_.ring->NaturalEndpointsForKey(key, deps_.replication_factor);
+  std::vector<NodeId> replicas = deps_.ring->NaturalEndpointsForKey(
+      KvTokenForKey(key), deps_.replication_factor);
   std::vector<NodeId> live;
+  std::vector<NodeId> dead;
   for (NodeId replica : replicas) {
     if (replica == deps_.self || deps_.gossiper->IsAlive(replica)) {
       live.push_back(replica);
+    } else {
+      dead.push_back(replica);
     }
   }
-  if (static_cast<int>(live.size()) < Quorum()) {
+  if (static_cast<int>(live.size()) < RequiredAcks()) {
     // The §2 user impact: replicas convicted by the flapping failure
-    // detector are skipped, so the operation cannot reach quorum.
-    done(KvOutcome::kUnavailable, "");
+    // detector are skipped, so the operation cannot reach its ack threshold.
+    attempt_done(KvOutcome::kUnavailable, "");
     return;
   }
 
   uint64_t op_id = next_op_++;
-  InFlight& op = inflight_[op_id];
-  op.is_write = is_write;
-  op.needed = Quorum();
-  op.outstanding = static_cast<int>(live.size());
-  op.started = deps_.clock->Now();
-  op.done = std::move(done);
-  op.timeout_timer = deps_.clock->ScheduleAfter(timeout, [this, op_id] {
+  InFlight& inflight = inflight_[op_id];
+  inflight.client = op;
+  inflight.is_write = is_write;
+  inflight.key = key;
+  inflight.needed = RequiredAcks();
+  inflight.outstanding = static_cast<int>(live.size());
+  inflight.targets = live;
+  inflight.started = deps_.clock->Now();
+  inflight.done = std::move(attempt_done);
+  inflight.timeout_timer = deps_.clock->ScheduleAfter(timeout, [this, op_id] {
     auto it = inflight_.find(op_id);
     if (it == inflight_.end()) {
       return;
@@ -155,11 +182,19 @@ void KvService::StartOp(bool is_write, uint64_t key, std::string value, DoneFn d
       clock_counter_ + 1, deps_.clock->Now().nanos() * 1024 +
                               (static_cast<int64_t>(deps_.self) & 1023));
   int64_t timestamp = clock_counter_;
+  if (is_write) {
+    op->write_timestamp = timestamp;
+    // Hinted handoff: the write is proceeding without the convicted
+    // replicas, so remember their copy for replay when they come back.
+    for (NodeId replica : dead) {
+      QueueHint(replica, key, op->value, timestamp);
+    }
+  }
   for (NodeId replica : live) {
     auto req = std::make_shared<KvRequestPayload>();
     req->op_id = op_id;
     req->key = key;
-    req->value = value;
+    req->value = op->value;
     req->timestamp = timestamp;
     if (replica == deps_.self) {
       // Local replica: apply on our own stage without the network hop.
@@ -184,23 +219,36 @@ void KvService::HandleMessage(const Message& msg) {
       deps_.stage->Submit(
           "kv.write-replica",
           [this, req] {
-            return storage_->Put(req->key, req->value, req->timestamp);
+            WorkUnits work = storage_->Put(req->key, req->value, req->timestamp);
+            if (deps_.wal_enabled) {
+              // Sequential append: cheap relative to the memtable insert.
+              int64_t appended =
+                  wal_.Append(req->key, req->timestamp, req->value);
+              ++stats_.wal_appends;
+              work += 100 + static_cast<WorkUnits>(appended) / 4;
+            }
+            return work;
           },
           [this, req, coordinator] {
-            auto resp = std::make_shared<KvResponsePayload>();
-            resp->op_id = req->op_id;
-            resp->ack = true;
-            if (coordinator == deps_.self) {
-              Message self_msg;
-              self_msg.from = deps_.self;
-              self_msg.to = deps_.self;
-              self_msg.type = kKvWriteResp;
-              self_msg.payload = resp;
-              HandleMessage(self_msg);
+            const bool fire_and_forget = req->op_id == 0;
+            if (!deps_.wal_enabled) {
+              if (!fire_and_forget) {
+                SendWriteAck(coordinator, req->op_id);
+              }
             } else {
-              deps_.transport->Send(deps_.self, coordinator, kKvWriteResp,
-                                    std::move(resp));
+              if (!fire_and_forget) {
+                if (deps_.plant_ack_before_sync) {
+                  // PLANTED BUG: acking here, before the group commit, is
+                  // the ack-before-fsync mistake — a crash inside the sync
+                  // window silently loses an acknowledged write.
+                  SendWriteAck(coordinator, req->op_id);
+                } else {
+                  pending_acks_.push_back(PendingAck{coordinator, req->op_id});
+                }
+              }
+              ScheduleWalSync();
             }
+            MaybeRecharge();
           });
       break;
     }
@@ -243,12 +291,17 @@ void KvService::HandleMessage(const Message& msg) {
       auto resp = std::static_pointer_cast<const KvResponsePayload>(msg.payload);
       auto it = inflight_.find(resp->op_id);
       if (it == inflight_.end()) {
-        return;  // already finished (timeout or quorum)
+        return;  // already finished, or a fire-and-forget (op_id 0) ack
       }
       InFlight& op = it->second;
       --op.outstanding;
       if (resp->ack) {
         ++op.acks;
+        op.ack_from.push_back(msg.from);
+        if (!op.is_write) {
+          op.read_versions.emplace_back(msg.from,
+                                        resp->found ? resp->timestamp : 0);
+        }
         // Quorum read resolution: the newest version wins (last-write-wins
         // by coordinator timestamp, as the write path orders them).
         if (resp->found && resp->timestamp > op.read_timestamp) {
@@ -276,10 +329,231 @@ void KvService::Finish(uint64_t op_id, KvOutcome outcome, std::string value) {
   if (op.timeout_timer != kInvalidTimer) {
     deps_.clock->CancelTimer(op.timeout_timer);
   }
+  if (outcome == KvOutcome::kOk) {
+    if (op.is_write) {
+      // The durability audit trail: which replicas this ack rests on.
+      op.client->ackers = op.ack_from;
+    } else {
+      MaybeReadRepair(op);
+    }
+  }
   // Outcome accounting happens at the client-request layer (Conclude), so a
   // retried attempt's failure is not double-counted.
   if (op.done) {
     op.done(outcome, std::move(value));
+  }
+}
+
+void KvService::SendWriteAck(NodeId coordinator, uint64_t op_id) {
+  auto resp = std::make_shared<KvResponsePayload>();
+  resp->op_id = op_id;
+  resp->ack = true;
+  if (coordinator == deps_.self) {
+    Message self_msg;
+    self_msg.from = deps_.self;
+    self_msg.to = deps_.self;
+    self_msg.type = kKvWriteResp;
+    self_msg.payload = resp;
+    HandleMessage(self_msg);
+  } else {
+    deps_.transport->Send(deps_.self, coordinator, kKvWriteResp,
+                          std::move(resp));
+  }
+}
+
+void KvService::ScheduleWalSync() {
+  if (wal_sync_timer_ != kInvalidTimer) {
+    return;
+  }
+  wal_sync_timer_ = deps_.clock->ScheduleAfter(deps_.wal_sync_interval, [this] {
+    wal_sync_timer_ = kInvalidTimer;
+    SyncWal();
+  });
+}
+
+void KvService::SyncWal() {
+  if (down_) {
+    return;  // the crash already dropped the tail and the pending acks
+  }
+  int64_t synced = wal_.Sync();
+  if (synced > 0) {
+    ++stats_.wal_syncs;
+    stats_.wal_bytes += synced;
+  }
+  // Group commit: every write that made it into this sync acks together.
+  std::vector<PendingAck> acks;
+  acks.swap(pending_acks_);
+  for (const PendingAck& ack : acks) {
+    SendWriteAck(ack.coordinator, ack.op_id);
+  }
+}
+
+void KvService::SendReplicaWrite(NodeId target, uint64_t key,
+                                 const std::string& value, int64_t timestamp) {
+  auto req = std::make_shared<KvRequestPayload>();
+  req->op_id = 0;  // fire-and-forget: the replica's ack finds no in-flight op
+  req->key = key;
+  req->value = value;
+  req->timestamp = timestamp;
+  if (target == deps_.self) {
+    Message self_msg;
+    self_msg.from = deps_.self;
+    self_msg.to = deps_.self;
+    self_msg.type = kKvWriteReq;
+    self_msg.payload = req;
+    HandleMessage(self_msg);
+  } else {
+    deps_.transport->Send(deps_.self, target, kKvWriteReq, std::move(req));
+  }
+}
+
+void KvService::QueueHint(NodeId target, uint64_t key, const std::string& value,
+                          int64_t timestamp) {
+  if (deps_.hint_limit == 0) {
+    return;
+  }
+  if (total_hints_ >= static_cast<int64_t>(deps_.hint_limit)) {
+    // Bounded queue: shedding new hints under sustained replica death is the
+    // flood-control the hinted-handoff experiments probe.
+    ++stats_.hints_dropped;
+    return;
+  }
+  Hint hint;
+  hint.key = key;
+  hint.value = value;
+  hint.timestamp = timestamp;
+  hint.expires_at = deps_.clock->Now() + deps_.hint_ttl;
+  hint_bytes_ += 64 + static_cast<int64_t>(value.size());
+  hints_[target].push_back(std::move(hint));
+  ++total_hints_;
+  ++stats_.hints_queued;
+  MaybeRecharge();
+}
+
+void KvService::OnReplicaAlive(NodeId target) {
+  if (down_) {
+    return;
+  }
+  auto it = hints_.find(target);
+  if (it == hints_.end()) {
+    return;
+  }
+  std::deque<Hint> hints = std::move(it->second);
+  hints_.erase(it);
+  total_hints_ -= static_cast<int64_t>(hints.size());
+  VirtualTime now = deps_.clock->Now();
+  for (const Hint& hint : hints) {
+    hint_bytes_ -= 64 + static_cast<int64_t>(hint.value.size());
+    if (now >= hint.expires_at) {
+      ++stats_.hints_expired;
+      continue;
+    }
+    // The hint carries the ORIGINAL write timestamp, so replaying after a
+    // newer write to the same key is a no-op under last-write-wins —
+    // replay is idempotent.
+    SendReplicaWrite(target, hint.key, hint.value, hint.timestamp);
+    ++stats_.hints_replayed;
+  }
+  MaybeRecharge();
+}
+
+void KvService::MaybeReadRepair(const InFlight& op) {
+  if (op.read_timestamp < 0) {
+    return;  // no replica had the key — nothing to converge toward
+  }
+  bool mismatch = false;
+  for (const auto& [replica, version] : op.read_versions) {
+    if (version < op.read_timestamp) {
+      mismatch = true;
+      break;
+    }
+  }
+  if (mismatch) {
+    // Blocking flavour: an observed stale responder is repaired before the
+    // read returns (the client's value is already the winning version, so
+    // the repair write cannot change this read's result).
+    for (const auto& [replica, version] : op.read_versions) {
+      if (version < op.read_timestamp) {
+        SendReplicaWrite(replica, op.key, op.read_value, op.read_timestamp);
+        ++stats_.read_repairs;
+      }
+    }
+    return;
+  }
+  if (deps_.read_repair_chance <= 0.0) {
+    return;
+  }
+  // Background flavour: every responder agreed, but replicas that never
+  // answered may be behind. Probabilistically push the winning version to
+  // them (deterministic draw: one per mismatch-free successful read).
+  if (repair_rng_.UniformDouble() >= deps_.read_repair_chance) {
+    return;
+  }
+  for (NodeId target : op.targets) {
+    bool responded = false;
+    for (const auto& [replica, version] : op.read_versions) {
+      if (replica == target) {
+        responded = true;
+        break;
+      }
+    }
+    if (!responded) {
+      SendReplicaWrite(target, op.key, op.read_value, op.read_timestamp);
+      ++stats_.read_repairs;
+    }
+  }
+}
+
+void KvService::OnCrash() {
+  down_ = true;
+  if (wal_sync_timer_ != kInvalidTimer) {
+    deps_.clock->CancelTimer(wal_sync_timer_);
+    wal_sync_timer_ = kInvalidTimer;
+  }
+  // Un-acked group-commit candidates die with the process: their coordinators
+  // never see an ack, which is exactly why losing the unsynced tail is safe.
+  pending_acks_.clear();
+  // The hint queue is volatile coordinator state.
+  hints_.clear();
+  total_hints_ = 0;
+  hint_bytes_ = 0;
+  if (deps_.wal_enabled) {
+    stats_.wal_lost_records += wal_.DropUnsynced();
+    // Process memory is gone; only the durable WAL prefix survives.
+    storage_ = std::make_unique<StorageEngine>();
+  }
+  // The machine's ReleaseAll dropped our "kv-storage" charge with the rest.
+  charged_bytes_ = 0;
+}
+
+void KvService::OnRestart() {
+  down_ = false;
+  if (deps_.wal_enabled) {
+    KvWal::RecoverResult recovered = KvWal::Recover(wal_.DurableImage());
+    CHECK(recovered.damage.ok())
+        << "own durable WAL failed recovery:" << recovered.damage.ToString();
+    storage_ = std::make_unique<StorageEngine>();
+    for (const KvWal::Record& rec : recovered.records) {
+      storage_->Put(rec.key, rec.value, rec.timestamp);
+    }
+    stats_.wal_recovered_records +=
+        static_cast<int64_t>(recovered.records.size());
+  }
+  MaybeRecharge();
+}
+
+void KvService::MaybeRecharge() {
+  if (!deps_.charge) {
+    return;
+  }
+  int64_t total = storage_->ApproxBytes() + hint_bytes_;
+  if (deps_.wal_enabled) {
+    total += wal_.total_bytes();
+  }
+  int64_t delta = total - charged_bytes_;
+  if (delta != 0) {
+    charged_bytes_ = total;
+    deps_.charge(delta);
   }
 }
 

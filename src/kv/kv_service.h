@@ -1,32 +1,58 @@
-// The quorum data path riding on the ring.
+// The replicated data path riding on the ring.
 //
 // Each node can act as a coordinator: replicas of a key are the ring's
 // natural endpoints; the coordinator sends the operation to the replicas it
-// believes ALIVE and waits for a quorum of acks. This is where scalability
-// bugs become user-visible (§2: "many live nodes are declared as dead,
-// making some data not reachable by the users"): during a flap storm the
-// coordinator's liveness view collapses and operations fail UNAVAILABLE even
-// though every replica is actually up.
+// believes ALIVE and waits for the consistency level's ack count. This is
+// where scalability bugs become user-visible (§2: "many live nodes are
+// declared as dead, making some data not reachable by the users"): during a
+// flap storm the coordinator's liveness view collapses and operations fail
+// UNAVAILABLE even though every replica is actually up.
+//
+// The durable data path (this file + wal.h):
+//  - every replica write is appended to a per-node write-ahead log and acked
+//    only after the group-commit sync makes it durable, so acked writes
+//    survive the crash/restart lifecycle (OnCrash/OnRestart);
+//  - a coordinator that skips a dead replica stores a bounded, TTL'd hint and
+//    replays it when the failure detector marks the target alive again;
+//  - quorum reads detect stale replicas by hybrid timestamp and write the
+//    winning version back (blocking on observed mismatch, probabilistic
+//    background repair toward silent replicas otherwise);
+//  - the ack threshold is tunable ONE/QUORUM/ALL (kv_consistency.h).
 
 #ifndef SCALECHECK_SRC_KV_KV_SERVICE_H_
 #define SCALECHECK_SRC_KV_KV_SERVICE_H_
 
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/gossip/gossiper.h"
+#include "src/kv/kv_consistency.h"
 #include "src/kv/storage_engine.h"
+#include "src/kv/wal.h"
 #include "src/ring/token_ring.h"
 #include "src/transport/substrate.h"
 
 namespace scalecheck {
 
 class KvHistory;
+
+// The partitioner: client keys are small dense integers, ring tokens are
+// uniform 64-bit values, so placement must hash the key onto the token space
+// (Cassandra's Murmur3Partitioner plays this role). Using the raw key as a
+// token would wrap every small key onto the single ring entry with the
+// lowest token — the whole keyspace would land on one replica set. Anything
+// that predicts a key's replicas (tests, experiment drivers) must go through
+// this same mapping.
+Token KvTokenForKey(uint64_t key);
 
 enum KvMessageType : int {
   kKvWriteReq = 10,
@@ -59,8 +85,8 @@ struct KvResponsePayload : public Payload {
 
 enum class KvOutcome : int {
   kOk = 0,
-  kUnavailable = 1,  // fewer live replicas than quorum at submission
-  kTimeout = 2,      // quorum not reached in time
+  kUnavailable = 1,  // fewer live replicas than the ack threshold at submission
+  kTimeout = 2,      // ack threshold not reached in time
 };
 
 struct KvStats {
@@ -74,6 +100,24 @@ struct KvStats {
   // benches assert).
   int64_t retries = 0;
   int64_t gave_up = 0;
+  // Client requests by the consistency level they ran under.
+  int64_t ops_one = 0;
+  int64_t ops_quorum = 0;
+  int64_t ops_all = 0;
+  // Data-path counters (see the header comment). `wal_bytes` is bytes made
+  // durable by group commits; `wal_lost_records` counts appended-but-unsynced
+  // records a crash threw away (nonzero is normal — they were never acked,
+  // unless the planted ack-before-sync bug is armed).
+  int64_t wal_appends = 0;
+  int64_t wal_syncs = 0;
+  int64_t wal_bytes = 0;
+  int64_t wal_recovered_records = 0;
+  int64_t wal_lost_records = 0;
+  int64_t hints_queued = 0;
+  int64_t hints_replayed = 0;
+  int64_t hints_expired = 0;
+  int64_t hints_dropped = 0;  // queue at capacity
+  int64_t read_repairs = 0;   // repair writes sent (both repair flavours)
   LogHistogram latency{/*base=*/1e5, /*growth=*/1.5, /*num_buckets=*/80};
 
   int64_t total() const { return ok + unavailable + timeout; }
@@ -101,6 +145,8 @@ class KvService {
     const Gossiper* gossiper = nullptr; // liveness view
     NodeId self = kInvalidNode;
     int replication_factor = 3;
+    // Ack threshold for both reads and writes.
+    KvConsistency consistency = KvConsistency::kQuorum;
     // Per-attempt quorum timeout.
     VirtualDuration timeout = VirtualDuration::Seconds(2);
     // Client-request retry policy. A request is attempted up to
@@ -111,6 +157,29 @@ class KvService {
     VirtualDuration retry_base_backoff = VirtualDuration::Millis(50);
     VirtualDuration request_deadline = VirtualDuration::Seconds(8);
     uint64_t retry_seed = 0;
+    // Durability: when on, replica writes append to the WAL and the ack is
+    // deferred to the next group-commit sync; OnCrash drops the unsynced
+    // tail AND the volatile storage engine, OnRestart replays the durable
+    // prefix. When off (the default), storage unrealistically survives
+    // crashes — the pre-durability behaviour the control-plane experiments
+    // were calibrated against.
+    bool wal_enabled = false;
+    VirtualDuration wal_sync_interval = VirtualDuration::Millis(50);
+    // Planted bug (the crash-durability ChaosSearch target): the replica
+    // acks at append time, before the group commit — a crash inside the
+    // sync window loses acked writes. See CheckOptions::plant_kv_ack_before_sync.
+    bool plant_ack_before_sync = false;
+    // Hinted handoff: bounded total queue, per-hint TTL. Zero limit disables.
+    size_t hint_limit = 1024;
+    VirtualDuration hint_ttl = VirtualDuration::Seconds(120);
+    // Background read repair probability on mismatch-free quorum reads
+    // (observed mismatches always repair). Drawn from `repair_seed`.
+    double read_repair_chance = 0.1;
+    uint64_t repair_seed = 0;
+    // Memory charging: called with a byte delta whenever the data path's
+    // footprint (WAL + memtable/runs + hint queue) changes; the Node wires
+    // this to MachineMemoryModel under tag "kv-storage". Null = off.
+    std::function<void(int64_t delta)> charge;
     // Client-op history sink for the invariant checker (null = off). Shared
     // by every coordinator in the run; single-threaded within a simulation.
     KvHistory* history = nullptr;
@@ -127,12 +196,25 @@ class KvService {
   // Replica + response plumbing, called by the Node's message handler.
   void HandleMessage(const Message& msg);
 
-  // Crash-restart lifecycle: while down, new attempts conclude UNAVAILABLE
+  // Crash-restart lifecycle. While down, new attempts conclude UNAVAILABLE
   // immediately (the process is gone; its clients see connection refusal).
+  // OnCrash additionally models process death: pending (unsent) write acks
+  // and the volatile hint queue vanish, the unsynced WAL tail is lost, and —
+  // with the WAL enabled — so is the in-memory storage engine. OnRestart
+  // rebuilds storage by replaying the WAL's durable prefix.
   void SetDown(bool down) { down_ = down; }
+  void OnCrash();
+  void OnRestart();
+
+  // Failure-detector hook: `target` was just marked alive again. Replays (or
+  // expires) any hints queued for it.
+  void OnReplicaAlive(NodeId target);
 
   StorageEngine& storage() { return *storage_; }
+  const StorageEngine& storage() const { return *storage_; }
+  const KvWal& wal() const { return wal_; }
   const KvStats& stats() const { return stats_; }
+  int64_t hint_queue_depth() const { return total_hints_; }
 
   // Swaps in a (typically subclassed, deliberately broken) storage engine.
   // Test-only: the replica path loses whatever the old engine held.
@@ -141,18 +223,6 @@ class KvService {
   }
 
  private:
-  struct InFlight {
-    bool is_write = false;
-    int acks = 0;
-    int needed = 0;
-    int outstanding = 0;
-    std::string read_value;
-    int64_t read_timestamp = -1;  // newest replica version seen so far
-    VirtualTime started;
-    DoneFn done;
-    TimerId timeout_timer = kInvalidTimer;
-  };
-
   // One client request, carried across attempts.
   struct ClientOp {
     bool is_write = false;
@@ -163,6 +233,41 @@ class KvService {
     VirtualTime started;
     VirtualTime deadline_at;
     uint64_t history_id = 0;  // KvHistory record, when recording is on
+    // Filled by the successful attempt: the write's hybrid timestamp and the
+    // replicas that acked it — what the kv-durability invariant audits.
+    int64_t write_timestamp = 0;
+    std::vector<NodeId> ackers;
+  };
+
+  struct InFlight {
+    std::shared_ptr<ClientOp> client;
+    bool is_write = false;
+    uint64_t key = 0;
+    int acks = 0;
+    int needed = 0;
+    int outstanding = 0;
+    std::vector<NodeId> targets;   // replicas the request was sent to
+    std::vector<NodeId> ack_from;  // replicas that acked, in arrival order
+    // Reads: per-replica reported versions (0 = replica had no value), for
+    // read repair; plus the running last-write-wins winner.
+    std::vector<std::pair<NodeId, int64_t>> read_versions;
+    std::string read_value;
+    int64_t read_timestamp = -1;  // newest replica version seen so far
+    VirtualTime started;
+    DoneFn done;
+    TimerId timeout_timer = kInvalidTimer;
+  };
+
+  struct Hint {
+    uint64_t key = 0;
+    std::string value;
+    int64_t timestamp = 0;  // the ORIGINAL write timestamp (replay-idempotent)
+    VirtualTime expires_at;
+  };
+
+  struct PendingAck {
+    NodeId coordinator = kInvalidNode;
+    uint64_t op_id = 0;
   };
 
   void Submit(bool is_write, uint64_t key, std::string value, DoneFn done);
@@ -172,19 +277,49 @@ class KvService {
   void Conclude(const std::shared_ptr<ClientOp>& op, KvOutcome outcome,
                 std::string value);
 
-  // One quorum attempt; `attempt_done` fires exactly once with the outcome.
-  void StartOp(bool is_write, uint64_t key, std::string value, DoneFn done,
+  // One replication attempt; `attempt_done` fires exactly once with the outcome.
+  void StartOp(const std::shared_ptr<ClientOp>& op, DoneFn attempt_done,
                VirtualDuration timeout);
   void Finish(uint64_t op_id, KvOutcome outcome, std::string value);
-  int Quorum() const { return deps_.replication_factor / 2 + 1; }
+  int RequiredAcks() const {
+    return KvRequiredAcks(deps_.consistency, deps_.replication_factor);
+  }
+
+  // Replica-side ack transmission (deferred to group commit unless the WAL is
+  // off or the planted bug acks early).
+  void SendWriteAck(NodeId coordinator, uint64_t op_id);
+  void ScheduleWalSync();
+  void SyncWal();
+
+  // Fire-and-forget replica write (op_id 0): hint replay and read repair.
+  // Responses to op_id 0 find no in-flight op and are dropped.
+  void SendReplicaWrite(NodeId target, uint64_t key, const std::string& value,
+                        int64_t timestamp);
+  void QueueHint(NodeId target, uint64_t key, const std::string& value,
+                 int64_t timestamp);
+  void MaybeReadRepair(const InFlight& op);
+
+  // Delta-charges the data path's current footprint to deps_.charge.
+  void MaybeRecharge();
 
   Deps deps_;
   std::unique_ptr<StorageEngine> storage_;
+  KvWal wal_;
   KvStats stats_;
   Rng retry_rng_;
+  Rng repair_rng_;
   bool down_ = false;
   std::unordered_map<uint64_t, InFlight> inflight_;
   uint64_t next_op_ = 1;
+  // Write acks withheld until the next group-commit sync.
+  std::vector<PendingAck> pending_acks_;
+  TimerId wal_sync_timer_ = kInvalidTimer;
+  // Hinted-handoff queue, per dead target. std::map for deterministic
+  // iteration; bounded by deps_.hint_limit across all targets.
+  std::map<NodeId, std::deque<Hint>> hints_;
+  int64_t total_hints_ = 0;
+  int64_t hint_bytes_ = 0;
+  int64_t charged_bytes_ = 0;  // last footprint reported to deps_.charge
   // Last issued write timestamp. Derived from virtual time (with the node id
   // in the low bits) so timestamps are comparable ACROSS coordinators; a
   // purely local counter would let last-write-wins resolve quorum reads

@@ -1,0 +1,151 @@
+#include "src/kv/wal.h"
+
+#include <cstring>
+
+#include "src/common/hash.h"
+
+namespace scalecheck {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x53434b5657414c31ULL;  // "SCKVWAL1"
+constexpr uint32_t kVersion = 1;
+// magic + version + header crc.
+constexpr size_t kHeaderSize =
+    sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint32_t);
+// key + timestamp + value_size (everything in a payload but the value bytes).
+constexpr size_t kPayloadFixed =
+    sizeof(uint64_t) + sizeof(int64_t) + sizeof(uint64_t);
+
+template <typename T>
+void PutRaw(std::vector<uint8_t>* out, T v) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+bool GetRaw(const std::vector<uint8_t>& in, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > in.size()) {
+    return false;
+  }
+  std::memcpy(v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+KvWal::KvWal() {
+  // The header is written (and implicitly synced) at creation — opening a
+  // commit log file is itself a durable operation.
+  PutRaw(&log_, kMagic);
+  PutRaw<uint32_t>(&log_, kVersion);
+  PutRaw<uint32_t>(&log_, Crc32(log_.data(), log_.size()));
+  synced_len_ = log_.size();
+}
+
+int64_t KvWal::Append(uint64_t key, int64_t timestamp, const std::string& value) {
+  const size_t before = log_.size();
+  const size_t payload_len = kPayloadFixed + value.size();
+  PutRaw<uint32_t>(&log_, static_cast<uint32_t>(payload_len));
+  const size_t payload_start = log_.size();
+  PutRaw<uint64_t>(&log_, key);
+  PutRaw<int64_t>(&log_, timestamp);
+  PutRaw<uint64_t>(&log_, value.size());
+  log_.insert(log_.end(), value.begin(), value.end());
+  PutRaw<uint32_t>(&log_, Crc32(log_.data() + payload_start, payload_len));
+  ++records_appended_;
+  return static_cast<int64_t>(log_.size() - before);
+}
+
+int64_t KvWal::Sync() {
+  const int64_t newly = static_cast<int64_t>(log_.size() - synced_len_);
+  synced_len_ = log_.size();
+  records_synced_ = records_appended_;
+  return newly;
+}
+
+int64_t KvWal::DropUnsynced() {
+  const int64_t lost = records_appended_ - records_synced_;
+  log_.resize(synced_len_);
+  records_appended_ = records_synced_;
+  return lost;
+}
+
+KvWal::RecoverResult KvWal::Recover(const std::vector<uint8_t>& bytes) {
+  RecoverResult out;
+  size_t pos = 0;
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t header_crc = 0;
+  if (!GetRaw(bytes, &pos, &magic) || !GetRaw(bytes, &pos, &version) ||
+      !GetRaw(bytes, &pos, &header_crc)) {
+    out.damage = Status::Truncated("WAL shorter than its header");
+    out.bytes_dropped = static_cast<int64_t>(bytes.size());
+    return out;
+  }
+  if (Crc32(bytes.data(), kHeaderSize - sizeof(uint32_t)) != header_crc) {
+    out.damage = Status::CorruptData("WAL header checksum mismatch");
+    out.bytes_dropped = static_cast<int64_t>(bytes.size());
+    return out;
+  }
+  if (magic != kMagic) {
+    out.damage = Status::CorruptData("WAL magic number mismatch");
+    out.bytes_dropped = static_cast<int64_t>(bytes.size());
+    return out;
+  }
+  if (version != kVersion) {
+    out.damage = Status::VersionSkew("WAL written by an unsupported version");
+    out.bytes_dropped = static_cast<int64_t>(bytes.size());
+    return out;
+  }
+
+  while (pos < bytes.size()) {
+    const size_t record_start = pos;
+    uint32_t payload_len = 0;
+    if (!GetRaw(bytes, &pos, &payload_len)) {
+      out.damage = Status::Truncated("WAL torn inside a record length prefix");
+      pos = record_start;
+      break;
+    }
+    if (payload_len < kPayloadFixed) {
+      out.damage =
+          Status::CorruptData("WAL record shorter than its fixed fields");
+      pos = record_start;
+      break;
+    }
+    if (pos + payload_len + sizeof(uint32_t) > bytes.size()) {
+      out.damage = Status::Truncated("WAL torn inside a record payload");
+      pos = record_start;
+      break;
+    }
+    const size_t payload_start = pos;
+    Record rec;
+    uint64_t value_size = 0;
+    GetRaw(bytes, &pos, &rec.key);
+    GetRaw(bytes, &pos, &rec.timestamp);
+    GetRaw(bytes, &pos, &value_size);
+    if (value_size != payload_len - kPayloadFixed) {
+      out.damage = Status::CorruptData("WAL record value size mismatch");
+      pos = record_start;
+      break;
+    }
+    rec.value.assign(reinterpret_cast<const char*>(bytes.data() + pos),
+                     value_size);
+    pos += value_size;
+    uint32_t stored_crc = 0;
+    GetRaw(bytes, &pos, &stored_crc);
+    if (Crc32(bytes.data() + payload_start, payload_len) != stored_crc) {
+      out.damage = Status::CorruptData("WAL record checksum mismatch");
+      pos = record_start;
+      break;
+    }
+    out.records.push_back(std::move(rec));
+  }
+
+  out.bytes_replayed = static_cast<int64_t>(pos);
+  out.bytes_dropped = static_cast<int64_t>(bytes.size() - pos);
+  return out;
+}
+
+}  // namespace scalecheck

@@ -1,0 +1,100 @@
+// Write-ahead log for the KV replica data path.
+//
+// Every replica Put is framed and appended to an in-memory byte log that
+// stands in for the node's commit log file; a group-commit Sync() marks the
+// accumulated tail durable (the fsync boundary). A crash throws away the
+// unsynced tail — exactly what a real kernel page cache loses — and restart
+// recovery replays the durable prefix into a fresh StorageEngine.
+//
+// The byte format follows the MemoStore v2 discipline (src/pil/memo_store.h):
+// a magic+version header with its own CRC, then length-prefixed records each
+// trailed by a CRC over the payload:
+//
+//   u64 magic "SCKVWAL1" | u32 version=1 | u32 crc32(header)
+//   per record: u32 payload_len | payload | u32 crc32(payload)
+//   payload: u64 key | i64 timestamp | u64 value_size | value bytes
+//
+// Recovery differs from MemoStore::Parse by design: a commit log is
+// append-only and torn at the crash point, so Recover REPLAYS the longest
+// valid prefix and reports how the tail was damaged (kTruncated for a clean
+// tear, kCorruptData for bit rot, kVersionSkew for a foreign format) instead
+// of rejecting the whole stream. Acked writes live in the valid prefix — the
+// kv-durability invariant holds precisely because Sync() happens before the
+// replica acks.
+
+#ifndef SCALECHECK_SRC_KV_WAL_H_
+#define SCALECHECK_SRC_KV_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace scalecheck {
+
+class KvWal {
+ public:
+  struct Record {
+    uint64_t key = 0;
+    int64_t timestamp = 0;
+    std::string value;
+  };
+
+  struct RecoverResult {
+    // The longest valid prefix, in append order. Replaying these through
+    // StorageEngine::Put reconstructs the pre-crash durable state (Puts are
+    // idempotent under last-write-wins, so replay order only has to respect
+    // append order, which it does).
+    std::vector<Record> records;
+    // Ok when the stream ended cleanly on a record boundary; kTruncated /
+    // kCorruptData / kVersionSkew describe how the tail (or header) was
+    // damaged. Damage never discards the valid prefix above.
+    Status damage = Status::Ok();
+    int64_t bytes_replayed = 0;  // header + valid records
+    int64_t bytes_dropped = 0;   // damaged tail discarded
+  };
+
+  KvWal();
+
+  // Frames and appends one record to the unsynced tail. Returns the bytes
+  // appended (frame overhead included) so callers can charge storage work.
+  int64_t Append(uint64_t key, int64_t timestamp, const std::string& value);
+
+  // Group commit: everything appended so far becomes durable. Returns the
+  // bytes newly made durable (0 when the tail was already clean).
+  int64_t Sync();
+
+  // Crash semantics: the unsynced tail never reached disk. Returns the
+  // records thrown away (the window an ack-before-sync bug loses).
+  int64_t DropUnsynced();
+
+  int64_t durable_bytes() const { return static_cast<int64_t>(synced_len_); }
+  int64_t unsynced_bytes() const {
+    return static_cast<int64_t>(log_.size() - synced_len_);
+  }
+  int64_t total_bytes() const { return static_cast<int64_t>(log_.size()); }
+  int64_t records_appended() const { return records_appended_; }
+  int64_t records_synced() const { return records_synced_; }
+
+  // The byte image a crash leaves behind (durable prefix only).
+  std::vector<uint8_t> DurableImage() const {
+    return std::vector<uint8_t>(log_.begin(),
+                                log_.begin() + static_cast<int64_t>(synced_len_));
+  }
+  // Full buffer including the unsynced tail — corruption-fuzz test access.
+  const std::vector<uint8_t>& bytes() const { return log_; }
+
+  // Structured prefix recovery (see the header comment for semantics).
+  static RecoverResult Recover(const std::vector<uint8_t>& bytes);
+
+ private:
+  std::vector<uint8_t> log_;  // header + records, append-only
+  size_t synced_len_ = 0;     // durable prefix length
+  int64_t records_appended_ = 0;
+  int64_t records_synced_ = 0;
+};
+
+}  // namespace scalecheck
+
+#endif  // SCALECHECK_SRC_KV_WAL_H_

@@ -252,6 +252,17 @@ RunResult RealCluster::Run() {
     result.kv_timeout += stats.timeout;
     result.kv_retries += stats.retries;
     result.kv_gave_up += stats.gave_up;
+    // Data-path accounting, same fields the sim carrier exports: with the
+    // WAL on, every OK ack above rode a real-socket group commit, and these
+    // counters are the evidence trail.
+    result.kv_wal_bytes += stats.wal_bytes;
+    result.kv_hints_queued += stats.hints_queued;
+    result.kv_hints_replayed += stats.hints_replayed;
+    result.kv_hints_expired += stats.hints_expired;
+    result.kv_read_repairs += stats.read_repairs;
+    result.kv_ops_one += stats.ops_one;
+    result.kv_ops_quorum += stats.ops_quorum;
+    result.kv_ops_all += stats.ops_all;
   }
   result.kv_inflight_at_stop =
       kv_issued - (result.kv_ok + result.kv_unavailable + result.kv_timeout);

@@ -46,7 +46,11 @@ RealNode::RealNode(NodeId id, const Options& options, Transport* transport,
     deps.self = id_;
     deps.replication_factor = options_.replication_factor;
     deps.timeout = options_.kv_timeout;
+    deps.consistency = options_.kv_consistency;
+    deps.wal_enabled = options_.kv_wal;
+    deps.wal_sync_interval = options_.kv_wal_sync_interval;
     deps.retry_seed = HashCombine(options_.seed, 0x4b565254ULL);
+    deps.repair_seed = HashCombine(options_.seed, 0x4b565252ULL);
     kv_ = std::make_unique<KvService>(deps);
   }
 }
@@ -343,16 +347,26 @@ void RealNode::OnHeartbeat(NodeId ep) {
   fd_.Report(ep, clock_.Now());
   if (!gossiper_.IsAlive(ep)) {
     gossiper_.MarkAlive(ep);
-    std::lock_guard<std::mutex> flock(*flaps_mu_);
-    flaps_->RecordUp(id_, ep, clock_.Now());
+    {
+      std::lock_guard<std::mutex> flock(*flaps_mu_);
+      flaps_->RecordUp(id_, ep, clock_.Now());
+    }
+    if (kv_ != nullptr) {
+      kv_->OnReplicaAlive(ep);
+    }
   }
 }
 
 void RealNode::OnRestart(NodeId ep) {
   if (!gossiper_.IsAlive(ep)) {
     gossiper_.MarkAlive(ep);
-    std::lock_guard<std::mutex> flock(*flaps_mu_);
-    flaps_->RecordUp(id_, ep, clock_.Now());
+    {
+      std::lock_guard<std::mutex> flock(*flaps_mu_);
+      flaps_->RecordUp(id_, ep, clock_.Now());
+    }
+    if (kv_ != nullptr) {
+      kv_->OnReplicaAlive(ep);
+    }
   }
 }
 

@@ -46,6 +46,14 @@ class RealNode {
     uint64_t seed = 1;
     bool enable_kv = false;
     VirtualDuration kv_timeout = VirtualDuration::Seconds(2);
+    // Ack threshold for KV reads and writes (ONE / QUORUM / ALL).
+    KvConsistency kv_consistency = KvConsistency::kQuorum;
+    // Durable replica path (WAL + group commit + hint replay). Real-mode
+    // crashes are process exits, so the WAL mostly exercises the same code
+    // path as the sim carrier: deferred group-commit acks and hint replay
+    // on peer recovery.
+    bool kv_wal = false;
+    VirtualDuration kv_wal_sync_interval = VirtualDuration::Millis(250);
     // Seed addresses for the gossip-to-unreachable escape hatch (self is
     // filtered out). When the live view is empty, the round SYNs one of
     // these unconditionally so an islanded node rejoins after a partition.

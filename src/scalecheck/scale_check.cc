@@ -27,6 +27,8 @@ ClusterConfig BugSpec::MakeConfig(int n, RunMode mode, uint64_t seed) const {
     // conservative (every request ends OK or gave-up).
     cfg.kv_max_attempts = 4;
   }
+  cfg.kv_consistency = kv_consistency;
+  cfg.kv_wal = kv_wal;
   return cfg;
 }
 

@@ -52,6 +52,11 @@ struct BugSpec {
   // Client load on the quorum KV data path; > 0 enables the KV service (with
   // retries, see MakeConfig) and the load driver.
   double kv_ops_per_second = 0.0;
+  // Ack threshold for KV reads and writes (ONE / QUORUM / ALL).
+  KvConsistency kv_consistency = KvConsistency::kQuorum;
+  // Durable replica path: per-node WAL with group commit, hint replay on
+  // recovery, crash-lossy unsynced tail. Arms the kv-durability invariant.
+  bool kv_wal = false;
   // Fidelity-guard budgets applied to every run of this spec (deterministic;
   // part of the serialized verdict). Defaults encode §8's limits.
   FidelityBudgets guard;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/cluster/cluster.h"
+#include "src/kv/kv_service.h"
 
 namespace scalecheck {
 namespace {
@@ -67,7 +68,7 @@ TEST(KvClusterTest, QuorumSurvivesOneReplicaCrash) {
   cluster.sim().ScheduleAfter(VirtualDuration::Seconds(5), [&] {
     // Find the replicas of key 99 and crash one of them.
     std::vector<NodeId> replicas =
-        cluster.node(0)->ring().NaturalEndpointsForKey(99, 3);
+        cluster.node(0)->ring().NaturalEndpointsForKey(KvTokenForKey(99), 3);
     ASSERT_EQ(replicas.size(), 3u);
     NodeId victim = replicas[0] == 0 ? replicas[1] : replicas[0];
     cluster.node(victim)->Crash();
@@ -88,7 +89,8 @@ TEST(KvClusterTest, UnavailableWhenCoordinatorConvictedReplicas) {
     // Simulate the flap-storm effect directly: the coordinator's liveness
     // view marks two replicas of the key dead (even though they are fine).
     Node* coordinator = cluster.node(0);
-    std::vector<NodeId> replicas = coordinator->ring().NaturalEndpointsForKey(99, 3);
+    std::vector<NodeId> replicas =
+      coordinator->ring().NaturalEndpointsForKey(KvTokenForKey(99), 3);
     int marked = 0;
     for (NodeId replica : replicas) {
       if (replica != 0 && marked < 2) {

@@ -49,6 +49,27 @@ TEST(RealCluster, KvQuorumOpsSucceedAfterConvergence) {
   EXPECT_GT(result.kv_latency_p99.nanos(), 0);
 }
 
+TEST(RealCluster, KvWalGroupCommitAcksOverTcp) {
+  // The durable data path on the TCP carrier: with the WAL on, a replica
+  // defers its write ack until the group-commit sync, so every OK below
+  // means the record was durable before the coordinator counted the ack —
+  // the same contract the sim-side kv-durability invariant audits.
+  RealCluster::Options options = FastOptions(5);
+  options.node.enable_kv = true;
+  options.node.kv_wal = true;
+  options.node.kv_wal_sync_interval = VirtualDuration::Millis(25);
+  options.kv_ops = 16;
+  RealCluster cluster(options);
+  RunResult result = cluster.Run();
+  ASSERT_TRUE(result.settled) << result.Summary();
+  EXPECT_EQ(result.kv_issued, 32);
+  EXPECT_EQ(result.kv_ok, 32) << result.Summary();
+  EXPECT_GT(result.kv_wal_bytes, 0);
+  EXPECT_EQ(result.kv_ops_quorum, 32);
+  EXPECT_EQ(result.kv_ops_one, 0);
+  EXPECT_EQ(result.kv_ops_all, 0);
+}
+
 TEST(RealCluster, IslandPartitionHealsOnRealSockets) {
   // The same FaultPlan the sim replays, against real TCP: island node 4
   // behind the link filter long enough for conviction, heal, and demand

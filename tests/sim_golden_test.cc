@@ -29,6 +29,14 @@
 // lateness, flaps, CPU stats — is byte-identical, which is the point:
 // the SoA endpoint store, ring-buffer failure detector, and delta digest
 // codec must not perturb simulation semantics, only the memory ledger.
+//
+// Re-pinned with the durable KV data path (WAL + hinted handoff + read
+// repair + tunable consistency): RunResult gained eight kv_* counters
+// (kv_wal_bytes, hint queue activity, read repairs, per-consistency-level
+// op counts), all zero here because these runs carry no KV load. Every
+// pre-existing field is byte-identical — the durability machinery is
+// schedule- and RNG-silent when enable_kv is off, and that silence is now
+// part of what this golden pins.
 
 #include <gtest/gtest.h>
 
@@ -54,51 +62,54 @@ RunResult RunPinned(BugSpec spec, int nodes, uint64_t seed) {
 }
 
 constexpr char kGoldenC3831[] =
-    "{\"mode\":\"Colo\",\"num_nodes\":24,\"vnodes_per_node\":1,\"flaps\":0,\"flapped_pair"
-    "s\":0,\"live_endpoints\":529,\"unreachable_endpoints\":0,\"test_duration_ns\":155000"
-    "000000,\"settle_time_ns\":115000000000,\"settled\":true,\"max_cpu_utilization\":0.00"
-    "65324097451612906,\"peak_memory_bytes\":1794345984,\"oom\":false,\"crashed_nodes\":0"
-    ",\"restarted_nodes\":0,\"fault_events_applied\":0,\"fault_events_healed\":0,\"messag"
-    "es_blocked\":0,\"lateness_p99_ns\":100000,\"lateness_max_ns\":11091992,\"lateness_ea"
-    "rly_count\":0,\"fidelity\":{\"verdict\":\"ok\",\"violated_budget\":\"\",\"first_viol"
-    "ation_at_ns\":0,\"violations\":[]},\"invariants\":{\"checked\":true,\"probes\":16,\""
-    "kv_checked\":false,\"ok\":true,\"violations\":[]},\"watchdog_fired\":false,\"replay_"
-    "drift\":{\"misses\":0,\"diverged\":false,\"aborted\":false,\"first_function\":\"\",\""
-    "first_digest\":\"\",\"first_at_ns\":0,\"first_call_index\":0,\"order_context\":\"\"}"
-    ",\"calc_invocations\":1455,\"calc_executed_real\":1455,\"calc_duration_seconds\":{\""
-    "count\":1455,\"mean\":0.011103480000000001,\"min\":0.011103480000000001,\"max\":0.01"
-    "1103480000000001,\"sum\":16.155563399999426},\"calc_lock_hold_seconds\":{\"count\":0"
-    ",\"mean\":0,\"min\":0,\"max\":0,\"sum\":0},\"pil\":{\"direct_runs\":1455,\"memoized_"
-    "runs\":0,\"replay_hits\":0,\"replay_misses\":0},\"memo\":{\"records\":0,\"duplicate_"
-    "puts\":0,\"determinism_violations\":0,\"lookups\":0,\"hits\":0,\"misses\":0},\"order"
-    "_divergences\":0,\"order_enforced\":0,\"kv_issued\":0,\"kv_ok\":0,\"kv_unavailable\""
-    ":0,\"kv_timeout\":0,\"kv_inflight_at_stop\":0,\"kv_retries\":0,\"kv_gave_up\":0,\"kv"
-    "_latency_p99_ns\":0,\"messages_sent\":11085,\"messages_delivered\":11085,\"stage_tas"
-    "ks_dropped\":0,\"events_executed\":34809}";
+    "{\"mode\":\"Colo\",\"num_nodes\":24,\"vnodes_per_node\":1,\"flaps\":0,\"flapped_pairs"
+    "\":0,\"live_endpoints\":529,\"unreachable_endpoints\":0,\"test_duration_ns\":15500000"
+    "0000,\"settle_time_ns\":115000000000,\"settled\":true,\"max_cpu_utilization\":0.00653"
+    "24097451612906,\"peak_memory_bytes\":1794345984,\"oom\":false,\"crashed_nodes\":0,\"r"
+    "estarted_nodes\":0,\"fault_events_applied\":0,\"fault_events_healed\":0,\"messages_bl"
+    "ocked\":0,\"lateness_p99_ns\":100000,\"lateness_max_ns\":11091992,\"lateness_early_co"
+    "unt\":0,\"fidelity\":{\"verdict\":\"ok\",\"violated_budget\":\"\",\"first_violation_a"
+    "t_ns\":0,\"violations\":[]},\"invariants\":{\"checked\":true,\"probes\":16,\"kv_check"
+    "ed\":false,\"ok\":true,\"violations\":[]},\"watchdog_fired\":false,\"replay_drift\":{"
+    "\"misses\":0,\"diverged\":false,\"aborted\":false,\"first_function\":\"\",\"first_dig"
+    "est\":\"\",\"first_at_ns\":0,\"first_call_index\":0,\"order_context\":\"\"},\"calc_in"
+    "vocations\":1455,\"calc_executed_real\":1455,\"calc_duration_seconds\":{\"count\":145"
+    "5,\"mean\":0.011103480000000001,\"min\":0.011103480000000001,\"max\":0.01110348000000"
+    "0001,\"sum\":16.155563399999426},\"calc_lock_hold_seconds\":{\"count\":0,\"mean\":0,"
+    "\"min\":0,\"max\":0,\"sum\":0},\"pil\":{\"direct_runs\":1455,\"memoized_runs\":0,\"re"
+    "play_hits\":0,\"replay_misses\":0},\"memo\":{\"records\":0,\"duplicate_puts\":0,\"det"
+    "erminism_violations\":0,\"lookups\":0,\"hits\":0,\"misses\":0},\"order_divergences\":"
+    "0,\"order_enforced\":0,\"kv_issued\":0,\"kv_ok\":0,\"kv_unavailable\":0,\"kv_timeout"
+    "\":0,\"kv_inflight_at_stop\":0,\"kv_retries\":0,\"kv_gave_up\":0,\"kv_latency_p99_ns"
+    "\":0,\"kv_wal_bytes\":0,\"kv_hints_queued\":0,\"kv_hints_replayed\":0,\"kv_hints_expi"
+    "red\":0,\"kv_read_repairs\":0,\"kv_ops_one\":0,\"kv_ops_quorum\":0,\"kv_ops_all\":0,"
+    "\"messages_sent\":11085,\"messages_delivered\":11085,\"stage_tasks_dropped\":0,\"even"
+    "ts_executed\":34809}";
 
 constexpr char kGoldenC5456Chaos[] =
-    "{\"mode\":\"Colo\",\"num_nodes\":20,\"vnodes_per_node\":16,\"flaps\":6,\"flapped_pai"
-    "rs\":6,\"live_endpoints\":380,\"unreachable_endpoints\":0,\"test_duration_ns\":23500"
-    "0000000,\"settle_time_ns\":195000000000,\"settled\":true,\"max_cpu_utilization\":0.0"
-    "015650250691489362,\"peak_memory_bytes\":7910851264,\"oom\":false,\"crashed_nodes\":"
-    "1,\"restarted_nodes\":1,\"fault_events_applied\":5,\"fault_events_healed\":5,\"messa"
-    "ges_blocked\":81,\"lateness_p99_ns\":4857,\"lateness_max_ns\":4857,\"lateness_early_"
-    "count\":0,\"fidelity\":{\"verdict\":\"ok\",\"violated_budget\":\"\",\"first_violatio"
-    "n_at_ns\":0,\"violations\":[]},\"invariants\":{\"checked\":true,\"probes\":24,\"kv_c"
-    "hecked\":false,\"ok\":true,\"violations\":[]},\"watchdog_fired\":false,\"replay_drif"
-    "t\":{\"misses\":0,\"diverged\":false,\"aborted\":false,\"first_function\":\"\",\"fir"
-    "st_digest\":\"\",\"first_at_ns\":0,\"first_call_index\":0,\"order_context\":\"\"},\""
-    "calc_invocations\":887,\"calc_executed_real\":887,\"calc_duration_seconds\":{\"count"
-    "\":887,\"mean\":0.0065691697857948117,\"min\":0.0017244000000000001,\"max\":0.006914"
-    "7999999999996,\"sum\":5.8268535999999704},\"calc_lock_hold_seconds\":{\"count\":9833"
-    ",\"mean\":0.00059258147025322884,\"min\":0,\"max\":0.0069147999999999996,\"sum\":5.8"
-    "268535969999995},\"pil\":{\"direct_runs\":887,\"memoized_runs\":0,\"replay_hits\":0,"
-    "\"replay_misses\":0},\"memo\":{\"records\":0,\"duplicate_puts\":0,\"determinism_viol"
-    "ations\":0,\"lookups\":0,\"hits\":0,\"misses\":0},\"order_divergences\":0,\"order_en"
-    "forced\":0,\"kv_issued\":0,\"kv_ok\":0,\"kv_unavailable\":0,\"kv_timeout\":0,\"kv_in"
-    "flight_at_stop\":0,\"kv_retries\":0,\"kv_gave_up\":0,\"kv_latency_p99_ns\":0,\"messa"
-    "ges_sent\":13553,\"messages_delivered\":13429,\"stage_tasks_dropped\":0,\"events_exe"
-    "cuted\":41696}";
+    "{\"mode\":\"Colo\",\"num_nodes\":20,\"vnodes_per_node\":16,\"flaps\":6,\"flapped_pair"
+    "s\":6,\"live_endpoints\":380,\"unreachable_endpoints\":0,\"test_duration_ns\":2350000"
+    "00000,\"settle_time_ns\":195000000000,\"settled\":true,\"max_cpu_utilization\":0.0015"
+    "650250691489362,\"peak_memory_bytes\":7910851264,\"oom\":false,\"crashed_nodes\":1,\""
+    "restarted_nodes\":1,\"fault_events_applied\":5,\"fault_events_healed\":5,\"messages_b"
+    "locked\":81,\"lateness_p99_ns\":4857,\"lateness_max_ns\":4857,\"lateness_early_count"
+    "\":0,\"fidelity\":{\"verdict\":\"ok\",\"violated_budget\":\"\",\"first_violation_at_n"
+    "s\":0,\"violations\":[]},\"invariants\":{\"checked\":true,\"probes\":24,\"kv_checked"
+    "\":false,\"ok\":true,\"violations\":[]},\"watchdog_fired\":false,\"replay_drift\":{\""
+    "misses\":0,\"diverged\":false,\"aborted\":false,\"first_function\":\"\",\"first_diges"
+    "t\":\"\",\"first_at_ns\":0,\"first_call_index\":0,\"order_context\":\"\"},\"calc_invo"
+    "cations\":887,\"calc_executed_real\":887,\"calc_duration_seconds\":{\"count\":887,\"m"
+    "ean\":0.0065691697857948117,\"min\":0.0017244000000000001,\"max\":0.00691479999999999"
+    "96,\"sum\":5.8268535999999704},\"calc_lock_hold_seconds\":{\"count\":9833,\"mean\":0."
+    "00059258147025322884,\"min\":0,\"max\":0.0069147999999999996,\"sum\":5.82685359699999"
+    "95},\"pil\":{\"direct_runs\":887,\"memoized_runs\":0,\"replay_hits\":0,\"replay_misse"
+    "s\":0},\"memo\":{\"records\":0,\"duplicate_puts\":0,\"determinism_violations\":0,\"lo"
+    "okups\":0,\"hits\":0,\"misses\":0},\"order_divergences\":0,\"order_enforced\":0,\"kv_"
+    "issued\":0,\"kv_ok\":0,\"kv_unavailable\":0,\"kv_timeout\":0,\"kv_inflight_at_stop\":"
+    "0,\"kv_retries\":0,\"kv_gave_up\":0,\"kv_latency_p99_ns\":0,\"kv_wal_bytes\":0,\"kv_h"
+    "ints_queued\":0,\"kv_hints_replayed\":0,\"kv_hints_expired\":0,\"kv_read_repairs\":0,"
+    "\"kv_ops_one\":0,\"kv_ops_quorum\":0,\"kv_ops_all\":0,\"messages_sent\":13553,\"messa"
+    "ges_delivered\":13429,\"stage_tasks_dropped\":0,\"events_executed\":41696}";
 
 TEST(SimGolden, C3831ColoN24Seed7ByteIdentical) {
   BugSpec spec = BugCatalog::Get("C3831");
