@@ -76,7 +76,14 @@ struct CliOptions {
   KvConsistency kv_consistency = KvConsistency::kQuorum;
   bool kv_wal = false;        // durable replica path (WAL + group commit)
   bool plant_kv_bug = false;  // plant the ack-before-sync durability bug
+  bool plant_repair_storm = false;  // plant the unthrottled repair-storm bug
   double kv_rate = 0.0;       // sim modes: KV client ops/second (0 = spec's)
+  bool kv_repair = false;     // anti-entropy repair (Merkle exchange)
+  int64_t kv_repair_rate = 0;       // repair stream budget B/s (0 = default)
+  int kv_repair_max_sessions = 0;   // concurrent repair sessions (0 = default)
+  bool have_kv_key_dist = false;
+  KvKeyDist kv_key_dist = KvKeyDist::kUniform;
+  double kv_zipf_s = 1.0;
   // ---- Real sockets (--mode=real) -----------------------------------------
   int real_seconds = 30;  // convergence timeout, wall clock
   int gossip_ms = 100;    // gossip round interval
@@ -189,6 +196,50 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->plant_bug = true;
     } else if (arg == "--plant-kv-bug") {
       out->plant_kv_bug = true;
+    } else if (const char* which = value_of("--plant-kv-bug=")) {
+      if (std::strcmp(which, "ack-before-sync") == 0) {
+        out->plant_kv_bug = true;
+      } else if (std::strcmp(which, "repair-storm") == 0) {
+        out->plant_repair_storm = true;
+      } else {
+        std::fprintf(stderr, "unknown kv bug '%s'\n", which);
+        return false;
+      }
+    } else if (arg == "--kv-repair") {
+      out->kv_repair = true;
+    } else if (const char* rate = value_of("--kv-repair-rate=")) {
+      out->kv_repair_rate = std::strtoll(rate, nullptr, 0);
+      if (out->kv_repair_rate < 1) {
+        std::fprintf(stderr, "--kv-repair-rate needs a positive byte rate\n");
+        return false;
+      }
+    } else if (const char* sess = value_of("--kv-repair-max-sessions=")) {
+      out->kv_repair_max_sessions = std::atoi(sess);
+      if (out->kv_repair_max_sessions < 1) {
+        std::fprintf(stderr,
+                     "--kv-repair-max-sessions needs a positive value\n");
+        return false;
+      }
+    } else if (const char* dist = value_of("--kv-key-dist=")) {
+      if (std::strcmp(dist, "uniform") == 0) {
+        out->kv_key_dist = KvKeyDist::kUniform;
+      } else if (std::strncmp(dist, "zipf", 4) == 0) {
+        out->kv_key_dist = KvKeyDist::kZipf;
+        if (dist[4] == ':') {
+          out->kv_zipf_s = std::atof(dist + 5);
+          if (out->kv_zipf_s <= 0.0) {
+            std::fprintf(stderr, "zipf exponent must be positive\n");
+            return false;
+          }
+        } else if (dist[4] != '\0') {
+          std::fprintf(stderr, "unknown key distribution '%s'\n", dist);
+          return false;
+        }
+      } else {
+        std::fprintf(stderr, "unknown key distribution '%s'\n", dist);
+        return false;
+      }
+      out->have_kv_key_dist = true;
     } else if (arg == "--kv-wal") {
       out->kv_wal = true;
     } else if (arg == "--trace") {
@@ -218,7 +269,9 @@ void Usage() {
       "                      [--search-seed=S] [--plant-bug] [--repro-out=FILE]\n"
       "                      [--repro=FILE] [--real-seconds=T] [--gossip-ms=MS]\n"
       "                      [--kv-ops=K] [--kv-rate=OPS] [--kv-wal]\n"
-      "                      [--kv-consistency=L] [--plant-kv-bug]\n"
+      "                      [--kv-consistency=L] [--plant-kv-bug[=B]]\n"
+      "                      [--kv-repair] [--kv-repair-rate=BYTES]\n"
+      "                      [--kv-repair-max-sessions=S] [--kv-key-dist=D]\n"
       "                      [--workload=W]\n"
       "  bugs: %s\n"
       "  modes: suite search repro real\n"
@@ -242,9 +295,22 @@ void Usage() {
       "                              group commit; crash loses the unsynced\n"
       "                              tail, restart replays the durable prefix;\n"
       "                              arms the kv-durability invariant\n"
-      "  --plant-kv-bug              plant the ack-before-sync durability bug\n"
-      "                              (the crash-durability search smoke target;\n"
-      "                              needs --kv-wal)\n"
+      "  --plant-kv-bug[=B]          plant a KV bug: ack-before-sync (default;\n"
+      "                              the crash-durability search smoke target,\n"
+      "                              needs --kv-wal) or repair-storm (repair\n"
+      "                              ignores its throttle and floods full-range\n"
+      "                              streams; needs --kv-repair — the budget\n"
+      "                              facet of replica-convergence flags it)\n"
+      "  --kv-repair                 anti-entropy repair: periodic Merkle-tree\n"
+      "                              exchange with co-replicas streams only\n"
+      "                              differing key ranges; arms the\n"
+      "                              replica-convergence invariant\n"
+      "  --kv-repair-rate=BYTES      repair stream budget in bytes/second per\n"
+      "                              node (default 262144)\n"
+      "  --kv-repair-max-sessions=S  concurrent repair sessions per node\n"
+      "                              (default 1)\n"
+      "  --kv-key-dist=D             uniform | zipf[:s] — KV driver key\n"
+      "                              popularity (zipf default s=1.0)\n"
       "  --workload=W                override the bug's workload: steady-state |\n"
       "                              decommission | scale-out | bootstrap-fresh |\n"
       "                              failover | rebalance (KV invariants only\n"
@@ -435,6 +501,14 @@ int RunReal(const CliOptions& cli) {
     options.node.kv_consistency = cli.kv_consistency;
   }
   options.node.kv_wal = cli.kv_wal;
+  options.node.kv_repair = cli.kv_repair;
+  if (cli.kv_repair_rate > 0) {
+    options.node.kv_repair_rate_bytes = cli.kv_repair_rate;
+  }
+  if (cli.kv_repair_max_sessions > 0) {
+    options.node.kv_repair_max_sessions = cli.kv_repair_max_sessions;
+  }
+  options.node.plant_repair_storm = cli.plant_repair_storm;
   options.kv_ops = cli.kv_ops;
   options.convergence_timeout = VirtualDuration::Seconds(cli.real_seconds);
   if (!cli.faults.empty()) {
@@ -521,6 +595,22 @@ int main(int argc, char** argv) {
   }
   if (cli.plant_kv_bug) {
     spec.check.plant_kv_ack_before_sync = true;
+  }
+  if (cli.kv_repair) {
+    spec.kv_repair = true;
+  }
+  if (cli.kv_repair_rate > 0) {
+    spec.kv_repair_rate_bytes = cli.kv_repair_rate;
+  }
+  if (cli.kv_repair_max_sessions > 0) {
+    spec.kv_repair_max_sessions = cli.kv_repair_max_sessions;
+  }
+  if (cli.plant_repair_storm) {
+    spec.check.plant_repair_storm = true;
+  }
+  if (cli.have_kv_key_dist) {
+    spec.kv_key_dist = cli.kv_key_dist;
+    spec.kv_zipf_s = cli.kv_zipf_s;
   }
   if (cli.kv_rate > 0.0) {
     spec.kv_ops_per_second = cli.kv_rate;

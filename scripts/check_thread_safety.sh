@@ -35,7 +35,8 @@ TARGETS=(scalecheck_suite_test common_thread_pool_test
          pil_replay_policy_test pil_memo_corruption_test
          faults_search_test
          transport_conformance_test real_cluster_test
-         net_link_filter_test)
+         net_link_filter_test
+         kv_merkle_test kv_repair_test)
 
 cmake -B "$BUILD_DIR" -S . -DSCALECHECK_SANITIZE="$SANITIZER" >/dev/null
 cmake --build "$BUILD_DIR" --target "${TARGETS[@]}" -j"$(nproc)"

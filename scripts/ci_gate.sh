@@ -20,11 +20,18 @@
 #      then a pinned-seed search against the planted ack-before-sync bug
 #      must find kv-durability, shrink to <=3 events, and the repro artifact
 #      must replay to the identical violation (exit 4),
-#   6. real-mode smoke: the same protocol code on REAL localhost TCP sockets
+#   6. anti-entropy smoke: a pinned-seed crash-restart plan with repair on
+#      must converge the diverged replicas (replica-convergence armed, exit
+#      0, repair sessions actually opened); then a pinned-seed search
+#      against the planted repair-storm bug must find replica-convergence,
+#      shrink to <=3 events, and the repro artifact must replay to the
+#      identical violation (exit 4); finally the same planted storm on the
+#      REAL socket carrier must trip the session-rate budget facet (exit 4),
+#   7. real-mode smoke: the same protocol code on REAL localhost TCP sockets
 #      (--mode=real) must gossip an 8-node cluster to convergence under a
 #      wall-clock timeout, complete a WAL-backed quorum KV smoke (group
 #      commit over real sockets), and exit 0,
-#   7. real-mode chaos smoke: replay the islanding FaultPlan against the
+#   8. real-mode chaos smoke: replay the islanding FaultPlan against the
 #      socket carrier (--mode=real --faults=island) — the link filter must
 #      actually drop frames, and after the heal the gossip-to-unreachable
 #      escape hatch must reconverge the cluster (0 islanded endpoints)
@@ -167,6 +174,86 @@ if [[ "$code" -ne 4 ]]; then
   exit 1
 fi
 
+echo "== anti-entropy smoke =="
+AE_REPRO="$BUILD_DIR/anti_entropy_repro.json"
+rm -f "$AE_REPRO"
+
+# Throttled repair under a pinned-seed crash-restart plan: the restarted
+# replica misses acked writes, anti-entropy streams the Merkle diff back,
+# and the replica-convergence invariant (armed by --kv-repair) holds.
+set +e
+out="$("$CLI" --bug=C3831-fixed --workload=steady-state --mode=suite \
+  --sim-modes=colo --nodes=12 --seed=7 --faults=crash-restart \
+  --kv-wal --kv-consistency=quorum --kv-rate=100 --kv-repair --json)"
+code=$?
+set -e
+if [[ "$code" -ne 0 ]]; then
+  echo "FAIL: throttled anti-entropy run exited $code, expected 0" >&2
+  exit 1
+fi
+if [[ "$out" != *'"kv_checked":true'* ]]; then
+  echo "FAIL: throttled anti-entropy run did not arm the KV checkers" >&2
+  exit 1
+fi
+if [[ "$out" == *'"kv_repair_sessions":0,'* ]]; then
+  echo "FAIL: throttled anti-entropy run opened no repair sessions" >&2
+  exit 1
+fi
+
+# The planted repair storm: the scheduler ignores its rate limit, session
+# cap, and pressure yield; a bounded pinned-seed search must catch the
+# replica-convergence budget facet and shrink the schedule.
+set +e
+out="$("$CLI" --bug=C5456 --mode=search --nodes=12 --seed=7 \
+  --workload=steady-state --kv-rate=200 --kv-wal --kv-repair \
+  --kv-repair-rate=4096 --plant-kv-bug=repair-storm \
+  --search-budget=8 --jobs=4 --json --repro-out="$AE_REPRO")"
+code=$?
+set -e
+if [[ "$code" -ne 4 ]]; then
+  echo "FAIL: repair-storm search exited $code, expected 4" >&2
+  exit 1
+fi
+if [[ "$out" != *'"replica-convergence"'* ]]; then
+  echo "FAIL: repair-storm search violated something else" >&2
+  exit 1
+fi
+# The storm is a planted code bug, not a fault-schedule bug: ddmin
+# typically shrinks the reproducer all the way to ZERO fault events — the
+# unthrottled scheduler floods on a perfectly healthy cluster.
+minimized="$(sed -n 's/.*"minimized_events":\([0-9]*\).*/\1/p' <<<"$out")"
+if [[ -z "$minimized" || "$minimized" -gt 3 ]]; then
+  echo "FAIL: repair-storm reproducer has ${minimized:-?} events, expected 0..3" >&2
+  exit 1
+fi
+
+# The artifact replays to the byte-identical replica-convergence violation.
+set +e
+"$CLI" --repro="$AE_REPRO" >/dev/null
+code=$?
+set -e
+if [[ "$code" -ne 4 ]]; then
+  echo "FAIL: repair-storm repro replay exited $code, expected 4" >&2
+  exit 1
+fi
+
+# The same planted storm on real localhost sockets: the session-rate budget
+# facet must flag it (exit 4) — the throttled scheduler opens at most
+# max_sessions per interval, the storm one per co-replica per tick.
+set +e
+out="$(timeout 90 "$CLI" --mode=real --nodes=5 --kv-ops=40 --gossip-ms=50 \
+  --kv-repair --plant-kv-bug=repair-storm --json)"
+code=$?
+set -e
+if [[ "$code" -ne 4 ]]; then
+  echo "FAIL: real-mode repair-storm smoke exited $code, expected 4" >&2
+  exit 1
+fi
+if [[ "$out" != *'"replica-convergence"'* ]]; then
+  echo "FAIL: real-mode repair-storm smoke flagged no replica-convergence" >&2
+  exit 1
+fi
+
 echo "== real-mode smoke =="
 # 8 nodes on real localhost sockets must converge well inside 30s (typical:
 # well under a second) and exit 0; `timeout` guards the gate against a hang
@@ -227,4 +314,4 @@ if ! "$CLI" --bug=C3831 --mode=colo --nodes=16 --json 2>/dev/null >/dev/null; th
   exit 1
 fi
 
-echo "OK: build, tier-1 tests, perf smoke, guard exit codes, chaos-search, crash-durability and real-mode smokes all pass"
+echo "OK: build, tier-1 tests, perf smoke, guard exit codes, chaos-search, crash-durability, anti-entropy and real-mode smokes all pass"

@@ -56,6 +56,15 @@ struct CheckOptions {
   // recovered storage is missing a version it acked. Only meaningful with
   // the WAL enabled (ClusterConfig::kv_wal).
   bool plant_kv_ack_before_sync = false;
+
+  // Test-only planted bug (the repair-storm ChaosSearch target): the
+  // anti-entropy scheduler ignores its rate limiter, session cap, and
+  // pressure yield, and streams full shared token ranges to every co-replica
+  // peer on every tick. The replica-convergence invariant's repair-budget
+  // facet flags any node whose streamed repair bytes exceed what the
+  // configured token bucket could have issued. Only meaningful with
+  // ClusterConfig::kv_repair on.
+  bool plant_repair_storm = false;
 };
 
 }  // namespace scalecheck

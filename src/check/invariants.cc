@@ -435,6 +435,159 @@ class KvDurabilityInvariant : public Invariant {
   std::map<std::pair<uint64_t, NodeId>, int64_t> required_;
 };
 
+// ---- replica-convergence ----------------------------------------------------
+
+// Anti-entropy health, gated on kv_repair (without repair, divergence that
+// hinted handoff missed is EXPECTED to persist, so the check would flag
+// healthy runs). Two facets:
+//
+// Data: after fault quiescence plus convergence_grace, every stable NORMAL
+// node that considers itself a natural replica of a sampled key (by its own
+// ring view) must hold a version at least as new as the winning acknowledged
+// timestamp among OK writes concluded before the grace window opened. The
+// winning timestamp only audits writes concluded a full grace period ago, so
+// a write racing the probe never false-positives, and a replica holding a
+// NEWER version trivially passes (LWW). Sampling covers the most recently
+// concluded distinct keys (bounded), newest first — exactly the keys a
+// repair pass has had the least time to fix, which is where convergence
+// failures hide.
+//
+// Budget: no node may stream repair bytes beyond twice its configured rate
+// integrated over the run plus a fixed slack. The token bucket's burst and
+// the post-charged stream overdraft both fit comfortably inside 2x+slack;
+// a repair storm that ignores its throttle (plant_repair_storm) does not.
+class ReplicaConvergenceInvariant : public Invariant {
+ public:
+  const char* name() const override { return "replica-convergence"; }
+
+  void Probe(const InvariantContext& ctx, InvariantRegistry* sink) override {
+    if (!ctx.kv_repair) return;
+    ProbeBudget(ctx, sink);
+    if (!ctx.kv_checkable || ctx.history == nullptr) return;
+    IndexNewConclusions(*ctx.history);
+    const VirtualDuration grace = sink->options().convergence_grace;
+    if (ctx.now < ctx.fault_quiet_at + grace) return;
+    const VirtualTime cutoff = ctx.now - grace;
+
+    // Sample the most recently concluded distinct keys old enough to audit.
+    std::vector<uint64_t> sample;
+    {
+      std::unordered_map<uint64_t, bool> picked;
+      for (auto it = concluded_.rbegin();
+           it != concluded_.rend() && sample.size() < kSampleKeys; ++it) {
+        if (!(it->concluded_at < cutoff)) continue;
+        if (picked.emplace(it->key, true).second) sample.push_back(it->key);
+      }
+    }
+    if (sample.empty()) return;
+    std::sort(sample.begin(), sample.end());
+
+    for (const Node* node : *ctx.nodes) {
+      if (!Running(node) || node->my_status() != StatusKind::kNormal ||
+          node->kv() == nullptr || !node->IsSettledView()) {
+        continue;
+      }
+      auto it = sink->tracks().find(node->id());
+      if (it == sink->tracks().end() || !it->second.has_normal_since) continue;
+      if (ctx.now < it->second.normal_since + grace) continue;
+      for (uint64_t key : sample) {
+        int64_t expected = WinningTimestampBefore(key, cutoff);
+        if (expected <= 0) continue;
+        std::vector<NodeId> replicas = node->ring().NaturalEndpointsForKey(
+            KvTokenForKey(key), ctx.replication_factor);
+        if (std::find(replicas.begin(), replicas.end(), node->id()) ==
+            replicas.end()) {
+          continue;
+        }
+        int64_t have = node->kv()->storage().TimestampOf(key);
+        if (have < expected) {
+          sink->ReportViolation(
+              name(), ctx.now,
+              StrFormat("replica %lld of key %llu still holds timestamp %lld "
+                        "(< acknowledged %lld) %llds after fault quiescence — "
+                        "anti-entropy never converged it",
+                        static_cast<long long>(node->id()),
+                        static_cast<unsigned long long>(key),
+                        static_cast<long long>(have),
+                        static_cast<long long>(expected),
+                        static_cast<long long>(
+                            (ctx.now - ctx.fault_quiet_at).seconds())));
+        }
+      }
+    }
+  }
+
+ private:
+  static constexpr size_t kSampleKeys = 64;
+
+  struct ConcludedWrite {
+    VirtualTime concluded_at;
+    uint64_t key = 0;
+  };
+  struct TimedTimestamp {
+    VirtualTime concluded_at;
+    int64_t prefix_max_ts = 0;  // max write_timestamp up to this conclusion
+  };
+
+  void ProbeBudget(const InvariantContext& ctx, InvariantRegistry* sink) {
+    if (ctx.kv_repair_rate_bytes <= 0) return;
+    const double elapsed_seconds =
+        static_cast<double>(ctx.now.nanos()) / 1e9;
+    const double allowance =
+        static_cast<double>(ctx.kv_repair_rate_bytes) * elapsed_seconds * 2.0 +
+        4.0 * 1024.0 * 1024.0;
+    for (const Node* node : *ctx.nodes) {
+      if (!Running(node) || node->kv() == nullptr) continue;
+      int64_t streamed = node->kv()->stats().repair_bytes_streamed;
+      if (static_cast<double>(streamed) > allowance) {
+        sink->ReportViolation(
+            name(), ctx.now,
+            StrFormat("node %lld streamed %lld repair bytes in %.1fs, over "
+                      "2x its %lld B/s budget — repair storm",
+                      static_cast<long long>(node->id()),
+                      static_cast<long long>(streamed), elapsed_seconds,
+                      static_cast<long long>(ctx.kv_repair_rate_bytes)));
+      }
+    }
+  }
+
+  // Folds newly concluded OK writes into the recency list and the per-key
+  // prefix-max timestamp series (conclusion order is non-decreasing in
+  // concluded_at, so each series stays sorted).
+  void IndexNewConclusions(const KvHistory& h) {
+    const auto& ops = h.ops();
+    const auto& order = h.conclusion_order();
+    for (; conclude_watermark_ < order.size(); ++conclude_watermark_) {
+      const KvOpRecord& rec = ops[order[conclude_watermark_]];
+      if (!rec.is_write || rec.outcome != KvOutcome::kOk) continue;
+      concluded_.push_back(ConcludedWrite{rec.concluded_at, rec.key});
+      std::vector<TimedTimestamp>& series = by_key_[rec.key];
+      int64_t prev = series.empty() ? 0 : series.back().prefix_max_ts;
+      series.push_back(TimedTimestamp{
+          rec.concluded_at, std::max(prev, rec.write_timestamp)});
+    }
+  }
+
+  // Largest acked write_timestamp of `key` among writes concluded strictly
+  // before `cutoff` (0 when none) — O(log series) via the prefix max.
+  int64_t WinningTimestampBefore(uint64_t key, VirtualTime cutoff) const {
+    auto it = by_key_.find(key);
+    if (it == by_key_.end()) return 0;
+    const std::vector<TimedTimestamp>& series = it->second;
+    auto pos = std::lower_bound(
+        series.begin(), series.end(), cutoff,
+        [](const TimedTimestamp& t, VirtualTime c) {
+          return t.concluded_at < c;
+        });
+    if (pos == series.begin()) return 0;
+    return std::prev(pos)->prefix_max_ts;
+  }
+
+  size_t conclude_watermark_ = 0;
+  std::vector<ConcludedWrite> concluded_;  // conclusion order
+  std::map<uint64_t, std::vector<TimedTimestamp>> by_key_;
+};
+
 }  // namespace
 
 InvariantRegistry::InvariantRegistry(CheckOptions options)
@@ -450,6 +603,7 @@ void InvariantRegistry::AddBuiltins() {
   Add(std::make_unique<GenVersionMonotonicInvariant>());
   Add(std::make_unique<KvHistoryInvariant>());
   Add(std::make_unique<KvDurabilityInvariant>());
+  Add(std::make_unique<ReplicaConvergenceInvariant>());
 }
 
 void InvariantRegistry::Add(std::unique_ptr<Invariant> invariant) {

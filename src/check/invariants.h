@@ -37,6 +37,17 @@
 //                        ring movement; only meaningful with the WAL enabled
 //                        (kv_wal), since without it replica storage is
 //                        unrealistically crash-durable by construction
+//   replica-convergence  two facets of anti-entropy health. Data: after fault
+//                        quiescence plus a grace period, every stable NORMAL
+//                        natural replica of a sampled set of acknowledged
+//                        writes must hold a version at least as new as the
+//                        winning acked timestamp — divergence that hinted
+//                        handoff missed must be repaired by anti-entropy
+//                        within the grace window. Budget: with repair on
+//                        (kv_repair), no node may stream repair bytes beyond
+//                        2x its configured rate over the run (plus a fixed
+//                        slack) — the signature of a repair storm that
+//                        ignores its throttle (plant_repair_storm)
 
 #ifndef SCALECHECK_SRC_CHECK_INVARIANTS_H_
 #define SCALECHECK_SRC_CHECK_INVARIANTS_H_
@@ -113,6 +124,13 @@ struct InvariantContext {
   // True when the durable replica path is on (ClusterConfig::kv_wal); gates
   // kv-durability, which is vacuous against the crash-durable default store.
   bool kv_wal = false;
+  // True when anti-entropy repair is on (ClusterConfig::kv_repair); gates the
+  // replica-convergence data facet's repair expectation and the budget facet.
+  bool kv_repair = false;
+  // Per-node repair stream budget in bytes/sec (ClusterConfig's
+  // kv_repair_rate_bytes); the budget facet allows 2x this rate integrated
+  // over the run plus a fixed slack before calling storm.
+  int64_t kv_repair_rate_bytes = 0;
   const KvHistory* history = nullptr;
 };
 
@@ -132,7 +150,7 @@ class InvariantRegistry {
   InvariantRegistry(const InvariantRegistry&) = delete;
   InvariantRegistry& operator=(const InvariantRegistry&) = delete;
 
-  // Registers the seven built-in invariants documented above.
+  // Registers the eight built-in invariants documented above.
   void AddBuiltins();
   void Add(std::unique_ptr<Invariant> invariant);
 

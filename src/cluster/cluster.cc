@@ -1,6 +1,7 @@
 #include "src/cluster/cluster.h"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 #include <utility>
 
@@ -494,6 +495,18 @@ RunResult Cluster::Run() {
   if (options_.kv_ops_per_second > 0.0) {
     CHECK(options_.config.enable_kv) << "kv load needs config.enable_kv";
     kv_rng_ = std::make_unique<Rng>(Mix64(options_.config.seed ^ 0x4b56ULL));
+    if (options_.kv_key_dist == KvKeyDist::kZipf && kv_zipf_cdf_.empty()) {
+      // Normalized cumulative weights 1/(k+1)^s; sampling is one uniform
+      // draw plus a binary search, so the RNG stream stays in lockstep with
+      // the uniform distribution's.
+      kv_zipf_cdf_.reserve(options_.kv_key_space);
+      double total = 0.0;
+      for (uint64_t k = 0; k < options_.kv_key_space; ++k) {
+        total += std::pow(static_cast<double>(k + 1), -options_.kv_zipf_s);
+        kv_zipf_cdf_.push_back(total);
+      }
+      for (double& c : kv_zipf_cdf_) c /= total;
+    }
     VirtualDuration period =
         VirtualDuration::FromSecondsF(1.0 / options_.kv_ops_per_second);
     kv_driver = std::make_unique<PeriodicTimer>(sim_.get(), period, [this] {
@@ -505,8 +518,7 @@ RunResult Cluster::Run() {
             coordinator->my_status() != StatusKind::kNormal) {
           continue;
         }
-        uint64_t key = static_cast<uint64_t>(
-            kv_rng_->UniformInt(0, static_cast<int64_t>(options_.kv_key_space) - 1));
+        uint64_t key = SampleKvKey();
         ++kv_issued_;
         VirtualTime issued = sim_->Now();
         auto done = [this, issued](KvOutcome outcome, const std::string&) {
@@ -597,6 +609,19 @@ RunResult Cluster::Run() {
   return result;
 }
 
+uint64_t Cluster::SampleKvKey() {
+  if (options_.kv_key_dist == KvKeyDist::kZipf) {
+    double u = kv_rng_->UniformDouble();
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(kv_zipf_cdf_.begin(), kv_zipf_cdf_.end(), u) -
+        kv_zipf_cdf_.begin());
+    if (idx >= kv_zipf_cdf_.size()) idx = kv_zipf_cdf_.size() - 1;
+    return static_cast<uint64_t>(idx);
+  }
+  return static_cast<uint64_t>(kv_rng_->UniformInt(
+      0, static_cast<int64_t>(options_.kv_key_space) - 1));
+}
+
 void Cluster::ProbeInvariants() {
   if (invariants_ == nullptr) {
     return;
@@ -624,6 +649,8 @@ void Cluster::ProbeInvariants() {
                       wl.kind == WorkloadKind::kFailover) &&
                      options_.config.kv_consistency != KvConsistency::kOne;
   ctx.kv_wal = options_.config.kv_wal;
+  ctx.kv_repair = options_.config.kv_repair;
+  ctx.kv_repair_rate_bytes = options_.config.kv_repair_rate_bytes;
   ctx.history = kv_history_.get();
   invariants_->Probe(ctx);
 }
@@ -742,7 +769,9 @@ void Cluster::CollectResult(RunResult* result) const {
   result->kv_unavailable = kv_unavailable_;
   result->kv_timeout = kv_timeout_;
   result->kv_inflight_at_stop = kv_issued_ - (kv_ok_ + kv_unavailable_ + kv_timeout_);
+  result->kv_latency_p50 = kv_latency_.PercentileDuration(50);
   result->kv_latency_p99 = kv_latency_.PercentileDuration(99);
+  result->kv_latency_p999 = kv_latency_.PercentileDuration(99.9);
   int64_t kv_retries = 0;
   int64_t kv_gave_up = 0;
   for (const auto& node : nodes_) {
@@ -757,6 +786,10 @@ void Cluster::CollectResult(RunResult* result) const {
       result->kv_ops_one += kv->stats().ops_one;
       result->kv_ops_quorum += kv->stats().ops_quorum;
       result->kv_ops_all += kv->stats().ops_all;
+      result->kv_repair_sessions += kv->stats().repair_sessions;
+      result->kv_repair_bytes_streamed += kv->stats().repair_bytes_streamed;
+      result->kv_repair_keys_fixed += kv->stats().repair_keys_fixed;
+      result->kv_repair_aborted += kv->stats().repair_aborted;
     }
   }
   result->kv_retries = kv_retries;

@@ -30,6 +30,11 @@
 
 namespace scalecheck {
 
+// Key popularity for the KV load driver: uniform over the key space, or
+// Zipf(s) where key k has weight 1/(k+1)^s — a hot-key skew that concentrates
+// both foreground traffic and repair divergence on a few token ranges.
+enum class KvKeyDist { kUniform, kZipf };
+
 class Cluster {
  public:
   struct Options {
@@ -50,6 +55,11 @@ class Cluster {
     double kv_ops_per_second = 0.0;
     int kv_value_bytes = 128;
     uint64_t kv_key_space = 100000;
+    // Key distribution for the driver. Zipf sampling draws from the same RNG
+    // stream as uniform (one draw per op), so switching distributions changes
+    // which keys are hit but not the rest of the run's randomness.
+    KvKeyDist kv_key_dist = KvKeyDist::kUniform;
+    double kv_zipf_s = 1.0;  // Zipf exponent (only read when kv_key_dist=kZipf)
     // Record an execution trace (determinism digests, debugging dumps).
     bool enable_trace = false;
     // Optional profiler: deterministic op counters land in
@@ -146,6 +156,8 @@ class Cluster {
 
   // KV load-driver aggregates.
   std::unique_ptr<Rng> kv_rng_;
+  std::vector<double> kv_zipf_cdf_;  // built once when kv_key_dist=kZipf
+  uint64_t SampleKvKey();
   int64_t kv_issued_ = 0;
   int64_t kv_ok_ = 0;
   int64_t kv_unavailable_ = 0;

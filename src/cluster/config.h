@@ -129,6 +129,20 @@ struct ClusterConfig {
   // Background read-repair probability on mismatch-free reads (observed
   // mismatches always repair).
   double kv_read_repair_chance = 0.1;
+  // Anti-entropy repair (src/kv/anti_entropy.h): periodic Merkle-tree
+  // sessions against co-replica peers, streaming only differing leaf ranges.
+  // Off by default — when off no AntiEntropy instance exists and the
+  // pre-anti-entropy RNG/golden behaviour is untouched.
+  bool kv_repair = false;
+  VirtualDuration kv_repair_interval = VirtualDuration::Seconds(10);
+  // Overload-safety knobs: token-bucket byte rate, concurrent session cap,
+  // per-session timeout/retries, and the in-flight-op threshold above which
+  // the scheduler yields to foreground traffic.
+  int64_t kv_repair_rate_bytes = 256 * 1024;
+  int kv_repair_max_sessions = 1;
+  VirtualDuration kv_repair_session_timeout = VirtualDuration::Seconds(10);
+  int kv_repair_max_retries = 2;
+  size_t kv_repair_pressure_max_inflight = 16;
 
   // ---- Fidelity guardrails (§8) ---------------------------------------------
   // Budgets for the FidelityGuard that classifies each run ok/degraded/

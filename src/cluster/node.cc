@@ -7,6 +7,7 @@
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/gossip/messages.h"
+#include "src/kv/anti_entropy.h"
 
 namespace scalecheck {
 
@@ -98,6 +99,16 @@ Node::Node(Env* env, NodeId id, Machine* machine, uint64_t seed)
     // untouched.
     deps.retry_seed = HashCombine(seed, 0x4b565254ULL);   // "KVRT"
     deps.repair_seed = HashCombine(seed, 0x4b565252ULL);  // "KVRR"
+    deps.repair_enabled = env->config->kv_repair;
+    deps.repair_interval = env->config->kv_repair_interval;
+    deps.repair_rate_bytes = env->config->kv_repair_rate_bytes;
+    deps.repair_max_sessions = env->config->kv_repair_max_sessions;
+    deps.repair_session_timeout = env->config->kv_repair_session_timeout;
+    deps.repair_max_retries = env->config->kv_repair_max_retries;
+    deps.repair_pressure_max_inflight =
+        env->config->kv_repair_pressure_max_inflight;
+    deps.plant_repair_storm = env->config->check.plant_repair_storm;
+    deps.anti_entropy_seed = HashCombine(seed, 0x4b565245ULL);  // "KVRE"
     // Data-path footprint (WAL + memtable/runs + hint queue) lands in the
     // machine memory model like the gossip arena below: deltas follow the
     // deterministic event order, so FidelityGuard memory verdicts and
@@ -219,6 +230,9 @@ void Node::Start(bool as_joiner, VirtualDuration transition) {
       static_cast<int64_t>(gossiper_.scratch_arena().bytes_reserved()));
 
   env_->transport->RegisterNode(id_, [this](const Message& msg) { OnMessage(msg); });
+  if (kv_ != nullptr) {
+    kv_->Start();  // arms the anti-entropy scheduler when repair is on
+  }
 
   if (as_joiner) {
     CHECK(my_tokens_.empty());
@@ -447,6 +461,9 @@ void Node::ProcessMessage(const Message& msg) {
     case kKvWriteResp:
     case kKvReadReq:
     case kKvReadResp:
+    case kKvRepairHashReq:
+    case kKvRepairHashResp:
+    case kKvRepairStreamWrite:
       if (kv_ != nullptr) {
         kv_->HandleMessage(msg);
       }

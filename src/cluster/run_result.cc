@@ -119,7 +119,9 @@ void RunResult::WriteJson(JsonWriter* w) const {
   w->Field("kv_inflight_at_stop", kv_inflight_at_stop);
   w->Field("kv_retries", kv_retries);
   w->Field("kv_gave_up", kv_gave_up);
+  w->Field("kv_latency_p50_ns", kv_latency_p50.nanos());
   w->Field("kv_latency_p99_ns", kv_latency_p99.nanos());
+  w->Field("kv_latency_p999_ns", kv_latency_p999.nanos());
   w->Field("kv_wal_bytes", kv_wal_bytes);
   w->Field("kv_hints_queued", kv_hints_queued);
   w->Field("kv_hints_replayed", kv_hints_replayed);
@@ -128,6 +130,10 @@ void RunResult::WriteJson(JsonWriter* w) const {
   w->Field("kv_ops_one", kv_ops_one);
   w->Field("kv_ops_quorum", kv_ops_quorum);
   w->Field("kv_ops_all", kv_ops_all);
+  w->Field("kv_repair_sessions", kv_repair_sessions);
+  w->Field("kv_repair_bytes_streamed", kv_repair_bytes_streamed);
+  w->Field("kv_repair_keys_fixed", kv_repair_keys_fixed);
+  w->Field("kv_repair_aborted", kv_repair_aborted);
 
   w->Field("messages_sent", messages_sent);
   w->Field("messages_delivered", messages_delivered);

@@ -110,7 +110,11 @@ struct RunResult {
   int64_t kv_inflight_at_stop = 0;
   int64_t kv_retries = 0;
   int64_t kv_gave_up = 0;
+  // Client latency percentiles from the same LogHistogram on both carriers,
+  // so a repair storm's foreground impact reads off one table.
+  VirtualDuration kv_latency_p50;
   VirtualDuration kv_latency_p99;
+  VirtualDuration kv_latency_p999;
   // Durable-path counters (all zero unless the WAL / data path is enabled):
   // bytes made durable by group-commit syncs, hinted-handoff queue activity,
   // read-repair writebacks, and per-consistency-level op counts.
@@ -122,6 +126,12 @@ struct RunResult {
   int64_t kv_ops_one = 0;
   int64_t kv_ops_quorum = 0;
   int64_t kv_ops_all = 0;
+  // Anti-entropy repair counters (zero unless kv_repair is on), summed over
+  // nodes on both carriers.
+  int64_t kv_repair_sessions = 0;
+  int64_t kv_repair_bytes_streamed = 0;
+  int64_t kv_repair_keys_fixed = 0;
+  int64_t kv_repair_aborted = 0;
 
   // ---- Traffic / engine ----------------------------------------------------
   uint64_t messages_sent = 0;

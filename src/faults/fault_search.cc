@@ -415,6 +415,17 @@ std::string MakeReproArtifact(const BugSpec& spec, int nodes, RunMode mode,
   w.Field("kv_ops_per_second", spec.kv_ops_per_second);
   w.Field("kv_consistency", KvConsistencyName(spec.kv_consistency));
   w.Field("kv_wal", spec.kv_wal);
+  // Anti-entropy knobs: the replica-convergence invariant only arms when
+  // kv_repair is on, and its budget facet scores against the configured
+  // rate, so a replay with different repair settings would probe (and
+  // pass or fail) a different check than the one the search scored.
+  w.Field("kv_repair", spec.kv_repair);
+  w.Field("kv_repair_interval_ns", spec.kv_repair_interval.nanos());
+  w.Field("kv_repair_rate_bytes", spec.kv_repair_rate_bytes);
+  w.Field("kv_repair_max_sessions", spec.kv_repair_max_sessions);
+  w.Field("plant_repair_storm", spec.check.plant_repair_storm);
+  w.Field("kv_key_dist", spec.kv_key_dist == KvKeyDist::kZipf ? "zipf" : "uniform");
+  w.Field("kv_zipf_s", spec.kv_zipf_s);
   w.Key("plan");
   plan.WriteJson(&w);
   w.Key("expected_violated").BeginArray();
@@ -441,7 +452,10 @@ Result<ReproReplay> ReplayRepro(const std::string& artifact_json) {
       "format", "bug",  "nodes",             "mode",
       "seed",   "plant_left_join_bug",       "plant_kv_ack_before_sync",
       "plan",   "expected_violated",         "expected_invariants",
-      "kv_ops_per_second", "kv_consistency", "kv_wal", "workload"};
+      "kv_ops_per_second", "kv_consistency", "kv_wal", "workload",
+      "kv_repair",         "kv_repair_interval_ns", "kv_repair_rate_bytes",
+      "kv_repair_max_sessions", "plant_repair_storm", "kv_key_dist",
+      "kv_zipf_s"};
   for (const auto& [key, value] : v.AsObject()) {
     (void)value;
     bool known = false;
@@ -523,6 +537,58 @@ Result<ReproReplay> ReplayRepro(const std::string& artifact_json) {
   if (!kv_wal.ok()) {
     return kv_wal.status();
   }
+  Result<bool> kv_repair = v.GetBool("kv_repair", "repro artifact");
+  if (!kv_repair.ok()) {
+    return kv_repair.status();
+  }
+  Result<int64_t> repair_interval =
+      v.GetInt("kv_repair_interval_ns", "repro artifact");
+  if (!repair_interval.ok()) {
+    return repair_interval.status();
+  }
+  if (repair_interval.value() <= 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "repro artifact: kv_repair_interval_ns must be positive");
+  }
+  Result<int64_t> repair_rate =
+      v.GetInt("kv_repair_rate_bytes", "repro artifact");
+  if (!repair_rate.ok()) {
+    return repair_rate.status();
+  }
+  if (repair_rate.value() <= 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "repro artifact: kv_repair_rate_bytes must be positive");
+  }
+  Result<int64_t> repair_sessions =
+      v.GetInt("kv_repair_max_sessions", "repro artifact");
+  if (!repair_sessions.ok()) {
+    return repair_sessions.status();
+  }
+  if (repair_sessions.value() <= 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "repro artifact: kv_repair_max_sessions must be positive");
+  }
+  Result<bool> plant_storm = v.GetBool("plant_repair_storm", "repro artifact");
+  if (!plant_storm.ok()) {
+    return plant_storm.status();
+  }
+  Result<std::string> key_dist_name =
+      v.GetString("kv_key_dist", "repro artifact");
+  if (!key_dist_name.ok()) {
+    return key_dist_name.status();
+  }
+  if (key_dist_name.value() != "uniform" && key_dist_name.value() != "zipf") {
+    return Status(StatusCode::kInvalidArgument,
+                  "repro artifact: kv_key_dist must be uniform or zipf");
+  }
+  Result<double> zipf_s = v.GetDouble("kv_zipf_s", "repro artifact");
+  if (!zipf_s.ok()) {
+    return zipf_s.status();
+  }
+  if (!(zipf_s.value() > 0)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "repro artifact: kv_zipf_s must be positive");
+  }
   Result<std::string> workload_name = v.GetString("workload", "repro artifact");
   if (!workload_name.ok()) {
     return workload_name.status();
@@ -567,6 +633,14 @@ Result<ReproReplay> ReplayRepro(const std::string& artifact_json) {
   spec.kv_ops_per_second = kv_ops.value();
   spec.kv_consistency = kv_level.value();
   spec.kv_wal = kv_wal.value();
+  spec.kv_repair = kv_repair.value();
+  spec.kv_repair_interval = VirtualDuration::Nanos(repair_interval.value());
+  spec.kv_repair_rate_bytes = repair_rate.value();
+  spec.kv_repair_max_sessions = static_cast<int>(repair_sessions.value());
+  spec.check.plant_repair_storm = plant_storm.value();
+  spec.kv_key_dist = key_dist_name.value() == "zipf" ? KvKeyDist::kZipf
+                                                     : KvKeyDist::kUniform;
+  spec.kv_zipf_s = zipf_s.value();
   spec.workload = workload.value();
 
   ReproReplay replay;

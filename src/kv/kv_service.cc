@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/common/hash.h"
+#include "src/kv/anti_entropy.h"
 #include "src/kv/kv_history.h"
 
 namespace scalecheck {
@@ -21,6 +22,46 @@ KvService::KvService(Deps deps)
   CHECK_NOTNULL(deps_.stage);
   CHECK_NOTNULL(deps_.ring);
   CHECK_NOTNULL(deps_.gossiper);
+  if (deps_.repair_enabled) {
+    AntiEntropy::Config cfg;
+    cfg.interval = deps_.repair_interval;
+    cfg.rate_bytes_per_sec = deps_.repair_rate_bytes;
+    cfg.max_sessions = deps_.repair_max_sessions;
+    cfg.session_timeout = deps_.repair_session_timeout;
+    cfg.max_retries = deps_.repair_max_retries;
+    cfg.pressure_max_inflight = deps_.repair_pressure_max_inflight;
+    cfg.plant_storm = deps_.plant_repair_storm;
+    cfg.seed = deps_.anti_entropy_seed;
+    AntiEntropy::Hooks hooks;
+    hooks.clock = deps_.clock;
+    hooks.transport = deps_.transport;
+    hooks.ring = deps_.ring;
+    hooks.gossiper = deps_.gossiper;
+    hooks.self = deps_.self;
+    hooks.replication_factor = deps_.replication_factor;
+    hooks.stream_keys = [this](NodeId target,
+                               std::vector<std::pair<uint64_t, int64_t>> keys,
+                               AntiEntropy::StreamDoneFn done) {
+      StreamRepairKeys(target, std::move(keys), std::move(done));
+    };
+    hooks.pressure = [this] { return inflight_.size(); };
+    hooks.stats = &stats_;
+    repair_ = std::make_unique<AntiEntropy>(std::move(cfg), std::move(hooks));
+  }
+}
+
+KvService::~KvService() = default;
+
+void KvService::Start() {
+  if (repair_ != nullptr && !down_) {
+    repair_->Start();
+  }
+}
+
+void KvService::Shutdown() {
+  if (repair_ != nullptr) {
+    repair_->Shutdown();
+  }
 }
 
 void KvService::Write(uint64_t key, std::string value, DoneFn done) {
@@ -227,6 +268,9 @@ void KvService::HandleMessage(const Message& msg) {
               ++stats_.wal_appends;
               work += 100 + static_cast<WorkUnits>(appended) / 4;
             }
+            if (repair_ != nullptr) {
+              repair_->OnWriteApplied(req->key, req->timestamp);
+            }
             return work;
           },
           [this, req, coordinator] {
@@ -283,6 +327,45 @@ void KvService::HandleMessage(const Message& msg) {
               deps_.transport->Send(deps_.self, coordinator, kKvReadResp,
                                     std::move(resp));
             }
+          });
+      break;
+    }
+    case kKvRepairHashReq:
+    case kKvRepairHashResp: {
+      if (repair_ != nullptr && !down_) {
+        repair_->HandleMessage(msg);
+      }
+      break;
+    }
+    case kKvRepairStreamWrite: {
+      auto req = std::static_pointer_cast<const KvRequestPayload>(msg.payload);
+      deps_.stage->Submit(
+          "kv.repair-apply",
+          [this, req] {
+            // TimestampOf guard instead of a bare Put: it makes the
+            // "fixed" count honest (only actual advances count) and closes
+            // the memtable-shadows-flushed-run edge for the repair path.
+            if (storage_->TimestampOf(req->key) >= req->timestamp) {
+              return WorkUnits{50};
+            }
+            WorkUnits work = storage_->Put(req->key, req->value, req->timestamp);
+            if (deps_.wal_enabled) {
+              int64_t appended =
+                  wal_.Append(req->key, req->timestamp, req->value);
+              ++stats_.wal_appends;
+              work += 100 + static_cast<WorkUnits>(appended) / 4;
+            }
+            ++stats_.repair_keys_fixed;
+            if (repair_ != nullptr) {
+              repair_->OnWriteApplied(req->key, req->timestamp);
+            }
+            return work;
+          },
+          [this] {
+            if (deps_.wal_enabled) {
+              ScheduleWalSync();
+            }
+            MaybeRecharge();
           });
       break;
     }
@@ -504,6 +587,55 @@ void KvService::MaybeReadRepair(const InFlight& op) {
   }
 }
 
+void KvService::StreamRepairKeys(
+    NodeId target, std::vector<std::pair<uint64_t, int64_t>> keys,
+    std::function<void(int64_t, int64_t)> done) {
+  auto items = std::make_shared<std::vector<std::pair<uint64_t, int64_t>>>(
+      std::move(keys));
+  auto payloads =
+      std::make_shared<std::vector<std::shared_ptr<KvRequestPayload>>>();
+  deps_.stage->Submit(
+      "kv.repair-stream",
+      [this, items, payloads] {
+        WorkUnits work = 0;
+        for (const auto& [key, ts] : *items) {
+          WorkUnits read_work = 0;
+          auto value = storage_->Get(key, &read_work);
+          work += read_work + 20;
+          if (!value.has_value()) {
+            continue;  // the tree was ahead of storage; nothing to send
+          }
+          auto req = std::make_shared<KvRequestPayload>();
+          req->op_id = 0;  // fire-and-forget, like hint replay
+          req->key = key;
+          req->value = *std::move(value);
+          // The CURRENT version, not the hashed one: if a foreground write
+          // landed since the hashes were compared, the newer version is the
+          // better repair and LWW keeps it correct either way.
+          req->timestamp = storage_->TimestampOf(key);
+          payloads->push_back(std::move(req));
+        }
+        return work;
+      },
+      [this, target, payloads, done = std::move(done)] {
+        if (down_) {
+          if (done) {
+            done(0, 0);
+          }
+          return;
+        }
+        int64_t bytes = 0;
+        for (auto& req : *payloads) {
+          bytes += static_cast<int64_t>(req->SizeBytes());
+          deps_.transport->Send(deps_.self, target, kKvRepairStreamWrite,
+                                std::move(req));
+        }
+        if (done) {
+          done(bytes, static_cast<int64_t>(payloads->size()));
+        }
+      });
+}
+
 void KvService::OnCrash() {
   down_ = true;
   if (wal_sync_timer_ != kInvalidTimer) {
@@ -522,6 +654,14 @@ void KvService::OnCrash() {
     // Process memory is gone; only the durable WAL prefix survives.
     storage_ = std::make_unique<StorageEngine>();
   }
+  if (repair_ != nullptr) {
+    // Active sessions die with the process (counted as aborted); the Merkle
+    // tree follows the storage engine's fate.
+    repair_->Stop();
+    if (deps_.wal_enabled) {
+      repair_->ClearTree();
+    }
+  }
   // The machine's ReleaseAll dropped our "kv-storage" charge with the rest.
   charged_bytes_ = 0;
 }
@@ -535,9 +675,15 @@ void KvService::OnRestart() {
     storage_ = std::make_unique<StorageEngine>();
     for (const KvWal::Record& rec : recovered.records) {
       storage_->Put(rec.key, rec.value, rec.timestamp);
+      if (repair_ != nullptr) {
+        repair_->OnWriteApplied(rec.key, rec.timestamp);
+      }
     }
     stats_.wal_recovered_records +=
         static_cast<int64_t>(recovered.records.size());
+  }
+  if (repair_ != nullptr) {
+    repair_->Start();
   }
   MaybeRecharge();
 }
@@ -549,6 +695,9 @@ void KvService::MaybeRecharge() {
   int64_t total = storage_->ApproxBytes() + hint_bytes_;
   if (deps_.wal_enabled) {
     total += wal_.total_bytes();
+  }
+  if (repair_ != nullptr) {
+    total += repair_->ApproxBytes();
   }
   int64_t delta = total - charged_bytes_;
   if (delta != 0) {

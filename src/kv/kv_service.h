@@ -43,6 +43,7 @@
 
 namespace scalecheck {
 
+class AntiEntropy;
 class KvHistory;
 
 // The partitioner: client keys are small dense integers, ring tokens are
@@ -118,6 +119,17 @@ struct KvStats {
   int64_t hints_expired = 0;
   int64_t hints_dropped = 0;  // queue at capacity
   int64_t read_repairs = 0;   // repair writes sent (both repair flavours)
+  // Anti-entropy (anti_entropy.h). `repair_sessions` counts sessions this
+  // node initiated; `repair_bytes_streamed` counts repair-stream payload
+  // bytes this node sent; `repair_keys_fixed` counts received stream writes
+  // that actually advanced the local version; `repair_aborted` counts
+  // sessions abandoned (peer died mid-session, or retries exhausted).
+  int64_t repair_sessions = 0;
+  int64_t repair_bytes_streamed = 0;
+  int64_t repair_keys_fixed = 0;
+  int64_t repair_aborted = 0;
+  int64_t repair_retries = 0;   // hash batches re-sent after a timeout
+  int64_t repair_backoffs = 0;  // scheduler yields to foreground pressure
   LogHistogram latency{/*base=*/1e5, /*growth=*/1.5, /*num_buckets=*/80};
 
   int64_t total() const { return ok + unavailable + timeout; }
@@ -176,6 +188,21 @@ class KvService {
     // (observed mismatches always repair). Drawn from `repair_seed`.
     double read_repair_chance = 0.1;
     uint64_t repair_seed = 0;
+    // Anti-entropy repair (anti_entropy.h). Off by default: when off, no
+    // AntiEntropy instance, no Merkle tree, no extra RNG draws — the
+    // pre-anti-entropy behaviour (and goldens) are untouched.
+    bool repair_enabled = false;
+    VirtualDuration repair_interval = VirtualDuration::Seconds(10);
+    int64_t repair_rate_bytes = 256 * 1024;  // bytes/sec token bucket
+    int repair_max_sessions = 1;
+    VirtualDuration repair_session_timeout = VirtualDuration::Seconds(10);
+    int repair_max_retries = 2;
+    size_t repair_pressure_max_inflight = 16;
+    // Planted bug (the repair-storm ChaosSearch target): every throttle —
+    // rate limit, session cap, pressure yield — is ignored and full shared
+    // ranges are streamed each tick. See CheckOptions::plant_repair_storm.
+    bool plant_repair_storm = false;
+    uint64_t anti_entropy_seed = 0;
     // Memory charging: called with a byte delta whenever the data path's
     // footprint (WAL + memtable/runs + hint queue) changes; the Node wires
     // this to MachineMemoryModel under tag "kv-storage". Null = off.
@@ -186,6 +213,14 @@ class KvService {
   };
 
   explicit KvService(Deps deps);
+  ~KvService();
+
+  // Arms periodic background machinery (today: the anti-entropy scheduler).
+  // Called once the node is registered with its transport; a no-op when
+  // repair is disabled.
+  void Start();
+  // Cancels background timers without accounting (real-carrier teardown).
+  void Shutdown();
 
   using DoneFn = std::function<void(KvOutcome, std::string value)>;
 
@@ -215,6 +250,8 @@ class KvService {
   const KvWal& wal() const { return wal_; }
   const KvStats& stats() const { return stats_; }
   int64_t hint_queue_depth() const { return total_hints_; }
+  // Null when repair is disabled.
+  const AntiEntropy* repair() const { return repair_.get(); }
 
   // Swaps in a (typically subclassed, deliberately broken) storage engine.
   // Test-only: the replica path loses whatever the old engine held.
@@ -299,11 +336,21 @@ class KvService {
                  int64_t timestamp);
   void MaybeReadRepair(const InFlight& op);
 
+  // Anti-entropy plumbing: reads the current value of each (key, timestamp)
+  // through the storage stage and sends kKvRepairStreamWrite messages to
+  // `target`; `done` fires once with (bytes, keys) actually sent. Keys whose
+  // local version moved on since the tree was hashed are sent at their
+  // CURRENT timestamp (LWW makes the newer version the correct repair).
+  void StreamRepairKeys(NodeId target,
+                        std::vector<std::pair<uint64_t, int64_t>> keys,
+                        std::function<void(int64_t, int64_t)> done);
+
   // Delta-charges the data path's current footprint to deps_.charge.
   void MaybeRecharge();
 
   Deps deps_;
   std::unique_ptr<StorageEngine> storage_;
+  std::unique_ptr<AntiEntropy> repair_;  // null unless deps_.repair_enabled
   KvWal wal_;
   KvStats stats_;
   Rng retry_rng_;

@@ -1,5 +1,6 @@
 #include "src/net/real_cluster.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <map>
@@ -190,6 +191,60 @@ RunResult RealCluster::Run() {
                      [&] { return outstanding == 0; });
   }
 
+  // ---- Anti-entropy phase: with repair on, every natural replica of the
+  // smoke keys must converge on the winning timestamp within a few repair
+  // intervals — the real-mode probe of replica-convergence's data facet.
+  bool repair_phase_ran = false;
+  bool repair_converged = true;
+  int64_t diverged_replicas = 0;
+  if (settled && healed && options_.node.enable_kv && options_.node.kv_repair &&
+      options_.kv_ops > 0) {
+    repair_phase_ran = true;
+    auto count_diverged = [&] {
+      int64_t diverged = 0;
+      for (int i = 0; i < options_.kv_ops; ++i) {
+        uint64_t key = static_cast<uint64_t>(i) * 7919;
+        std::vector<NodeId> replicas = nodes_[0]->KvNaturalEndpoints(key);
+        int64_t winning = 0;
+        for (NodeId r : replicas) {
+          winning = std::max(
+              winning, nodes_[static_cast<size_t>(r)]->KvTimestampOf(key));
+        }
+        if (winning == 0) continue;  // never acked anywhere: nothing to repair
+        for (NodeId r : replicas) {
+          if (nodes_[static_cast<size_t>(r)]->KvTimestampOf(key) < winning) {
+            ++diverged;
+          }
+        }
+      }
+      return diverged;
+    };
+    const VirtualTime repair_deadline = clock_.Now() +
+                                        options_.node.kv_repair_interval * 8 +
+                                        VirtualDuration::Seconds(2);
+    // Even when nothing diverged, dwell a few intervals: the scheduler must
+    // be observed actually ticking, both so throttled repair demonstrates it
+    // stays inside the session budget and so an unthrottled storm has time
+    // to exceed it. Exiting at first agreement would end the run before the
+    // first repair timer ever fired.
+    const VirtualTime min_dwell = clock_.Now() +
+                                  options_.node.kv_repair_interval * 4 +
+                                  VirtualDuration::Seconds(1);
+    repair_converged = false;
+    while (clock_.Now() < repair_deadline) {
+      diverged_replicas = count_diverged();
+      if (diverged_replicas == 0 && clock_.Now() >= min_dwell) {
+        repair_converged = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!repair_converged) {
+      diverged_replicas = count_diverged();
+      repair_converged = diverged_replicas == 0;
+    }
+  }
+
   VirtualTime end = clock_.Now();
   int64_t live_sum = 0;
   int64_t unreachable_sum = 0;
@@ -226,13 +281,13 @@ RunResult RealCluster::Run() {
     result.fault_events_applied = stats.events_applied;
     result.fault_events_healed = stats.events_healed;
   }
-  if (fault_phase_ran) {
+  if (fault_phase_ran || repair_phase_ran) {
     // Real-mode probe of the partition-heals invariant: one end-of-run
     // verdict in the same report shape the sim checker emits, so the CLI's
     // exit-code logic treats both carriers identically.
     result.invariants.checked = true;
     result.invariants.probes = 1;
-    if (!healed) {
+    if (fault_phase_ran && !healed) {
       InvariantViolation violation;
       violation.invariant = "partition-heals";
       violation.first_at = end;
@@ -243,8 +298,63 @@ RunResult RealCluster::Run() {
       violation.count = islanded > 0 ? islanded : 1;
       result.invariants.violations.push_back(violation);
     }
+    if (repair_phase_ran && !repair_converged) {
+      // Data facet of replica-convergence on the real carrier: acknowledged
+      // smoke writes never reached every natural replica despite repair
+      // having had several intervals to run.
+      InvariantViolation violation;
+      violation.invariant = "replica-convergence";
+      violation.first_at = end;
+      violation.detail = StrFormat(
+          "%lld replica copies of the smoke key set still diverged after 8 "
+          "repair intervals on the real carrier",
+          static_cast<long long>(diverged_replicas));
+      violation.count = diverged_replicas > 0 ? diverged_replicas : 1;
+      result.invariants.violations.push_back(violation);
+    }
   }
   result.kv_issued = kv_issued;
+  // Budget facet of replica-convergence on the real carrier. Byte volumes in
+  // a smoke are tiny, so the storm signature here is session RATE: throttled
+  // repair opens at most max_sessions per interval, while the planted storm
+  // opens one pseudo-session per live co-replica per tick.
+  const double elapsed_seconds = static_cast<double>(end.nanos()) / 1e9;
+  const double interval_seconds = std::max(
+      1e-3,
+      static_cast<double>(options_.node.kv_repair_interval.nanos()) / 1e9);
+  const double session_allowance =
+      (elapsed_seconds / interval_seconds) * options_.node.kv_repair_max_sessions *
+          2.0 +
+      4.0;
+  const double byte_allowance =
+      static_cast<double>(options_.node.kv_repair_rate_bytes) *
+          elapsed_seconds * 2.0 +
+      4.0 * 1024.0 * 1024.0;
+  for (const auto& node : nodes_) {
+    if (!options_.node.kv_repair) break;
+    bool already_flagged = false;
+    for (const InvariantViolation& v : result.invariants.violations) {
+      already_flagged = already_flagged || v.invariant == "replica-convergence";
+    }
+    if (already_flagged) break;
+    KvStats stats = node->KvStatsSnapshot();
+    if (static_cast<double>(stats.repair_sessions) > session_allowance ||
+        static_cast<double>(stats.repair_bytes_streamed) > byte_allowance) {
+      result.invariants.checked = true;
+      if (result.invariants.probes == 0) result.invariants.probes = 1;
+      result.invariants.violations.push_back(InvariantViolation{
+          "replica-convergence", end,
+          StrFormat("node %lld opened %lld repair sessions / streamed %lld "
+                    "bytes in %.1fs, over 2x its configured budget — repair "
+                    "storm",
+                    static_cast<long long>(node->id()),
+                    static_cast<long long>(stats.repair_sessions),
+                    static_cast<long long>(stats.repair_bytes_streamed),
+                    elapsed_seconds),
+          1});
+      break;  // one verdict is enough; keep the report small
+    }
+  }
   for (const auto& node : nodes_) {
     KvStats stats = node->KvStatsSnapshot();
     result.kv_ok += stats.ok;
@@ -263,10 +373,16 @@ RunResult RealCluster::Run() {
     result.kv_ops_one += stats.ops_one;
     result.kv_ops_quorum += stats.ops_quorum;
     result.kv_ops_all += stats.ops_all;
+    result.kv_repair_sessions += stats.repair_sessions;
+    result.kv_repair_bytes_streamed += stats.repair_bytes_streamed;
+    result.kv_repair_keys_fixed += stats.repair_keys_fixed;
+    result.kv_repair_aborted += stats.repair_aborted;
   }
   result.kv_inflight_at_stop =
       kv_issued - (result.kv_ok + result.kv_unavailable + result.kv_timeout);
+  result.kv_latency_p50 = kv_latency.PercentileDuration(50);
   result.kv_latency_p99 = kv_latency.PercentileDuration(99);
+  result.kv_latency_p999 = kv_latency.PercentileDuration(99.9);
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include "src/common/check.h"
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/kv/anti_entropy.h"
 
 namespace scalecheck {
 
@@ -51,6 +52,16 @@ RealNode::RealNode(NodeId id, const Options& options, Transport* transport,
     deps.wal_sync_interval = options_.kv_wal_sync_interval;
     deps.retry_seed = HashCombine(options_.seed, 0x4b565254ULL);
     deps.repair_seed = HashCombine(options_.seed, 0x4b565252ULL);
+    deps.repair_enabled = options_.kv_repair;
+    deps.repair_interval = options_.kv_repair_interval;
+    deps.repair_rate_bytes = options_.kv_repair_rate_bytes;
+    deps.repair_max_sessions = options_.kv_repair_max_sessions;
+    deps.repair_session_timeout = options_.kv_repair_session_timeout;
+    deps.repair_max_retries = options_.kv_repair_max_retries;
+    deps.repair_pressure_max_inflight =
+        options_.kv_repair_pressure_max_inflight;
+    deps.plant_repair_storm = options_.plant_repair_storm;
+    deps.anti_entropy_seed = HashCombine(options_.seed, 0x4b565245ULL);
     kv_ = std::make_unique<KvService>(deps);
   }
 }
@@ -127,6 +138,9 @@ void RealNode::Start() {
   gossip_timer_ = std::make_unique<PeriodicClockTimer>(
       &clock_, options_.gossip_interval, [this] { GossipRound(); });
   gossip_timer_->Start(phase);
+  if (kv_ != nullptr) {
+    kv_->Start();  // arms the anti-entropy scheduler when repair is on
+  }
 }
 
 void RealNode::Stop() {
@@ -138,6 +152,9 @@ void RealNode::Stop() {
     stopped_ = true;
     if (gossip_timer_ != nullptr) {
       gossip_timer_->Stop();
+    }
+    if (kv_ != nullptr) {
+      kv_->Shutdown();  // cancels repair timers before the clock goes away
     }
   }
   // Unregister outside mu_: reader threads may be blocked on mu_ delivering
@@ -200,6 +217,20 @@ const KvStats RealNode::KvStatsSnapshot() const {
   return kv_ == nullptr ? KvStats{} : kv_->stats();
 }
 
+int64_t RealNode::KvTimestampOf(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kv_ == nullptr ? 0 : kv_->storage().TimestampOf(key);
+}
+
+std::vector<NodeId> RealNode::KvNaturalEndpoints(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.num_entries() == 0) {
+    return {};
+  }
+  return ring_.NaturalEndpointsForKey(KvTokenForKey(key),
+                                      options_.replication_factor);
+}
+
 void RealNode::OnMessage(const Message& msg) {
   std::lock_guard<std::mutex> lock(mu_);
   if (stopped_) {
@@ -219,6 +250,9 @@ void RealNode::OnMessage(const Message& msg) {
     case kKvWriteResp:
     case kKvReadReq:
     case kKvReadResp:
+    case kKvRepairHashReq:
+    case kKvRepairHashResp:
+    case kKvRepairStreamWrite:
       if (kv_ != nullptr) {
         kv_->HandleMessage(msg);
       }

@@ -54,6 +54,17 @@ class RealNode {
     // on peer recovery.
     bool kv_wal = false;
     VirtualDuration kv_wal_sync_interval = VirtualDuration::Millis(250);
+    // Anti-entropy repair (src/kv/anti_entropy.h) — same knobs as
+    // ClusterConfig's kv_repair_* family, same defaults scaled to the
+    // real-mode smoke's shorter horizon.
+    bool kv_repair = false;
+    VirtualDuration kv_repair_interval = VirtualDuration::Seconds(2);
+    int64_t kv_repair_rate_bytes = 256 * 1024;
+    int kv_repair_max_sessions = 1;
+    VirtualDuration kv_repair_session_timeout = VirtualDuration::Seconds(5);
+    int kv_repair_max_retries = 2;
+    size_t kv_repair_pressure_max_inflight = 16;
+    bool plant_repair_storm = false;
     // Seed addresses for the gossip-to-unreachable escape hatch (self is
     // filtered out). When the live view is empty, the round SYNs one of
     // these unconditionally so an islanded node rejoins after a partition.
@@ -95,6 +106,11 @@ class RealNode {
   size_t unreachable_endpoints() const;
   std::vector<Token> my_tokens() const { return my_tokens_; }
   const KvStats KvStatsSnapshot() const;
+  // Replica-convergence audit hooks (real-mode verdict synthesis): the local
+  // storage version of `key` (0 = absent / KV off) and this node's view of
+  // the key's natural replica set.
+  int64_t KvTimestampOf(uint64_t key) const;
+  std::vector<NodeId> KvNaturalEndpoints(uint64_t key) const;
 
  private:
   void OnMessage(const Message& msg);

@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/gossip/digest_codec.h"
 #include "src/gossip/messages.h"
+#include "src/kv/anti_entropy.h"
 #include "src/kv/kv_service.h"
 
 namespace scalecheck {
@@ -213,6 +214,85 @@ bool DecodeKvResponse(Reader* r, KvResponsePayload* resp) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Anti-entropy repair payload encoding.
+
+// A tree level; MerkleTree depths are CHECKed into [1, 20], so any larger
+// level on the wire is corruption, not a config we ever run.
+constexpr uint32_t kMaxMerkleLevel = 20;
+
+// A node index at `level` must fit the level's width; strictly ascending
+// order is part of the format (it is how the sender builds batches), so a
+// decoder seeing disorder is seeing corruption.
+bool ValidLevelIndex(uint32_t level, uint64_t index, uint64_t prev,
+                     bool first) {
+  if (index >= (uint64_t{1} << level)) {
+    return false;
+  }
+  return first || index > prev;
+}
+
+void EncodeKvRepairHash(Writer* w, const KvRepairHashPayload& req) {
+  w->U64(req.session_id);
+  w->U32(req.level);
+  w->U32(static_cast<uint32_t>(req.hashes.size()));
+  for (const auto& [index, hash] : req.hashes) {
+    w->U64(index);
+    w->U64(hash.lo);
+    w->U64(hash.hi);
+  }
+}
+
+bool DecodeKvRepairHash(Reader* r, KvRepairHashPayload* req) {
+  uint32_t n;
+  if (!r->U64(&req->session_id) || !r->U32(&req->level) ||
+      req->level > kMaxMerkleLevel || !r->Count(&n, /*min_element_size=*/24)) {
+    return false;
+  }
+  req->hashes.reserve(n);
+  uint64_t prev = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t index;
+    DigestValue hash;
+    if (!r->U64(&index) || !r->U64(&hash.lo) || !r->U64(&hash.hi) ||
+        !ValidLevelIndex(req->level, index, prev, i == 0)) {
+      return false;
+    }
+    prev = index;
+    req->hashes.emplace_back(index, hash);
+  }
+  return true;
+}
+
+void EncodeKvRepairDiff(Writer* w, const KvRepairDiffPayload& resp) {
+  w->U64(resp.session_id);
+  w->U32(resp.level);
+  w->U32(static_cast<uint32_t>(resp.differing.size()));
+  for (uint64_t index : resp.differing) {
+    w->U64(index);
+  }
+}
+
+bool DecodeKvRepairDiff(Reader* r, KvRepairDiffPayload* resp) {
+  uint32_t n;
+  if (!r->U64(&resp->session_id) || !r->U32(&resp->level) ||
+      resp->level > kMaxMerkleLevel || !r->Count(&n, /*min_element_size=*/8)) {
+    return false;
+  }
+  resp->differing.reserve(n);
+  uint64_t prev = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t index;
+    if (!r->U64(&index) ||
+        !ValidLevelIndex(resp->level, index, prev, i == 0)) {
+      return false;
+    }
+    prev = index;
+    resp->differing.push_back(index);
+  }
+  return true;
+}
+
 }  // namespace
 
 void EncodeMessageTo(const Message& msg, std::string* out) {
@@ -245,6 +325,7 @@ void EncodeMessageTo(const Message& msg, std::string* out) {
       break;
     case kKvWriteReq:
     case kKvReadReq:
+    case kKvRepairStreamWrite:
       EncodeKvRequest(&w,
                       static_cast<const KvRequestPayload&>(*msg.payload));
       break;
@@ -252,6 +333,14 @@ void EncodeMessageTo(const Message& msg, std::string* out) {
     case kKvReadResp:
       EncodeKvResponse(&w,
                        static_cast<const KvResponsePayload&>(*msg.payload));
+      break;
+    case kKvRepairHashReq:
+      EncodeKvRepairHash(
+          &w, static_cast<const KvRepairHashPayload&>(*msg.payload));
+      break;
+    case kKvRepairHashResp:
+      EncodeKvRepairDiff(
+          &w, static_cast<const KvRepairDiffPayload&>(*msg.payload));
       break;
     default:
       CHECK(false) << "EncodeMessage: unknown message type " << msg.type;
@@ -302,7 +391,8 @@ Result<Message> DecodeMessage(std::string_view data) {
       break;
     }
     case kKvWriteReq:
-    case kKvReadReq: {
+    case kKvReadReq:
+    case kKvRepairStreamWrite: {
       auto req = std::make_shared<KvRequestPayload>();
       ok = DecodeKvRequest(&r, req.get());
       msg.payload = std::move(req);
@@ -312,6 +402,18 @@ Result<Message> DecodeMessage(std::string_view data) {
     case kKvReadResp: {
       auto resp = std::make_shared<KvResponsePayload>();
       ok = DecodeKvResponse(&r, resp.get());
+      msg.payload = std::move(resp);
+      break;
+    }
+    case kKvRepairHashReq: {
+      auto req = std::make_shared<KvRepairHashPayload>();
+      ok = DecodeKvRepairHash(&r, req.get());
+      msg.payload = std::move(req);
+      break;
+    }
+    case kKvRepairHashResp: {
+      auto resp = std::make_shared<KvRepairDiffPayload>();
+      ok = DecodeKvRepairDiff(&r, resp.get());
       msg.payload = std::move(resp);
       break;
     }

@@ -29,6 +29,10 @@ ClusterConfig BugSpec::MakeConfig(int n, RunMode mode, uint64_t seed) const {
   }
   cfg.kv_consistency = kv_consistency;
   cfg.kv_wal = kv_wal;
+  cfg.kv_repair = kv_repair;
+  cfg.kv_repair_interval = kv_repair_interval;
+  cfg.kv_repair_rate_bytes = kv_repair_rate_bytes;
+  cfg.kv_repair_max_sessions = kv_repair_max_sessions;
   return cfg;
 }
 
@@ -101,6 +105,8 @@ RunResult RunSingle(const BugSpec& spec, int n, RunMode mode, uint64_t seed,
   options.faults = run_options.faults != nullptr ? *run_options.faults
                                                  : spec.MakeFaultPlan(n, seed);
   options.kv_ops_per_second = spec.kv_ops_per_second;
+  options.kv_key_dist = spec.kv_key_dist;
+  options.kv_zipf_s = spec.kv_zipf_s;
   options.wall_budget_seconds = run_options.wall_budget_seconds;
   Cluster cluster(std::move(options));
   return cluster.Run();

@@ -57,6 +57,17 @@ struct BugSpec {
   // Durable replica path: per-node WAL with group commit, hint replay on
   // recovery, crash-lossy unsynced tail. Arms the kv-durability invariant.
   bool kv_wal = false;
+  // Anti-entropy repair: periodic Merkle-tree exchange with co-replicas,
+  // throttled by a byte-rate token bucket and a session cap. Arms the
+  // replica-convergence invariant. The planted repair-storm bug rides in
+  // check.plant_repair_storm (only meaningful with kv_repair on).
+  bool kv_repair = false;
+  VirtualDuration kv_repair_interval = VirtualDuration::Seconds(10);
+  int64_t kv_repair_rate_bytes = 256 * 1024;
+  int kv_repair_max_sessions = 1;
+  // Key popularity for the KV load driver (uniform or Zipf skew).
+  KvKeyDist kv_key_dist = KvKeyDist::kUniform;
+  double kv_zipf_s = 1.0;
   // Fidelity-guard budgets applied to every run of this spec (deterministic;
   // part of the serialized verdict). Defaults encode §8's limits.
   FidelityBudgets guard;
